@@ -1,0 +1,63 @@
+//! Microbenchmark: executing the Section 1.1 query under Mapping 1 and
+//! Mapping 2, tuned and untuned — the four cells of the motivating
+//! experiment as wall-clock measurements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::physical::tune;
+use xmlshred_rel::db::Database;
+use xmlshred_rel::sql::SqlQuery;
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::schema::derive_schema;
+use xmlshred_shred::shredder::load_database;
+use xmlshred_shred::source_stats::SourceStats;
+use xmlshred_shred::transform::Transformation;
+use xmlshred_translate::translate::translate;
+use xmlshred_xml::tree::NodeKind;
+use xmlshred_xpath::parser::parse_path;
+
+fn build(mapping: &Mapping, dataset: &xmlshred_data::Dataset, tuned: bool) -> (Database, SqlQuery) {
+    let schema = derive_schema(&dataset.tree, mapping);
+    let mut db = load_database(&dataset.tree, mapping, &schema, &[&dataset.document]).unwrap();
+    let path =
+        parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)").unwrap();
+    let translated = translate(&dataset.tree, mapping, &schema, &path).unwrap();
+    if tuned {
+        let queries = vec![(&translated.sql, 1.0)];
+        let result = tune(db.catalog(), db.all_stats(), &queries, 1e12);
+        db.apply_config(&result.config).unwrap();
+    }
+    (db, translated.sql)
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let dataset = BenchScale(0.1).dblp();
+    let tree = &dataset.tree;
+    let source = SourceStats::collect(tree, &dataset.document);
+    let mapping1 = Mapping::hybrid(tree);
+    let star = tree
+        .node_ids()
+        .find(|&n| {
+            matches!(tree.node(n).kind, NodeKind::Repetition)
+                && tree.node(tree.children(n)[0]).kind.tag_name() == Some("author")
+        })
+        .unwrap();
+    let k = source.choose_split_count(star, 5, 0.8).unwrap_or(5);
+    let mapping2 = Transformation::RepetitionSplit { star, count: k }
+        .apply(tree, &mapping1)
+        .unwrap();
+
+    for (label, mapping, tuned) in [
+        ("exec_mapping1_untuned", &mapping1, false),
+        ("exec_mapping1_tuned", &mapping1, true),
+        ("exec_mapping2_untuned", &mapping2, false),
+        ("exec_mapping2_tuned", &mapping2, true),
+    ] {
+        let (db, sql) = build(mapping, &dataset, tuned);
+        c.bench_function(label, |b| b.iter(|| db.execute(black_box(&sql)).unwrap()));
+    }
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

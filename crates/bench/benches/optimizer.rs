@@ -1,0 +1,51 @@
+//! Microbenchmark: what-if plan selection with and without physical
+//! structures — the inner loop of the tuning tool.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::context::EvalContext;
+use xmlshred_core::twostep::best_guess_config;
+use xmlshred_rel::optimizer::{plan_query, PhysicalConfig};
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::source_stats::SourceStats;
+use xmlshred_xpath::parser::parse_path;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let dataset = BenchScale(0.05).dblp();
+    let source = SourceStats::collect(&dataset.tree, &dataset.document);
+    let workload = vec![(
+        parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)")
+            .unwrap(),
+        1.0,
+    )];
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload,
+        space_budget: 1e12,
+    };
+    let prepared = ctx.prepare(&Mapping::hybrid(&dataset.tree));
+    let (sql, _) = prepared.queries[0].as_ref().unwrap();
+
+    let empty = PhysicalConfig::none();
+    let guess = best_guess_config(&prepared);
+
+    c.bench_function("plan_query_no_indexes", |b| {
+        b.iter(|| {
+            plan_query(&prepared.catalog, &prepared.stats, &empty, black_box(sql)).unwrap()
+        })
+    });
+    c.bench_function("plan_query_pk_fk_indexes", |b| {
+        b.iter(|| {
+            plan_query(&prepared.catalog, &prepared.stats, &guess, black_box(sql)).unwrap()
+        })
+    });
+    c.bench_function("prepare_mapping", |b| {
+        let mapping = Mapping::hybrid(&dataset.tree);
+        b.iter(|| ctx.prepare(black_box(&mapping)))
+    });
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Microbenchmark: the three search algorithms end to end at small scale
+//! (the Fig. 5 running-time comparison as a statistical benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::{greedy_search, naive_greedy_search, two_step_search, EvalContext, GreedyOptions};
+use xmlshred_data::workload::{dblp_workload, Projections, Selectivity, WorkloadSpec};
+use xmlshred_shred::source_stats::SourceStats;
+
+fn bench_search(c: &mut Criterion) {
+    let scale = BenchScale(0.02);
+    let dataset = scale.dblp();
+    let config = scale.dblp_config();
+    let source = SourceStats::collect(&dataset.tree, &dataset.document);
+    let workload = dblp_workload(
+        &WorkloadSpec {
+            projections: Projections::Low,
+            selectivity: Selectivity::Low,
+            n_queries: 5,
+            seed: 17,
+        },
+        config.years,
+        config.n_conferences,
+    );
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload.queries,
+        space_budget: 1e12,
+    };
+
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("greedy", |b| {
+        b.iter(|| greedy_search(&ctx, &GreedyOptions::default()))
+    });
+    group.bench_function("greedy_no_derivation", |b| {
+        b.iter(|| {
+            greedy_search(
+                &ctx,
+                &GreedyOptions {
+                    cost_derivation: false,
+                    ..GreedyOptions::default()
+                },
+            )
+        })
+    });
+    group.bench_function("two_step", |b| b.iter(|| two_step_search(&ctx, 4)));
+    group.bench_function("naive_greedy", |b| b.iter(|| naive_greedy_search(&ctx, 2)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Microbenchmark: XPath parsing and XPath-to-SQL translation under the
+//! hybrid and fully split mappings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::schema::derive_schema;
+use xmlshred_shred::transform::fully_split;
+use xmlshred_translate::translate::translate;
+use xmlshred_xpath::parser::parse_path;
+
+const QUERY: &str =
+    "/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author | pages | ee)";
+
+fn bench_translation(c: &mut Criterion) {
+    let dataset = BenchScale(0.01).dblp();
+    let tree = &dataset.tree;
+    let hybrid = Mapping::hybrid(tree);
+    let hybrid_schema = derive_schema(tree, &hybrid);
+    let split = fully_split(tree, &|_| 5);
+    let split_schema = derive_schema(tree, &split);
+    let path = parse_path(QUERY).unwrap();
+
+    c.bench_function("xpath_parse", |b| {
+        b.iter(|| parse_path(black_box(QUERY)).unwrap())
+    });
+    c.bench_function("translate_hybrid", |b| {
+        b.iter(|| translate(tree, &hybrid, &hybrid_schema, black_box(&path)).unwrap())
+    });
+    c.bench_function("translate_fully_split", |b| {
+        b.iter(|| translate(tree, &split, &split_schema, black_box(&path)).unwrap())
+    });
+    c.bench_function("derive_schema_hybrid", |b| {
+        b.iter(|| derive_schema(tree, black_box(&hybrid)))
+    });
+    c.bench_function("derive_schema_fully_split", |b| {
+        b.iter(|| derive_schema(tree, black_box(&split)))
+    });
+}
+
+criterion_group!(benches, bench_translation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmark: one invocation of the physical design tool — the `P`
+//! factor in the paper's `O(|C|^2 P)` search complexity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::context::EvalContext;
+use xmlshred_core::physical::tune;
+use xmlshred_data::workload::{dblp_workload, Projections, Selectivity, WorkloadSpec};
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::source_stats::SourceStats;
+
+fn bench_tuning(c: &mut Criterion) {
+    let scale = BenchScale(0.05);
+    let dataset = scale.dblp();
+    let config = scale.dblp_config();
+    let source = SourceStats::collect(&dataset.tree, &dataset.document);
+    for (label, n_queries) in [("tune_5_queries", 5usize), ("tune_10_queries", 10)] {
+        let workload = dblp_workload(
+            &WorkloadSpec {
+                projections: Projections::Low,
+                selectivity: Selectivity::Low,
+                n_queries,
+                seed: 3,
+            },
+            config.years,
+            config.n_conferences,
+        );
+        let ctx = EvalContext {
+            tree: &dataset.tree,
+            source: &source,
+            workload: &workload.queries,
+            space_budget: 1e12,
+        };
+        let prepared = ctx.prepare(&Mapping::hybrid(&dataset.tree));
+        let translated = prepared.translated(&workload.queries);
+        let queries: Vec<(&xmlshred_rel::sql::SqlQuery, f64)> =
+            translated.iter().map(|(_, q, w)| (*q, *w)).collect();
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                tune(
+                    &prepared.catalog,
+                    &prepared.stats,
+                    black_box(&queries),
+                    1e12,
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p xmlshred-bench --bin reproduce -- all
+//! cargo run --release -p xmlshred-bench --bin reproduce -- fig4
+//! XMLSHRED_SCALE=0.2 cargo run --release -p xmlshred-bench --bin reproduce -- fig7
+//! ```
+//!
+//! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
+//! evaluation run), `fig7`, `fig8`, `fig9`, `all`. The `XMLSHRED_SCALE`
+//! environment variable (or `--scale X`) scales the dataset sizes;
+//! normalized figures are scale-stable.
+
+use std::time::Instant;
+use xmlshred_bench::harness::BenchScale;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = BenchScale::from_env();
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if pos + 1 < args.len() {
+            if let Ok(s) = args[pos + 1].parse::<f64>() {
+                scale = BenchScale(s);
+            }
+            args.drain(pos..=pos + 1);
+        } else {
+            args.remove(pos);
+        }
+    }
+    let experiment = args.first().map(String::as_str).unwrap_or("all");
+
+    println!(
+        "xmlshred reproduction harness — experiment '{experiment}', scale {:.2}",
+        scale.0
+    );
+    let start = Instant::now();
+    match xmlshred_bench::experiments::run(experiment, scale) {
+        Ok(()) => println!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64()),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

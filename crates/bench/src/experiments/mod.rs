@@ -1,0 +1,37 @@
+//! The paper's experiments, one module per table/figure group.
+
+pub mod ablations;
+pub mod evaluation;
+pub mod motivating;
+pub mod table1;
+pub mod updates;
+
+use crate::harness::BenchScale;
+
+/// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
+/// `fig5`, `fig6` (the three share one evaluation run, so each prints all
+/// three), `fig7`, `fig8`, `fig9`, `all`.
+pub fn run(id: &str, scale: BenchScale) -> Result<(), String> {
+    match id {
+        "table1" => table1::run(scale),
+        "motivating" => motivating::run(scale),
+        "fig4" | "fig5" | "fig6" | "eval" => evaluation::run(scale),
+        "fig7" => ablations::fig7(scale),
+        "updates" => updates::run(scale),
+        "fig8" => ablations::fig8(scale),
+        "fig9" => ablations::fig9(scale),
+        "all" => {
+            table1::run(scale)?;
+            motivating::run(scale)?;
+            evaluation::run(scale)?;
+            ablations::fig7(scale)?;
+            ablations::fig8(scale)?;
+            ablations::fig9(scale)?;
+            updates::run(scale)?;
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 all"
+        )),
+    }
+}

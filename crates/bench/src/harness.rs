@@ -1,0 +1,227 @@
+//! Shared machinery: scaled datasets, workload suites, algorithm runners,
+//! and text-table rendering.
+
+use std::time::Duration;
+use xmlshred_core::quality::{measure_quality, measure_quality_with_tuning, QualityReport};
+use xmlshred_core::{
+    greedy_search, naive_greedy_search, two_step_search, AdvisorOutcome, EvalContext,
+    GreedyOptions,
+};
+use xmlshred_data::dblp::{generate_dblp, DblpConfig};
+use xmlshred_data::movie::{generate_movie, MovieConfig};
+use xmlshred_data::workload::Workload;
+use xmlshred_data::Dataset;
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::source_stats::SourceStats;
+
+/// Scale factor for dataset sizes (1.0 = the default bench scale, roughly a
+/// third of the paper's 100 MB; the figures report ratios, which are scale
+/// stable).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale(pub f64);
+
+impl BenchScale {
+    /// Read from the `XMLSHRED_SCALE` environment variable (default 1.0).
+    pub fn from_env() -> Self {
+        BenchScale(
+            std::env::var("XMLSHRED_SCALE")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1.0),
+        )
+    }
+
+    fn apply(&self, n: usize) -> usize {
+        ((n as f64 * self.0) as usize).max(50)
+    }
+
+    /// The DBLP generator configuration at this scale.
+    pub fn dblp_config(&self) -> DblpConfig {
+        DblpConfig {
+            n_inproceedings: self.apply(20_000),
+            n_books: self.apply(2_000),
+            ..DblpConfig::default()
+        }
+    }
+
+    /// The Movie generator configuration at this scale.
+    pub fn movie_config(&self) -> MovieConfig {
+        MovieConfig {
+            n_movies: self.apply(30_000),
+            ..MovieConfig::default()
+        }
+    }
+
+    /// Generate the DBLP dataset.
+    pub fn dblp(&self) -> Dataset {
+        generate_dblp(&self.dblp_config())
+    }
+
+    /// Generate the Movie dataset.
+    pub fn movie(&self) -> Dataset {
+        generate_movie(&self.movie_config())
+    }
+}
+
+/// The paper's storage bound: data plus physical structures within 3x the
+/// data size (Section 1.1 uses 300 MB for 100 MB of data).
+pub fn space_budget(dataset: &Dataset) -> f64 {
+    3.0 * dataset.approx_bytes() as f64
+}
+
+/// One algorithm's run on one workload: search outcome plus measured
+/// quality.
+pub struct EvalRun {
+    /// Algorithm name (`Greedy`, `Naive-Greedy`, `Two-Step`).
+    pub algorithm: &'static str,
+    /// Search outcome.
+    pub outcome: AdvisorOutcome,
+    /// Measured execution quality of the recommendation.
+    pub quality: QualityReport,
+}
+
+/// The hybrid-inlining baseline (tuned), which Fig. 4 normalizes against.
+pub fn hybrid_baseline(dataset: &Dataset, workload: &Workload, budget: f64) -> QualityReport {
+    measure_quality_with_tuning(
+        &dataset.tree,
+        &dataset.document,
+        &workload.queries,
+        &Mapping::hybrid(&dataset.tree),
+        budget,
+    )
+}
+
+/// Which algorithms to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    Greedy,
+    NaiveGreedy,
+    TwoStep,
+}
+
+/// Run the selected algorithms on one workload.
+pub fn run_algorithms(
+    dataset: &Dataset,
+    source: &SourceStats,
+    workload: &Workload,
+    budget: f64,
+    algos: &[Algo],
+) -> Vec<EvalRun> {
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source,
+        workload: &workload.queries,
+        space_budget: budget,
+    };
+    algos
+        .iter()
+        .map(|algo| {
+            let (name, outcome): (&'static str, AdvisorOutcome) = match algo {
+                Algo::Greedy => ("Greedy", greedy_search(&ctx, &GreedyOptions::default())),
+                Algo::NaiveGreedy => ("Naive-Greedy", naive_greedy_search(&ctx, 3)),
+                Algo::TwoStep => ("Two-Step", two_step_search(&ctx, 6)),
+            };
+            let quality = measure_quality(
+                &dataset.tree,
+                &dataset.document,
+                &workload.queries,
+                &outcome.mapping,
+                &outcome.config,
+            );
+            EvalRun {
+                algorithm: name,
+                outcome,
+                quality,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- rendering --
+
+/// Render an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    line(&header_cells, &widths, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Format a duration in human units.
+pub fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{:.1}ms", secs * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[vec!["xxx".into(), "y".into()], vec!["1".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a  "));
+    }
+
+    #[test]
+    fn scale_applies_floor() {
+        let s = BenchScale(0.0001);
+        assert_eq!(s.apply(20_000), 50);
+    }
+
+    #[test]
+    fn tiny_end_to_end_run() {
+        let scale = BenchScale(0.01);
+        let dataset = scale.movie();
+        let source = SourceStats::collect(&dataset.tree, &dataset.document);
+        let workload = xmlshred_data::workload::movie_workload(
+            &xmlshred_data::workload::WorkloadSpec {
+                projections: xmlshred_data::workload::Projections::Low,
+                selectivity: xmlshred_data::workload::Selectivity::Low,
+                n_queries: 3,
+                seed: 1,
+            },
+            (1950, 2004),
+            25,
+        );
+        let budget = space_budget(&dataset);
+        let runs = run_algorithms(&dataset, &source, &workload, budget, &[Algo::Greedy]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].quality.skipped, 0);
+    }
+}

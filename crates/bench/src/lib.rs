@@ -1,0 +1,13 @@
+//! Benchmark harness: shared machinery for regenerating every table and
+//! figure of the paper's evaluation (Section 5). See DESIGN.md for the
+//! per-experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results.
+//!
+//! The `reproduce` binary drives the [`experiments`]; the Criterion benches
+//! under `benches/` exercise the hot components (translation, planning,
+//! tuning, execution, search) in isolation.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{BenchScale, EvalRun};

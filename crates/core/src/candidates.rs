@@ -1,0 +1,509 @@
+//! Workload-based candidate selection (Section 4.5) and the repetition
+//! split count choice (Section 4.6).
+//!
+//! Each query is analyzed individually:
+//!
+//! * a union distribution / implicit union / type split is selected only if
+//!   the query would access at most half of the partitions it generates;
+//! * a repetition split is selected for a set-valued element the query
+//!   projects, when the cardinality statistics admit a good count
+//!   (`c_max = 5`, 80% quantile);
+//! * subsumed transformations are never selected (they are covered by the
+//!   physical design tool's covering indexes — Section 4.3).
+//!
+//! Merge-type counterparts of every selected split are also produced so the
+//! greedy search can undo splits that do not pay off, along with the type
+//! merges (including deep merges enabled by inlining) that the workload's
+//! tables make relevant.
+
+use crate::moves::SearchMove;
+use rustc_hash::FxHashSet;
+use xmlshred_shred::mapping::{Mapping, PartitionDim};
+use xmlshred_shred::source_stats::SourceStats;
+use xmlshred_shred::transform::{enumerate_transformations, Transformation, TransformationKind};
+use xmlshred_translate::resolve::{apply_step, resolve_context};
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+use xmlshred_xpath::ast::Path;
+
+/// `c_max` of Section 4.6.
+pub const REP_SPLIT_CMAX: usize = 5;
+/// The quantile (`x = 80%`) of Section 4.6.
+pub const REP_SPLIT_QUANTILE: f64 = 0.8;
+
+/// The candidates chosen for a workload.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateSet {
+    /// Split-type transformations, applied all at once to build the initial
+    /// mapping `M0` (line 2 of Fig. 3).
+    pub splits: Vec<Transformation>,
+    /// Merge-type moves considered during the greedy descent.
+    pub merges: Vec<SearchMove>,
+}
+
+/// Per-query referenced leaves.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLeaves {
+    /// The context node, when resolvable.
+    pub context: Option<NodeId>,
+    /// Projection leaf nodes.
+    pub projections: Vec<NodeId>,
+    /// Selection leaf nodes.
+    pub selections: Vec<NodeId>,
+}
+
+/// Resolve the leaves a query references against the schema tree.
+pub fn query_leaves(tree: &SchemaTree, path: &Path) -> QueryLeaves {
+    let Some(context) = resolve_context(tree, &path.steps) else {
+        return QueryLeaves::default();
+    };
+    let mut projections = Vec::new();
+    if let Some(last) = path.steps.last() {
+        projections = apply_step(tree, context, last)
+            .into_iter()
+            .filter(|&p| tree.is_leaf_element(p))
+            .collect();
+    }
+    let mut selections = Vec::new();
+    for step in &path.steps {
+        for predicate in &step.predicates {
+            let mut matched = vec![context];
+            for pstep in &predicate.path {
+                let mut next = Vec::new();
+                for &node in &matched {
+                    next.extend(apply_step(tree, node, pstep));
+                }
+                matched = next;
+            }
+            selections.extend(matched.into_iter().filter(|&l| tree.is_leaf_element(l)));
+        }
+    }
+    QueryLeaves {
+        context: Some(context),
+        projections,
+        selections,
+    }
+}
+
+/// Select candidates for the workload (Section 4.5).
+pub fn select_candidates(
+    tree: &SchemaTree,
+    base: &Mapping,
+    source: &SourceStats,
+    workload: &[(Path, f64)],
+) -> CandidateSet {
+    let leaves: Vec<QueryLeaves> = workload
+        .iter()
+        .map(|(path, _)| query_leaves(tree, path))
+        .collect();
+
+    let mut splits: Vec<Transformation> = Vec::new();
+    let mut seen_split: FxHashSet<String> = FxHashSet::default();
+    let mut push_split = |t: Transformation, splits: &mut Vec<Transformation>| {
+        let key = format!("{t:?}");
+        if seen_split.insert(key) {
+            splits.push(t);
+        }
+    };
+
+    for q in &leaves {
+        if q.context.is_none() {
+            continue;
+        }
+        let referenced: Vec<NodeId> = q
+            .projections
+            .iter()
+            .chain(&q.selections)
+            .copied()
+            .collect();
+
+        // Union distribution over explicit choices.
+        for node in tree.node_ids() {
+            match tree.node(node).kind {
+                NodeKind::Choice => {
+                    let Some(anchor_tag) = tree.parent_tag(node) else {
+                        continue;
+                    };
+                    let anchor = base.anchor_of(tree, anchor_tag);
+                    if !query_touches_anchor(tree, base, q, anchor) {
+                        continue;
+                    }
+                    let dim = PartitionDim::Choice(node);
+                    let accessed = accessed_partitions(tree, &dim, q);
+                    let total = dim.arity(tree);
+                    if accessed * 2 <= total && accessed > 0 {
+                        push_split(
+                            Transformation::UnionDistribute { anchor, dim },
+                            &mut splits,
+                        );
+                    }
+                }
+                NodeKind::Optional => {
+                    let Some(anchor_tag) = tree.parent_tag(node) else {
+                        continue;
+                    };
+                    let anchor = base.anchor_of(tree, anchor_tag);
+                    if !query_touches_anchor(tree, base, q, anchor) {
+                        continue;
+                    }
+                    let dim = PartitionDim::Optionals(vec![node]);
+                    let accessed = accessed_partitions(tree, &dim, q);
+                    if accessed == 1 {
+                        push_split(
+                            Transformation::UnionDistribute { anchor, dim },
+                            &mut splits,
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Repetition split for projected set-valued leaves (translation
+        // restricts selections to single-valued leaves, so only projections
+        // are considered here; see DESIGN.md).
+        for &leaf in &q.projections {
+            let Some(star) = tree.parent(leaf) else {
+                continue;
+            };
+            if !matches!(tree.node(star).kind, NodeKind::Repetition) {
+                continue;
+            }
+            if !tree.is_leaf_element(leaf) {
+                continue;
+            }
+            if let Some(count) =
+                source.choose_split_count(star, REP_SPLIT_CMAX, REP_SPLIT_QUANTILE)
+            {
+                push_split(
+                    Transformation::RepetitionSplit { star, count },
+                    &mut splits,
+                );
+            }
+        }
+
+        // Type split: the query uses one occurrence of a shared annotation.
+        for (_name, nodes) in base.annotation_groups(tree) {
+            if nodes.len() < 2 {
+                continue;
+            }
+            let used: Vec<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    referenced
+                        .iter()
+                        .any(|&leaf| base.anchor_of(tree, leaf) == n)
+                        || q.context == Some(n)
+                })
+                .collect();
+            if used.len() * 2 <= nodes.len() && !used.is_empty() {
+                for node in used {
+                    push_split(
+                        Transformation::TypeSplit {
+                            node,
+                            new_name: format!(
+                                "{}_{}",
+                                base.annotation(tree, node).unwrap_or("t"),
+                                node.0
+                            ),
+                        },
+                        &mut splits,
+                    );
+                }
+            }
+        }
+    }
+
+    // Merge-type counterparts: the inverse of every selected split.
+    let mut merges: Vec<SearchMove> = Vec::new();
+    for split in &splits {
+        let inverse = match split {
+            Transformation::UnionDistribute { anchor, dim } => {
+                Some(Transformation::UnionFactorize {
+                    anchor: *anchor,
+                    dim: dim.clone(),
+                })
+            }
+            Transformation::RepetitionSplit { star, .. } => {
+                Some(Transformation::RepetitionMerge { star: *star })
+            }
+            Transformation::TypeSplit { node, .. } => {
+                // Merging back: re-join the node with its original group.
+                base.annotation(tree, *node).and_then(|name| {
+                    let group = base.annotation_groups(tree).remove(name)?;
+                    (group.len() >= 2).then(|| Transformation::TypeMerge {
+                        nodes: group,
+                        name: name.to_string(),
+                    })
+                })
+            }
+            _ => None,
+        };
+        if let Some(t) = inverse {
+            merges.push(SearchMove::One(t));
+        }
+    }
+
+    // Type merges relevant to the workload (including deep merges enabled
+    // by inlining, Section 4.3 — identifying them costs no optimizer call).
+    let workload_tags: FxHashSet<&str> = leaves
+        .iter()
+        .flat_map(|q| {
+            q.projections
+                .iter()
+                .chain(&q.selections)
+                .chain(q.context.iter())
+        })
+        .filter_map(|&n| tree.node(n).kind.tag_name())
+        .collect();
+    for t in enumerate_transformations(tree, base, &|_| REP_SPLIT_CMAX) {
+        if t.kind() == TransformationKind::TypeMerge {
+            if let Transformation::TypeMerge { nodes, .. } = &t {
+                let relevant = nodes
+                    .iter()
+                    .any(|&n| tree.node(n).kind.tag_name().is_some_and(|tag| workload_tags.contains(tag)));
+                if relevant {
+                    merges.push(SearchMove::One(t));
+                }
+            }
+        }
+    }
+
+    CandidateSet { splits, merges }
+}
+
+/// Does the query reference the table anchored at `anchor` (context or any
+/// leaf)?
+fn query_touches_anchor(
+    tree: &SchemaTree,
+    base: &Mapping,
+    q: &QueryLeaves,
+    anchor: NodeId,
+) -> bool {
+    if q.context.map(|c| base.anchor_of(tree, c)) == Some(anchor) {
+        return true;
+    }
+    q.projections
+        .iter()
+        .chain(&q.selections)
+        .any(|&leaf| base.anchor_of(tree, leaf) == anchor)
+}
+
+/// How many partitions of `dim` must the query access? A partition is
+/// accessed when every selection leaf is available in it and at least one
+/// projection is.
+pub fn accessed_partitions(tree: &SchemaTree, dim: &PartitionDim, q: &QueryLeaves) -> usize {
+    let total = dim.arity(tree);
+    let mut accessed = 0;
+    for alt in 0..total {
+        let available = |leaf: NodeId| leaf_available(tree, dim, alt, leaf);
+        let selections_ok = q.selections.iter().all(|&l| available(l));
+        let any_projection = q.projections.iter().any(|&l| available(l))
+            || q.projections.is_empty();
+        if selections_ok && any_projection {
+            accessed += 1;
+        }
+    }
+    accessed
+}
+
+/// Is `leaf` available in partition `alt` of `dim`?
+fn leaf_available(tree: &SchemaTree, dim: &PartitionDim, alt: usize, leaf: NodeId) -> bool {
+    match dim {
+        PartitionDim::Choice(choice) => {
+            // Find the branch (direct child of the choice) the leaf sits
+            // under, if any.
+            let selected = tree.children(*choice)[alt];
+            let mut current = Some(leaf);
+            while let Some(node) = current {
+                if tree.parent(node) == Some(*choice) {
+                    return node == selected;
+                }
+                current = tree.parent(node);
+            }
+            true // not under the choice: available everywhere
+        }
+        PartitionDim::Optionals(optionals) => {
+            if alt == 0 {
+                return true; // the "any present" partition keeps columns
+            }
+            // "rest" partition: leaves under any covered optional are gone.
+            let mut current = Some(leaf);
+            while let Some(node) = current {
+                if optionals.contains(&node) {
+                    return false;
+                }
+                current = tree.parent(node);
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlshred_shred::mapping::fixtures::movie_tree;
+    use xmlshred_xml::parser::parse_element;
+    use xmlshred_xpath::parser::parse_path;
+
+    fn source_for(doc: &str) -> (xmlshred_shred::mapping::fixtures::MovieTree, SourceStats) {
+        let f = movie_tree();
+        let root = parse_element(doc).unwrap();
+        let stats = SourceStats::collect(&f.tree, &root);
+        (f, stats)
+    }
+
+    fn movies_doc() -> String {
+        let mut s = String::from("<movies>");
+        for i in 0..100 {
+            s.push_str(&format!("<movie><title>M{i}</title><year>{}</year>", 1990 + i % 10));
+            for a in 0..(i % 4) {
+                s.push_str(&format!("<aka_title>a{a}</aka_title>"));
+            }
+            if i % 2 == 0 {
+                s.push_str("<avg_rating>7.0</avg_rating>");
+            }
+            if i % 10 < 7 {
+                s.push_str("<box_office>10</box_office>");
+            } else {
+                s.push_str("<seasons>3</seasons>");
+            }
+            s.push_str("</movie>");
+        }
+        s.push_str("</movies>");
+        s
+    }
+
+    #[test]
+    fn choice_distribution_selected_for_one_branch_query() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![(parse_path("//movie[year = 1995]/box_office").unwrap(), 1.0)];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        assert!(set.splits.iter().any(|t| matches!(
+            t,
+            Transformation::UnionDistribute {
+                dim: PartitionDim::Choice(c),
+                ..
+            } if *c == f.choice
+        )));
+    }
+
+    #[test]
+    fn choice_distribution_not_selected_when_both_branches_needed() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![(
+            parse_path("//movie/(box_office | seasons)").unwrap(),
+            1.0,
+        )];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        assert!(!set.splits.iter().any(|t| matches!(
+            t,
+            Transformation::UnionDistribute {
+                dim: PartitionDim::Choice(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn implicit_union_selected_for_optional_projection() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![(parse_path("//movie/avg_rating").unwrap(), 1.0)];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        assert!(set.splits.iter().any(|t| matches!(
+            t,
+            Transformation::UnionDistribute {
+                dim: PartitionDim::Optionals(list),
+                ..
+            } if list == &vec![f.rating_opt]
+        )));
+    }
+
+    #[test]
+    fn implicit_union_not_selected_when_query_ignores_optional() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![(parse_path("//movie/title").unwrap(), 1.0)];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        // //movie/title accesses both partitions of an implicit union on
+        // avg_rating (title lives in both), so no candidate.
+        assert!(!set.splits.iter().any(|t| matches!(
+            t,
+            Transformation::UnionDistribute {
+                dim: PartitionDim::Optionals(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rep_split_selected_for_projected_repetition() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![(parse_path("//movie/aka_title").unwrap(), 1.0)];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        let split = set.splits.iter().find_map(|t| match t {
+            Transformation::RepetitionSplit { star, count } if *star == f.aka_star => {
+                Some(*count)
+            }
+            _ => None,
+        });
+        // Cardinalities cycle 0..3 -> max 3 <= c_max -> split at 3.
+        assert_eq!(split, Some(3));
+    }
+
+    #[test]
+    fn merges_contain_inverses() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![
+            (parse_path("//movie/aka_title").unwrap(), 1.0),
+            (parse_path("//movie[year = 1995]/box_office").unwrap(), 1.0),
+        ];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        assert!(set
+            .merges
+            .iter()
+            .any(|m| matches!(m, SearchMove::One(Transformation::RepetitionMerge { .. }))));
+        assert!(set
+            .merges
+            .iter()
+            .any(|m| matches!(m, SearchMove::One(Transformation::UnionFactorize { .. }))));
+    }
+
+    #[test]
+    fn subsumed_transformations_never_selected() {
+        let (f, source) = source_for(&movies_doc());
+        let base = Mapping::hybrid(&f.tree);
+        let workload = vec![(parse_path("//movie/(title | year)").unwrap(), 1.0)];
+        let set = select_candidates(&f.tree, &base, &source, &workload);
+        for t in &set.splits {
+            assert!(!t.kind().is_subsumed(), "{t:?}");
+        }
+        for m in &set.merges {
+            assert!(!m.kind().is_subsumed(), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn accessed_partition_counting() {
+        let f = movie_tree();
+        let q = QueryLeaves {
+            context: Some(f.movie),
+            projections: vec![f.box_office],
+            selections: vec![f.year],
+        };
+        let dim = PartitionDim::Choice(f.choice);
+        assert_eq!(accessed_partitions(&f.tree, &dim, &q), 1);
+        let q_both = QueryLeaves {
+            context: Some(f.movie),
+            projections: vec![f.box_office, f.seasons],
+            selections: vec![],
+        };
+        assert_eq!(accessed_partitions(&f.tree, &dim, &q_both), 2);
+    }
+}

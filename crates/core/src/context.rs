@@ -1,0 +1,141 @@
+//! Evaluation context: everything needed to cost a mapping without loading
+//! data.
+
+use xmlshred_rel::catalog::Catalog;
+use xmlshred_rel::sql::SqlQuery;
+use xmlshred_rel::stats::TableStats;
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::schema::{derive_schema, DerivedSchema};
+use xmlshred_shred::source_stats::SourceStats;
+use xmlshred_shred::stats_derive::derive_table_stats;
+use xmlshred_translate::assemble::ResultShape;
+use xmlshred_translate::translate::translate;
+use xmlshred_xml::tree::{NodeId, SchemaTree};
+use xmlshred_xpath::ast::Path;
+
+/// Immutable inputs of a search: the schema tree, the one-pass source
+/// statistics, the workload, and the storage budget for physical structures.
+pub struct EvalContext<'a> {
+    /// The schema tree.
+    pub tree: &'a SchemaTree,
+    /// Source statistics collected from the data (Section 4.1).
+    pub source: &'a SourceStats,
+    /// The XPath workload with weights.
+    pub workload: &'a [(Path, f64)],
+    /// Storage budget in bytes for indexes and materialized views.
+    pub space_budget: f64,
+}
+
+/// A mapping prepared for costing: derived schema, catalog, statistics, and
+/// the translated workload.
+pub struct PreparedMapping {
+    /// The relational schema.
+    pub schema: DerivedSchema,
+    /// Engine catalog (tables in `schema` order, so translated `TableId`s
+    /// line up).
+    pub catalog: Catalog,
+    /// Derived per-table statistics (no data touched).
+    pub stats: Vec<TableStats>,
+    /// Per workload query: the translated SQL (`None` when the query is
+    /// outside the translatable class under this mapping) plus its shape.
+    pub queries: Vec<Option<(SqlQuery, ResultShape)>>,
+}
+
+impl PreparedMapping {
+    /// Weighted `(query, weight)` pairs of the translatable queries, with
+    /// their workload indices.
+    pub fn translated(&self, weights: &[(Path, f64)]) -> Vec<(usize, &SqlQuery, f64)> {
+        self.queries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, q)| q.as_ref().map(|(sql, _)| (i, sql, weights[i].1)))
+            .collect()
+    }
+
+    /// Annotations (logical tables) each query touches, used by the
+    /// irrelevant-relation rule of cost derivation.
+    pub fn touched_tables(&self, query_index: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some((sql, _)) = &self.queries[query_index] {
+            for branch in sql.branches() {
+                for &table in &branch.tables {
+                    out.push(self.catalog.table(table).name.clone());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl EvalContext<'_> {
+    /// Derive schema, catalog, statistics, and translations for `mapping`.
+    pub fn prepare(&self, mapping: &Mapping) -> PreparedMapping {
+        let schema = derive_schema(self.tree, mapping);
+        let mut catalog = Catalog::new();
+        for def in schema.to_table_defs() {
+            catalog
+                .add_table(def)
+                .expect("derived schema has unique table names");
+        }
+        let stats = derive_table_stats(self.tree, mapping, &schema, self.source);
+        let queries = self
+            .workload
+            .iter()
+            .map(|(path, _)| {
+                translate(self.tree, mapping, &schema, path)
+                    .ok()
+                    .map(|t| (t.sql, t.shape))
+            })
+            .collect();
+        PreparedMapping {
+            schema,
+            catalog,
+            stats,
+            queries,
+        }
+    }
+
+    /// The Section 4.6 split count for a `*` node (`c_max = 5`, 80%
+    /// quantile), falling back to the default when statistics are silent.
+    pub fn split_count(&self, star: NodeId) -> usize {
+        self.source
+            .choose_split_count(star, crate::candidates::REP_SPLIT_CMAX, 0.8)
+            .unwrap_or(xmlshred_shred::transform::DEFAULT_SPLIT_COUNT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlshred_data::movie::{generate_movie, MovieConfig};
+    use xmlshred_xpath::parser::parse_path;
+
+    #[test]
+    fn prepare_hybrid_movie() {
+        let ds = generate_movie(&MovieConfig {
+            n_movies: 300,
+            ..MovieConfig::default()
+        });
+        let source = SourceStats::collect(&ds.tree, &ds.document);
+        let workload = vec![
+            (parse_path("//movie[year = 1990]/(title | genre)").unwrap(), 1.0),
+            (parse_path("//movie/aka_title").unwrap(), 1.0),
+        ];
+        let ctx = EvalContext {
+            tree: &ds.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e9,
+        };
+        let prepared = ctx.prepare(&Mapping::hybrid(&ds.tree));
+        assert_eq!(prepared.queries.len(), 2);
+        assert!(prepared.queries.iter().all(Option::is_some));
+        assert_eq!(prepared.catalog.len(), prepared.schema.tables.len());
+        let touched = prepared.touched_tables(0);
+        assert!(touched.contains(&"movie".to_string()));
+        let translated = prepared.translated(&workload);
+        assert_eq!(translated.len(), 2);
+    }
+}

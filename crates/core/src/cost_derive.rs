@@ -1,0 +1,294 @@
+//! Cost derivation (Section 4.8): reuse per-query costs across enumerated
+//! mappings instead of re-invoking the physical design tool.
+//!
+//! A transformation changes one or two relations; most queries' costs are
+//! unaffected. Three rules decide when `I(Q, M') = I(Q, M)` (same relational
+//! objects, hence same plan and cost):
+//!
+//! * **Irrelevant relation rule** — the move changes no relation the query
+//!   refers to.
+//! * **Repetition-split rule** — the move is a repetition split/merge over
+//!   `v` and the query's SQL does not refer to `v`.
+//! * **Union / type rule** — the move repartitions a relation the query
+//!   refers to, but either the query refers to all partitions with no
+//!   joins over them, or a repetition split on that relation keeps it
+//!   nearly empty.
+//!
+//! The rules are heuristics; following the paper, the greedy search only
+//! uses them when *comparing* enumerated mappings (line 11 of Fig. 3) and
+//! re-estimates the chosen mapping exactly (line 18).
+
+use crate::candidates::QueryLeaves;
+use crate::context::PreparedMapping;
+use crate::moves::SearchMove;
+use rustc_hash::FxHashSet;
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::transform::Transformation;
+use xmlshred_xml::tree::{NodeId, SchemaTree};
+
+/// Inputs for the derivation decision, all relative to the *current*
+/// mapping `M`.
+pub struct DerivationContext<'a> {
+    /// The schema tree.
+    pub tree: &'a SchemaTree,
+    /// The current mapping.
+    pub mapping: &'a Mapping,
+    /// Its prepared form.
+    pub prepared: &'a PreparedMapping,
+    /// Per-query referenced leaves (tree-level, mapping independent).
+    pub query_leaves: &'a [QueryLeaves],
+}
+
+impl DerivationContext<'_> {
+    /// Can query `qi`'s cost under `M' = mv(M)` be derived from its cost
+    /// under `M`?
+    pub fn derivable(&self, mv: &SearchMove, qi: usize) -> bool {
+        let changed = self.changed_annotations(mv);
+        let touched = self.touched_annotations(qi);
+        // Irrelevant relation rule.
+        if changed.iter().all(|a| !touched.contains(a)) {
+            return true;
+        }
+        match mv {
+            SearchMove::One(Transformation::RepetitionSplit { star, .. })
+            | SearchMove::One(Transformation::RepetitionMerge { star }) => {
+                // Repetition-split rule: the repeated leaf is not referred
+                // to by the query.
+                let leaf = self.tree.children(*star)[0];
+                let q = &self.query_leaves[qi];
+                !q.projections.contains(&leaf) && !q.selections.contains(&leaf)
+            }
+            SearchMove::One(Transformation::UnionDistribute { anchor, .. })
+            | SearchMove::One(Transformation::UnionFactorize { anchor, .. })
+            | SearchMove::MergeDims { anchor, .. } => {
+                // Union rule, condition 2: a repetition split on the
+                // relation keeps the partitioned table nearly empty.
+                let rep_split_on_anchor = self.mapping.rep_splits.keys().any(|&star| {
+                    self.tree
+                        .parent_tag(star)
+                        .map(|t| self.mapping.anchor_of(self.tree, t))
+                        == Some(*anchor)
+                });
+                if rep_split_on_anchor {
+                    return true;
+                }
+                // Union rule, condition 1: the query refers to all
+                // partitions and none participates in joins.
+                self.touches_all_partitions_without_joins(qi, *anchor)
+            }
+            SearchMove::One(Transformation::TypeSplit { .. })
+            | SearchMove::One(Transformation::TypeMerge { .. }) => {
+                // Type rule: same conditions as the union rule; we only
+                // apply the (cheap, conservative) no-join variant.
+                self.branches_without_joins(qi)
+            }
+            _ => false,
+        }
+    }
+
+    /// Annotation names of relations the move changes.
+    fn changed_annotations(&self, mv: &SearchMove) -> Vec<String> {
+        let anchors: Vec<NodeId> = mv.changed_anchors(self.tree, self.mapping);
+        let mut out: Vec<String> = anchors
+            .into_iter()
+            .filter_map(|a| {
+                self.mapping
+                    .annotation(self.tree, a)
+                    .map(str::to_string)
+                    .or_else(|| {
+                        // Unannotated node: its table is the anchor's.
+                        let anchor = self.mapping.anchor_of(self.tree, a);
+                        self.mapping
+                            .annotation(self.tree, anchor)
+                            .map(str::to_string)
+                    })
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Annotation names of relations query `qi` refers to under `M`.
+    fn touched_annotations(&self, qi: usize) -> FxHashSet<String> {
+        let names = self.prepared.touched_tables(qi);
+        names
+            .into_iter()
+            .filter_map(|name| {
+                self.prepared
+                    .schema
+                    .table_by_name(&name)
+                    .map(|t| t.annotation.clone())
+            })
+            .collect()
+    }
+
+    fn touches_all_partitions_without_joins(&self, qi: usize, anchor: NodeId) -> bool {
+        let Some((sql, _)) = &self.prepared.queries[qi] else {
+            return false;
+        };
+        // All partitions of the anchor appear among the query's tables.
+        let partition_names: FxHashSet<&str> = self
+            .prepared
+            .schema
+            .tables_of_anchor(anchor)
+            .iter()
+            .map(|&t| self.prepared.schema.tables[t].name.as_str())
+            .collect();
+        let mut seen: FxHashSet<&str> = FxHashSet::default();
+        for branch in sql.branches() {
+            for &table in &branch.tables {
+                let name = &self.prepared.catalog.table(table).name;
+                if partition_names.contains(name.as_str()) {
+                    if !branch.joins.is_empty() {
+                        return false; // a partition participates in a join
+                    }
+                    seen.insert(
+                        partition_names
+                            .get(name.as_str())
+                            .copied()
+                            .expect("present"),
+                    );
+                }
+            }
+        }
+        seen.len() == partition_names.len()
+    }
+
+    fn branches_without_joins(&self, qi: usize) -> bool {
+        let Some((sql, _)) = &self.prepared.queries[qi] else {
+            return false;
+        };
+        sql.branches().iter().all(|b| b.joins.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::query_leaves;
+    use crate::context::EvalContext;
+    use xmlshred_shred::mapping::{fixtures::movie_tree, PartitionDim};
+    use xmlshred_shred::source_stats::SourceStats;
+    use xmlshred_xml::parser::parse_element;
+    use xmlshred_xpath::parser::parse_path;
+
+    fn doc() -> String {
+        let mut s = String::from("<movies>");
+        for i in 0..50 {
+            s.push_str(&format!(
+                "<movie><title>M{i}</title><year>2000</year><aka_title>a</aka_title>\
+                 <box_office>1</box_office></movie>"
+            ));
+        }
+        s.push_str("</movies>");
+        s
+    }
+
+    #[test]
+    fn irrelevant_relation_rule() {
+        let f = movie_tree();
+        let root = parse_element(&doc()).unwrap();
+        let source = SourceStats::collect(&f.tree, &root);
+        let workload = vec![
+            (parse_path("//movie/title").unwrap(), 1.0),
+            (parse_path("//movie/aka_title").unwrap(), 1.0),
+        ];
+        let ctx = EvalContext {
+            tree: &f.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e9,
+        };
+        let mapping = Mapping::hybrid(&f.tree);
+        let prepared = ctx.prepare(&mapping);
+        let leaves: Vec<QueryLeaves> = workload
+            .iter()
+            .map(|(p, _)| query_leaves(&f.tree, p))
+            .collect();
+        let dctx = DerivationContext {
+            tree: &f.tree,
+            mapping: &mapping,
+            prepared: &prepared,
+            query_leaves: &leaves,
+        };
+        // Splitting aka_title changes movie (rep-split columns) and
+        // aka_title tables; //movie/title touches movie -> the irrelevant
+        // rule does NOT fire, but the repetition-split rule does (title
+        // query does not refer to aka_title).
+        let mv = SearchMove::One(Transformation::RepetitionSplit {
+            star: f.aka_star,
+            count: 2,
+        });
+        assert!(dctx.derivable(&mv, 0));
+        // The aka_title query refers to the split leaf: not derivable.
+        assert!(!dctx.derivable(&mv, 1));
+    }
+
+    #[test]
+    fn union_rule_with_rep_split() {
+        let f = movie_tree();
+        let root = parse_element(&doc()).unwrap();
+        let source = SourceStats::collect(&f.tree, &root);
+        let workload = vec![(parse_path("//movie/(box_office | seasons)").unwrap(), 1.0)];
+        let ctx = EvalContext {
+            tree: &f.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e9,
+        };
+        let mut mapping = Mapping::hybrid(&f.tree);
+        mapping.rep_splits.insert(f.aka_star, 2);
+        let prepared = ctx.prepare(&mapping);
+        let leaves: Vec<QueryLeaves> = workload
+            .iter()
+            .map(|(p, _)| query_leaves(&f.tree, p))
+            .collect();
+        let dctx = DerivationContext {
+            tree: &f.tree,
+            mapping: &mapping,
+            prepared: &prepared,
+            query_leaves: &leaves,
+        };
+        let mv = SearchMove::One(Transformation::UnionDistribute {
+            anchor: f.movie,
+            dim: PartitionDim::Choice(f.choice),
+        });
+        // Rep split on movie's aka_title -> union rule condition 2 fires.
+        assert!(dctx.derivable(&mv, 0));
+    }
+
+    #[test]
+    fn union_rule_all_partitions_no_joins() {
+        let f = movie_tree();
+        let root = parse_element(&doc()).unwrap();
+        let source = SourceStats::collect(&f.tree, &root);
+        let workload = vec![(parse_path("//movie/(box_office | seasons)").unwrap(), 1.0)];
+        let ctx = EvalContext {
+            tree: &f.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e9,
+        };
+        // Current mapping already distributed: factorizing it back touches
+        // both partitions, which the query reads without joins.
+        let mut mapping = Mapping::hybrid(&f.tree);
+        mapping.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let prepared = ctx.prepare(&mapping);
+        let leaves: Vec<QueryLeaves> = workload
+            .iter()
+            .map(|(p, _)| query_leaves(&f.tree, p))
+            .collect();
+        let dctx = DerivationContext {
+            tree: &f.tree,
+            mapping: &mapping,
+            prepared: &prepared,
+            query_leaves: &leaves,
+        };
+        let mv = SearchMove::One(Transformation::UnionFactorize {
+            anchor: f.movie,
+            dim: PartitionDim::Choice(f.choice),
+        });
+        assert!(dctx.derivable(&mv, 0));
+    }
+}

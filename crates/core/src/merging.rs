@@ -1,0 +1,356 @@
+//! Candidate merging (Section 4.7).
+//!
+//! Candidate selection optimizes queries individually; merging implicit
+//! union candidates produces partitionings that help *several* queries at
+//! once (the paper's `year` / `avg_rating` example). Because there are
+//! `O(2^|C0|)` possible merges, a cost-based greedy pairs candidates using
+//! the heuristic I/O-saving model
+//!
+//! ```text
+//! s(ci, Q) = ((|R| - Σ_{Ri ∈ RA} |Ri|) / Σ_{Rj ∈ RS(Q)} |Rj|) · cost(Q)
+//! ```
+//!
+//! and keeps merging the best pair until no new candidate appears. The
+//! exhaustive variant (for the Fig. 8 ablation) enumerates every subset.
+
+use crate::candidates::{accessed_partitions, QueryLeaves};
+use crate::context::PreparedMapping;
+use crate::moves::SearchMove;
+use rustc_hash::FxHashMap;
+use xmlshred_shred::mapping::{Mapping, PartitionDim};
+use xmlshred_shred::source_stats::SourceStats;
+use xmlshred_xml::tree::{NodeId, SchemaTree};
+
+/// How merged candidates are produced (Fig. 8 compares the three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// The paper's cost-based greedy pairing.
+    Greedy,
+    /// Enumerate every subset (exponential; quality reference).
+    Exhaustive,
+    /// No merging (ablation baseline).
+    None,
+}
+
+/// Produce merged-candidate moves for the implicit-union dims active in
+/// `m0`.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_candidates(
+    tree: &SchemaTree,
+    source: &SourceStats,
+    m0: &Mapping,
+    prepared: &PreparedMapping,
+    query_leaves: &[QueryLeaves],
+    per_query_cost: &[f64],
+    weights: &[f64],
+    strategy: MergeStrategy,
+) -> Vec<SearchMove> {
+    if strategy == MergeStrategy::None {
+        return Vec::new();
+    }
+    // Collect active singleton implicit-union dims per anchor.
+    let mut per_anchor: FxHashMap<NodeId, Vec<Vec<NodeId>>> = FxHashMap::default();
+    for (&anchor, dims) in &m0.partitions {
+        for dim in dims {
+            if let PartitionDim::Optionals(list) = dim {
+                per_anchor.entry(anchor).or_default().push(list.clone());
+            }
+        }
+    }
+
+    let evaluator = BenefitModel {
+        tree,
+        source,
+        prepared,
+        query_leaves,
+        per_query_cost,
+        weights,
+    };
+
+    let mut out = Vec::new();
+    for (anchor, singletons) in per_anchor {
+        if singletons.len() < 2 {
+            continue;
+        }
+        match strategy {
+            MergeStrategy::Greedy => {
+                out.extend(greedy_merge(&evaluator, anchor, singletons));
+            }
+            MergeStrategy::Exhaustive => {
+                out.extend(exhaustive_merge(&evaluator, anchor, &singletons));
+            }
+            MergeStrategy::None => unreachable!(),
+        }
+    }
+    out
+}
+
+struct BenefitModel<'a> {
+    tree: &'a SchemaTree,
+    source: &'a SourceStats,
+    prepared: &'a PreparedMapping,
+    query_leaves: &'a [QueryLeaves],
+    per_query_cost: &'a [f64],
+    weights: &'a [f64],
+}
+
+impl BenefitModel<'_> {
+    /// Total weighted I/O-saving of merging `optionals` on `anchor`.
+    fn benefit(&self, anchor: NodeId, optionals: &[NodeId]) -> f64 {
+        let dim = PartitionDim::Optionals(optionals.to_vec());
+        // |R|: total bytes of the anchor's current partitions.
+        let anchor_bytes: f64 = self
+            .prepared
+            .schema
+            .tables_of_anchor(anchor)
+            .iter()
+            .map(|&t| table_bytes(self.prepared, t))
+            .sum();
+        if anchor_bytes <= 0.0 {
+            return 0.0;
+        }
+        // Presence fractions determine the hypothetical partition sizes.
+        let none: f64 = optionals
+            .iter()
+            .map(|&o| 1.0 - self.source.presence_fraction(o))
+            .product();
+        let has_fraction = 1.0 - none;
+
+        let mut total = 0.0;
+        for (qi, q) in self.query_leaves.iter().enumerate() {
+            if q.context.is_none() {
+                continue;
+            }
+            let accessed = accessed_partitions(self.tree, &dim, q);
+            if accessed * 2 > dim.arity(self.tree) {
+                continue; // more than half accessed: zero benefit
+            }
+            // The query accesses only the "has" partition (implicit unions
+            // have two alternatives; accessing only "rest" does not occur
+            // for queries that project covered optionals).
+            let accessed_bytes = anchor_bytes * has_fraction;
+            let rs_bytes: f64 = {
+                let tables = self.prepared.touched_tables(qi);
+                let sum: f64 = self
+                    .prepared
+                    .schema
+                    .tables
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| tables.contains(&t.name))
+                    .map(|(i, _)| table_bytes(self.prepared, i))
+                    .sum();
+                sum.max(1.0)
+            };
+            let saving = ((anchor_bytes - accessed_bytes) / rs_bytes)
+                * self.per_query_cost[qi]
+                * self.weights[qi];
+            if saving > 0.0 {
+                total += saving;
+            }
+        }
+        total
+    }
+}
+
+fn table_bytes(prepared: &PreparedMapping, table_index: usize) -> f64 {
+    let stats = &prepared.stats[table_index];
+    stats.rows as f64 * stats.effective_row_width()
+}
+
+/// The paper's greedy pairing: keep merging the best-benefit pair.
+fn greedy_merge(
+    model: &BenefitModel<'_>,
+    anchor: NodeId,
+    mut candidates: Vec<Vec<NodeId>>,
+) -> Vec<SearchMove> {
+    let mut merged_out: Vec<Vec<NodeId>> = Vec::new();
+    loop {
+        let mut best: Option<(usize, usize, f64, Vec<NodeId>)> = None;
+        for i in 0..candidates.len() {
+            for j in i + 1..candidates.len() {
+                let (a, b) = (&candidates[i], &candidates[j]);
+                // Mergeable: neither optional-set contains the other.
+                if a.iter().all(|x| b.contains(x)) || b.iter().all(|x| a.contains(x)) {
+                    continue;
+                }
+                let mut union: Vec<NodeId> = a.iter().chain(b.iter()).copied().collect();
+                union.sort_unstable();
+                union.dedup();
+                let benefit = model.benefit(anchor, &union);
+                if benefit > 0.0
+                    && best
+                        .as_ref()
+                        .map(|(_, _, b0, _)| benefit > *b0)
+                        .unwrap_or(true)
+                {
+                    best = Some((i, j, benefit, union));
+                }
+            }
+        }
+        match best {
+            Some((i, j, _, union)) => {
+                // Replace the pair with the merged candidate.
+                let keep: Vec<Vec<NodeId>> = candidates
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != i && *k != j)
+                    .map(|(_, v)| v.clone())
+                    .collect();
+                candidates = keep;
+                candidates.push(union.clone());
+                merged_out.push(union);
+            }
+            None => break,
+        }
+    }
+    merged_out
+        .into_iter()
+        .map(|union| to_move(anchor, union))
+        .collect()
+}
+
+/// Exhaustive subset enumeration (capped at 2^14 subsets for safety).
+fn exhaustive_merge(
+    model: &BenefitModel<'_>,
+    anchor: NodeId,
+    singletons: &[Vec<NodeId>],
+) -> Vec<SearchMove> {
+    let n = singletons.len().min(14);
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let mut union: Vec<NodeId> = Vec::new();
+        for (i, s) in singletons.iter().take(n).enumerate() {
+            if mask & (1 << i) != 0 {
+                union.extend(s.iter().copied());
+            }
+        }
+        union.sort_unstable();
+        union.dedup();
+        if model.benefit(anchor, &union) > 0.0 {
+            out.push(to_move(anchor, union));
+        }
+    }
+    out
+}
+
+/// Express a merged candidate as a merge-type move: factorize the covered
+/// singletons, distribute the merged dimension (Section 4.7's "replaced
+/// with their union factorization counterparts").
+fn to_move(anchor: NodeId, union: Vec<NodeId>) -> SearchMove {
+    SearchMove::MergeDims {
+        anchor,
+        remove: union
+            .iter()
+            .map(|&o| PartitionDim::Optionals(vec![o]))
+            .collect(),
+        add: PartitionDim::Optionals(union),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::EvalContext;
+    use xmlshred_shred::mapping::fixtures::movie_tree;
+    use xmlshred_xml::parser::parse_element;
+    use xmlshred_xpath::parser::parse_path;
+
+    /// A movie tree variant where `year` is optional too, mirroring the
+    /// paper's Section 4.7 example.
+    fn doc() -> String {
+        let mut s = String::from("<movies>");
+        for i in 0..200 {
+            s.push_str(&format!("<movie><title>M{i}</title><year>{}</year>", 1990 + i % 10));
+            if i % 3 == 0 {
+                s.push_str("<avg_rating>7.5</avg_rating>");
+            }
+            if i % 2 == 0 {
+                s.push_str("<box_office>10</box_office>");
+            } else {
+                s.push_str("<seasons>3</seasons>");
+            }
+            s.push_str("</movie>");
+        }
+        s.push_str("</movies>");
+        s
+    }
+
+    #[test]
+    fn merged_move_shape() {
+        let f = movie_tree();
+        let mv = to_move(f.movie, vec![f.rating_opt]);
+        let SearchMove::MergeDims { remove, add, .. } = &mv else {
+            panic!()
+        };
+        assert_eq!(remove.len(), 1);
+        assert_eq!(add, &PartitionDim::Optionals(vec![f.rating_opt]));
+    }
+
+    #[test]
+    fn no_merging_strategy_returns_empty() {
+        let f = movie_tree();
+        let root = parse_element(&doc()).unwrap();
+        let source = SourceStats::collect(&f.tree, &root);
+        let workload = vec![(parse_path("//movie/avg_rating").unwrap(), 1.0)];
+        let ctx = EvalContext {
+            tree: &f.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e9,
+        };
+        let m0 = Mapping::hybrid(&f.tree);
+        let prepared = ctx.prepare(&m0);
+        let leaves: Vec<QueryLeaves> = workload
+            .iter()
+            .map(|(p, _)| crate::candidates::query_leaves(&f.tree, p))
+            .collect();
+        let moves = merge_candidates(
+            &f.tree,
+            &source,
+            &m0,
+            &prepared,
+            &leaves,
+            &[100.0],
+            &[1.0],
+            MergeStrategy::None,
+        );
+        assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn single_dim_produces_no_merges() {
+        let f = movie_tree();
+        let root = parse_element(&doc()).unwrap();
+        let source = SourceStats::collect(&f.tree, &root);
+        let workload = vec![(parse_path("//movie/avg_rating").unwrap(), 1.0)];
+        let ctx = EvalContext {
+            tree: &f.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e9,
+        };
+        let mut m0 = Mapping::hybrid(&f.tree);
+        m0.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let prepared = ctx.prepare(&m0);
+        let leaves: Vec<QueryLeaves> = workload
+            .iter()
+            .map(|(p, _)| crate::candidates::query_leaves(&f.tree, p))
+            .collect();
+        // Only one singleton dim exists: nothing to merge.
+        let moves = merge_candidates(
+            &f.tree,
+            &source,
+            &m0,
+            &prepared,
+            &leaves,
+            &[100.0],
+            &[1.0],
+            MergeStrategy::Greedy,
+        );
+        assert!(moves.is_empty());
+    }
+}

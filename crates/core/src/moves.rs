@@ -1,0 +1,210 @@
+//! Search moves: plain transformations plus the composite moves produced by
+//! candidate merging (Section 4.7).
+
+use xmlshred_shred::mapping::{Mapping, PartitionDim};
+use xmlshred_shred::transform::{Transformation, TransformationKind};
+use xmlshred_xml::tree::{NodeId, SchemaTree};
+
+/// One step the greedy search can take.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchMove {
+    /// A single schema transformation.
+    One(Transformation),
+    /// Replace a set of partition dimensions with their merged implicit
+    /// union (factorize the singletons, distribute the merged dimension) —
+    /// the "merged candidate" of Section 4.7, expressed as a merge-type
+    /// move from the fully split mapping.
+    MergeDims {
+        /// The partitioned table's anchor.
+        anchor: NodeId,
+        /// The singleton dimensions to remove.
+        remove: Vec<PartitionDim>,
+        /// The merged dimension to add.
+        add: PartitionDim,
+    },
+}
+
+impl SearchMove {
+    /// Apply to a mapping.
+    pub fn apply(&self, tree: &SchemaTree, mapping: &Mapping) -> Result<Mapping, String> {
+        match self {
+            SearchMove::One(t) => t.apply(tree, mapping),
+            SearchMove::MergeDims {
+                anchor,
+                remove,
+                add,
+            } => {
+                let mut next = mapping.clone();
+                for dim in remove {
+                    if !next.partition_dims(*anchor).contains(dim) {
+                        return Err("dimension to merge is not active".into());
+                    }
+                    next.remove_partition(*anchor, dim);
+                }
+                if next.partition_dims(*anchor).contains(add) {
+                    return Err("merged dimension already active".into());
+                }
+                next.add_partition(*anchor, add.clone());
+                next.validate(tree)?;
+                Ok(next)
+            }
+        }
+    }
+
+    /// The transformation family, for instrumentation.
+    pub fn kind(&self) -> TransformationKind {
+        match self {
+            SearchMove::One(t) => t.kind(),
+            SearchMove::MergeDims { .. } => TransformationKind::UnionFactorize,
+        }
+    }
+
+    /// Annotation anchors whose tables this move changes (used by the
+    /// irrelevant-relation rule of cost derivation).
+    pub fn changed_anchors(&self, tree: &SchemaTree, mapping: &Mapping) -> Vec<NodeId> {
+        match self {
+            SearchMove::One(t) => match t {
+                Transformation::Outline(n) | Transformation::Inline(n) => {
+                    vec![mapping.anchor_of(tree, *n), *n]
+                }
+                Transformation::TypeSplit { node, .. } => vec![*node],
+                Transformation::TypeMerge { nodes, .. } => nodes.clone(),
+                Transformation::UnionDistribute { anchor, .. }
+                | Transformation::UnionFactorize { anchor, .. } => vec![*anchor],
+                Transformation::RepetitionSplit { star, .. }
+                | Transformation::RepetitionMerge { star } => {
+                    let child = tree.children(*star)[0];
+                    let parent = tree
+                        .parent_tag(*star)
+                        .map(|t| mapping.anchor_of(tree, t));
+                    let mut out = vec![child];
+                    out.extend(parent);
+                    out
+                }
+                Transformation::Associativity(n, _) | Transformation::Commutativity(n, _) => {
+                    tree.parent_tag(*n)
+                        .map(|t| vec![mapping.anchor_of(tree, t)])
+                        .unwrap_or_default()
+                }
+            },
+            SearchMove::MergeDims { anchor, .. } => vec![*anchor],
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self, tree: &SchemaTree) -> String {
+        let tag = |n: NodeId| {
+            tree.node(n)
+                .kind
+                .tag_name()
+                .map(str::to_string)
+                .unwrap_or_else(|| n.to_string())
+        };
+        match self {
+            SearchMove::One(t) => match t {
+                Transformation::Outline(n) => format!("outline {}", tag(*n)),
+                Transformation::Inline(n) => format!("inline {}", tag(*n)),
+                Transformation::TypeSplit { node, new_name } => {
+                    format!("type-split {} -> {new_name}", tag(*node))
+                }
+                Transformation::TypeMerge { nodes, name } => format!(
+                    "type-merge {} as {name}",
+                    nodes.iter().map(|&n| tag(n)).collect::<Vec<_>>().join("+")
+                ),
+                Transformation::UnionDistribute { dim, .. } => {
+                    format!("distribute {}", dim_label(tree, dim))
+                }
+                Transformation::UnionFactorize { dim, .. } => {
+                    format!("factorize {}", dim_label(tree, dim))
+                }
+                Transformation::RepetitionSplit { star, count } => {
+                    format!("rep-split {}x{count}", tag(tree.children(*star)[0]))
+                }
+                Transformation::RepetitionMerge { star } => {
+                    format!("rep-merge {}", tag(tree.children(*star)[0]))
+                }
+                Transformation::Associativity(..) => "associativity".into(),
+                Transformation::Commutativity(..) => "commutativity".into(),
+            },
+            SearchMove::MergeDims { remove, add, .. } => format!(
+                "merge {} dims into {}",
+                remove.len(),
+                dim_label(tree, add)
+            ),
+        }
+    }
+}
+
+fn dim_label(tree: &SchemaTree, dim: &PartitionDim) -> String {
+    match dim {
+        PartitionDim::Choice(c) => format!(
+            "choice({})",
+            tree.child_tags(*c)
+                .iter()
+                .filter_map(|&t| tree.node(t).kind.tag_name())
+                .collect::<Vec<_>>()
+                .join("|")
+        ),
+        PartitionDim::Optionals(list) => format!(
+            "optional({})",
+            list.iter()
+                .filter_map(|&o| {
+                    let child = tree.children(o)[0];
+                    tree.node(child).kind.tag_name()
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlshred_shred::mapping::fixtures::movie_tree;
+
+    #[test]
+    fn merge_dims_move() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        // A second optional doesn't exist on movie in this fixture;
+        // merge the singleton into itself extended — use remove=[single],
+        // add=same set (degenerate) should fail as already active? The add
+        // differs when the set differs; construct with a different set.
+        let mv = SearchMove::MergeDims {
+            anchor: f.movie,
+            remove: vec![PartitionDim::Optionals(vec![f.rating_opt])],
+            add: PartitionDim::Optionals(vec![f.rating_opt]),
+        };
+        // Removing then adding the same dim is valid mechanically.
+        let next = mv.apply(&f.tree, &m).unwrap();
+        assert_eq!(next.partition_dims(f.movie).len(), 1);
+    }
+
+    #[test]
+    fn merge_dims_requires_active_dims() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        let mv = SearchMove::MergeDims {
+            anchor: f.movie,
+            remove: vec![PartitionDim::Optionals(vec![f.rating_opt])],
+            add: PartitionDim::Optionals(vec![f.rating_opt]),
+        };
+        assert!(mv.apply(&f.tree, &m).is_err());
+    }
+
+    #[test]
+    fn describe_moves() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        let mv = SearchMove::One(Transformation::RepetitionSplit {
+            star: f.aka_star,
+            count: 3,
+        });
+        assert_eq!(mv.describe(&f.tree), "rep-split aka_titlex3");
+        let anchors = mv.changed_anchors(&f.tree, &m);
+        assert!(anchors.contains(&f.movie));
+        assert!(anchors.contains(&f.aka_title));
+    }
+}

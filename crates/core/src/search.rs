@@ -1,0 +1,56 @@
+//! Shared search bookkeeping.
+
+use std::time::Duration;
+use xmlshred_rel::optimizer::PhysicalConfig;
+use xmlshred_shred::mapping::Mapping;
+
+/// Instrumentation counters for one advisor run (Figs. 5 and 6 report
+/// these).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchStats {
+    /// Logical transformations enumerated and costed.
+    pub transformations_searched: u64,
+    /// Invocations of the physical design tool (full or partial workload).
+    pub physical_tool_calls: u64,
+    /// What-if optimizer calls issued by those invocations.
+    pub optimizer_calls: u64,
+    /// Queries whose cost was reused through cost derivation.
+    pub costs_derived: u64,
+    /// Wall-clock time of the search.
+    pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Merge counters from a tuning invocation.
+    pub fn absorb_tune(&mut self, optimizer_calls: u64) {
+        self.physical_tool_calls += 1;
+        self.optimizer_calls += optimizer_calls;
+    }
+}
+
+/// The advisor's recommendation.
+#[derive(Debug, Clone)]
+pub struct AdvisorOutcome {
+    /// Chosen logical mapping.
+    pub mapping: Mapping,
+    /// Chosen physical configuration.
+    pub config: PhysicalConfig,
+    /// Optimizer-estimated workload cost under the recommendation.
+    pub estimated_cost: f64,
+    /// Search instrumentation.
+    pub stats: SearchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_tune_counts() {
+        let mut stats = SearchStats::default();
+        stats.absorb_tune(10);
+        stats.absorb_tune(5);
+        assert_eq!(stats.physical_tool_calls, 2);
+        assert_eq!(stats.optimizer_calls, 15);
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic datasets and workloads reproducing the paper's experimental
+//! setup (Section 5.1).
+//!
+//! * [`dblp`] — a DBLP-like bibliography: `inproceedings` and `book`
+//!   entries, a shared `author` type, shared (structurally equal) `title`
+//!   elements, and the skewed author-cardinality distribution the paper
+//!   exploits (99% of publications have at most five authors).
+//! * [`movie`] — the Movie dataset of Fig. 1b: repeated `aka_title`,
+//!   optional `avg_rating`, and the `(box_office | seasons)` choice, with
+//!   uniform values.
+//! * [`workload`] — the HP/LP x HS/LS workload generator: random queries
+//!   varying the number of projections (1-4 vs 5-20) and the selection
+//!   selectivity (0.01-0.1 vs 0.5-1), named `HP-LS-20` style.
+//!
+//! Both datasets ship as XSD text + generated XML, so the full pipeline
+//! (XSD parser -> schema tree -> shredding) is exercised end to end.
+
+pub mod dblp;
+pub mod movie;
+pub mod workload;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use movie::{generate_movie, MovieConfig};
+pub use workload::{Projections, Selectivity, Workload, WorkloadSpec};
+
+use xmlshred_xml::dom::Element;
+use xmlshred_xml::tree::SchemaTree;
+
+/// A generated dataset: schema (as XSD text and parsed tree) plus document.
+pub struct Dataset {
+    /// Dataset name (`dblp` / `movie`).
+    pub name: String,
+    /// The XSD source text.
+    pub xsd: String,
+    /// The schema tree parsed from the XSD.
+    pub tree: SchemaTree,
+    /// The generated document root.
+    pub document: Element,
+}
+
+impl Dataset {
+    /// Approximate serialized size in bytes of the document.
+    pub fn approx_bytes(&self) -> usize {
+        // Cheap structural estimate: average ~40 bytes per element.
+        self.document.subtree_size() * 40
+    }
+}

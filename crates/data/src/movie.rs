@@ -1,0 +1,201 @@
+//! The synthetic Movie dataset of Fig. 1b.
+//!
+//! Every `movie` carries `title`, `year`, `genre`, `director`, repeated
+//! `aka_title`, optional `avg_rating` and `runtime`, and a
+//! `(box_office | seasons)` choice distinguishing theatrical movies from TV
+//! shows. Values are uniformly distributed, matching the paper's setup
+//! (Section 5.1.2).
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use xmlshred_xml::parser::parse_element;
+use xmlshred_xml::xsd::parse_to_tree;
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct MovieConfig {
+    /// Number of movies.
+    pub n_movies: usize,
+    /// Fraction that are theatrical movies (`box_office`); the rest are TV
+    /// shows (`seasons`).
+    pub movie_fraction: f64,
+    /// Presence probability of `avg_rating`.
+    pub rating_fraction: f64,
+    /// Presence probability of `runtime`.
+    pub runtime_fraction: f64,
+    /// Year range (inclusive).
+    pub years: (i32, i32),
+    /// Number of distinct genres.
+    pub n_genres: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MovieConfig {
+    fn default() -> Self {
+        MovieConfig {
+            n_movies: 30_000,
+            movie_fraction: 0.7,
+            rating_fraction: 0.6,
+            runtime_fraction: 0.7,
+            years: (1950, 2004),
+            n_genres: 25,
+            seed: 7,
+        }
+    }
+}
+
+/// The XSD for the Movie dataset.
+pub const MOVIE_XSD: &str = r#"<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="movies">
+    <xs:complexType><xs:sequence>
+      <xs:element name="movie" minOccurs="0" maxOccurs="unbounded">
+        <xs:complexType><xs:sequence>
+          <xs:element name="title" type="xs:string"/>
+          <xs:element name="year" type="xs:integer"/>
+          <xs:element name="genre" type="xs:string"/>
+          <xs:element name="director" type="xs:string"/>
+          <xs:element name="aka_title" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+          <xs:element name="avg_rating" type="xs:decimal" minOccurs="0"/>
+          <xs:element name="runtime" type="xs:integer" minOccurs="0"/>
+          <xs:choice>
+            <xs:element name="box_office" type="xs:integer"/>
+            <xs:element name="seasons" type="xs:integer"/>
+          </xs:choice>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:sequence></xs:complexType>
+  </xs:element>
+</xs:schema>"#;
+
+/// Generate the dataset.
+pub fn generate_movie(config: &MovieConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut xml = String::with_capacity(config.n_movies * 192);
+    xml.push_str("<movies>");
+    for i in 0..config.n_movies {
+        let year = rng.gen_range(config.years.0..=config.years.1);
+        let genre = rng.gen_range(0..config.n_genres);
+        let director = rng.gen_range(0..config.n_movies.max(1) / 20 + 1);
+        let _ = write!(
+            xml,
+            "<movie><title>Movie {i}</title><year>{year}</year>\
+             <genre>Genre {genre}</genre><director>Director {director}</director>"
+        );
+        // 0..4 alternative titles, skewed low.
+        let aka = match rng.gen_range(0..10) {
+            0..=4 => 0,
+            5..=7 => 1,
+            8 => 2,
+            _ => rng.gen_range(3..=4),
+        };
+        for a in 0..aka {
+            let _ = write!(xml, "<aka_title>Movie {i} aka {a}</aka_title>");
+        }
+        if rng.gen_bool(config.rating_fraction) {
+            let _ = write!(xml, "<avg_rating>{:.1}</avg_rating>", rng.gen_range(1.0..10.0));
+        }
+        if rng.gen_bool(config.runtime_fraction) {
+            let _ = write!(xml, "<runtime>{}</runtime>", rng.gen_range(60..240));
+        }
+        if rng.gen_bool(config.movie_fraction) {
+            let _ = write!(xml, "<box_office>{}</box_office>", rng.gen_range(0..3_000));
+        } else {
+            let _ = write!(xml, "<seasons>{}</seasons>", rng.gen_range(1..25));
+        }
+        xml.push_str("</movie>");
+    }
+    xml.push_str("</movies>");
+
+    let document = parse_element(&xml).expect("generated XML parses");
+    let tree = parse_to_tree(MOVIE_XSD).expect("Movie XSD parses");
+    Dataset {
+        name: "movie".into(),
+        xsd: MOVIE_XSD.to_string(),
+        tree,
+        document,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlshred_shred::source_stats::SourceStats;
+    use xmlshred_xml::tree::NodeKind;
+
+    fn small() -> Dataset {
+        generate_movie(&MovieConfig {
+            n_movies: 2_000,
+            ..MovieConfig::default()
+        })
+    }
+
+    #[test]
+    fn generates_expected_count() {
+        let ds = small();
+        assert_eq!(ds.document.children_named("movie").count(), 2_000);
+    }
+
+    #[test]
+    fn tree_has_choice_and_optionals() {
+        let ds = small();
+        let choices = ds
+            .tree
+            .node_ids()
+            .filter(|&n| matches!(ds.tree.node(n).kind, NodeKind::Choice))
+            .count();
+        let optionals = ds
+            .tree
+            .node_ids()
+            .filter(|&n| matches!(ds.tree.node(n).kind, NodeKind::Optional))
+            .count();
+        assert_eq!(choices, 1);
+        assert_eq!(optionals, 2);
+    }
+
+    #[test]
+    fn choice_fractions_match_config() {
+        let ds = small();
+        let stats = SourceStats::collect(&ds.tree, &ds.document);
+        let box_office = ds
+            .tree
+            .node_ids()
+            .find(|&n| ds.tree.node(n).kind.tag_name() == Some("box_office"))
+            .unwrap();
+        let frac = stats.presence_fraction(box_office);
+        assert!((frac - 0.7).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn rating_presence_matches_config() {
+        let ds = small();
+        let stats = SourceStats::collect(&ds.tree, &ds.document);
+        let optional = ds
+            .tree
+            .node_ids()
+            .find(|&n| {
+                matches!(ds.tree.node(n).kind, NodeKind::Optional)
+                    && ds.tree.node(ds.tree.children(n)[0]).kind.tag_name()
+                        == Some("avg_rating")
+            })
+            .unwrap();
+        let frac = stats.presence_fraction(optional);
+        assert!((frac - 0.6).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = generate_movie(&MovieConfig {
+            n_movies: 100,
+            ..MovieConfig::default()
+        });
+        let b = generate_movie(&MovieConfig {
+            n_movies: 100,
+            ..MovieConfig::default()
+        });
+        assert_eq!(a.document, b.document);
+    }
+}

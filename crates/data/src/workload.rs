@@ -1,0 +1,323 @@
+//! Random workload generation, following Section 5.1.3: workloads vary the
+//! number of projections (LP: 1-4, HP: 5-20) and the selection selectivity
+//! (LS: 0.01-0.1, HS: 0.5-1), with 10 or 20 queries each, named
+//! `HP-LS-20` style. Every query weight is 1.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use xmlshred_xpath::ast::Path;
+use xmlshred_xpath::parser::parse_path;
+
+/// Number of projection elements per query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Projections {
+    /// 1-4 projections (split-friendly queries).
+    Low,
+    /// 5-20 projections (merge-friendly queries).
+    High,
+}
+
+/// Selectivity of the selection condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selectivity {
+    /// 0.01 - 0.1.
+    Low,
+    /// 0.5 - 1.
+    High,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Projection count band.
+    pub projections: Projections,
+    /// Selectivity band.
+    pub selectivity: Selectivity,
+    /// Number of queries.
+    pub n_queries: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's naming convention, e.g. `HP-LS-20`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            match self.projections {
+                Projections::Low => "LP",
+                Projections::High => "HP",
+            },
+            match self.selectivity {
+                Selectivity::Low => "LS",
+                Selectivity::High => "HS",
+            },
+            self.n_queries
+        )
+    }
+
+    /// The eight DBLP workloads of Section 5.1.3 (four shapes x {10, 20}).
+    pub fn dblp_suite() -> Vec<WorkloadSpec> {
+        let mut out = Vec::new();
+        for &n_queries in &[10usize, 20] {
+            for &projections in &[Projections::Low, Projections::High] {
+                for &selectivity in &[Selectivity::Low, Selectivity::High] {
+                    out.push(WorkloadSpec {
+                        projections,
+                        selectivity,
+                        n_queries,
+                        seed: 1000 + n_queries as u64 * 7
+                            + matches!(projections, Projections::High) as u64 * 3
+                            + matches!(selectivity, Selectivity::High) as u64,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The four Movie workloads (20 queries each).
+    pub fn movie_suite() -> Vec<WorkloadSpec> {
+        let mut out = Vec::new();
+        for &projections in &[Projections::Low, Projections::High] {
+            for &selectivity in &[Selectivity::Low, Selectivity::High] {
+                out.push(WorkloadSpec {
+                    projections,
+                    selectivity,
+                    n_queries: 20,
+                    seed: 2000
+                        + matches!(projections, Projections::High) as u64 * 3
+                        + matches!(selectivity, Selectivity::High) as u64,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A generated workload: parsed queries with weights.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (`HP-LS-20` style).
+    pub name: String,
+    /// `(query, weight)` pairs.
+    pub queries: Vec<(Path, f64)>,
+}
+
+impl Workload {
+    /// Query texts, for display.
+    pub fn texts(&self) -> Vec<String> {
+        self.queries.iter().map(|(q, _)| q.to_string()).collect()
+    }
+}
+
+/// Leaves available for projection per entry kind.
+const DBLP_INPROC_LEAVES: &[&str] = &[
+    "title", "booktitle", "year", "author", "pages", "cdrom", "ee", "url", "cite", "editor",
+];
+const DBLP_BOOK_LEAVES: &[&str] = &["title", "publisher", "year", "author", "isbn", "series"];
+const MOVIE_LEAVES: &[&str] = &[
+    "title",
+    "year",
+    "genre",
+    "director",
+    "aka_title",
+    "avg_rating",
+    "runtime",
+    "box_office",
+    "seasons",
+];
+
+/// Generate a DBLP workload. 80% of queries target `inproceedings`, 20%
+/// `book` (keeping the shared `author`/`title` types relevant).
+pub fn dblp_workload(spec: &WorkloadSpec, years: (i32, i32), n_conferences: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut queries = Vec::with_capacity(spec.n_queries);
+    while queries.len() < spec.n_queries {
+        let is_book = rng.gen_bool(0.2);
+        let (context, leaves): (&str, &[&str]) = if is_book {
+            ("/dblp/book", DBLP_BOOK_LEAVES)
+        } else {
+            ("/dblp/inproceedings", DBLP_INPROC_LEAVES)
+        };
+        let projection = projection_list(&mut rng, spec.projections, leaves);
+        let predicate = match spec.selectivity {
+            Selectivity::Low => {
+                if is_book || rng.gen_bool(0.5) {
+                    // year equality: ~1/45 = 0.022, or a 2-4-year range.
+                    if rng.gen_bool(0.5) {
+                        let y = rng.gen_range(years.0..=years.1);
+                        format!("[year = {y}]")
+                    } else {
+                        let span = rng.gen_range(2..=4);
+                        let y = rng.gen_range(years.0..=years.1 - span);
+                        format!("[year >= {y}][year < {}]", y + span)
+                    }
+                } else {
+                    let c = rng.gen_range(0..n_conferences);
+                    format!("[booktitle = \"CONF{c}\"]")
+                }
+            }
+            Selectivity::High => {
+                if rng.gen_bool(0.4) {
+                    String::new() // selectivity 1
+                } else {
+                    // year >= quantile in [10%, 50%] -> sel 0.5-0.9.
+                    let span = years.1 - years.0;
+                    let q = rng.gen_range(0.1..0.5);
+                    let y = years.0 + (span as f64 * q) as i32;
+                    format!("[year >= {y}]")
+                }
+            }
+        };
+        let text = format!("{context}{predicate}/{projection}");
+        queries.push((parse_path(&text).expect("generated query parses"), 1.0));
+    }
+    Workload {
+        name: spec.name(),
+        queries,
+    }
+}
+
+/// Generate a Movie workload.
+pub fn movie_workload(spec: &WorkloadSpec, years: (i32, i32), n_genres: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut queries = Vec::with_capacity(spec.n_queries);
+    while queries.len() < spec.n_queries {
+        let projection = projection_list(&mut rng, spec.projections, MOVIE_LEAVES);
+        let predicate = match spec.selectivity {
+            Selectivity::Low => match rng.gen_range(0..3) {
+                0 => {
+                    let y = rng.gen_range(years.0..=years.1);
+                    format!("[year = {y}]")
+                }
+                1 => {
+                    let g = rng.gen_range(0..n_genres);
+                    format!("[genre = \"Genre {g}\"]")
+                }
+                _ => {
+                    let span = rng.gen_range(2..=4);
+                    let y = rng.gen_range(years.0..=years.1 - span);
+                    format!("[year >= {y}][year < {}]", y + span)
+                }
+            },
+            Selectivity::High => {
+                if rng.gen_bool(0.4) {
+                    String::new()
+                } else {
+                    let span = years.1 - years.0;
+                    let q = rng.gen_range(0.1..0.5);
+                    let y = years.0 + (span as f64 * q) as i32;
+                    format!("[year >= {y}]")
+                }
+            }
+        };
+        let text = format!("//movie{predicate}/{projection}");
+        queries.push((parse_path(&text).expect("generated query parses"), 1.0));
+    }
+    Workload {
+        name: spec.name(),
+        queries,
+    }
+}
+
+fn projection_list(rng: &mut StdRng, band: Projections, leaves: &[&str]) -> String {
+    let count = match band {
+        Projections::Low => rng.gen_range(1..=4.min(leaves.len())),
+        Projections::High => rng.gen_range(5.min(leaves.len())..=leaves.len()),
+    };
+    let mut chosen: Vec<&str> = leaves.to_vec();
+    chosen.shuffle(rng);
+    chosen.truncate(count);
+    if chosen.len() == 1 {
+        chosen[0].to_string()
+    } else {
+        format!("({})", chosen.join(" | "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(p: Projections, s: Selectivity) -> WorkloadSpec {
+        WorkloadSpec {
+            projections: p,
+            selectivity: s,
+            n_queries: 20,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn names_follow_convention() {
+        assert_eq!(spec(Projections::High, Selectivity::Low).name(), "HP-LS-20");
+        assert_eq!(spec(Projections::Low, Selectivity::High).name(), "LP-HS-20");
+    }
+
+    #[test]
+    fn dblp_workload_counts_and_shapes() {
+        let w = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        assert_eq!(w.queries.len(), 20);
+        for (q, weight) in &w.queries {
+            assert_eq!(*weight, 1.0);
+            assert!((1..=4).contains(&q.projection_count()), "{q}");
+        }
+    }
+
+    #[test]
+    fn hp_band_has_many_projections() {
+        let w = dblp_workload(&spec(Projections::High, Selectivity::Low), (1960, 2004), 50);
+        for (q, _) in &w.queries {
+            assert!(q.projection_count() >= 5, "{q}");
+        }
+    }
+
+    #[test]
+    fn ls_band_always_has_predicates() {
+        let w = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        for (q, _) in &w.queries {
+            assert!(
+                q.all_predicates().count() >= 1,
+                "LS query must have a selection: {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn hs_band_mixes_no_predicate_queries() {
+        let w = dblp_workload(&spec(Projections::Low, Selectivity::High), (1960, 2004), 50);
+        let without: usize = w
+            .queries
+            .iter()
+            .filter(|(q, _)| q.all_predicates().count() == 0)
+            .count();
+        assert!(without > 0 && without < w.queries.len());
+    }
+
+    #[test]
+    fn movie_workload_parses_and_targets_movie() {
+        let w = movie_workload(&spec(Projections::High, Selectivity::High), (1950, 2004), 25);
+        assert_eq!(w.queries.len(), 20);
+        for text in w.texts() {
+            assert!(text.starts_with("//movie"), "{text}");
+        }
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(WorkloadSpec::dblp_suite().len(), 8);
+        assert_eq!(WorkloadSpec::movie_suite().len(), 4);
+        let names: Vec<String> = WorkloadSpec::dblp_suite().iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"HP-LS-10".to_string()));
+        assert!(names.contains(&"LP-HS-20".to_string()));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        let b = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        assert_eq!(a.texts(), b.texts());
+    }
+}

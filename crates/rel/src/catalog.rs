@@ -1,0 +1,234 @@
+//! Table and column metadata.
+
+use crate::error::{RelError, RelResult};
+use crate::types::DataType;
+use rustc_hash::FxHashMap;
+
+/// Identifier of a table within a [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl TableId {
+    /// Array index for this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name (unique within its table).
+    pub name: String,
+    /// Data type.
+    pub ty: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+    /// Average payload width in bytes for strings (ignored for numerics);
+    /// used by page accounting before statistics exist.
+    pub avg_width: usize,
+}
+
+impl ColumnDef {
+    /// A non-nullable column with a default width.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+            avg_width: default_width(ty),
+        }
+    }
+
+    /// Make the column nullable, builder-style.
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+
+    /// Set the expected average width, builder-style.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.avg_width = width;
+        self
+    }
+}
+
+fn default_width(ty: DataType) -> usize {
+    match ty {
+        DataType::Int | DataType::Float => 8,
+        DataType::Str => 24,
+    }
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableDef {
+    /// Create a table definition.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableDef {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Estimated row width in bytes assuming all columns populated
+    /// (statistics refine this with per-column fill fractions).
+    pub fn nominal_row_width(&self) -> usize {
+        // 8 bytes of per-row header, mirroring typical slotted pages.
+        8 + self
+            .columns
+            .iter()
+            .map(|c| c.ty.fixed_width() + if c.ty == DataType::Str { c.avg_width } else { 0 })
+            .sum::<usize>()
+    }
+}
+
+/// The catalog: a name-indexed collection of table definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+    by_name: FxHashMap<String, TableId>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table, returning its id.
+    pub fn add_table(&mut self, def: TableDef) -> RelResult<TableId> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(RelError::Duplicate(def.name));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.by_name.insert(def.name.clone(), id);
+        self.tables.push(def);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Look up a table id by name.
+    pub fn table_id(&self, name: &str) -> RelResult<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelError::UnknownTable(name.to_string()))
+    }
+
+    /// Table definition by id.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.index()]
+    }
+
+    /// Iterate over `(id, def)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &TableDef)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, def)| (TableId(i as u32), def))
+    }
+
+    /// Resolve a `(table, column)` name pair.
+    pub fn resolve_column(&self, table: &str, column: &str) -> RelResult<(TableId, usize)> {
+        let id = self.table_id(table)?;
+        let col = self
+            .table(id)
+            .column_index(column)
+            .ok_or_else(|| RelError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        Ok((id, col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inproc_def() -> TableDef {
+        TableDef::new(
+            "inproc",
+            vec![
+                ColumnDef::new("ID", DataType::Int),
+                ColumnDef::new("PID", DataType::Int),
+                ColumnDef::new("title", DataType::Str).with_width(40),
+                ColumnDef::new("booktitle", DataType::Str),
+                ColumnDef::new("year", DataType::Int),
+                ColumnDef::new("pages", DataType::Str).nullable(),
+            ],
+        )
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut catalog = Catalog::new();
+        let id = catalog.add_table(inproc_def()).unwrap();
+        assert_eq!(catalog.table_id("inproc").unwrap(), id);
+        assert_eq!(catalog.table(id).name, "inproc");
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(inproc_def()).unwrap();
+        assert!(matches!(
+            catalog.add_table(inproc_def()),
+            Err(RelError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn column_resolution() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(inproc_def()).unwrap();
+        let (tid, col) = catalog.resolve_column("inproc", "year").unwrap();
+        assert_eq!(catalog.table(tid).columns[col].name, "year");
+        assert!(catalog.resolve_column("inproc", "nope").is_err());
+        assert!(catalog.resolve_column("nope", "year").is_err());
+    }
+
+    #[test]
+    fn nominal_width_reflects_strings() {
+        let def = inproc_def();
+        // 8 header + ID 8 + PID 8 + title (4+40) + booktitle (4+24)
+        // + year 8 + pages (4+24) = 132
+        assert_eq!(def.nominal_row_width(), 132);
+    }
+
+    #[test]
+    fn nullable_builder() {
+        let c = ColumnDef::new("x", DataType::Str).nullable();
+        assert!(c.nullable);
+        let c = ColumnDef::new("y", DataType::Int);
+        assert!(!c.nullable);
+    }
+}

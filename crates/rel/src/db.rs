@@ -1,0 +1,463 @@
+//! The database facade tying together catalog, storage, statistics, physical
+//! structures, planning, and execution.
+
+use crate::catalog::{Catalog, TableDef, TableId};
+use crate::error::{RelError, RelResult};
+use crate::exec::{execute_plan, ExecStats};
+use crate::index::BuiltIndex;
+use crate::optimizer::{self, PhysicalConfig as OptimizerConfig};
+use crate::plan::QueryPlan;
+use crate::sql::SqlQuery;
+use crate::stats::{ColumnStats, TableStats};
+use crate::storage::TableHeap;
+use crate::types::Row;
+use crate::view::BuiltView;
+use rustc_hash::FxHashMap;
+use std::time::{Duration, Instant};
+
+pub use crate::optimizer::PhysicalConfig;
+
+/// The result of executing a query: rows plus accounting.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Result rows (sorted when the query carries an `ORDER BY`).
+    pub rows: Vec<Row>,
+    /// Measured execution accounting (actual pages and tuples touched).
+    pub exec: ExecStats,
+    /// The plan that ran.
+    pub plan: QueryPlan,
+    /// Wall-clock time of execution.
+    pub elapsed: Duration,
+}
+
+/// An in-memory database instance.
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    heaps: Vec<TableHeap>,
+    stats: Vec<TableStats>,
+    built_indexes: FxHashMap<String, BuiltIndex>,
+    built_views: FxHashMap<String, BuiltView>,
+    built_config: OptimizerConfig,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, def: TableDef) -> RelResult<TableId> {
+        let id = self.catalog.add_table(def)?;
+        self.heaps.push(TableHeap::new());
+        self.stats.push(TableStats::default());
+        Ok(id)
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// A table's heap.
+    pub fn heap(&self, table: TableId) -> &TableHeap {
+        &self.heaps[table.index()]
+    }
+
+    /// A table's statistics.
+    pub fn table_stats(&self, table: TableId) -> &TableStats {
+        &self.stats[table.index()]
+    }
+
+    /// All table statistics, in table-id order.
+    pub fn all_stats(&self) -> &[TableStats] {
+        &self.stats
+    }
+
+    /// Insert one row (validated against the schema).
+    pub fn insert(&mut self, table: TableId, row: Row) -> RelResult<()> {
+        let def = self.catalog.table(table).clone();
+        self.heaps[table.index()].insert(&def, row)
+    }
+
+    /// Bulk-insert rows (validated).
+    pub fn insert_rows(
+        &mut self,
+        table: TableId,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> RelResult<usize> {
+        let def = self.catalog.table(table).clone();
+        let heap = &mut self.heaps[table.index()];
+        let mut n = 0;
+        for row in rows {
+            heap.insert(&def, row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Total bytes of base data.
+    pub fn data_bytes(&self) -> usize {
+        self.heaps.iter().map(TableHeap::byte_size).sum()
+    }
+
+    /// Recompute statistics for every table from the stored data.
+    pub fn analyze(&mut self) {
+        for id in 0..self.heaps.len() {
+            self.analyze_table(TableId(id as u32));
+        }
+    }
+
+    /// Recompute statistics for one table from its data.
+    pub fn analyze_table(&mut self, table: TableId) {
+        let heap = &self.heaps[table.index()];
+        let def = self.catalog.table(table);
+        let columns = (0..def.columns.len())
+            .map(|c| ColumnStats::build(heap.rows().iter().map(|row| row[c].clone())))
+            .collect();
+        self.stats[table.index()] = TableStats {
+            rows: heap.len() as u64,
+            columns,
+        };
+    }
+
+    /// Install externally derived statistics (the paper derives merged-schema
+    /// statistics from fully-split-schema statistics instead of re-collecting
+    /// them; see Section 4.1).
+    pub fn set_table_stats(&mut self, table: TableId, stats: TableStats) {
+        self.stats[table.index()] = stats;
+    }
+
+    /// A built index by name.
+    pub fn built_index(&self, name: &str) -> RelResult<&BuiltIndex> {
+        self.built_indexes
+            .get(name)
+            .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    /// A built view by name.
+    pub fn built_view(&self, name: &str) -> RelResult<&BuiltView> {
+        self.built_views
+            .get(name)
+            .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
+    }
+
+    /// The physical configuration currently materialized.
+    pub fn built_config(&self) -> &OptimizerConfig {
+        &self.built_config
+    }
+
+    /// Materialize a physical configuration (replacing any previous one).
+    pub fn apply_config(&mut self, config: &OptimizerConfig) -> RelResult<()> {
+        self.clear_config();
+        let mut clustered_on: Vec<crate::catalog::TableId> = Vec::new();
+        for def in &config.indexes {
+            if self.built_indexes.contains_key(&def.name) {
+                return Err(RelError::Duplicate(def.name.clone()));
+            }
+            if def.clustered {
+                if clustered_on.contains(&def.table) {
+                    return Err(RelError::InvalidQuery(format!(
+                        "two clustered indexes on table '{}'",
+                        self.catalog.table(def.table).name
+                    )));
+                }
+                clustered_on.push(def.table);
+            }
+            let heap = &self.heaps[def.table.index()];
+            let built = BuiltIndex::build(def.clone(), heap);
+            self.built_indexes.insert(def.name.clone(), built);
+        }
+        for def in &config.views {
+            if self.built_views.contains_key(&def.name) {
+                return Err(RelError::Duplicate(def.name.clone()));
+            }
+            let left_rows = self.heaps[def.left.index()].rows();
+            let right_rows = self.heaps[def.right.index()].rows();
+            let built = BuiltView::build(def.clone(), left_rows, right_rows);
+            self.built_views.insert(def.name.clone(), built);
+        }
+        self.built_config = config.clone();
+        Ok(())
+    }
+
+    /// Drop all physical structures.
+    pub fn clear_config(&mut self) {
+        self.built_indexes.clear();
+        self.built_views.clear();
+        self.built_config = OptimizerConfig::none();
+    }
+
+    /// Actual bytes of the materialized physical structures.
+    pub fn built_bytes(&self) -> usize {
+        let index_bytes: f64 = self
+            .built_indexes
+            .values()
+            .map(|idx| {
+                idx.def.estimated_bytes(
+                    self.catalog.table(idx.def.table),
+                    &self.stats[idx.def.table.index()],
+                )
+            })
+            .sum();
+        let view_bytes: usize = self.built_views.values().map(|v| v.byte_size).sum();
+        index_bytes as usize + view_bytes
+    }
+
+    /// What-if: plan (and cost) a query against a hypothetical configuration
+    /// without materializing anything.
+    pub fn estimate(&self, query: &SqlQuery, config: &OptimizerConfig) -> RelResult<QueryPlan> {
+        optimizer::plan_query(&self.catalog, &self.stats, config, query)
+    }
+
+    /// Estimated size in bytes of a configuration's structures.
+    pub fn config_bytes(&self, config: &OptimizerConfig) -> f64 {
+        optimizer::config_bytes(&self.catalog, &self.stats, config)
+    }
+
+    /// Plan against the *built* configuration and execute.
+    pub fn execute(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
+        let plan = optimizer::plan_query(&self.catalog, &self.stats, &self.built_config, query)?;
+        self.execute_plan(plan)
+    }
+
+    /// Execute an already-chosen plan (must reference built structures only).
+    pub fn execute_plan(&self, plan: QueryPlan) -> RelResult<QueryOutcome> {
+        let start = Instant::now();
+        let (rows, exec) = execute_plan(self, &plan)?;
+        let elapsed = start.elapsed();
+        Ok(QueryOutcome {
+            rows,
+            exec,
+            plan,
+            elapsed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+    use crate::expr::{Filter, FilterOp};
+    use crate::index::IndexDef;
+    use crate::sql::{JoinCond, Output, SelectQuery, UnionAllQuery};
+    use crate::types::{DataType, Value};
+    use crate::view::{ViewDef, ViewSide};
+
+    /// Build the Section 1.1 scenario: inproc + inproc_author.
+    fn build_dblp_like(n_pubs: i64) -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let inproc = db
+            .create_table(TableDef::new(
+                "inproc",
+                vec![
+                    ColumnDef::new("ID", DataType::Int),
+                    ColumnDef::new("PID", DataType::Int),
+                    ColumnDef::new("title", DataType::Str),
+                    ColumnDef::new("booktitle", DataType::Str),
+                    ColumnDef::new("year", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        let author = db
+            .create_table(TableDef::new(
+                "inproc_author",
+                vec![
+                    ColumnDef::new("ID", DataType::Int),
+                    ColumnDef::new("PID", DataType::Int),
+                    ColumnDef::new("author", DataType::Str),
+                ],
+            ))
+            .unwrap();
+        let mut author_id = 0i64;
+        for i in 0..n_pubs {
+            let conf = format!("CONF{}", i % 50);
+            db.insert(
+                inproc,
+                vec![
+                    Value::Int(i),
+                    Value::Int(0),
+                    Value::str(format!("Paper {i}")),
+                    Value::str(conf),
+                    Value::Int(1960 + i % 45),
+                ],
+            )
+            .unwrap();
+            for a in 0..=(i % 3) {
+                db.insert(
+                    author,
+                    vec![
+                        Value::Int(author_id),
+                        Value::Int(i),
+                        Value::str(format!("Author {a}")),
+                    ],
+                )
+                .unwrap();
+                author_id += 1;
+            }
+        }
+        db.analyze();
+        (db, inproc, author)
+    }
+
+    fn paper_query(inproc: TableId, author: TableId) -> SqlQuery {
+        let mut first = SelectQuery::single(inproc);
+        first.outputs = vec![
+            Output::col(0, 0),
+            Output::col(0, 2),
+            Output::col(0, 4),
+            Output::Null(DataType::Str),
+        ];
+        first.filters = vec![Filter::new(0, 3, FilterOp::Eq, Value::str("CONF7"))];
+        let mut second = SelectQuery::single(inproc);
+        second.tables.push(author);
+        second.joins.push(JoinCond {
+            left_ref: 0,
+            left_col: 0,
+            right_ref: 1,
+            right_col: 1,
+        });
+        second.filters = vec![Filter::new(0, 3, FilterOp::Eq, Value::str("CONF7"))];
+        second.outputs = vec![
+            Output::col(0, 0),
+            Output::Null(DataType::Str),
+            Output::Null(DataType::Int),
+            Output::col(1, 2),
+        ];
+        SqlQuery::Union(UnionAllQuery {
+            branches: vec![first, second],
+            order_by: vec![0],
+        })
+    }
+
+    #[test]
+    fn end_to_end_without_indexes() {
+        let (db, inproc, author) = build_dblp_like(500);
+        let outcome = db.execute(&paper_query(inproc, author)).unwrap();
+        // 10 pubs match CONF7 (i%50==7): first branch 10 rows; second branch
+        // sum of authors for those pubs.
+        let first_rows = outcome.rows.iter().filter(|r| !r[1].is_null()).count();
+        assert_eq!(first_rows, 10);
+        assert!(outcome.exec.measured_cost() > 0.0);
+    }
+
+    #[test]
+    fn results_sorted_by_id() {
+        let (db, inproc, author) = build_dblp_like(500);
+        let outcome = db.execute(&paper_query(inproc, author)).unwrap();
+        let ids: Vec<_> = outcome.rows.iter().map(|r| r[0].clone()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn indexes_reduce_measured_cost() {
+        let (mut db, inproc, author) = build_dblp_like(2_000);
+        let query = paper_query(inproc, author);
+        let plain = db.execute(&query).unwrap();
+
+        let config = PhysicalConfig {
+            indexes: vec![
+                IndexDef::new("ix_conf", inproc, vec![3], vec![0, 2, 4]),
+                IndexDef::new("ix_pid", author, vec![1], vec![0, 2]),
+            ],
+            views: vec![],
+        };
+        db.apply_config(&config).unwrap();
+        let indexed = db.execute(&query).unwrap();
+        assert_eq!(plain.rows, indexed.rows);
+        assert!(
+            indexed.exec.measured_cost() < plain.exec.measured_cost(),
+            "indexed={} plain={}",
+            indexed.exec.measured_cost(),
+            plain.exec.measured_cost()
+        );
+    }
+
+    #[test]
+    fn estimate_tracks_execution_direction() {
+        let (db, inproc, author) = build_dblp_like(2_000);
+        let query = paper_query(inproc, author);
+        let none = db.estimate(&query, &PhysicalConfig::none()).unwrap();
+        let config = PhysicalConfig {
+            indexes: vec![
+                IndexDef::new("ix_conf", inproc, vec![3], vec![0, 2, 4]),
+                IndexDef::new("ix_pid", author, vec![1], vec![0, 2]),
+            ],
+            views: vec![],
+        };
+        let with = db.estimate(&query, &config).unwrap();
+        assert!(with.est_cost < none.est_cost);
+    }
+
+    #[test]
+    fn view_execution_matches_pipeline() {
+        let (mut db, inproc, author) = build_dblp_like(300);
+        let query = paper_query(inproc, author);
+        let plain = db.execute(&query).unwrap();
+        let view = ViewDef {
+            name: "v_ia".into(),
+            left: inproc,
+            right: author,
+            left_col: 0,
+            right_col: 1,
+            outputs: vec![
+                (ViewSide::Left, 0),
+                (ViewSide::Left, 3),
+                (ViewSide::Right, 2),
+            ],
+        };
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![],
+            views: vec![view],
+        })
+        .unwrap();
+        let viewed = db.execute(&query).unwrap();
+        assert_eq!(plain.rows, viewed.rows);
+    }
+
+    #[test]
+    fn derived_stats_are_respected() {
+        let (mut db, inproc, _) = build_dblp_like(100);
+        let mut fake = db.table_stats(inproc).clone();
+        fake.rows = 1_000_000;
+        db.set_table_stats(inproc, fake);
+        assert_eq!(db.table_stats(inproc).rows, 1_000_000);
+    }
+
+    #[test]
+    fn clear_config_removes_structures() {
+        let (mut db, inproc, _) = build_dblp_like(100);
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![IndexDef::new("ix", inproc, vec![3], vec![])],
+            views: vec![],
+        })
+        .unwrap();
+        assert!(db.built_index("ix").is_ok());
+        db.clear_config();
+        assert!(db.built_index("ix").is_err());
+    }
+
+    #[test]
+    fn duplicate_index_name_rejected() {
+        let (mut db, inproc, _) = build_dblp_like(10);
+        let config = PhysicalConfig {
+            indexes: vec![
+                IndexDef::new("ix", inproc, vec![3], vec![]),
+                IndexDef::new("ix", inproc, vec![4], vec![]),
+            ],
+            views: vec![],
+        };
+        assert!(db.apply_config(&config).is_err());
+    }
+
+    #[test]
+    fn data_bytes_positive() {
+        let (db, ..) = build_dblp_like(100);
+        assert!(db.data_bytes() > 0);
+        assert!(db.config_bytes(&PhysicalConfig::none()) == 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the relational engine.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type RelResult<T> = Result<T, RelError>;
+
+/// Errors raised by catalog, storage, and execution operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// Referencing a table that does not exist.
+    UnknownTable(String),
+    /// Referencing a column that does not exist in its table.
+    UnknownColumn { table: String, column: String },
+    /// Referencing an index that does not exist.
+    UnknownIndex(String),
+    /// Creating an object whose name is already taken.
+    Duplicate(String),
+    /// A row does not match its table's schema.
+    SchemaMismatch(String),
+    /// A malformed query (bad table/column references, empty union, ...).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownTable(name) => write!(f, "unknown table '{name}'"),
+            RelError::UnknownColumn { table, column } => {
+                write!(f, "unknown column '{column}' in table '{table}'")
+            }
+            RelError::UnknownIndex(name) => write!(f, "unknown index '{name}'"),
+            RelError::Duplicate(name) => write!(f, "object '{name}' already exists"),
+            RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            RelError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RelError::UnknownTable("t".into()).to_string().contains("t"));
+        assert!(RelError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into()
+        }
+        .to_string()
+        .contains("'c'"));
+        assert!(RelError::Duplicate("x".into()).to_string().contains("exists"));
+        assert!(RelError::InvalidQuery("no".into()).to_string().contains("no"));
+    }
+}

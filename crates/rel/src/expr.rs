@@ -1,0 +1,143 @@
+//! Scalar filter expressions (conjunctive predicates).
+
+use crate::types::Value;
+use std::fmt;
+
+/// Comparison operators in filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `IS NULL` (the comparison value is ignored).
+    IsNull,
+    /// `IS NOT NULL` (the comparison value is ignored).
+    IsNotNull,
+}
+
+impl FilterOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            FilterOp::Eq => "=",
+            FilterOp::Ne => "<>",
+            FilterOp::Lt => "<",
+            FilterOp::Le => "<=",
+            FilterOp::Gt => ">",
+            FilterOp::Ge => ">=",
+            FilterOp::IsNull => "IS NULL",
+            FilterOp::IsNotNull => "IS NOT NULL",
+        }
+    }
+
+    /// Evaluate the operator against a stored value.
+    pub fn eval(self, value: &Value, literal: &Value) -> bool {
+        match self {
+            FilterOp::IsNull => value.is_null(),
+            FilterOp::IsNotNull => !value.is_null(),
+            _ => {
+                if value.is_null() || literal.is_null() {
+                    return false; // SQL three-valued logic collapses to false
+                }
+                let ord = value.total_cmp(literal);
+                match self {
+                    FilterOp::Eq => ord == std::cmp::Ordering::Equal,
+                    FilterOp::Ne => ord != std::cmp::Ordering::Equal,
+                    FilterOp::Lt => ord == std::cmp::Ordering::Less,
+                    FilterOp::Le => ord != std::cmp::Ordering::Greater,
+                    FilterOp::Gt => ord == std::cmp::Ordering::Greater,
+                    FilterOp::Ge => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// True for operators an ascending B-tree seek can serve as an equality
+    /// prefix or a one-sided range.
+    pub fn is_sargable(self) -> bool {
+        !matches!(self, FilterOp::Ne)
+    }
+}
+
+/// A filter on one column of one table occurrence in a query:
+/// `table_ref.column <op> literal`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Index into the query's table list.
+    pub table_ref: usize,
+    /// Column index within that table.
+    pub column: usize,
+    /// Operator.
+    pub op: FilterOp,
+    /// Comparison literal (ignored for null tests).
+    pub value: Value,
+}
+
+impl Filter {
+    /// Build a filter.
+    pub fn new(table_ref: usize, column: usize, op: FilterOp, value: Value) -> Self {
+        Filter {
+            table_ref,
+            column,
+            op,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            FilterOp::IsNull | FilterOp::IsNotNull => {
+                write!(f, "t{}.c{} {}", self.table_ref, self.column, self.op.sql())
+            }
+            _ => write!(
+                f,
+                "t{}.c{} {} {}",
+                self.table_ref,
+                self.column,
+                self.op.sql(),
+                self.value
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_comparisons() {
+        assert!(FilterOp::Eq.eval(&Value::Int(5), &Value::Int(5)));
+        assert!(FilterOp::Ne.eval(&Value::Int(5), &Value::Int(6)));
+        assert!(FilterOp::Lt.eval(&Value::Int(5), &Value::Int(6)));
+        assert!(FilterOp::Ge.eval(&Value::str("b"), &Value::str("a")));
+        assert!(!FilterOp::Gt.eval(&Value::str("a"), &Value::str("a")));
+    }
+
+    #[test]
+    fn null_semantics() {
+        assert!(!FilterOp::Eq.eval(&Value::Null, &Value::Null));
+        assert!(!FilterOp::Ne.eval(&Value::Null, &Value::Int(1)));
+        assert!(FilterOp::IsNull.eval(&Value::Null, &Value::Null));
+        assert!(FilterOp::IsNotNull.eval(&Value::Int(1), &Value::Null));
+    }
+
+    #[test]
+    fn sargability() {
+        assert!(FilterOp::Eq.is_sargable());
+        assert!(FilterOp::Le.is_sargable());
+        assert!(!FilterOp::Ne.is_sargable());
+    }
+
+    #[test]
+    fn cross_type_numeric_eval() {
+        assert!(FilterOp::Eq.eval(&Value::Int(2), &Value::Float(2.0)));
+        assert!(FilterOp::Lt.eval(&Value::Float(1.5), &Value::Int(2)));
+    }
+}

@@ -1,0 +1,438 @@
+//! B-tree indexes with included (covering) columns.
+//!
+//! An index is described by an [`IndexDef`] (which is all the what-if
+//! optimizer needs) and optionally *built* into a [`BuiltIndex`] backed by an
+//! ordered map for actual execution.
+
+use crate::catalog::{TableDef, TableId};
+use crate::cost::PAGE_SIZE;
+use crate::stats::TableStats;
+use crate::storage::TableHeap;
+use crate::types::{Row, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Logical description of an index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexDef {
+    /// Index name (unique within the database).
+    pub name: String,
+    /// Indexed table.
+    pub table: TableId,
+    /// Key columns, in order.
+    pub key_columns: Vec<usize>,
+    /// Included (non-key) columns, making the index covering for queries
+    /// that reference only key + included columns.
+    pub include_columns: Vec<usize>,
+    /// Clustered: the table's rows are stored in key order, so the index
+    /// leaf *is* the row — every column is covered and matching rows are
+    /// read sequentially. At most one clustered index per table.
+    pub clustered: bool,
+}
+
+impl IndexDef {
+    /// Create a (nonclustered) index definition.
+    pub fn new(
+        name: impl Into<String>,
+        table: TableId,
+        key_columns: Vec<usize>,
+        include_columns: Vec<usize>,
+    ) -> Self {
+        IndexDef {
+            name: name.into(),
+            table,
+            key_columns,
+            include_columns,
+            clustered: false,
+        }
+    }
+
+    /// Make this index clustered, builder-style.
+    pub fn clustered(mut self) -> Self {
+        self.clustered = true;
+        self
+    }
+
+    /// Does the index cover all of `needed` columns? A clustered index
+    /// covers everything (its leaves are the rows).
+    pub fn covers(&self, needed: &[usize]) -> bool {
+        self.clustered
+            || needed
+                .iter()
+                .all(|c| self.key_columns.contains(c) || self.include_columns.contains(c))
+    }
+
+    /// Width in bytes of one index entry, from table statistics. A
+    /// clustered index's entry is the full row.
+    pub fn entry_width(&self, def: &TableDef, stats: &TableStats) -> f64 {
+        if self.clustered {
+            return stats.effective_row_width().max(def.nominal_row_width() as f64 * 0.25);
+        }
+        let col_width = |&c: &usize| -> f64 {
+            stats
+                .columns
+                .get(c)
+                .map(|s| s.avg_width.max(1.0))
+                .unwrap_or_else(|| def.columns[c].avg_width as f64)
+        };
+        8.0 // row pointer
+            + self.key_columns.iter().map(col_width).sum::<f64>()
+            + self.include_columns.iter().map(col_width).sum::<f64>()
+    }
+
+    /// Estimated size in bytes. Nonclustered: rows x entry width plus ~2%
+    /// internal nodes. Clustered: only the internal nodes count against the
+    /// budget — the leaves replace the heap rather than copying it.
+    pub fn estimated_bytes(&self, def: &TableDef, stats: &TableStats) -> f64 {
+        let leaf_bytes = stats.rows as f64 * self.entry_width(def, stats);
+        if self.clustered {
+            leaf_bytes * 0.02
+        } else {
+            leaf_bytes * 1.02
+        }
+    }
+
+    /// Estimated leaf pages touched when fetching `rows` matching entries.
+    pub fn leaf_pages_for(&self, rows: f64, def: &TableDef, stats: &TableStats) -> f64 {
+        (rows * self.entry_width(def, stats) / PAGE_SIZE as f64).max(1.0)
+    }
+}
+
+/// A seek argument: an equality prefix over the leading key columns plus an
+/// optional range on the next key column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRange {
+    /// Values for the leading key columns, compared by equality.
+    pub eq_prefix: Vec<Value>,
+    /// Optional `(lower, upper)` bounds on key column `eq_prefix.len()`.
+    pub range: Option<(Bound<Value>, Bound<Value>)>,
+}
+
+impl KeyRange {
+    /// Pure equality seek.
+    pub fn eq(values: Vec<Value>) -> Self {
+        KeyRange {
+            eq_prefix: values,
+            range: None,
+        }
+    }
+
+    /// Range-only seek on the first key column.
+    pub fn range(lower: Bound<Value>, upper: Bound<Value>) -> Self {
+        KeyRange {
+            eq_prefix: Vec::new(),
+            range: Some((lower, upper)),
+        }
+    }
+}
+
+/// A materialized B-tree index.
+#[derive(Debug, Clone)]
+pub struct BuiltIndex {
+    /// Definition.
+    pub def: IndexDef,
+    map: BTreeMap<Vec<Value>, Vec<u32>>,
+}
+
+impl BuiltIndex {
+    /// Build the index over a table heap.
+    pub fn build(def: IndexDef, heap: &TableHeap) -> Self {
+        let mut map: BTreeMap<Vec<Value>, Vec<u32>> = BTreeMap::new();
+        for (row_idx, row) in heap.rows().iter().enumerate() {
+            let key: Vec<Value> = def.key_columns.iter().map(|&c| row[c].clone()).collect();
+            map.entry(key).or_default().push(row_idx as u32);
+        }
+        BuiltIndex { def, map }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Row indices matching a seek argument, in key order.
+    pub fn seek(&self, arg: &KeyRange) -> Vec<u32> {
+        let prefix_len = arg.eq_prefix.len();
+        let mut out = Vec::new();
+
+        // Lower starting point of the scan.
+        let start: Bound<Vec<Value>> = match &arg.range {
+            Some((Bound::Included(low), _)) => {
+                let mut k = arg.eq_prefix.clone();
+                k.push(low.clone());
+                Bound::Included(k)
+            }
+            Some((Bound::Excluded(low), _)) => {
+                let mut k = arg.eq_prefix.clone();
+                k.push(low.clone());
+                // Excluded on the composite prefix would skip longer keys
+                // sharing the bound; filter below instead.
+                Bound::Included(k)
+            }
+            _ => Bound::Included(arg.eq_prefix.clone()),
+        };
+
+        for (key, rows) in self.map.range((start, Bound::Unbounded)) {
+            // Stop once the equality prefix no longer matches.
+            if key.len() < prefix_len || key[..prefix_len] != arg.eq_prefix[..] {
+                break;
+            }
+            if let Some((low, high)) = &arg.range {
+                let Some(v) = key.get(prefix_len) else {
+                    continue;
+                };
+                match low {
+                    Bound::Included(l) if v < l => continue,
+                    Bound::Excluded(l) if v <= l => continue,
+                    _ => {}
+                }
+                match high {
+                    Bound::Included(h) if v > h => break,
+                    Bound::Excluded(h) if v >= h => break,
+                    _ => {}
+                }
+            }
+            out.extend_from_slice(rows);
+        }
+        out
+    }
+
+    /// Equality probe used by index nested loop joins (single key column).
+    pub fn probe(&self, key: &Value) -> &[u32] {
+        // A one-element lookup key; allocation is unavoidable with BTreeMap's
+        // borrow rules for Vec keys, but the key is tiny.
+        match self.map.get(std::slice::from_ref(key)) {
+            Some(rows) => rows,
+            None => &[],
+        }
+    }
+
+    /// Scan the whole index in key order, returning `(key, row_indices)`.
+    pub fn scan(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<u32>)> {
+        self.map.iter()
+    }
+
+    /// Project a heap row through the index's key+include columns.
+    pub fn covered_row(&self, row: &Row) -> Row {
+        self.def
+            .key_columns
+            .iter()
+            .chain(&self.def.include_columns)
+            .map(|&c| row[c].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use crate::types::DataType;
+
+    fn setup() -> (TableDef, TableHeap) {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("grp", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+            ],
+        );
+        let mut heap = TableHeap::new();
+        for i in 0..100i64 {
+            heap.insert(
+                &def,
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 10),
+                    Value::str(format!("n{i}")),
+                ],
+            )
+            .unwrap();
+        }
+        (def, heap)
+    }
+
+    #[test]
+    fn eq_seek() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(
+            IndexDef::new("i_grp", TableId(0), vec![1], vec![]),
+            &heap,
+        );
+        let rows = idx.seek(&KeyRange::eq(vec![Value::Int(3)]));
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|&r| heap.row(r as usize)[1] == Value::Int(3)));
+    }
+
+    #[test]
+    fn range_seek() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(IndexDef::new("i_id", TableId(0), vec![0], vec![]), &heap);
+        let rows = idx.seek(&KeyRange::range(
+            Bound::Included(Value::Int(10)),
+            Bound::Excluded(Value::Int(20)),
+        ));
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn composite_eq_plus_range() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(
+            IndexDef::new("i_grp_id", TableId(0), vec![1, 0], vec![]),
+            &heap,
+        );
+        let arg = KeyRange {
+            eq_prefix: vec![Value::Int(3)],
+            range: Some((Bound::Included(Value::Int(0)), Bound::Included(Value::Int(50)))),
+        };
+        let rows = idx.seek(&arg);
+        // grp=3: ids 3,13,23,33,43 are <= 50.
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn exclusive_lower_bound() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(IndexDef::new("i_id", TableId(0), vec![0], vec![]), &heap);
+        let rows = idx.seek(&KeyRange::range(
+            Bound::Excluded(Value::Int(97)),
+            Bound::Unbounded,
+        ));
+        assert_eq!(rows.len(), 2); // 98, 99
+    }
+
+    #[test]
+    fn probe_single_key() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(IndexDef::new("i_grp", TableId(0), vec![1], vec![]), &heap);
+        assert_eq!(idx.probe(&Value::Int(7)).len(), 10);
+        assert!(idx.probe(&Value::Int(77)).is_empty());
+    }
+
+    #[test]
+    fn covering_check() {
+        let def = IndexDef::new("i", TableId(0), vec![1], vec![2]);
+        assert!(def.covers(&[1, 2]));
+        assert!(def.covers(&[2]));
+        assert!(!def.covers(&[0, 1]));
+    }
+
+    #[test]
+    fn covered_row_projection() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(
+            IndexDef::new("i", TableId(0), vec![1], vec![2]),
+            &heap,
+        );
+        let projected = idx.covered_row(heap.row(5));
+        assert_eq!(projected, vec![Value::Int(5), Value::str("n5")]);
+    }
+
+    #[test]
+    fn empty_prefix_scans_everything() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(IndexDef::new("i", TableId(0), vec![0], vec![]), &heap);
+        let rows = idx.seek(&KeyRange::eq(vec![]));
+        assert_eq!(rows.len(), 100);
+    }
+
+    #[test]
+    fn size_estimate_positive() {
+        let (def, heap) = setup();
+        let stats = crate::stats::TableStats {
+            rows: heap.len() as u64,
+            columns: (0..3)
+                .map(|c| {
+                    crate::stats::ColumnStats::build(
+                        heap.rows().iter().map(|r| r[c].clone()),
+                    )
+                })
+                .collect(),
+        };
+        let idx = IndexDef::new("i", TableId(0), vec![0], vec![2]);
+        let bytes = idx.estimated_bytes(&def, &stats);
+        assert!(bytes > 100.0 * 16.0);
+    }
+}
+
+#[cfg(test)]
+mod clustered_tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use crate::stats::{ColumnStats, TableStats};
+    use crate::types::DataType;
+
+    fn setup() -> (TableDef, TableStats) {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("ID", DataType::Int),
+                ColumnDef::new("grp", DataType::Int),
+                ColumnDef::new("payload", DataType::Str).with_width(80),
+            ],
+        );
+        let stats = TableStats {
+            rows: 10_000,
+            columns: vec![
+                ColumnStats::synthetic_uniform_int(10_000, 0, 9_999),
+                ColumnStats::synthetic_uniform_int(10_000, 0, 99),
+                ColumnStats::build((0..10_000).map(|_| Value::str("x".repeat(80)))),
+            ],
+        };
+        (def, stats)
+    }
+
+    #[test]
+    fn clustered_covers_everything() {
+        let def = IndexDef::new("cx", TableId(0), vec![1], vec![]).clustered();
+        assert!(def.covers(&[0, 1, 2]));
+        let plain = IndexDef::new("ix", TableId(0), vec![1], vec![]);
+        assert!(!plain.covers(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn clustered_entry_is_full_row() {
+        let (table, stats) = setup();
+        let clustered = IndexDef::new("cx", TableId(0), vec![1], vec![]).clustered();
+        let plain = IndexDef::new("ix", TableId(0), vec![1], vec![]);
+        assert!(clustered.entry_width(&table, &stats) > plain.entry_width(&table, &stats));
+    }
+
+    #[test]
+    fn clustered_budget_charge_is_small() {
+        let (table, stats) = setup();
+        let clustered = IndexDef::new("cx", TableId(0), vec![1], vec![]).clustered();
+        let covering = IndexDef::new("ix", TableId(0), vec![1], vec![0, 2]);
+        // The clustered index reorganizes the heap instead of copying it.
+        assert!(
+            clustered.estimated_bytes(&table, &stats)
+                < covering.estimated_bytes(&table, &stats) / 10.0
+        );
+    }
+
+    #[test]
+    fn two_clustered_on_one_table_rejected() {
+        use crate::db::Database;
+        use crate::optimizer::PhysicalConfig;
+        let mut db = Database::new();
+        let t = db
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("ID", DataType::Int),
+                    ColumnDef::new("grp", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        let config = PhysicalConfig {
+            indexes: vec![
+                IndexDef::new("c1", t, vec![0], vec![]).clustered(),
+                IndexDef::new("c2", t, vec![1], vec![]).clustered(),
+            ],
+            views: vec![],
+        };
+        assert!(db.apply_config(&config).is_err());
+    }
+}

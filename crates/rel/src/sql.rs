@@ -1,0 +1,422 @@
+//! The SQL subset produced by the sorted-outer-union XPath translation:
+//! conjunctive select-project-join blocks, combined with `UNION ALL` and a
+//! final `ORDER BY`.
+
+use crate::catalog::Catalog;
+use crate::error::{RelError, RelResult};
+use crate::expr::{Filter, FilterOp};
+use crate::catalog::TableId;
+use crate::types::DataType;
+use std::fmt::Write as _;
+
+/// One output expression of a select block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// A column of one of the block's table occurrences.
+    Col {
+        /// Index into [`SelectQuery::tables`].
+        table_ref: usize,
+        /// Column index within that table.
+        column: usize,
+    },
+    /// A typed NULL placeholder (padding in outer-union branches).
+    Null(DataType),
+}
+
+impl Output {
+    /// Convenience constructor.
+    pub fn col(table_ref: usize, column: usize) -> Self {
+        Output::Col { table_ref, column }
+    }
+}
+
+/// An equi-join condition between two table occurrences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinCond {
+    /// Left occurrence index.
+    pub left_ref: usize,
+    /// Column on the left occurrence.
+    pub left_col: usize,
+    /// Right occurrence index.
+    pub right_ref: usize,
+    /// Column on the right occurrence.
+    pub right_col: usize,
+}
+
+/// A conjunctive select-project-join block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// Table occurrences (the same table may appear more than once).
+    pub tables: Vec<TableId>,
+    /// Equi-join conditions connecting occurrences.
+    pub joins: Vec<JoinCond>,
+    /// Conjunctive filters.
+    pub filters: Vec<Filter>,
+    /// Output expressions.
+    pub outputs: Vec<Output>,
+}
+
+impl SelectQuery {
+    /// A single-table query skeleton.
+    pub fn single(table: TableId) -> Self {
+        SelectQuery {
+            tables: vec![table],
+            joins: Vec::new(),
+            filters: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Columns of occurrence `table_ref` referenced anywhere in the block
+    /// (outputs, filters, joins), deduplicated and sorted.
+    pub fn referenced_columns(&self, table_ref: usize) -> Vec<usize> {
+        let mut cols: Vec<usize> = Vec::new();
+        for output in &self.outputs {
+            if let Output::Col { table_ref: t, column } = output {
+                if *t == table_ref {
+                    cols.push(*column);
+                }
+            }
+        }
+        for filter in &self.filters {
+            if filter.table_ref == table_ref {
+                cols.push(filter.column);
+            }
+        }
+        for join in &self.joins {
+            if join.left_ref == table_ref {
+                cols.push(join.left_col);
+            }
+            if join.right_ref == table_ref {
+                cols.push(join.right_col);
+            }
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    /// Validate occurrence/column references against the catalog.
+    pub fn validate(&self, catalog: &Catalog) -> RelResult<()> {
+        let check_col = |table_ref: usize, column: usize| -> RelResult<()> {
+            let table = *self.tables.get(table_ref).ok_or_else(|| {
+                RelError::InvalidQuery(format!("table ref {table_ref} out of range"))
+            })?;
+            let def = catalog.table(table);
+            if column >= def.columns.len() {
+                return Err(RelError::UnknownColumn {
+                    table: def.name.clone(),
+                    column: format!("#{column}"),
+                });
+            }
+            Ok(())
+        };
+        if self.tables.is_empty() {
+            return Err(RelError::InvalidQuery("no tables".into()));
+        }
+        for output in &self.outputs {
+            if let Output::Col { table_ref, column } = output {
+                check_col(*table_ref, *column)?;
+            }
+        }
+        for filter in &self.filters {
+            check_col(filter.table_ref, filter.column)?;
+        }
+        for join in &self.joins {
+            check_col(join.left_ref, join.left_col)?;
+            check_col(join.right_ref, join.right_col)?;
+        }
+        if self.outputs.is_empty() {
+            return Err(RelError::InvalidQuery("no outputs".into()));
+        }
+        Ok(())
+    }
+
+    /// Render as SQL text.
+    pub fn to_sql(&self, catalog: &Catalog) -> String {
+        let alias = |i: usize| -> String {
+            let name = &catalog.table(self.tables[i]).name;
+            if self.tables.len() == 1 {
+                name.clone()
+            } else {
+                format!("T{i}")
+            }
+        };
+        let colname = |table_ref: usize, column: usize| -> String {
+            format!(
+                "{}.{}",
+                alias(table_ref),
+                catalog.table(self.tables[table_ref]).columns[column].name
+            )
+        };
+        let mut sql = String::from("SELECT ");
+        for (i, output) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            match output {
+                Output::Col { table_ref, column } => sql.push_str(&colname(*table_ref, *column)),
+                Output::Null(_) => sql.push_str("NULL"),
+            }
+        }
+        sql.push_str("\nFROM ");
+        for (i, table) in self.tables.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            let name = &catalog.table(*table).name;
+            if self.tables.len() == 1 {
+                sql.push_str(name);
+            } else {
+                let _ = write!(sql, "{name} T{i}");
+            }
+        }
+        let mut conds: Vec<String> = Vec::new();
+        for filter in &self.filters {
+            let lhs = colname(filter.table_ref, filter.column);
+            match filter.op {
+                FilterOp::IsNull | FilterOp::IsNotNull => {
+                    conds.push(format!("{lhs} {}", filter.op.sql()));
+                }
+                _ => conds.push(format!("{lhs} {} {}", filter.op.sql(), filter.value)),
+            }
+        }
+        for join in &self.joins {
+            conds.push(format!(
+                "{} = {}",
+                colname(join.left_ref, join.left_col),
+                colname(join.right_ref, join.right_col)
+            ));
+        }
+        if !conds.is_empty() {
+            sql.push_str("\nWHERE ");
+            sql.push_str(&conds.join(" AND "));
+        }
+        sql
+    }
+}
+
+/// A `UNION ALL` of select blocks with a final `ORDER BY` over output
+/// positions — the sorted outer union.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnionAllQuery {
+    /// Branches; all must have the same output arity.
+    pub branches: Vec<SelectQuery>,
+    /// Output positions to order the combined result by.
+    pub order_by: Vec<usize>,
+}
+
+impl UnionAllQuery {
+    /// Validate all branches and arity agreement.
+    pub fn validate(&self, catalog: &Catalog) -> RelResult<()> {
+        if self.branches.is_empty() {
+            return Err(RelError::InvalidQuery("empty UNION ALL".into()));
+        }
+        let arity = self.branches[0].outputs.len();
+        for branch in &self.branches {
+            branch.validate(catalog)?;
+            if branch.outputs.len() != arity {
+                return Err(RelError::InvalidQuery(
+                    "UNION ALL branches have different arities".into(),
+                ));
+            }
+        }
+        for &pos in &self.order_by {
+            if pos >= arity {
+                return Err(RelError::InvalidQuery(format!(
+                    "ORDER BY position {pos} out of range"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Render as SQL text.
+    pub fn to_sql(&self, catalog: &Catalog) -> String {
+        let mut sql = self
+            .branches
+            .iter()
+            .map(|b| b.to_sql(catalog))
+            .collect::<Vec<_>>()
+            .join("\nUNION ALL\n");
+        if !self.order_by.is_empty() {
+            let positions: Vec<String> =
+                self.order_by.iter().map(|p| (p + 1).to_string()).collect();
+            let _ = write!(sql, "\nORDER BY {}", positions.join(", "));
+        }
+        sql
+    }
+}
+
+/// Either shape of translated query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlQuery {
+    /// A single block.
+    Select(SelectQuery),
+    /// A sorted outer union.
+    Union(UnionAllQuery),
+}
+
+impl SqlQuery {
+    /// The branches, uniformly.
+    pub fn branches(&self) -> &[SelectQuery] {
+        match self {
+            SqlQuery::Select(q) => std::slice::from_ref(q),
+            SqlQuery::Union(u) => &u.branches,
+        }
+    }
+
+    /// Validate against a catalog.
+    pub fn validate(&self, catalog: &Catalog) -> RelResult<()> {
+        match self {
+            SqlQuery::Select(q) => q.validate(catalog),
+            SqlQuery::Union(u) => u.validate(catalog),
+        }
+    }
+
+    /// Render as SQL text.
+    pub fn to_sql(&self, catalog: &Catalog) -> String {
+        match self {
+            SqlQuery::Select(q) => q.to_sql(catalog),
+            SqlQuery::Union(u) => u.to_sql(catalog),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use crate::types::Value;
+
+    fn catalog() -> (Catalog, TableId, TableId) {
+        let mut catalog = Catalog::new();
+        let inproc = catalog
+            .add_table(TableDef::new(
+                "inproc",
+                vec![
+                    ColumnDef::new("ID", DataType::Int),
+                    ColumnDef::new("PID", DataType::Int),
+                    ColumnDef::new("title", DataType::Str),
+                    ColumnDef::new("booktitle", DataType::Str),
+                    ColumnDef::new("year", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        let author = catalog
+            .add_table(TableDef::new(
+                "inproc_author",
+                vec![
+                    ColumnDef::new("ID", DataType::Int),
+                    ColumnDef::new("PID", DataType::Int),
+                    ColumnDef::new("author", DataType::Str),
+                ],
+            ))
+            .unwrap();
+        (catalog, inproc, author)
+    }
+
+    /// Build the paper's Section 1.1 query under Mapping 1.
+    fn paper_union(catalog: &Catalog, inproc: TableId, author: TableId) -> UnionAllQuery {
+        let _ = catalog;
+        let mut first = SelectQuery::single(inproc);
+        first.outputs = vec![
+            Output::col(0, 0),
+            Output::col(0, 2),
+            Output::col(0, 4),
+            Output::Null(DataType::Str),
+        ];
+        first.filters = vec![Filter::new(
+            0,
+            3,
+            FilterOp::Eq,
+            Value::str("SIGMOD CONFERENCE"),
+        )];
+        let mut second = SelectQuery::single(inproc);
+        second.tables.push(author);
+        second.joins.push(JoinCond {
+            left_ref: 0,
+            left_col: 0,
+            right_ref: 1,
+            right_col: 1,
+        });
+        second.outputs = vec![
+            Output::col(0, 0),
+            Output::Null(DataType::Str),
+            Output::Null(DataType::Int),
+            Output::col(1, 2),
+        ];
+        second.filters = vec![Filter::new(
+            0,
+            3,
+            FilterOp::Eq,
+            Value::str("SIGMOD CONFERENCE"),
+        )];
+        UnionAllQuery {
+            branches: vec![first, second],
+            order_by: vec![0],
+        }
+    }
+
+    #[test]
+    fn renders_paper_sql() {
+        let (catalog, inproc, author) = catalog();
+        let union = paper_union(&catalog, inproc, author);
+        let sql = union.to_sql(&catalog);
+        assert!(sql.contains("UNION ALL"));
+        assert!(sql.contains("WHERE inproc.booktitle = 'SIGMOD CONFERENCE'"));
+        assert!(sql.contains("T0.ID = T1.PID"));
+        assert!(sql.contains("ORDER BY 1"));
+    }
+
+    #[test]
+    fn validation_passes_for_wellformed() {
+        let (catalog, inproc, author) = catalog();
+        paper_union(&catalog, inproc, author)
+            .validate(&catalog)
+            .unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_column() {
+        let (catalog, inproc, _) = catalog();
+        let mut q = SelectQuery::single(inproc);
+        q.outputs = vec![Output::col(0, 99)];
+        assert!(q.validate(&catalog).is_err());
+    }
+
+    #[test]
+    fn validation_catches_arity_mismatch() {
+        let (catalog, inproc, author) = catalog();
+        let mut union = paper_union(&catalog, inproc, author);
+        union.branches[1].outputs.pop();
+        assert!(union.validate(&catalog).is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_order_by() {
+        let (catalog, inproc, author) = catalog();
+        let mut union = paper_union(&catalog, inproc, author);
+        union.order_by = vec![17];
+        assert!(union.validate(&catalog).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_collects_all() {
+        let (catalog, inproc, author) = catalog();
+        let union = paper_union(&catalog, inproc, author);
+        let second = &union.branches[1];
+        assert_eq!(second.referenced_columns(0), vec![0, 3]); // ID, booktitle
+        assert_eq!(second.referenced_columns(1), vec![1, 2]); // PID, author
+    }
+
+    #[test]
+    fn empty_union_invalid() {
+        let (catalog, ..) = catalog();
+        let union = UnionAllQuery {
+            branches: vec![],
+            order_by: vec![],
+        };
+        assert!(union.validate(&catalog).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Row storage with page accounting.
+
+use crate::catalog::TableDef;
+use crate::cost::PAGE_SIZE;
+use crate::error::{RelError, RelResult};
+use crate::types::{Row, Value};
+
+/// The heap of one table: a vector of rows plus maintained size accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TableHeap {
+    rows: Vec<Row>,
+    /// Total byte size of stored values (maintained incrementally).
+    byte_size: usize,
+}
+
+impl TableHeap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        TableHeap::default()
+    }
+
+    /// Append a row after checking arity and types against `def`.
+    pub fn insert(&mut self, def: &TableDef, row: Row) -> RelResult<()> {
+        if row.len() != def.columns.len() {
+            return Err(RelError::SchemaMismatch(format!(
+                "table '{}' expects {} columns, got {}",
+                def.name,
+                def.columns.len(),
+                row.len()
+            )));
+        }
+        for (value, col) in row.iter().zip(&def.columns) {
+            match value.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(RelError::SchemaMismatch(format!(
+                            "NULL in non-nullable column '{}.{}'",
+                            def.name, col.name
+                        )));
+                    }
+                }
+                Some(ty) if ty != col.ty => {
+                    return Err(RelError::SchemaMismatch(format!(
+                        "type mismatch in '{}.{}': expected {:?}, got {:?}",
+                        def.name, col.name, col.ty, ty
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        self.byte_size += row_width(&row);
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append without validation (used by bulk loads that already validated).
+    pub fn insert_unchecked(&mut self, row: Row) {
+        self.byte_size += row_width(&row);
+        self.rows.push(row);
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row by position.
+    pub fn row(&self, idx: usize) -> &Row {
+        &self.rows[idx]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total stored bytes (values plus an 8-byte row header each).
+    pub fn byte_size(&self) -> usize {
+        self.byte_size
+    }
+
+    /// Number of pages the heap occupies.
+    pub fn pages(&self) -> usize {
+        pages_for_bytes(self.byte_size)
+    }
+
+    /// Drop all rows.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.byte_size = 0;
+    }
+}
+
+/// On-page width of one row: 8-byte header plus each value's width.
+pub fn row_width(row: &[Value]) -> usize {
+    8 + row.iter().map(Value::width).sum::<usize>()
+}
+
+/// Convert a byte size to a page count (at least one page when non-empty).
+pub fn pages_for_bytes(bytes: usize) -> usize {
+    if bytes == 0 {
+        0
+    } else {
+        bytes.div_ceil(PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+    use crate::types::DataType;
+
+    fn def() -> TableDef {
+        TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str).nullable(),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        heap.insert(&def, vec![Value::Int(1), Value::str("a")])
+            .unwrap();
+        heap.insert(&def, vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(heap.len(), 2);
+        assert_eq!(heap.row(0)[0], Value::Int(1));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        assert!(heap.insert(&def, vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn type_checked() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        assert!(heap
+            .insert(&def, vec![Value::str("x"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn null_constraint_checked() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        assert!(heap.insert(&def, vec![Value::Null, Value::Null]).is_err());
+    }
+
+    #[test]
+    fn page_accounting() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        assert_eq!(heap.pages(), 0);
+        for i in 0..1000 {
+            heap.insert(&def, vec![Value::Int(i), Value::str("x".repeat(100))])
+                .unwrap();
+        }
+        // 1000 rows * (8 header + 8 int + 104 str) = 120_000 bytes -> 15 pages.
+        assert_eq!(heap.byte_size(), 120_000);
+        assert_eq!(heap.pages(), 15);
+        heap.clear();
+        assert_eq!(heap.pages(), 0);
+    }
+
+    #[test]
+    fn pages_rounds_up() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE + 1), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Values, data types, and rows.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// Column data types. Mirrors the XSD base types the shredder produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+}
+
+impl DataType {
+    /// Fixed part of the on-page width in bytes. Strings add their average
+    /// length on top (tracked per column in the catalog).
+    pub fn fixed_width(self) -> usize {
+        match self {
+            DataType::Int | DataType::Float => 8,
+            DataType::Str => 4, // length header; payload counted separately
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "BIGINT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "VARCHAR"),
+        }
+    }
+}
+
+/// A single value. `Null` is typed by its column, not by the value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Float value.
+    Float(f64),
+    /// String value; reference-counted so rows can be duplicated cheaply
+    /// through joins and unions.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value's type, if non-null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// Parse text into a value of the given type. Unparseable numerics fall
+    /// back to NULL, mirroring a lenient bulk loader.
+    pub fn parse(text: &str, ty: DataType) -> Value {
+        let trimmed = text.trim();
+        match ty {
+            DataType::Int => trimmed
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
+            DataType::Float => trimmed
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            DataType::Str => Value::str(text),
+        }
+    }
+
+    /// Approximate on-page width in bytes (for page accounting).
+    pub fn width(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+        }
+    }
+
+    /// Total-order comparison used by sorting and B-tree keys:
+    /// `NULL < Int/Float (numeric order) < Str`.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Str(_), _) => Ordering::Greater,
+            (_, Str(_)) => Ordering::Less,
+        }
+    }
+
+    /// SQL three-valued equality collapsed to bool: NULL never equals.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Ints and equal-valued floats must hash alike because
+            // total_cmp treats them as equal.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_by_type() {
+        assert_eq!(Value::parse("42", DataType::Int), Value::Int(42));
+        assert_eq!(Value::parse(" 42 ", DataType::Int), Value::Int(42));
+        assert_eq!(Value::parse("x", DataType::Int), Value::Null);
+        assert_eq!(Value::parse("1.5", DataType::Float), Value::Float(1.5));
+        assert_eq!(Value::parse("abc", DataType::Str), Value::str("abc"));
+    }
+
+    #[test]
+    fn null_ordering() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::str(""));
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(3.0) > Value::Int(2));
+    }
+
+    #[test]
+    fn strings_sort_after_numbers() {
+        assert!(Value::str("0") > Value::Int(999));
+    }
+
+    #[test]
+    fn sql_eq_null_semantics() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Int(1).sql_eq(&Value::Null));
+        assert!(Value::Int(1).sql_eq(&Value::Int(1)));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(v: &Value) -> u64 {
+            let mut hasher = DefaultHasher::new();
+            v.hash(&mut hasher);
+            hasher.finish()
+        }
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Value::Int(1).width(), 8);
+        assert_eq!(Value::str("abcd").width(), 8);
+        assert_eq!(Value::Null.width(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(DataType::Str.to_string(), "VARCHAR");
+    }
+}

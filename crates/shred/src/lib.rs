@@ -1,0 +1,34 @@
+//! XML-to-relational mapping: the logical design layer of the paper.
+//!
+//! The schema tree `T(V, E, A)` (from `xmlshred-xml`) is immutable; a
+//! [`mapping::Mapping`] is an *overlay of decisions* on top of it:
+//!
+//! * annotation overrides — outlining, inlining, type split/merge,
+//! * repetition splits — the first `k` occurrences of a set-valued leaf are
+//!   inlined into the parent table,
+//! * horizontal partitionings — union distribution over `choice` groups and
+//!   implicit unions over optional elements (including the merged candidates
+//!   of Section 4.7).
+//!
+//! From a mapping, [`schema::derive_schema`] produces the relational schema
+//! per the paper's three rules (Section 2); [`shredder`] loads documents;
+//! [`source_stats`] collects the Section 4.1 statistics in one pass over the
+//! data; and [`stats_derive`] derives per-table statistics for *any* mapping
+//! from those source statistics without reloading — exactly how the paper's
+//! search avoids touching the data per enumerated mapping.
+//!
+//! [`transform::Transformation`] enumerates and applies the design
+//! transformations of Section 2.1, split into the *subsumed* and
+//! *nonsubsumed* classes of Section 3.
+
+pub mod mapping;
+pub mod schema;
+pub mod shredder;
+pub mod source_stats;
+pub mod stats_derive;
+pub mod transform;
+
+pub use mapping::{Mapping, PartitionDim};
+pub use schema::{ColumnSource, DerivedSchema, RelColumn, RelTable};
+pub use source_stats::SourceStats;
+pub use transform::{Transformation, TransformationKind};

@@ -1,0 +1,420 @@
+//! The mapping overlay: logical design decisions over an immutable schema
+//! tree.
+
+use rustc_hash::FxHashMap;
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+
+/// One horizontal-partitioning dimension on a table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PartitionDim {
+    /// Union distribution over an explicit `choice` node: one partition per
+    /// branch (branch = direct child of the choice node).
+    Choice(NodeId),
+    /// Implicit union over a set of optional nodes (one node for a plain
+    /// candidate; several for a merged candidate of Section 4.7): two
+    /// partitions — rows where *any* of the optionals is present, and the
+    /// rest.
+    Optionals(Vec<NodeId>),
+}
+
+impl PartitionDim {
+    /// Number of partitions the dimension induces.
+    pub fn arity(&self, tree: &SchemaTree) -> usize {
+        match self {
+            PartitionDim::Choice(node) => tree.children(*node).len(),
+            PartitionDim::Optionals(_) => 2,
+        }
+    }
+
+    /// The optional nodes of an implicit-union dimension.
+    pub fn optional_nodes(&self) -> Option<&[NodeId]> {
+        match self {
+            PartitionDim::Optionals(nodes) => Some(nodes),
+            PartitionDim::Choice(_) => None,
+        }
+    }
+}
+
+/// A logical mapping: decisions layered over the schema tree.
+///
+/// The *effective annotation* of a node is computed from the initial
+/// annotations in the tree plus the overrides recorded here. Only nodes with
+/// in-degree one (not the root, not children of `*`) may have their
+/// annotation removed (inlining).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Mapping {
+    /// Annotation overrides: `Some(name)` annotates the node (outlining /
+    /// type split / type merge renames), `None` removes the annotation
+    /// (inlining).
+    pub annotation_overrides: FxHashMap<NodeId, Option<String>>,
+    /// Repetition splits: `*` node -> number of inlined occurrences.
+    pub rep_splits: FxHashMap<NodeId, usize>,
+    /// Horizontal partitioning dimensions, keyed by the *annotated* node
+    /// whose table they partition.
+    pub partitions: FxHashMap<NodeId, Vec<PartitionDim>>,
+}
+
+impl Mapping {
+    /// The hybrid-inlining mapping of Shanmugasundaram et al. \[20\]: exactly
+    /// the initial annotations of the tree, no splits, no partitions.
+    pub fn hybrid(_tree: &SchemaTree) -> Self {
+        Mapping::default()
+    }
+
+    /// The effective annotation of a node under this mapping.
+    pub fn annotation<'a>(&'a self, tree: &'a SchemaTree, node: NodeId) -> Option<&'a str> {
+        match self.annotation_overrides.get(&node) {
+            Some(over) => over.as_deref(),
+            None => tree.annotation(node),
+        }
+    }
+
+    /// Is the node effectively annotated?
+    pub fn is_annotated(&self, tree: &SchemaTree, node: NodeId) -> bool {
+        self.annotation(tree, node).is_some()
+    }
+
+    /// All effectively annotated nodes, in node order.
+    pub fn annotated_nodes(&self, tree: &SchemaTree) -> Vec<NodeId> {
+        tree.node_ids()
+            .filter(|&n| self.is_annotated(tree, n))
+            .collect()
+    }
+
+    /// Can this node's annotation be removed (inlined)? True when the node
+    /// is currently annotated and its in-degree is one.
+    pub fn can_inline(&self, tree: &SchemaTree, node: NodeId) -> bool {
+        self.is_annotated(tree, node) && !tree.requires_annotation(node)
+    }
+
+    /// Can this node be outlined? True for currently unannotated `Tag`
+    /// nodes (other than the root, which is always annotated).
+    pub fn can_outline(&self, tree: &SchemaTree, node: NodeId) -> bool {
+        matches!(tree.node(node).kind, NodeKind::Tag(_)) && !self.is_annotated(tree, node)
+    }
+
+    /// Set / override a node's annotation.
+    pub fn annotate(&mut self, node: NodeId, name: impl Into<String>) {
+        self.annotation_overrides.insert(node, Some(name.into()));
+    }
+
+    /// Remove a node's annotation (inline it). The caller must have checked
+    /// [`Mapping::can_inline`].
+    pub fn unannotate(&mut self, node: NodeId) {
+        self.annotation_overrides.insert(node, None);
+    }
+
+    /// The *table anchor* of a node: the nearest effectively annotated
+    /// ancestor-or-self. Every node maps into its anchor's table.
+    pub fn anchor_of(&self, tree: &SchemaTree, node: NodeId) -> NodeId {
+        let mut current = node;
+        loop {
+            if self.is_annotated(tree, current) {
+                return current;
+            }
+            match tree.parent(current) {
+                Some(parent) => current = parent,
+                None => return current, // root is always annotated in valid trees
+            }
+        }
+    }
+
+    /// Nodes that share an effective annotation name, grouped by name.
+    /// Groups with more than one node are the *shared annotations* eligible
+    /// for type split.
+    pub fn annotation_groups(&self, tree: &SchemaTree) -> FxHashMap<String, Vec<NodeId>> {
+        let mut groups: FxHashMap<String, Vec<NodeId>> = FxHashMap::default();
+        for node in tree.node_ids() {
+            if let Some(name) = self.annotation(tree, node) {
+                groups.entry(name.to_string()).or_default().push(node);
+            }
+        }
+        groups
+    }
+
+    /// Active partition dimensions on the table anchored at `node`.
+    pub fn partition_dims(&self, node: NodeId) -> &[PartitionDim] {
+        self.partitions.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Add a partition dimension to the table anchored at `anchor`.
+    pub fn add_partition(&mut self, anchor: NodeId, dim: PartitionDim) {
+        let dims = self.partitions.entry(anchor).or_default();
+        if !dims.contains(&dim) {
+            dims.push(dim);
+        }
+    }
+
+    /// Remove a partition dimension.
+    pub fn remove_partition(&mut self, anchor: NodeId, dim: &PartitionDim) {
+        if let Some(dims) = self.partitions.get_mut(&anchor) {
+            dims.retain(|d| d != dim);
+            if dims.is_empty() {
+                self.partitions.remove(&anchor);
+            }
+        }
+    }
+
+    /// The repetition-split count of a `*` node, if split.
+    pub fn rep_split_count(&self, star: NodeId) -> Option<usize> {
+        self.rep_splits.get(&star).copied()
+    }
+
+    /// Check invariants:
+    /// * every node requiring an annotation has one,
+    /// * partition anchors are annotated and their dims reference descendant
+    ///   choice / optional nodes within the anchor's table scope,
+    /// * rep-split nodes are `*` nodes over leaf elements.
+    pub fn validate(&self, tree: &SchemaTree) -> Result<(), String> {
+        for node in tree.node_ids() {
+            if matches!(tree.node(node).kind, NodeKind::Tag(_))
+                && tree.requires_annotation(node)
+                && !self.is_annotated(tree, node)
+            {
+                return Err(format!("node {node} requires an annotation"));
+            }
+        }
+        for (&anchor, dims) in &self.partitions {
+            if !self.is_annotated(tree, anchor) {
+                return Err(format!("partition anchor {anchor} is not annotated"));
+            }
+            for dim in dims {
+                let nodes: Vec<NodeId> = match dim {
+                    PartitionDim::Choice(c) => vec![*c],
+                    PartitionDim::Optionals(list) => list.clone(),
+                };
+                for n in nodes {
+                    let kind_ok = match dim {
+                        PartitionDim::Choice(_) => {
+                            matches!(tree.node(n).kind, NodeKind::Choice)
+                        }
+                        PartitionDim::Optionals(_) => {
+                            matches!(tree.node(n).kind, NodeKind::Optional)
+                        }
+                    };
+                    if !kind_ok {
+                        return Err(format!("partition dim node {n} has the wrong kind"));
+                    }
+                    let tag_anchor = tree
+                        .parent_tag(n)
+                        .map(|t| self.anchor_of(tree, t))
+                        .unwrap_or(anchor);
+                    if tag_anchor != anchor {
+                        return Err(format!(
+                            "partition dim node {n} does not belong to anchor {anchor}'s table"
+                        ));
+                    }
+                }
+            }
+        }
+        for (&star, &count) in &self.rep_splits {
+            if !matches!(tree.node(star).kind, NodeKind::Repetition) {
+                return Err(format!("rep-split node {star} is not a repetition"));
+            }
+            if count == 0 {
+                return Err(format!("rep-split count on {star} must be positive"));
+            }
+            let child = tree.children(star)[0];
+            if !tree.is_leaf_element(child) {
+                return Err(format!(
+                    "rep-split on {star} is only supported over leaf elements"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Test and example fixtures (the Fig. 1b Movie schema built by hand).
+pub mod fixtures {
+    use xmlshred_xml::tree::{BaseType, NodeId, NodeKind, SchemaTree};
+
+    /// The Movie schema of Fig. 1b:
+    /// movies -> * -> movie(title, year, aka_title*, avg_rating?,
+    ///                      (box_office | seasons))
+    pub struct MovieTree {
+        pub tree: SchemaTree,
+        pub movie: NodeId,
+        pub title: NodeId,
+        pub year: NodeId,
+        pub aka_star: NodeId,
+        pub aka_title: NodeId,
+        pub rating_opt: NodeId,
+        pub avg_rating: NodeId,
+        pub choice: NodeId,
+        pub box_office: NodeId,
+        pub seasons: NodeId,
+    }
+
+    pub fn movie_tree() -> MovieTree {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("movies".into()));
+        let root = t.root();
+        t.set_annotation(root, "movies");
+        let star = t.add_child(root, NodeKind::Repetition);
+        t.set_occurs(star, 0, None);
+        let movie = t.add_child(star, NodeKind::Tag("movie".into()));
+        t.set_annotation(movie, "movie");
+        let seq = t.add_child(movie, NodeKind::Sequence);
+        let title = t.add_child(seq, NodeKind::Tag("title".into()));
+        t.add_child(title, NodeKind::Simple(BaseType::Str));
+        let year = t.add_child(seq, NodeKind::Tag("year".into()));
+        t.add_child(year, NodeKind::Simple(BaseType::Int));
+        let aka_star = t.add_child(seq, NodeKind::Repetition);
+        t.set_occurs(aka_star, 0, None);
+        let aka_title = t.add_child(aka_star, NodeKind::Tag("aka_title".into()));
+        t.set_annotation(aka_title, "aka_title");
+        t.add_child(aka_title, NodeKind::Simple(BaseType::Str));
+        let rating_opt = t.add_child(seq, NodeKind::Optional);
+        let avg_rating = t.add_child(rating_opt, NodeKind::Tag("avg_rating".into()));
+        t.add_child(avg_rating, NodeKind::Simple(BaseType::Float));
+        let choice = t.add_child(seq, NodeKind::Choice);
+        let box_office = t.add_child(choice, NodeKind::Tag("box_office".into()));
+        t.add_child(box_office, NodeKind::Simple(BaseType::Int));
+        let seasons = t.add_child(choice, NodeKind::Tag("seasons".into()));
+        t.add_child(seasons, NodeKind::Simple(BaseType::Int));
+        t.validate().unwrap();
+        MovieTree {
+            tree: t,
+            movie,
+            title,
+            year,
+            aka_star,
+            aka_title,
+            rating_opt,
+            avg_rating,
+            choice,
+            box_office,
+            seasons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::movie_tree;
+    use super::*;
+
+    #[test]
+    fn hybrid_mapping_uses_initial_annotations() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        assert!(m.is_annotated(&f.tree, f.movie));
+        assert!(m.is_annotated(&f.tree, f.aka_title));
+        assert!(!m.is_annotated(&f.tree, f.title));
+        m.validate(&f.tree).unwrap();
+    }
+
+    #[test]
+    fn outline_and_inline() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        assert!(m.can_outline(&f.tree, f.title));
+        m.annotate(f.title, "title_t");
+        assert!(m.is_annotated(&f.tree, f.title));
+        assert!(m.can_inline(&f.tree, f.title));
+        m.unannotate(f.title);
+        assert!(!m.is_annotated(&f.tree, f.title));
+        m.validate(&f.tree).unwrap();
+    }
+
+    #[test]
+    fn cannot_inline_required_annotations() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        assert!(!m.can_inline(&f.tree, f.movie)); // child of '*'
+        assert!(!m.can_inline(&f.tree, f.tree.root()));
+    }
+
+    #[test]
+    fn inlining_required_node_fails_validation() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.unannotate(f.movie);
+        assert!(m.validate(&f.tree).is_err());
+    }
+
+    #[test]
+    fn anchor_resolution() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        assert_eq!(m.anchor_of(&f.tree, f.title), f.movie);
+        assert_eq!(m.anchor_of(&f.tree, f.avg_rating), f.movie);
+        assert_eq!(m.anchor_of(&f.tree, f.aka_title), f.aka_title);
+        // Outlining title moves its anchor.
+        let mut m = m;
+        m.annotate(f.title, "t");
+        assert_eq!(m.anchor_of(&f.tree, f.title), f.title);
+    }
+
+    #[test]
+    fn partition_dims_validate() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        m.validate(&f.tree).unwrap();
+        assert_eq!(m.partition_dims(f.movie).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_partition_ignored() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        assert_eq!(m.partition_dims(f.movie).len(), 1);
+        m.remove_partition(f.movie, &PartitionDim::Choice(f.choice));
+        assert!(m.partition_dims(f.movie).is_empty());
+    }
+
+    #[test]
+    fn partition_on_wrong_anchor_rejected() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        // aka_title's table does not contain the choice node.
+        m.add_partition(f.aka_title, PartitionDim::Choice(f.choice));
+        assert!(m.validate(&f.tree).is_err());
+    }
+
+    #[test]
+    fn rep_split_validation() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.rep_splits.insert(f.aka_star, 3);
+        m.validate(&f.tree).unwrap();
+        assert_eq!(m.rep_split_count(f.aka_star), Some(3));
+        // Zero count invalid.
+        m.rep_splits.insert(f.aka_star, 0);
+        assert!(m.validate(&f.tree).is_err());
+    }
+
+    #[test]
+    fn rep_split_on_non_repetition_rejected() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.rep_splits.insert(f.title, 2);
+        assert!(m.validate(&f.tree).is_err());
+    }
+
+    #[test]
+    fn annotation_groups_detect_sharing() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        // Give title and year the same annotation -> one shared group.
+        m.annotate(f.title, "shared");
+        m.annotate(f.year, "shared");
+        let groups = m.annotation_groups(&f.tree);
+        assert_eq!(groups["shared"].len(), 2);
+        assert_eq!(groups["movie"].len(), 1);
+    }
+
+    #[test]
+    fn choice_arity() {
+        let f = movie_tree();
+        assert_eq!(PartitionDim::Choice(f.choice).arity(&f.tree), 2);
+        assert_eq!(
+            PartitionDim::Optionals(vec![f.rating_opt]).arity(&f.tree),
+            2
+        );
+    }
+}

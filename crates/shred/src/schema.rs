@@ -1,0 +1,705 @@
+//! Derive the relational schema from a schema tree + mapping, following the
+//! paper's three rules (Section 2):
+//!
+//! 1. every effectively annotated node maps to a relation named by its
+//!    annotation, with `ID` (primary key) and `PID` (foreign key to the
+//!    parent relation) columns;
+//! 2. every leaf element below it (up to the next annotated node) maps to a
+//!    column;
+//! 3. nodes sharing an annotation map to the same relation.
+//!
+//! On top of that, this module realizes the mapping's horizontal
+//! partitionings (union distribution / implicit union) by emitting one
+//! relation per partition, with the absent branches' columns dropped, and
+//! repetition splits by emitting `leaf_1 .. leaf_k` columns in the parent
+//! relation (the child relation remains for overflow occurrences).
+
+use crate::mapping::{Mapping, PartitionDim};
+use rustc_hash::FxHashMap;
+use xmlshred_rel::catalog::{ColumnDef, TableDef};
+use xmlshred_rel::types::DataType;
+use xmlshred_xml::tree::{BaseType, NodeId, NodeKind, SchemaTree};
+
+/// Where a column's values come from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ColumnSource {
+    /// The synthetic primary key.
+    Id,
+    /// The synthetic foreign key to the parent relation.
+    Pid,
+    /// A leaf element.
+    Leaf(NodeId),
+    /// The `occurrence`-th instance (1-based) of a repetition-split leaf.
+    RepSplit {
+        /// The `*` node that was split.
+        star: NodeId,
+        /// The leaf element under it.
+        leaf: NodeId,
+        /// 1-based occurrence.
+        occurrence: usize,
+    },
+}
+
+/// A derived relational column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelColumn {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Value source.
+    pub source: ColumnSource,
+    /// Data type.
+    pub ty: DataType,
+    /// Nullability.
+    pub nullable: bool,
+}
+
+/// A derived relational table (one horizontal partition of an annotation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelTable {
+    /// Physical table name (annotation plus partition suffix).
+    pub name: String,
+    /// The annotation (logical table) this partition belongs to.
+    pub annotation: String,
+    /// Annotated tree nodes mapped into this table.
+    pub anchors: Vec<NodeId>,
+    /// Partition predicate: selected alternative per dimension
+    /// (empty = the table is not horizontally partitioned).
+    pub partition: Vec<(PartitionDim, usize)>,
+    /// Columns, starting with `ID` and `PID`.
+    pub columns: Vec<RelColumn>,
+    /// Per-anchor column sources: for each anchor, the source of every data
+    /// column (aligned with `columns[2..]`). For shared annotations the
+    /// anchors are structurally equal, so the walks line up positionally;
+    /// the shredder uses this to extract values from *any* anchor's
+    /// instances.
+    pub anchor_sources: FxHashMap<NodeId, Vec<ColumnSource>>,
+}
+
+impl RelTable {
+    /// Position of the column with the given source, if present.
+    pub fn column_position(&self, source: &ColumnSource) -> Option<usize> {
+        self.columns.iter().position(|c| &c.source == source)
+    }
+
+    /// Position of a column by source, resolved through a specific anchor's
+    /// source list (required for shared-annotation tables, whose `columns`
+    /// are sourced from the first anchor only).
+    pub fn column_position_for_anchor(
+        &self,
+        anchor: NodeId,
+        source: &ColumnSource,
+    ) -> Option<usize> {
+        match source {
+            ColumnSource::Id | ColumnSource::Pid => self.column_position(source),
+            _ => {
+                let sources = self.anchor_sources.get(&anchor)?;
+                sources.iter().position(|s| s == source).map(|i| i + 2)
+            }
+        }
+    }
+
+    /// Positions of `star`'s repetition-split columns resolved through a
+    /// specific anchor, in occurrence order.
+    pub fn rep_split_positions_for_anchor(&self, anchor: NodeId, star: NodeId) -> Vec<usize> {
+        let Some(sources) = self.anchor_sources.get(&anchor) else {
+            return Vec::new();
+        };
+        let mut cols: Vec<(usize, usize)> = sources
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                ColumnSource::RepSplit {
+                    star: st,
+                    occurrence,
+                    ..
+                } if *st == star => Some((*occurrence, i + 2)),
+                _ => None,
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Positions of all repetition-split columns of `star`'s leaf, in
+    /// occurrence order.
+    pub fn rep_split_positions(&self, star: NodeId) -> Vec<usize> {
+        let mut cols: Vec<(usize, usize)> = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match &c.source {
+                ColumnSource::RepSplit {
+                    star: s,
+                    occurrence,
+                    ..
+                } if *s == star => Some((*occurrence, i)),
+                _ => None,
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Convert to an engine table definition.
+    ///
+    /// Physical columns other than `ID` are nullable regardless of the
+    /// logical nullability in [`RelColumn::nullable`]: the shredder is a
+    /// lenient bulk loader (a document may omit a required leaf, and
+    /// unparseable numerics load as NULL), so only the synthetic key is
+    /// constrained. Logical nullability still drives statistics derivation
+    /// and DDL display of the *recommended* design.
+    pub fn to_table_def(&self) -> TableDef {
+        TableDef::new(
+            self.name.clone(),
+            self.columns
+                .iter()
+                .map(|c| {
+                    let mut def = ColumnDef::new(c.name.clone(), c.ty);
+                    if !matches!(c.source, ColumnSource::Id) {
+                        def = def.nullable();
+                    }
+                    def
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The full derived schema plus lookup structures.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedSchema {
+    /// Tables in deterministic order.
+    pub tables: Vec<RelTable>,
+    /// anchor node -> indices of its tables (one per partition).
+    pub anchor_tables: FxHashMap<NodeId, Vec<usize>>,
+}
+
+impl DerivedSchema {
+    /// Indices of the tables anchored at `anchor`.
+    pub fn tables_of_anchor(&self, anchor: NodeId) -> &[usize] {
+        self.anchor_tables
+            .get(&anchor)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<&RelTable> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All placements of a leaf element: `(table index, column index)` pairs
+    /// across partitions (excluding repetition-split copies; see
+    /// [`RelTable::rep_split_positions`] for those).
+    pub fn leaf_placements(&self, leaf: NodeId) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (t, table) in self.tables.iter().enumerate() {
+            if let Some(c) = table.column_position(&ColumnSource::Leaf(leaf)) {
+                out.push((t, c));
+            }
+        }
+        out
+    }
+
+    /// Engine table definitions for all derived tables.
+    pub fn to_table_defs(&self) -> Vec<TableDef> {
+        self.tables.iter().map(RelTable::to_table_def).collect()
+    }
+}
+
+/// Derive the relational schema for `mapping` over `tree`.
+pub fn derive_schema(tree: &SchemaTree, mapping: &Mapping) -> DerivedSchema {
+    let groups = mapping.annotation_groups(tree);
+    let mut names: Vec<&String> = groups.keys().collect();
+    names.sort(); // deterministic order
+
+    let mut schema = DerivedSchema::default();
+    let mut used_names: FxHashMap<String, usize> = FxHashMap::default();
+
+    for name in names {
+        let anchors = &groups[name];
+        // Partition dims only apply to single-anchor annotations.
+        let dims: &[PartitionDim] = if anchors.len() == 1 {
+            mapping.partition_dims(anchors[0])
+        } else {
+            &[]
+        };
+
+        for combo in enumerate_combos(tree, dims) {
+            let partition: Vec<(PartitionDim, usize)> = dims
+                .iter()
+                .cloned()
+                .zip(combo.iter().copied())
+                .collect();
+            let mut columns = vec![
+                RelColumn {
+                    name: "ID".into(),
+                    source: ColumnSource::Id,
+                    ty: DataType::Int,
+                    nullable: false,
+                },
+                RelColumn {
+                    name: "PID".into(),
+                    source: ColumnSource::Pid,
+                    ty: DataType::Int,
+                    nullable: true,
+                },
+            ];
+            // Rule 3: shared annotations are structurally equal, so every
+            // anchor contributes the same column list; collect from the
+            // first and register leaf sources from each via the walk below.
+            let mut anchor_sources: FxHashMap<NodeId, Vec<ColumnSource>> =
+                FxHashMap::default();
+            {
+                let mut collector = Collector {
+                    tree,
+                    mapping,
+                    partition: &partition,
+                    columns: &mut columns,
+                    sources: Vec::new(),
+                    used: FxHashMap::default(),
+                };
+                collector.used.insert("ID".into(), 1);
+                collector.used.insert("PID".into(), 1);
+                for (i, &anchor) in anchors.iter().enumerate() {
+                    collector.sources = Vec::new();
+                    collector.walk_anchor(anchor, i == 0);
+                    anchor_sources.insert(anchor, std::mem::take(&mut collector.sources));
+                }
+            }
+
+            let table_name = unique_name(
+                &mut used_names,
+                format!("{name}{}", partition_suffix(tree, &partition)),
+            );
+            let table_index = schema.tables.len();
+            schema.tables.push(RelTable {
+                name: table_name,
+                annotation: name.clone(),
+                anchors: anchors.clone(),
+                partition,
+                columns,
+                anchor_sources,
+            });
+            for &anchor in anchors {
+                schema
+                    .anchor_tables
+                    .entry(anchor)
+                    .or_default()
+                    .push(table_index);
+            }
+        }
+    }
+    schema
+}
+
+/// Cross product of alternatives over the dims.
+fn enumerate_combos(tree: &SchemaTree, dims: &[PartitionDim]) -> Vec<Vec<usize>> {
+    let mut combos: Vec<Vec<usize>> = vec![Vec::new()];
+    for dim in dims {
+        let arity = dim.arity(tree);
+        let mut next = Vec::with_capacity(combos.len() * arity);
+        for combo in &combos {
+            for alternative in 0..arity {
+                let mut extended = combo.clone();
+                extended.push(alternative);
+                next.push(extended);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+/// Human-readable partition suffix, e.g. `$box_office$no_avg_rating`.
+fn partition_suffix(tree: &SchemaTree, partition: &[(PartitionDim, usize)]) -> String {
+    let mut out = String::new();
+    for (dim, alt) in partition {
+        match dim {
+            PartitionDim::Choice(choice) => {
+                let branch = tree.children(*choice)[*alt];
+                out.push('$');
+                out.push_str(&branch_label(tree, branch));
+            }
+            PartitionDim::Optionals(list) => {
+                let label = list
+                    .iter()
+                    .map(|&o| {
+                        let child = tree.children(o)[0];
+                        branch_label(tree, child)
+                    })
+                    .collect::<Vec<_>>()
+                    .join("_or_");
+                out.push('$');
+                if *alt == 0 {
+                    out.push_str("has_");
+                } else {
+                    out.push_str("no_");
+                }
+                out.push_str(&label);
+            }
+        }
+    }
+    out
+}
+
+fn branch_label(tree: &SchemaTree, node: NodeId) -> String {
+    match &tree.node(node).kind {
+        NodeKind::Tag(name) => name.clone(),
+        _ => tree
+            .child_tags(node)
+            .first()
+            .and_then(|&t| tree.node(t).kind.tag_name().map(str::to_string))
+            .unwrap_or_else(|| format!("alt{}", node.0)),
+    }
+}
+
+fn unique_name(used: &mut FxHashMap<String, usize>, base: String) -> String {
+    let count = used.entry(base.clone()).or_insert(0);
+    *count += 1;
+    if *count == 1 {
+        base
+    } else {
+        format!("{base}_{count}")
+    }
+}
+
+/// Walks an anchor's table scope collecting leaf columns.
+struct Collector<'a> {
+    tree: &'a SchemaTree,
+    mapping: &'a Mapping,
+    partition: &'a [(PartitionDim, usize)],
+    columns: &'a mut Vec<RelColumn>,
+    /// Sources collected during the current anchor's walk (every walk
+    /// records them, whether or not columns are emitted).
+    sources: Vec<ColumnSource>,
+    used: FxHashMap<String, usize>,
+}
+
+impl Collector<'_> {
+    fn walk_anchor(&mut self, anchor: NodeId, emit: bool) {
+        let tree = self.tree;
+        // An annotated leaf element's table stores its own text value.
+        if tree.is_leaf_element(anchor) {
+            self.sources.push(ColumnSource::Leaf(anchor));
+            if emit {
+                let tag = tree
+                    .node(anchor)
+                    .kind
+                    .tag_name()
+                    .unwrap_or("value")
+                    .to_string();
+                let base = tree.leaf_base_type(anchor).unwrap_or(BaseType::Str);
+                let name = self.column_name("", &tag);
+                self.columns.push(RelColumn {
+                    name,
+                    source: ColumnSource::Leaf(anchor),
+                    ty: to_data_type(base),
+                    nullable: false,
+                });
+            }
+            return;
+        }
+        for &child in tree.children(anchor) {
+            self.walk(child, "", false, emit);
+        }
+    }
+
+    /// `emit = false` replays the walk for secondary anchors of a shared
+    /// annotation without adding duplicate columns (the structures are
+    /// equal, so column order lines up by construction).
+    fn walk(&mut self, node: NodeId, prefix: &str, nullable: bool, emit: bool) {
+        let tree = self.tree;
+        match &tree.node(node).kind {
+            NodeKind::Tag(tag) => {
+                if self.mapping.is_annotated(tree, node) {
+                    return; // separate table
+                }
+                if tree.is_leaf_element(node) {
+                    self.sources.push(ColumnSource::Leaf(node));
+                    if emit {
+                        let base = tree.leaf_base_type(node).unwrap_or(BaseType::Str);
+                        let name = self.column_name(prefix, tag);
+                        self.columns.push(RelColumn {
+                            name,
+                            source: ColumnSource::Leaf(node),
+                            ty: to_data_type(base),
+                            nullable,
+                        });
+                    }
+                } else {
+                    let nested = if prefix.is_empty() {
+                        tag.clone()
+                    } else {
+                        format!("{prefix}_{tag}")
+                    };
+                    for &child in tree.children(node) {
+                        self.walk(child, &nested, nullable, emit);
+                    }
+                }
+            }
+            NodeKind::Simple(_) => {}
+            NodeKind::Sequence => {
+                for &child in tree.children(node) {
+                    self.walk(child, prefix, nullable, emit);
+                }
+            }
+            NodeKind::Optional => {
+                // Does a partition dimension cover this optional?
+                let dim_alt = self.partition.iter().find_map(|(dim, alt)| match dim {
+                    PartitionDim::Optionals(list) if list.contains(&node) => {
+                        Some((list.len(), *alt))
+                    }
+                    _ => None,
+                });
+                match dim_alt {
+                    Some((_, 1)) => {} // "rest" partition: column dropped
+                    Some((group_size, 0)) => {
+                        // "present" partition: non-null only when the dim is
+                        // a single optional.
+                        let child = tree.children(node)[0];
+                        let child_nullable = nullable || group_size > 1;
+                        self.walk(child, prefix, child_nullable, emit);
+                    }
+                    _ => {
+                        let child = tree.children(node)[0];
+                        self.walk(child, prefix, true, emit);
+                    }
+                }
+            }
+            NodeKind::Choice => {
+                let dim_alt = self.partition.iter().find_map(|(dim, alt)| match dim {
+                    PartitionDim::Choice(c) if *c == node => Some(*alt),
+                    _ => None,
+                });
+                match dim_alt {
+                    Some(alt) => {
+                        // Distributed: only the selected branch's columns.
+                        let branch = tree.children(node)[alt];
+                        self.walk(branch, prefix, nullable, emit);
+                    }
+                    None => {
+                        for &child in tree.children(node) {
+                            self.walk(child, prefix, true, emit);
+                        }
+                    }
+                }
+            }
+            NodeKind::Repetition => {
+                let child = tree.children(node)[0];
+                if let Some(k) = self.mapping.rep_split_count(node) {
+                    if tree.is_leaf_element(child) {
+                        let NodeKind::Tag(tag) = &tree.node(child).kind else {
+                            return;
+                        };
+                        let base = tree.leaf_base_type(child).unwrap_or(BaseType::Str);
+                        for occurrence in 1..=k {
+                            self.sources.push(ColumnSource::RepSplit {
+                                star: node,
+                                leaf: child,
+                                occurrence,
+                            });
+                            if emit {
+                                let name =
+                                    self.column_name(prefix, &format!("{tag}_{occurrence}"));
+                                self.columns.push(RelColumn {
+                                    name,
+                                    source: ColumnSource::RepSplit {
+                                        star: node,
+                                        leaf: child,
+                                        occurrence,
+                                    },
+                                    ty: to_data_type(base),
+                                    nullable: true,
+                                });
+                            }
+                        }
+                    }
+                }
+                // The (annotated) child keeps its own table for overflow /
+                // non-split storage; nothing else to collect here.
+            }
+        }
+    }
+
+    fn column_name(&mut self, prefix: &str, tag: &str) -> String {
+        let base = if prefix.is_empty() {
+            tag.to_string()
+        } else {
+            format!("{prefix}_{tag}")
+        };
+        let count = self.used.entry(base.clone()).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            base
+        } else {
+            format!("{base}_{count}")
+        }
+    }
+}
+
+fn to_data_type(base: BaseType) -> DataType {
+    match base {
+        BaseType::Int => DataType::Int,
+        BaseType::Float => DataType::Float,
+        BaseType::Str => DataType::Str,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fixtures::movie_tree;
+
+    #[test]
+    fn hybrid_movie_schema() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        let schema = derive_schema(&f.tree, &m);
+        let names: Vec<&str> = schema.tables.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["aka_title", "movie", "movies"]);
+        let movie = schema.table_by_name("movie").unwrap();
+        let cols: Vec<&str> = movie.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            cols,
+            vec!["ID", "PID", "title", "year", "avg_rating", "box_office", "seasons"]
+        );
+    }
+
+    #[test]
+    fn optional_and_choice_columns_nullable() {
+        let f = movie_tree();
+        let schema = derive_schema(&f.tree, &Mapping::hybrid(&f.tree));
+        let movie = schema.table_by_name("movie").unwrap();
+        let by_name = |n: &str| movie.columns.iter().find(|c| c.name == n).unwrap();
+        assert!(!by_name("title").nullable);
+        assert!(by_name("avg_rating").nullable);
+        assert!(by_name("box_office").nullable);
+        assert!(by_name("seasons").nullable);
+    }
+
+    #[test]
+    fn union_distribution_splits_choice() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let schema = derive_schema(&f.tree, &m);
+        let box_table = schema.table_by_name("movie$box_office").unwrap();
+        let tv_table = schema.table_by_name("movie$seasons").unwrap();
+        assert!(box_table
+            .column_position(&ColumnSource::Leaf(f.box_office))
+            .is_some());
+        assert!(box_table
+            .column_position(&ColumnSource::Leaf(f.seasons))
+            .is_none());
+        assert!(tv_table
+            .column_position(&ColumnSource::Leaf(f.seasons))
+            .is_some());
+        // Shared columns appear in both.
+        assert!(tv_table
+            .column_position(&ColumnSource::Leaf(f.title))
+            .is_some());
+    }
+
+    #[test]
+    fn implicit_union_drops_optional_in_rest() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let schema = derive_schema(&f.tree, &m);
+        let with = schema.table_by_name("movie$has_avg_rating").unwrap();
+        let without = schema.table_by_name("movie$no_avg_rating").unwrap();
+        let pos = with
+            .column_position(&ColumnSource::Leaf(f.avg_rating))
+            .unwrap();
+        assert!(!with.columns[pos].nullable); // single-optional "present"
+        assert!(without
+            .column_position(&ColumnSource::Leaf(f.avg_rating))
+            .is_none());
+    }
+
+    #[test]
+    fn crossed_dims_multiply() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let schema = derive_schema(&f.tree, &m);
+        let movie_tables: Vec<_> = schema
+            .tables
+            .iter()
+            .filter(|t| t.annotation == "movie")
+            .collect();
+        assert_eq!(movie_tables.len(), 4);
+    }
+
+    #[test]
+    fn rep_split_adds_columns_and_keeps_child_table() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.rep_splits.insert(f.aka_star, 3);
+        let schema = derive_schema(&f.tree, &m);
+        let movie = schema.table_by_name("movie").unwrap();
+        let positions = movie.rep_split_positions(f.aka_star);
+        assert_eq!(positions.len(), 3);
+        assert_eq!(movie.columns[positions[0]].name, "aka_title_1");
+        assert!(schema.table_by_name("aka_title").is_some());
+    }
+
+    #[test]
+    fn outlined_node_gets_its_own_table() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.annotate(f.title, "movie_title");
+        let schema = derive_schema(&f.tree, &m);
+        let title_table = schema.table_by_name("movie_title").unwrap();
+        assert!(title_table
+            .column_position(&ColumnSource::Leaf(f.title))
+            .is_some());
+        // The movie table no longer carries title.
+        let movie = schema.table_by_name("movie").unwrap();
+        assert!(movie
+            .column_position(&ColumnSource::Leaf(f.title))
+            .is_none());
+    }
+
+    #[test]
+    fn shared_annotation_one_table() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        // Merge box_office and seasons (structurally equal int leaves) into
+        // one "metric" table.
+        m.annotate(f.box_office, "metric");
+        m.annotate(f.seasons, "metric");
+        let schema = derive_schema(&f.tree, &m);
+        let metric = schema.table_by_name("metric").unwrap();
+        assert_eq!(metric.anchors.len(), 2);
+        // Both anchors' tables are the same index.
+        assert_eq!(
+            schema.tables_of_anchor(f.box_office),
+            schema.tables_of_anchor(f.seasons)
+        );
+    }
+
+    #[test]
+    fn leaf_placements_across_partitions() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let schema = derive_schema(&f.tree, &m);
+        // title appears in both partitions.
+        assert_eq!(schema.leaf_placements(f.title).len(), 2);
+        // box_office appears in exactly one.
+        assert_eq!(schema.leaf_placements(f.box_office).len(), 1);
+    }
+
+    #[test]
+    fn table_defs_include_id_pid() {
+        let f = movie_tree();
+        let schema = derive_schema(&f.tree, &Mapping::hybrid(&f.tree));
+        for def in schema.to_table_defs() {
+            assert_eq!(def.columns[0].name, "ID");
+            assert_eq!(def.columns[1].name, "PID");
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Shred XML documents into the relational database for a given mapping.
+//!
+//! Every instance of an effectively annotated element becomes a row in one
+//! of its annotation's tables (the partition chosen by which optional /
+//! choice branches the instance carries). `ID` values are assigned from a
+//! single document-order counter; `PID` points to the row of the nearest
+//! annotated ancestor element.
+
+use crate::mapping::{Mapping, PartitionDim};
+use crate::schema::{ColumnSource, DerivedSchema, RelTable};
+use rustc_hash::FxHashMap;
+use xmlshred_rel::db::Database;
+use xmlshred_rel::error::RelResult;
+use xmlshred_rel::types::{DataType, Row, Value};
+use xmlshred_xml::dom::Element;
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+
+/// Create the schema's tables in a fresh database and load `documents`.
+/// Statistics are analyzed from the loaded data before returning.
+pub fn load_database(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    schema: &DerivedSchema,
+    documents: &[&Element],
+) -> RelResult<Database> {
+    let mut db = Database::new();
+    for def in schema.to_table_defs() {
+        db.create_table(def)?;
+    }
+    let mut shredder = Shredder {
+        tree,
+        mapping,
+        schema,
+        db: &mut db,
+        next_id: 0,
+    };
+    for root in documents {
+        shredder.shred_annotated(root, tree.root(), None)?;
+    }
+    db.analyze();
+    Ok(db)
+}
+
+struct Shredder<'a> {
+    tree: &'a SchemaTree,
+    mapping: &'a Mapping,
+    schema: &'a DerivedSchema,
+    db: &'a mut Database,
+    next_id: i64,
+}
+
+impl Shredder<'_> {
+    /// Shred an element whose tree node is effectively annotated.
+    fn shred_annotated(
+        &mut self,
+        element: &Element,
+        node: NodeId,
+        parent_id: Option<i64>,
+    ) -> RelResult<()> {
+        let id = self.next_id;
+        self.next_id += 1;
+
+        let table_indices = self.schema.tables_of_anchor(node);
+        debug_assert!(!table_indices.is_empty(), "annotated node without table");
+        let table_index = self.pick_partition(element, node, table_indices);
+        let table = &self.schema.tables[table_index];
+
+        let row = self.extract_row(element, node, table, id, parent_id);
+        let table_id = self.db.catalog().table_id(&table.name)?;
+        self.db.insert(table_id, row)?;
+
+        self.descend(element, node, id)?;
+        Ok(())
+    }
+
+    /// Visit children of an element within its anchor's scope, shredding
+    /// annotated descendants.
+    fn descend(&mut self, element: &Element, node: NodeId, anchor_id: i64) -> RelResult<()> {
+        let tree = self.tree;
+        for ct in tree.child_tags(node) {
+            let tag_name = tree.node(ct).kind.tag_name().expect("tag node");
+            let instances: Vec<&Element> = element.children_named(tag_name).collect();
+            if instances.is_empty() {
+                continue;
+            }
+            if self.mapping.is_annotated(tree, ct) {
+                // Repetition split: the first k occurrences live in the
+                // parent's columns; only overflow occurrences become rows.
+                let skip = self.split_count_for(ct);
+                for child in instances.into_iter().skip(skip) {
+                    self.shred_annotated(child, ct, Some(anchor_id))?;
+                }
+            } else if !tree.is_leaf_element(ct) {
+                // Unannotated interior element: stay in the same table
+                // scope, keep the anchor id.
+                for child in instances {
+                    self.descend(child, ct, anchor_id)?;
+                }
+            }
+            // Unannotated leaves were extracted as columns already.
+        }
+        Ok(())
+    }
+
+    /// How many leading occurrences of `ct`'s element are inlined into the
+    /// parent table (0 when its repetition is not split).
+    fn split_count_for(&self, ct: NodeId) -> usize {
+        match self.tree.parent(ct) {
+            Some(parent) if matches!(self.tree.node(parent).kind, NodeKind::Repetition) => {
+                self.mapping.rep_split_count(parent).unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+
+    /// Choose the partition table for this instance.
+    fn pick_partition(&self, element: &Element, node: NodeId, candidates: &[usize]) -> usize {
+        if candidates.len() == 1 {
+            return candidates[0];
+        }
+        // Evaluate each dimension; find the candidate whose selected
+        // alternatives match.
+        for &index in candidates {
+            let table = &self.schema.tables[index];
+            let matches = table.partition.iter().all(|(dim, alt)| {
+                self.dim_alternative(element, node, dim) == *alt
+            });
+            if matches {
+                return index;
+            }
+        }
+        candidates[0]
+    }
+
+    /// Which alternative of `dim` does this instance belong to?
+    fn dim_alternative(&self, element: &Element, node: NodeId, dim: &PartitionDim) -> usize {
+        match dim {
+            PartitionDim::Choice(choice) => {
+                for (i, &branch) in self.tree.children(*choice).iter().enumerate() {
+                    if self.branch_present(element, node, branch) {
+                        return i;
+                    }
+                }
+                0
+            }
+            PartitionDim::Optionals(optionals) => {
+                let any = optionals.iter().any(|&opt| {
+                    let child = self.tree.children(opt)[0];
+                    self.branch_present(element, node, child)
+                });
+                if any {
+                    0
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Is the branch rooted at `branch` present in this instance? The
+    /// element is matched against the branch's tag (or the first tag below
+    /// a structural branch root), navigated relative to `anchor_node`.
+    fn branch_present(&self, element: &Element, anchor_node: NodeId, branch: NodeId) -> bool {
+        let tags: Vec<NodeId> = match self.tree.node(branch).kind {
+            NodeKind::Tag(_) => vec![branch],
+            _ => self.tree.child_tags(branch),
+        };
+        tags.iter().any(|&t| {
+            let path = self.tag_path(anchor_node, t);
+            !find_instances(element, &path).is_empty()
+        })
+    }
+
+    /// The tag-name path from the anchor node (exclusive) to `leaf`
+    /// (inclusive), crossing only unannotated interior tags.
+    fn tag_path(&self, anchor: NodeId, leaf: NodeId) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut current = leaf;
+        while current != anchor {
+            if let NodeKind::Tag(name) = &self.tree.node(current).kind {
+                path.push(name.clone());
+            }
+            match self.tree.parent(current) {
+                Some(parent) => current = parent,
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Build the row for this instance.
+    fn extract_row(
+        &self,
+        element: &Element,
+        node: NodeId,
+        table: &RelTable,
+        id: i64,
+        parent_id: Option<i64>,
+    ) -> Row {
+        let sources = table
+            .anchor_sources
+            .get(&node)
+            .expect("anchor registered in table");
+        let mut row: Row = Vec::with_capacity(table.columns.len());
+        row.push(Value::Int(id));
+        row.push(parent_id.map(Value::Int).unwrap_or(Value::Null));
+        for (source, column) in sources.iter().zip(&table.columns[2..]) {
+            let value = match source {
+                ColumnSource::Id | ColumnSource::Pid => Value::Null, // unreachable
+                ColumnSource::Leaf(leaf) => {
+                    let path = self.tag_path(node, *leaf);
+                    match find_instances(element, &path).first() {
+                        Some(e) => parse_typed(&e.text(), column.ty),
+                        None => Value::Null,
+                    }
+                }
+                ColumnSource::RepSplit {
+                    leaf, occurrence, ..
+                } => {
+                    let path = self.tag_path(node, *leaf);
+                    match find_instances(element, &path).get(occurrence - 1) {
+                        Some(e) => parse_typed(&e.text(), column.ty),
+                        None => Value::Null,
+                    }
+                }
+            };
+            row.push(value);
+        }
+        row
+    }
+}
+
+/// All instances reached by following `path` (tag names) from `element`,
+/// branching at every level, in document order.
+fn find_instances<'a>(element: &'a Element, path: &'a [String]) -> Vec<&'a Element> {
+    let mut current = vec![element];
+    for name in path {
+        let mut next = Vec::new();
+        for e in current {
+            next.extend(e.children_named(name));
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    // An empty path addresses the element itself (annotated leaf elements
+    // store their own text value).
+    current
+}
+
+fn parse_typed(text: &str, ty: DataType) -> Value {
+    Value::parse(text, ty)
+}
+
+/// Build a per-star split-count lookup closure from a mapping (convenience
+/// for statistics code).
+pub fn split_counts(mapping: &Mapping) -> FxHashMap<NodeId, usize> {
+    mapping.rep_splits.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fixtures::movie_tree;
+    use crate::schema::derive_schema;
+    use xmlshred_xml::parser::parse_element;
+
+    fn sample_doc() -> Element {
+        parse_element(
+            r#"<movies>
+              <movie><title>A</title><year>1997</year>
+                <aka_title>A1</aka_title><aka_title>A2</aka_title><aka_title>A3</aka_title>
+                <avg_rating>7.5</avg_rating><box_office>100</box_office></movie>
+              <movie><title>B</title><year>1994</year>
+                <seasons>10</seasons></movie>
+              <movie><title>C</title><year>2001</year>
+                <aka_title>C1</aka_title>
+                <box_office>300</box_office></movie>
+            </movies>"#,
+        )
+        .unwrap()
+    }
+
+    fn load(mapping: &Mapping) -> (Database, DerivedSchema) {
+        let f = movie_tree();
+        let schema = derive_schema(&f.tree, mapping);
+        let doc = sample_doc();
+        let db = load_database(&f.tree, mapping, &schema, &[&doc]).unwrap();
+        (db, schema)
+    }
+
+    #[test]
+    fn hybrid_loads_all_rows() {
+        let f = movie_tree();
+        let (db, _) = load(&Mapping::hybrid(&f.tree));
+        let movies = db.catalog().table_id("movie").unwrap();
+        let akas = db.catalog().table_id("aka_title").unwrap();
+        assert_eq!(db.heap(movies).len(), 3);
+        assert_eq!(db.heap(akas).len(), 4);
+    }
+
+    #[test]
+    fn pid_links_to_parent() {
+        let f = movie_tree();
+        let (db, _) = load(&Mapping::hybrid(&f.tree));
+        let movies = db.catalog().table_id("movie").unwrap();
+        let akas = db.catalog().table_id("aka_title").unwrap();
+        let movie_ids: Vec<Value> = db.heap(movies).rows().iter().map(|r| r[0].clone()).collect();
+        for aka in db.heap(akas).rows() {
+            assert!(movie_ids.contains(&aka[1]), "dangling PID {:?}", aka[1]);
+        }
+    }
+
+    #[test]
+    fn leaf_columns_populated() {
+        let f = movie_tree();
+        let (db, schema) = load(&Mapping::hybrid(&f.tree));
+        let movies = db.catalog().table_id("movie").unwrap();
+        let table = schema.table_by_name("movie").unwrap();
+        let title_col = table
+            .column_position(&ColumnSource::Leaf(f.title))
+            .unwrap();
+        let titles: Vec<String> = db
+            .heap(movies)
+            .rows()
+            .iter()
+            .map(|r| r[title_col].to_string())
+            .collect();
+        assert_eq!(titles, vec!["'A'", "'B'", "'C'"]);
+        // Optional avg_rating: only the first movie has it.
+        let rating_col = table
+            .column_position(&ColumnSource::Leaf(f.avg_rating))
+            .unwrap();
+        let nulls = db
+            .heap(movies)
+            .rows()
+            .iter()
+            .filter(|r| r[rating_col].is_null())
+            .count();
+        assert_eq!(nulls, 2);
+    }
+
+    #[test]
+    fn rep_split_inlines_and_overflows() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.rep_splits.insert(f.aka_star, 2);
+        let (db, schema) = load(&m);
+        let movies = db.catalog().table_id("movie").unwrap();
+        let table = schema.table_by_name("movie").unwrap();
+        let positions = table.rep_split_positions(f.aka_star);
+        assert_eq!(positions.len(), 2);
+        let first = &db.heap(movies).rows()[0];
+        assert_eq!(first[positions[0]], Value::str("A1"));
+        assert_eq!(first[positions[1]], Value::str("A2"));
+        // Overflow: only A3 lands in the child table.
+        let akas = db.catalog().table_id("aka_title").unwrap();
+        assert_eq!(db.heap(akas).len(), 1);
+        assert_eq!(db.heap(akas).rows()[0][2], Value::str("A3"));
+    }
+
+    #[test]
+    fn union_distribution_routes_rows() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let (db, _) = load(&m);
+        let box_t = db.catalog().table_id("movie$box_office").unwrap();
+        let tv_t = db.catalog().table_id("movie$seasons").unwrap();
+        assert_eq!(db.heap(box_t).len(), 2); // A and C
+        assert_eq!(db.heap(tv_t).len(), 1); // B
+    }
+
+    #[test]
+    fn implicit_union_routes_rows() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let (db, _) = load(&m);
+        let with = db.catalog().table_id("movie$has_avg_rating").unwrap();
+        let without = db.catalog().table_id("movie$no_avg_rating").unwrap();
+        assert_eq!(db.heap(with).len(), 1);
+        assert_eq!(db.heap(without).len(), 2);
+    }
+
+    #[test]
+    fn crossed_partitions_route_rows() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let (db, schema) = load(&m);
+        let total: usize = schema
+            .tables
+            .iter()
+            .filter(|t| t.annotation == "movie")
+            .map(|t| db.heap(db.catalog().table_id(&t.name).unwrap()).len())
+            .sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn outlined_title_gets_rows_with_pid() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.annotate(f.title, "title_t");
+        let (db, _) = load(&m);
+        let titles = db.catalog().table_id("title_t").unwrap();
+        assert_eq!(db.heap(titles).len(), 3);
+        // Titles' PIDs point at movie rows.
+        let movies = db.catalog().table_id("movie").unwrap();
+        let movie_ids: Vec<Value> = db.heap(movies).rows().iter().map(|r| r[0].clone()).collect();
+        for t in db.heap(titles).rows() {
+            assert!(movie_ids.contains(&t[1]));
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_tables() {
+        let f = movie_tree();
+        let (db, schema) = load(&Mapping::hybrid(&f.tree));
+        let mut ids = Vec::new();
+        for table in &schema.tables {
+            let t = db.catalog().table_id(&table.name).unwrap();
+            ids.extend(db.heap(t).rows().iter().map(|r| r[0].clone()));
+        }
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn stats_analyzed_after_load() {
+        let f = movie_tree();
+        let (db, _) = load(&Mapping::hybrid(&f.tree));
+        let movies = db.catalog().table_id("movie").unwrap();
+        assert_eq!(db.table_stats(movies).rows, 3);
+    }
+}

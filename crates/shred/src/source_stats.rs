@@ -1,0 +1,358 @@
+//! One-pass collection of the Section 4.1 statistics from the XML data.
+//!
+//! The paper collects statistics at the finest granularity (the fully split
+//! schema) once, and derives statistics for every merged schema from them.
+//! Collecting per schema-tree node is equivalent to collecting on the fully
+//! split schema — every fully split relation corresponds to one tree node —
+//! and lets [`crate::stats_derive`] build table statistics for *any* mapping.
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use xmlshred_rel::stats::ColumnStats;
+use xmlshred_rel::types::Value;
+use xmlshred_xml::dom::Element;
+use xmlshred_xml::tree::{BaseType, NodeId, NodeKind, SchemaTree};
+
+/// Cardinality histogram cap: occurrence counts at or above this land in the
+/// last bucket.
+pub const CARDINALITY_CAP: usize = 64;
+
+/// Statistics collected from the data, keyed by schema-tree nodes.
+#[derive(Debug, Clone, Default)]
+pub struct SourceStats {
+    /// Per `Tag` node: number of element instances.
+    pub instance_count: FxHashMap<NodeId, u64>,
+    /// Per leaf `Tag` node: distribution of its text values (present
+    /// instances only).
+    pub leaf_values: FxHashMap<NodeId, ColumnStats>,
+    /// Per `Repetition` node: `counts[k]` = number of parent instances with
+    /// exactly `k` occurrences (`k` capped at [`CARDINALITY_CAP`]).
+    pub rep_cardinality: FxHashMap<NodeId, Vec<u64>>,
+    /// Per `Optional` node and per choice *branch* node (direct child of a
+    /// `Choice`): number of parent instances where it is present.
+    pub presence_count: FxHashMap<NodeId, u64>,
+    /// Per structural node (`Optional` / `Choice` / `Repetition`): number of
+    /// parent-tag instances observed.
+    pub parent_instances: FxHashMap<NodeId, u64>,
+    /// Total elements shredded (the `ID` range).
+    pub total_elements: u64,
+}
+
+impl SourceStats {
+    /// Collect statistics for `document` under `tree`.
+    pub fn collect(tree: &SchemaTree, root: &Element) -> SourceStats {
+        let mut acc = Accumulator {
+            tree,
+            values: FxHashMap::default(),
+            stats: SourceStats::default(),
+        };
+        acc.walk(root, tree.root());
+        let mut stats = acc.stats;
+        for (node, values) in acc.values {
+            stats
+                .leaf_values
+                .insert(node, ColumnStats::build(values.into_iter()));
+        }
+        stats
+    }
+
+    /// Fraction of parent instances where `node` (an `Optional` or a choice
+    /// branch) is present.
+    pub fn presence_fraction(&self, node: NodeId) -> f64 {
+        let parents = match self.parent_instances.get(&node) {
+            Some(&p) if p > 0 => p as f64,
+            _ => return 0.0,
+        };
+        self.presence_count.get(&node).copied().unwrap_or(0) as f64 / parents
+    }
+
+    /// Fraction of parent instances with at least `k` occurrences of the
+    /// repetition `star`.
+    pub fn cardinality_fraction_ge(&self, star: NodeId, k: usize) -> f64 {
+        let Some(counts) = self.rep_cardinality.get(&star) else {
+            return 0.0;
+        };
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let ge: u64 = counts.iter().skip(k).sum();
+        ge as f64 / total as f64
+    }
+
+    /// Expected overflow rows beyond `k` inlined occurrences, per the
+    /// cardinality histogram.
+    pub fn overflow_rows(&self, star: NodeId, k: usize) -> u64 {
+        let Some(counts) = self.rep_cardinality.get(&star) else {
+            return 0;
+        };
+        counts
+            .iter()
+            .enumerate()
+            .map(|(card, &parents)| parents * card.saturating_sub(k) as u64)
+            .sum()
+    }
+
+    /// Number of parents with at least one overflow occurrence beyond `k`.
+    pub fn overflow_parents(&self, star: NodeId, k: usize) -> u64 {
+        let Some(counts) = self.rep_cardinality.get(&star) else {
+            return 0;
+        };
+        counts.iter().skip(k + 1).sum()
+    }
+
+    /// Total occurrences of the repeated element.
+    pub fn total_occurrences(&self, star: NodeId) -> u64 {
+        let Some(counts) = self.rep_cardinality.get(&star) else {
+            return 0;
+        };
+        counts
+            .iter()
+            .enumerate()
+            .map(|(card, &parents)| parents * card as u64)
+            .sum()
+    }
+
+    /// The Section 4.6 repetition-split count: the smallest `k <= c_max`
+    /// such that at least `quantile` of parents have cardinality `<= k`;
+    /// `None` when even `c_max` leaves more than `1 - quantile` of parents
+    /// overflowing *and* the maximum cardinality exceeds `c_max`.
+    pub fn choose_split_count(&self, star: NodeId, c_max: usize, quantile: f64) -> Option<usize> {
+        let counts = self.rep_cardinality.get(&star)?;
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let max_card = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        if max_card == 0 {
+            return None; // never occurs; nothing to split
+        }
+        if max_card <= c_max {
+            return Some(max_card);
+        }
+        let mut cumulative = 0u64;
+        for k in 0..=c_max {
+            cumulative += counts.get(k).copied().unwrap_or(0);
+            if cumulative as f64 / total as f64 >= quantile {
+                return Some(k.max(1));
+            }
+        }
+        None
+    }
+}
+
+struct Accumulator<'a> {
+    tree: &'a SchemaTree,
+    values: FxHashMap<NodeId, Vec<Value>>,
+    stats: SourceStats,
+}
+
+impl Accumulator<'_> {
+    fn walk(&mut self, element: &Element, tag_node: NodeId) {
+        let tree = self.tree;
+        self.stats.total_elements += 1;
+        *self.stats.instance_count.entry(tag_node).or_insert(0) += 1;
+
+        if tree.is_leaf_element(tag_node) {
+            let base = tree.leaf_base_type(tag_node).unwrap_or(BaseType::Str);
+            let value = parse_value(&element.text(), base);
+            self.values.entry(tag_node).or_default().push(value);
+            return;
+        }
+
+        // Group this element's children by the matching child tag node.
+        let child_tags = tree.child_tags(tag_node);
+        let mut matched: FxHashMap<NodeId, Vec<&Element>> = FxHashMap::default();
+        for child in element.child_elements() {
+            if let Some(&ct) = child_tags
+                .iter()
+                .find(|&&ct| tree.node(ct).kind.tag_name() == Some(child.name.as_str()))
+            {
+                matched.entry(ct).or_default().push(child);
+            }
+        }
+
+        // Structural bookkeeping per child tag node.
+        let mut choice_branches_seen: FxHashSet<NodeId> = FxHashSet::default();
+        for &ct in &child_tags {
+            let instances = matched.get(&ct).map(Vec::len).unwrap_or(0);
+            for structural in tree.structural_path_to_parent_tag(ct) {
+                match tree.node(structural).kind {
+                    NodeKind::Optional => {
+                        *self
+                            .stats
+                            .parent_instances
+                            .entry(structural)
+                            .or_insert(0) += 1;
+                        if instances > 0 {
+                            *self.stats.presence_count.entry(structural).or_insert(0) += 1;
+                        }
+                    }
+                    NodeKind::Repetition => {
+                        *self
+                            .stats
+                            .parent_instances
+                            .entry(structural)
+                            .or_insert(0) += 1;
+                        let counts = self
+                            .stats
+                            .rep_cardinality
+                            .entry(structural)
+                            .or_insert_with(|| vec![0; CARDINALITY_CAP + 1]);
+                        counts[instances.min(CARDINALITY_CAP)] += 1;
+                    }
+                    NodeKind::Choice => {
+                        // The branch is the child of the choice on the path
+                        // towards ct.
+                        let branch = tree
+                            .children(structural)
+                            .iter()
+                            .copied()
+                            .find(|&b| {
+                                b == ct
+                                    || tree
+                                        .descendants(b)
+                                        .contains(&ct)
+                            });
+                        if let Some(branch) = branch {
+                            *self.stats.parent_instances.entry(branch).or_insert(0) += 1;
+                            if instances > 0 && choice_branches_seen.insert(branch) {
+                                *self.stats.presence_count.entry(branch).or_insert(0) += 1;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Recurse.
+        for (&ct, elements) in &matched {
+            for child in elements {
+                self.walk(child, ct);
+            }
+        }
+    }
+}
+
+fn parse_value(text: &str, base: BaseType) -> Value {
+    match base {
+        BaseType::Int => Value::parse(text, xmlshred_rel::types::DataType::Int),
+        BaseType::Float => Value::parse(text, xmlshred_rel::types::DataType::Float),
+        BaseType::Str => Value::str(text),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fixtures::movie_tree;
+    use xmlshred_xml::parser::parse_element;
+
+    fn sample_doc() -> Element {
+        parse_element(
+            r#"<movies>
+              <movie><title>A</title><year>1997</year>
+                <aka_title>A1</aka_title><aka_title>A2</aka_title>
+                <avg_rating>7.5</avg_rating><box_office>100</box_office></movie>
+              <movie><title>B</title><year>1994</year>
+                <seasons>10</seasons></movie>
+              <movie><title>C</title><year>2001</year>
+                <aka_title>C1</aka_title>
+                <box_office>300</box_office></movie>
+            </movies>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn instance_counts() {
+        let f = movie_tree();
+        let stats = SourceStats::collect(&f.tree, &sample_doc());
+        assert_eq!(stats.instance_count[&f.movie], 3);
+        assert_eq!(stats.instance_count[&f.title], 3);
+        assert_eq!(stats.instance_count[&f.aka_title], 3);
+        assert_eq!(stats.instance_count[&f.avg_rating], 1);
+        assert_eq!(stats.total_elements, 1 + 3 + 3 + 3 + 3 + 1 + 2 + 1);
+    }
+
+    #[test]
+    fn presence_fractions() {
+        let f = movie_tree();
+        let stats = SourceStats::collect(&f.tree, &sample_doc());
+        assert!((stats.presence_fraction(f.rating_opt) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((stats.presence_fraction(f.box_office) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((stats.presence_fraction(f.seasons) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cardinality_distribution() {
+        let f = movie_tree();
+        let stats = SourceStats::collect(&f.tree, &sample_doc());
+        // Cardinalities: 2, 0, 1.
+        assert!((stats.cardinality_fraction_ge(f.aka_star, 1) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((stats.cardinality_fraction_ge(f.aka_star, 2) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.total_occurrences(f.aka_star), 3);
+        assert_eq!(stats.overflow_rows(f.aka_star, 1), 1);
+        assert_eq!(stats.overflow_parents(f.aka_star, 1), 1);
+        assert_eq!(stats.overflow_rows(f.aka_star, 2), 0);
+    }
+
+    #[test]
+    fn leaf_value_distributions() {
+        let f = movie_tree();
+        let stats = SourceStats::collect(&f.tree, &sample_doc());
+        let years = &stats.leaf_values[&f.year];
+        assert_eq!(years.rows, 3);
+        assert_eq!(years.min, Some(Value::Int(1994)));
+        assert_eq!(years.max, Some(Value::Int(2001)));
+        let ratings = &stats.leaf_values[&f.avg_rating];
+        assert_eq!(ratings.rows, 1);
+    }
+
+    #[test]
+    fn split_count_choice() {
+        let f = movie_tree();
+        let stats = SourceStats::collect(&f.tree, &sample_doc());
+        // Max cardinality 2 <= c_max -> split at the max.
+        assert_eq!(stats.choose_split_count(f.aka_star, 5, 0.8), Some(2));
+        // c_max 1: 2/3 of parents have <= 1; below the 80% quantile -> None
+        assert_eq!(stats.choose_split_count(f.aka_star, 1, 0.8), None);
+        // ... but with a 60% quantile, k=1 suffices.
+        assert_eq!(stats.choose_split_count(f.aka_star, 1, 0.6), Some(1));
+    }
+
+    #[test]
+    fn skewed_cardinality_split_count() {
+        let f = movie_tree();
+        let mut doc = String::from("<movies>");
+        // 99 movies with 1 aka title, 1 movie with 20.
+        for i in 0..99 {
+            doc.push_str(&format!(
+                "<movie><title>M{i}</title><year>2000</year><aka_title>x</aka_title><box_office>1</box_office></movie>"
+            ));
+        }
+        doc.push_str("<movie><title>Z</title><year>2000</year>");
+        for _ in 0..20 {
+            doc.push_str("<aka_title>z</aka_title>");
+        }
+        doc.push_str("<box_office>1</box_office></movie></movies>");
+        let root = parse_element(&doc).unwrap();
+        let stats = SourceStats::collect(&f.tree, &root);
+        // 99% of parents have <= 1: k = 1.
+        assert_eq!(stats.choose_split_count(f.aka_star, 5, 0.8), Some(1));
+    }
+
+    #[test]
+    fn unmatched_children_ignored() {
+        let f = movie_tree();
+        let root = parse_element(
+            "<movies><movie><title>T</title><year>2000</year><unknown>x</unknown>\
+             <box_office>5</box_office></movie></movies>",
+        )
+        .unwrap();
+        let stats = SourceStats::collect(&f.tree, &root);
+        assert_eq!(stats.instance_count[&f.movie], 1);
+        // Unknown element contributes nothing.
+        assert_eq!(stats.total_elements, 1 + 1 + 1 + 1 + 1);
+    }
+}

@@ -1,0 +1,451 @@
+//! Derive per-table statistics for *any* mapping from the one-pass
+//! [`SourceStats`], without loading data (paper Section 4.1).
+//!
+//! The search enumerates thousands of mappings; reloading and re-analyzing
+//! the data for each would dwarf every other cost. Because the source
+//! statistics are collected at the finest granularity (per schema-tree
+//! node), every merged schema's statistics are *derivable*: row counts from
+//! instance counts and partition presence fractions, column distributions by
+//! rescaling the per-leaf distributions, key columns synthetically.
+
+use crate::mapping::{Mapping, PartitionDim};
+use crate::schema::{ColumnSource, DerivedSchema, RelTable};
+use crate::source_stats::SourceStats;
+use xmlshred_rel::stats::{ColumnStats, TableStats};
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+
+/// Derive statistics for every table of `schema`, in table order.
+pub fn derive_table_stats(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    schema: &DerivedSchema,
+    source: &SourceStats,
+) -> Vec<TableStats> {
+    schema
+        .tables
+        .iter()
+        .map(|table| derive_one(tree, mapping, table, source))
+        .collect()
+}
+
+fn derive_one(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    table: &RelTable,
+    source: &SourceStats,
+) -> TableStats {
+    // Row count: sum per anchor, adjusted for repetition-split overflow and
+    // partition fractions.
+    let fraction = partition_fraction(tree, &table.partition, source);
+    let mut rows_f = 0.0;
+    for &anchor in &table.anchors {
+        rows_f += anchor_rows(tree, mapping, anchor, source) as f64;
+    }
+    rows_f *= fraction;
+    let rows = rows_f.round() as u64;
+
+    let mut columns: Vec<ColumnStats> = Vec::with_capacity(table.columns.len());
+    // ID: dense unique ints over the global counter range.
+    columns.push(ColumnStats::synthetic_uniform_int(
+        rows,
+        0,
+        source.total_elements.max(1) as i64 - 1,
+    ));
+    // PID.
+    columns.push(derive_pid(tree, mapping, table, source, rows));
+
+    // Data columns: merge the per-anchor leaf distributions.
+    let n_data = table.columns.len() - 2;
+    for j in 0..n_data {
+        let mut merged: Option<ColumnStats> = None;
+        for &anchor in &table.anchors {
+            let Some(sources) = table.anchor_sources.get(&anchor) else {
+                continue;
+            };
+            let anchor_instances = anchor_rows(tree, mapping, anchor, source) as f64 * fraction;
+            let per_anchor =
+                derive_data_column(tree, table, &sources[j], source, anchor_instances);
+            merged = Some(match merged {
+                None => per_anchor,
+                Some(m) => m.merge(&per_anchor),
+            });
+        }
+        let mut stats = merged.unwrap_or_else(ColumnStats::empty);
+        // Force the row count to the table's derived row count (merge keeps
+        // per-anchor sums, which should already agree; rescaling guards
+        // against rounding drift).
+        if stats.rows != rows {
+            let non_null = stats.rows - stats.nulls;
+            let scaled_non_null =
+                (non_null as f64 * rows as f64 / stats.rows.max(1) as f64).round() as u64;
+            stats = stats.rescale(scaled_non_null, rows);
+        }
+        columns.push(stats);
+    }
+
+    TableStats { rows, columns }
+}
+
+/// Instances of `anchor` that become rows of its table(s): all instances,
+/// or only the overflow beyond a repetition split.
+fn anchor_rows(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    anchor: NodeId,
+    source: &SourceStats,
+) -> u64 {
+    if let Some(parent) = tree.parent(anchor) {
+        if matches!(tree.node(parent).kind, NodeKind::Repetition) {
+            if let Some(k) = mapping.rep_split_count(parent) {
+                return source.overflow_rows(parent, k);
+            }
+        }
+    }
+    source.instance_count.get(&anchor).copied().unwrap_or(0)
+}
+
+/// Fraction of the anchor's instances that land in this partition.
+fn partition_fraction(
+    tree: &SchemaTree,
+    partition: &[(PartitionDim, usize)],
+    source: &SourceStats,
+) -> f64 {
+    let mut fraction = 1.0;
+    for (dim, alt) in partition {
+        fraction *= match dim {
+            PartitionDim::Choice(choice) => {
+                let branch = tree.children(*choice)[*alt];
+                source.presence_fraction(branch)
+            }
+            PartitionDim::Optionals(optionals) => {
+                let none: f64 = optionals
+                    .iter()
+                    .map(|&o| 1.0 - source.presence_fraction(o))
+                    .product();
+                if *alt == 0 {
+                    1.0 - none
+                } else {
+                    none
+                }
+            }
+        };
+    }
+    fraction.clamp(0.0, 1.0)
+}
+
+fn derive_pid(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    table: &RelTable,
+    source: &SourceStats,
+    rows: u64,
+) -> ColumnStats {
+    // Distinct parents: sum over anchors of the parent anchor's instances
+    // (or the overflow-parent count for split repetitions).
+    let mut parents = 0u64;
+    let mut any_parent = false;
+    for &anchor in &table.anchors {
+        let Some(parent) = tree.parent(anchor) else {
+            continue;
+        };
+        any_parent = true;
+        if matches!(tree.node(parent).kind, NodeKind::Repetition) {
+            if let Some(k) = mapping.rep_split_count(parent) {
+                parents += source.overflow_parents(parent, k);
+                continue;
+            }
+        }
+        let parent_anchor = tree
+            .parent_tag(anchor)
+            .map(|t| mapping.anchor_of(tree, t))
+            .unwrap_or(anchor);
+        parents += source
+            .instance_count
+            .get(&parent_anchor)
+            .copied()
+            .unwrap_or(0);
+    }
+    if !any_parent || rows == 0 {
+        // Root table: PID is NULL everywhere.
+        let mut stats = ColumnStats::empty();
+        stats.rows = rows;
+        stats.nulls = rows;
+        return stats;
+    }
+    ColumnStats::synthetic_fk(
+        rows,
+        parents.min(rows.max(1)),
+        0,
+        source.total_elements.max(1) as i64 - 1,
+    )
+}
+
+fn derive_data_column(
+    tree: &SchemaTree,
+    table: &RelTable,
+    source_col: &ColumnSource,
+    source: &SourceStats,
+    table_rows: f64,
+) -> ColumnStats {
+    match source_col {
+        ColumnSource::Id | ColumnSource::Pid => ColumnStats::empty(),
+        ColumnSource::Leaf(leaf) => {
+            let base = source
+                .leaf_values
+                .get(leaf)
+                .cloned()
+                .unwrap_or_else(ColumnStats::empty);
+            let fill = leaf_fill_fraction(tree, table, *leaf, source);
+            let rows = table_rows.round() as u64;
+            let non_null = (table_rows * fill).round() as u64;
+            base.rescale(non_null, rows)
+        }
+        ColumnSource::RepSplit {
+            star,
+            leaf,
+            occurrence,
+        } => {
+            let base = source
+                .leaf_values
+                .get(leaf)
+                .cloned()
+                .unwrap_or_else(ColumnStats::empty);
+            let fill = source.cardinality_fraction_ge(*star, *occurrence);
+            let rows = table_rows.round() as u64;
+            let non_null = (table_rows * fill).round() as u64;
+            base.rescale(non_null, rows)
+        }
+    }
+}
+
+/// Probability that `leaf` is present in a row of `table`, accounting for
+/// optional/choice wrappers on the path and the table's partition predicate
+/// (independence-approximated, as the paper's derivation is).
+fn leaf_fill_fraction(
+    tree: &SchemaTree,
+    table: &RelTable,
+    leaf: NodeId,
+    source: &SourceStats,
+) -> f64 {
+    if table.anchors.contains(&leaf) {
+        return 1.0; // the anchor's own value column
+    }
+    let mut fill = 1.0;
+    let mut current = leaf;
+    while let Some(parent) = tree.parent(current) {
+        match tree.node(parent).kind {
+            NodeKind::Optional => {
+                let conditional = partition_conditional_optional(tree, table, parent, source);
+                fill *= conditional.unwrap_or_else(|| source.presence_fraction(parent));
+            }
+            NodeKind::Choice => {
+                // `current` is the branch node.
+                let conditional = partition_conditional_choice(tree, table, parent, current);
+                fill *= conditional.unwrap_or_else(|| source.presence_fraction(current));
+            }
+            NodeKind::Tag(_) if table.anchors.contains(&parent) => break,
+            _ => {}
+        }
+        current = parent;
+        if table.anchors.contains(&current) {
+            break;
+        }
+    }
+    fill.clamp(0.0, 1.0)
+}
+
+/// If the table's partition covers `optional`, the conditional presence
+/// probability inside this partition.
+fn partition_conditional_optional(
+    _tree: &SchemaTree,
+    table: &RelTable,
+    optional: NodeId,
+    source: &SourceStats,
+) -> Option<f64> {
+    for (dim, alt) in &table.partition {
+        if let PartitionDim::Optionals(list) = dim {
+            if list.contains(&optional) {
+                if *alt == 1 {
+                    return Some(0.0); // the "rest" partition: never present
+                }
+                if list.len() == 1 {
+                    return Some(1.0); // the "present" partition
+                }
+                // Merged dim: P(o | any present) = p_o / (1 - prod(1-p)).
+                let p = source.presence_fraction(optional);
+                let none: f64 = list
+                    .iter()
+                    .map(|&o| 1.0 - source.presence_fraction(o))
+                    .product();
+                let any = 1.0 - none;
+                return Some(if any > 0.0 { (p / any).min(1.0) } else { 0.0 });
+            }
+        }
+    }
+    None
+}
+
+/// If the table's partition covers `choice`, whether `branch` is the
+/// selected alternative (probability 1) or not (0).
+fn partition_conditional_choice(
+    tree: &SchemaTree,
+    table: &RelTable,
+    choice: NodeId,
+    branch: NodeId,
+) -> Option<f64> {
+    for (dim, alt) in &table.partition {
+        if let PartitionDim::Choice(c) = dim {
+            if *c == choice {
+                let selected = tree.children(choice)[*alt];
+                return Some(if selected == branch { 1.0 } else { 0.0 });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fixtures::movie_tree;
+    use crate::mapping::Mapping;
+    use crate::schema::derive_schema;
+    use crate::shredder::load_database;
+    use xmlshred_xml::dom::Element;
+    use xmlshred_xml::parser::parse_element;
+
+    /// A deterministic 200-movie document: 60% have ratings, 70% are movies
+    /// (box_office), aka_title count cycles 0..4.
+    fn big_doc() -> Element {
+        let mut s = String::from("<movies>");
+        for i in 0..200 {
+            s.push_str(&format!("<movie><title>M{i}</title><year>{}</year>", 1960 + i % 45));
+            for a in 0..(i % 5) {
+                s.push_str(&format!("<aka_title>M{i}a{a}</aka_title>"));
+            }
+            // Presence cycles use coprime moduli so rating and choice stay
+            // (near-)independent: the derivation assumes independence.
+            if i % 3 < 2 {
+                s.push_str(&format!("<avg_rating>{}.5</avg_rating>", i % 9));
+            }
+            if i % 10 < 7 {
+                s.push_str(&format!("<box_office>{}</box_office>", i * 10));
+            } else {
+                s.push_str(&format!("<seasons>{}</seasons>", i % 20));
+            }
+            s.push_str("</movie>");
+        }
+        s.push_str("</movies>");
+        parse_element(&s).unwrap()
+    }
+
+    /// Derived statistics must agree with statistics analyzed on the
+    /// actually loaded database, for row counts and null fractions.
+    fn check_against_loaded(mapping: &Mapping) {
+        let f = movie_tree();
+        let doc = big_doc();
+        let schema = derive_schema(&f.tree, mapping);
+        let source = SourceStats::collect(&f.tree, &doc);
+        let derived = derive_table_stats(&f.tree, mapping, &schema, &source);
+        let db = load_database(&f.tree, mapping, &schema, &[&doc]).unwrap();
+        for (i, table) in schema.tables.iter().enumerate() {
+            let tid = db.catalog().table_id(&table.name).unwrap();
+            let actual = db.table_stats(tid);
+            let d = &derived[i];
+            let tolerance = (actual.rows as f64 * 0.02).max(2.0);
+            assert!(
+                (d.rows as f64 - actual.rows as f64).abs() <= tolerance,
+                "table {} rows: derived {} actual {}",
+                table.name,
+                d.rows,
+                actual.rows
+            );
+            for (c, (dc, ac)) in d.columns.iter().zip(&actual.columns).enumerate() {
+                let da = dc.fill_fraction();
+                let aa = ac.fill_fraction();
+                assert!(
+                    (da - aa).abs() < 0.05,
+                    "table {} col {c} fill: derived {da} actual {aa}",
+                    table.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_matches_loaded_hybrid() {
+        let f = movie_tree();
+        check_against_loaded(&Mapping::hybrid(&f.tree));
+    }
+
+    #[test]
+    fn derived_matches_loaded_with_choice_distribution() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        check_against_loaded(&m);
+    }
+
+    #[test]
+    fn derived_matches_loaded_with_implicit_union() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        check_against_loaded(&m);
+    }
+
+    #[test]
+    fn derived_matches_loaded_with_rep_split() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.rep_splits.insert(f.aka_star, 2);
+        check_against_loaded(&m);
+    }
+
+    #[test]
+    fn derived_matches_loaded_with_outlining() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.annotate(f.title, "title_t");
+        check_against_loaded(&m);
+    }
+
+    #[test]
+    fn merged_optional_dim_rows() {
+        let f = movie_tree();
+        let doc = big_doc();
+        let source = SourceStats::collect(&f.tree, &doc);
+        // Merged dim over avg_rating only (singleton) equals plain.
+        let frac = partition_fraction(
+            &f.tree,
+            &[(PartitionDim::Optionals(vec![f.rating_opt]), 0)],
+            &source,
+        );
+        assert!((frac - 0.67).abs() < 0.01, "frac={frac}");
+        let rest = partition_fraction(
+            &f.tree,
+            &[(PartitionDim::Optionals(vec![f.rating_opt]), 1)],
+            &source,
+        );
+        assert!((rest - 0.33).abs() < 0.01, "rest={rest}");
+    }
+
+    #[test]
+    fn rep_split_overflow_stats() {
+        let f = movie_tree();
+        let doc = big_doc();
+        let mut m = Mapping::hybrid(&f.tree);
+        m.rep_splits.insert(f.aka_star, 2);
+        let schema = derive_schema(&f.tree, &m);
+        let source = SourceStats::collect(&f.tree, &doc);
+        let derived = derive_table_stats(&f.tree, &m, &schema, &source);
+        let idx = schema
+            .tables
+            .iter()
+            .position(|t| t.name == "aka_title")
+            .unwrap();
+        // aka counts cycle 0,1,2,3,4 -> overflow beyond 2 per 5 movies:
+        // (3-2)+(4-2) = 3 per 5 movies, 40 cycles -> 120.
+        assert_eq!(derived[idx].rows, 120);
+    }
+}

@@ -1,0 +1,655 @@
+//! The logical design transformations of Section 2.1, their applicability
+//! enumeration, and their application to a [`Mapping`].
+//!
+//! Transformations are split into the two classes of Section 3:
+//!
+//! * **subsumed** (outlining, inlining, associativity, commutativity) —
+//!   Theorem 1 shows any sequence of them produces a vertical partitioning
+//!   of the fully inlined schema, which physical design (covering indexes /
+//!   vertical partitions) already captures;
+//! * **nonsubsumed** (type split/merge, union distribution/factorization,
+//!   repetition split/merge) — these exploit XSD semantics (`choice`,
+//!   optionality, `maxOccurs`) that physical design cannot express.
+//!
+//! The Greedy search enumerates only the second class; Naive-Greedy (the
+//! straightforward extension of prior work) enumerates both, which is what
+//! Figs. 5-7 measure.
+
+use crate::mapping::{Mapping, PartitionDim};
+use rustc_hash::{FxHashMap, FxHashSet};
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+
+/// Default repetition-split count when no cardinality statistics are
+/// available (Section 4.6 uses statistics to choose; the advisor overrides
+/// this).
+pub const DEFAULT_SPLIT_COUNT: usize = 5;
+
+/// The transformation families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformationKind {
+    Outline,
+    Inline,
+    TypeSplit,
+    TypeMerge,
+    UnionDistribute,
+    UnionFactorize,
+    RepetitionSplit,
+    RepetitionMerge,
+    Associativity,
+    Commutativity,
+}
+
+impl TransformationKind {
+    /// Is this family subsumed by physical design (Section 3.1)?
+    pub fn is_subsumed(self) -> bool {
+        matches!(
+            self,
+            TransformationKind::Outline
+                | TransformationKind::Inline
+                | TransformationKind::Associativity
+                | TransformationKind::Commutativity
+        )
+    }
+
+    /// Is this a merge-type transformation (applied during greedy search)
+    /// as opposed to a split-type one (applied up front to build the initial
+    /// mapping)?
+    pub fn is_merge_type(self) -> bool {
+        matches!(
+            self,
+            TransformationKind::Inline
+                | TransformationKind::TypeMerge
+                | TransformationKind::UnionFactorize
+                | TransformationKind::RepetitionMerge
+        )
+    }
+}
+
+/// One concrete transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transformation {
+    /// Annotate an unannotated node (store its subtree separately).
+    Outline(NodeId),
+    /// Remove a removable annotation.
+    Inline(NodeId),
+    /// Rename one node of a shared annotation.
+    TypeSplit {
+        /// The node leaving the shared annotation.
+        node: NodeId,
+        /// Its fresh annotation.
+        new_name: String,
+    },
+    /// Give structurally equal nodes a common annotation (one table).
+    TypeMerge {
+        /// The nodes to merge.
+        nodes: Vec<NodeId>,
+        /// The shared annotation.
+        name: String,
+    },
+    /// Add a horizontal partitioning dimension (union distribution /
+    /// implicit union, possibly merged per Section 4.7).
+    UnionDistribute {
+        /// The annotated node whose table is partitioned.
+        anchor: NodeId,
+        /// The dimension.
+        dim: PartitionDim,
+    },
+    /// Remove a partitioning dimension.
+    UnionFactorize {
+        /// The annotated node whose table was partitioned.
+        anchor: NodeId,
+        /// The dimension to remove.
+        dim: PartitionDim,
+    },
+    /// Inline the first `count` occurrences of a set-valued leaf.
+    RepetitionSplit {
+        /// The `*` node.
+        star: NodeId,
+        /// Number of occurrences to inline.
+        count: usize,
+    },
+    /// Undo a repetition split.
+    RepetitionMerge {
+        /// The `*` node.
+        star: NodeId,
+    },
+    /// Regroup a sequence (no effect on the derived schema; Theorem 1).
+    Associativity(NodeId, usize),
+    /// Swap adjacent sequence children (no effect on the derived schema).
+    Commutativity(NodeId, usize),
+}
+
+impl Transformation {
+    /// The family of this transformation.
+    pub fn kind(&self) -> TransformationKind {
+        match self {
+            Transformation::Outline(_) => TransformationKind::Outline,
+            Transformation::Inline(_) => TransformationKind::Inline,
+            Transformation::TypeSplit { .. } => TransformationKind::TypeSplit,
+            Transformation::TypeMerge { .. } => TransformationKind::TypeMerge,
+            Transformation::UnionDistribute { .. } => TransformationKind::UnionDistribute,
+            Transformation::UnionFactorize { .. } => TransformationKind::UnionFactorize,
+            Transformation::RepetitionSplit { .. } => TransformationKind::RepetitionSplit,
+            Transformation::RepetitionMerge { .. } => TransformationKind::RepetitionMerge,
+            Transformation::Associativity(..) => TransformationKind::Associativity,
+            Transformation::Commutativity(..) => TransformationKind::Commutativity,
+        }
+    }
+
+    /// Apply to `mapping`, producing the transformed mapping.
+    pub fn apply(&self, tree: &SchemaTree, mapping: &Mapping) -> Result<Mapping, String> {
+        let mut next = mapping.clone();
+        match self {
+            Transformation::Outline(node) => {
+                if !mapping.can_outline(tree, *node) {
+                    return Err(format!("cannot outline {node}"));
+                }
+                let name = fresh_annotation(tree, mapping, *node);
+                next.annotate(*node, name);
+            }
+            Transformation::Inline(node) => {
+                if !mapping.can_inline(tree, *node) {
+                    return Err(format!("cannot inline {node}"));
+                }
+                next.unannotate(*node);
+                next.partitions.remove(node);
+            }
+            Transformation::TypeSplit { node, new_name } => {
+                let Some(current) = mapping.annotation(tree, *node) else {
+                    return Err(format!("{node} is not annotated"));
+                };
+                let group_size = mapping.annotation_groups(tree)[current].len();
+                if group_size < 2 {
+                    return Err(format!("annotation '{current}' is not shared"));
+                }
+                next.annotate(*node, new_name.clone());
+            }
+            Transformation::TypeMerge { nodes, name } => {
+                if nodes.len() < 2 {
+                    return Err("type merge needs at least two nodes".into());
+                }
+                for window in nodes.windows(2) {
+                    if !tree.structurally_equal(window[0], window[1]) {
+                        return Err("type merge requires structurally equal nodes".into());
+                    }
+                }
+                for &node in nodes {
+                    if !matches!(tree.node(node).kind, NodeKind::Tag(_)) {
+                        return Err(format!("{node} is not an element"));
+                    }
+                    next.annotate(node, name.clone());
+                }
+            }
+            Transformation::UnionDistribute { anchor, dim } => {
+                if mapping.partition_dims(*anchor).contains(dim) {
+                    return Err("dimension already active".into());
+                }
+                next.add_partition(*anchor, dim.clone());
+            }
+            Transformation::UnionFactorize { anchor, dim } => {
+                if !mapping.partition_dims(*anchor).contains(dim) {
+                    return Err("dimension not active".into());
+                }
+                next.remove_partition(*anchor, dim);
+            }
+            Transformation::RepetitionSplit { star, count } => {
+                next.rep_splits.insert(*star, *count);
+            }
+            Transformation::RepetitionMerge { star } => {
+                if next.rep_splits.remove(star).is_none() {
+                    return Err(format!("{star} is not split"));
+                }
+            }
+            Transformation::Associativity(..) | Transformation::Commutativity(..) => {
+                // Subsumed no-ops on the derived schema (Theorem 1): the
+                // relational effect is a vertical repartitioning that the
+                // physical design layer already explores.
+            }
+        }
+        rehome_partitions(tree, &mut next);
+        next.validate(tree)?;
+        Ok(next)
+    }
+}
+
+/// A fresh annotation name for outlining `node` (tag name when free,
+/// otherwise tag + node id).
+pub fn fresh_annotation(tree: &SchemaTree, mapping: &Mapping, node: NodeId) -> String {
+    let tag = tree
+        .node(node)
+        .kind
+        .tag_name()
+        .unwrap_or("anon")
+        .to_string();
+    let groups = mapping.annotation_groups(tree);
+    if !groups.contains_key(&tag) {
+        tag
+    } else {
+        format!("{tag}_{}", node.0)
+    }
+}
+
+/// Re-key partition dimensions to the current anchor of their nodes
+/// (annotation changes move table boundaries).
+fn rehome_partitions(tree: &SchemaTree, mapping: &mut Mapping) {
+    let mut rehomed: FxHashMap<NodeId, Vec<PartitionDim>> = FxHashMap::default();
+    for (_, dims) in std::mem::take(&mut mapping.partitions) {
+        for dim in dims {
+            let node = match &dim {
+                PartitionDim::Choice(c) => *c,
+                PartitionDim::Optionals(list) => list[0],
+            };
+            let Some(tag) = tree.parent_tag(node) else {
+                continue;
+            };
+            let anchor = mapping.anchor_of(tree, tag);
+            let entry = rehomed.entry(anchor).or_default();
+            if !entry.contains(&dim) {
+                entry.push(dim);
+            }
+        }
+    }
+    mapping.partitions = rehomed;
+}
+
+/// Enumerate every applicable transformation under `mapping`.
+///
+/// `split_count` chooses the repetition-split count per `*` node (the
+/// advisor passes the Section 4.6 statistics-based choice; tests pass a
+/// constant).
+pub fn enumerate_transformations(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    split_count: &dyn Fn(NodeId) -> usize,
+) -> Vec<Transformation> {
+    let mut out = Vec::new();
+
+    // Subsumed: inlining / outlining.
+    for node in tree.node_ids() {
+        if mapping.can_inline(tree, node) {
+            out.push(Transformation::Inline(node));
+        }
+        if mapping.can_outline(tree, node) {
+            out.push(Transformation::Outline(node));
+        }
+    }
+
+    // Subsumed: associativity / commutativity on sequences.
+    for node in tree.node_ids() {
+        if matches!(tree.node(node).kind, NodeKind::Sequence) {
+            let n = tree.children(node).len();
+            for i in 0..n.saturating_sub(1) {
+                out.push(Transformation::Commutativity(node, i));
+            }
+            for i in 0..n.saturating_sub(2) {
+                out.push(Transformation::Associativity(node, i));
+            }
+        }
+    }
+
+    // Type split: every node of a shared annotation may leave it.
+    for (name, nodes) in mapping.annotation_groups(tree) {
+        if nodes.len() < 2 {
+            continue;
+        }
+        for &node in &nodes {
+            out.push(Transformation::TypeSplit {
+                node,
+                new_name: format!("{name}_{}", node.0),
+            });
+        }
+    }
+
+    // Type merge: structurally equal same-tag nodes not sharing an
+    // annotation (deep merge: enumerated regardless of the current
+    // annotation state, since inlining can enable it; Section 4.3).
+    let tags = tree.tag_nodes();
+    for (i, &a) in tags.iter().enumerate() {
+        for &b in &tags[i + 1..] {
+            if tree.node(a).kind != tree.node(b).kind {
+                continue;
+            }
+            if !tree.structurally_equal(a, b) {
+                continue;
+            }
+            let ann_a = mapping.annotation(tree, a);
+            let ann_b = mapping.annotation(tree, b);
+            if ann_a.is_some() && ann_a == ann_b {
+                continue; // already merged
+            }
+            let name = ann_a
+                .or(ann_b)
+                .map(str::to_string)
+                .unwrap_or_else(|| fresh_annotation(tree, mapping, a));
+            out.push(Transformation::TypeMerge {
+                nodes: vec![a, b],
+                name,
+            });
+        }
+    }
+
+    // Union distribution / factorization.
+    let mut covered_optionals: FxHashSet<NodeId> = FxHashSet::default();
+    let mut active_choices: FxHashSet<NodeId> = FxHashSet::default();
+    for (&anchor, dims) in &mapping.partitions {
+        for dim in dims {
+            out.push(Transformation::UnionFactorize {
+                anchor,
+                dim: dim.clone(),
+            });
+            match dim {
+                PartitionDim::Choice(c) => {
+                    active_choices.insert(*c);
+                }
+                PartitionDim::Optionals(list) => covered_optionals.extend(list.iter().copied()),
+            }
+        }
+    }
+    for node in tree.node_ids() {
+        let anchor = match tree.parent_tag(node) {
+            Some(tag) => mapping.anchor_of(tree, tag),
+            None => continue,
+        };
+        // Dims only apply to single-anchor annotations.
+        if let Some(name) = mapping.annotation(tree, anchor) {
+            if mapping.annotation_groups(tree)[name].len() != 1 {
+                continue;
+            }
+        }
+        match tree.node(node).kind {
+            NodeKind::Choice if !active_choices.contains(&node) => {
+                out.push(Transformation::UnionDistribute {
+                    anchor,
+                    dim: PartitionDim::Choice(node),
+                });
+            }
+            NodeKind::Optional if !covered_optionals.contains(&node) => {
+                out.push(Transformation::UnionDistribute {
+                    anchor,
+                    dim: PartitionDim::Optionals(vec![node]),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    // Repetition split / merge (leaf-element repetitions only).
+    for node in tree.node_ids() {
+        if !matches!(tree.node(node).kind, NodeKind::Repetition) {
+            continue;
+        }
+        let child = tree.children(node)[0];
+        if !tree.is_leaf_element(child) {
+            continue;
+        }
+        match mapping.rep_split_count(node) {
+            Some(_) => out.push(Transformation::RepetitionMerge { star: node }),
+            None => out.push(Transformation::RepetitionSplit {
+                star: node,
+                count: split_count(node).max(1),
+            }),
+        }
+    }
+
+    out
+}
+
+/// Counts of applicable transformations by class (Table 1 reports these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformationCounts {
+    /// All applicable transformations.
+    pub total: usize,
+    /// The subsumed ones (outline/inline/assoc/comm).
+    pub subsumed: usize,
+    /// The nonsubsumed ones.
+    pub nonsubsumed: usize,
+}
+
+/// Count applicable transformations under `mapping`.
+pub fn count_transformations(tree: &SchemaTree, mapping: &Mapping) -> TransformationCounts {
+    let all = enumerate_transformations(tree, mapping, &|_| DEFAULT_SPLIT_COUNT);
+    let subsumed = all.iter().filter(|t| t.kind().is_subsumed()).count();
+    TransformationCounts {
+        total: all.len(),
+        subsumed,
+        nonsubsumed: all.len() - subsumed,
+    }
+}
+
+/// The *fully split* mapping used for statistics collection (Section 4.1):
+/// every outlineable node outlined, every choice distributed, every optional
+/// implicitly distributed, every shared annotation split, and every
+/// leaf-element repetition split.
+pub fn fully_split(tree: &SchemaTree, split_count: &dyn Fn(NodeId) -> usize) -> Mapping {
+    let mut mapping = Mapping::hybrid(tree);
+    // Split shared annotations.
+    for (name, nodes) in mapping.annotation_groups(tree) {
+        if nodes.len() > 1 {
+            for &node in &nodes[1..] {
+                mapping.annotate(node, format!("{name}_{}", node.0));
+            }
+        }
+    }
+    // Outline everything outlineable.
+    for node in tree.node_ids() {
+        if mapping.can_outline(tree, node) {
+            let name = fresh_annotation(tree, &mapping, node);
+            mapping.annotate(node, name);
+        }
+    }
+    // Distribute choices and optionals, and split repetitions. After full
+    // outlining each choice/optional partitions the (small) outlined table
+    // of its parent tag.
+    for node in tree.node_ids() {
+        match tree.node(node).kind {
+            NodeKind::Choice => {
+                if let Some(tag) = tree.parent_tag(node) {
+                    let anchor = mapping.anchor_of(tree, tag);
+                    mapping.add_partition(anchor, PartitionDim::Choice(node));
+                }
+            }
+            NodeKind::Optional => {
+                if let Some(tag) = tree.parent_tag(node) {
+                    let anchor = mapping.anchor_of(tree, tag);
+                    mapping.add_partition(anchor, PartitionDim::Optionals(vec![node]));
+                }
+            }
+            NodeKind::Repetition => {
+                let child = tree.children(node)[0];
+                if tree.is_leaf_element(child) {
+                    mapping.rep_splits.insert(node, split_count(node).max(1));
+                }
+            }
+            _ => {}
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::fixtures::movie_tree;
+    use crate::schema::derive_schema;
+
+    #[test]
+    fn outline_then_inline_roundtrip() {
+        let f = movie_tree();
+        let m0 = Mapping::hybrid(&f.tree);
+        let m1 = Transformation::Outline(f.title).apply(&f.tree, &m0).unwrap();
+        assert!(m1.is_annotated(&f.tree, f.title));
+        let m2 = Transformation::Inline(f.title).apply(&f.tree, &m1).unwrap();
+        assert!(!m2.is_annotated(&f.tree, f.title));
+        // Schemas of m0 and m2 coincide.
+        assert_eq!(
+            derive_schema(&f.tree, &m0).to_table_defs(),
+            derive_schema(&f.tree, &m2).to_table_defs()
+        );
+    }
+
+    #[test]
+    fn invalid_applications_rejected() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        assert!(Transformation::Inline(f.movie).apply(&f.tree, &m).is_err());
+        assert!(Transformation::Outline(f.movie).apply(&f.tree, &m).is_err());
+        assert!(Transformation::RepetitionMerge { star: f.aka_star }
+            .apply(&f.tree, &m)
+            .is_err());
+    }
+
+    #[test]
+    fn distribute_then_factorize_roundtrip() {
+        let f = movie_tree();
+        let m0 = Mapping::hybrid(&f.tree);
+        let dist = Transformation::UnionDistribute {
+            anchor: f.movie,
+            dim: PartitionDim::Choice(f.choice),
+        };
+        let m1 = dist.apply(&f.tree, &m0).unwrap();
+        assert_eq!(m1.partition_dims(f.movie).len(), 1);
+        // Applying again fails.
+        assert!(dist.apply(&f.tree, &m1).is_err());
+        let m2 = Transformation::UnionFactorize {
+            anchor: f.movie,
+            dim: PartitionDim::Choice(f.choice),
+        }
+        .apply(&f.tree, &m1)
+        .unwrap();
+        assert_eq!(m2, m0);
+    }
+
+    #[test]
+    fn rep_split_apply() {
+        let f = movie_tree();
+        let m = Transformation::RepetitionSplit {
+            star: f.aka_star,
+            count: 4,
+        }
+        .apply(&f.tree, &Mapping::hybrid(&f.tree))
+        .unwrap();
+        assert_eq!(m.rep_split_count(f.aka_star), Some(4));
+        let back = Transformation::RepetitionMerge { star: f.aka_star }
+            .apply(&f.tree, &m)
+            .unwrap();
+        assert_eq!(back.rep_split_count(f.aka_star), None);
+    }
+
+    #[test]
+    fn type_merge_requires_structural_equality() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        // title (str) and year (int) are not structurally equal.
+        assert!(Transformation::TypeMerge {
+            nodes: vec![f.title, f.year],
+            name: "x".into()
+        }
+        .apply(&f.tree, &m)
+        .is_err());
+        // box_office and seasons are structurally equal? They differ in tag
+        // name, so no.
+        assert!(Transformation::TypeMerge {
+            nodes: vec![f.box_office, f.seasons],
+            name: "x".into()
+        }
+        .apply(&f.tree, &m)
+        .is_err());
+    }
+
+    #[test]
+    fn inline_rehomes_partitions() {
+        let f = movie_tree();
+        let mut m = Mapping::hybrid(&f.tree);
+        // Outline avg_rating's parent chain target: outline title? Use a
+        // different scenario: distribute the choice while movie is the
+        // anchor, then nothing changes on rehome.
+        m.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let m2 = Transformation::RepetitionSplit {
+            star: f.aka_star,
+            count: 2,
+        }
+        .apply(&f.tree, &m)
+        .unwrap();
+        assert_eq!(m2.partition_dims(f.movie).len(), 1);
+    }
+
+    #[test]
+    fn enumeration_contains_expected_kinds() {
+        let f = movie_tree();
+        let m = Mapping::hybrid(&f.tree);
+        let all = enumerate_transformations(&f.tree, &m, &|_| 5);
+        let kind_present = |k: TransformationKind| all.iter().any(|t| t.kind() == k);
+        assert!(kind_present(TransformationKind::Outline));
+        assert!(kind_present(TransformationKind::UnionDistribute));
+        assert!(kind_present(TransformationKind::RepetitionSplit));
+        assert!(kind_present(TransformationKind::Commutativity));
+        // Nothing to inline beyond required ones -> no Inline of movie.
+        assert!(!all.contains(&Transformation::Inline(f.movie)));
+        // No active dims -> no factorize.
+        assert!(!kind_present(TransformationKind::UnionFactorize));
+    }
+
+    #[test]
+    fn enumeration_respects_state() {
+        let f = movie_tree();
+        let m = fully_split(&f.tree, &|_| 3);
+        m.validate(&f.tree).unwrap();
+        let all = enumerate_transformations(&f.tree, &m, &|_| 3);
+        // Fully split: only merge-type nonsubsumed + inline/outline noise.
+        assert!(all
+            .iter()
+            .any(|t| t.kind() == TransformationKind::UnionFactorize));
+        assert!(all
+            .iter()
+            .any(|t| t.kind() == TransformationKind::RepetitionMerge));
+        assert!(!all
+            .iter()
+            .any(|t| t.kind() == TransformationKind::RepetitionSplit));
+    }
+
+    #[test]
+    fn counts_split_subsumed() {
+        let f = movie_tree();
+        let counts = count_transformations(&f.tree, &Mapping::hybrid(&f.tree));
+        assert_eq!(counts.total, counts.subsumed + counts.nonsubsumed);
+        assert!(counts.subsumed > 0);
+        assert!(counts.nonsubsumed > 0);
+    }
+
+    #[test]
+    fn fully_split_validates_and_partitions() {
+        let f = movie_tree();
+        let m = fully_split(&f.tree, &|_| 5);
+        m.validate(&f.tree).unwrap();
+        // title outlined.
+        assert!(m.is_annotated(&f.tree, f.title));
+        // choice distributed somewhere.
+        assert!(m
+            .partitions
+            .values()
+            .flatten()
+            .any(|d| matches!(d, PartitionDim::Choice(_))));
+        // repetition split recorded.
+        assert_eq!(m.rep_split_count(f.aka_star), Some(5));
+    }
+
+    #[test]
+    fn fully_split_schema_has_many_tables() {
+        let f = movie_tree();
+        let hybrid_tables = derive_schema(&f.tree, &Mapping::hybrid(&f.tree)).tables.len();
+        let split_tables = derive_schema(&f.tree, &fully_split(&f.tree, &|_| 5))
+            .tables
+            .len();
+        assert!(split_tables > hybrid_tables);
+    }
+
+    #[test]
+    fn subsumed_kind_classification() {
+        assert!(TransformationKind::Outline.is_subsumed());
+        assert!(TransformationKind::Commutativity.is_subsumed());
+        assert!(!TransformationKind::TypeSplit.is_subsumed());
+        assert!(!TransformationKind::RepetitionSplit.is_subsumed());
+        assert!(TransformationKind::TypeMerge.is_merge_type());
+        assert!(!TransformationKind::UnionDistribute.is_merge_type());
+    }
+}

@@ -1,0 +1,185 @@
+//! Result shape metadata and XML-side reassembly of outer-union rows.
+
+use xmlshred_rel::types::{Row, Value};
+
+/// What an output position of the translated query carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputRole {
+    /// The context node's `ID`.
+    ContextId,
+    /// A projected element's value, tagged with its element name. Several
+    /// positions may carry the same tag (repetition-split columns plus the
+    /// overflow branch).
+    Projection {
+        /// Element tag name of the projection.
+        tag: String,
+    },
+}
+
+/// Per-position roles of the translated query's output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResultShape {
+    /// One role per output position.
+    pub roles: Vec<OutputRole>,
+}
+
+/// A reassembled result: one projected value with its context identity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ResultTriple {
+    /// Context `ID` (document-order unique).
+    pub context_id: i64,
+    /// Projected element tag.
+    pub tag: String,
+    /// Text value.
+    pub value: String,
+}
+
+/// Reassemble SQL rows into `(context, tag, value)` triples — the inverse of
+/// shredding, used to compare against the reference XPath evaluator and to
+/// publish results back as XML.
+pub fn reassemble(rows: &[Row], shape: &ResultShape) -> Vec<ResultTriple> {
+    let mut out = Vec::new();
+    for row in rows {
+        let mut context_id = None;
+        for (value, role) in row.iter().zip(&shape.roles) {
+            if matches!(role, OutputRole::ContextId) {
+                if let Value::Int(id) = value {
+                    context_id = Some(*id);
+                }
+            }
+        }
+        let Some(context_id) = context_id else {
+            continue;
+        };
+        for (value, role) in row.iter().zip(&shape.roles) {
+            if let OutputRole::Projection { tag } = role {
+                if !value.is_null() {
+                    out.push(ResultTriple {
+                        context_id,
+                        tag: tag.clone(),
+                        value: value_text(value),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Publish reassembled triples back as XML: one element per context node,
+/// carrying its projected children in result order — the "publishing
+/// relational data as XML" direction of \[21\], closing the round trip.
+pub fn to_xml(triples: &[ResultTriple], context_tag: &str) -> xmlshred_xml::dom::Element {
+    use xmlshred_xml::dom::Element;
+    let mut root = Element::new("results");
+    let mut current: Option<(i64, Element)> = None;
+    for triple in triples {
+        let start_new = match &current {
+            Some((id, _)) => *id != triple.context_id,
+            None => true,
+        };
+        if start_new {
+            if let Some((_, done)) = current.take() {
+                root.children.push(xmlshred_xml::dom::XmlNode::Element(done));
+            }
+            current = Some((
+                triple.context_id,
+                Element::new(context_tag).with_attr("id", triple.context_id.to_string()),
+            ));
+        }
+        if let Some((_, element)) = &mut current {
+            element.children.push(xmlshred_xml::dom::XmlNode::Element(
+                Element::new(triple.tag.clone()).with_text(triple.value.clone()),
+            ));
+        }
+    }
+    if let Some((_, done)) = current.take() {
+        root.children.push(xmlshred_xml::dom::XmlNode::Element(done));
+    }
+    root
+}
+
+/// Render a value the way it appeared in the XML text.
+pub fn value_text(value: &Value) -> String {
+    match value {
+        Value::Null => String::new(),
+        Value::Int(v) => v.to_string(),
+        Value::Float(v) => {
+            // Keep "7.5" as "7.5" and "7" as "7".
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", *v as i64)
+            } else {
+                v.to_string()
+            }
+        }
+        Value::Str(s) => s.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ResultShape {
+        ResultShape {
+            roles: vec![
+                OutputRole::ContextId,
+                OutputRole::Projection { tag: "title".into() },
+                OutputRole::Projection { tag: "author".into() },
+                OutputRole::Projection { tag: "author".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn reassembles_non_null_positions() {
+        let rows = vec![
+            vec![
+                Value::Int(7),
+                Value::str("T"),
+                Value::str("A1"),
+                Value::str("A2"),
+            ],
+            vec![Value::Int(7), Value::Null, Value::Null, Value::str("A3")],
+        ];
+        let triples = reassemble(&rows, &shape());
+        assert_eq!(triples.len(), 4);
+        assert!(triples.iter().all(|t| t.context_id == 7));
+        let authors: Vec<_> = triples
+            .iter()
+            .filter(|t| t.tag == "author")
+            .map(|t| t.value.clone())
+            .collect();
+        assert_eq!(authors, vec!["A1", "A2", "A3"]);
+    }
+
+    #[test]
+    fn rows_without_id_skipped() {
+        let rows = vec![vec![Value::Null, Value::str("x"), Value::Null, Value::Null]];
+        assert!(reassemble(&rows, &shape()).is_empty());
+    }
+
+    #[test]
+    fn to_xml_groups_by_context() {
+        let rows = vec![
+            vec![Value::Int(7), Value::str("T"), Value::str("A1"), Value::Null],
+            vec![Value::Int(7), Value::Null, Value::Null, Value::str("A3")],
+            vec![Value::Int(9), Value::str("U"), Value::Null, Value::Null],
+        ];
+        let triples = reassemble(&rows, &shape());
+        let xml = to_xml(&triples, "book");
+        assert_eq!(xml.children_named("book").count(), 2);
+        let first = xml.children_named("book").next().unwrap();
+        assert_eq!(first.attr("id"), Some("7"));
+        assert_eq!(first.children_named("author").count(), 2);
+        assert_eq!(first.child("title").unwrap().text(), "T");
+    }
+
+    #[test]
+    fn value_text_formats() {
+        assert_eq!(value_text(&Value::Int(1997)), "1997");
+        assert_eq!(value_text(&Value::Float(7.5)), "7.5");
+        assert_eq!(value_text(&Value::Float(7.0)), "7");
+        assert_eq!(value_text(&Value::str("abc")), "abc");
+    }
+}

@@ -1,0 +1,29 @@
+//! XPath-to-SQL translation using the sorted outer union of
+//! Shanmugasundaram et al. \[21\], generalized over the mapping layer:
+//!
+//! * one `UNION ALL` branch per context-table partition, selecting the
+//!   context `ID` plus every projection column that partition carries
+//!   (`NULL` padding elsewhere),
+//! * one branch per child table holding an outlined / set-valued projection,
+//!   joined on `child.PID = context.ID`,
+//! * repetition-split leaves occupy their `k` inlined columns in the
+//!   context branch plus an overflow branch over the child table — exactly
+//!   the Mapping-2 SQL of the paper's Section 1.1,
+//! * a final `ORDER BY` on the context `ID`.
+//!
+//! Horizontal partitions that cannot satisfy the selection are pruned at
+//! translation time, which is where union distribution's benefit
+//! materializes.
+//!
+//! Supported query class (the paper's): absolute child/descendant paths, a
+//! single annotated context element, conjunctive value predicates on
+//! *single-valued* leaves, and a final (possibly union) projection step.
+//! Predicates over set-valued leaves are rejected (see DESIGN.md).
+
+pub mod assemble;
+pub mod resolve;
+pub mod translate;
+
+pub use assemble::{reassemble, to_xml, OutputRole, ResultShape, ResultTriple};
+pub use resolve::resolve_context;
+pub use translate::{translate, TranslateError, TranslatedQuery};

@@ -1,0 +1,148 @@
+//! Resolve XPath steps against the schema tree.
+
+use xmlshred_xpath::ast::{Axis, Step};
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+
+/// Resolve a step sequence from the (virtual) document root, returning the
+/// matched `Tag` nodes.
+pub fn resolve_steps(tree: &SchemaTree, steps: &[Step]) -> Vec<NodeId> {
+    let mut current: Vec<NodeId> = match steps.first() {
+        None => return vec![tree.root()],
+        Some(first) => {
+            let mut seed = Vec::new();
+            match first.axis {
+                Axis::Child => {
+                    if let NodeKind::Tag(name) = &tree.node(tree.root()).kind {
+                        if first.test.matches(name) {
+                            seed.push(tree.root());
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    // Descendant-or-self from the virtual root.
+                    if let NodeKind::Tag(name) = &tree.node(tree.root()).kind {
+                        if first.test.matches(name) {
+                            seed.push(tree.root());
+                        }
+                    }
+                    for tag in tree.descendant_tags(tree.root()) {
+                        if let NodeKind::Tag(name) = &tree.node(tag).kind {
+                            if first.test.matches(name) {
+                                seed.push(tag);
+                            }
+                        }
+                    }
+                }
+            }
+            seed
+        }
+    };
+    for step in &steps[1..] {
+        let mut next = Vec::new();
+        for &node in &current {
+            next.extend(apply_step(tree, node, step));
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+    }
+    current
+}
+
+/// Apply one step from `node`.
+pub fn apply_step(tree: &SchemaTree, node: NodeId, step: &Step) -> Vec<NodeId> {
+    let candidates = match step.axis {
+        Axis::Child => tree.child_tags(node),
+        Axis::Descendant => tree.descendant_tags(node),
+    };
+    candidates
+        .into_iter()
+        .filter(|&t| {
+            if let NodeKind::Tag(name) = &tree.node(t).kind {
+                step.test.matches(name)
+            } else {
+                false
+            }
+        })
+        .collect()
+}
+
+/// Resolve everything but the final (projection) step to a single context
+/// node. Returns `None` when the resolution is empty or ambiguous.
+pub fn resolve_context(tree: &SchemaTree, steps: &[Step]) -> Option<NodeId> {
+    if steps.is_empty() {
+        return None;
+    }
+    let context_steps = &steps[..steps.len() - 1];
+    let matched = resolve_steps(tree, context_steps);
+    if matched.len() == 1 {
+        Some(matched[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlshred_xpath::parser::parse_path;
+    use xmlshred_xml::tree::{BaseType, SchemaTree};
+
+    fn movie_tree() -> SchemaTree {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("movies".into()));
+        t.set_annotation(t.root(), "movies");
+        let star = t.add_child(t.root(), NodeKind::Repetition);
+        t.set_occurs(star, 0, None);
+        let movie = t.add_child(star, NodeKind::Tag("movie".into()));
+        t.set_annotation(movie, "movie");
+        let seq = t.add_child(movie, NodeKind::Sequence);
+        let title = t.add_child(seq, NodeKind::Tag("title".into()));
+        t.add_child(title, NodeKind::Simple(BaseType::Str));
+        let year = t.add_child(seq, NodeKind::Tag("year".into()));
+        t.add_child(year, NodeKind::Simple(BaseType::Int));
+        t
+    }
+
+    #[test]
+    fn descendant_resolves_context() {
+        let tree = movie_tree();
+        let q = parse_path("//movie/title").unwrap();
+        let context = resolve_context(&tree, &q.steps).unwrap();
+        assert_eq!(tree.node(context).kind.tag_name(), Some("movie"));
+    }
+
+    #[test]
+    fn absolute_path_resolves() {
+        let tree = movie_tree();
+        let q = parse_path("/movies/movie/(title | year)").unwrap();
+        let context = resolve_context(&tree, &q.steps).unwrap();
+        assert_eq!(tree.node(context).kind.tag_name(), Some("movie"));
+    }
+
+    #[test]
+    fn wrong_root_fails() {
+        let tree = movie_tree();
+        let q = parse_path("/nothing/movie/title").unwrap();
+        assert!(resolve_context(&tree, &q.steps).is_none());
+    }
+
+    #[test]
+    fn union_projection_resolution() {
+        let tree = movie_tree();
+        let q = parse_path("//movie/(title | year)").unwrap();
+        let context = resolve_context(&tree, &q.steps).unwrap();
+        let matched = apply_step(&tree, context, q.steps.last().unwrap());
+        assert_eq!(matched.len(), 2);
+    }
+
+    #[test]
+    fn single_step_context_is_virtual_root_resolution() {
+        let tree = movie_tree();
+        let q = parse_path("/movies").unwrap();
+        // Context of a one-step query is the resolution of zero steps: the
+        // root itself.
+        let matched = resolve_steps(&tree, &[]);
+        assert_eq!(matched, vec![tree.root()]);
+        let _ = q;
+    }
+}

@@ -1,0 +1,857 @@
+//! The sorted-outer-union translation itself.
+
+use crate::assemble::{OutputRole, ResultShape};
+use crate::resolve::{apply_step, resolve_context};
+use xmlshred_rel::catalog::TableId;
+use xmlshred_rel::expr::{Filter, FilterOp};
+use xmlshred_rel::sql::{JoinCond, Output, SelectQuery, SqlQuery, UnionAllQuery};
+use xmlshred_rel::types::{DataType, Value};
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::schema::{ColumnSource, DerivedSchema, RelTable};
+use xmlshred_xpath::ast::{CmpOp, Literal, Path, Predicate};
+use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+
+/// Translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The context path did not resolve to a single schema node.
+    NoContext(String),
+    /// A predicate sits on a step other than the context step.
+    PredicateOutsideContext,
+    /// A predicate path did not resolve to a single leaf element.
+    BadSelectionPath(String),
+    /// A predicate targets a set-valued leaf (outside the supported class).
+    SetValuedSelection(String),
+    /// A projection or selection lives too deep (more than one table hop
+    /// below the context).
+    TooDeep(String),
+    /// The final step matched no leaf elements.
+    NoProjection,
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::NoContext(p) => write!(f, "context path '{p}' is not unique"),
+            TranslateError::PredicateOutsideContext => {
+                write!(f, "predicates are only supported on the context step")
+            }
+            TranslateError::BadSelectionPath(p) => {
+                write!(f, "selection path '{p}' does not resolve to one leaf")
+            }
+            TranslateError::SetValuedSelection(p) => {
+                write!(f, "selection over set-valued leaf '{p}' is unsupported")
+            }
+            TranslateError::TooDeep(p) => write!(f, "'{p}' is nested too deep to translate"),
+            TranslateError::NoProjection => write!(f, "no projection elements matched"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A translated query: the SQL plus reassembly metadata.
+#[derive(Debug, Clone)]
+pub struct TranslatedQuery {
+    /// The sorted outer union.
+    pub sql: SqlQuery,
+    /// Output-position roles for reassembly.
+    pub shape: ResultShape,
+    /// The context node.
+    pub context: NodeId,
+}
+
+/// Where a selection predicate lands.
+#[derive(Debug, Clone)]
+enum SelectionPlace {
+    /// A column of the context table (checked per partition).
+    Inline { leaf: NodeId, op: FilterOp, value_for: DataType, literal: Option<Literal> },
+    /// A join to a child-anchor table.
+    Child {
+        table_index: usize,
+        column: usize,
+        op: FilterOp,
+        literal: Option<Literal>,
+        ty: DataType,
+    },
+}
+
+/// Where a projection lands.
+#[derive(Debug, Clone)]
+enum ProjectionPlace {
+    /// Inlined leaf of the context table: one output position.
+    Inline { leaf: NodeId, position: usize, ty: DataType },
+    /// Repetition split: `k` context columns + one overflow branch.
+    RepSplit {
+        star: NodeId,
+        child_anchor: NodeId,
+        positions: Vec<usize>,
+        overflow_position: usize,
+        ty: DataType,
+    },
+    /// A child-anchor table joined on `PID`.
+    Child {
+        child_anchor: NodeId,
+        leaf: NodeId,
+        position: usize,
+        ty: DataType,
+    },
+}
+
+/// Translate `path` under (`tree`, `mapping`, `schema`).
+///
+/// Table references in the emitted SQL are `TableId(i)` where `i` indexes
+/// `schema.tables` — the order `DerivedSchema::to_table_defs` creates them
+/// in, which is also the order the shredder's `load_database` registers.
+pub fn translate(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    schema: &DerivedSchema,
+    path: &Path,
+) -> Result<TranslatedQuery, TranslateError> {
+    let context = resolve_context(tree, &path.steps)
+        .ok_or_else(|| TranslateError::NoContext(path.to_string()))?;
+    let anchor = mapping.anchor_of(tree, context);
+
+    // Predicates: context step only.
+    let n = path.steps.len();
+    for (i, step) in path.steps.iter().enumerate() {
+        if i != n.saturating_sub(2) && !step.predicates.is_empty() {
+            return Err(TranslateError::PredicateOutsideContext);
+        }
+    }
+    let predicates: &[Predicate] = if n >= 2 {
+        &path.steps[n - 2].predicates
+    } else {
+        &[]
+    };
+
+    let selections = place_selections(tree, mapping, schema, context, anchor, predicates)?;
+
+    // Projections.
+    let last = path.steps.last().ok_or(TranslateError::NoProjection)?;
+    let mut projection_nodes = apply_step(tree, context, last);
+    projection_nodes.retain(|&p| tree.is_leaf_element(p));
+    if projection_nodes.is_empty() {
+        return Err(TranslateError::NoProjection);
+    }
+
+    let mut shape = ResultShape {
+        roles: vec![OutputRole::ContextId],
+    };
+    let mut projections: Vec<ProjectionPlace> = Vec::new();
+    for &p in &projection_nodes {
+        let tag = tree.node(p).kind.tag_name().unwrap_or("value").to_string();
+        let ty = leaf_type(tree, p);
+        let p_anchor = mapping.anchor_of(tree, p);
+        if p_anchor == anchor {
+            let position = shape.roles.len();
+            shape.roles.push(OutputRole::Projection { tag });
+            projections.push(ProjectionPlace::Inline { leaf: p, position, ty });
+        } else {
+            // One hop below the context?
+            let parent_anchor = tree
+                .parent_tag(p_anchor)
+                .map(|t| mapping.anchor_of(tree, t));
+            if parent_anchor != Some(anchor) {
+                return Err(TranslateError::TooDeep(tag));
+            }
+            // Repetition split?
+            let star = tree.parent(p_anchor).filter(|&s| {
+                matches!(tree.node(s).kind, NodeKind::Repetition)
+            });
+            let split = star.and_then(|s| mapping.rep_split_count(s).map(|k| (s, k)));
+            match split {
+                Some((star, k)) if tree.is_leaf_element(p_anchor) && p == p_anchor => {
+                    let positions: Vec<usize> = (0..k)
+                        .map(|_| {
+                            let pos = shape.roles.len();
+                            shape.roles.push(OutputRole::Projection { tag: tag.clone() });
+                            pos
+                        })
+                        .collect();
+                    let overflow_position = shape.roles.len();
+                    shape.roles.push(OutputRole::Projection { tag });
+                    projections.push(ProjectionPlace::RepSplit {
+                        star,
+                        child_anchor: p_anchor,
+                        positions,
+                        overflow_position,
+                        ty,
+                    });
+                }
+                _ => {
+                    let position = shape.roles.len();
+                    shape.roles.push(OutputRole::Projection { tag });
+                    projections.push(ProjectionPlace::Child {
+                        child_anchor: p_anchor,
+                        leaf: p,
+                        position,
+                        ty,
+                    });
+                }
+            }
+        }
+    }
+
+    // Build branches.
+    let arity = shape.roles.len();
+    let mut branches: Vec<SelectQuery> = Vec::new();
+    for &ct_index in schema.tables_of_anchor(anchor) {
+        let ct = &schema.tables[ct_index];
+        // Context branch (carries every inlined projection).
+        if let Some(branch) =
+            context_branch(schema, anchor, ct_index, ct, &selections, &projections, arity)
+        {
+            branches.push(branch);
+        }
+        // Child branches joined to this context partition — needed when a
+        // selection constrains the context, or when the child table is
+        // shared with other parents (its rows are not all ours). Without
+        // either, the child's PID *is* the context ID and the join is
+        // redundant; those branches are emitted once below.
+        for projection in &projections {
+            let (child_anchor, leaf, position) = match projection {
+                ProjectionPlace::Child {
+                    child_anchor,
+                    leaf,
+                    position,
+                    ..
+                } => (*child_anchor, *leaf, *position),
+                ProjectionPlace::RepSplit {
+                    child_anchor,
+                    overflow_position,
+                    ..
+                } => (*child_anchor, *child_anchor, *overflow_position),
+                ProjectionPlace::Inline { .. } => continue,
+            };
+            for &child_index in schema.tables_of_anchor(child_anchor) {
+                let child_table = &schema.tables[child_index];
+                if selections.is_empty() && table_owned_by(tree, mapping, child_table, anchor) {
+                    continue; // covered by a single-table branch below
+                }
+                let Some(value_col) = child_table
+                    .column_position_for_anchor(child_anchor, &ColumnSource::Leaf(leaf))
+                else {
+                    continue;
+                };
+                if let Some(branch) = child_branch(
+                    schema,
+                    anchor,
+                    ct_index,
+                    ct,
+                    child_index,
+                    value_col,
+                    position,
+                    &selections,
+                    arity,
+                ) {
+                    branches.push(branch);
+                }
+            }
+        }
+    }
+    // Selection-free child branches over tables whose rows all belong to
+    // our context: one single-table branch per child table, projecting
+    // (PID, value).
+    if selections.is_empty() {
+        for projection in &projections {
+            let (child_anchor, leaf, position) = match projection {
+                ProjectionPlace::Child {
+                    child_anchor,
+                    leaf,
+                    position,
+                    ..
+                } => (*child_anchor, *leaf, *position),
+                ProjectionPlace::RepSplit {
+                    child_anchor,
+                    overflow_position,
+                    ..
+                } => (*child_anchor, *child_anchor, *overflow_position),
+                ProjectionPlace::Inline { .. } => continue,
+            };
+            for &child_index in schema.tables_of_anchor(child_anchor) {
+                let child_table = &schema.tables[child_index];
+                if !table_owned_by(tree, mapping, child_table, anchor) {
+                    continue; // shared table: joined branches above cover it
+                }
+                let Some(value_col) = child_table
+                    .column_position_for_anchor(child_anchor, &ColumnSource::Leaf(leaf))
+                else {
+                    continue;
+                };
+                let Some(pid) = child_table.column_position(&ColumnSource::Pid) else {
+                    continue;
+                };
+                let mut query = SelectQuery::single(TableId(child_index as u32));
+                let mut outputs: Vec<Output> = vec![Output::Null(DataType::Str); arity];
+                outputs[0] = Output::col(0, pid);
+                outputs[position] = Output::col(0, value_col);
+                query.outputs = outputs;
+                branches.push(query);
+            }
+        }
+    }
+
+    if branches.is_empty() {
+        // Selection is unsatisfiable under this mapping (e.g. every
+        // partition pruned): emit a trivially empty branch over the first
+        // context table so downstream costing still has a query.
+        let ct_index = schema.tables_of_anchor(anchor)[0];
+        let mut q = SelectQuery::single(TableId(ct_index as u32));
+        q.filters.push(Filter::new(0, 0, FilterOp::IsNull, Value::Null));
+        q.outputs.push(Output::col(0, 0));
+        for _ in 1..arity {
+            q.outputs.push(Output::Null(DataType::Str));
+        }
+        branches.push(q);
+    }
+
+    Ok(TranslatedQuery {
+        sql: SqlQuery::Union(UnionAllQuery {
+            branches,
+            order_by: vec![0],
+        }),
+        shape,
+        context,
+    })
+}
+
+/// True when every row of `table` belongs to an instance under `anchor`'s
+/// table: all of the table's anchors have `anchor` as their parent anchor.
+/// Only then can a child branch skip the context join.
+fn table_owned_by(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    table: &RelTable,
+    anchor: NodeId,
+) -> bool {
+    table.anchors.iter().all(|&a| {
+        tree.parent_tag(a)
+            .map(|t| mapping.anchor_of(tree, t))
+            == Some(anchor)
+    })
+}
+
+fn leaf_type(tree: &SchemaTree, leaf: NodeId) -> DataType {
+    match tree.leaf_base_type(leaf) {
+        Some(xmlshred_xml::tree::BaseType::Int) => DataType::Int,
+        Some(xmlshred_xml::tree::BaseType::Float) => DataType::Float,
+        _ => DataType::Str,
+    }
+}
+
+fn place_selections(
+    tree: &SchemaTree,
+    mapping: &Mapping,
+    schema: &DerivedSchema,
+    context: NodeId,
+    anchor: NodeId,
+    predicates: &[Predicate],
+) -> Result<Vec<SelectionPlace>, TranslateError> {
+    let mut out = Vec::new();
+    for predicate in predicates {
+        // Resolve the relative path from the context node.
+        let mut matched = vec![context];
+        for step in &predicate.path {
+            let mut next = Vec::new();
+            for &node in &matched {
+                next.extend(apply_step(tree, node, step));
+            }
+            matched = next;
+        }
+        matched.retain(|&p| tree.is_leaf_element(p));
+        if matched.len() != 1 {
+            return Err(TranslateError::BadSelectionPath(format!("{predicate}")));
+        }
+        let leaf = matched[0];
+        // Reject set-valued selection leaves (document-level multiplicity).
+        let mut walker = leaf;
+        while walker != anchor {
+            let Some(parent) = tree.parent(walker) else {
+                break;
+            };
+            if matches!(tree.node(parent).kind, NodeKind::Repetition) {
+                return Err(TranslateError::SetValuedSelection(format!("{predicate}")));
+            }
+            walker = parent;
+        }
+        let ty = leaf_type(tree, leaf);
+        let (op, literal) = match &predicate.comparison {
+            Some((op, literal)) => (cmp_to_filter(*op), Some(literal.clone())),
+            None => (FilterOp::IsNotNull, None),
+        };
+        let leaf_anchor = mapping.anchor_of(tree, leaf);
+        if leaf_anchor == anchor {
+            out.push(SelectionPlace::Inline {
+                leaf,
+                op,
+                value_for: ty,
+                literal,
+            });
+        } else {
+            // One hop below the context only.
+            let parent_anchor = tree
+                .parent_tag(leaf_anchor)
+                .map(|t| mapping.anchor_of(tree, t));
+            if parent_anchor != Some(anchor) {
+                return Err(TranslateError::TooDeep(format!("{predicate}")));
+            }
+            // Exactly one child table must expose the leaf.
+            let placements: Vec<(usize, usize)> = schema
+                .tables_of_anchor(leaf_anchor)
+                .iter()
+                .filter_map(|&t| {
+                    schema.tables[t]
+                        .column_position_for_anchor(leaf_anchor, &ColumnSource::Leaf(leaf))
+                        .map(|c| (t, c))
+                })
+                .collect();
+            if placements.len() != 1 {
+                return Err(TranslateError::BadSelectionPath(format!("{predicate}")));
+            }
+            out.push(SelectionPlace::Child {
+                table_index: placements[0].0,
+                column: placements[0].1,
+                op,
+                literal,
+                ty,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn cmp_to_filter(op: CmpOp) -> FilterOp {
+    match op {
+        CmpOp::Eq => FilterOp::Eq,
+        CmpOp::Ne => FilterOp::Ne,
+        CmpOp::Lt => FilterOp::Lt,
+        CmpOp::Le => FilterOp::Le,
+        CmpOp::Gt => FilterOp::Gt,
+        CmpOp::Ge => FilterOp::Ge,
+    }
+}
+
+/// Literal -> typed Value for a column of type `ty`.
+fn literal_value(literal: &Option<Literal>, ty: DataType) -> Value {
+    match literal {
+        None => Value::Null,
+        Some(Literal::Num(n)) => match ty {
+            DataType::Int => Value::Int(*n as i64),
+            DataType::Float => Value::Float(*n),
+            DataType::Str => Value::str(crate::assemble::value_text(&Value::Float(*n))),
+        },
+        Some(Literal::Str(s)) => Value::parse(s, ty),
+    }
+}
+
+/// Apply selections to a branch rooted at the context table (table_ref 0).
+/// Returns `None` when an inline selection's column is absent from this
+/// partition (the partition cannot contribute rows).
+fn apply_selections(
+    schema: &DerivedSchema,
+    anchor: NodeId,
+    ct: &RelTable,
+    selections: &[SelectionPlace],
+    query: &mut SelectQuery,
+) -> Option<()> {
+    for selection in selections {
+        match selection {
+            SelectionPlace::Inline {
+                leaf,
+                op,
+                value_for,
+                literal,
+            } => {
+                let col = ct.column_position_for_anchor(anchor, &ColumnSource::Leaf(*leaf))?;
+                query.filters.push(Filter::new(
+                    0,
+                    col,
+                    *op,
+                    literal_value(literal, *value_for),
+                ));
+            }
+            SelectionPlace::Child {
+                table_index,
+                column,
+                op,
+                literal,
+                ty,
+            } => {
+                let table_ref = query.tables.len();
+                query.tables.push(TableId(*table_index as u32));
+                let pid = schema.tables[*table_index]
+                    .column_position(&ColumnSource::Pid)
+                    .expect("PID column");
+                let id = ct.column_position(&ColumnSource::Id).expect("ID column");
+                query.joins.push(JoinCond {
+                    left_ref: 0,
+                    left_col: id,
+                    right_ref: table_ref,
+                    right_col: pid,
+                });
+                if !matches!(op, FilterOp::IsNotNull) || literal.is_some() {
+                    query.filters.push(Filter::new(
+                        table_ref,
+                        *column,
+                        *op,
+                        literal_value(literal, *ty),
+                    ));
+                }
+            }
+        }
+    }
+    Some(())
+}
+
+fn context_branch(
+    schema: &DerivedSchema,
+    anchor: NodeId,
+    ct_index: usize,
+    ct: &RelTable,
+    selections: &[SelectionPlace],
+    projections: &[ProjectionPlace],
+    arity: usize,
+) -> Option<SelectQuery> {
+    let mut query = SelectQuery::single(TableId(ct_index as u32));
+    apply_selections(schema, anchor, ct, selections, &mut query)?;
+
+    let mut outputs: Vec<Output> = vec![Output::Null(DataType::Str); arity];
+    outputs[0] = Output::col(0, ct.column_position(&ColumnSource::Id)?);
+    let mut any_projection = false;
+    for projection in projections {
+        match projection {
+            ProjectionPlace::Inline { leaf, position, ty } => {
+                match ct.column_position_for_anchor(anchor, &ColumnSource::Leaf(*leaf)) {
+                    Some(col) => {
+                        outputs[*position] = Output::col(0, col);
+                        any_projection = true;
+                    }
+                    None => outputs[*position] = Output::Null(*ty),
+                }
+            }
+            ProjectionPlace::RepSplit {
+                star,
+                positions,
+                ty,
+                ..
+            } => {
+                let cols = ct.rep_split_positions_for_anchor(anchor, *star);
+                for (i, position) in positions.iter().enumerate() {
+                    match cols.get(i) {
+                        Some(&col) => {
+                            outputs[*position] = Output::col(0, col);
+                            any_projection = true;
+                        }
+                        None => outputs[*position] = Output::Null(*ty),
+                    }
+                }
+            }
+            ProjectionPlace::Child { ty, position, .. } => {
+                outputs[*position] = Output::Null(*ty);
+            }
+        }
+    }
+    // The context branch is only useful when it carries at least one
+    // projection value (otherwise child branches cover everything)...
+    // unless there are NO child branches at all, in which case the branch
+    // still anchors the result. Keep it when it projects something or when
+    // every projection is inline-but-absent (all NULLs still signal the
+    // context exists in the paper's encoding; we keep the lean version).
+    if !any_projection
+        && projections
+            .iter()
+            .any(|p| !matches!(p, ProjectionPlace::Inline { .. }))
+    {
+        return None;
+    }
+    query.outputs = outputs;
+    Some(query)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn child_branch(
+    schema: &DerivedSchema,
+    anchor: NodeId,
+    ct_index: usize,
+    ct: &RelTable,
+    child_index: usize,
+    value_col: usize,
+    position: usize,
+    selections: &[SelectionPlace],
+    arity: usize,
+) -> Option<SelectQuery> {
+    let mut query = SelectQuery::single(TableId(ct_index as u32));
+    apply_selections(schema, anchor, ct, selections, &mut query)?;
+
+    let child_ref = query.tables.len();
+    query.tables.push(TableId(child_index as u32));
+    let id = ct.column_position(&ColumnSource::Id)?;
+    let pid = schema.tables[child_index].column_position(&ColumnSource::Pid)?;
+    query.joins.push(JoinCond {
+        left_ref: 0,
+        left_col: id,
+        right_ref: child_ref,
+        right_col: pid,
+    });
+
+    let mut outputs: Vec<Output> = vec![Output::Null(DataType::Str); arity];
+    outputs[0] = Output::col(0, id);
+    outputs[position] = Output::col(child_ref, value_col);
+    query.outputs = outputs;
+    Some(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlshred_shred::mapping::PartitionDim;
+    use xmlshred_shred::schema::derive_schema;
+    use xmlshred_shred::shredder::load_database;
+    use xmlshred_xml::parser::parse_element;
+    use xmlshred_xml::tree::{BaseType, SchemaTree};
+    use xmlshred_xpath::parser::parse_path;
+
+    struct Fixture {
+        tree: SchemaTree,
+        movie: NodeId,
+        aka_star: NodeId,
+        rating_opt: NodeId,
+        choice: NodeId,
+    }
+
+    fn movie_tree() -> Fixture {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("movies".into()));
+        t.set_annotation(t.root(), "movies");
+        let star = t.add_child(t.root(), NodeKind::Repetition);
+        t.set_occurs(star, 0, None);
+        let movie = t.add_child(star, NodeKind::Tag("movie".into()));
+        t.set_annotation(movie, "movie");
+        let seq = t.add_child(movie, NodeKind::Sequence);
+        let title = t.add_child(seq, NodeKind::Tag("title".into()));
+        t.add_child(title, NodeKind::Simple(BaseType::Str));
+        let year = t.add_child(seq, NodeKind::Tag("year".into()));
+        t.add_child(year, NodeKind::Simple(BaseType::Int));
+        let aka_star = t.add_child(seq, NodeKind::Repetition);
+        t.set_occurs(aka_star, 0, None);
+        let aka = t.add_child(aka_star, NodeKind::Tag("aka_title".into()));
+        t.set_annotation(aka, "aka_title");
+        t.add_child(aka, NodeKind::Simple(BaseType::Str));
+        let rating_opt = t.add_child(seq, NodeKind::Optional);
+        let rating = t.add_child(rating_opt, NodeKind::Tag("avg_rating".into()));
+        t.add_child(rating, NodeKind::Simple(BaseType::Float));
+        let choice = t.add_child(seq, NodeKind::Choice);
+        let bo = t.add_child(choice, NodeKind::Tag("box_office".into()));
+        t.add_child(bo, NodeKind::Simple(BaseType::Int));
+        let se = t.add_child(choice, NodeKind::Tag("seasons".into()));
+        t.add_child(se, NodeKind::Simple(BaseType::Int));
+        Fixture {
+            tree: t,
+            movie,
+            aka_star,
+            rating_opt,
+            choice,
+        }
+    }
+
+    fn sample_doc() -> xmlshred_xml::dom::Element {
+        parse_element(
+            r#"<movies>
+              <movie><title>Titanic</title><year>1997</year>
+                <aka_title>Le Titanic</aka_title><aka_title>Titanik</aka_title>
+                <avg_rating>7.9</avg_rating><box_office>2200</box_office></movie>
+              <movie><title>Friends</title><year>1994</year>
+                <seasons>10</seasons></movie>
+              <movie><title>Avatar</title><year>2009</year>
+                <aka_title>Avatar 3D</aka_title>
+                <avg_rating>7.8</avg_rating><box_office>2900</box_office></movie>
+            </movies>"#,
+        )
+        .unwrap()
+    }
+
+    /// Translate + execute + reassemble under `mapping`, returning sorted
+    /// (tag, value) pairs per context in document order.
+    fn run(mapping: &Mapping, q: &str) -> Vec<(String, String)> {
+        let f = movie_tree();
+        let schema = derive_schema(&f.tree, mapping);
+        let doc = sample_doc();
+        let db = load_database(&f.tree, mapping, &schema, &[&doc]).unwrap();
+        let path = parse_path(q).unwrap();
+        let translated = translate(&f.tree, mapping, &schema, &path).unwrap();
+        translated.sql.validate(db.catalog()).unwrap();
+        let outcome = db.execute(&translated.sql).unwrap();
+        let triples = crate::assemble::reassemble(&outcome.rows, &translated.shape);
+        let mut pairs: Vec<(String, String)> =
+            triples.into_iter().map(|t| (t.tag, t.value)).collect();
+        pairs.sort();
+        pairs
+    }
+
+    /// Results must be identical across mappings; compare to the reference
+    /// XPath evaluator.
+    fn reference(q: &str) -> Vec<(String, String)> {
+        let doc = sample_doc();
+        let path = parse_path(q).unwrap();
+        let mut results: Vec<(String, String)> =
+            xmlshred_xpath::eval::evaluate_query(&doc, &path)
+                .into_iter()
+                .map(|m| (m.tag, m.value))
+                .collect();
+        results.sort();
+        results
+    }
+
+    fn all_mappings() -> Vec<(&'static str, Mapping)> {
+        let f = movie_tree();
+        let hybrid = Mapping::hybrid(&f.tree);
+        let mut dist = hybrid.clone();
+        dist.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let mut implicit = hybrid.clone();
+        implicit.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let mut split = hybrid.clone();
+        split.rep_splits.insert(f.aka_star, 1);
+        let mut everything = hybrid.clone();
+        everything.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        everything.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        everything.rep_splits.insert(f.aka_star, 2);
+        vec![
+            ("hybrid", hybrid),
+            ("choice-distributed", dist),
+            ("implicit-union", implicit),
+            ("rep-split-1", split),
+            ("everything", everything),
+        ]
+    }
+
+    const QUERIES: &[&str] = &[
+        "//movie[title = \"Titanic\"]/(aka_title | avg_rating)",
+        "//movie/title",
+        "//movie[year >= 1998]/(title | box_office)",
+        "//movie/(title | year | aka_title | avg_rating | box_office | seasons)",
+        "//movie[avg_rating]/title",
+        "//movie[box_office = 2900]/title",
+        "//movie/aka_title",
+        "//movie[year = 1994]/(seasons | title)",
+    ];
+
+    #[test]
+    fn all_queries_match_reference_under_all_mappings() {
+        for q in QUERIES {
+            let expected = reference(q);
+            for (name, mapping) in all_mappings() {
+                let got = run(&mapping, q);
+                assert_eq!(got, expected, "query {q} under mapping {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sql_shape_for_rep_split() {
+        let f = movie_tree();
+        let mut mapping = Mapping::hybrid(&f.tree);
+        mapping.rep_splits.insert(f.aka_star, 2);
+        let schema = derive_schema(&f.tree, &mapping);
+        let path = parse_path("//movie[title = \"Titanic\"]/aka_title").unwrap();
+        let translated = translate(&f.tree, &mapping, &schema, &path).unwrap();
+        // Shape: ID + aka_1 + aka_2 + overflow.
+        assert_eq!(translated.shape.roles.len(), 4);
+        let SqlQuery::Union(u) = &translated.sql else {
+            panic!()
+        };
+        // One context branch + one overflow branch.
+        assert_eq!(u.branches.len(), 2);
+        assert_eq!(u.order_by, vec![0]);
+    }
+
+    #[test]
+    fn partition_pruning_on_choice() {
+        let f = movie_tree();
+        let mut mapping = Mapping::hybrid(&f.tree);
+        mapping.add_partition(f.movie, PartitionDim::Choice(f.choice));
+        let schema = derive_schema(&f.tree, &mapping);
+        // Query touching only box_office: the seasons partition is pruned
+        // because its branch projects nothing.
+        let path = parse_path("//movie[box_office >= 0]/box_office").unwrap();
+        let translated = translate(&f.tree, &mapping, &schema, &path).unwrap();
+        let SqlQuery::Union(u) = &translated.sql else {
+            panic!()
+        };
+        assert_eq!(u.branches.len(), 1, "{:?}", u.branches);
+    }
+
+    #[test]
+    fn partition_pruning_on_implicit_union() {
+        let f = movie_tree();
+        let mut mapping = Mapping::hybrid(&f.tree);
+        mapping.add_partition(f.movie, PartitionDim::Optionals(vec![f.rating_opt]));
+        let schema = derive_schema(&f.tree, &mapping);
+        let path = parse_path("//movie[avg_rating >= 7]/avg_rating").unwrap();
+        let translated = translate(&f.tree, &mapping, &schema, &path).unwrap();
+        let SqlQuery::Union(u) = &translated.sql else {
+            panic!()
+        };
+        assert_eq!(u.branches.len(), 1);
+    }
+
+    #[test]
+    fn selection_against_outlined_leaf_joins() {
+        let f = movie_tree();
+        let mut mapping = Mapping::hybrid(&f.tree);
+        // Outline title: selection must join the title table.
+        let title = f.tree.child_tags(f.movie)[0];
+        mapping.annotate(title, "title_t");
+        let schema = derive_schema(&f.tree, &mapping);
+        let path = parse_path("//movie[title = \"Titanic\"]/year").unwrap();
+        let translated = translate(&f.tree, &mapping, &schema, &path).unwrap();
+        let SqlQuery::Union(u) = &translated.sql else {
+            panic!()
+        };
+        assert!(u.branches[0].tables.len() == 2);
+        assert!(u.branches[0].joins.len() == 1);
+        // And the result is still correct.
+        let got = run(&mapping, "//movie[title = \"Titanic\"]/year");
+        assert_eq!(got, reference("//movie[title = \"Titanic\"]/year"));
+    }
+
+    #[test]
+    fn set_valued_selection_rejected() {
+        let f = movie_tree();
+        let mapping = Mapping::hybrid(&f.tree);
+        let schema = derive_schema(&f.tree, &mapping);
+        let path = parse_path("//movie[aka_title = \"x\"]/title").unwrap();
+        assert_eq!(
+            translate(&f.tree, &mapping, &schema, &path).unwrap_err(),
+            TranslateError::SetValuedSelection("aka_title = \"x\"".into())
+        );
+    }
+
+    #[test]
+    fn bad_context_rejected() {
+        let f = movie_tree();
+        let mapping = Mapping::hybrid(&f.tree);
+        let schema = derive_schema(&f.tree, &mapping);
+        let path = parse_path("//nothing/title").unwrap();
+        assert!(matches!(
+            translate(&f.tree, &mapping, &schema, &path),
+            Err(TranslateError::NoContext(_))
+        ));
+    }
+
+    #[test]
+    fn sql_text_matches_paper_style() {
+        let f = movie_tree();
+        let mapping = Mapping::hybrid(&f.tree);
+        let schema = derive_schema(&f.tree, &mapping);
+        let doc = sample_doc();
+        let db = load_database(&f.tree, &mapping, &schema, &[&doc]).unwrap();
+        let path = parse_path("//movie[title = \"Titanic\"]/(year | aka_title)").unwrap();
+        let translated = translate(&f.tree, &mapping, &schema, &path).unwrap();
+        let sql = translated.sql.to_sql(db.catalog());
+        assert!(sql.contains("UNION ALL"));
+        assert!(sql.contains("ORDER BY 1"));
+        assert!(sql.contains("title = 'Titanic'"));
+        assert!(sql.contains("T1.PID"));
+    }
+}

@@ -1,0 +1,197 @@
+//! A minimal in-memory XML document model.
+//!
+//! The model is intentionally simple: elements with attributes, text, and
+//! child nodes. It is sufficient for shredding data documents and for parsing
+//! XSD schema documents, which are themselves XML.
+
+use std::fmt;
+
+/// A parsed XML document: a prolog-free tree rooted at a single element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// The document (root) element.
+    pub root: Element,
+}
+
+/// An XML element: tag name, attributes in document order, children.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    /// Tag name with any namespace prefix stripped (`xs:element` → `element`).
+    pub name: String,
+    /// Attributes in document order; names keep their prefix stripped as well.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A node inside an element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlNode {
+    /// A child element.
+    Element(Element),
+    /// A text run (entity references already resolved).
+    Text(String),
+}
+
+impl Element {
+    /// Create an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Look up an attribute value by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterate over the child elements (skipping text nodes).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated text content of this element (direct text children only).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let XmlNode::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Concatenated text content of this element and all descendants.
+    pub fn deep_text(&self) -> String {
+        let mut out = String::new();
+        self.collect_deep_text(&mut out);
+        out
+    }
+
+    fn collect_deep_text(&self, out: &mut String) {
+        for node in &self.children {
+            match node {
+                XmlNode::Text(t) => out.push_str(t),
+                XmlNode::Element(e) => e.collect_deep_text(out),
+            }
+        }
+    }
+
+    /// True when the element has no element children (text-only / empty).
+    pub fn is_leaf(&self) -> bool {
+        self.child_elements().next().is_none()
+    }
+
+    /// Add a child element, builder-style.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(XmlNode::Element(child));
+        self
+    }
+
+    /// Add a text child, builder-style.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(XmlNode::Text(text.into()));
+        self
+    }
+
+    /// Add an attribute, builder-style.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((name.into(), value.into()));
+        self
+    }
+
+    /// Total number of elements in this subtree, including `self`.
+    pub fn subtree_size(&self) -> usize {
+        1 + self
+            .child_elements()
+            .map(Element::subtree_size)
+            .sum::<usize>()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::writer::element_to_string(self))
+    }
+}
+
+impl Document {
+    /// Create a document from its root element.
+    pub fn new(root: Element) -> Self {
+        Document { root }
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("movie")
+            .with_attr("id", "1")
+            .with_child(Element::new("title").with_text("Titanic"))
+            .with_child(Element::new("year").with_text("1997"))
+            .with_child(Element::new("aka_title").with_text("Le Titanic"))
+            .with_child(Element::new("aka_title").with_text("Titanik"))
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("id"), Some("1"));
+        assert_eq!(e.attr("missing"), None);
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.child("title").unwrap().text(), "Titanic");
+        assert_eq!(e.children_named("aka_title").count(), 2);
+        assert!(e.child("nope").is_none());
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let e = sample();
+        assert!(!e.is_leaf());
+        assert!(e.child("title").unwrap().is_leaf());
+    }
+
+    #[test]
+    fn deep_text_concatenates() {
+        let e = sample();
+        assert!(e.deep_text().contains("Titanic"));
+        assert!(e.deep_text().contains("1997"));
+    }
+
+    #[test]
+    fn subtree_size_counts_elements() {
+        assert_eq!(sample().subtree_size(), 5);
+        assert_eq!(Element::new("x").subtree_size(), 1);
+    }
+}

@@ -1,0 +1,467 @@
+//! DTD support (paper footnote 3: "Our work also applies to XML data with
+//! DTD by first transforming DTD to XSD").
+//!
+//! Parses the element declarations of a DTD and converts the content models
+//! to the same [`crate::xsd::Schema`] object model the XSD parser produces,
+//! so DTD-described data flows through the identical pipeline. The subset
+//! covers what the paper's schema-tree abstraction expresses:
+//!
+//! ```text
+//! <!ELEMENT name (child1, child2*, (a | b), leaf?)>
+//! <!ELEMENT leaf (#PCDATA)>
+//! <!ELEMENT empty EMPTY>
+//! <!ELEMENT anything ANY>          -- treated as text content
+//! ```
+//!
+//! Attribute lists (`<!ATTLIST>`) and entity declarations are skipped, as
+//! attributes are outside the paper's model.
+
+use crate::error::{XmlError, XmlResult};
+use crate::tree::SchemaTree;
+use crate::xsd::{schema_to_tree, ComplexType, ElementContent, ElementDecl, Occurs, Particle, Schema};
+use crate::tree::BaseType;
+use rustc_hash::FxHashMap;
+
+/// Parse DTD text into the XSD object model.
+pub fn parse_dtd(text: &str) -> XmlResult<Schema> {
+    let mut declarations: Vec<(String, ContentModel)> = Vec::new();
+    let mut scanner = Scanner { text, pos: 0 };
+    while let Some(declaration) = scanner.next_declaration()? {
+        if let Declaration::Element { name, model } = declaration {
+            declarations.push((name, model));
+        }
+    }
+    if declarations.is_empty() {
+        return Err(XmlError::schema("DTD declares no elements"));
+    }
+    build_schema(declarations)
+}
+
+/// Parse DTD text and convert straight to a schema tree.
+pub fn dtd_to_tree(text: &str) -> XmlResult<SchemaTree> {
+    let schema = parse_dtd(text)?;
+    schema_to_tree(&schema)
+}
+
+/// A DTD content model.
+#[derive(Debug, Clone, PartialEq)]
+enum ContentModel {
+    /// `(#PCDATA)` — text content.
+    PcData,
+    /// `EMPTY`.
+    Empty,
+    /// `ANY` — treated as text content (the paper's model has no mixed
+    /// content).
+    Any,
+    /// A group particle.
+    Group(DtdParticle),
+}
+
+/// A particle of a DTD content model.
+#[derive(Debug, Clone, PartialEq)]
+enum DtdParticle {
+    Name(String, Occurs),
+    Seq(Vec<DtdParticle>, Occurs),
+    Choice(Vec<DtdParticle>, Occurs),
+}
+
+enum Declaration {
+    Element { name: String, model: ContentModel },
+    Skipped,
+}
+
+struct Scanner<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl Scanner<'_> {
+    fn rest(&self) -> &str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if self.rest().starts_with("<!--") {
+                match self.rest().find("-->") {
+                    Some(end) => self.pos += end + 3,
+                    None => self.pos = self.text.len(),
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next_declaration(&mut self) -> XmlResult<Option<Declaration>> {
+        self.skip_ws_and_comments();
+        if self.rest().is_empty() {
+            return Ok(None);
+        }
+        if self.rest().starts_with("<!ELEMENT") {
+            self.pos += "<!ELEMENT".len();
+            let name = self.scan_name()?;
+            let model = self.scan_content_model()?;
+            self.expect('>')?;
+            return Ok(Some(Declaration::Element { name, model }));
+        }
+        if self.rest().starts_with("<!ATTLIST") || self.rest().starts_with("<!ENTITY") {
+            match self.rest().find('>') {
+                Some(end) => {
+                    self.pos += end + 1;
+                    return Ok(Some(Declaration::Skipped));
+                }
+                None => return Err(XmlError::schema("unterminated DTD declaration")),
+            }
+        }
+        Err(XmlError::schema(format!(
+            "unsupported DTD content near byte {}",
+            self.pos
+        )))
+    }
+
+    fn scan_name(&mut self) -> XmlResult<String> {
+        self.skip_ws_and_comments();
+        let start = self.pos;
+        let mut end = start;
+        for ch in self.text[start..].chars() {
+            if ch.is_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':') {
+                end += ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        self.pos = end;
+        if self.pos == start {
+            return Err(XmlError::schema(format!(
+                "expected a name at byte {start} of the DTD"
+            )));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn expect(&mut self, ch: char) -> XmlResult<()> {
+        self.skip_ws_and_comments();
+        if self.rest().starts_with(ch) {
+            self.pos += ch.len_utf8();
+            Ok(())
+        } else {
+            Err(XmlError::schema(format!(
+                "expected '{ch}' at byte {} of the DTD",
+                self.pos
+            )))
+        }
+    }
+
+    fn scan_content_model(&mut self) -> XmlResult<ContentModel> {
+        self.skip_ws_and_comments();
+        if self.rest().starts_with("EMPTY") {
+            self.pos += 5;
+            return Ok(ContentModel::Empty);
+        }
+        if self.rest().starts_with("ANY") {
+            self.pos += 3;
+            return Ok(ContentModel::Any);
+        }
+        if !self.rest().starts_with('(') {
+            return Err(XmlError::schema("expected a content model group"));
+        }
+        // Peek for (#PCDATA ...) models.
+        let after_paren = self.rest()[1..].trim_start();
+        if after_paren.starts_with("#PCDATA") {
+            let end = self
+                .rest()
+                .find(')')
+                .ok_or_else(|| XmlError::schema("unterminated #PCDATA group"))?;
+            self.pos += end + 1;
+            // Optional '*' for mixed content (treated as text).
+            if self.rest().starts_with('*') {
+                self.pos += 1;
+            }
+            return Ok(ContentModel::PcData);
+        }
+        let particle = self.scan_group()?;
+        Ok(ContentModel::Group(particle))
+    }
+
+    fn scan_group(&mut self) -> XmlResult<DtdParticle> {
+        self.expect('(')?;
+        let mut parts: Vec<DtdParticle> = Vec::new();
+        let mut separator: Option<char> = None;
+        loop {
+            self.skip_ws_and_comments();
+            let part = if self.rest().starts_with('(') {
+                self.scan_group()?
+            } else {
+                let name = self.scan_name()?;
+                DtdParticle::Name(name, self.scan_occurs())
+            };
+            parts.push(part);
+            self.skip_ws_and_comments();
+            match self.rest().chars().next() {
+                Some(',') | Some('|') => {
+                    let sep = self.rest().chars().next().expect("checked");
+                    if let Some(prev) = separator {
+                        if prev != sep {
+                            return Err(XmlError::schema(
+                                "mixed ',' and '|' in one DTD group (parenthesize)",
+                            ));
+                        }
+                    }
+                    separator = Some(sep);
+                    self.pos += 1;
+                }
+                Some(')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(XmlError::schema("expected ',', '|', or ')' in DTD group")),
+            }
+        }
+        let occurs = self.scan_occurs();
+        Ok(match separator {
+            Some('|') => DtdParticle::Choice(parts, occurs),
+            _ => {
+                if parts.len() == 1 && occurs.is_one() {
+                    parts.pop().expect("one part")
+                } else {
+                    DtdParticle::Seq(parts, occurs)
+                }
+            }
+        })
+    }
+
+    fn scan_occurs(&mut self) -> Occurs {
+        match self.rest().chars().next() {
+            Some('?') => {
+                self.pos += 1;
+                Occurs::OPTIONAL
+            }
+            Some('*') => {
+                self.pos += 1;
+                Occurs::MANY
+            }
+            Some('+') => {
+                self.pos += 1;
+                Occurs { min: 1, max: None }
+            }
+            _ => Occurs::ONE,
+        }
+    }
+}
+
+/// Assemble the XSD object model: the first declared element is the root;
+/// every element becomes a named type.
+fn build_schema(declarations: Vec<(String, ContentModel)>) -> XmlResult<Schema> {
+    let models: FxHashMap<String, ContentModel> = declarations.iter().cloned().collect();
+    let root_name = declarations[0].0.clone();
+
+    let root = ElementDecl {
+        name: root_name.clone(),
+        occurs: Occurs::ONE,
+        content: element_content(&root_name, &models)?,
+    };
+    Ok(Schema {
+        root_elements: vec![root],
+        named_types: FxHashMap::default(),
+    })
+}
+
+fn element_content(
+    name: &str,
+    models: &FxHashMap<String, ContentModel>,
+) -> XmlResult<ElementContent> {
+    match models.get(name) {
+        None | Some(ContentModel::PcData) | Some(ContentModel::Any) => {
+            Ok(ElementContent::Simple(BaseType::Str))
+        }
+        Some(ContentModel::Empty) => Ok(ElementContent::Complex(Box::new(ComplexType {
+            particle: None,
+        }))),
+        Some(ContentModel::Group(particle)) => {
+            let converted = convert_particle(particle, models, &mut vec![name.to_string()])?;
+            Ok(ElementContent::Complex(Box::new(ComplexType {
+                particle: Some(converted),
+            })))
+        }
+    }
+}
+
+fn convert_particle(
+    particle: &DtdParticle,
+    models: &FxHashMap<String, ContentModel>,
+    stack: &mut Vec<String>,
+) -> XmlResult<Particle> {
+    match particle {
+        DtdParticle::Name(name, occurs) => {
+            if stack.iter().any(|n| n == name) {
+                return Err(XmlError::schema(format!(
+                    "recursive DTD element '{name}' is outside the supported subset"
+                )));
+            }
+            stack.push(name.clone());
+            let content = element_content(name, models)?;
+            stack.pop();
+            Ok(Particle::Element(ElementDecl {
+                name: name.clone(),
+                occurs: *occurs,
+                content,
+            }))
+        }
+        DtdParticle::Seq(parts, occurs) => {
+            let converted: XmlResult<Vec<Particle>> = parts
+                .iter()
+                .map(|p| convert_particle(p, models, stack))
+                .collect();
+            Ok(Particle::Sequence(converted?, *occurs))
+        }
+        DtdParticle::Choice(parts, occurs) => {
+            let converted: XmlResult<Vec<Particle>> = parts
+                .iter()
+                .map(|p| convert_particle(p, models, stack))
+                .collect();
+            Ok(Particle::Choice(converted?, *occurs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::NodeKind;
+
+    const DBLP_DTD: &str = r#"
+    <!-- a miniature of the real dblp.dtd -->
+    <!ELEMENT dblp (inproceedings | book)*>
+    <!ELEMENT inproceedings (title, booktitle, year, author*, pages?)>
+    <!ELEMENT book (title, publisher, year, author*)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT booktitle (#PCDATA)>
+    <!ELEMENT publisher (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT pages (#PCDATA)>
+    <!ATTLIST inproceedings key CDATA #REQUIRED>
+    "#;
+
+    #[test]
+    fn parses_dblp_like_dtd() {
+        let tree = dtd_to_tree(DBLP_DTD).unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.annotation(tree.root()), Some("dblp"));
+        let tags: Vec<&str> = tree
+            .tag_nodes()
+            .iter()
+            .filter_map(|&n| tree.node(n).kind.tag_name())
+            .collect();
+        assert!(tags.contains(&"inproceedings"));
+        assert!(tags.contains(&"author"));
+    }
+
+    #[test]
+    fn repetition_and_optional_wrappers() {
+        let tree = dtd_to_tree(DBLP_DTD).unwrap();
+        let pages = tree
+            .node_ids()
+            .find(|&n| tree.node(n).kind.tag_name() == Some("pages"))
+            .unwrap();
+        assert!(tree
+            .structural_path_to_parent_tag(pages)
+            .iter()
+            .any(|&n| matches!(tree.node(n).kind, NodeKind::Optional)));
+        let author = tree
+            .node_ids()
+            .find(|&n| tree.node(n).kind.tag_name() == Some("author"))
+            .unwrap();
+        assert!(tree
+            .structural_path_to_parent_tag(author)
+            .iter()
+            .any(|&n| matches!(tree.node(n).kind, NodeKind::Repetition)));
+    }
+
+    #[test]
+    fn shared_author_annotation_from_dtd() {
+        let tree = dtd_to_tree(DBLP_DTD).unwrap();
+        let authors: Vec<_> = tree
+            .node_ids()
+            .filter(|&n| tree.node(n).kind.tag_name() == Some("author"))
+            .collect();
+        assert_eq!(authors.len(), 2);
+        assert_eq!(tree.annotation(authors[0]), tree.annotation(authors[1]));
+    }
+
+    #[test]
+    fn plus_occurrence() {
+        let dtd = "<!ELEMENT r (item+)> <!ELEMENT item (#PCDATA)>";
+        let tree = dtd_to_tree(dtd).unwrap();
+        let item = tree
+            .node_ids()
+            .find(|&n| tree.node(n).kind.tag_name() == Some("item"))
+            .unwrap();
+        let star = tree.parent(item).unwrap();
+        assert!(matches!(tree.node(star).kind, NodeKind::Repetition));
+        assert_eq!(tree.node(star).min_occurs, 1);
+        assert_eq!(tree.node(star).max_occurs, None);
+    }
+
+    #[test]
+    fn empty_and_any_elements() {
+        let dtd = "<!ELEMENT r (a, b)> <!ELEMENT a EMPTY> <!ELEMENT b ANY>";
+        let tree = dtd_to_tree(dtd).unwrap();
+        let b = tree
+            .node_ids()
+            .find(|&n| tree.node(n).kind.tag_name() == Some("b"))
+            .unwrap();
+        assert!(tree.is_leaf_element(b)); // ANY -> text content
+    }
+
+    #[test]
+    fn mixed_separators_rejected() {
+        let dtd = "<!ELEMENT r (a, b | c)> <!ELEMENT a (#PCDATA)>";
+        assert!(parse_dtd(dtd).is_err());
+    }
+
+    #[test]
+    fn recursion_rejected() {
+        let dtd = "<!ELEMENT r (r?)>";
+        assert!(dtd_to_tree(dtd).is_err());
+    }
+
+    #[test]
+    fn undeclared_children_default_to_text() {
+        let dtd = "<!ELEMENT r (mystery)>";
+        let tree = dtd_to_tree(dtd).unwrap();
+        let mystery = tree
+            .node_ids()
+            .find(|&n| tree.node(n).kind.tag_name() == Some("mystery"))
+            .unwrap();
+        assert!(tree.is_leaf_element(mystery));
+    }
+
+    #[test]
+    fn nested_groups() {
+        let dtd = "<!ELEMENT r ((a | b), c*)> <!ELEMENT a (#PCDATA)> \
+                   <!ELEMENT b (#PCDATA)> <!ELEMENT c (#PCDATA)>";
+        let tree = dtd_to_tree(dtd).unwrap();
+        tree.validate().unwrap();
+        let choices = tree
+            .node_ids()
+            .filter(|&n| matches!(tree.node(n).kind, NodeKind::Choice))
+            .count();
+        assert_eq!(choices, 1);
+    }
+
+    #[test]
+    fn mixed_content_star_treated_as_text() {
+        let dtd = "<!ELEMENT r (p)> <!ELEMENT p (#PCDATA | em)*> <!ELEMENT em (#PCDATA)>";
+        let tree = dtd_to_tree(dtd).unwrap();
+        let p = tree
+            .node_ids()
+            .find(|&n| tree.node(n).kind.tag_name() == Some("p"))
+            .unwrap();
+        assert!(tree.is_leaf_element(p));
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types shared by the XML parser, the XSD parser, and the schema tree.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Errors produced while parsing XML text, interpreting an XSD document, or
+/// manipulating a schema tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed XML text. Carries a byte offset and a human-readable message.
+    Syntax { offset: usize, message: String },
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        offset: usize,
+        expected: String,
+        found: String,
+    },
+    /// The document ended while elements were still open.
+    UnexpectedEof { open_element: Option<String> },
+    /// The XSD document uses a construct outside the supported subset,
+    /// or references an undefined type.
+    Schema(String),
+    /// A schema-tree operation violated a structural invariant
+    /// (e.g. inlining a node whose in-degree is not one).
+    Tree(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::MismatchedTag {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "mismatched closing tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::UnexpectedEof { open_element } => match open_element {
+                Some(name) => write!(f, "unexpected end of document: <{name}> is still open"),
+                None => write!(f, "unexpected end of document"),
+            },
+            XmlError::Schema(msg) => write!(f, "XSD error: {msg}"),
+            XmlError::Tree(msg) => write!(f, "schema tree error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl XmlError {
+    /// Convenience constructor for syntax errors.
+    pub fn syntax(offset: usize, message: impl Into<String>) -> Self {
+        XmlError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for schema errors.
+    pub fn schema(message: impl Into<String>) -> Self {
+        XmlError::Schema(message.into())
+    }
+
+    /// Convenience constructor for tree errors.
+    pub fn tree(message: impl Into<String>) -> Self {
+        XmlError::Tree(message.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_syntax() {
+        let e = XmlError::syntax(12, "bad char");
+        assert_eq!(e.to_string(), "XML syntax error at byte 12: bad char");
+    }
+
+    #[test]
+    fn display_mismatch() {
+        let e = XmlError::MismatchedTag {
+            offset: 3,
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(e.to_string().contains("</a>"));
+        assert!(e.to_string().contains("</b>"));
+    }
+
+    #[test]
+    fn display_eof() {
+        let e = XmlError::UnexpectedEof {
+            open_element: Some("dblp".into()),
+        };
+        assert!(e.to_string().contains("<dblp>"));
+        let e = XmlError::UnexpectedEof { open_element: None };
+        assert!(e.to_string().contains("unexpected end"));
+    }
+
+    #[test]
+    fn display_schema_and_tree() {
+        assert!(XmlError::schema("x").to_string().starts_with("XSD error"));
+        assert!(XmlError::tree("y").to_string().starts_with("schema tree"));
+    }
+}

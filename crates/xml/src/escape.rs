@@ -1,0 +1,151 @@
+//! XML character escaping and entity resolution.
+
+use std::borrow::Cow;
+
+/// Escape the five predefined XML entities in `text` for use in element
+/// content. Returns a borrowed slice when no escaping is needed.
+pub fn escape_text(text: &str) -> Cow<'_, str> {
+    if !text.bytes().any(|b| matches!(b, b'<' | b'>' | b'&')) {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Escape text for use inside a double-quoted attribute value.
+pub fn escape_attr(text: &str) -> Cow<'_, str> {
+    if !text
+        .bytes()
+        .any(|b| matches!(b, b'<' | b'>' | b'&' | b'"'))
+    {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len() + 8);
+    for ch in text.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Resolve the predefined entities (`&lt;` `&gt;` `&amp;` `&apos;` `&quot;`)
+/// and numeric character references (`&#NN;`, `&#xHH;`) in `text`.
+///
+/// Unknown entities are passed through verbatim (DBLP-style data contains
+/// many Latin entity references; passing them through keeps shredding lossless
+/// without a DTD).
+pub fn unescape(text: &str) -> Cow<'_, str> {
+    if !text.contains('&') {
+        return Cow::Borrowed(text);
+    }
+    let mut out = String::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some(semi) = text[i..].find(';').map(|p| i + p) {
+                let entity = &text[i + 1..semi];
+                match resolve_entity(entity) {
+                    Some(ch) => {
+                        out.push(ch);
+                        i = semi + 1;
+                        continue;
+                    }
+                    None => {
+                        // Unknown entity: emit verbatim.
+                        out.push_str(&text[i..=semi]);
+                        i = semi + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        // Advance one UTF-8 character.
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&text[i..i + ch_len]);
+        i += ch_len;
+    }
+    Cow::Owned(out)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+fn resolve_entity(entity: &str) -> Option<char> {
+    match entity {
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "amp" => Some('&'),
+        "apos" => Some('\''),
+        "quot" => Some('"'),
+        _ => {
+            let rest = entity.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix('x').or(rest.strip_prefix('X')) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip() {
+        let original = "a < b && c > \"d\"";
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped), original);
+    }
+
+    #[test]
+    fn escape_borrowed_when_clean() {
+        assert!(matches!(escape_text("hello"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+        assert_eq!(unescape("&#x00e9;"), "é");
+    }
+
+    #[test]
+    fn unknown_entity_passthrough() {
+        assert_eq!(unescape("Kurt G&ouml;del"), "Kurt G&ouml;del");
+    }
+
+    #[test]
+    fn dangling_ampersand() {
+        assert_eq!(unescape("AT&T corp"), "AT&T corp");
+        assert_eq!(unescape("tail &"), "tail &");
+    }
+
+    #[test]
+    fn text_escape_leaves_quotes() {
+        assert_eq!(escape_text("\"x\""), "\"x\"");
+        assert_eq!(escape_attr("\"x\""), "&quot;x&quot;");
+    }
+}

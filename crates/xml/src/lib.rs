@@ -1,0 +1,30 @@
+//! XML substrate for the `xmlshred` workspace.
+//!
+//! This crate provides everything the storage advisor needs on the XML side:
+//!
+//! * a from-scratch [`parser`] producing a [`dom::Document`],
+//! * a [`writer`] that serializes a DOM back to text (used by tests and examples),
+//! * a [`dtd`] module handling DTDs by converting them to the same model
+//!   (paper footnote 3),
+//! * an [`xsd`] module parsing the XSD subset the paper relies on
+//!   (`element`, `complexType`, `sequence`, `choice`, `minOccurs`/`maxOccurs`,
+//!   named type references, and the base types `string`/`integer`/`decimal`),
+//! * the [`tree`] module implementing the annotated schema tree `T(V, E, A)`
+//!   of Section 2 of the paper, which is the single source of truth for the
+//!   logical design search.
+//!
+//! The schema tree is deliberately independent of the relational layer: the
+//! `xmlshred-shred` crate derives relational schemas from it.
+
+pub mod dom;
+pub mod dtd;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod tree;
+pub mod writer;
+pub mod xsd;
+
+pub use dom::{Document, Element, XmlNode};
+pub use error::{XmlError, XmlResult};
+pub use tree::{BaseType, Node, NodeId, NodeKind, SchemaTree};

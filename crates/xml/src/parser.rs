@@ -1,0 +1,388 @@
+//! A from-scratch, non-validating XML parser.
+//!
+//! Supports the constructs that occur in data documents and XSD schemas:
+//! elements, attributes, text with entity references, CDATA sections,
+//! comments, processing instructions, and an XML declaration / DOCTYPE in the
+//! prolog (both skipped). Namespace prefixes are stripped from element and
+//! attribute names (`xs:element` → `element`), which is all the XSD layer
+//! needs.
+
+use crate::dom::{Document, Element, XmlNode};
+use crate::error::{XmlError, XmlResult};
+use crate::escape::unescape;
+
+/// Parse a complete XML document from `input`.
+pub fn parse_document(input: &str) -> XmlResult<Document> {
+    let mut parser = Parser::new(input);
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if !parser.at_end() {
+        return Err(XmlError::syntax(
+            parser.pos,
+            "content after document element",
+        ));
+    }
+    Ok(Document::new(root))
+}
+
+/// Parse a single element (fragment parsing, used heavily in tests).
+pub fn parse_element(input: &str) -> XmlResult<Element> {
+    let mut parser = Parser::new(input);
+    parser.skip_whitespace();
+    let elem = parser.parse_element()?;
+    parser.skip_misc();
+    if !parser.at_end() {
+        return Err(XmlError::syntax(parser.pos, "content after fragment"));
+    }
+    Ok(elem)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, prefix: &str) -> bool {
+        self.input[self.pos..].starts_with(prefix)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skip XML declaration, DOCTYPE, comments, and PIs before the root.
+    fn skip_prolog(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                self.skip_doctype()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skip trailing comments / PIs / whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> XmlResult<()> {
+        match self.input[self.pos..].find(terminator) {
+            Some(rel) => {
+                self.pos += rel + terminator.len();
+                Ok(())
+            }
+            None => Err(XmlError::UnexpectedEof { open_element: None }),
+        }
+    }
+
+    /// DOCTYPE may contain a bracketed internal subset; balance brackets.
+    fn skip_doctype(&mut self) -> XmlResult<()> {
+        let mut depth = 0usize;
+        while let Some(b) = self.peek() {
+            match b {
+                b'[' => depth += 1,
+                b']' => depth = depth.saturating_sub(1),
+                b'>' if depth == 0 => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof { open_element: None })
+    }
+
+    fn parse_element(&mut self) -> XmlResult<Element> {
+        if self.peek() != Some(b'<') {
+            return Err(XmlError::syntax(self.pos, "expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(strip_prefix(&name));
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok(element); // self-closing
+                    }
+                    return Err(XmlError::syntax(self.pos, "expected '>' after '/'"));
+                }
+                Some(_) => {
+                    let (attr_name, attr_value) = self.parse_attribute()?;
+                    element
+                        .attributes
+                        .push((strip_prefix(&attr_name).to_string(), attr_value));
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        open_element: Some(name),
+                    })
+                }
+            }
+        }
+
+        // Content.
+        loop {
+            if self.at_end() {
+                return Err(XmlError::UnexpectedEof {
+                    open_element: Some(name),
+                });
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(XmlError::syntax(self.pos, "expected '>' in closing tag"));
+                }
+                self.pos += 1;
+                if close != name {
+                    return Err(XmlError::MismatchedTag {
+                        offset: self.pos,
+                        expected: name,
+                        found: close,
+                    });
+                }
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.pos += "<![CDATA[".len();
+                let start = self.pos;
+                self.skip_until("]]>")?;
+                let raw = &self.input[start..self.pos - 3];
+                push_text(&mut element, raw.to_string());
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.children.push(XmlNode::Element(child));
+            } else {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = &self.input[start..self.pos];
+                // Whitespace-only runs between elements are ignored; mixed
+                // content keeps meaningful text.
+                if !raw.chars().all(char::is_whitespace) {
+                    push_text(&mut element, unescape(raw).into_owned());
+                }
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::syntax(self.pos, "expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_attribute(&mut self) -> XmlResult<(String, String)> {
+        let name = self.parse_name()?;
+        self.skip_whitespace();
+        if self.peek() != Some(b'=') {
+            return Err(XmlError::syntax(self.pos, "expected '=' in attribute"));
+        }
+        self.pos += 1;
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(XmlError::syntax(self.pos, "expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let value = unescape(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok((name, value));
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::UnexpectedEof { open_element: None })
+    }
+}
+
+fn push_text(element: &mut Element, text: String) {
+    // Merge adjacent text runs (e.g. around a skipped comment).
+    if let Some(XmlNode::Text(prev)) = element.children.last_mut() {
+        prev.push_str(&text);
+    } else {
+        element.children.push(XmlNode::Text(text));
+    }
+}
+
+/// Strip a namespace prefix (`xs:element` → `element`).
+fn strip_prefix(name: &str) -> &str {
+    match name.rfind(':') {
+        Some(idx) => &name[idx + 1..],
+        None => name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let doc = parse_document("<a><b>1</b><b>2</b></a>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert_eq!(doc.root.children_named("b").count(), 2);
+    }
+
+    #[test]
+    fn declaration_and_doctype_skipped() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE dblp SYSTEM \"dblp.dtd\">\n<dblp></dblp>",
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "dblp");
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let doc =
+            parse_document("<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]><r>x</r>").unwrap();
+        assert_eq!(doc.root.text(), "x");
+    }
+
+    #[test]
+    fn attributes_and_self_closing() {
+        let e = parse_element("<movie id=\"7\" lang='en'><empty/></movie>").unwrap();
+        assert_eq!(e.attr("id"), Some("7"));
+        assert_eq!(e.attr("lang"), Some("en"));
+        assert!(e.child("empty").unwrap().is_leaf());
+    }
+
+    #[test]
+    fn entities_resolved_in_text_and_attrs() {
+        let e = parse_element("<t a=\"x &amp; y\">&lt;tag&gt;</t>").unwrap();
+        assert_eq!(e.attr("a"), Some("x & y"));
+        assert_eq!(e.text(), "<tag>");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let e = parse_element("<t><![CDATA[a < b & c]]></t>").unwrap();
+        assert_eq!(e.text(), "a < b & c");
+    }
+
+    #[test]
+    fn comments_skipped_text_merged() {
+        let e = parse_element("<t>ab<!-- comment -->cd</t>").unwrap();
+        assert_eq!(e.text(), "abcd");
+    }
+
+    #[test]
+    fn namespace_prefixes_stripped() {
+        let e = parse_element("<xs:schema xmlns:xs=\"http://x\"><xs:element/></xs:schema>")
+            .unwrap();
+        assert_eq!(e.name, "schema");
+        assert_eq!(e.child_elements().next().unwrap().name, "element");
+    }
+
+    #[test]
+    fn mismatched_tag_reported() {
+        let err = parse_element("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn eof_reported_with_open_element() {
+        let err = parse_element("<a><b>").unwrap_err();
+        assert!(matches!(err, XmlError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_document("<a/>junk").is_err());
+        assert!(parse_document("<a/><!-- fine -->").is_ok());
+    }
+
+    #[test]
+    fn whitespace_between_elements_ignored() {
+        let e = parse_element("<a>\n  <b>x</b>\n  <c>y</c>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_text_kept() {
+        let e = parse_element("<p>hello <b>world</b>!</p>").unwrap();
+        assert_eq!(e.deep_text(), "hello world!");
+    }
+
+    #[test]
+    fn unicode_names_and_content() {
+        let e = parse_element("<títle>Günter</títle>").unwrap();
+        assert_eq!(e.name, "títle");
+        assert_eq!(e.text(), "Günter");
+    }
+}

@@ -1,0 +1,586 @@
+//! The annotated schema tree `T(V, E, A)` of Section 2 of the paper.
+//!
+//! Nodes represent type constructors: sequence (`,`), repetition (`*`),
+//! option (`?`), union/choice (`|`), tag names, and simple (base) types.
+//! A set of *annotations* `A` marks nodes that map to separate relations.
+//!
+//! The tree is immutable after construction: logical design transformations
+//! (implemented in `xmlshred-shred`) are recorded as an overlay of decisions
+//! over the tree rather than destructive rewrites, which makes statistics
+//! derivation (paper Section 4.1) and search bookkeeping straightforward.
+//! The `annotation` stored here is the *initial* annotation set produced by
+//! the XSD conversion; effective annotations are a function of tree + overlay.
+
+use crate::error::{XmlError, XmlResult};
+use std::fmt;
+
+/// Index of a node in a [`SchemaTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Array index for this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Base (simple) types of leaf values, mirroring the XSD base types the
+/// paper's datasets use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// `xs:integer`, `xs:int`, `xs:long`.
+    Int,
+    /// `xs:decimal`, `xs:double`, `xs:float`.
+    Float,
+    /// `xs:string` and anything else.
+    Str,
+}
+
+/// The type-constructor kinds of schema tree nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Ordered content: `(a, b, c)`.
+    Sequence,
+    /// Union / choice group: `(a | b)`.
+    Choice,
+    /// A set-valued element: `maxOccurs > 1`. Exactly one child.
+    Repetition,
+    /// An optional element: `minOccurs = 0, maxOccurs = 1`. Exactly one child.
+    Optional,
+    /// An element tag.
+    Tag(String),
+    /// A leaf simple type.
+    Simple(BaseType),
+}
+
+impl NodeKind {
+    /// The tag name if this is a `Tag` node.
+    pub fn tag_name(&self) -> Option<&str> {
+        match self {
+            NodeKind::Tag(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+/// A node of the schema tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Type constructor of this node.
+    pub kind: NodeKind,
+    /// Parent (`None` for the root).
+    pub parent: Option<NodeId>,
+    /// Children in schema order.
+    pub children: Vec<NodeId>,
+    /// Initial annotation (relation name), if any — the set `A` of the paper.
+    pub annotation: Option<String>,
+    /// `minOccurs` for `Repetition` nodes (0 or more).
+    pub min_occurs: u32,
+    /// `maxOccurs` for `Repetition` nodes; `None` means unbounded.
+    pub max_occurs: Option<u32>,
+}
+
+/// The schema tree `T(V, E, A)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl SchemaTree {
+    /// Create a tree with a root node of the given kind.
+    ///
+    /// The root must eventually be annotated (its in-degree is zero); this is
+    /// enforced by [`SchemaTree::validate`].
+    pub fn with_root(kind: NodeKind) -> Self {
+        SchemaTree {
+            nodes: vec![Node {
+                kind,
+                parent: None,
+                children: Vec::new(),
+                annotation: None,
+                min_occurs: 1,
+                max_occurs: Some(1),
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Append a child of `kind` under `parent`, returning its id.
+    pub fn add_child(&mut self, parent: NodeId, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            annotation: None,
+            min_occurs: 1,
+            max_occurs: Some(1),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Set the initial annotation of a node.
+    pub fn set_annotation(&mut self, id: NodeId, annotation: impl Into<String>) {
+        self.nodes[id.index()].annotation = Some(annotation.into());
+    }
+
+    /// Set occurrence bounds (used on `Repetition` nodes).
+    pub fn set_occurs(&mut self, id: NodeId, min: u32, max: Option<u32>) {
+        let node = &mut self.nodes[id.index()];
+        node.min_occurs = min;
+        node.max_occurs = max;
+    }
+
+    /// Iterate all node ids in creation (pre-order-compatible) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Parent of a node.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of a node.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// The initial annotation of a node, if any.
+    pub fn annotation(&self, id: NodeId) -> Option<&str> {
+        self.node(id).annotation.as_deref()
+    }
+
+    /// True when the node *must* be annotated: the root, or a `Tag` that is
+    /// set-valued relative to its parent element (a repetition node sits on
+    /// the structural path between them, as in `a*` or `(a | b)*`) —
+    /// "in-degree not equal to one" in the paper's terms.
+    pub fn requires_annotation(&self, id: NodeId) -> bool {
+        let mut current = self.parent(id);
+        while let Some(node) = current {
+            match self.node(node).kind {
+                NodeKind::Repetition => return true,
+                NodeKind::Tag(_) => return false,
+                _ => current = self.parent(node),
+            }
+        }
+        true // no parent tag: the root
+    }
+
+    /// Depth-first pre-order traversal of the subtree rooted at `id`.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(current) = stack.pop() {
+            out.push(current);
+            // Push in reverse so children come out in schema order.
+            for &child in self.children(current).iter().rev() {
+                stack.push(child);
+            }
+        }
+        out
+    }
+
+    /// All `Tag` nodes in the tree.
+    pub fn tag_nodes(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&id| matches!(self.node(id).kind, NodeKind::Tag(_)))
+            .collect()
+    }
+
+    /// True when `id` is a *leaf element*: a `Tag` whose only child is a
+    /// `Simple` node (or which has no children — treated as string content).
+    pub fn is_leaf_element(&self, id: NodeId) -> bool {
+        if !matches!(self.node(id).kind, NodeKind::Tag(_)) {
+            return false;
+        }
+        let children = self.children(id);
+        children.is_empty()
+            || (children.len() == 1
+                && matches!(self.node(children[0]).kind, NodeKind::Simple(_)))
+    }
+
+    /// Base type of a leaf element (string for empty-content tags).
+    pub fn leaf_base_type(&self, id: NodeId) -> Option<BaseType> {
+        if !self.is_leaf_element(id) {
+            return None;
+        }
+        match self.children(id).first() {
+            Some(&child) => match self.node(child).kind {
+                NodeKind::Simple(base) => Some(base),
+                _ => None,
+            },
+            None => Some(BaseType::Str),
+        }
+    }
+
+    /// Nearest ancestor (excluding `id` itself) that satisfies `pred`.
+    pub fn nearest_ancestor(
+        &self,
+        id: NodeId,
+        pred: impl Fn(NodeId) -> bool,
+    ) -> Option<NodeId> {
+        let mut current = self.parent(id);
+        while let Some(node) = current {
+            if pred(node) {
+                return Some(node);
+            }
+            current = self.parent(node);
+        }
+        None
+    }
+
+    /// Child `Tag` nodes of `from`, reached through structural nodes
+    /// (sequence / choice / optional / repetition) without crossing another
+    /// `Tag`. This implements the child axis over the schema.
+    pub fn child_tags(&self, from: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(from).to_vec();
+        stack.reverse();
+        while let Some(id) = stack.pop() {
+            match self.node(id).kind {
+                NodeKind::Tag(_) => out.push(id),
+                NodeKind::Simple(_) => {}
+                _ => {
+                    for &child in self.children(id).iter().rev() {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All `Tag` descendants of `from` at any depth (descendant axis).
+    pub fn descendant_tags(&self, from: NodeId) -> Vec<NodeId> {
+        self.descendants(from)
+            .into_iter()
+            .filter(|&id| id != from && matches!(self.node(id).kind, NodeKind::Tag(_)))
+            .collect()
+    }
+
+    /// Structural ancestors of `id` between it and the nearest `Tag`
+    /// ancestor: used to detect whether an element is optional, repeated, or
+    /// inside a choice relative to its parent element.
+    pub fn structural_path_to_parent_tag(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut current = self.parent(id);
+        while let Some(node) = current {
+            if matches!(self.node(node).kind, NodeKind::Tag(_)) {
+                break;
+            }
+            out.push(node);
+            current = self.parent(node);
+        }
+        out
+    }
+
+    /// The nearest `Tag` ancestor of a node.
+    pub fn parent_tag(&self, id: NodeId) -> Option<NodeId> {
+        self.nearest_ancestor(id, |n| matches!(self.node(n).kind, NodeKind::Tag(_)))
+    }
+
+    /// True when `a`'s subtree and `b`'s subtree are structurally equal
+    /// (same kinds, tags, base types, and occurrence bounds), ignoring
+    /// annotations. This is the "logically equivalent" test used to decide
+    /// whether two nodes form a *shared type* eligible for type merge.
+    pub fn structurally_equal(&self, a: NodeId, b: NodeId) -> bool {
+        let (na, nb) = (self.node(a), self.node(b));
+        if na.kind != nb.kind
+            || na.min_occurs != nb.min_occurs
+            || na.max_occurs != nb.max_occurs
+            || na.children.len() != nb.children.len()
+        {
+            return false;
+        }
+        na.children
+            .iter()
+            .zip(&nb.children)
+            .all(|(&ca, &cb)| self.structurally_equal(ca, cb))
+    }
+
+    /// Check structural invariants:
+    /// * nodes that require an annotation have one,
+    /// * repetition and optional nodes have exactly one child,
+    /// * choice nodes have at least two children,
+    /// * simple nodes are leaves,
+    /// * parent/child links are mutually consistent.
+    pub fn validate(&self) -> XmlResult<()> {
+        for id in self.node_ids() {
+            let node = self.node(id);
+            match &node.kind {
+                NodeKind::Repetition | NodeKind::Optional => {
+                    if node.children.len() != 1 {
+                        return Err(XmlError::tree(format!(
+                            "{id}: {:?} node must have exactly one child, has {}",
+                            node.kind,
+                            node.children.len()
+                        )));
+                    }
+                }
+                NodeKind::Choice => {
+                    if node.children.len() < 2 {
+                        return Err(XmlError::tree(format!(
+                            "{id}: choice node must have >= 2 children"
+                        )));
+                    }
+                }
+                NodeKind::Simple(_) => {
+                    if !node.children.is_empty() {
+                        return Err(XmlError::tree(format!("{id}: simple node must be a leaf")));
+                    }
+                }
+                NodeKind::Sequence | NodeKind::Tag(_) => {}
+            }
+            if self.requires_annotation(id)
+                && matches!(node.kind, NodeKind::Tag(_))
+                && node.annotation.is_none()
+            {
+                return Err(XmlError::tree(format!(
+                    "{id}: node requires an annotation (root or child of '*')"
+                )));
+            }
+            for &child in &node.children {
+                if self.node(child).parent != Some(id) {
+                    return Err(XmlError::tree(format!(
+                        "{id}: child {child} has inconsistent parent link"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the tree as an indented outline, for debugging and examples.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn dump_node(&self, id: NodeId, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let node = self.node(id);
+        let label = match &node.kind {
+            NodeKind::Sequence => ",".to_string(),
+            NodeKind::Choice => "|".to_string(),
+            NodeKind::Repetition => match node.max_occurs {
+                Some(max) => format!("*[{}..{}]", node.min_occurs, max),
+                None => format!("*[{}..]", node.min_occurs),
+            },
+            NodeKind::Optional => "?".to_string(),
+            NodeKind::Tag(name) => name.clone(),
+            NodeKind::Simple(base) => format!("{base:?}").to_lowercase(),
+        };
+        match &node.annotation {
+            Some(annotation) => {
+                let _ = writeln!(out, "{label} ({annotation})");
+            }
+            None => {
+                let _ = writeln!(out, "{label}");
+            }
+        }
+        for &child in &node.children {
+            self.dump_node(child, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a miniature DBLP-like tree:
+    /// dblp(dblp) -> * -> inproc(inproc) -> seq(title, year, * -> author(author))
+    fn mini_dblp() -> (SchemaTree, NodeId, NodeId, NodeId, NodeId) {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("dblp".into()));
+        let root = t.root();
+        t.set_annotation(root, "dblp");
+        let rep = t.add_child(root, NodeKind::Repetition);
+        t.set_occurs(rep, 0, None);
+        let inproc = t.add_child(rep, NodeKind::Tag("inproceedings".into()));
+        t.set_annotation(inproc, "inproc");
+        let seq = t.add_child(inproc, NodeKind::Sequence);
+        let title = t.add_child(seq, NodeKind::Tag("title".into()));
+        t.add_child(title, NodeKind::Simple(BaseType::Str));
+        let year = t.add_child(seq, NodeKind::Tag("year".into()));
+        t.add_child(year, NodeKind::Simple(BaseType::Int));
+        let arep = t.add_child(seq, NodeKind::Repetition);
+        t.set_occurs(arep, 0, None);
+        let author = t.add_child(arep, NodeKind::Tag("author".into()));
+        t.set_annotation(author, "author");
+        t.add_child(author, NodeKind::Simple(BaseType::Str));
+        (t, inproc, title, year, author)
+    }
+
+    #[test]
+    fn validates_clean_tree() {
+        let (t, ..) = mini_dblp();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_required_annotation_rejected() {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("r".into()));
+        // Root tag without annotation.
+        assert!(t.validate().is_err());
+        t.set_annotation(t.root(), "r");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn repetition_arity_checked() {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("r".into()));
+        t.set_annotation(t.root(), "r");
+        let rep = t.add_child(t.root(), NodeKind::Repetition);
+        assert!(t.validate().is_err()); // zero children
+        let a = t.add_child(rep, NodeKind::Tag("a".into()));
+        t.set_annotation(a, "a");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn leaf_element_detection() {
+        let (t, inproc, title, year, _) = mini_dblp();
+        assert!(t.is_leaf_element(title));
+        assert!(t.is_leaf_element(year));
+        assert!(!t.is_leaf_element(inproc));
+        assert_eq!(t.leaf_base_type(year), Some(BaseType::Int));
+        assert_eq!(t.leaf_base_type(title), Some(BaseType::Str));
+    }
+
+    #[test]
+    fn child_tags_cross_structural_nodes() {
+        let (t, inproc, title, year, author) = mini_dblp();
+        let kids = t.child_tags(inproc);
+        assert_eq!(kids, vec![title, year, author]);
+        // From the root: inproceedings is the only child tag.
+        assert_eq!(t.child_tags(t.root()).len(), 1);
+    }
+
+    #[test]
+    fn descendant_tags_cross_tags() {
+        let (t, _, title, year, author) = mini_dblp();
+        let all = t.descendant_tags(t.root());
+        assert!(all.contains(&title) && all.contains(&year) && all.contains(&author));
+        assert_eq!(all.len(), 4); // inproc + 3 leaves
+    }
+
+    #[test]
+    fn requires_annotation_semantics() {
+        let (t, inproc, title, _, author) = mini_dblp();
+        assert!(t.requires_annotation(t.root()));
+        assert!(t.requires_annotation(inproc)); // child of '*'
+        assert!(t.requires_annotation(author)); // child of '*'
+        assert!(!t.requires_annotation(title));
+    }
+
+    #[test]
+    fn repeated_choice_children_require_annotation() {
+        // (a | b)* : both branch tags are set-valued relative to the root.
+        let mut t = SchemaTree::with_root(NodeKind::Tag("r".into()));
+        t.set_annotation(t.root(), "r");
+        let rep = t.add_child(t.root(), NodeKind::Repetition);
+        t.set_occurs(rep, 0, None);
+        let choice = t.add_child(rep, NodeKind::Choice);
+        let a = t.add_child(choice, NodeKind::Tag("a".into()));
+        t.add_child(a, NodeKind::Simple(BaseType::Str));
+        let b = t.add_child(choice, NodeKind::Tag("b".into()));
+        t.add_child(b, NodeKind::Simple(BaseType::Str));
+        assert!(t.requires_annotation(a));
+        assert!(t.requires_annotation(b));
+        assert!(t.validate().is_err()); // unannotated set-valued tags
+        t.set_annotation(a, "a");
+        t.set_annotation(b, "b");
+        t.validate().unwrap();
+        // A leaf under a plain sequence inside `a` is NOT set-valued.
+        let seq_child = t.add_child(a, NodeKind::Tag("x".into()));
+        assert!(!t.requires_annotation(seq_child));
+    }
+
+    #[test]
+    fn structural_equality_ignores_annotations() {
+        let mut t = SchemaTree::with_root(NodeKind::Tag("r".into()));
+        t.set_annotation(t.root(), "r");
+        let seq = t.add_child(t.root(), NodeKind::Sequence);
+        let a = t.add_child(seq, NodeKind::Tag("title".into()));
+        t.add_child(a, NodeKind::Simple(BaseType::Str));
+        t.set_annotation(a, "title1");
+        let b = t.add_child(seq, NodeKind::Tag("title".into()));
+        t.add_child(b, NodeKind::Simple(BaseType::Str));
+        assert!(t.structurally_equal(a, b));
+        let c = t.add_child(seq, NodeKind::Tag("year".into()));
+        t.add_child(c, NodeKind::Simple(BaseType::Int));
+        assert!(!t.structurally_equal(a, c));
+    }
+
+    #[test]
+    fn parent_tag_navigation() {
+        let (t, inproc, title, _, author) = mini_dblp();
+        assert_eq!(t.parent_tag(title), Some(inproc));
+        assert_eq!(t.parent_tag(author), Some(inproc));
+        assert_eq!(t.parent_tag(inproc), Some(t.root()));
+        assert_eq!(t.parent_tag(t.root()), None);
+    }
+
+    #[test]
+    fn structural_path_detects_repetition() {
+        let (t, _, title, _, author) = mini_dblp();
+        let path = t.structural_path_to_parent_tag(author);
+        assert!(path
+            .iter()
+            .any(|&n| matches!(t.node(n).kind, NodeKind::Repetition)));
+        let path = t.structural_path_to_parent_tag(title);
+        assert!(!path
+            .iter()
+            .any(|&n| matches!(t.node(n).kind, NodeKind::Repetition)));
+    }
+
+    #[test]
+    fn dump_shows_annotations() {
+        let (t, ..) = mini_dblp();
+        let dump = t.dump();
+        assert!(dump.contains("inproceedings (inproc)"));
+        assert!(dump.contains("author (author)"));
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (t, ..) = mini_dblp();
+        let all = t.descendants(t.root());
+        assert_eq!(all.len(), t.len());
+        assert_eq!(all[0], t.root());
+    }
+}

@@ -1,0 +1,132 @@
+//! Serialize a DOM back to XML text.
+
+use crate::dom::{Document, Element, XmlNode};
+use crate::escape::{escape_attr, escape_text};
+use std::fmt::Write as _;
+
+/// Serialize a document, including an XML declaration.
+pub fn document_to_string(doc: &Document) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element(&doc.root, &mut out);
+    out
+}
+
+/// Serialize a single element (no declaration).
+pub fn element_to_string(element: &Element) -> String {
+    let mut out = String::new();
+    write_element(element, &mut out);
+    out
+}
+
+/// Serialize an element with two-space indentation, for human consumption.
+pub fn element_to_pretty_string(element: &Element) -> String {
+    let mut out = String::new();
+    write_pretty(element, 0, &mut out);
+    out
+}
+
+fn write_element(element: &Element, out: &mut String) {
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+    if element.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for child in &element.children {
+        match child {
+            XmlNode::Text(t) => out.push_str(&escape_text(t)),
+            XmlNode::Element(e) => write_element(e, out),
+        }
+    }
+    let _ = write!(out, "</{}>", element.name);
+}
+
+fn write_pretty(element: &Element, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push('<');
+    out.push_str(&element.name);
+    for (name, value) in &element.attributes {
+        let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+    }
+    if element.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Text-only elements stay on one line.
+    if element.is_leaf() {
+        out.push('>');
+        out.push_str(&escape_text(&element.text()));
+        let _ = writeln!(out, "</{}>", element.name);
+        return;
+    }
+    out.push_str(">\n");
+    for child in &element.children {
+        match child {
+            XmlNode::Text(t) => {
+                if !t.chars().all(char::is_whitespace) {
+                    for _ in 0..depth + 1 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&escape_text(t));
+                    out.push('\n');
+                }
+            }
+            XmlNode::Element(e) => write_pretty(e, depth + 1, out),
+        }
+    }
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "</{}>", element.name);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_document, parse_element};
+
+    #[test]
+    fn roundtrip_simple() {
+        let src = "<a x=\"1\"><b>hi</b><c/></a>";
+        let e = parse_element(src).unwrap();
+        assert_eq!(element_to_string(&e), src);
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let e = parse_element("<t a=\"&quot;q&quot;\">a &amp; b</t>").unwrap();
+        let text = element_to_string(&e);
+        let again = parse_element(&text).unwrap();
+        assert_eq!(e, again);
+    }
+
+    #[test]
+    fn document_includes_declaration() {
+        let doc = parse_document("<root/>").unwrap();
+        assert!(document_to_string(&doc).starts_with("<?xml"));
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let e = parse_element("<a><b>x</b></a>").unwrap();
+        let pretty = element_to_pretty_string(&e);
+        assert!(pretty.contains("  <b>x</b>"));
+    }
+
+    #[test]
+    fn roundtrip_stability_property() {
+        // serialize -> parse -> serialize is a fixpoint.
+        let src = "<dblp><inproceedings key=\"x\"><title>T &lt; 1</title><author>A</author><author>B</author></inproceedings></dblp>";
+        let e1 = parse_element(src).unwrap();
+        let s1 = element_to_string(&e1);
+        let e2 = parse_element(&s1).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(s1, element_to_string(&e2));
+    }
+}

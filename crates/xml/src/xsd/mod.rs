@@ -1,0 +1,26 @@
+//! XSD (XML Schema) subset: object model, parser, and conversion to the
+//! annotated schema tree.
+//!
+//! The supported subset is exactly what the paper's schema-tree abstraction
+//! uses (Section 2): `xs:element` with `minOccurs`/`maxOccurs`, anonymous and
+//! named `xs:complexType`, `xs:sequence`, `xs:choice`, and the base types
+//! `xs:string`, `xs:integer`/`xs:int`/`xs:long`, `xs:decimal`/`xs:float`/
+//! `xs:double`. DTDs are handled by first writing them as XSD, as the paper
+//! suggests (footnote 3).
+
+mod model;
+mod parser;
+mod to_tree;
+
+pub use model::{ComplexType, ElementContent, ElementDecl, Occurs, Particle, Schema};
+pub use parser::parse_schema;
+pub use to_tree::schema_to_tree;
+
+use crate::error::XmlResult;
+use crate::tree::SchemaTree;
+
+/// Parse XSD text and convert it to a schema tree in one step.
+pub fn parse_to_tree(xsd_text: &str) -> XmlResult<SchemaTree> {
+    let schema = parse_schema(xsd_text)?;
+    schema_to_tree(&schema)
+}

@@ -1,0 +1,168 @@
+//! Object model for the supported XSD subset.
+
+use crate::tree::BaseType;
+use rustc_hash::FxHashMap;
+
+/// Occurrence bounds of a particle (`minOccurs` / `maxOccurs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurs {
+    /// Minimum occurrences.
+    pub min: u32,
+    /// Maximum occurrences; `None` means `unbounded`.
+    pub max: Option<u32>,
+}
+
+impl Occurs {
+    /// The default `1..1` occurrence.
+    pub const ONE: Occurs = Occurs {
+        min: 1,
+        max: Some(1),
+    };
+
+    /// The `0..1` occurrence (an optional particle).
+    pub const OPTIONAL: Occurs = Occurs {
+        min: 0,
+        max: Some(1),
+    };
+
+    /// The `0..unbounded` occurrence (a set-valued particle).
+    pub const MANY: Occurs = Occurs { min: 0, max: None };
+
+    /// True when the particle can repeat (`maxOccurs > 1` or unbounded).
+    pub fn is_repeated(self) -> bool {
+        match self.max {
+            None => true,
+            Some(max) => max > 1,
+        }
+    }
+
+    /// True when the particle is optional but not repeated (`0..1`).
+    pub fn is_optional(self) -> bool {
+        self.min == 0 && self.max == Some(1)
+    }
+
+    /// True for the plain `1..1` occurrence.
+    pub fn is_one(self) -> bool {
+        self == Occurs::ONE
+    }
+}
+
+impl Default for Occurs {
+    fn default() -> Self {
+        Occurs::ONE
+    }
+}
+
+/// A parsed schema: global element declarations plus named complex types.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// Global (top-level) element declarations, in document order. The first
+    /// one is taken as the document root when converting to a schema tree.
+    pub root_elements: Vec<ElementDecl>,
+    /// Named complex types, referable via `type="TypeName"`.
+    pub named_types: FxHashMap<String, ComplexType>,
+}
+
+/// An element declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElementDecl {
+    /// Element (tag) name.
+    pub name: String,
+    /// Occurrence bounds at the use site.
+    pub occurs: Occurs,
+    /// Content model.
+    pub content: ElementContent,
+}
+
+/// The content model of an element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElementContent {
+    /// Simple content of a base type (`type="xs:string"` etc.).
+    Simple(BaseType),
+    /// Reference to a named complex type.
+    Named(String),
+    /// Anonymous inline complex type (boxed: the model is mutually
+    /// recursive through [`Particle`]).
+    Complex(Box<ComplexType>),
+}
+
+/// A complex type: an optional content particle (empty content when `None`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ComplexType {
+    /// The content particle.
+    pub particle: Option<Particle>,
+}
+
+/// A content particle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Particle {
+    /// `xs:sequence`.
+    Sequence(Vec<Particle>, Occurs),
+    /// `xs:choice`.
+    Choice(Vec<Particle>, Occurs),
+    /// A nested element declaration.
+    Element(ElementDecl),
+}
+
+impl Particle {
+    /// Occurrence bounds of this particle.
+    pub fn occurs(&self) -> Occurs {
+        match self {
+            Particle::Sequence(_, occurs) | Particle::Choice(_, occurs) => *occurs,
+            Particle::Element(decl) => decl.occurs,
+        }
+    }
+}
+
+/// Map an XSD base type name (prefix already stripped) to a [`BaseType`].
+/// Unknown simple types default to `Str`, matching how shredding treats
+/// unconstrained text.
+pub fn base_type_from_name(name: &str) -> BaseType {
+    match name {
+        "integer" | "int" | "long" | "short" | "byte" | "nonNegativeInteger"
+        | "positiveInteger" | "unsignedInt" | "unsignedLong" | "gYear" => BaseType::Int,
+        "decimal" | "double" | "float" => BaseType::Float,
+        _ => BaseType::Str,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurs_predicates() {
+        assert!(Occurs::ONE.is_one());
+        assert!(!Occurs::ONE.is_repeated());
+        assert!(Occurs::OPTIONAL.is_optional());
+        assert!(!Occurs::OPTIONAL.is_repeated());
+        assert!(Occurs::MANY.is_repeated());
+        assert!(!Occurs::MANY.is_optional());
+        assert!(Occurs {
+            min: 1,
+            max: Some(5)
+        }
+        .is_repeated());
+    }
+
+    #[test]
+    fn base_type_mapping() {
+        assert_eq!(base_type_from_name("integer"), BaseType::Int);
+        assert_eq!(base_type_from_name("gYear"), BaseType::Int);
+        assert_eq!(base_type_from_name("decimal"), BaseType::Float);
+        assert_eq!(base_type_from_name("string"), BaseType::Str);
+        assert_eq!(base_type_from_name("anyURI"), BaseType::Str);
+    }
+
+    #[test]
+    fn particle_occurs_accessor() {
+        let p = Particle::Sequence(vec![], Occurs::MANY);
+        assert!(p.occurs().is_repeated());
+        let e = Particle::Element(ElementDecl {
+            name: "x".into(),
+            occurs: Occurs::OPTIONAL,
+            content: ElementContent::Simple(BaseType::Str),
+        });
+        assert!(e.occurs().is_optional());
+    }
+}

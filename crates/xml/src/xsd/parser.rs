@@ -1,0 +1,318 @@
+//! Parse an XSD document (already-parsed DOM or text) into the object model.
+
+use super::model::{
+    base_type_from_name, ComplexType, ElementContent, ElementDecl, Occurs, Particle, Schema,
+};
+use crate::dom::Element;
+use crate::error::{XmlError, XmlResult};
+use crate::parser::parse_document;
+use crate::tree::BaseType;
+
+/// Parse XSD text into a [`Schema`].
+pub fn parse_schema(text: &str) -> XmlResult<Schema> {
+    let doc = parse_document(text)?;
+    schema_from_dom(&doc.root)
+}
+
+/// Interpret a parsed `<schema>` element.
+pub fn schema_from_dom(root: &Element) -> XmlResult<Schema> {
+    if root.name != "schema" {
+        return Err(XmlError::schema(format!(
+            "expected <schema> root element, found <{}>",
+            root.name
+        )));
+    }
+    let mut schema = Schema::default();
+    for child in root.child_elements() {
+        match child.name.as_str() {
+            "element" => {
+                let decl = parse_element_decl(child)?;
+                schema.root_elements.push(decl);
+            }
+            "complexType" => {
+                let name = child.attr("name").ok_or_else(|| {
+                    XmlError::schema("top-level complexType must have a name")
+                })?;
+                let ty = parse_complex_type(child)?;
+                schema.named_types.insert(name.to_string(), ty);
+            }
+            "annotation" | "import" | "include" => {} // ignored
+            other => {
+                return Err(XmlError::schema(format!(
+                    "unsupported top-level construct <{other}>"
+                )))
+            }
+        }
+    }
+    if schema.root_elements.is_empty() {
+        return Err(XmlError::schema("schema declares no global element"));
+    }
+    Ok(schema)
+}
+
+fn parse_occurs(element: &Element) -> XmlResult<Occurs> {
+    let min = match element.attr("minOccurs") {
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| XmlError::schema(format!("invalid minOccurs: {v}")))?,
+        None => 1,
+    };
+    let max = match element.attr("maxOccurs") {
+        Some("unbounded") => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .map_err(|_| XmlError::schema(format!("invalid maxOccurs: {v}")))?,
+        ),
+        None => Some(1),
+    };
+    if let Some(max) = max {
+        if max < min {
+            return Err(XmlError::schema(format!(
+                "maxOccurs ({max}) < minOccurs ({min})"
+            )));
+        }
+    }
+    Ok(Occurs { min, max })
+}
+
+fn parse_element_decl(element: &Element) -> XmlResult<ElementDecl> {
+    let name = element
+        .attr("name")
+        .ok_or_else(|| XmlError::schema("element declaration requires a name"))?
+        .to_string();
+    let occurs = parse_occurs(element)?;
+
+    let content = if let Some(type_name) = element.attr("type") {
+        // Attribute *values* keep their namespace prefix; strip it here so
+        // `xs:string` and `string` both resolve. Anything matching a base
+        // type is simple; the rest are named complex type references.
+        let bare = type_name.rsplit(':').next().unwrap_or(type_name);
+        if is_builtin_simple(bare) {
+            ElementContent::Simple(base_type_from_name(bare))
+        } else {
+            ElementContent::Named(bare.to_string())
+        }
+    } else if let Some(complex) = element.child("complexType") {
+        ElementContent::Complex(Box::new(parse_complex_type(complex)?))
+    } else if element.child("simpleType").is_some() {
+        // Restrictions and the like all collapse to their base type; default
+        // to string unless a restriction base says otherwise.
+        let base = element
+            .child("simpleType")
+            .and_then(|st| st.child("restriction"))
+            .and_then(|r| r.attr("base"))
+            .map(|b| base_type_from_name(b.rsplit(':').next().unwrap_or(b)))
+            .unwrap_or(BaseType::Str);
+        ElementContent::Simple(base)
+    } else {
+        // No type information: text content.
+        ElementContent::Simple(BaseType::Str)
+    };
+
+    Ok(ElementDecl {
+        name,
+        occurs,
+        content,
+    })
+}
+
+fn parse_complex_type(element: &Element) -> XmlResult<ComplexType> {
+    for child in element.child_elements() {
+        match child.name.as_str() {
+            "sequence" => {
+                return Ok(ComplexType {
+                    particle: Some(parse_group(child, GroupKind::Sequence)?),
+                })
+            }
+            "choice" => {
+                return Ok(ComplexType {
+                    particle: Some(parse_group(child, GroupKind::Choice)?),
+                })
+            }
+            "annotation" | "attribute" => {} // attributes are out of scope
+            other => {
+                return Err(XmlError::schema(format!(
+                    "unsupported complexType content <{other}>"
+                )))
+            }
+        }
+    }
+    Ok(ComplexType { particle: None })
+}
+
+#[derive(Clone, Copy)]
+enum GroupKind {
+    Sequence,
+    Choice,
+}
+
+fn parse_group(element: &Element, kind: GroupKind) -> XmlResult<Particle> {
+    let occurs = parse_occurs(element)?;
+    let mut parts = Vec::new();
+    for child in element.child_elements() {
+        match child.name.as_str() {
+            "element" => parts.push(Particle::Element(parse_element_decl(child)?)),
+            "sequence" => parts.push(parse_group(child, GroupKind::Sequence)?),
+            "choice" => parts.push(parse_group(child, GroupKind::Choice)?),
+            "annotation" => {}
+            other => {
+                return Err(XmlError::schema(format!(
+                    "unsupported group content <{other}>"
+                )))
+            }
+        }
+    }
+    Ok(match kind {
+        GroupKind::Sequence => Particle::Sequence(parts, occurs),
+        GroupKind::Choice => {
+            if parts.len() < 2 {
+                return Err(XmlError::schema("choice group requires >= 2 alternatives"));
+            }
+            Particle::Choice(parts, occurs)
+        }
+    })
+}
+
+fn is_builtin_simple(name: &str) -> bool {
+    matches!(
+        name,
+        "string"
+            | "integer"
+            | "int"
+            | "long"
+            | "short"
+            | "byte"
+            | "nonNegativeInteger"
+            | "positiveInteger"
+            | "unsignedInt"
+            | "unsignedLong"
+            | "decimal"
+            | "double"
+            | "float"
+            | "boolean"
+            | "date"
+            | "gYear"
+            | "anyURI"
+            | "token"
+            | "normalizedString"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MOVIE_XSD: &str = r#"
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="movies">
+        <xs:complexType><xs:sequence>
+          <xs:element name="movie" minOccurs="0" maxOccurs="unbounded">
+            <xs:complexType><xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="year" type="xs:integer"/>
+              <xs:element name="aka_title" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+              <xs:element name="avg_rating" type="xs:decimal" minOccurs="0"/>
+              <xs:choice>
+                <xs:element name="box_office" type="xs:integer"/>
+                <xs:element name="seasons" type="xs:integer"/>
+              </xs:choice>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:schema>"#;
+
+    #[test]
+    fn parses_movie_schema() {
+        let schema = parse_schema(MOVIE_XSD).unwrap();
+        assert_eq!(schema.root_elements.len(), 1);
+        let root = &schema.root_elements[0];
+        assert_eq!(root.name, "movies");
+        let ElementContent::Complex(ct) = &root.content else {
+            panic!("expected inline complex type");
+        };
+        let Some(Particle::Sequence(parts, _)) = &ct.particle else {
+            panic!("expected sequence");
+        };
+        assert_eq!(parts.len(), 1);
+        let Particle::Element(movie) = &parts[0] else {
+            panic!("expected element");
+        };
+        assert!(movie.occurs.is_repeated());
+    }
+
+    #[test]
+    fn choice_and_optional_parsed() {
+        let schema = parse_schema(MOVIE_XSD).unwrap();
+        let ElementContent::Complex(root_ct) = &schema.root_elements[0].content else {
+            unreachable!()
+        };
+        let Some(Particle::Sequence(parts, _)) = &root_ct.particle else {
+            unreachable!()
+        };
+        let Particle::Element(movie) = &parts[0] else {
+            unreachable!()
+        };
+        let ElementContent::Complex(movie_ct) = &movie.content else {
+            unreachable!()
+        };
+        let Some(Particle::Sequence(fields, _)) = &movie_ct.particle else {
+            unreachable!()
+        };
+        assert_eq!(fields.len(), 5);
+        assert!(matches!(&fields[4], Particle::Choice(alts, _) if alts.len() == 2));
+        assert!(fields[3].occurs().is_optional());
+        assert!(fields[2].occurs().is_repeated());
+    }
+
+    #[test]
+    fn named_type_reference() {
+        let text = r#"
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="lib">
+            <xs:complexType><xs:sequence>
+              <xs:element name="person" type="PersonType" maxOccurs="unbounded"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+          <xs:complexType name="PersonType">
+            <xs:sequence><xs:element name="name" type="xs:string"/></xs:sequence>
+          </xs:complexType>
+        </xs:schema>"#;
+        let schema = parse_schema(text).unwrap();
+        assert!(schema.named_types.contains_key("PersonType"));
+    }
+
+    #[test]
+    fn invalid_occurs_rejected() {
+        let text = r#"<xs:schema xmlns:xs="x"><xs:element name="a" minOccurs="3" maxOccurs="2" type="xs:string"/></xs:schema>"#;
+        assert!(parse_schema(text).is_err());
+    }
+
+    #[test]
+    fn choice_with_one_alternative_rejected() {
+        let text = r#"<xs:schema xmlns:xs="x"><xs:element name="a"><xs:complexType><xs:choice>
+          <xs:element name="b" type="xs:string"/>
+        </xs:choice></xs:complexType></xs:element></xs:schema>"#;
+        assert!(parse_schema(text).is_err());
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(parse_schema(r#"<xs:schema xmlns:xs="x"/>"#).is_err());
+    }
+
+    #[test]
+    fn non_schema_root_rejected() {
+        assert!(parse_schema("<root/>").is_err());
+    }
+
+    #[test]
+    fn untyped_element_defaults_to_string() {
+        let text = r#"<xs:schema xmlns:xs="x"><xs:element name="note"/></xs:schema>"#;
+        let schema = parse_schema(text).unwrap();
+        assert_eq!(
+            schema.root_elements[0].content,
+            ElementContent::Simple(BaseType::Str)
+        );
+    }
+}

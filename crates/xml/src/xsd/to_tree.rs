@@ -1,0 +1,336 @@
+//! Convert a parsed [`Schema`] into the annotated schema tree.
+//!
+//! Default annotations follow the "hybrid inlining" convention of
+//! Shanmugasundaram et al. \[20\], which the paper uses as its starting point:
+//! a node is annotated exactly when its in-degree is not one — the root and
+//! every child of a repetition node. Elements sharing a tag name and a
+//! structurally equal type share the annotation (and hence, later, a table);
+//! structurally different homonyms get uniquified annotations.
+
+use super::model::{ComplexType, ElementContent, ElementDecl, Occurs, Particle, Schema};
+use crate::error::{XmlError, XmlResult};
+use crate::tree::{NodeId, NodeKind, SchemaTree};
+use rustc_hash::FxHashMap;
+
+/// Convert `schema` into a schema tree rooted at the first global element.
+pub fn schema_to_tree(schema: &Schema) -> XmlResult<SchemaTree> {
+    let root_decl = schema
+        .root_elements
+        .first()
+        .ok_or_else(|| XmlError::schema("schema has no global element"))?;
+
+    let mut ctx = Converter {
+        schema,
+        tree: SchemaTree::with_root(NodeKind::Tag(root_decl.name.clone())),
+        type_stack: Vec::new(),
+    };
+    let root = ctx.tree.root();
+    ctx.fill_element_content(root, &root_decl.content)?;
+
+    let mut tree = ctx.tree;
+    assign_default_annotations(&mut tree);
+    tree.validate()?;
+    Ok(tree)
+}
+
+struct Converter<'a> {
+    schema: &'a Schema,
+    tree: SchemaTree,
+    /// Named types currently being expanded, for recursion detection. The
+    /// paper restricts itself to nonrecursive schemas (Section 2.1), so
+    /// recursion is reported as unsupported.
+    type_stack: Vec<String>,
+}
+
+impl Converter<'_> {
+    fn fill_element_content(&mut self, tag: NodeId, content: &ElementContent) -> XmlResult<()> {
+        match content {
+            ElementContent::Simple(base) => {
+                self.tree.add_child(tag, NodeKind::Simple(*base));
+                Ok(())
+            }
+            ElementContent::Named(name) => {
+                if self.type_stack.iter().any(|t| t == name) {
+                    return Err(XmlError::schema(format!(
+                        "recursive type '{name}' is outside the supported (nonrecursive) subset"
+                    )));
+                }
+                let ty = self
+                    .schema
+                    .named_types
+                    .get(name)
+                    .ok_or_else(|| XmlError::schema(format!("undefined type '{name}'")))?
+                    .clone();
+                self.type_stack.push(name.clone());
+                let result = self.fill_complex(tag, &ty);
+                self.type_stack.pop();
+                result
+            }
+            ElementContent::Complex(ty) => self.fill_complex(tag, ty),
+        }
+    }
+
+    fn fill_complex(&mut self, tag: NodeId, ty: &ComplexType) -> XmlResult<()> {
+        if let Some(particle) = &ty.particle {
+            self.add_particle(tag, particle)?;
+        }
+        Ok(())
+    }
+
+    /// Add `particle` under `parent`, wrapping in `Repetition` / `Optional`
+    /// nodes according to its occurrence bounds.
+    fn add_particle(&mut self, parent: NodeId, particle: &Particle) -> XmlResult<()> {
+        let occurs = particle.occurs();
+        let attach_point = self.wrap_for_occurs(parent, occurs);
+        match particle {
+            Particle::Sequence(parts, _) => {
+                let seq = self.tree.add_child(attach_point, NodeKind::Sequence);
+                for part in parts {
+                    self.add_particle(seq, part)?;
+                }
+            }
+            Particle::Choice(parts, _) => {
+                let choice = self.tree.add_child(attach_point, NodeKind::Choice);
+                for part in parts {
+                    self.add_particle(choice, part)?;
+                }
+            }
+            Particle::Element(decl) => {
+                self.add_element(attach_point, decl)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn add_element(&mut self, parent: NodeId, decl: &ElementDecl) -> XmlResult<()> {
+        let tag = self
+            .tree
+            .add_child(parent, NodeKind::Tag(decl.name.clone()));
+        self.fill_element_content(tag, &decl.content)
+    }
+
+    /// If `occurs` is repeated or optional, create the wrapper node under
+    /// `parent` and return it; otherwise return `parent` unchanged.
+    fn wrap_for_occurs(&mut self, parent: NodeId, occurs: Occurs) -> NodeId {
+        if occurs.is_repeated() {
+            let rep = self.tree.add_child(parent, NodeKind::Repetition);
+            self.tree.set_occurs(rep, occurs.min, occurs.max);
+            rep
+        } else if occurs.is_optional() {
+            self.tree.add_child(parent, NodeKind::Optional)
+        } else {
+            parent
+        }
+    }
+}
+
+/// Assign default annotations: every node that requires one (root, children
+/// of `*`) is annotated with its tag name; structurally different elements
+/// sharing a tag name get uniquified names (`name`, `name_2`, ...), while
+/// structurally equal ones share the annotation — producing the shared-type
+/// tables of hybrid inlining.
+fn assign_default_annotations(tree: &mut SchemaTree) {
+    // tag name -> representatives of structurally distinct variants seen so
+    // far, with the annotation each variant received.
+    let mut variants: FxHashMap<String, Vec<(NodeId, String)>> = FxHashMap::default();
+
+    let ids: Vec<NodeId> = tree.node_ids().collect();
+    for id in ids {
+        let NodeKind::Tag(name) = &tree.node(id).kind else {
+            continue;
+        };
+        if !tree.requires_annotation(id) || tree.annotation(id).is_some() {
+            continue;
+        }
+        let name = name.clone();
+        let entry = variants.entry(name.clone()).or_default();
+        let existing = entry
+            .iter()
+            .find(|(rep, _)| tree.structurally_equal(*rep, id))
+            .map(|(_, annotation)| annotation.clone());
+        let annotation = match existing {
+            Some(annotation) => annotation,
+            None => {
+                let annotation = if entry.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{}_{}", name, entry.len() + 1)
+                };
+                entry.push((id, annotation.clone()));
+                annotation
+            }
+        };
+        tree.set_annotation(id, annotation);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BaseType;
+    use crate::xsd::parse_schema;
+
+    const DBLP_XSD: &str = r#"
+    <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+      <xs:element name="dblp">
+        <xs:complexType><xs:sequence>
+          <xs:element name="inproceedings" minOccurs="0" maxOccurs="unbounded">
+            <xs:complexType><xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="booktitle" type="xs:string"/>
+              <xs:element name="year" type="xs:integer"/>
+              <xs:element name="author" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+              <xs:element name="pages" type="xs:string" minOccurs="0"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+          <xs:element name="book" minOccurs="0" maxOccurs="unbounded">
+            <xs:complexType><xs:sequence>
+              <xs:element name="title" type="xs:string"/>
+              <xs:element name="year" type="xs:integer"/>
+              <xs:element name="publisher" type="xs:string"/>
+              <xs:element name="author" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType>
+      </xs:element>
+    </xs:schema>"#;
+
+    fn dblp_tree() -> SchemaTree {
+        let schema = parse_schema(DBLP_XSD).unwrap();
+        schema_to_tree(&schema).unwrap()
+    }
+
+    #[test]
+    fn tree_validates() {
+        dblp_tree().validate().unwrap();
+    }
+
+    #[test]
+    fn root_annotated_with_tag_name() {
+        let tree = dblp_tree();
+        assert_eq!(tree.annotation(tree.root()), Some("dblp"));
+    }
+
+    #[test]
+    fn repeated_elements_annotated() {
+        let tree = dblp_tree();
+        let annotated: Vec<&str> = tree
+            .node_ids()
+            .filter_map(|id| tree.annotation(id))
+            .collect();
+        assert!(annotated.contains(&"inproceedings"));
+        assert!(annotated.contains(&"book"));
+        assert!(annotated.contains(&"author"));
+    }
+
+    #[test]
+    fn shared_author_type_gets_one_annotation() {
+        let tree = dblp_tree();
+        let author_annotations: Vec<&str> = tree
+            .node_ids()
+            .filter(|&id| tree.node(id).kind.tag_name() == Some("author"))
+            .filter_map(|id| tree.annotation(id))
+            .collect();
+        // Both author elements are structurally equal -> same annotation.
+        assert_eq!(author_annotations, vec!["author", "author"]);
+    }
+
+    #[test]
+    fn inlined_leaves_not_annotated() {
+        let tree = dblp_tree();
+        for id in tree.node_ids() {
+            if tree.node(id).kind.tag_name() == Some("title") {
+                assert_eq!(tree.annotation(id), None);
+            }
+        }
+    }
+
+    #[test]
+    fn structurally_different_homonyms_uniquified() {
+        let text = r#"
+        <xs:schema xmlns:xs="x">
+          <xs:element name="r">
+            <xs:complexType><xs:sequence>
+              <xs:element name="item" maxOccurs="unbounded">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="a" type="xs:string"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+              <xs:element name="item" maxOccurs="unbounded">
+                <xs:complexType><xs:sequence>
+                  <xs:element name="b" type="xs:integer"/>
+                </xs:sequence></xs:complexType>
+              </xs:element>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:schema>"#;
+        let tree = schema_to_tree(&parse_schema(text).unwrap()).unwrap();
+        let mut annotations: Vec<&str> = tree
+            .node_ids()
+            .filter(|&id| tree.node(id).kind.tag_name() == Some("item"))
+            .filter_map(|id| tree.annotation(id))
+            .collect();
+        annotations.sort_unstable();
+        assert_eq!(annotations, vec!["item", "item_2"]);
+    }
+
+    #[test]
+    fn optional_wrapped() {
+        let tree = dblp_tree();
+        let pages = tree
+            .node_ids()
+            .find(|&id| tree.node(id).kind.tag_name() == Some("pages"))
+            .unwrap();
+        let wrappers = tree.structural_path_to_parent_tag(pages);
+        assert!(wrappers
+            .iter()
+            .any(|&n| matches!(tree.node(n).kind, NodeKind::Optional)));
+    }
+
+    #[test]
+    fn named_type_shared_structure() {
+        let text = r#"
+        <xs:schema xmlns:xs="x">
+          <xs:element name="lib">
+            <xs:complexType><xs:sequence>
+              <xs:element name="person" type="P" maxOccurs="unbounded"/>
+              <xs:element name="person" type="P" maxOccurs="unbounded"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+          <xs:complexType name="P">
+            <xs:sequence><xs:element name="name" type="xs:string"/></xs:sequence>
+          </xs:complexType>
+        </xs:schema>"#;
+        let tree = schema_to_tree(&parse_schema(text).unwrap()).unwrap();
+        let persons: Vec<NodeId> = tree
+            .node_ids()
+            .filter(|&id| tree.node(id).kind.tag_name() == Some("person"))
+            .collect();
+        assert_eq!(persons.len(), 2);
+        assert!(tree.structurally_equal(persons[0], persons[1]));
+        assert_eq!(tree.annotation(persons[0]), tree.annotation(persons[1]));
+    }
+
+    #[test]
+    fn recursive_type_rejected() {
+        let text = r#"
+        <xs:schema xmlns:xs="x">
+          <xs:element name="r" type="T"/>
+          <xs:complexType name="T">
+            <xs:sequence><xs:element name="child" type="T" minOccurs="0"/></xs:sequence>
+          </xs:complexType>
+        </xs:schema>"#;
+        let err = schema_to_tree(&parse_schema(text).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("recursive"));
+    }
+
+    #[test]
+    fn base_types_preserved() {
+        let tree = dblp_tree();
+        let year = tree
+            .node_ids()
+            .find(|&id| tree.node(id).kind.tag_name() == Some("year"))
+            .unwrap();
+        assert_eq!(tree.leaf_base_type(year), Some(BaseType::Int));
+    }
+}

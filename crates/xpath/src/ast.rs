@@ -1,0 +1,294 @@
+//! Abstract syntax for the supported XPath subset.
+
+use std::fmt;
+
+/// Navigation axis of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/name` — direct children.
+    Child,
+    /// `//name` — descendants at any depth.
+    Descendant,
+}
+
+/// The node test of a step.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NameTest {
+    /// A single element name.
+    Name(String),
+    /// `*` — any element.
+    Wildcard,
+    /// `(a | b | c)` — union of element names; only valid as the last step
+    /// (the projection list of the paper's queries).
+    Union(Vec<String>),
+}
+
+impl NameTest {
+    /// The names this test can match (`None` for wildcard).
+    pub fn names(&self) -> Option<Vec<&str>> {
+        match self {
+            NameTest::Name(n) => Some(vec![n.as_str()]),
+            NameTest::Wildcard => None,
+            NameTest::Union(ns) => Some(ns.iter().map(String::as_str).collect()),
+        }
+    }
+
+    /// Does this test match the given element name?
+    pub fn matches(&self, name: &str) -> bool {
+        match self {
+            NameTest::Name(n) => n == name,
+            NameTest::Wildcard => true,
+            NameTest::Union(ns) => ns.iter().any(|n| n == name),
+        }
+    }
+}
+
+/// Comparison operator in a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// SQL / XPath spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Apply the operator to an ordering result.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A literal in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A quoted string.
+    Str(String),
+    /// An unquoted number.
+    Num(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Str(s) => write!(f, "\"{s}\""),
+            Literal::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// A predicate: `[rel/path op literal]` (the paper's *selection path*) or a
+/// bare existence test `[rel/path]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Relative path from the step's node.
+    pub path: Vec<Step>,
+    /// Comparison; `None` is a bare existence predicate.
+    pub comparison: Option<(CmpOp, Literal)>,
+}
+
+/// A location step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Axis connecting this step to the previous one.
+    pub axis: Axis,
+    /// Node test.
+    pub test: NameTest,
+    /// Zero or more predicates.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// A plain child step with no predicates.
+    pub fn child(name: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Child,
+            test: NameTest::Name(name.into()),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// A plain descendant step with no predicates.
+    pub fn descendant(name: impl Into<String>) -> Self {
+        Step {
+            axis: Axis::Descendant,
+            test: NameTest::Name(name.into()),
+            predicates: Vec::new(),
+        }
+    }
+}
+
+/// An absolute XPath query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Steps from the document root.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// The projection names of the final step (single name or union).
+    /// `None` when the final step is a wildcard.
+    pub fn projection_names(&self) -> Option<Vec<&str>> {
+        self.steps.last().and_then(|s| s.test.names())
+    }
+
+    /// Number of projection elements in the final step (1 for a single name).
+    pub fn projection_count(&self) -> usize {
+        match self.steps.last().map(|s| &s.test) {
+            Some(NameTest::Union(ns)) => ns.len(),
+            Some(_) => 1,
+            None => 0,
+        }
+    }
+
+    /// All predicates anywhere in the path, with the index of the step that
+    /// carries them.
+    pub fn all_predicates(&self) -> impl Iterator<Item = (usize, &Predicate)> {
+        self.steps
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| s.predicates.iter().map(move |p| (i, p)))
+    }
+}
+
+fn write_steps(steps: &[Step], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for step in steps {
+        match step.axis {
+            Axis::Child => write!(f, "/")?,
+            Axis::Descendant => write!(f, "//")?,
+        }
+        match &step.test {
+            NameTest::Name(n) => write!(f, "{n}")?,
+            NameTest::Wildcard => write!(f, "*")?,
+            NameTest::Union(ns) => write!(f, "({})", ns.join(" | "))?,
+        }
+        for pred in &step.predicates {
+            write!(f, "[{pred}]")?;
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The relative path prints without its leading slash.
+        let mut first = true;
+        for step in &self.path {
+            if first && step.axis == Axis::Child {
+                match &step.test {
+                    NameTest::Name(n) => write!(f, "{n}")?,
+                    NameTest::Wildcard => write!(f, "*")?,
+                    NameTest::Union(ns) => write!(f, "({})", ns.join(" | "))?,
+                }
+                for pred in &step.predicates {
+                    write!(f, "[{pred}]")?;
+                }
+            } else {
+                write_steps(std::slice::from_ref(step), f)?;
+            }
+            first = false;
+        }
+        if let Some((op, lit)) = &self.comparison {
+            write!(f, " {} {}", op.symbol(), lit)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_steps(&self.steps, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Ne.eval(Greater));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Gt.eval(Greater));
+    }
+
+    #[test]
+    fn name_test_matching() {
+        assert!(NameTest::Wildcard.matches("anything"));
+        assert!(NameTest::Name("a".into()).matches("a"));
+        assert!(!NameTest::Name("a".into()).matches("b"));
+        let union = NameTest::Union(vec!["a".into(), "b".into()]);
+        assert!(union.matches("b"));
+        assert!(!union.matches("c"));
+    }
+
+    #[test]
+    fn projection_helpers() {
+        let path = Path {
+            steps: vec![
+                Step::descendant("movie"),
+                Step {
+                    axis: Axis::Child,
+                    test: NameTest::Union(vec!["title".into(), "year".into()]),
+                    predicates: vec![],
+                },
+            ],
+        };
+        assert_eq!(path.projection_count(), 2);
+        assert_eq!(path.projection_names(), Some(vec!["title", "year"]));
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let path = Path {
+            steps: vec![
+                Step {
+                    axis: Axis::Descendant,
+                    test: NameTest::Name("movie".into()),
+                    predicates: vec![Predicate {
+                        path: vec![Step::child("title")],
+                        comparison: Some((CmpOp::Eq, Literal::Str("Titanic".into()))),
+                    }],
+                },
+                Step {
+                    axis: Axis::Child,
+                    test: NameTest::Union(vec!["aka_title".into(), "avg_rating".into()]),
+                    predicates: vec![],
+                },
+            ],
+        };
+        assert_eq!(
+            path.to_string(),
+            "//movie[title = \"Titanic\"]/(aka_title | avg_rating)"
+        );
+    }
+}

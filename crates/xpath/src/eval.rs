@@ -1,0 +1,283 @@
+//! Reference evaluator over the DOM.
+//!
+//! This is the ground truth used to validate the XPath-to-SQL translation:
+//! the shredded relational database, queried through the sorted-outer-union
+//! SQL, must return exactly the `(context, tag, value)` triples this
+//! evaluator produces.
+
+use crate::ast::{Axis, CmpOp, Literal, NameTest, Path, Predicate, Step};
+use xmlshred_xml::dom::Element;
+
+/// One projected value: which context node produced it, the projected tag,
+/// and its text value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MatchValue {
+    /// Document-order ordinal of the context element (the element matched by
+    /// the second-to-last step) among all matched context elements.
+    pub context_ord: usize,
+    /// Tag name of the projected element.
+    pub tag: String,
+    /// Text content of the projected element.
+    pub value: String,
+}
+
+/// Evaluate `path` against the document rooted at `root`.
+///
+/// The final step of the path selects the projection elements; every earlier
+/// step (with its predicates) selects context nodes. Results are returned in
+/// document order, exactly as the sorted outer union's `ORDER BY ID` does.
+pub fn evaluate_query(root: &Element, path: &Path) -> Vec<MatchValue> {
+    if path.steps.is_empty() {
+        return Vec::new();
+    }
+    let (context_steps, last) = path.steps.split_at(path.steps.len() - 1);
+    let last = &last[0];
+
+    let contexts = resolve_steps(root, context_steps);
+    let mut out = Vec::new();
+    for (ord, context) in contexts.iter().enumerate() {
+        for target in apply_step(context, last) {
+            out.push(MatchValue {
+                context_ord: ord,
+                tag: target.name.clone(),
+                value: target.text(),
+            });
+        }
+    }
+    out
+}
+
+/// Resolve a step sequence from the document root, returning matched
+/// elements in document order.
+pub fn resolve_steps<'a>(root: &'a Element, steps: &[Step]) -> Vec<&'a Element> {
+    // The virtual document root: the first step matches against the root
+    // element itself (for the child axis) or any element (descendant axis).
+    let mut current: Vec<&Element> = match steps.first() {
+        None => return vec![root],
+        Some(first) => {
+            let mut seed = Vec::new();
+            match first.axis {
+                Axis::Child => {
+                    if first.test.matches(&root.name) {
+                        seed.push(root);
+                    }
+                }
+                Axis::Descendant => {
+                    collect_descendants_matching(root, &first.test, true, &mut seed);
+                }
+            }
+            seed.retain(|e| passes_predicates(e, &first.predicates));
+            seed
+        }
+    };
+    for step in &steps[1..] {
+        let mut next = Vec::new();
+        for element in current {
+            next.extend(apply_step(element, step));
+        }
+        current = next;
+    }
+    current
+}
+
+/// Apply a single step (axis, test, predicates) from one element.
+fn apply_step<'a>(element: &'a Element, step: &Step) -> Vec<&'a Element> {
+    let mut matched = Vec::new();
+    match step.axis {
+        Axis::Child => {
+            for child in element.child_elements() {
+                if step.test.matches(&child.name) {
+                    matched.push(child);
+                }
+            }
+        }
+        Axis::Descendant => {
+            for child in element.child_elements() {
+                collect_descendants_matching(child, &step.test, true, &mut matched);
+            }
+        }
+    }
+    matched.retain(|e| passes_predicates(e, &step.predicates));
+    matched
+}
+
+fn collect_descendants_matching<'a>(
+    element: &'a Element,
+    test: &NameTest,
+    include_self: bool,
+    out: &mut Vec<&'a Element>,
+) {
+    if include_self && test.matches(&element.name) {
+        out.push(element);
+    }
+    for child in element.child_elements() {
+        collect_descendants_matching(child, test, true, out);
+    }
+}
+
+fn passes_predicates(element: &Element, predicates: &[Predicate]) -> bool {
+    predicates.iter().all(|p| passes_predicate(element, p))
+}
+
+fn passes_predicate(element: &Element, predicate: &Predicate) -> bool {
+    let matched = resolve_relative(element, &predicate.path);
+    match &predicate.comparison {
+        None => !matched.is_empty(),
+        Some((op, literal)) => matched
+            .iter()
+            .any(|e| compare_text(&e.text(), *op, literal)),
+    }
+}
+
+fn resolve_relative<'a>(element: &'a Element, steps: &[Step]) -> Vec<&'a Element> {
+    let mut current = vec![element];
+    for step in steps {
+        let mut next = Vec::new();
+        for e in current {
+            next.extend(apply_step(e, step));
+        }
+        current = next;
+    }
+    current
+}
+
+/// XPath comparison semantics for our subset: numeric comparison when the
+/// literal is a number and the text parses as one; string comparison
+/// otherwise.
+pub fn compare_text(text: &str, op: CmpOp, literal: &Literal) -> bool {
+    match literal {
+        Literal::Num(n) => match text.trim().parse::<f64>() {
+            Ok(v) => op.eval(v.partial_cmp(n).unwrap_or(std::cmp::Ordering::Greater)),
+            Err(_) => false,
+        },
+        Literal::Str(s) => op.eval(text.cmp(s.as_str())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use xmlshred_xml::parser::parse_element;
+
+    fn movies() -> Element {
+        parse_element(
+            r#"<movies>
+              <movie><title>Titanic</title><year>1997</year>
+                <aka_title>Le Titanic</aka_title><aka_title>Titanik</aka_title>
+                <avg_rating>7.9</avg_rating><box_office>2200</box_office></movie>
+              <movie><title>Friends</title><year>1994</year>
+                <seasons>10</seasons></movie>
+              <movie><title>Avatar</title><year>2009</year>
+                <avg_rating>7.8</avg_rating><box_office>2900</box_office></movie>
+            </movies>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn selection_and_union_projection() {
+        let root = movies();
+        let q = parse_path("//movie[title = \"Titanic\"]/(aka_title | avg_rating)").unwrap();
+        let results = evaluate_query(&root, &q);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().any(|r| r.value == "Le Titanic"));
+        assert!(results.iter().any(|r| r.value == "7.9"));
+        assert!(results.iter().all(|r| r.context_ord == 0));
+    }
+
+    #[test]
+    fn numeric_range_predicate() {
+        let root = movies();
+        let q = parse_path("//movie[year >= 1998]/title").unwrap();
+        let results = evaluate_query(&root, &q);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].value, "Avatar");
+    }
+
+    #[test]
+    fn existence_predicate() {
+        let root = movies();
+        let q = parse_path("//movie[avg_rating]/title").unwrap();
+        let titles: Vec<_> = evaluate_query(&root, &q)
+            .into_iter()
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(titles, vec!["Titanic", "Avatar"]);
+    }
+
+    #[test]
+    fn context_ordinals_in_document_order() {
+        let root = movies();
+        let q = parse_path("//movie/title").unwrap();
+        let results = evaluate_query(&root, &q);
+        let ords: Vec<_> = results.iter().map(|r| r.context_ord).collect();
+        assert_eq!(ords, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn missing_optional_produces_no_rows() {
+        let root = movies();
+        let q = parse_path("//movie/avg_rating").unwrap();
+        // Friends has no avg_rating -> only two rows.
+        assert_eq!(evaluate_query(&root, &q).len(), 2);
+    }
+
+    #[test]
+    fn child_axis_is_strict() {
+        let root = movies();
+        // /movies/title does not exist (titles are under movie).
+        let q = parse_path("/movies/title").unwrap();
+        assert!(evaluate_query(&root, &q).is_empty());
+        let q = parse_path("/movies/movie/title").unwrap();
+        assert_eq!(evaluate_query(&root, &q).len(), 3);
+    }
+
+    #[test]
+    fn descendant_axis_reaches_deep() {
+        let root = parse_element("<a><b><c><d>x</d></c></b></a>").unwrap();
+        let q = parse_path("//d").unwrap();
+        assert_eq!(evaluate_query(&root, &q)[0].value, "x");
+    }
+
+    #[test]
+    fn descendant_axis_can_match_root() {
+        let root = movies();
+        let q = parse_path("//movies/movie/title").unwrap();
+        assert_eq!(evaluate_query(&root, &q).len(), 3);
+    }
+
+    #[test]
+    fn string_inequality() {
+        let root = movies();
+        let q = parse_path("//movie[title != \"Titanic\"]/title").unwrap();
+        assert_eq!(evaluate_query(&root, &q).len(), 2);
+    }
+
+    #[test]
+    fn numeric_compare_on_non_numeric_text_is_false() {
+        assert!(!compare_text("abc", CmpOp::Eq, &Literal::Num(1.0)));
+        assert!(compare_text("1.0", CmpOp::Eq, &Literal::Num(1.0)));
+    }
+
+    #[test]
+    fn multi_step_predicate() {
+        let root = parse_element(
+            "<lib><book><info><isbn>1</isbn></info><t>A</t></book>\
+             <book><info><isbn>2</isbn></info><t>B</t></book></lib>",
+        )
+        .unwrap();
+        let q = parse_path("//book[info/isbn = 2]/t").unwrap();
+        let results = evaluate_query(&root, &q);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].value, "B");
+    }
+
+    #[test]
+    fn wildcard_projection() {
+        let root = movies();
+        let q = parse_path("//movie[title = \"Friends\"]/*").unwrap();
+        // title, year, seasons
+        assert_eq!(evaluate_query(&root, &q).len(), 3);
+    }
+}

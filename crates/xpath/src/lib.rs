@@ -1,0 +1,20 @@
+//! The XPath subset used by the paper: absolute paths over the child (`/`)
+//! and descendant (`//`) axes, value predicates (*selection paths*), and a
+//! final union step listing the *projection elements*, e.g.
+//!
+//! ```text
+//! //movie[title = "Titanic"]/(aka_title | avg_rating)
+//! /dblp/inproceedings[year = "2000"]/(title | author | pages)
+//! ```
+//!
+//! The crate provides the [`ast`], a [`parser`], and a reference [`eval`]
+//! evaluator over the DOM from `xmlshred-xml`. The evaluator is the ground
+//! truth the SQL translation is tested against.
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+
+pub use ast::{Axis, CmpOp, Literal, NameTest, Path, Predicate, Step};
+pub use eval::{evaluate_query, MatchValue};
+pub use parser::parse_path;

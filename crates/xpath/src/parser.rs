@@ -1,0 +1,379 @@
+//! Recursive-descent parser for the XPath subset.
+//!
+//! Grammar (whitespace insignificant except inside string literals):
+//!
+//! ```text
+//! path      := step+
+//! step      := ("//" | "/") test predicate*
+//! test      := NAME | "*" | "(" NAME ("|" NAME)+ ")"
+//! predicate := "[" relpath (op literal)? "]"
+//! relpath   := reltest (("//" | "/") test)*
+//! reltest   := test            -- first step defaults to the child axis
+//! op        := "=" | "!=" | "<=" | ">=" | "<" | ">"
+//! literal   := '"' ... '"' | "'" ... "'" | NUMBER
+//! ```
+
+use crate::ast::{Axis, CmpOp, Literal, NameTest, Path, Predicate, Step};
+use std::fmt;
+
+/// XPath parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parse an absolute XPath query.
+pub fn parse_path(input: &str) -> Result<Path, XPathError> {
+    let mut p = P::new(input);
+    let mut steps = Vec::new();
+    p.skip_ws();
+    loop {
+        let axis = if p.eat("//") {
+            Axis::Descendant
+        } else if p.eat("/") {
+            Axis::Child
+        } else if steps.is_empty() {
+            return Err(p.err("query must start with '/' or '//'"));
+        } else {
+            break;
+        };
+        let test = p.parse_test()?;
+        let mut predicates = Vec::new();
+        p.skip_ws();
+        while p.eat("[") {
+            predicates.push(p.parse_predicate()?);
+            p.skip_ws();
+        }
+        steps.push(Step {
+            axis,
+            test,
+            predicates,
+        });
+        p.skip_ws();
+    }
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    // Union tests are only meaningful as the projection (final) step.
+    for step in &steps[..steps.len() - 1] {
+        if matches!(step.test, NameTest::Union(_)) {
+            return Err(XPathError {
+                offset: 0,
+                message: "union node tests are only supported in the final step".into(),
+            });
+        }
+    }
+    Ok(Path { steps })
+}
+
+struct P<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(input: &'a str) -> Self {
+        P { input, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn err(&self, message: impl Into<String>) -> XPathError {
+        XPathError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XPathError> {
+        let start = self.pos;
+        for ch in self.rest().chars() {
+            if ch.is_alphanumeric() || matches!(ch, '_' | '-' | '.') {
+                self.pos += ch.len_utf8();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected an element name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_test(&mut self) -> Result<NameTest, XPathError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(NameTest::Wildcard);
+        }
+        if self.eat("(") {
+            let mut names = Vec::new();
+            loop {
+                self.skip_ws();
+                names.push(self.parse_name()?);
+                self.skip_ws();
+                if self.eat("|") {
+                    continue;
+                }
+                if self.eat(")") {
+                    break;
+                }
+                return Err(self.err("expected '|' or ')' in union test"));
+            }
+            if names.len() == 1 {
+                return Ok(NameTest::Name(names.pop().expect("one name")));
+            }
+            return Ok(NameTest::Union(names));
+        }
+        Ok(NameTest::Name(self.parse_name()?))
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, XPathError> {
+        // Relative path: first step has an implicit child axis unless written
+        // with '/' or '//'.
+        let mut steps = Vec::new();
+        self.skip_ws();
+        let first_axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            let _ = self.eat("/");
+            Axis::Child
+        };
+        let test = self.parse_test()?;
+        steps.push(Step {
+            axis: first_axis,
+            test,
+            predicates: Vec::new(),
+        });
+        loop {
+            self.skip_ws();
+            let axis = if self.eat("//") {
+                Axis::Descendant
+            } else if self.rest().starts_with('/') && !self.rest().starts_with("//") {
+                self.pos += 1;
+                Axis::Child
+            } else {
+                break;
+            };
+            let test = self.parse_test()?;
+            steps.push(Step {
+                axis,
+                test,
+                predicates: Vec::new(),
+            });
+        }
+        self.skip_ws();
+        let comparison = if self.eat("]") {
+            return Ok(Predicate {
+                path: steps,
+                comparison: None,
+            });
+        } else {
+            let op = self.parse_op()?;
+            self.skip_ws();
+            let literal = self.parse_literal()?;
+            Some((op, literal))
+        };
+        self.skip_ws();
+        if !self.eat("]") {
+            return Err(self.err("expected ']' to close predicate"));
+        }
+        Ok(Predicate {
+            path: steps,
+            comparison,
+        })
+    }
+
+    fn parse_op(&mut self) -> Result<CmpOp, XPathError> {
+        for (token, op) in [
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(token) {
+                return Ok(op);
+            }
+        }
+        Err(self.err("expected a comparison operator"))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, XPathError> {
+        for quote in ['"', '\''] {
+            if self.rest().starts_with(quote) {
+                self.pos += 1;
+                let start = self.pos;
+                match self.rest().find(quote) {
+                    Some(rel) => {
+                        let value = self.input[start..start + rel].to_string();
+                        self.pos = start + rel + 1;
+                        return Ok(Literal::Str(value));
+                    }
+                    None => return Err(self.err("unterminated string literal")),
+                }
+            }
+        }
+        let start = self.pos;
+        let mut seen_digit = false;
+        if self.rest().starts_with('-') {
+            self.pos += 1;
+        }
+        for ch in self.rest().chars() {
+            if ch.is_ascii_digit() {
+                seen_digit = true;
+                self.pos += 1;
+            } else if ch == '.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if !seen_digit {
+            return Err(self.err("expected a literal"));
+        }
+        let value: f64 = self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.err("invalid number"))?;
+        Ok(Literal::Num(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_movie_query() {
+        let path = parse_path("//movie[title = \"Titanic\"]/(aka_title | avg_rating)").unwrap();
+        assert_eq!(path.steps.len(), 2);
+        assert_eq!(path.steps[0].axis, Axis::Descendant);
+        assert_eq!(path.steps[0].predicates.len(), 1);
+        assert_eq!(path.projection_count(), 2);
+    }
+
+    #[test]
+    fn parses_paper_dblp_query() {
+        let q = "/dblp/inproceedings[year=\"2000\"]/(title | year | cdrom | cite | author | editor | pages | booktitle | ee)";
+        let path = parse_path(q).unwrap();
+        assert_eq!(path.steps.len(), 3);
+        assert_eq!(path.steps[1].predicates.len(), 1);
+        assert_eq!(path.projection_count(), 9);
+    }
+
+    #[test]
+    fn parses_no_predicate_query() {
+        let path = parse_path("/dblp/inproceedings/(title | author)").unwrap();
+        assert_eq!(path.steps.len(), 3);
+        assert!(path.steps.iter().all(|s| s.predicates.is_empty()));
+    }
+
+    #[test]
+    fn numeric_and_range_predicates() {
+        let path = parse_path("//movie[year >= 1998]/(title | box_office)").unwrap();
+        let pred = &path.steps[0].predicates[0];
+        assert_eq!(
+            pred.comparison,
+            Some((CmpOp::Ge, Literal::Num(1998.0)))
+        );
+    }
+
+    #[test]
+    fn existence_predicate() {
+        let path = parse_path("//movie[avg_rating]/title").unwrap();
+        assert!(path.steps[0].predicates[0].comparison.is_none());
+    }
+
+    #[test]
+    fn multi_step_predicate_path() {
+        let path = parse_path("//book[author/name = 'Knuth']/title").unwrap();
+        assert_eq!(path.steps[0].predicates[0].path.len(), 2);
+    }
+
+    #[test]
+    fn single_name_union_collapses() {
+        let path = parse_path("//movie/(title)").unwrap();
+        assert_eq!(path.steps[1].test, NameTest::Name("title".into()));
+    }
+
+    #[test]
+    fn union_in_middle_rejected() {
+        assert!(parse_path("//(a | b)/c").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_path("//movie/title!").is_err());
+    }
+
+    #[test]
+    fn missing_leading_slash_rejected() {
+        assert!(parse_path("movie/title").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(parse_path("//movie[title = \"x]/y").is_err());
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for q in [
+            "//movie[title = \"Titanic\"]/(aka_title | avg_rating)",
+            "/dblp/inproceedings[year = \"2000\"]/(title | author)",
+            "//movie[year >= 1998]/(title | box_office)",
+            "//book[author = \"Knuth\"]/title",
+            "/dblp/inproceedings/title",
+        ] {
+            let parsed = parse_path(q).unwrap();
+            let printed = parsed.to_string();
+            let reparsed = parse_path(&printed).unwrap();
+            assert_eq!(parsed, reparsed, "roundtrip failed for {q}");
+        }
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let path = parse_path("//movie/*").unwrap();
+        assert_eq!(path.steps[1].test, NameTest::Wildcard);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let path = parse_path("  //movie[ title = 'x' ] / ( a | b )  ").unwrap();
+        assert_eq!(path.projection_count(), 2);
+    }
+}

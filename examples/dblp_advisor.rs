@@ -1,0 +1,93 @@
+//! Run the three search algorithms (Greedy, Naive-Greedy, Two-Step) on a
+//! DBLP-like dataset and compare recommendation quality and search effort —
+//! a miniature of the paper's Section 5.2 experiment.
+//!
+//! ```sh
+//! cargo run --release --example dblp_advisor
+//! ```
+
+use xmlshred::core::quality::measure_quality;
+use xmlshred::data::dblp::{generate_dblp, DblpConfig};
+use xmlshred::data::workload::{dblp_workload, Projections, Selectivity, WorkloadSpec};
+use xmlshred::prelude::*;
+
+fn main() {
+    let config = DblpConfig {
+        n_inproceedings: 8_000,
+        n_books: 800,
+        ..DblpConfig::default()
+    };
+    let dataset = generate_dblp(&config);
+    println!(
+        "dataset: {} inproceedings + {} books (~{} elements)",
+        config.n_inproceedings,
+        config.n_books,
+        dataset.document.subtree_size()
+    );
+
+    let spec = WorkloadSpec {
+        projections: Projections::Low,
+        selectivity: Selectivity::Low,
+        n_queries: 10,
+        seed: 11,
+    };
+    let workload = dblp_workload(&spec, config.years, config.n_conferences);
+    println!("\nworkload {} ({} queries):", workload.name, workload.queries.len());
+    for text in workload.texts() {
+        println!("  {text}");
+    }
+
+    let source = SourceStats::collect(&dataset.tree, &dataset.document);
+    let space_budget = 3.0 * dataset.approx_bytes() as f64; // paper: 3x data size
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload.queries,
+        space_budget,
+    };
+
+    // Hybrid-inlining baseline (the paper's normalization reference).
+    let hybrid = Mapping::hybrid(&dataset.tree);
+    let hybrid_quality = xmlshred::core::quality::measure_quality_with_tuning(
+        &dataset.tree,
+        &dataset.document,
+        &workload.queries,
+        &hybrid,
+        space_budget,
+    );
+    println!("\nhybrid inlining (tuned): measured cost {:.0}", hybrid_quality.measured_cost);
+
+    for (name, outcome) in [
+        ("Greedy", greedy_search(&ctx, &GreedyOptions::default())),
+        ("Two-Step", two_step_search(&ctx, 8)),
+        ("Naive-Greedy", naive_greedy_search(&ctx, 3)),
+    ] {
+        let quality = measure_quality(
+            &dataset.tree,
+            &dataset.document,
+            &workload.queries,
+            &outcome.mapping,
+            &outcome.config,
+        );
+        println!(
+            "\n{name}:\n  estimated cost {:.0}, measured cost {:.0} ({:.2}x hybrid)\n  \
+             searched {} transformations, {} tool calls, {} optimizer calls, in {:?}\n  \
+             physical design: {} indexes, {} views",
+            outcome.estimated_cost,
+            quality.measured_cost,
+            quality.measured_cost / hybrid_quality.measured_cost,
+            outcome.stats.transformations_searched,
+            outcome.stats.physical_tool_calls,
+            outcome.stats.optimizer_calls,
+            outcome.stats.elapsed,
+            outcome.config.indexes.len(),
+            outcome.config.views.len(),
+        );
+        if !outcome.mapping.rep_splits.is_empty() {
+            println!("  repetition splits: {:?}", outcome.mapping.rep_splits);
+        }
+        if !outcome.mapping.partitions.is_empty() {
+            println!("  horizontal partitions on {} tables", outcome.mapping.partitions.len());
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The `xmlshred` command-line tool: the advisor as a downstream user would
+//! run it on their own schema, data, and workload.
+//!
+//! ```sh
+//! xmlshred schema  <schema.xsd|schema.dtd>
+//! xmlshred shred   <schema> <doc.xml> [--out DIR]
+//! xmlshred sql     <schema> "<xpath>"
+//! xmlshred query   <schema> <doc.xml> "<xpath>"
+//! xmlshred advise  <schema> <doc.xml> <workload.txt> [--budget-mb N]
+//! ```
+//!
+//! Schemas ending in `.dtd` are parsed as DTDs (paper footnote 3); anything
+//! else is parsed as XSD. A workload file holds one XPath query per line
+//! (optionally `weight<TAB>query`); `#` lines are comments.
+
+use std::path::Path as FsPath;
+use std::process::ExitCode;
+use xmlshred::core::quality::measure_quality;
+use xmlshred::prelude::*;
+use xmlshred::rel::ddl::{create_index_sql, create_table_sql, create_view_sql};
+use xmlshred::shred::schema::derive_schema;
+use xmlshred::translate::assemble::reassemble;
+use xmlshred::xml::dom::Element;
+use xmlshred::xml::dtd::dtd_to_tree;
+use xmlshred::xml::parser::parse_document;
+use xmlshred::xml::tree::SchemaTree as Tree;
+use xmlshred::xpath::ast::Path;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  xmlshred schema  <schema.xsd|schema.dtd>
+  xmlshred shred   <schema> <doc.xml> [--out DIR]
+  xmlshred sql     <schema> \"<xpath>\"
+  xmlshred query   <schema> <doc.xml> \"<xpath>\"
+  xmlshred advise  <schema> <doc.xml> <workload.txt> [--budget-mb N]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "schema" => cmd_schema(args.get(1).ok_or("missing schema path")?),
+        "shred" => cmd_shred(
+            args.get(1).ok_or("missing schema path")?,
+            args.get(2).ok_or("missing document path")?,
+            flag_value(args, "--out"),
+        ),
+        "sql" => cmd_sql(
+            args.get(1).ok_or("missing schema path")?,
+            args.get(2).ok_or("missing query")?,
+        ),
+        "query" => cmd_query(
+            args.get(1).ok_or("missing schema path")?,
+            args.get(2).ok_or("missing document path")?,
+            args.get(3).ok_or("missing query")?,
+        ),
+        "advise" => cmd_advise(
+            args.get(1).ok_or("missing schema path")?,
+            args.get(2).ok_or("missing document path")?,
+            args.get(3).ok_or("missing workload path")?,
+            flag_value(args, "--budget-mb")
+                .map(|v| v.parse::<f64>().map_err(|_| "bad --budget-mb"))
+                .transpose()?,
+        ),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+}
+
+fn load_tree(path: &str) -> Result<Tree, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".dtd") {
+        dtd_to_tree(&text).map_err(|e| e.to_string())
+    } else {
+        parse_to_tree(&text).map_err(|e| e.to_string())
+    }
+}
+
+fn load_doc(path: &str) -> Result<Element, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_document(&text)
+        .map(|d| d.root)
+        .map_err(|e| e.to_string())
+}
+
+fn load_workload(path: &str) -> Result<Vec<(Path, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut out = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (weight, query_text) = match line.split_once('\t') {
+            Some((w, q)) => (
+                w.parse::<f64>()
+                    .map_err(|_| format!("line {}: bad weight '{w}'", line_no + 1))?,
+                q,
+            ),
+            None => (1.0, line),
+        };
+        let query =
+            parse_path(query_text).map_err(|e| format!("line {}: {e}", line_no + 1))?;
+        out.push((query, weight));
+    }
+    if out.is_empty() {
+        return Err("workload is empty".into());
+    }
+    Ok(out)
+}
+
+fn cmd_schema(schema_path: &str) -> Result<(), String> {
+    let tree = load_tree(schema_path)?;
+    println!("=== schema tree ===\n{}", tree.dump());
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+    println!("=== hybrid-inlining relational schema ===\n");
+    for def in schema.to_table_defs() {
+        println!("{}\n", create_table_sql(&def));
+    }
+    Ok(())
+}
+
+fn cmd_shred(schema_path: &str, doc_path: &str, out_dir: Option<&String>) -> Result<(), String> {
+    let tree = load_tree(schema_path)?;
+    let document = load_doc(doc_path)?;
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+    let db = load_database(&tree, &mapping, &schema, &[&document]).map_err(|e| e.to_string())?;
+
+    for table in &schema.tables {
+        let id = db.catalog().table_id(&table.name).map_err(|e| e.to_string())?;
+        let heap = db.heap(id);
+        println!("{}: {} rows, {} pages", table.name, heap.len(), heap.pages());
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let path = FsPath::new(dir).join(format!("{}.csv", table.name));
+            let mut csv = String::new();
+            let names: Vec<&str> = table.columns.iter().map(|c| c.name.as_str()).collect();
+            csv.push_str(&names.join(","));
+            csv.push('\n');
+            for row in heap.rows() {
+                let cells: Vec<String> = row.iter().map(csv_cell).collect();
+                csv.push_str(&cells.join(","));
+                csv.push('\n');
+            }
+            std::fs::write(&path, csv).map_err(|e| e.to_string())?;
+            println!("  -> {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+fn csv_cell(value: &xmlshred::rel::types::Value) -> String {
+    use xmlshred::rel::types::Value;
+    match value {
+        Value::Null => String::new(),
+        Value::Int(v) => v.to_string(),
+        Value::Float(v) => v.to_string(),
+        Value::Str(s) => {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+    }
+}
+
+fn cmd_sql(schema_path: &str, query_text: &str) -> Result<(), String> {
+    let tree = load_tree(schema_path)?;
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+    let mut catalog = xmlshred::rel::Catalog::new();
+    for def in schema.to_table_defs() {
+        catalog.add_table(def).map_err(|e| e.to_string())?;
+    }
+    let query = parse_path(query_text).map_err(|e| e.to_string())?;
+    let translated = translate(&tree, &mapping, &schema, &query).map_err(|e| e.to_string())?;
+    println!("{}", translated.sql.to_sql(&catalog));
+    Ok(())
+}
+
+fn cmd_query(schema_path: &str, doc_path: &str, query_text: &str) -> Result<(), String> {
+    let tree = load_tree(schema_path)?;
+    let document = load_doc(doc_path)?;
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+    let db = load_database(&tree, &mapping, &schema, &[&document]).map_err(|e| e.to_string())?;
+    let query = parse_path(query_text).map_err(|e| e.to_string())?;
+    let translated = translate(&tree, &mapping, &schema, &query).map_err(|e| e.to_string())?;
+    let outcome = db.execute(&translated.sql).map_err(|e| e.to_string())?;
+    for triple in reassemble(&outcome.rows, &translated.shape) {
+        println!(
+            "#{}\t<{}>{}</{}>",
+            triple.context_id, triple.tag, triple.value, triple.tag
+        );
+    }
+    eprintln!(
+        "-- {} rows, measured cost {:.2}, {:?}",
+        outcome.rows.len(),
+        outcome.exec.measured_cost(),
+        outcome.elapsed
+    );
+    Ok(())
+}
+
+fn cmd_advise(
+    schema_path: &str,
+    doc_path: &str,
+    workload_path: &str,
+    budget_mb: Option<f64>,
+) -> Result<(), String> {
+    let tree = load_tree(schema_path)?;
+    let document = load_doc(doc_path)?;
+    let workload = load_workload(workload_path)?;
+    let source = SourceStats::collect(&tree, &document);
+    let budget = budget_mb
+        .map(|mb| mb * 1e6)
+        .unwrap_or(3.0 * document.subtree_size() as f64 * 40.0);
+
+    let ctx = EvalContext {
+        tree: &tree,
+        source: &source,
+        workload: &workload,
+        space_budget: budget,
+    };
+    let outcome = greedy_search(&ctx, &GreedyOptions::default());
+
+    println!("-- recommended logical design (estimated workload cost {:.1})", outcome.estimated_cost);
+    let schema = derive_schema(&tree, &outcome.mapping);
+    for def in schema.to_table_defs() {
+        println!("{}\n", create_table_sql(&def));
+    }
+    println!("-- recommended physical design");
+    let mut catalog = xmlshred::rel::Catalog::new();
+    for def in schema.to_table_defs() {
+        catalog.add_table(def).map_err(|e| e.to_string())?;
+    }
+    for index in &outcome.config.indexes {
+        println!("{}", create_index_sql(&catalog, index));
+    }
+    for view in &outcome.config.views {
+        println!("{}", create_view_sql(&catalog, view));
+    }
+
+    let quality = measure_quality(&tree, &document, &workload, &outcome.mapping, &outcome.config);
+    println!(
+        "\n-- measured workload cost {:.1} over {} queries ({} skipped), search took {:?}",
+        quality.measured_cost,
+        workload.len(),
+        quality.skipped,
+        outcome.stats.elapsed
+    );
+    Ok(())
+}

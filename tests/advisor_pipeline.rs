@@ -1,0 +1,163 @@
+//! Integration tests for the full advisor pipeline: the three search
+//! algorithms, their instrumentation, and the paper's qualitative claims at
+//! test scale.
+
+use xmlshred::core::quality::{measure_quality, measure_quality_with_tuning};
+use xmlshred::data::dblp::{generate_dblp, DblpConfig};
+use xmlshred::data::workload::{dblp_workload, Projections, Selectivity, WorkloadSpec};
+use xmlshred::prelude::*;
+
+fn setup() -> (
+    xmlshred::data::Dataset,
+    SourceStats,
+    Vec<(xmlshred::xpath::ast::Path, f64)>,
+    f64,
+) {
+    let config = DblpConfig {
+        n_inproceedings: 2_000,
+        n_books: 200,
+        ..DblpConfig::default()
+    };
+    let dataset = generate_dblp(&config);
+    let source = SourceStats::collect(&dataset.tree, &dataset.document);
+    let spec = WorkloadSpec {
+        projections: Projections::Low,
+        selectivity: Selectivity::Low,
+        n_queries: 6,
+        seed: 5,
+    };
+    let workload = dblp_workload(&spec, config.years, config.n_conferences).queries;
+    let budget = 3.0 * dataset.approx_bytes() as f64;
+    (dataset, source, workload, budget)
+}
+
+#[test]
+fn greedy_beats_or_matches_tuned_hybrid_in_measured_cost() {
+    let (dataset, source, workload, budget) = setup();
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload,
+        space_budget: budget,
+    };
+    let outcome = greedy_search(&ctx, &GreedyOptions::default());
+    let greedy_quality = measure_quality(
+        &dataset.tree,
+        &dataset.document,
+        &workload,
+        &outcome.mapping,
+        &outcome.config,
+    );
+    let hybrid_quality = measure_quality_with_tuning(
+        &dataset.tree,
+        &dataset.document,
+        &workload,
+        &Mapping::hybrid(&dataset.tree),
+        budget,
+    );
+    assert_eq!(greedy_quality.skipped, 0);
+    // The recommendation must not be substantially worse than the tuned
+    // default mapping (the paper's Fig. 4 normalization never exceeds ~1).
+    assert!(
+        greedy_quality.measured_cost <= hybrid_quality.measured_cost * 1.15,
+        "greedy {} vs hybrid {}",
+        greedy_quality.measured_cost,
+        hybrid_quality.measured_cost
+    );
+}
+
+#[test]
+fn greedy_searches_far_fewer_transformations_than_naive() {
+    let (dataset, source, workload, budget) = setup();
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload,
+        space_budget: budget,
+    };
+    let greedy = greedy_search(&ctx, &GreedyOptions::default());
+    let naive = naive_greedy_search(&ctx, 2);
+    assert!(
+        naive.stats.transformations_searched > 2 * greedy.stats.transformations_searched,
+        "naive {} vs greedy {}",
+        naive.stats.transformations_searched,
+        greedy.stats.transformations_searched
+    );
+    assert!(naive.stats.optimizer_calls > greedy.stats.optimizer_calls);
+}
+
+#[test]
+fn two_step_runs_physical_design_once() {
+    let (dataset, source, workload, budget) = setup();
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload,
+        space_budget: budget,
+    };
+    let twostep = two_step_search(&ctx, 4);
+    assert_eq!(twostep.stats.physical_tool_calls, 1);
+    assert!(twostep.estimated_cost.is_finite());
+}
+
+#[test]
+fn search_is_deterministic() {
+    let (dataset, source, workload, budget) = setup();
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload,
+        space_budget: budget,
+    };
+    let a = greedy_search(&ctx, &GreedyOptions::default());
+    let b = greedy_search(&ctx, &GreedyOptions::default());
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.estimated_cost, b.estimated_cost);
+    assert_eq!(
+        a.stats.transformations_searched,
+        b.stats.transformations_searched
+    );
+}
+
+#[test]
+fn storage_budget_is_respected_by_recommendation() {
+    let (dataset, source, workload, _) = setup();
+    // A deliberately small budget: a tenth of the data size.
+    let budget = 0.1 * dataset.approx_bytes() as f64;
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload,
+        space_budget: budget,
+    };
+    let outcome = greedy_search(&ctx, &GreedyOptions::default());
+    let prepared = ctx.prepare(&outcome.mapping);
+    let bytes = xmlshred::rel::optimizer::config_bytes(
+        &prepared.catalog,
+        &prepared.stats,
+        &outcome.config,
+    );
+    assert!(
+        bytes <= budget * 1.001,
+        "config {bytes} exceeds budget {budget}"
+    );
+}
+
+#[test]
+fn larger_budget_never_hurts_estimated_cost() {
+    let (dataset, source, workload, _) = setup();
+    let costs: Vec<f64> = [0.05f64, 0.5, 3.0]
+        .iter()
+        .map(|&factor| {
+            let ctx = EvalContext {
+                tree: &dataset.tree,
+                source: &source,
+                workload: &workload,
+                space_budget: factor * dataset.approx_bytes() as f64,
+            };
+            greedy_search(&ctx, &GreedyOptions::default()).estimated_cost
+        })
+        .collect();
+    assert!(costs[0] >= costs[1] * 0.999, "{costs:?}");
+    assert!(costs[1] >= costs[2] * 0.999, "{costs:?}");
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the `xmlshred` command-line tool, driving the real
+//! binary end to end on a temporary schema + document + workload.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("xmlshred-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("lib.dtd"),
+            "<!ELEMENT library (book*)>\n\
+             <!ELEMENT book (title, year, author*, isbn?)>\n\
+             <!ELEMENT title (#PCDATA)>\n<!ELEMENT year (#PCDATA)>\n\
+             <!ELEMENT author (#PCDATA)>\n<!ELEMENT isbn (#PCDATA)>\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("lib.xml"),
+            "<library>\
+               <book><title>TAOCP</title><year>1968</year><author>Knuth</author>\
+                 <isbn>0-201</isbn></book>\
+               <book><title>SICP</title><year>1985</year><author>Abelson</author>\
+                 <author>Sussman</author></book>\
+             </library>",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("workload.txt"),
+            "# comment line\n//book[year >= 1980]/(title | author)\n2.0\t//book/title\n",
+        )
+        .unwrap();
+        Fixture { dir }
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn run(&self, args: &[&str]) -> (bool, String, String) {
+        let output = Command::new(env!("CARGO_BIN_EXE_xmlshred"))
+            .args(args)
+            .output()
+            .expect("binary runs");
+        (
+            output.status.success(),
+            String::from_utf8_lossy(&output.stdout).into_owned(),
+            String::from_utf8_lossy(&output.stderr).into_owned(),
+        )
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[test]
+fn schema_command_prints_tree_and_ddl() {
+    let f = Fixture::new("schema");
+    let (ok, stdout, _) = f.run(&["schema", &f.path("lib.dtd")]);
+    assert!(ok);
+    assert!(stdout.contains("book (book)"));
+    assert!(stdout.contains("CREATE TABLE book"));
+    assert!(stdout.contains("CREATE TABLE author"));
+}
+
+#[test]
+fn shred_command_writes_csvs() {
+    let f = Fixture::new("shred");
+    let out = f.path("out");
+    let (ok, stdout, _) = f.run(&["shred", &f.path("lib.dtd"), &f.path("lib.xml"), "--out", &out]);
+    assert!(ok, "{stdout}");
+    let book_csv = std::fs::read_to_string(format!("{out}/book.csv")).unwrap();
+    assert!(book_csv.starts_with("ID,PID,title,year,isbn"));
+    assert!(book_csv.contains("TAOCP"));
+    let author_csv = std::fs::read_to_string(format!("{out}/author.csv")).unwrap();
+    assert_eq!(author_csv.lines().count(), 1 + 3);
+}
+
+#[test]
+fn sql_command_emits_outer_union() {
+    let f = Fixture::new("sql");
+    let (ok, stdout, _) = f.run(&["sql", &f.path("lib.dtd"), "//book[year = 1985]/(title | author)"]);
+    assert!(ok);
+    assert!(stdout.contains("UNION ALL"));
+    assert!(stdout.contains("ORDER BY 1"));
+}
+
+#[test]
+fn query_command_returns_results() {
+    let f = Fixture::new("query");
+    let (ok, stdout, _) = f.run(&[
+        "query",
+        &f.path("lib.dtd"),
+        &f.path("lib.xml"),
+        "//book[year >= 1980]/(title | author)",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("<title>SICP</title>"));
+    assert!(stdout.contains("<author>Sussman</author>"));
+    assert!(!stdout.contains("TAOCP"));
+}
+
+#[test]
+fn advise_command_recommends_design() {
+    let f = Fixture::new("advise");
+    let (ok, stdout, _) = f.run(&[
+        "advise",
+        &f.path("lib.dtd"),
+        &f.path("lib.xml"),
+        &f.path("workload.txt"),
+        "--budget-mb",
+        "10",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("recommended logical design"));
+    assert!(stdout.contains("CREATE TABLE"));
+    assert!(stdout.contains("measured workload cost"));
+}
+
+#[test]
+fn bad_inputs_fail_with_usage() {
+    let f = Fixture::new("bad");
+    let (ok, _, stderr) = f.run(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+    let (ok, _, stderr) = f.run(&["schema", "/nonexistent.xsd"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+    let (ok, _, stderr) = f.run(&["query", &f.path("lib.dtd"), &f.path("lib.xml"), "not an xpath"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"));
+}

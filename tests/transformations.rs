@@ -1,0 +1,156 @@
+//! Integration tests for the transformation semantics the paper leans on:
+//! the Section 3.3 deep-merge example (merging the two `title` types after
+//! inlining), Theorem 1 (subsumed transformations produce vertical
+//! partitionings of the fully inlined schema), and multi-document loading.
+
+use xmlshred::data::dblp::{generate_dblp, DblpConfig};
+use xmlshred::prelude::*;
+use xmlshred::shred::schema::{derive_schema, ColumnSource};
+use xmlshred::shred::shredder::load_database;
+use xmlshred::shred::transform::enumerate_transformations;
+use xmlshred::translate::assemble::reassemble;
+use xmlshred::xml::parser::parse_element;
+use xmlshred::xpath::eval::evaluate_query;
+
+/// Section 3.3: the two structurally equal `title` elements of DBLP can be
+/// merged into one shared table, and queries stay correct.
+#[test]
+fn deep_merge_of_titles_keeps_queries_correct() {
+    let dataset = generate_dblp(&DblpConfig {
+        n_inproceedings: 120,
+        n_books: 30,
+        ..DblpConfig::default()
+    });
+    let tree = &dataset.tree;
+    let hybrid = Mapping::hybrid(tree);
+
+    // The type-merge candidate must be enumerable without any prior
+    // inlining (deep merge exposes it; Section 4.3).
+    let titles: Vec<_> = tree
+        .node_ids()
+        .filter(|&n| tree.node(n).kind.tag_name() == Some("title"))
+        .collect();
+    assert_eq!(titles.len(), 2);
+    let merge = enumerate_transformations(tree, &hybrid, &|_| 5)
+        .into_iter()
+        .find(|t| matches!(t, Transformation::TypeMerge { nodes, .. } if nodes.len() == 2 && nodes.iter().all(|n| titles.contains(n))))
+        .expect("title merge enumerated");
+
+    let merged = merge.apply(tree, &hybrid).unwrap();
+    let schema = derive_schema(tree, &merged);
+    // One shared title table holding titles of both entry kinds.
+    let title_table = schema
+        .tables
+        .iter()
+        .find(|t| t.anchors.len() == 2 && t.anchors.iter().all(|a| titles.contains(a)))
+        .expect("shared title table");
+    let db = load_database(tree, &merged, &schema, &[&dataset.document]).unwrap();
+    let tid = db.catalog().table_id(&title_table.name).unwrap();
+    assert_eq!(db.heap(tid).len(), 150); // 120 inproceedings + 30 books
+
+    for query in [
+        "/dblp/inproceedings[booktitle = \"CONF7\"]/title",
+        "/dblp/book/(title | publisher)",
+    ] {
+        let path = parse_path(query).unwrap();
+        let mut expected: Vec<(String, String)> = evaluate_query(&dataset.document, &path)
+            .into_iter()
+            .map(|m| (m.tag, m.value))
+            .collect();
+        expected.sort();
+        let translated = translate(tree, &merged, &schema, &path).unwrap();
+        let outcome = db.execute(&translated.sql).unwrap();
+        let mut got: Vec<(String, String)> = reassemble(&outcome.rows, &translated.shape)
+            .into_iter()
+            .map(|t| (t.tag, t.value))
+            .collect();
+        got.sort();
+        assert_eq!(got, expected, "{query}");
+    }
+}
+
+/// Theorem 1: any outlining produces a vertical partitioning — the union of
+/// the data columns across the affected tables equals the fully inlined
+/// table's columns, with shared ID/PID linkage.
+#[test]
+fn outlining_is_a_vertical_partitioning() {
+    let dataset = generate_dblp(&DblpConfig {
+        n_inproceedings: 50,
+        n_books: 10,
+        ..DblpConfig::default()
+    });
+    let tree = &dataset.tree;
+    let hybrid = Mapping::hybrid(tree);
+    let base_schema = derive_schema(tree, &hybrid);
+    let inproc = base_schema.table_by_name("inproceedings").unwrap();
+    let base_leaf_columns: Vec<_> = inproc
+        .columns
+        .iter()
+        .filter(|c| matches!(c.source, ColumnSource::Leaf(_)))
+        .map(|c| c.source.clone())
+        .collect();
+
+    // Outline every inlined leaf of inproceedings, one at a time; each time
+    // the union of leaf columns across inproc + the outlined table must be
+    // preserved.
+    for leaf_source in &base_leaf_columns {
+        let ColumnSource::Leaf(leaf) = leaf_source else {
+            unreachable!()
+        };
+        let outlined = Transformation::Outline(*leaf).apply(tree, &hybrid).unwrap();
+        let schema = derive_schema(tree, &outlined);
+        let mut all_leaves: Vec<ColumnSource> = schema
+            .tables
+            .iter()
+            .flat_map(|t| {
+                t.columns
+                    .iter()
+                    .filter(|c| matches!(c.source, ColumnSource::Leaf(_)))
+                    .map(|c| c.source.clone())
+            })
+            .collect();
+        all_leaves.sort_by_key(|s| format!("{s:?}"));
+        let mut base_all: Vec<ColumnSource> = base_schema
+            .tables
+            .iter()
+            .flat_map(|t| {
+                t.columns
+                    .iter()
+                    .filter(|c| matches!(c.source, ColumnSource::Leaf(_)))
+                    .map(|c| c.source.clone())
+            })
+            .collect();
+        base_all.sort_by_key(|s| format!("{s:?}"));
+        assert_eq!(all_leaves, base_all, "outlining lost or duplicated a column");
+    }
+}
+
+/// Loading several documents accumulates rows with globally unique IDs.
+#[test]
+fn multi_document_loading() {
+    let tree = parse_to_tree(
+        r#"<xs:schema xmlns:xs="x"><xs:element name="r"><xs:complexType><xs:sequence>
+          <xs:element name="item" maxOccurs="unbounded">
+            <xs:complexType><xs:sequence>
+              <xs:element name="v" type="xs:integer"/>
+            </xs:sequence></xs:complexType>
+          </xs:element>
+        </xs:sequence></xs:complexType></xs:element></xs:schema>"#,
+    )
+    .unwrap();
+    let doc1 = parse_element("<r><item><v>1</v></item><item><v>2</v></item></r>").unwrap();
+    let doc2 = parse_element("<r><item><v>3</v></item></r>").unwrap();
+    let mapping = Mapping::hybrid(&tree);
+    let schema = derive_schema(&tree, &mapping);
+    let db = load_database(&tree, &mapping, &schema, &[&doc1, &doc2]).unwrap();
+    let items = db.catalog().table_id("item").unwrap();
+    assert_eq!(db.heap(items).len(), 3);
+    let mut ids: Vec<_> = db.heap(items).rows().iter().map(|r| r[0].clone()).collect();
+    let n = ids.len();
+    ids.sort();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "IDs must stay unique across documents");
+    // Two root rows, one per document.
+    let roots = db.catalog().table_id("r").unwrap();
+    assert_eq!(db.heap(roots).len(), 2);
+}
