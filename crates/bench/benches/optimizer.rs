@@ -15,8 +15,7 @@ fn bench_optimizer(c: &mut Criterion) {
     let dataset = BenchScale(0.05).dblp();
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let workload = vec![(
-        parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)")
-            .unwrap(),
+        parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)").unwrap(),
         1.0,
     )];
     let ctx = EvalContext {
@@ -32,14 +31,10 @@ fn bench_optimizer(c: &mut Criterion) {
     let guess = best_guess_config(&prepared);
 
     c.bench_function("plan_query_no_indexes", |b| {
-        b.iter(|| {
-            plan_query(&prepared.catalog, &prepared.stats, &empty, black_box(sql)).unwrap()
-        })
+        b.iter(|| plan_query(&prepared.catalog, &prepared.stats, &empty, black_box(sql)).unwrap())
     });
     c.bench_function("plan_query_pk_fk_indexes", |b| {
-        b.iter(|| {
-            plan_query(&prepared.catalog, &prepared.stats, &guess, black_box(sql)).unwrap()
-        })
+        b.iter(|| plan_query(&prepared.catalog, &prepared.stats, &guess, black_box(sql)).unwrap())
     });
     c.bench_function("prepare_mapping", |b| {
         let mapping = Mapping::hybrid(&dataset.tree);

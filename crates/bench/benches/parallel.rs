@@ -1,0 +1,59 @@
+//! Microbenchmark: Greedy advisor wall-clock across worker-thread counts
+//! with the what-if plan cache on and off. The recommendation is
+//! bit-identical in every cell; only running time changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::{greedy_search, EvalContext, GreedyOptions};
+use xmlshred_data::workload::{dblp_workload, Projections, Selectivity, WorkloadSpec};
+use xmlshred_shred::source_stats::SourceStats;
+
+fn bench_parallel(c: &mut Criterion) {
+    let scale = BenchScale(0.02);
+    let dataset = scale.dblp();
+    let config = scale.dblp_config();
+    let source = SourceStats::collect(&dataset.tree, &dataset.document);
+    let workload = dblp_workload(
+        &WorkloadSpec {
+            projections: Projections::High,
+            selectivity: Selectivity::Low,
+            n_queries: 5,
+            seed: 17,
+        },
+        config.years,
+        config.n_conferences,
+    );
+    let ctx = EvalContext {
+        tree: &dataset.tree,
+        source: &source,
+        workload: &workload.queries,
+        space_budget: 1e12,
+    };
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        for plan_cache in [true, false] {
+            let label = format!(
+                "greedy/threads={threads}/cache={}",
+                if plan_cache { "on" } else { "off" }
+            );
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    greedy_search(
+                        &ctx,
+                        &GreedyOptions {
+                            threads,
+                            plan_cache,
+                            ..GreedyOptions::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

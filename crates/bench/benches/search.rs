@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use xmlshred_bench::harness::BenchScale;
-use xmlshred_core::{greedy_search, naive_greedy_search, two_step_search, EvalContext, GreedyOptions};
+use xmlshred_core::{
+    greedy_search, naive_greedy_search, two_step_search, EvalContext, GreedyOptions,
+};
 use xmlshred_data::workload::{dblp_workload, Projections, Selectivity, WorkloadSpec};
 use xmlshred_shred::source_stats::SourceStats;
 

@@ -3,16 +3,21 @@
 //! ```sh
 //! cargo run --release -p xmlshred-bench --bin reproduce -- all
 //! cargo run --release -p xmlshred-bench --bin reproduce -- fig4
+//! cargo run --release -p xmlshred-bench --bin reproduce -- fig5 --threads 4
 //! XMLSHRED_SCALE=0.2 cargo run --release -p xmlshred-bench --bin reproduce -- fig7
 //! ```
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
 //! evaluation run), `fig7`, `fig8`, `fig9`, `all`. The `XMLSHRED_SCALE`
 //! environment variable (or `--scale X`) scales the dataset sizes;
-//! normalized figures are scale-stable.
+//! normalized figures are scale-stable. `--threads N` sets the advisor
+//! worker-thread count (0 = all cores, the default) and `--no-plan-cache`
+//! disables the what-if plan cache; neither changes any recommendation,
+//! only running time and the cache counters.
 
 use std::time::Instant;
 use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::SearchOptions;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,14 +32,35 @@ fn main() {
             args.remove(pos);
         }
     }
+    let mut search = SearchOptions::default();
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 < args.len() {
+            if let Ok(n) = args[pos + 1].parse::<usize>() {
+                search.threads = n;
+            }
+            args.drain(pos..=pos + 1);
+        } else {
+            args.remove(pos);
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--no-plan-cache") {
+        search.plan_cache = false;
+        args.remove(pos);
+    }
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
-        "xmlshred reproduction harness — experiment '{experiment}', scale {:.2}",
-        scale.0
+        "xmlshred reproduction harness — experiment '{experiment}', scale {:.2}, threads {}, plan cache {}",
+        scale.0,
+        if search.threads == 0 {
+            "auto".to_string()
+        } else {
+            search.threads.to_string()
+        },
+        if search.plan_cache { "on" } else { "off" }
     );
     let start = Instant::now();
-    match xmlshred_bench::experiments::run(experiment, scale) {
+    match xmlshred_bench::experiments::run(experiment, scale, &search) {
         Ok(()) => println!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64()),
         Err(message) => {
             eprintln!("error: {message}");

@@ -10,9 +10,7 @@
 //! * Fig. 9 — cost derivation: 4-10x faster with at most a few percent of
 //!   quality loss.
 
-use crate::harness::{
-    fmt_duration, hybrid_baseline, render_table, space_budget, BenchScale,
-};
+use crate::harness::{fmt_duration, hybrid_baseline, render_table, space_budget, BenchScale};
 use std::time::Duration;
 use xmlshred_core::quality::measure_quality;
 use xmlshred_core::{greedy_search, EvalContext, GreedyOptions, MergeStrategy};
@@ -37,7 +35,8 @@ fn dblp_20q(scale: BenchScale) -> (Dataset, Vec<Workload>) {
                 projections,
                 selectivity,
                 n_queries: 20,
-                seed: 900 + matches!(projections, Projections::High) as u64 * 2
+                seed: 900
+                    + matches!(projections, Projections::High) as u64 * 2
                     + matches!(selectivity, Selectivity::High) as u64,
             },
             config.years,
@@ -107,8 +106,14 @@ pub fn fig7(scale: BenchScale) -> Result<(), String> {
         let (t_full, q_full) = run_variant(&dataset, &source, workload, budget, &full);
         rows.push(vec![
             workload.name.clone(),
-            format!("{:.1}x", t_none.as_secs_f64() / t_pruned.as_secs_f64().max(1e-9)),
-            format!("{:.1}x", t_none.as_secs_f64() / t_full.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_none.as_secs_f64() / t_pruned.as_secs_f64().max(1e-9)
+            ),
+            format!(
+                "{:.1}x",
+                t_none.as_secs_f64() / t_full.as_secs_f64().max(1e-9)
+            ),
             fmt_duration(t_none),
             fmt_duration(t_full),
             format!("{q_full:.0}"),
@@ -129,7 +134,9 @@ pub fn fig7(scale: BenchScale) -> Result<(), String> {
         )
     );
     println!("paper: subsumption pruning alone 8-12x, all rules ~2x more.");
-    println!("(unpruned variants capped at two greedy rounds: reported speed-ups are lower bounds.)\n");
+    println!(
+        "(unpruned variants capped at two greedy rounds: reported speed-ups are lower bounds.)\n"
+    );
     Ok(())
 }
 
@@ -179,7 +186,9 @@ pub fn fig8(scale: BenchScale) -> Result<(), String> {
         )
     );
     println!("quality normalized to tuned hybrid inlining; time normalized to no-merging.");
-    println!("paper: greedy ~= exhaustive quality at 2-10x less time; no merging ~2x worse cost.\n");
+    println!(
+        "paper: greedy ~= exhaustive quality at 2-10x less time; no merging ~2x worse cost.\n"
+    );
     Ok(())
 }
 
@@ -204,7 +213,10 @@ pub fn fig9(scale: BenchScale) -> Result<(), String> {
             workload.name.clone(),
             format!("{:.2}", q_with / baseline.measured_cost),
             format!("{:.2}", q_without / baseline.measured_cost),
-            format!("{:.1}x", t_without.as_secs_f64() / t_with.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_without.as_secs_f64() / t_with.as_secs_f64().max(1e-9)
+            ),
             fmt_duration(t_with),
             fmt_duration(t_without),
         ]);

@@ -14,22 +14,23 @@
 //! workloads ("it did not stop after running for five days").
 
 use crate::harness::{
-    fmt_duration, hybrid_baseline, render_table, run_algorithms, space_budget, Algo, BenchScale,
-    EvalRun,
+    fmt_duration, hybrid_baseline, render_table, run_algorithms_with, space_budget, Algo,
+    BenchScale, EvalRun,
 };
+use xmlshred_core::SearchOptions;
 use xmlshred_data::workload::{dblp_workload, movie_workload, Workload, WorkloadSpec};
 use xmlshred_data::Dataset;
 use xmlshred_shred::source_stats::SourceStats;
 
 /// Run the experiment for both datasets.
-pub fn run(scale: BenchScale) -> Result<(), String> {
+pub fn run(scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
     let dblp = scale.dblp();
     let dblp_config = scale.dblp_config();
     let dblp_workloads: Vec<Workload> = WorkloadSpec::dblp_suite()
         .iter()
         .map(|spec| dblp_workload(spec, dblp_config.years, dblp_config.n_conferences))
         .collect();
-    evaluate_dataset(&dblp, &dblp_workloads, true)?;
+    evaluate_dataset(&dblp, &dblp_workloads, true, search)?;
 
     let movie = scale.movie();
     let movie_config = scale.movie_config();
@@ -37,7 +38,7 @@ pub fn run(scale: BenchScale) -> Result<(), String> {
         .iter()
         .map(|spec| movie_workload(spec, movie_config.years, movie_config.n_genres))
         .collect();
-    evaluate_dataset(&movie, &movie_workloads, false)?;
+    evaluate_dataset(&movie, &movie_workloads, false, search)?;
     Ok(())
 }
 
@@ -45,6 +46,7 @@ fn evaluate_dataset(
     dataset: &Dataset,
     workloads: &[Workload],
     skip_naive_on_20: bool,
+    search: &SearchOptions,
 ) -> Result<(), String> {
     println!(
         "\n=== Figs. 4/5/6 on {} ({} elements) ===",
@@ -56,6 +58,7 @@ fn evaluate_dataset(
 
     let mut fig4 = Vec::new();
     let mut fig5 = Vec::new();
+    let mut fig5_cache = Vec::new();
     let mut fig6 = Vec::new();
     for workload in workloads {
         let naive_skipped = skip_naive_on_20 && workload.queries.len() >= 20;
@@ -65,7 +68,7 @@ fn evaluate_dataset(
             vec![Algo::Greedy, Algo::NaiveGreedy, Algo::TwoStep]
         };
         let baseline = hybrid_baseline(dataset, workload, budget);
-        let runs = run_algorithms(dataset, &source, workload, budget, &algos);
+        let runs = run_algorithms_with(dataset, &source, workload, budget, &algos, search);
 
         let cell = |name: &str, f: &dyn Fn(&EvalRun) -> String| -> String {
             runs.iter()
@@ -112,6 +115,33 @@ fn evaluate_dataset(
                 format!("1.0x ({})", fmt_duration(r.outcome.stats.elapsed))
             }),
         ]);
+        fig5_cache.push(vec![
+            workload.name.clone(),
+            cell("Greedy", &|r| {
+                format!(
+                    "{}/{} ({:.0}%)",
+                    r.outcome.stats.cache_hits,
+                    r.outcome.stats.cache_hits + r.outcome.stats.cache_misses,
+                    100.0 * r.outcome.stats.cache_hit_rate()
+                )
+            }),
+            cell("Naive-Greedy", &|r| {
+                format!(
+                    "{}/{} ({:.0}%)",
+                    r.outcome.stats.cache_hits,
+                    r.outcome.stats.cache_hits + r.outcome.stats.cache_misses,
+                    100.0 * r.outcome.stats.cache_hit_rate()
+                )
+            }),
+            cell("Two-Step", &|r| {
+                format!(
+                    "{}/{} ({:.0}%)",
+                    r.outcome.stats.cache_hits,
+                    r.outcome.stats.cache_hits + r.outcome.stats.cache_misses,
+                    100.0 * r.outcome.stats.cache_hit_rate()
+                )
+            }),
+        ]);
         fig6.push(vec![
             workload.name.clone(),
             cell("Greedy", &|r| {
@@ -123,17 +153,39 @@ fn evaluate_dataset(
         ]);
     }
 
-    println!("\n--- Fig. 4 ({}): workload cost normalized to tuned hybrid inlining (lower = better) ---", dataset.name);
+    println!(
+        "\n--- Fig. 4 ({}): workload cost normalized to tuned hybrid inlining (lower = better) ---",
+        dataset.name
+    );
     println!(
         "{}",
         render_table(&["workload", "Greedy", "Naive-Greedy", "Two-Step"], &fig4)
     );
-    println!("--- Fig. 5 ({}): advisor running time, normalized to Two-Step ---", dataset.name);
+    println!(
+        "--- Fig. 5 ({}): advisor running time, normalized to Two-Step ---",
+        dataset.name
+    );
     println!(
         "{}",
         render_table(&["workload", "Greedy", "Naive-Greedy", "Two-Step"], &fig5)
     );
-    println!("--- Fig. 6 ({}): transformations searched ---", dataset.name);
+    println!(
+        "--- Fig. 5 supplement ({}): what-if plan-cache hits/lookups (threads={}, cache {}) ---",
+        dataset.name,
+        search.threads,
+        if search.plan_cache { "on" } else { "off" }
+    );
+    println!(
+        "{}",
+        render_table(
+            &["workload", "Greedy", "Naive-Greedy", "Two-Step"],
+            &fig5_cache
+        )
+    );
+    println!(
+        "--- Fig. 6 ({}): transformations searched ---",
+        dataset.name
+    );
     println!(
         "{}",
         render_table(&["workload", "Greedy", "Naive-Greedy"], &fig6)

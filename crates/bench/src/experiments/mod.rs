@@ -7,15 +7,16 @@ pub mod table1;
 pub mod updates;
 
 use crate::harness::BenchScale;
+use xmlshred_core::SearchOptions;
 
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
 /// three), `fig7`, `fig8`, `fig9`, `all`.
-pub fn run(id: &str, scale: BenchScale) -> Result<(), String> {
+pub fn run(id: &str, scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
         "motivating" => motivating::run(scale),
-        "fig4" | "fig5" | "fig6" | "eval" => evaluation::run(scale),
+        "fig4" | "fig5" | "fig6" | "eval" => evaluation::run(scale, search),
         "fig7" => ablations::fig7(scale),
         "updates" => updates::run(scale),
         "fig8" => ablations::fig8(scale),
@@ -23,7 +24,7 @@ pub fn run(id: &str, scale: BenchScale) -> Result<(), String> {
         "all" => {
             table1::run(scale)?;
             motivating::run(scale)?;
-            evaluation::run(scale)?;
+            evaluation::run(scale, search)?;
             ablations::fig7(scale)?;
             ablations::fig8(scale)?;
             ablations::fig9(scale)?;

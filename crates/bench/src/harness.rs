@@ -4,8 +4,8 @@
 use std::time::Duration;
 use xmlshred_core::quality::{measure_quality, measure_quality_with_tuning, QualityReport};
 use xmlshred_core::{
-    greedy_search, naive_greedy_search, two_step_search, AdvisorOutcome, EvalContext,
-    GreedyOptions,
+    greedy_search, naive_greedy_search_with, two_step_search_with, AdvisorOutcome, EvalContext,
+    GreedyOptions, SearchOptions,
 };
 use xmlshred_data::dblp::{generate_dblp, DblpConfig};
 use xmlshred_data::movie::{generate_movie, MovieConfig};
@@ -99,13 +99,34 @@ pub enum Algo {
     TwoStep,
 }
 
-/// Run the selected algorithms on one workload.
+/// Run the selected algorithms on one workload with default knobs.
 pub fn run_algorithms(
     dataset: &Dataset,
     source: &SourceStats,
     workload: &Workload,
     budget: f64,
     algos: &[Algo],
+) -> Vec<EvalRun> {
+    run_algorithms_with(
+        dataset,
+        source,
+        workload,
+        budget,
+        algos,
+        &SearchOptions::default(),
+    )
+}
+
+/// Run the selected algorithms on one workload with explicit
+/// parallelism/caching knobs (recommendations are identical for any value;
+/// only running time and the cache counters change).
+pub fn run_algorithms_with(
+    dataset: &Dataset,
+    source: &SourceStats,
+    workload: &Workload,
+    budget: f64,
+    algos: &[Algo],
+    search: &SearchOptions,
 ) -> Vec<EvalRun> {
     let ctx = EvalContext {
         tree: &dataset.tree,
@@ -117,9 +138,19 @@ pub fn run_algorithms(
         .iter()
         .map(|algo| {
             let (name, outcome): (&'static str, AdvisorOutcome) = match algo {
-                Algo::Greedy => ("Greedy", greedy_search(&ctx, &GreedyOptions::default())),
-                Algo::NaiveGreedy => ("Naive-Greedy", naive_greedy_search(&ctx, 3)),
-                Algo::TwoStep => ("Two-Step", two_step_search(&ctx, 6)),
+                Algo::Greedy => (
+                    "Greedy",
+                    greedy_search(
+                        &ctx,
+                        &GreedyOptions {
+                            threads: search.threads,
+                            plan_cache: search.plan_cache,
+                            ..GreedyOptions::default()
+                        },
+                    ),
+                ),
+                Algo::NaiveGreedy => ("Naive-Greedy", naive_greedy_search_with(&ctx, 3, search)),
+                Algo::TwoStep => ("Two-Step", two_step_search_with(&ctx, 6, search)),
             };
             let quality = measure_quality(
                 &dataset.tree,
@@ -191,7 +222,10 @@ mod tests {
     fn table_rendering_aligns() {
         let t = render_table(
             &["a", "bb"],
-            &[vec!["xxx".into(), "y".into()], vec!["1".into(), "22".into()]],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["1".into(), "22".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -109,12 +109,7 @@ pub fn select_candidates(
         if q.context.is_none() {
             continue;
         }
-        let referenced: Vec<NodeId> = q
-            .projections
-            .iter()
-            .chain(&q.selections)
-            .copied()
-            .collect();
+        let referenced: Vec<NodeId> = q.projections.iter().chain(&q.selections).copied().collect();
 
         // Union distribution over explicit choices.
         for node in tree.node_ids() {
@@ -131,10 +126,7 @@ pub fn select_candidates(
                     let accessed = accessed_partitions(tree, &dim, q);
                     let total = dim.arity(tree);
                     if accessed * 2 <= total && accessed > 0 {
-                        push_split(
-                            Transformation::UnionDistribute { anchor, dim },
-                            &mut splits,
-                        );
+                        push_split(Transformation::UnionDistribute { anchor, dim }, &mut splits);
                     }
                 }
                 NodeKind::Optional => {
@@ -148,10 +140,7 @@ pub fn select_candidates(
                     let dim = PartitionDim::Optionals(vec![node]);
                     let accessed = accessed_partitions(tree, &dim, q);
                     if accessed == 1 {
-                        push_split(
-                            Transformation::UnionDistribute { anchor, dim },
-                            &mut splits,
-                        );
+                        push_split(Transformation::UnionDistribute { anchor, dim }, &mut splits);
                     }
                 }
                 _ => {}
@@ -171,13 +160,9 @@ pub fn select_candidates(
             if !tree.is_leaf_element(leaf) {
                 continue;
             }
-            if let Some(count) =
-                source.choose_split_count(star, REP_SPLIT_CMAX, REP_SPLIT_QUANTILE)
+            if let Some(count) = source.choose_split_count(star, REP_SPLIT_CMAX, REP_SPLIT_QUANTILE)
             {
-                push_split(
-                    Transformation::RepetitionSplit { star, count },
-                    &mut splits,
-                );
+                push_split(Transformation::RepetitionSplit { star, count }, &mut splits);
             }
         }
 
@@ -259,9 +244,12 @@ pub fn select_candidates(
     for t in enumerate_transformations(tree, base, &|_| REP_SPLIT_CMAX) {
         if t.kind() == TransformationKind::TypeMerge {
             if let Transformation::TypeMerge { nodes, .. } = &t {
-                let relevant = nodes
-                    .iter()
-                    .any(|&n| tree.node(n).kind.tag_name().is_some_and(|tag| workload_tags.contains(tag)));
+                let relevant = nodes.iter().any(|&n| {
+                    tree.node(n)
+                        .kind
+                        .tag_name()
+                        .is_some_and(|tag| workload_tags.contains(tag))
+                });
                 if relevant {
                     merges.push(SearchMove::One(t));
                 }
@@ -298,8 +286,8 @@ pub fn accessed_partitions(tree: &SchemaTree, dim: &PartitionDim, q: &QueryLeave
     for alt in 0..total {
         let available = |leaf: NodeId| leaf_available(tree, dim, alt, leaf);
         let selections_ok = q.selections.iter().all(|&l| available(l));
-        let any_projection = q.projections.iter().any(|&l| available(l))
-            || q.projections.is_empty();
+        let any_projection =
+            q.projections.iter().any(|&l| available(l)) || q.projections.is_empty();
         if selections_ok && any_projection {
             accessed += 1;
         }
@@ -357,7 +345,10 @@ mod tests {
     fn movies_doc() -> String {
         let mut s = String::from("<movies>");
         for i in 0..100 {
-            s.push_str(&format!("<movie><title>M{i}</title><year>{}</year>", 1990 + i % 10));
+            s.push_str(&format!(
+                "<movie><title>M{i}</title><year>{}</year>",
+                1990 + i % 10
+            ));
             for a in 0..(i % 4) {
                 s.push_str(&format!("<aka_title>a{a}</aka_title>"));
             }
@@ -394,10 +385,7 @@ mod tests {
     fn choice_distribution_not_selected_when_both_branches_needed() {
         let (f, source) = source_for(&movies_doc());
         let base = Mapping::hybrid(&f.tree);
-        let workload = vec![(
-            parse_path("//movie/(box_office | seasons)").unwrap(),
-            1.0,
-        )];
+        let workload = vec![(parse_path("//movie/(box_office | seasons)").unwrap(), 1.0)];
         let set = select_candidates(&f.tree, &base, &source, &workload);
         assert!(!set.splits.iter().any(|t| matches!(
             t,
@@ -447,9 +435,7 @@ mod tests {
         let workload = vec![(parse_path("//movie/aka_title").unwrap(), 1.0)];
         let set = select_candidates(&f.tree, &base, &source, &workload);
         let split = set.splits.iter().find_map(|t| match t {
-            Transformation::RepetitionSplit { star, count } if *star == f.aka_star => {
-                Some(*count)
-            }
+            Transformation::RepetitionSplit { star, count } if *star == f.aka_star => Some(*count),
             _ => None,
         });
         // Cardinalities cycle 0..3 -> max 3 <= c_max -> split at 3.

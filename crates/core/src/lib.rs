@@ -30,6 +30,8 @@ pub mod greedy;
 pub mod merging;
 pub mod moves;
 pub mod naive;
+pub mod oracle;
+pub mod parallel;
 pub mod physical;
 pub mod quality;
 pub mod search;
@@ -39,8 +41,10 @@ pub use context::{EvalContext, PreparedMapping};
 pub use greedy::{greedy_search, GreedyOptions};
 pub use merging::MergeStrategy;
 pub use moves::SearchMove;
-pub use naive::naive_greedy_search;
-pub use physical::{tune, TuneResult};
+pub use naive::{naive_greedy_search, naive_greedy_search_with};
+pub use oracle::{CacheStats, CostOracle};
+pub use parallel::{effective_threads, parallel_map};
+pub use physical::{tune, tune_with, TuneOptions, TuneResult};
 pub use quality::{measure_quality, QualityReport};
-pub use search::{AdvisorOutcome, SearchStats};
-pub use twostep::two_step_search;
+pub use search::{AdvisorOutcome, SearchOptions, SearchStats};
+pub use twostep::{two_step_search, two_step_search_with};

@@ -264,7 +264,10 @@ mod tests {
     fn doc() -> String {
         let mut s = String::from("<movies>");
         for i in 0..200 {
-            s.push_str(&format!("<movie><title>M{i}</title><year>{}</year>", 1990 + i % 10));
+            s.push_str(&format!(
+                "<movie><title>M{i}</title><year>{}</year>",
+                1990 + i % 10
+            ));
             if i % 3 == 0 {
                 s.push_str("<avg_rating>7.5</avg_rating>");
             }

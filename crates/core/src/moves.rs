@@ -74,18 +74,15 @@ impl SearchMove {
                 Transformation::RepetitionSplit { star, .. }
                 | Transformation::RepetitionMerge { star } => {
                     let child = tree.children(*star)[0];
-                    let parent = tree
-                        .parent_tag(*star)
-                        .map(|t| mapping.anchor_of(tree, t));
+                    let parent = tree.parent_tag(*star).map(|t| mapping.anchor_of(tree, t));
                     let mut out = vec![child];
                     out.extend(parent);
                     out
                 }
-                Transformation::Associativity(n, _) | Transformation::Commutativity(n, _) => {
-                    tree.parent_tag(*n)
-                        .map(|t| vec![mapping.anchor_of(tree, t)])
-                        .unwrap_or_default()
-                }
+                Transformation::Associativity(n, _) | Transformation::Commutativity(n, _) => tree
+                    .parent_tag(*n)
+                    .map(|t| vec![mapping.anchor_of(tree, t)])
+                    .unwrap_or_default(),
             },
             SearchMove::MergeDims { anchor, .. } => vec![*anchor],
         }
@@ -126,11 +123,9 @@ impl SearchMove {
                 Transformation::Associativity(..) => "associativity".into(),
                 Transformation::Commutativity(..) => "commutativity".into(),
             },
-            SearchMove::MergeDims { remove, add, .. } => format!(
-                "merge {} dims into {}",
-                remove.len(),
-                dim_label(tree, add)
-            ),
+            SearchMove::MergeDims { remove, add, .. } => {
+                format!("merge {} dims into {}", remove.len(), dim_label(tree, add))
+            }
         }
     }
 }

@@ -7,33 +7,66 @@
 //! worse than Greedy's.
 
 use crate::context::EvalContext;
-use crate::physical::tune;
-use crate::search::{AdvisorOutcome, SearchStats};
+use crate::oracle::CostOracle;
+use crate::parallel::parallel_map;
+use crate::physical::{tune_with, TuneOptions};
+use crate::search::{AdvisorOutcome, SearchOptions, SearchStats};
+use std::time::Instant;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::transform::enumerate_transformations;
-use std::time::Instant;
 
 /// Run Naive-Greedy. `max_rounds` bounds the descent (the paper let it run
 /// for days; the harness keeps it finite).
 pub fn naive_greedy_search(ctx: &EvalContext<'_>, max_rounds: usize) -> AdvisorOutcome {
+    naive_greedy_search_with(ctx, max_rounds, &SearchOptions::default())
+}
+
+/// Naive-Greedy with explicit parallelism/caching knobs; output is
+/// bit-identical for any [`SearchOptions`] value.
+pub fn naive_greedy_search_with(
+    ctx: &EvalContext<'_>,
+    max_rounds: usize,
+    options: &SearchOptions,
+) -> AdvisorOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
+    let oracle = CostOracle::new(options.plan_cache);
     let tree = ctx.tree;
 
     let mut mapping = Mapping::hybrid(tree);
-    let (mut config, mut cost) = evaluate(ctx, &mapping, &mut stats);
+    let (mut config, mut cost) = evaluate(ctx, &mapping, &mut stats, &oracle, options.threads);
 
     for _round in 0..max_rounds {
         let transformations =
             enumerate_transformations(tree, &mapping, &|star| ctx.split_count(star));
+        // Independent full evaluations against the same incumbent mapping:
+        // fan out, then reduce serially in enumeration order (strict `<`,
+        // first index wins ties) so the accepted transformation does not
+        // depend on the thread count.
+        let mapping_ref = &mapping;
+        let evaluations: Vec<Option<(Mapping, PhysicalConfig, f64, SearchStats)>> = parallel_map(
+            &transformations,
+            options.threads,
+            || (),
+            |_, _i, t| {
+                let Ok(next) = t.apply(tree, mapping_ref) else {
+                    return None;
+                };
+                let mut local = SearchStats {
+                    transformations_searched: 1,
+                    ..SearchStats::default()
+                };
+                let (next_config, next_cost) = evaluate(ctx, &next, &mut local, &oracle, 1);
+                Some((next, next_config, next_cost, local))
+            },
+        );
         let mut best: Option<(Mapping, PhysicalConfig, f64)> = None;
-        for t in transformations {
-            let Ok(next) = t.apply(tree, &mapping) else {
+        for evaluation in evaluations {
+            let Some((next, next_config, next_cost, local)) = evaluation else {
                 continue;
             };
-            stats.transformations_searched += 1;
-            let (next_config, next_cost) = evaluate(ctx, &next, &mut stats);
+            stats.absorb(&local);
             if best
                 .as_ref()
                 .map(|(_, _, c)| next_cost < *c)
@@ -52,6 +85,7 @@ pub fn naive_greedy_search(ctx: &EvalContext<'_>, max_rounds: usize) -> AdvisorO
         }
     }
 
+    stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
     AdvisorOutcome {
         mapping,
@@ -65,16 +99,21 @@ fn evaluate(
     ctx: &EvalContext<'_>,
     mapping: &Mapping,
     stats: &mut SearchStats,
+    oracle: &CostOracle,
+    threads: usize,
 ) -> (PhysicalConfig, f64) {
     let prepared = ctx.prepare(mapping);
     let translated = prepared.translated(ctx.workload);
     let queries: Vec<(&xmlshred_rel::sql::SqlQuery, f64)> =
         translated.iter().map(|(_, q, w)| (*q, *w)).collect();
-    let result = tune(
+    let result = tune_with(
         &prepared.catalog,
         &prepared.stats,
         &queries,
+        &[],
         ctx.space_budget,
+        oracle,
+        &TuneOptions { threads },
     );
     stats.absorb_tune(result.optimizer_calls);
     (result.config, result.total_cost)
@@ -108,9 +147,6 @@ mod tests {
         assert!(outcome.estimated_cost.is_finite());
         assert!(outcome.stats.transformations_searched > 10);
         // Naive calls the tool once per enumerated transformation.
-        assert!(
-            outcome.stats.physical_tool_calls
-                > outcome.stats.transformations_searched / 2
-        );
+        assert!(outcome.stats.physical_tool_calls > outcome.stats.transformations_searched / 2);
     }
 }

@@ -1,0 +1,127 @@
+//! Deterministic parallel fan-out for the advisor's hot loops.
+//!
+//! [`parallel_map`] runs a pure function over a slice on scoped threads
+//! (`std::thread::scope` — no dependencies) and returns results **in item
+//! order**, so callers reduce serially in a fixed order and produce
+//! bit-identical output for any thread count. Work is distributed by an
+//! atomic cursor, which only affects *which thread* computes an item, never
+//! the result: shared state is limited to the memoizing cost oracle (a pure
+//! function) and commutative atomic counters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a `threads` knob: `0` means all available parallelism.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `work` over `items` on up to `threads` scoped threads, with one
+/// `state` per worker (built by `init`), returning results in item order.
+///
+/// With one effective thread (or one item) this degenerates to a plain
+/// serial loop with zero thread overhead.
+pub fn parallel_map<T, R, S, I, F>(items: &[T], threads: usize, init: I, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = effective_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| work(&mut state, index, item))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let init = &init;
+        let work = &work;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= items.len() {
+                            break;
+                        }
+                        produced.push((index, work(&mut state, index, &items[index])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (index, result) in handle.join().expect("parallel_map worker panicked") {
+                slots[index] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let square = |_: &mut (), _i: usize, &x: &u64| -> u64 { x * x };
+        let serial = parallel_map(&items, 1, || (), square);
+        for threads in [2, 3, 4, 8] {
+            let parallel = parallel_map(&items, threads, || (), square);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_isolated() {
+        let items: Vec<usize> = (0..100).collect();
+        // Each worker counts locally; results carry (input, running count).
+        let results = parallel_map(
+            &items,
+            4,
+            || 0usize,
+            |count, _i, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        // Results are in item order regardless of which worker ran them.
+        for (i, (x, count)) in results.iter().enumerate() {
+            assert_eq!(*x, i);
+            assert!(*count >= 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 8, || (), |_, _, &x: &u32| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, || (), |_, _, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

@@ -13,12 +13,17 @@
 //! 3. returns per-query costs and used-object sets `I(Q, M)` with their
 //!    sizes, which Section 4.8's cost derivation consumes.
 
+use crate::oracle::CostOracle;
+use crate::parallel::parallel_map;
 use rustc_hash::FxHashSet;
 use xmlshred_rel::catalog::{Catalog, TableId};
 use xmlshred_rel::cost::sort_cost;
 use xmlshred_rel::expr::FilterOp;
 use xmlshred_rel::index::IndexDef;
-use xmlshred_rel::optimizer::{config_bytes, plan_query, plan_select, PhysicalConfig};
+use xmlshred_rel::optimizer::{
+    config_bytes, context_fingerprint, extend_fingerprint, index_fingerprint, query_fingerprint,
+    select_fingerprint, view_fingerprint, PhysicalConfig, EMPTY_CONFIG_FINGERPRINT,
+};
 use xmlshred_rel::sql::{Output, SelectQuery, SqlQuery};
 use xmlshred_rel::stats::TableStats;
 use xmlshred_rel::view::{ViewDef, ViewSide};
@@ -66,6 +71,20 @@ pub const INDEX_MAINTENANCE_COST: f64 = 0.01;
 /// change (join probe + write).
 pub const VIEW_MAINTENANCE_COST: f64 = 0.02;
 
+/// Knobs for one tuning invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOptions {
+    /// Worker threads for the initial candidate-scoring fan-out; `0` =
+    /// available parallelism. Results are bit-identical for any value.
+    pub threads: usize,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions { threads: 1 }
+    }
+}
+
 /// Run the tuning tool on a read-only workload.
 ///
 /// `queries` are `(query, weight)` pairs; `budget_bytes` bounds the total
@@ -89,15 +108,64 @@ pub fn tune_with_updates(
     updates: &[UpdateLoad],
     budget_bytes: f64,
 ) -> TuneResult {
+    tune_with(
+        catalog,
+        stats,
+        queries,
+        updates,
+        budget_bytes,
+        &CostOracle::disabled(),
+        &TuneOptions::default(),
+    )
+}
+
+/// Run the tuning tool with an explicit what-if cost oracle and threading
+/// knobs — the advisor searches share one oracle across every invocation so
+/// repeated contexts hit the memo table.
+///
+/// `optimizer_calls` in the result counts queries whose costing actually
+/// invoked the planner for at least one branch; fully cache-served queries
+/// are visible in the oracle's counters instead.
+pub fn tune_with(
+    catalog: &Catalog,
+    stats: &[TableStats],
+    queries: &[(&SqlQuery, f64)],
+    updates: &[UpdateLoad],
+    budget_bytes: f64,
+    oracle: &CostOracle,
+    options: &TuneOptions,
+) -> TuneResult {
     let mut optimizer_calls = 0u64;
+
+    // Memo-key ingredients. The context fingerprint pins the catalog and
+    // statistics this invocation plans against; the config fingerprint is
+    // maintained incrementally as candidates are accepted (and extended
+    // per-trial), so a cache key never requires rehashing a whole
+    // configuration. With the oracle disabled the keys are never read, so
+    // zeros skip the hashing work.
+    let enabled = oracle.is_enabled();
+    let ctx_fp = if enabled {
+        context_fingerprint(catalog, stats)
+    } else {
+        0
+    };
+    let branch_fps: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|(q, _)| {
+            if enabled {
+                q.branches().iter().map(select_fingerprint).collect()
+            } else {
+                vec![0; q.branches().len()]
+            }
+        })
+        .collect();
+    let mut config_fp = EMPTY_CONFIG_FINGERPRINT;
 
     let maintenance = |candidate: &Candidate| -> f64 {
         updates
             .iter()
             .map(|u| match candidate {
-                Candidate::Index(def) if def.table == u.table => {
-                    u.rows * INDEX_MAINTENANCE_COST
-                }
+                Candidate::Index(def) if def.table == u.table => u.rows * INDEX_MAINTENANCE_COST,
                 Candidate::View(def) if def.left == u.table || def.right == u.table => {
                     u.rows * VIEW_MAINTENANCE_COST
                 }
@@ -130,21 +198,24 @@ pub fn tune_with_updates(
     let mut branch_cost: Vec<Vec<f64>> = Vec::with_capacity(queries.len());
     let mut branch_rows: Vec<Vec<f64>> = Vec::with_capacity(queries.len());
     let mut per_cost: Vec<f64> = Vec::with_capacity(queries.len());
-    for (q, _) in queries {
-        optimizer_calls += 1;
+    for (qi, (q, _)) in queries.iter().enumerate() {
         let mut costs = Vec::new();
         let mut rows = Vec::new();
-        for branch in q.branches() {
-            match plan_select(catalog, stats, &config, branch) {
-                Ok(plan) => {
-                    costs.push(plan.est_cost());
-                    rows.push(plan.est_rows());
-                }
-                Err(_) => {
-                    costs.push(f64::INFINITY);
-                    rows.push(0.0);
-                }
-            }
+        let mut planned_fresh = false;
+        for (bi, branch) in q.branches().iter().enumerate() {
+            let (cost, cardinality, fresh) = oracle.select_cost(
+                (ctx_fp, config_fp, branch_fps[qi][bi]),
+                catalog,
+                stats,
+                &config,
+                branch,
+            );
+            planned_fresh |= fresh;
+            costs.push(cost);
+            rows.push(cardinality);
+        }
+        if planned_fresh {
+            optimizer_calls += 1;
         }
         let has_order = matches!(q, SqlQuery::Union(u) if !u.order_by.is_empty());
         let total = total_query_cost(&costs, &rows, has_order);
@@ -158,22 +229,29 @@ pub fn tune_with_updates(
     // structures never increases another candidate's benefit — so cached
     // benefits are upper bounds. Pop the best cached candidate, refresh its
     // benefit, and accept it if it still dominates the next cached bound.
+    // What-if evaluation of one candidate. `scratch` must equal the current
+    // configuration on entry; the candidate is pushed for the trial plans
+    // and popped before returning, so no per-trial configuration clone is
+    // made (satellite of the same PR: the old code cloned all indexes and
+    // views per candidate). `trial_fp` is the fingerprint of
+    // `scratch + candidate`, i.e. `extend_fingerprint(config_fp,
+    // candidate.fingerprint())`.
     let evaluate = |candidate: &Candidate,
-                    config: &PhysicalConfig,
+                    trial_fp: u64,
+                    scratch: &mut PhysicalConfig,
                     branch_cost: &[Vec<f64>],
                     branch_rows: &[Vec<f64>],
                     per_cost: &[f64],
                     optimizer_calls: &mut u64|
      -> (f64, Vec<CacheUpdate>) {
-        let mut trial = config.clone();
-        candidate.add_to(&mut trial);
+        candidate.add_to(scratch);
         let mut delta = 0.0;
         let mut updates = Vec::new();
         for (qi, (q, weight)) in queries.iter().enumerate() {
             if !candidate.touches(&query_tables[qi]) {
                 continue;
             }
-            *optimizer_calls += 1;
+            let mut planned_fresh = false;
             let mut costs = branch_cost[qi].clone();
             let mut rows = branch_rows[qi].clone();
             for (bi, branch) in q.branches().iter().enumerate() {
@@ -186,36 +264,63 @@ pub fn tune_with_updates(
                 if !affected {
                     continue;
                 }
-                match plan_select(catalog, stats, &trial, branch) {
-                    Ok(plan) => {
-                        costs[bi] = plan.est_cost();
-                        rows[bi] = plan.est_rows();
-                    }
-                    Err(_) => costs[bi] = f64::INFINITY,
+                let (cost, cardinality, fresh) = oracle.select_cost(
+                    (ctx_fp, trial_fp, branch_fps[qi][bi]),
+                    catalog,
+                    stats,
+                    scratch,
+                    branch,
+                );
+                planned_fresh |= fresh;
+                costs[bi] = cost;
+                if cost.is_finite() {
+                    rows[bi] = cardinality;
                 }
+            }
+            if planned_fresh {
+                *optimizer_calls += 1;
             }
             let has_order = matches!(q, SqlQuery::Union(u) if !u.order_by.is_empty());
             let total = total_query_cost(&costs, &rows, has_order);
             delta += (per_cost[qi] - total) * weight;
             updates.push((qi, costs, rows, total));
         }
+        candidate.remove_from(scratch);
         (delta, updates)
     };
 
-    let mut remaining: Vec<(Candidate, f64)> = {
-        let mut scored = Vec::with_capacity(candidates.len());
-        for candidate in candidates {
+    // Initial scoring: every candidate against the empty configuration.
+    // This is the tool's widest loop (candidates x affected branches), so
+    // it fans out across scoped threads; reduction happens serially below
+    // in candidate order, making the surviving list — and therefore the
+    // whole greedy selection — independent of the thread count.
+    let candidate_fps: Vec<u64> = candidates.iter().map(Candidate::fingerprint).collect();
+    let scores: Vec<(f64, u64)> = parallel_map(
+        &candidates,
+        options.threads,
+        || config.clone(),
+        |scratch, i, candidate| {
+            let mut calls = 0u64;
             let (raw, _) = evaluate(
-                &candidate,
-                &config,
+                candidate,
+                extend_fingerprint(config_fp, candidate_fps[i]),
+                scratch,
                 &branch_cost,
                 &branch_rows,
                 &per_cost,
-                &mut optimizer_calls,
+                &mut calls,
             );
+            (raw, calls)
+        },
+    );
+    let mut remaining: Vec<(Candidate, u64, f64)> = {
+        let mut scored = Vec::with_capacity(candidates.len());
+        for ((candidate, fp), (raw, calls)) in candidates.into_iter().zip(candidate_fps).zip(scores)
+        {
+            optimizer_calls += calls;
             let delta = raw - maintenance(&candidate);
             if delta > 1e-9 {
-                scored.push((candidate, delta));
+                scored.push((candidate, fp, delta));
             }
         }
         scored
@@ -251,19 +356,24 @@ pub fn tune_with_updates(
             let Some(top) = remaining
                 .iter()
                 .enumerate()
-                .filter(|(_, (c, _))| feasible(c))
+                .filter(|(_, (c, _, _))| feasible(c))
                 .max_by(|a, b| {
-                    a.1 .1
-                        .partial_cmp(&b.1 .1)
+                    a.1 .2
+                        .partial_cmp(&b.1 .2)
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .map(|(i, _)| i)
             else {
                 break 'outer;
             };
+            // The incumbent configuration itself serves as the trial
+            // scratch: `evaluate` pushes the candidate and pops it again,
+            // so no clone of the configuration is made per refresh.
+            let trial_fp = extend_fingerprint(config_fp, remaining[top].1);
             let (raw, cache_updates) = evaluate(
                 &remaining[top].0,
-                &config,
+                trial_fp,
+                &mut config,
                 &branch_cost,
                 &branch_rows,
                 &per_cost,
@@ -277,18 +387,19 @@ pub fn tune_with_updates(
                 }
                 continue;
             }
-            remaining[top].1 = delta;
+            remaining[top].2 = delta;
             // Accept if the refreshed benefit still dominates every other
             // cached bound (which are upper bounds under submodularity).
             let next_bound = remaining
                 .iter()
                 .enumerate()
                 .filter(|(j, _)| *j != top)
-                .map(|(_, (_, b))| *b)
+                .map(|(_, (_, _, b))| *b)
                 .fold(0.0f64, f64::max);
             if delta + 1e-12 >= next_bound {
-                let (candidate, _) = remaining.swap_remove(top);
+                let (candidate, fp, _) = remaining.swap_remove(top);
                 candidate.add_to(&mut config);
+                config_fp = extend_fingerprint(config_fp, fp);
                 for (qi, costs, rows, total) in cache_updates {
                     branch_cost[qi] = costs;
                     branch_rows[qi] = rows;
@@ -306,12 +417,13 @@ pub fn tune_with_updates(
     // ------------------------------------------------- final per-query info --
     let mut per_query = Vec::with_capacity(queries.len());
     let mut total_cost = 0.0;
-    for (qi, (q, weight)) in queries.iter().enumerate() {
-        optimizer_calls += 1;
-        let (cost, used) = match plan_query(catalog, stats, &config, q) {
-            Ok(plan) => (plan.est_cost, plan.used_objects()),
-            Err(_) => (f64::INFINITY, Vec::new()),
-        };
+    for (q, weight) in queries.iter() {
+        let q_fp = if enabled { query_fingerprint(q) } else { 0 };
+        let (cost, used, fresh) =
+            oracle.query_cost((ctx_fp, config_fp, q_fp), catalog, stats, &config, q);
+        if fresh {
+            optimizer_calls += 1;
+        }
         let used_bytes = used
             .iter()
             .map(|name| object_bytes(catalog, stats, &config, name))
@@ -322,7 +434,6 @@ pub fn tune_with_updates(
             used_objects: used,
             used_bytes,
         });
-        let _ = qi;
     }
 
     TuneResult {
@@ -381,6 +492,28 @@ impl Candidate {
         match self {
             Candidate::Index(def) => config.indexes.push(def.clone()),
             Candidate::View(def) => config.views.push(def.clone()),
+        }
+    }
+
+    /// Undo the matching [`Candidate::add_to`] on the same config (the
+    /// candidate is by construction the last element of its list).
+    fn remove_from(&self, config: &mut PhysicalConfig) {
+        match self {
+            Candidate::Index(_) => {
+                config.indexes.pop();
+            }
+            Candidate::View(_) => {
+                config.views.pop();
+            }
+        }
+    }
+
+    /// Fingerprint used to extend a configuration fingerprint when this
+    /// candidate is (tentatively or finally) appended.
+    fn fingerprint(&self) -> u64 {
+        match self {
+            Candidate::Index(def) => index_fingerprint(def),
+            Candidate::View(def) => view_fingerprint(def),
         }
     }
 
@@ -461,10 +594,7 @@ fn generate_candidates<'a>(
                         .collect();
                     if !includes.is_empty() {
                         let name = index_name(table_name, &key, &includes);
-                        push_index(
-                            IndexDef::new(name, table, key.clone(), includes),
-                            &mut out,
-                        );
+                        push_index(IndexDef::new(name, table, key.clone(), includes), &mut out);
                     }
                 }
 
@@ -484,11 +614,8 @@ fn generate_candidates<'a>(
                     let key = vec![jc];
                     let name = index_name(table_name, &key, &[]);
                     push_index(IndexDef::new(name, table, key.clone(), vec![]), &mut out);
-                    let includes: Vec<usize> = needed
-                        .iter()
-                        .copied()
-                        .filter(|&c| c != jc)
-                        .collect();
+                    let includes: Vec<usize> =
+                        needed.iter().copied().filter(|&c| c != jc).collect();
                     if !includes.is_empty() {
                         let name = index_name(table_name, &key, &includes);
                         push_index(IndexDef::new(name, table, key, includes), &mut out);
@@ -548,7 +675,11 @@ fn view_candidate(catalog: &Catalog, branch: &SelectQuery) -> Option<ViewDef> {
             .iter()
             .map(|(s, c)| format!(
                 "{}{}",
-                if matches!(s, ViewSide::Left) { "l" } else { "r" },
+                if matches!(s, ViewSide::Left) {
+                    "l"
+                } else {
+                    "r"
+                },
                 c
             ))
             .collect::<Vec<_>>()
@@ -579,6 +710,7 @@ mod tests {
     use super::*;
     use xmlshred_rel::catalog::{ColumnDef, TableDef};
     use xmlshred_rel::expr::Filter;
+    use xmlshred_rel::optimizer::plan_query;
     use xmlshred_rel::sql::{JoinCond, UnionAllQuery};
     use xmlshred_rel::stats::ColumnStats;
     use xmlshred_rel::types::{DataType, Value};
@@ -668,7 +800,11 @@ mod tests {
             .unwrap()
             .est_cost;
         let result = tune(&catalog, &stats, &[(&query, 1.0)], 1e12);
-        assert!(result.total_cost < base * 0.5, "tuned {} base {base}", result.total_cost);
+        assert!(
+            result.total_cost < base * 0.5,
+            "tuned {} base {base}",
+            result.total_cost
+        );
         assert!(!result.config.indexes.is_empty());
         assert!(result.optimizer_calls > 0);
     }

@@ -6,6 +6,7 @@
 //! does the same by calling this twice.
 
 use crate::physical::tune;
+use std::time::Duration;
 use xmlshred_rel::db::Database;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
@@ -15,7 +16,6 @@ use xmlshred_translate::translate::translate;
 use xmlshred_xml::dom::Element;
 use xmlshred_xml::tree::SchemaTree;
 use xmlshred_xpath::ast::Path;
-use std::time::Duration;
 
 /// Result of executing a workload against a materialized design.
 #[derive(Debug, Clone)]
@@ -134,8 +134,14 @@ mod tests {
             ..MovieConfig::default()
         });
         let workload = vec![
-            (parse_path("//movie[year = 1990]/(title | box_office)").unwrap(), 1.0),
-            (parse_path("//movie[genre = \"Genre 1\"]/title").unwrap(), 1.0),
+            (
+                parse_path("//movie[year = 1990]/(title | box_office)").unwrap(),
+                1.0,
+            ),
+            (
+                parse_path("//movie[genre = \"Genre 1\"]/title").unwrap(),
+                1.0,
+            ),
         ];
         let mapping = Mapping::hybrid(&ds.tree);
         let untuned = measure_quality(
@@ -145,13 +151,7 @@ mod tests {
             &mapping,
             &PhysicalConfig::none(),
         );
-        let tuned = measure_quality_with_tuning(
-            &ds.tree,
-            &ds.document,
-            &workload,
-            &mapping,
-            1e12,
-        );
+        let tuned = measure_quality_with_tuning(&ds.tree, &ds.document, &workload, &mapping, 1e12);
         assert_eq!(untuned.skipped, 0);
         assert!(tuned.measured_cost < untuned.measured_cost);
         assert!(tuned.physical_bytes > 0);

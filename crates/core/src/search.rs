@@ -16,6 +16,12 @@ pub struct SearchStats {
     pub optimizer_calls: u64,
     /// Queries whose cost was reused through cost derivation.
     pub costs_derived: u64,
+    /// What-if plan-cache lookups answered from the memo table.
+    pub cache_hits: u64,
+    /// What-if plan-cache lookups that invoked the planner.
+    pub cache_misses: u64,
+    /// What-if plan-cache entries discarded by capacity eviction.
+    pub cache_evictions: u64,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
 }
@@ -25,6 +31,58 @@ impl SearchStats {
     pub fn absorb_tune(&mut self, optimizer_calls: u64) {
         self.physical_tool_calls += 1;
         self.optimizer_calls += optimizer_calls;
+    }
+
+    /// Merge counters from another stats record (parallel-worker deltas).
+    /// `elapsed` is wall-clock, not CPU time, so it does not accumulate.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.transformations_searched += other.transformations_searched;
+        self.physical_tool_calls += other.physical_tool_calls;
+        self.optimizer_calls += other.optimizer_calls;
+        self.costs_derived += other.costs_derived;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Record the final plan-cache counters for one search run.
+    pub fn absorb_cache(&mut self, cache: &crate::oracle::CacheStats) {
+        self.cache_hits = cache.hits;
+        self.cache_misses = cache.misses;
+        self.cache_evictions = cache.evictions;
+    }
+
+    /// Plan-cache hit fraction over all lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Parallelism and caching knobs shared by the baseline searches
+/// (Naive-Greedy and Two-Step); Greedy carries the same knobs on
+/// [`crate::greedy::GreedyOptions`]. Output is bit-identical for any
+/// setting — threads only fan out independent evaluations (reduced in a
+/// fixed order) and the plan cache memoizes a pure function.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Worker threads for candidate evaluation; `0` = available
+    /// parallelism.
+    pub threads: usize,
+    /// Memoize what-if planner calls across the search.
+    pub plan_cache: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            threads: 0,
+            plan_cache: true,
+        }
     }
 }
 

@@ -10,34 +10,68 @@
 //! than the joint search.
 
 use crate::context::{EvalContext, PreparedMapping};
-use crate::physical::tune;
-use crate::search::{AdvisorOutcome, SearchStats};
+use crate::oracle::CostOracle;
+use crate::parallel::parallel_map;
+use crate::physical::{tune_with, TuneOptions};
+use crate::search::{AdvisorOutcome, SearchOptions, SearchStats};
+use std::time::Instant;
 use xmlshred_rel::index::IndexDef;
-use xmlshred_rel::optimizer::{plan_query, PhysicalConfig};
+use xmlshred_rel::optimizer::{
+    config_fingerprint, context_fingerprint, query_fingerprint, PhysicalConfig,
+};
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::schema::ColumnSource;
 use xmlshred_shred::transform::enumerate_transformations;
-use std::time::Instant;
 
 /// Run Two-Step.
 pub fn two_step_search(ctx: &EvalContext<'_>, max_rounds: usize) -> AdvisorOutcome {
+    two_step_search_with(ctx, max_rounds, &SearchOptions::default())
+}
+
+/// Two-Step with explicit parallelism/caching knobs; output is bit-identical
+/// for any [`SearchOptions`] value.
+pub fn two_step_search_with(
+    ctx: &EvalContext<'_>,
+    max_rounds: usize,
+    options: &SearchOptions,
+) -> AdvisorOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
+    let oracle = CostOracle::new(options.plan_cache);
     let tree = ctx.tree;
 
     // ------------------------------ phase 1: logical design in isolation --
     let mut mapping = Mapping::hybrid(tree);
-    let mut cost = best_guess_cost(ctx, &mapping, &mut stats);
+    let mut cost = best_guess_cost(ctx, &mapping, &mut stats, &oracle);
     for _round in 0..max_rounds {
         let transformations =
             enumerate_transformations(tree, &mapping, &|star| ctx.split_count(star));
+        // Fan out the independent best-guess costings; reduce serially in
+        // enumeration order so the accepted transformation is independent
+        // of the thread count.
+        let mapping_ref = &mapping;
+        let evaluations: Vec<Option<(Mapping, f64, SearchStats)>> = parallel_map(
+            &transformations,
+            options.threads,
+            || (),
+            |_, _i, t| {
+                let Ok(next) = t.apply(tree, mapping_ref) else {
+                    return None;
+                };
+                let mut local = SearchStats {
+                    transformations_searched: 1,
+                    ..SearchStats::default()
+                };
+                let next_cost = best_guess_cost(ctx, &next, &mut local, &oracle);
+                Some((next, next_cost, local))
+            },
+        );
         let mut best: Option<(Mapping, f64)> = None;
-        for t in transformations {
-            let Ok(next) = t.apply(tree, &mapping) else {
+        for evaluation in evaluations {
+            let Some((next, next_cost, local)) = evaluation else {
                 continue;
             };
-            stats.transformations_searched += 1;
-            let next_cost = best_guess_cost(ctx, &next, &mut stats);
+            stats.absorb(&local);
             if best.as_ref().map(|(_, c)| next_cost < *c).unwrap_or(true) {
                 best = Some((next, next_cost));
             }
@@ -56,14 +90,20 @@ pub fn two_step_search(ctx: &EvalContext<'_>, max_rounds: usize) -> AdvisorOutco
     let translated = prepared.translated(ctx.workload);
     let queries: Vec<(&xmlshred_rel::sql::SqlQuery, f64)> =
         translated.iter().map(|(_, q, w)| (*q, *w)).collect();
-    let result = tune(
+    let result = tune_with(
         &prepared.catalog,
         &prepared.stats,
         &queries,
+        &[],
         ctx.space_budget,
+        &oracle,
+        &TuneOptions {
+            threads: options.threads,
+        },
     );
     stats.absorb_tune(result.optimizer_calls);
 
+    stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
     AdvisorOutcome {
         mapping,
@@ -98,16 +138,40 @@ pub fn best_guess_config(prepared: &PreparedMapping) -> PhysicalConfig {
     config
 }
 
-fn best_guess_cost(ctx: &EvalContext<'_>, mapping: &Mapping, stats: &mut SearchStats) -> f64 {
+fn best_guess_cost(
+    ctx: &EvalContext<'_>,
+    mapping: &Mapping,
+    stats: &mut SearchStats,
+    oracle: &CostOracle,
+) -> f64 {
     let prepared = ctx.prepare(mapping);
     let config = best_guess_config(&prepared);
+    let (ctx_fp, config_fp) = if oracle.is_enabled() {
+        (
+            context_fingerprint(&prepared.catalog, &prepared.stats),
+            config_fingerprint(&config),
+        )
+    } else {
+        (0, 0)
+    };
     let mut total = 0.0;
     for (_, query, weight) in prepared.translated(ctx.workload) {
-        stats.optimizer_calls += 1;
-        total += plan_query(&prepared.catalog, &prepared.stats, &config, query)
-            .map(|p| p.est_cost)
-            .unwrap_or(f64::INFINITY)
-            * weight;
+        let q_fp = if oracle.is_enabled() {
+            query_fingerprint(query)
+        } else {
+            0
+        };
+        let (cost, _, fresh) = oracle.query_cost(
+            (ctx_fp, config_fp, q_fp),
+            &prepared.catalog,
+            &prepared.stats,
+            &config,
+            query,
+        );
+        if fresh {
+            stats.optimizer_calls += 1;
+        }
+        total += cost * weight;
     }
     total
 }
@@ -128,7 +192,10 @@ mod tests {
         let source = SourceStats::collect(&ds.tree, &ds.document);
         let workload = vec![
             (parse_path("//movie[year = 1990]/box_office").unwrap(), 1.0),
-            (parse_path("//movie/(title | genre | avg_rating)").unwrap(), 1.0),
+            (
+                parse_path("//movie/(title | genre | avg_rating)").unwrap(),
+                1.0,
+            ),
         ];
         let ctx = EvalContext {
             tree: &ds.tree,

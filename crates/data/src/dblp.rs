@@ -113,24 +113,32 @@ pub fn generate_dblp(config: &DblpConfig) -> Dataset {
             "<title>A Comprehensive Study of Topic {} Techniques for Problem {i}</title>",
             i % 97
         );
-        let _ = write!(
-            xml,
-            "<booktitle>CONF{conf}</booktitle><year>{year}</year>"
-        );
+        let _ = write!(xml, "<booktitle>CONF{conf}</booktitle><year>{year}</year>");
         for _ in 0..author_count(&mut rng) {
             let a = rng.gen_range(0..config.n_authors);
             let _ = write!(xml, "<author>Firstname Q. Surname{a}</author>");
         }
         let first_page = rng.gen_range(1..400);
-        let _ = write!(xml, "<pages>{}-{}</pages>", first_page, first_page + rng.gen_range(5..20));
+        let _ = write!(
+            xml,
+            "<pages>{}-{}</pages>",
+            first_page,
+            first_page + rng.gen_range(5..20)
+        );
         if rng.gen_bool(0.3) {
             let _ = write!(xml, "<cdrom>CDROM{}/{}</cdrom>", conf, i % 50);
         }
         if rng.gen_bool(0.6) {
-            let _ = write!(xml, "<ee>https://doi.org/10.1145/conf{conf}.{year}.paper{i}</ee>");
+            let _ = write!(
+                xml,
+                "<ee>https://doi.org/10.1145/conf{conf}.{year}.paper{i}</ee>"
+            );
         }
         if rng.gen_bool(0.8) {
-            let _ = write!(xml, "<url>db/conf/conf{conf}/conf{conf}{year}.html#paper{i}</url>");
+            let _ = write!(
+                xml,
+                "<url>db/conf/conf{conf}/conf{conf}{year}.html#paper{i}</url>"
+            );
         }
         for _ in 0..rng.gen_range(0..4usize) {
             let cited: usize = rng.gen_range(0..config.n_inproceedings.max(1));
@@ -230,8 +238,10 @@ mod tests {
             .tree
             .node_ids()
             .find(|&n| {
-                matches!(ds.tree.node(n).kind, xmlshred_xml::tree::NodeKind::Repetition)
-                    && ds.tree.node(ds.tree.children(n)[0]).kind.tag_name() == Some("author")
+                matches!(
+                    ds.tree.node(n).kind,
+                    xmlshred_xml::tree::NodeKind::Repetition
+                ) && ds.tree.node(ds.tree.children(n)[0]).kind.tag_name() == Some("author")
             })
             .unwrap();
         let le5 = 1.0 - stats.cardinality_fraction_ge(star, 6);

@@ -96,7 +96,11 @@ pub fn generate_movie(config: &MovieConfig) -> Dataset {
             let _ = write!(xml, "<aka_title>Movie {i} aka {a}</aka_title>");
         }
         if rng.gen_bool(config.rating_fraction) {
-            let _ = write!(xml, "<avg_rating>{:.1}</avg_rating>", rng.gen_range(1.0..10.0));
+            let _ = write!(
+                xml,
+                "<avg_rating>{:.1}</avg_rating>",
+                rng.gen_range(1.0..10.0)
+            );
         }
         if rng.gen_bool(config.runtime_fraction) {
             let _ = write!(xml, "<runtime>{}</runtime>", rng.gen_range(60..240));
@@ -178,8 +182,7 @@ mod tests {
             .node_ids()
             .find(|&n| {
                 matches!(ds.tree.node(n).kind, NodeKind::Optional)
-                    && ds.tree.node(ds.tree.children(n)[0]).kind.tag_name()
-                        == Some("avg_rating")
+                    && ds.tree.node(ds.tree.children(n)[0]).kind.tag_name() == Some("avg_rating")
             })
             .unwrap();
         let frac = stats.presence_fraction(optional);

@@ -67,7 +67,8 @@ impl WorkloadSpec {
                         projections,
                         selectivity,
                         n_queries,
-                        seed: 1000 + n_queries as u64 * 7
+                        seed: 1000
+                            + n_queries as u64 * 7
                             + matches!(projections, Projections::High) as u64 * 3
                             + matches!(selectivity, Selectivity::High) as u64,
                     });
@@ -114,7 +115,16 @@ impl Workload {
 
 /// Leaves available for projection per entry kind.
 const DBLP_INPROC_LEAVES: &[&str] = &[
-    "title", "booktitle", "year", "author", "pages", "cdrom", "ee", "url", "cite", "editor",
+    "title",
+    "booktitle",
+    "year",
+    "author",
+    "pages",
+    "cdrom",
+    "ee",
+    "url",
+    "cite",
+    "editor",
 ];
 const DBLP_BOOK_LEAVES: &[&str] = &["title", "publisher", "year", "author", "isbn", "series"];
 const MOVIE_LEAVES: &[&str] = &[
@@ -298,7 +308,11 @@ mod tests {
 
     #[test]
     fn movie_workload_parses_and_targets_movie() {
-        let w = movie_workload(&spec(Projections::High, Selectivity::High), (1950, 2004), 25);
+        let w = movie_workload(
+            &spec(Projections::High, Selectivity::High),
+            (1950, 2004),
+            25,
+        );
         assert_eq!(w.queries.len(), 20);
         for text in w.texts() {
             assert!(text.starts_with("//movie"), "{text}");
@@ -309,7 +323,10 @@ mod tests {
     fn suites_have_expected_sizes() {
         assert_eq!(WorkloadSpec::dblp_suite().len(), 8);
         assert_eq!(WorkloadSpec::movie_suite().len(), 4);
-        let names: Vec<String> = WorkloadSpec::dblp_suite().iter().map(|s| s.name()).collect();
+        let names: Vec<String> = WorkloadSpec::dblp_suite()
+            .iter()
+            .map(|s| s.name())
+            .collect();
         assert!(names.contains(&"HP-LS-10".to_string()));
         assert!(names.contains(&"LP-HS-20".to_string()));
     }

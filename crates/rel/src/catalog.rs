@@ -95,7 +95,14 @@ impl TableDef {
         8 + self
             .columns
             .iter()
-            .map(|c| c.ty.fixed_width() + if c.ty == DataType::Str { c.avg_width } else { 0 })
+            .map(|c| {
+                c.ty.fixed_width()
+                    + if c.ty == DataType::Str {
+                        c.avg_width
+                    } else {
+                        0
+                    }
+            })
             .sum::<usize>()
     }
 }

@@ -52,7 +52,11 @@ mod tests {
         }
         .to_string()
         .contains("'c'"));
-        assert!(RelError::Duplicate("x".into()).to_string().contains("exists"));
-        assert!(RelError::InvalidQuery("no".into()).to_string().contains("no"));
+        assert!(RelError::Duplicate("x".into())
+            .to_string()
+            .contains("exists"));
+        assert!(RelError::InvalidQuery("no".into())
+            .to_string()
+            .contains("no"));
     }
 }

@@ -163,8 +163,9 @@ fn execute_pipeline(
                 let built = db.built_index(index)?;
                 let heap = db.heap(inner_table);
                 let table_def = db.catalog().table(inner_table);
-                let entry_width =
-                    built.def.entry_width(table_def, db.table_stats(inner_table));
+                let entry_width = built
+                    .def
+                    .entry_width(table_def, db.table_stats(inner_table));
                 for outer in &wide {
                     let key = &outer[outer_slot];
                     if key.is_null() {
@@ -172,8 +173,7 @@ fn execute_pipeline(
                     }
                     // Per-probe descent.
                     stats.io_cost += BTREE_DESCENT_COST * RANDOM_PAGE_COST;
-                    let matched =
-                        built.seek(&crate::index::KeyRange::eq(vec![key.clone()]));
+                    let matched = built.seek(&crate::index::KeyRange::eq(vec![key.clone()]));
                     stats.io_cost +=
                         (matched.len() as f64 * entry_width / PAGE_SIZE as f64) * SEQ_PAGE_COST;
                     if !covering {
@@ -226,8 +226,8 @@ fn run_scan(
     match &scan.access {
         Access::SeqScan => {
             stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
-            stats.cpu_cost += heap.len() as f64
-                * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
+            stats.cpu_cost +=
+                heap.len() as f64 * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
             stats.tuples_processed += heap.len() as u64;
             Ok(heap
                 .rows()
@@ -253,8 +253,8 @@ fn run_scan(
                     crate::cost::pages_fetched(matched.len() as f64, heap.pages() as f64)
                         * RANDOM_PAGE_COST;
             }
-            stats.cpu_cost += matched.len() as f64
-                * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
+            stats.cpu_cost +=
+                matched.len() as f64 * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
             stats.tuples_processed += matched.len() as u64;
             Ok(matched
                 .iter()
@@ -275,8 +275,8 @@ fn execute_view_scan(
 ) -> RelResult<Vec<Row>> {
     let built = db.built_view(view)?;
     stats.io_cost += built.pages() as f64 * SEQ_PAGE_COST;
-    stats.cpu_cost += built.rows.len() as f64
-        * (CPU_TUPLE_COST + filters.len() as f64 * CPU_PRED_COST);
+    stats.cpu_cost +=
+        built.rows.len() as f64 * (CPU_TUPLE_COST + filters.len() as f64 * CPU_PRED_COST);
     stats.tuples_processed += built.rows.len() as u64;
     let out: Vec<Row> = built
         .rows
@@ -381,7 +381,11 @@ mod tests {
         q.outputs = vec![Output::col(0, 0)];
         let outcome = db.execute(&SqlQuery::Select(q)).unwrap();
         let pages = db.heap(t).pages() as f64;
-        assert!(outcome.exec.io_cost >= pages, "io {} < pages {pages}", outcome.exec.io_cost);
+        assert!(
+            outcome.exec.io_cost >= pages,
+            "io {} < pages {pages}",
+            outcome.exec.io_cost
+        );
         assert_eq!(outcome.exec.rows_out, 5_000 - 10);
     }
 

@@ -65,7 +65,7 @@ impl FilterOp {
 
 /// A filter on one column of one table occurrence in a query:
 /// `table_ref.column <op> literal`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Filter {
     /// Index into the query's table list.
     pub table_ref: usize,

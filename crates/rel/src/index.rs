@@ -66,7 +66,9 @@ impl IndexDef {
     /// clustered index's entry is the full row.
     pub fn entry_width(&self, def: &TableDef, stats: &TableStats) -> f64 {
         if self.clustered {
-            return stats.effective_row_width().max(def.nominal_row_width() as f64 * 0.25);
+            return stats
+                .effective_row_width()
+                .max(def.nominal_row_width() as f64 * 0.25);
         }
         let col_width = |&c: &usize| -> f64 {
             stats
@@ -256,13 +258,12 @@ mod tests {
     #[test]
     fn eq_seek() {
         let (_, heap) = setup();
-        let idx = BuiltIndex::build(
-            IndexDef::new("i_grp", TableId(0), vec![1], vec![]),
-            &heap,
-        );
+        let idx = BuiltIndex::build(IndexDef::new("i_grp", TableId(0), vec![1], vec![]), &heap);
         let rows = idx.seek(&KeyRange::eq(vec![Value::Int(3)]));
         assert_eq!(rows.len(), 10);
-        assert!(rows.iter().all(|&r| heap.row(r as usize)[1] == Value::Int(3)));
+        assert!(rows
+            .iter()
+            .all(|&r| heap.row(r as usize)[1] == Value::Int(3)));
     }
 
     #[test]
@@ -285,7 +286,10 @@ mod tests {
         );
         let arg = KeyRange {
             eq_prefix: vec![Value::Int(3)],
-            range: Some((Bound::Included(Value::Int(0)), Bound::Included(Value::Int(50)))),
+            range: Some((
+                Bound::Included(Value::Int(0)),
+                Bound::Included(Value::Int(50)),
+            )),
         };
         let rows = idx.seek(&arg);
         // grp=3: ids 3,13,23,33,43 are <= 50.
@@ -322,10 +326,7 @@ mod tests {
     #[test]
     fn covered_row_projection() {
         let (_, heap) = setup();
-        let idx = BuiltIndex::build(
-            IndexDef::new("i", TableId(0), vec![1], vec![2]),
-            &heap,
-        );
+        let idx = BuiltIndex::build(IndexDef::new("i", TableId(0), vec![1], vec![2]), &heap);
         let projected = idx.covered_row(heap.row(5));
         assert_eq!(projected, vec![Value::Int(5), Value::str("n5")]);
     }
@@ -344,11 +345,7 @@ mod tests {
         let stats = crate::stats::TableStats {
             rows: heap.len() as u64,
             columns: (0..3)
-                .map(|c| {
-                    crate::stats::ColumnStats::build(
-                        heap.rows().iter().map(|r| r[c].clone()),
-                    )
-                })
+                .map(|c| crate::stats::ColumnStats::build(heap.rows().iter().map(|r| r[c].clone())))
                 .collect(),
         };
         let idx = IndexDef::new("i", TableId(0), vec![0], vec![2]);

@@ -160,6 +160,105 @@ pub fn config_bytes(catalog: &Catalog, stats: &[TableStats], config: &PhysicalCo
 }
 
 // ---------------------------------------------------------------------------
+// Fingerprinting (what-if plan-cache keys)
+// ---------------------------------------------------------------------------
+//
+// The advisor memoizes what-if costs under the key
+// `(context fingerprint, configuration fingerprint, query fingerprint)`.
+// All three are 64-bit Fx hashes: the planner is a pure function of
+// (catalog, stats, config, query), so equal fingerprints — modulo the
+// negligible 64-bit collision probability, which a debug-mode differential
+// check in the cache guards — imply equal plans.
+
+/// Stable Fx hash of any hashable value.
+fn fx_hash<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    use std::hash::Hasher;
+    let mut hasher = rustc_hash::FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Fingerprint of the empty configuration — the seed every incremental
+/// chain starts from.
+pub const EMPTY_CONFIG_FINGERPRINT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Order-dependent combination: the fingerprint of a configuration after
+/// appending one more structure. Appending candidates in the same order
+/// always yields the same chain, which is what the tuning tool's accept
+/// loop does.
+pub fn extend_fingerprint(config_fp: u64, addition_fp: u64) -> u64 {
+    (config_fp.rotate_left(5) ^ addition_fp).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+/// Fingerprint of one index definition.
+pub fn index_fingerprint(def: &IndexDef) -> u64 {
+    fx_hash(&(1u8, def))
+}
+
+/// Fingerprint of one view definition.
+pub fn view_fingerprint(def: &ViewDef) -> u64 {
+    fx_hash(&(2u8, def))
+}
+
+/// Fingerprint of a whole configuration: the chain of its indexes then its
+/// views. Two configs holding the same structures in the same order agree.
+pub fn config_fingerprint(config: &PhysicalConfig) -> u64 {
+    let mut fp = EMPTY_CONFIG_FINGERPRINT;
+    for idx in &config.indexes {
+        fp = extend_fingerprint(fp, index_fingerprint(idx));
+    }
+    for view in &config.views {
+        fp = extend_fingerprint(fp, view_fingerprint(view));
+    }
+    fp
+}
+
+/// Fingerprint of one select block.
+pub fn select_fingerprint(query: &SelectQuery) -> u64 {
+    fx_hash(query)
+}
+
+/// Fingerprint of a whole query.
+pub fn query_fingerprint(query: &SqlQuery) -> u64 {
+    fx_hash(query)
+}
+
+/// Fingerprint of the planning context: the catalog plus the statistics the
+/// planner reads. Two prepared mappings with identical schemas and
+/// statistics — e.g. the same logical mapping prepared twice — agree, while
+/// mappings that shred differently (different tables, row counts, or value
+/// distributions) do not.
+pub fn context_fingerprint(catalog: &Catalog, stats: &[TableStats]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = rustc_hash::FxHasher::default();
+    for (id, table) in catalog.iter() {
+        id.hash(&mut hasher);
+        table.name.hash(&mut hasher);
+        for column in &table.columns {
+            column.name.hash(&mut hasher);
+            column.ty.hash(&mut hasher);
+            column.nullable.hash(&mut hasher);
+            column.avg_width.hash(&mut hasher);
+        }
+    }
+    for table_stats in stats {
+        table_stats.rows.hash(&mut hasher);
+        for column in &table_stats.columns {
+            column.rows.hash(&mut hasher);
+            column.nulls.hash(&mut hasher);
+            column.n_distinct.hash(&mut hasher);
+            column.avg_width.to_bits().hash(&mut hasher);
+            for bucket in &column.histogram {
+                bucket.upper.hash(&mut hasher);
+                bucket.count.hash(&mut hasher);
+                bucket.distinct.hash(&mut hasher);
+            }
+        }
+    }
+    hasher.finish()
+}
+
+// ---------------------------------------------------------------------------
 // Access path selection
 // ---------------------------------------------------------------------------
 
@@ -204,9 +303,10 @@ fn best_access(
         let mut consumed_sel = 1.0;
         let mut consumed = vec![false; filters.len()];
         for &key_col in &idx.key_columns {
-            let found = filters.iter().enumerate().find(|(i, f)| {
-                !consumed[*i] && f.column == key_col && f.op == FilterOp::Eq
-            });
+            let found = filters
+                .iter()
+                .enumerate()
+                .find(|(i, f)| !consumed[*i] && f.column == key_col && f.op == FilterOp::Eq);
             match found {
                 Some((i, f)) => {
                     consumed[i] = true;
@@ -337,7 +437,10 @@ fn plan_pipeline(
         let driver = ScanNode {
             table_ref: driver_ref,
             access: driver_choice.access,
-            filters: per_table_filters[driver_ref].iter().map(|f| (*f).clone()).collect(),
+            filters: per_table_filters[driver_ref]
+                .iter()
+                .map(|f| (*f).clone())
+                .collect(),
             est_rows: driver_choice.est_rows,
             est_cost: driver_choice.est_cost,
         };
@@ -378,8 +481,8 @@ fn plan_pipeline(
                 &per_table_filters[occ],
                 &needed[occ],
             );
-            let hash_cost = inner_access.est_cost
-                + hash_join_cost(inner_access.est_rows, rows, out_rows);
+            let hash_cost =
+                inner_access.est_cost + hash_join_cost(inner_access.est_rows, rows, out_rows);
 
             // INLJ option: an index whose first key column is the join column.
             let mut inlj: Option<(f64, String, bool)> = None;
@@ -406,7 +509,10 @@ fn plan_pipeline(
             let inner_scan = ScanNode {
                 table_ref: occ,
                 access: inner_access.access,
-                filters: per_table_filters[occ].iter().map(|f| (*f).clone()).collect(),
+                filters: per_table_filters[occ]
+                    .iter()
+                    .map(|f| (*f).clone())
+                    .collect(),
                 est_rows: inner_access.est_rows,
                 est_cost: inner_access.est_cost,
             };
@@ -568,8 +674,8 @@ fn plan_view_scan(
             })
             .product();
         let est_rows = view_rows * sel;
-        let est_cost = seq_scan_cost(pages, view_rows, query.filters.len())
-            + est_rows * CPU_TUPLE_COST;
+        let est_cost =
+            seq_scan_cost(pages, view_rows, query.filters.len()) + est_rows * CPU_TUPLE_COST;
 
         let candidate = BranchPlan::ViewScan {
             view: view.name.clone(),
@@ -651,9 +757,13 @@ mod tests {
     #[test]
     fn seq_scan_without_indexes() {
         let (catalog, stats, parent, _) = setup();
-        let plan =
-            plan_select(&catalog, &stats, &PhysicalConfig::none(), &selective_query(parent))
-                .unwrap();
+        let plan = plan_select(
+            &catalog,
+            &stats,
+            &PhysicalConfig::none(),
+            &selective_query(parent),
+        )
+        .unwrap();
         let BranchPlan::Pipeline { driver, .. } = &plan else {
             panic!()
         };
@@ -755,10 +865,7 @@ mod tests {
             panic!()
         };
         assert_eq!(driver.table_ref, 0);
-        assert!(matches!(
-            joins[0].algo,
-            JoinAlgo::IndexNestedLoop { .. }
-        ));
+        assert!(matches!(joins[0].algo, JoinAlgo::IndexNestedLoop { .. }));
     }
 
     #[test]

@@ -211,7 +211,9 @@ impl QueryPlan {
                         Access::SeqScan => {
                             let _ = write!(out, "SeqScan(t{})", driver.table_ref);
                         }
-                        Access::IndexSeek { index, covering, .. } => {
+                        Access::IndexSeek {
+                            index, covering, ..
+                        } => {
                             let _ = write!(
                                 out,
                                 "IndexSeek(t{}, {index}{})",
@@ -226,11 +228,7 @@ impl QueryPlan {
                                 let _ = write!(out, " -> HashJoin(t{})", join.inner.table_ref);
                             }
                             JoinAlgo::IndexNestedLoop { index, .. } => {
-                                let _ = write!(
-                                    out,
-                                    " -> INLJ(t{}, {index})",
-                                    join.inner.table_ref
-                                );
+                                let _ = write!(out, " -> INLJ(t{}, {index})", join.inner.table_ref);
                             }
                         }
                     }

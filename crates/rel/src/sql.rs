@@ -3,14 +3,14 @@
 //! final `ORDER BY`.
 
 use crate::catalog::Catalog;
+use crate::catalog::TableId;
 use crate::error::{RelError, RelResult};
 use crate::expr::{Filter, FilterOp};
-use crate::catalog::TableId;
 use crate::types::DataType;
 use std::fmt::Write as _;
 
 /// One output expression of a select block.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Output {
     /// A column of one of the block's table occurrences.
     Col {
@@ -31,7 +31,7 @@ impl Output {
 }
 
 /// An equi-join condition between two table occurrences.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct JoinCond {
     /// Left occurrence index.
     pub left_ref: usize,
@@ -44,7 +44,7 @@ pub struct JoinCond {
 }
 
 /// A conjunctive select-project-join block.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct SelectQuery {
     /// Table occurrences (the same table may appear more than once).
     pub tables: Vec<TableId>,
@@ -72,7 +72,11 @@ impl SelectQuery {
     pub fn referenced_columns(&self, table_ref: usize) -> Vec<usize> {
         let mut cols: Vec<usize> = Vec::new();
         for output in &self.outputs {
-            if let Output::Col { table_ref: t, column } = output {
+            if let Output::Col {
+                table_ref: t,
+                column,
+            } = output
+            {
                 if *t == table_ref {
                     cols.push(*column);
                 }
@@ -198,7 +202,7 @@ impl SelectQuery {
 
 /// A `UNION ALL` of select blocks with a final `ORDER BY` over output
 /// positions — the sorted outer union.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct UnionAllQuery {
     /// Branches; all must have the same output arity.
     pub branches: Vec<SelectQuery>,
@@ -249,7 +253,7 @@ impl UnionAllQuery {
 }
 
 /// Either shape of translated query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum SqlQuery {
     /// A single block.
     Select(SelectQuery),

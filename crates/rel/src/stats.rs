@@ -145,7 +145,9 @@ impl ColumnStats {
             .map(|b| Bucket {
                 upper: b.upper.clone(),
                 count: ((b.count as f64 * factor).round() as u64).max(1),
-                distinct: b.distinct.min(((b.count as f64 * factor).round() as u64).max(1)),
+                distinct: b
+                    .distinct
+                    .min(((b.count as f64 * factor).round() as u64).max(1)),
             })
             .collect();
         // Keep the histogram total consistent with the new non-null count.
@@ -489,9 +491,8 @@ mod tests {
 
     #[test]
     fn fill_fraction_and_width() {
-        let stats = ColumnStats::build(
-            [Value::str("abcd"), Value::Null, Value::str("ab")].into_iter(),
-        );
+        let stats =
+            ColumnStats::build([Value::str("abcd"), Value::Null, Value::str("ab")].into_iter());
         assert!((stats.fill_fraction() - 2.0 / 3.0).abs() < 1e-9);
         // widths: 4+4=8 and 4+2=6 -> avg 7
         assert!((stats.avg_width - 7.0).abs() < 1e-9);
@@ -505,9 +506,13 @@ mod tests {
         };
         let sparse = TableStats {
             rows: 100,
-            columns: vec![ColumnStats::build(
-                (0..100).map(|i| if i < 10 { Value::Int(i) } else { Value::Null }),
-            )],
+            columns: vec![ColumnStats::build((0..100).map(|i| {
+                if i < 10 {
+                    Value::Int(i)
+                } else {
+                    Value::Null
+                }
+            }))],
         };
         assert!(sparse.effective_row_width() < full.effective_row_width());
     }

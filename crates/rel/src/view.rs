@@ -41,7 +41,9 @@ pub struct ViewDef {
 impl ViewDef {
     /// Position of `(side, col)` in the view output, if exposed.
     pub fn output_position(&self, side: ViewSide, col: usize) -> Option<usize> {
-        self.outputs.iter().position(|&(s, c)| s == side && c == col)
+        self.outputs
+            .iter()
+            .position(|&(s, c)| s == side && c == col)
     }
 
     /// True when the view exposes every `(side, col)` in `needed`.
@@ -94,11 +96,7 @@ pub struct BuiltView {
 
 impl BuiltView {
     /// Materialize the view from the two table heaps.
-    pub fn build(
-        def: ViewDef,
-        left_rows: &[Row],
-        right_rows: &[Row],
-    ) -> Self {
+    pub fn build(def: ViewDef, left_rows: &[Row], right_rows: &[Row]) -> Self {
         use rustc_hash::FxHashMap;
         // Hash the right side on its join column.
         let mut right_by_key: FxHashMap<crate::types::Value, Vec<&Row>> = FxHashMap::default();
@@ -186,7 +184,10 @@ mod tests {
         ];
         let view = BuiltView::build(def, &left, &right);
         assert_eq!(view.rows.len(), 2);
-        assert_eq!(view.rows[0], vec![Value::Int(1), Value::str("a"), Value::str("x")]);
+        assert_eq!(
+            view.rows[0],
+            vec![Value::Int(1), Value::str("a"), Value::str("x")]
+        );
         assert!(view.byte_size > 0);
     }
 

@@ -226,11 +226,8 @@ pub fn derive_schema(tree: &SchemaTree, mapping: &Mapping) -> DerivedSchema {
         };
 
         for combo in enumerate_combos(tree, dims) {
-            let partition: Vec<(PartitionDim, usize)> = dims
-                .iter()
-                .cloned()
-                .zip(combo.iter().copied())
-                .collect();
+            let partition: Vec<(PartitionDim, usize)> =
+                dims.iter().cloned().zip(combo.iter().copied()).collect();
             let mut columns = vec![
                 RelColumn {
                     name: "ID".into(),
@@ -248,8 +245,7 @@ pub fn derive_schema(tree: &SchemaTree, mapping: &Mapping) -> DerivedSchema {
             // Rule 3: shared annotations are structurally equal, so every
             // anchor contributes the same column list; collect from the
             // first and register leaf sources from each via the walk below.
-            let mut anchor_sources: FxHashMap<NodeId, Vec<ColumnSource>> =
-                FxHashMap::default();
+            let mut anchor_sources: FxHashMap<NodeId, Vec<ColumnSource>> = FxHashMap::default();
             {
                 let mut collector = Collector {
                     tree,
@@ -500,8 +496,7 @@ impl Collector<'_> {
                                 occurrence,
                             });
                             if emit {
-                                let name =
-                                    self.column_name(prefix, &format!("{tag}_{occurrence}"));
+                                let name = self.column_name(prefix, &format!("{tag}_{occurrence}"));
                                 self.columns.push(RelColumn {
                                     name,
                                     source: ColumnSource::RepSplit {
@@ -562,7 +557,15 @@ mod tests {
         let cols: Vec<&str> = movie.columns.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             cols,
-            vec!["ID", "PID", "title", "year", "avg_rating", "box_office", "seasons"]
+            vec![
+                "ID",
+                "PID",
+                "title",
+                "year",
+                "avg_rating",
+                "box_office",
+                "seasons"
+            ]
         );
     }
 

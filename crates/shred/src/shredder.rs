@@ -122,9 +122,10 @@ impl Shredder<'_> {
         // alternatives match.
         for &index in candidates {
             let table = &self.schema.tables[index];
-            let matches = table.partition.iter().all(|(dim, alt)| {
-                self.dim_alternative(element, node, dim) == *alt
-            });
+            let matches = table
+                .partition
+                .iter()
+                .all(|(dim, alt)| self.dim_alternative(element, node, dim) == *alt);
             if matches {
                 return index;
             }
@@ -307,7 +308,12 @@ mod tests {
         let (db, _) = load(&Mapping::hybrid(&f.tree));
         let movies = db.catalog().table_id("movie").unwrap();
         let akas = db.catalog().table_id("aka_title").unwrap();
-        let movie_ids: Vec<Value> = db.heap(movies).rows().iter().map(|r| r[0].clone()).collect();
+        let movie_ids: Vec<Value> = db
+            .heap(movies)
+            .rows()
+            .iter()
+            .map(|r| r[0].clone())
+            .collect();
         for aka in db.heap(akas).rows() {
             assert!(movie_ids.contains(&aka[1]), "dangling PID {:?}", aka[1]);
         }
@@ -319,9 +325,7 @@ mod tests {
         let (db, schema) = load(&Mapping::hybrid(&f.tree));
         let movies = db.catalog().table_id("movie").unwrap();
         let table = schema.table_by_name("movie").unwrap();
-        let title_col = table
-            .column_position(&ColumnSource::Leaf(f.title))
-            .unwrap();
+        let title_col = table.column_position(&ColumnSource::Leaf(f.title)).unwrap();
         let titles: Vec<String> = db
             .heap(movies)
             .rows()
@@ -411,7 +415,12 @@ mod tests {
         assert_eq!(db.heap(titles).len(), 3);
         // Titles' PIDs point at movie rows.
         let movies = db.catalog().table_id("movie").unwrap();
-        let movie_ids: Vec<Value> = db.heap(movies).rows().iter().map(|r| r[0].clone()).collect();
+        let movie_ids: Vec<Value> = db
+            .heap(movies)
+            .rows()
+            .iter()
+            .map(|r| r[0].clone())
+            .collect();
         for t in db.heap(titles).rows() {
             assert!(movie_ids.contains(&t[1]));
         }

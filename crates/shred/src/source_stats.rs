@@ -178,21 +178,13 @@ impl Accumulator<'_> {
             for structural in tree.structural_path_to_parent_tag(ct) {
                 match tree.node(structural).kind {
                     NodeKind::Optional => {
-                        *self
-                            .stats
-                            .parent_instances
-                            .entry(structural)
-                            .or_insert(0) += 1;
+                        *self.stats.parent_instances.entry(structural).or_insert(0) += 1;
                         if instances > 0 {
                             *self.stats.presence_count.entry(structural).or_insert(0) += 1;
                         }
                     }
                     NodeKind::Repetition => {
-                        *self
-                            .stats
-                            .parent_instances
-                            .entry(structural)
-                            .or_insert(0) += 1;
+                        *self.stats.parent_instances.entry(structural).or_insert(0) += 1;
                         let counts = self
                             .stats
                             .rep_cardinality
@@ -207,12 +199,7 @@ impl Accumulator<'_> {
                             .children(structural)
                             .iter()
                             .copied()
-                            .find(|&b| {
-                                b == ct
-                                    || tree
-                                        .descendants(b)
-                                        .contains(&ct)
-                            });
+                            .find(|&b| b == ct || tree.descendants(b).contains(&ct));
                         if let Some(branch) = branch {
                             *self.stats.parent_instances.entry(branch).or_insert(0) += 1;
                             if instances > 0 && choice_branches_seen.insert(branch) {

@@ -63,8 +63,7 @@ fn derive_one(
                 continue;
             };
             let anchor_instances = anchor_rows(tree, mapping, anchor, source) as f64 * fraction;
-            let per_anchor =
-                derive_data_column(tree, table, &sources[j], source, anchor_instances);
+            let per_anchor = derive_data_column(tree, table, &sources[j], source, anchor_instances);
             merged = Some(match merged {
                 None => per_anchor,
                 Some(m) => m.merge(&per_anchor),
@@ -88,12 +87,7 @@ fn derive_one(
 
 /// Instances of `anchor` that become rows of its table(s): all instances,
 /// or only the overflow beyond a repetition split.
-fn anchor_rows(
-    tree: &SchemaTree,
-    mapping: &Mapping,
-    anchor: NodeId,
-    source: &SourceStats,
-) -> u64 {
+fn anchor_rows(tree: &SchemaTree, mapping: &Mapping, anchor: NodeId, source: &SourceStats) -> u64 {
     if let Some(parent) = tree.parent(anchor) {
         if matches!(tree.node(parent).kind, NodeKind::Repetition) {
             if let Some(k) = mapping.rep_split_count(parent) {
@@ -319,7 +313,10 @@ mod tests {
     fn big_doc() -> Element {
         let mut s = String::from("<movies>");
         for i in 0..200 {
-            s.push_str(&format!("<movie><title>M{i}</title><year>{}</year>", 1960 + i % 45));
+            s.push_str(&format!(
+                "<movie><title>M{i}</title><year>{}</year>",
+                1960 + i % 45
+            ));
             for a in 0..(i % 5) {
                 s.push_str(&format!("<aka_title>M{i}a{a}</aka_title>"));
             }

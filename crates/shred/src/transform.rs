@@ -476,7 +476,9 @@ mod tests {
     fn outline_then_inline_roundtrip() {
         let f = movie_tree();
         let m0 = Mapping::hybrid(&f.tree);
-        let m1 = Transformation::Outline(f.title).apply(&f.tree, &m0).unwrap();
+        let m1 = Transformation::Outline(f.title)
+            .apply(&f.tree, &m0)
+            .unwrap();
         assert!(m1.is_annotated(&f.tree, f.title));
         let m2 = Transformation::Inline(f.title).apply(&f.tree, &m1).unwrap();
         assert!(!m2.is_annotated(&f.tree, f.title));
@@ -636,7 +638,9 @@ mod tests {
     #[test]
     fn fully_split_schema_has_many_tables() {
         let f = movie_tree();
-        let hybrid_tables = derive_schema(&f.tree, &Mapping::hybrid(&f.tree)).tables.len();
+        let hybrid_tables = derive_schema(&f.tree, &Mapping::hybrid(&f.tree))
+            .tables
+            .len();
         let split_tables = derive_schema(&f.tree, &fully_split(&f.tree, &|_| 5))
             .tables
             .len();

@@ -80,7 +80,8 @@ pub fn to_xml(triples: &[ResultTriple], context_tag: &str) -> xmlshred_xml::dom:
         };
         if start_new {
             if let Some((_, done)) = current.take() {
-                root.children.push(xmlshred_xml::dom::XmlNode::Element(done));
+                root.children
+                    .push(xmlshred_xml::dom::XmlNode::Element(done));
             }
             current = Some((
                 triple.context_id,
@@ -94,7 +95,8 @@ pub fn to_xml(triples: &[ResultTriple], context_tag: &str) -> xmlshred_xml::dom:
         }
     }
     if let Some((_, done)) = current.take() {
-        root.children.push(xmlshred_xml::dom::XmlNode::Element(done));
+        root.children
+            .push(xmlshred_xml::dom::XmlNode::Element(done));
     }
     root
 }
@@ -124,9 +126,15 @@ mod tests {
         ResultShape {
             roles: vec![
                 OutputRole::ContextId,
-                OutputRole::Projection { tag: "title".into() },
-                OutputRole::Projection { tag: "author".into() },
-                OutputRole::Projection { tag: "author".into() },
+                OutputRole::Projection {
+                    tag: "title".into(),
+                },
+                OutputRole::Projection {
+                    tag: "author".into(),
+                },
+                OutputRole::Projection {
+                    tag: "author".into(),
+                },
             ],
         }
     }
@@ -162,7 +170,12 @@ mod tests {
     #[test]
     fn to_xml_groups_by_context() {
         let rows = vec![
-            vec![Value::Int(7), Value::str("T"), Value::str("A1"), Value::Null],
+            vec![
+                Value::Int(7),
+                Value::str("T"),
+                Value::str("A1"),
+                Value::Null,
+            ],
             vec![Value::Int(7), Value::Null, Value::Null, Value::str("A3")],
             vec![Value::Int(9), Value::str("U"), Value::Null, Value::Null],
         ];

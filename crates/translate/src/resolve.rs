@@ -1,7 +1,7 @@
 //! Resolve XPath steps against the schema tree.
 
-use xmlshred_xpath::ast::{Axis, Step};
 use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+use xmlshred_xpath::ast::{Axis, Step};
 
 /// Resolve a step sequence from the (virtual) document root, returning the
 /// matched `Tag` nodes.
@@ -85,8 +85,8 @@ pub fn resolve_context(tree: &SchemaTree, steps: &[Step]) -> Option<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xmlshred_xpath::parser::parse_path;
     use xmlshred_xml::tree::{BaseType, SchemaTree};
+    use xmlshred_xpath::parser::parse_path;
 
     fn movie_tree() -> SchemaTree {
         let mut t = SchemaTree::with_root(NodeKind::Tag("movies".into()));

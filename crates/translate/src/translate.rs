@@ -8,8 +8,8 @@ use xmlshred_rel::sql::{JoinCond, Output, SelectQuery, SqlQuery, UnionAllQuery};
 use xmlshred_rel::types::{DataType, Value};
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::schema::{ColumnSource, DerivedSchema, RelTable};
-use xmlshred_xpath::ast::{CmpOp, Literal, Path, Predicate};
 use xmlshred_xml::tree::{NodeId, NodeKind, SchemaTree};
+use xmlshred_xpath::ast::{CmpOp, Literal, Path, Predicate};
 
 /// Translation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +65,12 @@ pub struct TranslatedQuery {
 #[derive(Debug, Clone)]
 enum SelectionPlace {
     /// A column of the context table (checked per partition).
-    Inline { leaf: NodeId, op: FilterOp, value_for: DataType, literal: Option<Literal> },
+    Inline {
+        leaf: NodeId,
+        op: FilterOp,
+        value_for: DataType,
+        literal: Option<Literal>,
+    },
     /// A join to a child-anchor table.
     Child {
         table_index: usize,
@@ -80,7 +85,11 @@ enum SelectionPlace {
 #[derive(Debug, Clone)]
 enum ProjectionPlace {
     /// Inlined leaf of the context table: one output position.
-    Inline { leaf: NodeId, position: usize, ty: DataType },
+    Inline {
+        leaf: NodeId,
+        position: usize,
+        ty: DataType,
+    },
     /// Repetition split: `k` context columns + one overflow branch.
     RepSplit {
         star: NodeId,
@@ -147,7 +156,11 @@ pub fn translate(
         if p_anchor == anchor {
             let position = shape.roles.len();
             shape.roles.push(OutputRole::Projection { tag });
-            projections.push(ProjectionPlace::Inline { leaf: p, position, ty });
+            projections.push(ProjectionPlace::Inline {
+                leaf: p,
+                position,
+                ty,
+            });
         } else {
             // One hop below the context?
             let parent_anchor = tree
@@ -157,16 +170,18 @@ pub fn translate(
                 return Err(TranslateError::TooDeep(tag));
             }
             // Repetition split?
-            let star = tree.parent(p_anchor).filter(|&s| {
-                matches!(tree.node(s).kind, NodeKind::Repetition)
-            });
+            let star = tree
+                .parent(p_anchor)
+                .filter(|&s| matches!(tree.node(s).kind, NodeKind::Repetition));
             let split = star.and_then(|s| mapping.rep_split_count(s).map(|k| (s, k)));
             match split {
                 Some((star, k)) if tree.is_leaf_element(p_anchor) && p == p_anchor => {
                     let positions: Vec<usize> = (0..k)
                         .map(|_| {
                             let pos = shape.roles.len();
-                            shape.roles.push(OutputRole::Projection { tag: tag.clone() });
+                            shape
+                                .roles
+                                .push(OutputRole::Projection { tag: tag.clone() });
                             pos
                         })
                         .collect();
@@ -200,9 +215,15 @@ pub fn translate(
     for &ct_index in schema.tables_of_anchor(anchor) {
         let ct = &schema.tables[ct_index];
         // Context branch (carries every inlined projection).
-        if let Some(branch) =
-            context_branch(schema, anchor, ct_index, ct, &selections, &projections, arity)
-        {
+        if let Some(branch) = context_branch(
+            schema,
+            anchor,
+            ct_index,
+            ct,
+            &selections,
+            &projections,
+            arity,
+        ) {
             branches.push(branch);
         }
         // Child branches joined to this context partition — needed when a
@@ -230,8 +251,8 @@ pub fn translate(
                 if selections.is_empty() && table_owned_by(tree, mapping, child_table, anchor) {
                     continue; // covered by a single-table branch below
                 }
-                let Some(value_col) = child_table
-                    .column_position_for_anchor(child_anchor, &ColumnSource::Leaf(leaf))
+                let Some(value_col) =
+                    child_table.column_position_for_anchor(child_anchor, &ColumnSource::Leaf(leaf))
                 else {
                     continue;
                 };
@@ -275,8 +296,8 @@ pub fn translate(
                 if !table_owned_by(tree, mapping, child_table, anchor) {
                     continue; // shared table: joined branches above cover it
                 }
-                let Some(value_col) = child_table
-                    .column_position_for_anchor(child_anchor, &ColumnSource::Leaf(leaf))
+                let Some(value_col) =
+                    child_table.column_position_for_anchor(child_anchor, &ColumnSource::Leaf(leaf))
                 else {
                     continue;
                 };
@@ -299,7 +320,8 @@ pub fn translate(
         // context table so downstream costing still has a query.
         let ct_index = schema.tables_of_anchor(anchor)[0];
         let mut q = SelectQuery::single(TableId(ct_index as u32));
-        q.filters.push(Filter::new(0, 0, FilterOp::IsNull, Value::Null));
+        q.filters
+            .push(Filter::new(0, 0, FilterOp::IsNull, Value::Null));
         q.outputs.push(Output::col(0, 0));
         for _ in 1..arity {
             q.outputs.push(Output::Null(DataType::Str));
@@ -320,17 +342,11 @@ pub fn translate(
 /// True when every row of `table` belongs to an instance under `anchor`'s
 /// table: all of the table's anchors have `anchor` as their parent anchor.
 /// Only then can a child branch skip the context join.
-fn table_owned_by(
-    tree: &SchemaTree,
-    mapping: &Mapping,
-    table: &RelTable,
-    anchor: NodeId,
-) -> bool {
-    table.anchors.iter().all(|&a| {
-        tree.parent_tag(a)
-            .map(|t| mapping.anchor_of(tree, t))
-            == Some(anchor)
-    })
+fn table_owned_by(tree: &SchemaTree, mapping: &Mapping, table: &RelTable, anchor: NodeId) -> bool {
+    table
+        .anchors
+        .iter()
+        .all(|&a| tree.parent_tag(a).map(|t| mapping.anchor_of(tree, t)) == Some(anchor))
 }
 
 fn leaf_type(tree: &SchemaTree, leaf: NodeId) -> DataType {
@@ -465,12 +481,9 @@ fn apply_selections(
                 literal,
             } => {
                 let col = ct.column_position_for_anchor(anchor, &ColumnSource::Leaf(*leaf))?;
-                query.filters.push(Filter::new(
-                    0,
-                    col,
-                    *op,
-                    literal_value(literal, *value_for),
-                ));
+                query
+                    .filters
+                    .push(Filter::new(0, col, *op, literal_value(literal, *value_for)));
             }
             SelectionPlace::Child {
                 table_index,
@@ -694,11 +707,10 @@ mod tests {
     fn reference(q: &str) -> Vec<(String, String)> {
         let doc = sample_doc();
         let path = parse_path(q).unwrap();
-        let mut results: Vec<(String, String)> =
-            xmlshred_xpath::eval::evaluate_query(&doc, &path)
-                .into_iter()
-                .map(|m| (m.tag, m.value))
-                .collect();
+        let mut results: Vec<(String, String)> = xmlshred_xpath::eval::evaluate_query(&doc, &path)
+            .into_iter()
+            .map(|m| (m.tag, m.value))
+            .collect();
         results.sort();
         results
     }

@@ -17,9 +17,11 @@
 //! attributes are outside the paper's model.
 
 use crate::error::{XmlError, XmlResult};
-use crate::tree::SchemaTree;
-use crate::xsd::{schema_to_tree, ComplexType, ElementContent, ElementDecl, Occurs, Particle, Schema};
 use crate::tree::BaseType;
+use crate::tree::SchemaTree;
+use crate::xsd::{
+    schema_to_tree, ComplexType, ElementContent, ElementDecl, Occurs, Particle, Schema,
+};
 use rustc_hash::FxHashMap;
 
 /// Parse DTD text into the XSD object model.

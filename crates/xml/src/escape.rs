@@ -22,10 +22,7 @@ pub fn escape_text(text: &str) -> Cow<'_, str> {
 
 /// Escape text for use inside a double-quoted attribute value.
 pub fn escape_attr(text: &str) -> Cow<'_, str> {
-    if !text
-        .bytes()
-        .any(|b| matches!(b, b'<' | b'>' | b'&' | b'"'))
-    {
+    if !text.bytes().any(|b| matches!(b, b'<' | b'>' | b'&' | b'"')) {
         return Cow::Borrowed(text);
     }
     let mut out = String::with_capacity(text.len() + 8);

@@ -254,7 +254,12 @@ impl<'a> Parser<'a> {
         self.skip_whitespace();
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
-            _ => return Err(XmlError::syntax(self.pos, "expected quoted attribute value")),
+            _ => {
+                return Err(XmlError::syntax(
+                    self.pos,
+                    "expected quoted attribute value",
+                ))
+            }
         };
         self.pos += 1;
         let start = self.pos;
@@ -309,8 +314,7 @@ mod tests {
 
     #[test]
     fn doctype_with_internal_subset() {
-        let doc =
-            parse_document("<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]><r>x</r>").unwrap();
+        let doc = parse_document("<!DOCTYPE r [ <!ELEMENT r (#PCDATA)> ]><r>x</r>").unwrap();
         assert_eq!(doc.root.text(), "x");
     }
 
@@ -343,8 +347,8 @@ mod tests {
 
     #[test]
     fn namespace_prefixes_stripped() {
-        let e = parse_element("<xs:schema xmlns:xs=\"http://x\"><xs:element/></xs:schema>")
-            .unwrap();
+        let e =
+            parse_element("<xs:schema xmlns:xs=\"http://x\"><xs:element/></xs:schema>").unwrap();
         assert_eq!(e.name, "schema");
         assert_eq!(e.child_elements().next().unwrap().name, "element");
     }

@@ -225,8 +225,7 @@ impl SchemaTree {
         }
         let children = self.children(id);
         children.is_empty()
-            || (children.len() == 1
-                && matches!(self.node(children[0]).kind, NodeKind::Simple(_)))
+            || (children.len() == 1 && matches!(self.node(children[0]).kind, NodeKind::Simple(_)))
     }
 
     /// Base type of a leaf element (string for empty-content tags).
@@ -244,11 +243,7 @@ impl SchemaTree {
     }
 
     /// Nearest ancestor (excluding `id` itself) that satisfies `pred`.
-    pub fn nearest_ancestor(
-        &self,
-        id: NodeId,
-        pred: impl Fn(NodeId) -> bool,
-    ) -> Option<NodeId> {
+    pub fn nearest_ancestor(&self, id: NodeId, pred: impl Fn(NodeId) -> bool) -> Option<NodeId> {
         let mut current = self.parent(id);
         while let Some(node) = current {
             if pred(node) {

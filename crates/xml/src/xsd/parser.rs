@@ -30,9 +30,9 @@ pub fn schema_from_dom(root: &Element) -> XmlResult<Schema> {
                 schema.root_elements.push(decl);
             }
             "complexType" => {
-                let name = child.attr("name").ok_or_else(|| {
-                    XmlError::schema("top-level complexType must have a name")
-                })?;
+                let name = child
+                    .attr("name")
+                    .ok_or_else(|| XmlError::schema("top-level complexType must have a name"))?;
                 let ty = parse_complex_type(child)?;
                 schema.named_types.insert(name.to_string(), ty);
             }

@@ -305,10 +305,7 @@ mod tests {
     fn numeric_and_range_predicates() {
         let path = parse_path("//movie[year >= 1998]/(title | box_office)").unwrap();
         let pred = &path.steps[0].predicates[0];
-        assert_eq!(
-            pred.comparison,
-            Some((CmpOp::Ge, Literal::Num(1998.0)))
-        );
+        assert_eq!(pred.comparison, Some((CmpOp::Ge, Literal::Num(1998.0))));
     }
 
     #[test]

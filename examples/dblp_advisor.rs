@@ -32,7 +32,11 @@ fn main() {
         seed: 11,
     };
     let workload = dblp_workload(&spec, config.years, config.n_conferences);
-    println!("\nworkload {} ({} queries):", workload.name, workload.queries.len());
+    println!(
+        "\nworkload {} ({} queries):",
+        workload.name,
+        workload.queries.len()
+    );
     for text in workload.texts() {
         println!("  {text}");
     }
@@ -55,7 +59,10 @@ fn main() {
         &hybrid,
         space_budget,
     );
-    println!("\nhybrid inlining (tuned): measured cost {:.0}", hybrid_quality.measured_cost);
+    println!(
+        "\nhybrid inlining (tuned): measured cost {:.0}",
+        hybrid_quality.measured_cost
+    );
 
     for (name, outcome) in [
         ("Greedy", greedy_search(&ctx, &GreedyOptions::default())),
@@ -87,7 +94,10 @@ fn main() {
             println!("  repetition splits: {:?}", outcome.mapping.rep_splits);
         }
         if !outcome.mapping.partitions.is_empty() {
-            println!("  horizontal partitions on {} tables", outcome.mapping.partitions.len());
+            println!(
+                "  horizontal partitions on {} tables",
+                outcome.mapping.partitions.len()
+            );
         }
     }
 }

@@ -51,5 +51,8 @@ fn main() {
     let outcome = db.execute(&translated.sql).expect("executes");
     let triples = reassemble(&outcome.rows, &translated.shape);
     let xml = to_xml(&triples, "paper");
-    println!("=== results, republished as XML ===\n{}", element_to_pretty_string(&xml));
+    println!(
+        "=== results, republished as XML ===\n{}",
+        element_to_pretty_string(&xml)
+    );
 }

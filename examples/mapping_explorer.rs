@@ -10,9 +10,7 @@
 use xmlshred::data::dblp::{generate_dblp, DblpConfig};
 use xmlshred::prelude::*;
 use xmlshred::shred::schema::derive_schema;
-use xmlshred::shred::transform::{
-    count_transformations, enumerate_transformations, fully_split,
-};
+use xmlshred::shred::transform::{count_transformations, enumerate_transformations, fully_split};
 
 fn print_schema(label: &str, tree: &SchemaTree, mapping: &Mapping) {
     println!("--- {label} ---");

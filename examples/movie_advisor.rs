@@ -24,8 +24,14 @@ fn main() {
     let workload = vec![
         (parse_path("//movie/avg_rating").unwrap(), 1.0),
         (parse_path("//movie/runtime").unwrap(), 1.0),
-        (parse_path("//movie[year >= 1995]/(title | box_office)").unwrap(), 1.0),
-        (parse_path("//movie[genre = \"Genre 2\"]/seasons").unwrap(), 1.0),
+        (
+            parse_path("//movie[year >= 1995]/(title | box_office)").unwrap(),
+            1.0,
+        ),
+        (
+            parse_path("//movie[genre = \"Genre 2\"]/seasons").unwrap(),
+            1.0,
+        ),
         (parse_path("//movie/aka_title").unwrap(), 1.0),
     ];
     println!("workload:");

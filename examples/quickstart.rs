@@ -68,7 +68,10 @@ fn main() {
     // 5. Reassemble the XML-side result.
     println!("=== results ===");
     for triple in reassemble(&outcome.rows, &translated.shape) {
-        println!("  book #{}: <{}>{}</{}>", triple.context_id, triple.tag, triple.value, triple.tag);
+        println!(
+            "  book #{}: <{}>{}</{}>",
+            triple.context_id, triple.tag, triple.value, triple.tag
+        );
     }
     println!(
         "\nmeasured cost: {:.2} units, {} rows, {:?}",

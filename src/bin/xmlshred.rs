@@ -114,8 +114,7 @@ fn load_workload(path: &str) -> Result<Vec<(Path, f64)>, String> {
             ),
             None => (1.0, line),
         };
-        let query =
-            parse_path(query_text).map_err(|e| format!("line {}: {e}", line_no + 1))?;
+        let query = parse_path(query_text).map_err(|e| format!("line {}: {e}", line_no + 1))?;
         out.push((query, weight));
     }
     if out.is_empty() {
@@ -144,9 +143,17 @@ fn cmd_shred(schema_path: &str, doc_path: &str, out_dir: Option<&String>) -> Res
     let db = load_database(&tree, &mapping, &schema, &[&document]).map_err(|e| e.to_string())?;
 
     for table in &schema.tables {
-        let id = db.catalog().table_id(&table.name).map_err(|e| e.to_string())?;
+        let id = db
+            .catalog()
+            .table_id(&table.name)
+            .map_err(|e| e.to_string())?;
         let heap = db.heap(id);
-        println!("{}: {} rows, {} pages", table.name, heap.len(), heap.pages());
+        println!(
+            "{}: {} rows, {} pages",
+            table.name,
+            heap.len(),
+            heap.pages()
+        );
         if let Some(dir) = out_dir {
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
             let path = FsPath::new(dir).join(format!("{}.csv", table.name));
@@ -242,7 +249,10 @@ fn cmd_advise(
     };
     let outcome = greedy_search(&ctx, &GreedyOptions::default());
 
-    println!("-- recommended logical design (estimated workload cost {:.1})", outcome.estimated_cost);
+    println!(
+        "-- recommended logical design (estimated workload cost {:.1})",
+        outcome.estimated_cost
+    );
     let schema = derive_schema(&tree, &outcome.mapping);
     for def in schema.to_table_defs() {
         println!("{}\n", create_table_sql(&def));
@@ -259,7 +269,13 @@ fn cmd_advise(
         println!("{}", create_view_sql(&catalog, view));
     }
 
-    let quality = measure_quality(&tree, &document, &workload, &outcome.mapping, &outcome.config);
+    let quality = measure_quality(
+        &tree,
+        &document,
+        &workload,
+        &outcome.mapping,
+        &outcome.config,
+    );
     println!(
         "\n-- measured workload cost {:.1} over {} queries ({} skipped), search took {:?}",
         quality.measured_cost,

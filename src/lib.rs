@@ -56,13 +56,14 @@ pub use xmlshred_xpath as xpath;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use xmlshred_core::{
-        greedy_search, measure_quality, naive_greedy_search, two_step_search, tune,
-        AdvisorOutcome, EvalContext, GreedyOptions, MergeStrategy, SearchStats,
+        greedy_search, measure_quality, naive_greedy_search, naive_greedy_search_with, tune,
+        two_step_search, two_step_search_with, AdvisorOutcome, CostOracle, EvalContext,
+        GreedyOptions, MergeStrategy, SearchOptions, SearchStats,
     };
     pub use xmlshred_rel::{Database, PhysicalConfig};
-    pub use xmlshred_shred::{Mapping, SourceStats, Transformation};
     pub use xmlshred_shred::schema::derive_schema;
     pub use xmlshred_shred::shredder::load_database;
+    pub use xmlshred_shred::{Mapping, SourceStats, Transformation};
     pub use xmlshred_translate::translate::translate;
     pub use xmlshred_xml::tree::SchemaTree;
     pub use xmlshred_xml::xsd::parse_to_tree;

@@ -132,11 +132,8 @@ fn storage_budget_is_respected_by_recommendation() {
     };
     let outcome = greedy_search(&ctx, &GreedyOptions::default());
     let prepared = ctx.prepare(&outcome.mapping);
-    let bytes = xmlshred::rel::optimizer::config_bytes(
-        &prepared.catalog,
-        &prepared.stats,
-        &outcome.config,
-    );
+    let bytes =
+        xmlshred::rel::optimizer::config_bytes(&prepared.catalog, &prepared.stats, &outcome.config);
     assert!(
         bytes <= budget * 1.001,
         "config {bytes} exceeds budget {budget}"

@@ -75,7 +75,13 @@ fn schema_command_prints_tree_and_ddl() {
 fn shred_command_writes_csvs() {
     let f = Fixture::new("shred");
     let out = f.path("out");
-    let (ok, stdout, _) = f.run(&["shred", &f.path("lib.dtd"), &f.path("lib.xml"), "--out", &out]);
+    let (ok, stdout, _) = f.run(&[
+        "shred",
+        &f.path("lib.dtd"),
+        &f.path("lib.xml"),
+        "--out",
+        &out,
+    ]);
     assert!(ok, "{stdout}");
     let book_csv = std::fs::read_to_string(format!("{out}/book.csv")).unwrap();
     assert!(book_csv.starts_with("ID,PID,title,year,isbn"));
@@ -87,7 +93,11 @@ fn shred_command_writes_csvs() {
 #[test]
 fn sql_command_emits_outer_union() {
     let f = Fixture::new("sql");
-    let (ok, stdout, _) = f.run(&["sql", &f.path("lib.dtd"), "//book[year = 1985]/(title | author)"]);
+    let (ok, stdout, _) = f.run(&[
+        "sql",
+        &f.path("lib.dtd"),
+        "//book[year = 1985]/(title | author)",
+    ]);
     assert!(ok);
     assert!(stdout.contains("UNION ALL"));
     assert!(stdout.contains("ORDER BY 1"));
@@ -134,7 +144,12 @@ fn bad_inputs_fail_with_usage() {
     let (ok, _, stderr) = f.run(&["schema", "/nonexistent.xsd"]);
     assert!(!ok);
     assert!(stderr.contains("error:"));
-    let (ok, _, stderr) = f.run(&["query", &f.path("lib.dtd"), &f.path("lib.xml"), "not an xpath"]);
+    let (ok, _, stderr) = f.run(&[
+        "query",
+        &f.path("lib.dtd"),
+        &f.path("lib.xml"),
+        "not an xpath",
+    ]);
     assert!(!ok);
     assert!(stderr.contains("error:"));
 }

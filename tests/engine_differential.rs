@@ -15,7 +15,10 @@ use xmlshred::rel::types::{DataType, Row, Value};
 use xmlshred::rel::view::{ViewDef, ViewSide};
 
 /// Build a parent/child database from generated rows.
-fn build_db(parents: &[(i64, i64, String)], children: &[(i64, i64, i64)]) -> (Database, TableId, TableId) {
+fn build_db(
+    parents: &[(i64, i64, String)],
+    children: &[(i64, i64, i64)],
+) -> (Database, TableId, TableId) {
     let mut db = Database::new();
     let parent = db
         .create_table(TableDef::new(
@@ -251,9 +254,11 @@ fn null_join_keys_never_match() {
         ))
         .unwrap();
     db.insert(parent, vec![Value::Null, Value::Int(1)]).unwrap();
-    db.insert(parent, vec![Value::Int(5), Value::Int(2)]).unwrap();
+    db.insert(parent, vec![Value::Int(5), Value::Int(2)])
+        .unwrap();
     db.insert(child, vec![Value::Int(1), Value::Null]).unwrap();
-    db.insert(child, vec![Value::Int(2), Value::Int(5)]).unwrap();
+    db.insert(child, vec![Value::Int(2), Value::Int(5)])
+        .unwrap();
     db.analyze();
 
     let mut q = SelectQuery::single(parent);

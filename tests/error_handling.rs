@@ -67,7 +67,13 @@ fn dtd_violations_are_schema_errors() {
 
 #[test]
 fn xpath_errors_carry_offsets() {
-    for q in ["movie/title", "//movie[", "//movie[x=]/y", "//(a|b)/c", "//"] {
+    for q in [
+        "movie/title",
+        "//movie[",
+        "//movie[x=]/y",
+        "//(a|b)/c",
+        "//",
+    ] {
         assert!(parse_path(q).is_err(), "{q:?} should fail");
     }
 }
@@ -123,7 +129,10 @@ fn engine_rejects_bad_schemas_and_queries() {
         .unwrap();
     // Duplicate table name.
     assert!(matches!(
-        db.create_table(TableDef::new("t", vec![ColumnDef::new("ID", DataType::Int)])),
+        db.create_table(TableDef::new(
+            "t",
+            vec![ColumnDef::new("ID", DataType::Int)]
+        )),
         Err(RelError::Duplicate(_))
     ));
     // Arity mismatch.

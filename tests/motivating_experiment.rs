@@ -30,8 +30,7 @@ fn mapping2_wins_with_physical_design_but_not_without() {
 
     // The paper's query: title, year, author of one conference's papers.
     let workload = vec![(
-        parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)")
-            .unwrap(),
+        parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)").unwrap(),
         1.0,
     )];
 
@@ -111,8 +110,7 @@ fn untuned_ranking_misleads_logical_design() {
     let dataset = generate_dblp(&config);
     let tree = &dataset.tree;
     let workload = vec![(
-        parse_path("/dblp/inproceedings[booktitle = \"CONF3\"]/(title | year | author)")
-            .unwrap(),
+        parse_path("/dblp/inproceedings[booktitle = \"CONF3\"]/(title | year | author)").unwrap(),
         1.0,
     )];
 

@@ -152,8 +152,8 @@ proptest! {
 fn arb_movie_doc() -> impl Strategy<Value = String> {
     proptest::collection::vec(
         (
-            0i32..30,           // year offset
-            0usize..5,          // aka count
+            0i32..30,            // year offset
+            0usize..5,           // aka count
             proptest::bool::ANY, // has rating
             proptest::bool::ANY, // movie vs tv
         ),

@@ -121,7 +121,10 @@ fn outlining_is_a_vertical_partitioning() {
             })
             .collect();
         base_all.sort_by_key(|s| format!("{s:?}"));
-        assert_eq!(all_leaves, base_all, "outlining lost or duplicated a column");
+        assert_eq!(
+            all_leaves, base_all,
+            "outlining lost or duplicated a column"
+        );
     }
 }
 

@@ -1,0 +1,598 @@
+//! Workspace-local stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The container image has no crates.io access, so this crate implements
+//! the slice of the proptest API the workspace's tests use:
+//!
+//! - the [`Strategy`] trait with `prop_map` and `boxed`, plus
+//!   [`strategy::BoxedStrategy`] and [`strategy::Just`];
+//! - strategies for integer/float ranges, tuples (arity 2–6), `&'static
+//!   str` regex literals of the `[class]{m,n}` shape, `bool::ANY`, and
+//!   `collection::vec`;
+//! - the `proptest!`, `prop_assert!`, `prop_assert_eq!`, and
+//!   `prop_oneof!` macros with `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-test seed so failures
+//! reproduce; there is no shrinking — a failing case reports its case
+//! number and message and panics immediately.
+
+pub mod test_runner {
+    /// Runner configuration (the `cases` knob is all the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Build a failure from a rendered message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError(message)
+        }
+    }
+
+    /// Deterministic generator driving value production (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeded construction; the same seed replays the same values.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Execute `cases` random cases of a property, panicking on failure.
+    pub fn run<F>(config: &ProptestConfig, test_name: &str, mut property: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Seed from the test name so distinct tests explore distinct
+        // streams but every run of the same test is reproducible.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            name_hash ^= b as u64;
+            name_hash = name_hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for case in 0..config.cases {
+            let mut rng =
+                TestRng::from_seed(name_hash ^ (0x9E37_79B9u64.wrapping_mul(case as u64 + 1)));
+            if let Err(TestCaseError(message)) = property(&mut rng) {
+                panic!(
+                    "proptest '{test_name}' failed at case {case}/{}: {message}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produce one value from the generator.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values through `map_fn`.
+        fn prop_map<U, F>(self, map_fn: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map {
+                inner: self,
+                map_fn,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation, backing [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        map_fn: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.map_fn)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among alternative strategies (`prop_oneof!`).
+    pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Union over the given alternatives; must be nonempty.
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.0.len() as u64) as usize;
+            self.0[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    // ------------------------------------------------ regex literals --
+
+    /// One parsed regex atom: a set of char ranges plus a repeat count.
+    struct RegexAtom {
+        ranges: Vec<(char, char)>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Parse the regex subset `&'static str` strategies support: literal
+    /// characters and `[a-z0-9_]`-style classes, each optionally followed
+    /// by `{m,n}` or `{n}`. Anything fancier panics with a clear message
+    /// rather than silently generating the wrong language.
+    fn parse_regex(pattern: &str) -> Vec<RegexAtom> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let ranges = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"));
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().unwrap_or_else(|| {
+                                panic!("unterminated range in regex {pattern:?}")
+                            });
+                            assert!(lo <= hi, "inverted range in regex {pattern:?}");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty class in regex {pattern:?}");
+                    ranges
+                }
+                '\\' => {
+                    let lit = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                    vec![(lit, lit)]
+                }
+                '.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    panic!("regex feature {c:?} in {pattern:?} is not supported by the vendored proptest")
+                }
+                lit => vec![(lit, lit)],
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                        hi.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = spec
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted quantifier in regex {pattern:?}");
+            atoms.push(RegexAtom { ranges, min, max });
+        }
+        atoms
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            // Parsing per call keeps `&str` itself the strategy (matching
+            // upstream); these patterns are a handful of atoms, so the
+            // cost is noise next to the tests' own work.
+            let atoms = parse_regex(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let count = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+                for _ in 0..count {
+                    let total: u64 = atom
+                        .ranges
+                        .iter()
+                        .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in &atom.ranges {
+                        let width = hi as u64 - lo as u64 + 1;
+                        if pick < width {
+                            out.push(char::from_u32(lo as u32 + pick as u32).expect("valid char"));
+                            break;
+                        }
+                        pick -= width;
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty vec size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy for vectors with element strategy `element` and a length
+    /// drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test module conventionally imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (the attribute is written by the caller and passed
+/// through) running `cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one fn item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::test_runner::run(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                #[allow(unreachable_code, clippy::redundant_closure_call)]
+                (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    (($config:expr);) => {};
+}
+
+/// Assert inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_vec_bool() {
+        let config = ProptestConfig::with_cases(50);
+        crate::test_runner::run(&config, "smoke", |rng| {
+            let strategy = (-5i64..5, 0usize..3, crate::bool::ANY, 0.0f64..1.0);
+            let (a, b, flag, x) = strategy.generate(rng);
+            prop_assert!((-5..5).contains(&a), "a={a}");
+            prop_assert!(b < 3, "b={b}");
+            prop_assert!((0.0..1.0).contains(&x), "x={x}");
+            let _ = flag;
+            let v = crate::collection::vec(0i32..10, 2..6).generate(rng);
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+            let fixed = crate::collection::vec(crate::bool::ANY, 8).generate(rng);
+            prop_assert_eq!(fixed.len(), 8);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let config = ProptestConfig::with_cases(100);
+        crate::test_runner::run(&config, "regex", |rng| {
+            let name = "[a-z][a-z0-9_]{0,8}".generate(rng);
+            prop_assert!(!name.is_empty() && name.len() <= 9, "{name:?}");
+            let first = name.chars().next().unwrap();
+            prop_assert!(first.is_ascii_lowercase(), "{name:?}");
+            prop_assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{name:?}"
+            );
+            let short = "[a-c]{1,2}".generate(rng);
+            prop_assert!((1..=2).contains(&short.len()), "{short:?}");
+            prop_assert!(short.chars().all(|c| ('a'..='c').contains(&c)), "{short:?}");
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn macro_roundtrip(xs in crate::collection::vec(0i64..100, 0..10), pick in 0usize..4) {
+            let doubled: Vec<i64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert!(pick < 4);
+        }
+
+        #[test]
+        fn oneof_and_just(c in prop_oneof![Just('x'), Just('y')], mapped in (0i32..5).prop_map(|v| v * 10)) {
+            prop_assert!(c == 'x' || c == 'y');
+            prop_assert!(mapped % 10 == 0 && mapped < 50);
+        }
+    }
+}
