@@ -22,7 +22,8 @@ fn bench_parallel(c: &mut Criterion) {
         },
         config.years,
         config.n_conferences,
-    );
+    )
+    .expect("workload generates");
     let ctx = EvalContext {
         tree: &dataset.tree,
         source: &source,

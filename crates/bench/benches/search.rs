@@ -23,7 +23,8 @@ fn bench_search(c: &mut Criterion) {
         },
         config.years,
         config.n_conferences,
-    );
+    )
+    .expect("workload generates");
     let ctx = EvalContext {
         tree: &dataset.tree,
         source: &source,

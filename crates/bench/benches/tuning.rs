@@ -25,7 +25,8 @@ fn bench_tuning(c: &mut Criterion) {
             },
             config.years,
             config.n_conferences,
-        );
+        )
+        .expect("workload generates");
         let ctx = EvalContext {
             tree: &dataset.tree,
             source: &source,

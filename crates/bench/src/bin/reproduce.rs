@@ -5,48 +5,57 @@
 //! cargo run --release -p xmlshred-bench --bin reproduce -- fig4
 //! cargo run --release -p xmlshred-bench --bin reproduce -- fig5 --threads 4
 //! XMLSHRED_SCALE=0.2 cargo run --release -p xmlshred-bench --bin reproduce -- fig7
+//! cargo run --release -p xmlshred-bench --bin reproduce -- chaos --fault-p 0.1 --deadline-ms 250
 //! ```
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
-//! evaluation run), `fig7`, `fig8`, `fig9`, `all`. The `XMLSHRED_SCALE`
-//! environment variable (or `--scale X`) scales the dataset sizes;
-//! normalized figures are scale-stable. `--threads N` sets the advisor
-//! worker-thread count (0 = all cores, the default) and `--no-plan-cache`
-//! disables the what-if plan cache; neither changes any recommendation,
-//! only running time and the cache counters.
+//! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `all`. The
+//! `XMLSHRED_SCALE` environment variable (or `--scale X`) scales the
+//! dataset sizes; normalized figures are scale-stable. `--threads N` sets
+//! the advisor worker-thread count (0 = all cores, the default) and
+//! `--no-plan-cache` disables the what-if plan cache; neither changes any
+//! recommendation, only running time and the cache counters.
+//!
+//! Robustness knobs: `--fault-p X` injects what-if planner faults with
+//! probability X, `--deadline-ms N` gives each strategy an anytime budget
+//! of N milliseconds, and `--fault-seed S` seeds the deterministic fault
+//! plane (default 42). For `chaos` these override the built-in sweep grid;
+//! for the evaluation experiments they apply directly to the search runs.
 
 use std::time::Instant;
+use xmlshred_bench::experiments::RunOptions;
 use xmlshred_bench::harness::BenchScale;
 use xmlshred_core::SearchOptions;
+
+fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 < args.len() {
+        let parsed = args[pos + 1].parse::<T>().ok();
+        args.drain(pos..=pos + 1);
+        parsed
+    } else {
+        args.remove(pos);
+        None
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = BenchScale::from_env();
-    if let Some(pos) = args.iter().position(|a| a == "--scale") {
-        if pos + 1 < args.len() {
-            if let Ok(s) = args[pos + 1].parse::<f64>() {
-                scale = BenchScale(s);
-            }
-            args.drain(pos..=pos + 1);
-        } else {
-            args.remove(pos);
-        }
+    if let Some(s) = take_value::<f64>(&mut args, "--scale") {
+        scale = BenchScale(s);
     }
     let mut search = SearchOptions::default();
-    if let Some(pos) = args.iter().position(|a| a == "--threads") {
-        if pos + 1 < args.len() {
-            if let Ok(n) = args[pos + 1].parse::<usize>() {
-                search.threads = n;
-            }
-            args.drain(pos..=pos + 1);
-        } else {
-            args.remove(pos);
-        }
+    if let Some(n) = take_value::<usize>(&mut args, "--threads") {
+        search.threads = n;
     }
     if let Some(pos) = args.iter().position(|a| a == "--no-plan-cache") {
         search.plan_cache = false;
         args.remove(pos);
     }
+    let fault_p = take_value::<f64>(&mut args, "--fault-p");
+    let deadline_ms = take_value::<u64>(&mut args, "--deadline-ms");
+    let fault_seed = take_value::<u64>(&mut args, "--fault-seed").unwrap_or(42);
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -59,8 +68,21 @@ fn main() {
         },
         if search.plan_cache { "on" } else { "off" }
     );
+    if fault_p.is_some() || deadline_ms.is_some() {
+        println!(
+            "robustness: fault-p {}, deadline {}, fault seed {fault_seed}",
+            fault_p.map_or("off".to_string(), |p| p.to_string()),
+            deadline_ms.map_or("none".to_string(), |ms| format!("{ms}ms")),
+        );
+    }
+    let opts = RunOptions {
+        search,
+        fault_p,
+        deadline_ms,
+        fault_seed,
+    };
     let start = Instant::now();
-    match xmlshred_bench::experiments::run(experiment, scale, &search) {
+    match xmlshred_bench::experiments::run(experiment, scale, &opts) {
         Ok(()) => println!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64()),
         Err(message) => {
             eprintln!("error: {message}");

@@ -19,7 +19,7 @@ use xmlshred_data::Dataset;
 use xmlshred_shred::source_stats::SourceStats;
 
 /// The paper's Fig. 7-9 input: the four 20-query DBLP workloads.
-fn dblp_20q(scale: BenchScale) -> (Dataset, Vec<Workload>) {
+fn dblp_20q(scale: BenchScale) -> Result<(Dataset, Vec<Workload>), String> {
     let config = scale.dblp_config();
     let dataset = scale.dblp();
     let workloads = [
@@ -43,8 +43,8 @@ fn dblp_20q(scale: BenchScale) -> (Dataset, Vec<Workload>) {
             config.n_conferences,
         )
     })
-    .collect();
-    (dataset, workloads)
+    .collect::<Result<_, _>>()?;
+    Ok((dataset, workloads))
 }
 
 fn run_variant(
@@ -80,7 +80,7 @@ fn run_variant(
 /// runs uncapped).
 pub fn fig7(scale: BenchScale) -> Result<(), String> {
     println!("\n=== Fig. 7: speed-up due to candidate selection (DBLP, 20-query workloads) ===\n");
-    let (dataset, workloads) = dblp_20q(scale);
+    let (dataset, workloads) = dblp_20q(scale)?;
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let budget = space_budget(&dataset);
 
@@ -143,7 +143,7 @@ pub fn fig7(scale: BenchScale) -> Result<(), String> {
 /// Fig. 8: merging strategies.
 pub fn fig8(scale: BenchScale) -> Result<(), String> {
     println!("\n=== Fig. 8: candidate merging strategies (DBLP, 20-query workloads) ===\n");
-    let (dataset, workloads) = dblp_20q(scale);
+    let (dataset, workloads) = dblp_20q(scale)?;
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let budget = space_budget(&dataset);
 
@@ -195,7 +195,7 @@ pub fn fig8(scale: BenchScale) -> Result<(), String> {
 /// Fig. 9: cost derivation.
 pub fn fig9(scale: BenchScale) -> Result<(), String> {
     println!("\n=== Fig. 9: cost derivation (DBLP, 20-query workloads) ===\n");
-    let (dataset, workloads) = dblp_20q(scale);
+    let (dataset, workloads) = dblp_20q(scale)?;
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let budget = space_budget(&dataset);
 

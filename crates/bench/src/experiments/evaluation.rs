@@ -29,7 +29,7 @@ pub fn run(scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
     let dblp_workloads: Vec<Workload> = WorkloadSpec::dblp_suite()
         .iter()
         .map(|spec| dblp_workload(spec, dblp_config.years, dblp_config.n_conferences))
-        .collect();
+        .collect::<Result<_, _>>()?;
     evaluate_dataset(&dblp, &dblp_workloads, true, search)?;
 
     let movie = scale.movie();
@@ -37,7 +37,7 @@ pub fn run(scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
     let movie_workloads: Vec<Workload> = WorkloadSpec::movie_suite()
         .iter()
         .map(|spec| movie_workload(spec, movie_config.years, movie_config.n_genres))
-        .collect();
+        .collect::<Result<_, _>>()?;
     evaluate_dataset(&movie, &movie_workloads, false, search)?;
     Ok(())
 }

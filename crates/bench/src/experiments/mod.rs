@@ -1,38 +1,81 @@
 //! The paper's experiments, one module per table/figure group.
 
 pub mod ablations;
+pub mod chaos;
 pub mod evaluation;
 pub mod motivating;
 pub mod table1;
 pub mod updates;
 
 use crate::harness::BenchScale;
-use xmlshred_core::SearchOptions;
+use xmlshred_core::{Deadline, FaultConfig, SearchOptions};
+
+/// CLI-level knobs for one `reproduce` invocation: the base search options
+/// plus the robustness sweep parameters (`--fault-p`, `--deadline-ms`,
+/// `--fault-seed`).
+///
+/// The deadline is intentionally stored as a duration, not a
+/// [`Deadline`]: a `Deadline` pins a wall-clock instant, so each strategy
+/// run must construct a fresh one (via [`RunOptions::search_for_run`]) to
+/// get the full budget.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Threads / plan-cache knobs; its `deadline` and `fault` fields stay
+    /// inert here and are filled in per run.
+    pub search: SearchOptions,
+    /// Fault-injection probability for what-if planner calls.
+    pub fault_p: Option<f64>,
+    /// Anytime budget per strategy run, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Seed for the deterministic fault plane.
+    pub fault_seed: u64,
+}
+
+impl RunOptions {
+    /// Search options for one strategy run, with a freshly started deadline
+    /// and the fault plane armed from the CLI parameters.
+    pub fn search_for_run(&self) -> SearchOptions {
+        let mut search = self.search.clone();
+        if let Some(ms) = self.deadline_ms {
+            search.deadline = Deadline::from_millis(ms);
+        }
+        if let Some(p) = self.fault_p {
+            search.fault = Some(FaultConfig {
+                seed: self.fault_seed,
+                p_plan: p,
+                ..FaultConfig::default()
+            });
+        }
+        search
+    }
+}
 
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
-/// three), `fig7`, `fig8`, `fig9`, `all`.
-pub fn run(id: &str, scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
+/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `all`.
+pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
         "motivating" => motivating::run(scale),
-        "fig4" | "fig5" | "fig6" | "eval" => evaluation::run(scale, search),
+        "fig4" | "fig5" | "fig6" | "eval" => evaluation::run(scale, &opts.search_for_run()),
         "fig7" => ablations::fig7(scale),
         "updates" => updates::run(scale),
         "fig8" => ablations::fig8(scale),
         "fig9" => ablations::fig9(scale),
+        "chaos" => chaos::run(scale, opts),
         "all" => {
             table1::run(scale)?;
             motivating::run(scale)?;
-            evaluation::run(scale, search)?;
+            evaluation::run(scale, &opts.search_for_run())?;
             ablations::fig7(scale)?;
             ablations::fig8(scale)?;
             ablations::fig9(scale)?;
             updates::run(scale)?;
+            chaos::run(scale, opts)?;
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos all"
         )),
     }
 }

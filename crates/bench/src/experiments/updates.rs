@@ -25,7 +25,7 @@ pub fn run(scale: BenchScale) -> Result<(), String> {
         },
         config.years,
         config.n_conferences,
-    );
+    )?;
     let budget = space_budget(&dataset);
     let ctx = EvalContext {
         tree: &dataset.tree,

@@ -145,6 +145,8 @@ pub fn run_algorithms_with(
                         &GreedyOptions {
                             threads: search.threads,
                             plan_cache: search.plan_cache,
+                            deadline: search.deadline.clone(),
+                            fault: search.fault,
                             ..GreedyOptions::default()
                         },
                     ),
@@ -252,7 +254,8 @@ mod tests {
             },
             (1950, 2004),
             25,
-        );
+        )
+        .expect("workload generates");
         let budget = space_budget(&dataset);
         let runs = run_algorithms(&dataset, &source, &workload, budget, &[Algo::Greedy]);
         assert_eq!(runs.len(), 1);

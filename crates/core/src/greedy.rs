@@ -23,14 +23,15 @@ use crate::moves::SearchMove;
 use crate::oracle::CostOracle;
 use crate::parallel::parallel_map;
 use crate::physical::{tune_with, PerQueryInfo, TuneOptions, TuneResult};
-use crate::search::{AdvisorOutcome, SearchStats};
+use crate::search::{AdvisorOutcome, Deadline, SearchStats};
 use std::time::Instant;
+use xmlshred_rel::fault::FaultConfig;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::transform::{enumerate_transformations, Transformation};
 
 /// Ablation switches for the Greedy search.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct GreedyOptions {
     /// Candidate merging strategy (Fig. 8).
     pub merge_strategy: MergeStrategy,
@@ -55,6 +56,13 @@ pub struct GreedyOptions {
     /// Memoize what-if planner calls in a search-wide plan cache. Pure
     /// memoization: recommendations are identical with it on or off.
     pub plan_cache: bool,
+    /// Anytime budget: when it expires (or its cancellation flag is raised)
+    /// the descent stops starting new work and returns the best mapping
+    /// found so far with `degraded = true` on the outcome.
+    pub deadline: Deadline,
+    /// Deterministic fault injection for what-if planner calls; `None`
+    /// disables injection. Recommendations are bit-identical per seed.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for GreedyOptions {
@@ -68,6 +76,8 @@ impl Default for GreedyOptions {
             compare_with_base: true,
             threads: 0,
             plan_cache: true,
+            deadline: Deadline::none(),
+            fault: None,
         }
     }
 }
@@ -91,7 +101,9 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
     // evaluations, derivation remainders, the base comparison) shares it,
     // so re-planned contexts — the same mapping re-tuned, unchanged
     // incumbents re-costed — are answered from cache.
-    let oracle = CostOracle::new(options.plan_cache);
+    let oracle = CostOracle::with_fault(options.plan_cache, options.fault);
+    let deadline = &options.deadline;
+    let bounded = !deadline.is_unbounded();
     let tree = ctx.tree;
     let base = Mapping::hybrid(tree);
     let leaves: Vec<QueryLeaves> = ctx
@@ -123,7 +135,8 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         }
     }
 
-    let mut incumbent = evaluate_exact(ctx, mapping, &mut stats, &oracle, options.threads);
+    let mut incumbent =
+        evaluate_exact(ctx, mapping, &mut stats, &oracle, options.threads, deadline);
 
     // Without candidate selection, merge-type candidates are every
     // applicable nonsubsumed merge transformation under M0.
@@ -158,6 +171,12 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
 
     // ------------------------------------------------------- greedy descent --
     for _round in 0..options.max_rounds {
+        // Anytime cutoff: never start a round past the deadline — the
+        // incumbent is a fully evaluated design, so stopping here is safe.
+        if bounded && deadline.expired() {
+            stats.deadline_hit = true;
+            break;
+        }
         let mut round_moves: Vec<SearchMove> = moves.clone();
         if !options.subsumption_pruning {
             // Ablation: also search the subsumed transformations.
@@ -176,9 +195,10 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         // — and therefore the whole search — is identical for any thread
         // count.
         let incumbent_ref = &incumbent;
-        let evaluations: Vec<Option<(Mapping, f64, SearchStats)>> = parallel_map(
+        let evaluations: Vec<Option<Option<(Mapping, f64, SearchStats)>>> = parallel_map(
             &round_moves,
             options.threads,
+            deadline,
             || (),
             |_, _i, mv| {
                 let Ok(next_mapping) = mv.apply(tree, &incumbent_ref.mapping) else {
@@ -197,9 +217,10 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
                         &next_mapping,
                         &mut local,
                         &oracle,
+                        deadline,
                     )
                 } else {
-                    estimate_exact_cost(ctx, &next_mapping, &mut local, &oracle)
+                    estimate_exact_cost(ctx, &next_mapping, &mut local, &oracle, deadline)
                 };
                 Some((next_mapping, cost, local))
             },
@@ -207,6 +228,11 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
 
         let mut best: Option<(SearchMove, Mapping, f64)> = None;
         for (mv, evaluation) in round_moves.iter().zip(evaluations) {
+            // Outer `None`: the deadline lapsed before this move was costed.
+            let Some(evaluation) = evaluation else {
+                stats.deadline_hit = true;
+                continue;
+            };
             let Some((next_mapping, cost, local)) = evaluation else {
                 continue;
             };
@@ -222,11 +248,24 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         if estimated >= incumbent.total_cost * (1.0 - 1e-6) {
             break; // no improvement
         }
+        // Accepting the winner requires an exact re-evaluation; past the
+        // deadline we keep the (already exact) incumbent instead.
+        if bounded && deadline.expired() {
+            stats.deadline_hit = true;
+            break;
+        }
         // Line 18: re-estimate the winner exactly, then accept. With the
         // plan cache on, this replays the estimate-phase planning against
         // the same context and is served almost entirely from the memo
         // table.
-        let exact = evaluate_exact(ctx, next_mapping, &mut stats, &oracle, options.threads);
+        let exact = evaluate_exact(
+            ctx,
+            next_mapping,
+            &mut stats,
+            &oracle,
+            options.threads,
+            deadline,
+        );
         if exact.total_cost >= incumbent.total_cost * (1.0 - 1e-6) {
             // The derived estimate was optimistic; drop the move and retry.
             moves.retain(|m| m != &mv);
@@ -237,21 +276,29 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
     }
 
     // Safeguard: never recommend something worse than the tuned base
-    // mapping.
+    // mapping. Skipped past the deadline — the incumbent stays the best
+    // fully evaluated design.
     if options.compare_with_base {
-        let base_eval = evaluate_exact(ctx, base, &mut stats, &oracle, options.threads);
-        if base_eval.total_cost < incumbent.total_cost {
-            incumbent = base_eval;
+        if bounded && deadline.expired() {
+            stats.deadline_hit = true;
+        } else {
+            let base_eval =
+                evaluate_exact(ctx, base, &mut stats, &oracle, options.threads, deadline);
+            if base_eval.total_cost < incumbent.total_cost {
+                incumbent = base_eval;
+            }
         }
     }
 
     stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
+    let degraded = stats.deadline_hit;
     AdvisorOutcome {
         mapping: incumbent.mapping,
         config: incumbent.config,
         estimated_cost: incumbent.total_cost,
         stats,
+        degraded,
     }
 }
 
@@ -264,6 +311,7 @@ fn evaluate_exact(
     stats: &mut SearchStats,
     oracle: &CostOracle,
     threads: usize,
+    deadline: &Deadline,
 ) -> Incumbent {
     let prepared = ctx.prepare(&mapping);
     let translated = prepared.translated(ctx.workload);
@@ -276,9 +324,14 @@ fn evaluate_exact(
         &[],
         ctx.space_budget,
         oracle,
-        &TuneOptions { threads },
+        &TuneOptions {
+            threads,
+            deadline: deadline.clone(),
+        },
     );
     stats.absorb_tune(result.optimizer_calls);
+    stats.candidates_skipped += result.candidates_skipped;
+    stats.deadline_hit |= result.degraded;
 
     let mut per_query: Vec<Option<PerQueryInfo>> = vec![None; ctx.workload.len()];
     for ((workload_index, _, _), info) in translated.iter().zip(result.per_query) {
@@ -301,6 +354,7 @@ fn estimate_exact_cost(
     mapping: &Mapping,
     stats: &mut SearchStats,
     oracle: &CostOracle,
+    deadline: &Deadline,
 ) -> f64 {
     let prepared = ctx.prepare(mapping);
     let translated = prepared.translated(ctx.workload);
@@ -313,14 +367,20 @@ fn estimate_exact_cost(
         &[],
         ctx.space_budget,
         oracle,
-        &TuneOptions { threads: 1 },
+        &TuneOptions {
+            threads: 1,
+            deadline: deadline.clone(),
+        },
     );
     stats.absorb_tune(result.optimizer_calls);
+    stats.candidates_skipped += result.candidates_skipped;
+    stats.deadline_hit |= result.degraded;
     result.total_cost
 }
 
 /// Section 4.8: derive what we can from the incumbent, tune the rest with
 /// the remaining budget.
+#[allow(clippy::too_many_arguments)]
 fn estimate_with_derivation(
     ctx: &EvalContext<'_>,
     incumbent: &Incumbent,
@@ -329,6 +389,7 @@ fn estimate_with_derivation(
     next_mapping: &Mapping,
     stats: &mut SearchStats,
     oracle: &CostOracle,
+    deadline: &Deadline,
 ) -> f64 {
     let derivation = DerivationContext {
         tree: ctx.tree,
@@ -373,9 +434,14 @@ fn estimate_with_derivation(
         &[],
         remaining_budget,
         oracle,
-        &TuneOptions { threads: 1 },
+        &TuneOptions {
+            threads: 1,
+            deadline: deadline.clone(),
+        },
     );
     stats.absorb_tune(result.optimizer_calls);
+    stats.candidates_skipped += result.candidates_skipped;
+    stats.deadline_hit |= result.degraded;
     derived_cost + result.total_cost
 }
 
@@ -428,6 +494,7 @@ mod tests {
             &mut base_stats,
             &CostOracle::disabled(),
             1,
+            &Deadline::none(),
         );
         assert!(
             outcome.estimated_cost <= baseline.total_cost + 1e-9,
@@ -496,6 +563,53 @@ mod tests {
             },
         );
         assert!(unpruned.stats.transformations_searched > pruned.stats.transformations_searched);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_valid_outcome() {
+        let (ds, source, workload) = movie_ctx();
+        let ctx = EvalContext {
+            tree: &ds.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e12,
+        };
+        let outcome = greedy_search(
+            &ctx,
+            &GreedyOptions {
+                deadline: Deadline::at(
+                    std::time::Instant::now() - std::time::Duration::from_secs(1),
+                ),
+                ..GreedyOptions::default()
+            },
+        );
+        assert!(outcome.degraded);
+        assert!(outcome.stats.deadline_hit);
+        assert!(outcome.estimated_cost.is_finite());
+    }
+
+    #[test]
+    fn faulty_search_is_deterministic_per_seed() {
+        let (ds, source, workload) = movie_ctx();
+        let ctx = EvalContext {
+            tree: &ds.tree,
+            source: &source,
+            workload: &workload,
+            space_budget: 1e12,
+        };
+        let options = GreedyOptions {
+            fault: Some(FaultConfig {
+                seed: 11,
+                p_plan: 0.05,
+                ..FaultConfig::default()
+            }),
+            ..GreedyOptions::default()
+        };
+        let a = greedy_search(&ctx, &options);
+        let b = greedy_search(&ctx, &options);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.estimated_cost.to_bits(), b.estimated_cost.to_bits());
+        assert!(!a.degraded);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   build its physical design, execute the workload, and report measured
 //!   cost (also against the hybrid-inlining baseline for normalization).
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod candidates;
 pub mod context;
 pub mod cost_derive;
@@ -46,5 +50,6 @@ pub use oracle::{CacheStats, CostOracle};
 pub use parallel::{effective_threads, parallel_map};
 pub use physical::{tune, tune_with, TuneOptions, TuneResult};
 pub use quality::{measure_quality, QualityReport};
-pub use search::{AdvisorOutcome, SearchOptions, SearchStats};
+pub use search::{AdvisorOutcome, Deadline, SearchOptions, SearchStats};
 pub use twostep::{two_step_search, two_step_search_with};
+pub use xmlshred_rel::fault::FaultConfig;

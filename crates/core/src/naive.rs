@@ -10,11 +10,16 @@ use crate::context::EvalContext;
 use crate::oracle::CostOracle;
 use crate::parallel::parallel_map;
 use crate::physical::{tune_with, TuneOptions};
-use crate::search::{AdvisorOutcome, SearchOptions, SearchStats};
+use crate::search::{AdvisorOutcome, Deadline, SearchOptions, SearchStats};
 use std::time::Instant;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::transform::enumerate_transformations;
+
+/// One fanned-out evaluation: outer `None` means the deadline expired
+/// before the slot started; inner `None` means the transformation did not
+/// apply.
+type Evaluation = Option<Option<(Mapping, PhysicalConfig, f64, SearchStats)>>;
 
 /// Run Naive-Greedy. `max_rounds` bounds the descent (the paper let it run
 /// for days; the harness keeps it finite).
@@ -31,13 +36,28 @@ pub fn naive_greedy_search_with(
 ) -> AdvisorOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
-    let oracle = CostOracle::new(options.plan_cache);
+    let oracle = CostOracle::with_fault(options.plan_cache, options.fault);
+    let deadline = &options.deadline;
+    let bounded = !deadline.is_unbounded();
     let tree = ctx.tree;
 
     let mut mapping = Mapping::hybrid(tree);
-    let (mut config, mut cost) = evaluate(ctx, &mapping, &mut stats, &oracle, options.threads);
+    let (mut config, mut cost) = evaluate(
+        ctx,
+        &mapping,
+        &mut stats,
+        &oracle,
+        options.threads,
+        deadline,
+    );
 
     for _round in 0..max_rounds {
+        // Anytime cutoff: the incumbent is fully evaluated, so stopping at
+        // a round boundary always leaves a valid best-so-far design.
+        if bounded && deadline.expired() {
+            stats.deadline_hit = true;
+            break;
+        }
         let transformations =
             enumerate_transformations(tree, &mapping, &|star| ctx.split_count(star));
         // Independent full evaluations against the same incumbent mapping:
@@ -45,9 +65,10 @@ pub fn naive_greedy_search_with(
         // first index wins ties) so the accepted transformation does not
         // depend on the thread count.
         let mapping_ref = &mapping;
-        let evaluations: Vec<Option<(Mapping, PhysicalConfig, f64, SearchStats)>> = parallel_map(
+        let evaluations: Vec<Evaluation> = parallel_map(
             &transformations,
             options.threads,
+            deadline,
             || (),
             |_, _i, t| {
                 let Ok(next) = t.apply(tree, mapping_ref) else {
@@ -57,12 +78,19 @@ pub fn naive_greedy_search_with(
                     transformations_searched: 1,
                     ..SearchStats::default()
                 };
-                let (next_config, next_cost) = evaluate(ctx, &next, &mut local, &oracle, 1);
+                let (next_config, next_cost) =
+                    evaluate(ctx, &next, &mut local, &oracle, 1, deadline);
                 Some((next, next_config, next_cost, local))
             },
         );
         let mut best: Option<(Mapping, PhysicalConfig, f64)> = None;
         for evaluation in evaluations {
+            // Outer `None`: the deadline lapsed before this transformation
+            // was evaluated.
+            let Some(evaluation) = evaluation else {
+                stats.deadline_hit = true;
+                continue;
+            };
             let Some((next, next_config, next_cost, local)) = evaluation else {
                 continue;
             };
@@ -87,11 +115,13 @@ pub fn naive_greedy_search_with(
 
     stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
+    let degraded = stats.deadline_hit;
     AdvisorOutcome {
         mapping,
         config,
         estimated_cost: cost,
         stats,
+        degraded,
     }
 }
 
@@ -101,6 +131,7 @@ fn evaluate(
     stats: &mut SearchStats,
     oracle: &CostOracle,
     threads: usize,
+    deadline: &Deadline,
 ) -> (PhysicalConfig, f64) {
     let prepared = ctx.prepare(mapping);
     let translated = prepared.translated(ctx.workload);
@@ -113,9 +144,14 @@ fn evaluate(
         &[],
         ctx.space_budget,
         oracle,
-        &TuneOptions { threads },
+        &TuneOptions {
+            threads,
+            deadline: deadline.clone(),
+        },
     );
     stats.absorb_tune(result.optimizer_calls);
+    stats.candidates_skipped += result.candidates_skipped;
+    stats.deadline_hit |= result.degraded;
     (result.config, result.total_cost)
 }
 

@@ -20,8 +20,12 @@
 use rustc_hash::FxHashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 use xmlshred_rel::catalog::Catalog;
-use xmlshred_rel::optimizer::{plan_query, plan_select, PhysicalConfig};
+use xmlshred_rel::fault::{FaultConfig, FaultPlane};
+use xmlshred_rel::optimizer::{
+    plan_query, plan_query_faulty, plan_select, plan_select_faulty, PhysicalConfig,
+};
 use xmlshred_rel::sql::{SelectQuery, SqlQuery};
 use xmlshred_rel::stats::TableStats;
 
@@ -42,6 +46,23 @@ const SHARDS: usize = 16;
 /// evictions), which bounds memory without LRU bookkeeping.
 const SHARD_CAPACITY: usize = 1 << 16;
 
+/// Bounded retries for what-if calls that fail with a *transient* fault: the
+/// initial attempt plus up to this many re-attempts, each after a short
+/// deterministic backoff. Exhausting the budget skips the candidate.
+const MAX_WHATIF_RETRIES: u32 = 3;
+
+/// Fault-site tags folded into the per-call token so select-block and
+/// whole-query plans with coincidentally equal cache keys roll independently.
+const SELECT_SITE: u64 = 1;
+const QUERY_SITE: u64 = 2;
+
+/// Deterministic fault token for one what-if call: derived from the memo
+/// key, not from call order, so injection outcomes are independent of
+/// thread schedule and cache state.
+fn whatif_token(key: CacheKey, site: u64) -> u64 {
+    key.0.rotate_left(1) ^ key.1.rotate_left(17) ^ key.2.rotate_left(41) ^ site
+}
+
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -53,6 +74,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: u64,
+    /// What-if calls that kept faulting through every retry.
+    pub whatif_failures: u64,
+    /// Retry attempts spent recovering faulted what-if calls.
+    pub whatif_retries: u64,
 }
 
 impl CacheStats {
@@ -74,19 +99,30 @@ impl CacheStats {
 /// directly with zero bookkeeping.
 pub struct CostOracle {
     enabled: bool,
+    fault: Option<FaultPlane>,
     select_shards: Vec<Mutex<FxHashMap<CacheKey, SelectEntry>>>,
     query_shards: Vec<Mutex<FxHashMap<CacheKey, QueryEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    whatif_failures: AtomicU64,
+    whatif_retries: AtomicU64,
 }
 
 impl CostOracle {
     /// An oracle with the memo table on or off.
     pub fn new(enabled: bool) -> Self {
+        CostOracle::with_fault(enabled, None)
+    }
+
+    /// An oracle with the memo table on or off and optional deterministic
+    /// fault injection on its what-if planner calls. A fault config with
+    /// `p_plan == 0` never fires at this layer, so no plane is kept.
+    pub fn with_fault(enabled: bool, fault: Option<FaultConfig>) -> Self {
         let shard_count = if enabled { SHARDS } else { 0 };
         CostOracle {
             enabled,
+            fault: fault.filter(|c| c.p_plan > 0.0).map(FaultPlane::new),
             select_shards: (0..shard_count)
                 .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
@@ -96,6 +132,8 @@ impl CostOracle {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            whatif_failures: AtomicU64::new(0),
+            whatif_retries: AtomicU64::new(0),
         }
     }
 
@@ -107,6 +145,91 @@ impl CostOracle {
     /// Whether the memo table is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Whether what-if planner faults can fire.
+    pub fn has_faults(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Whether callers must compute real cache keys: the memo table needs
+    /// them for lookup, and the fault plane derives injection tokens from
+    /// them (so outcomes are independent of thread schedule).
+    pub fn needs_keys(&self) -> bool {
+        self.enabled || self.fault.is_some()
+    }
+
+    /// One select-block planner invocation, through the fault plane when
+    /// one is armed: transient faults are retried up to
+    /// [`MAX_WHATIF_RETRIES`] times with deterministic backoff, and an
+    /// exhausted budget surfaces as an infinite cost (candidate skipped).
+    fn compute_select(
+        &self,
+        key: CacheKey,
+        catalog: &Catalog,
+        stats: &[TableStats],
+        config: &PhysicalConfig,
+        branch: &SelectQuery,
+    ) -> SelectEntry {
+        let Some(plane) = &self.fault else {
+            return plan_select_raw(catalog, stats, config, branch);
+        };
+        let token = whatif_token(key, SELECT_SITE);
+        for attempt in 0..=MAX_WHATIF_RETRIES {
+            match plan_select_faulty(catalog, stats, config, branch, plane, token, attempt) {
+                Ok(plan) => {
+                    self.whatif_retries
+                        .fetch_add(attempt as u64, Ordering::Relaxed);
+                    return (plan.est_cost(), plan.est_rows());
+                }
+                Err(err) if err.is_transient() => {
+                    if attempt < MAX_WHATIF_RETRIES {
+                        std::thread::sleep(Duration::from_micros(50u64 << attempt));
+                    }
+                }
+                // A genuine planning error: same infinite-cost contract as
+                // the fault-free path, not a counted injection failure.
+                Err(_) => return (f64::INFINITY, 0.0),
+            }
+        }
+        self.whatif_retries
+            .fetch_add(MAX_WHATIF_RETRIES as u64, Ordering::Relaxed);
+        self.whatif_failures.fetch_add(1, Ordering::Relaxed);
+        (f64::INFINITY, 0.0)
+    }
+
+    /// Whole-query twin of [`CostOracle::compute_select`].
+    fn compute_query(
+        &self,
+        key: CacheKey,
+        catalog: &Catalog,
+        stats: &[TableStats],
+        config: &PhysicalConfig,
+        query: &SqlQuery,
+    ) -> QueryEntry {
+        let Some(plane) = &self.fault else {
+            return plan_query_raw(catalog, stats, config, query);
+        };
+        let token = whatif_token(key, QUERY_SITE);
+        for attempt in 0..=MAX_WHATIF_RETRIES {
+            match plan_query_faulty(catalog, stats, config, query, plane, token, attempt) {
+                Ok(plan) => {
+                    self.whatif_retries
+                        .fetch_add(attempt as u64, Ordering::Relaxed);
+                    return (plan.est_cost, plan.used_objects());
+                }
+                Err(err) if err.is_transient() => {
+                    if attempt < MAX_WHATIF_RETRIES {
+                        std::thread::sleep(Duration::from_micros(50u64 << attempt));
+                    }
+                }
+                Err(_) => return (f64::INFINITY, Vec::new()),
+            }
+        }
+        self.whatif_retries
+            .fetch_add(MAX_WHATIF_RETRIES as u64, Ordering::Relaxed);
+        self.whatif_failures.fetch_add(1, Ordering::Relaxed);
+        (f64::INFINITY, Vec::new())
     }
 
     /// Cost and cardinality of one select block under `config`; `fresh` in
@@ -121,14 +244,17 @@ impl CostOracle {
         branch: &SelectQuery,
     ) -> (f64, f64, bool) {
         if !self.enabled {
-            let (cost, rows) = plan_select_raw(catalog, stats, config, branch);
+            let (cost, rows) = self.compute_select(key, catalog, stats, config, branch);
             return (cost, rows, true);
         }
         let shard = &self.select_shards[shard_of(key)];
-        if let Some(&(cost, rows)) = shard.lock().unwrap().get(&key) {
+        if let Some(&(cost, rows)) = lock_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            // Differential check only without faults: a cached entry may
+            // record a retry-exhausted (infinite) outcome a fault-free
+            // replan would not reproduce.
             #[cfg(debug_assertions)]
-            {
+            if self.fault.is_none() {
                 let fresh = plan_select_raw(catalog, stats, config, branch);
                 debug_assert!(
                     fresh == (cost, rows) || (fresh.0.is_infinite() && cost.is_infinite()),
@@ -140,10 +266,11 @@ impl CostOracle {
             return (cost, rows, false);
         }
         // Plan outside the lock; concurrent duplicate work for the same key
-        // is benign (identical value inserted twice).
-        let (cost, rows) = plan_select_raw(catalog, stats, config, branch);
+        // is benign (identical value inserted twice — fault tokens derive
+        // from the key, so both racers see the same injection outcome).
+        let (cost, rows) = self.compute_select(key, catalog, stats, config, branch);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut guard = shard.lock().unwrap();
+        let mut guard = lock_shard(shard);
         if guard.len() >= SHARD_CAPACITY {
             self.evictions
                 .fetch_add(guard.len() as u64, Ordering::Relaxed);
@@ -165,14 +292,14 @@ impl CostOracle {
         query: &SqlQuery,
     ) -> (f64, Vec<String>, bool) {
         if !self.enabled {
-            let (cost, used) = plan_query_raw(catalog, stats, config, query);
+            let (cost, used) = self.compute_query(key, catalog, stats, config, query);
             return (cost, used, true);
         }
         let shard = &self.query_shards[shard_of(key)];
-        if let Some((cost, used)) = shard.lock().unwrap().get(&key).cloned() {
+        if let Some((cost, used)) = lock_shard(shard).get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             #[cfg(debug_assertions)]
-            {
+            if self.fault.is_none() {
                 let fresh = plan_query_raw(catalog, stats, config, query);
                 debug_assert!(
                     (fresh.0 == cost || (fresh.0.is_infinite() && cost.is_infinite()))
@@ -184,9 +311,9 @@ impl CostOracle {
             }
             return (cost, used, false);
         }
-        let (cost, used) = plan_query_raw(catalog, stats, config, query);
+        let (cost, used) = self.compute_query(key, catalog, stats, config, query);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut guard = shard.lock().unwrap();
+        let mut guard = lock_shard(shard);
         if guard.len() >= SHARD_CAPACITY {
             self.evictions
                 .fetch_add(guard.len() as u64, Ordering::Relaxed);
@@ -201,12 +328,12 @@ impl CostOracle {
         let select_entries: u64 = self
             .select_shards
             .iter()
-            .map(|s| s.lock().unwrap().len() as u64)
+            .map(|s| lock_shard(s).len() as u64)
             .sum();
         let query_entries: u64 = self
             .query_shards
             .iter()
-            .map(|s| s.lock().unwrap().len() as u64)
+            .map(|s| lock_shard(s).len() as u64)
             .sum();
         let entries = select_entries + query_entries;
         CacheStats {
@@ -214,8 +341,21 @@ impl CostOracle {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
+            whatif_failures: self.whatif_failures.load(Ordering::Relaxed),
+            whatif_retries: self.whatif_retries.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Lock a memo shard, tolerating poison: a panic elsewhere never corrupts
+/// the memo value (pure-function results), so continuing is sound and keeps
+/// one faulted worker from wedging the whole search.
+fn lock_shard<V>(
+    shard: &Mutex<FxHashMap<CacheKey, V>>,
+) -> std::sync::MutexGuard<'_, FxHashMap<CacheKey, V>> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn shard_of(key: CacheKey) -> usize {
@@ -270,5 +410,47 @@ mod tests {
             assert!(shard_of((n, n.wrapping_mul(31), !n)) < SHARDS);
         }
         let _ = empty_key(0);
+    }
+
+    #[test]
+    fn needs_keys_tracks_cache_and_faults() {
+        assert!(!CostOracle::disabled().needs_keys());
+        assert!(CostOracle::new(true).needs_keys());
+        let fault = FaultConfig {
+            p_plan: 0.5,
+            ..FaultConfig::default()
+        };
+        let faulty = CostOracle::with_fault(false, Some(fault));
+        assert!(faulty.needs_keys());
+        assert!(faulty.has_faults());
+    }
+
+    #[test]
+    fn zero_plan_probability_arms_no_plane() {
+        let inert = CostOracle::with_fault(true, Some(FaultConfig::default()));
+        assert!(!inert.has_faults());
+        assert!(inert.needs_keys()); // cache still wants keys
+        let storage_only = CostOracle::with_fault(
+            false,
+            Some(FaultConfig {
+                p_storage: 1.0,
+                ..FaultConfig::default()
+            }),
+        );
+        assert!(!storage_only.has_faults());
+        assert!(!storage_only.needs_keys());
+    }
+
+    #[test]
+    fn whatif_tokens_differ_by_site_and_key() {
+        let key = (3, 5, 7);
+        assert_ne!(
+            whatif_token(key, SELECT_SITE),
+            whatif_token(key, QUERY_SITE)
+        );
+        assert_ne!(
+            whatif_token((3, 5, 8), SELECT_SITE),
+            whatif_token(key, SELECT_SITE)
+        );
     }
 }

@@ -7,7 +7,13 @@
 //! atomic cursor, which only affects *which thread* computes an item, never
 //! the result: shared state is limited to the memoizing cost oracle (a pure
 //! function) and commutative atomic counters.
+//!
+//! The map is also the advisor's anytime choke point: workers poll a
+//! [`Deadline`] before starting each item, and items not started before
+//! expiry come back as `None`. With an unbounded deadline every slot is
+//! `Some`, preserving the bit-identical guarantee.
 
+use crate::search::Deadline;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Resolve a `threads` knob: `0` means all available parallelism.
@@ -23,24 +29,37 @@ pub fn effective_threads(requested: usize) -> usize {
 
 /// Map `work` over `items` on up to `threads` scoped threads, with one
 /// `state` per worker (built by `init`), returning results in item order.
+/// Slot `i` is `None` iff item `i` was not started before `deadline`
+/// expired; with an unbounded deadline every slot is `Some`.
 ///
 /// With one effective thread (or one item) this degenerates to a plain
 /// serial loop with zero thread overhead.
-pub fn parallel_map<T, R, S, I, F>(items: &[T], threads: usize, init: I, work: F) -> Vec<R>
+pub fn parallel_map<T, R, S, I, F>(
+    items: &[T],
+    threads: usize,
+    deadline: &Deadline,
+    init: I,
+    work: F,
+) -> Vec<Option<R>>
 where
     T: Sync,
     R: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
+    let bounded = !deadline.is_unbounded();
     let threads = effective_threads(threads).min(items.len().max(1));
     if threads <= 1 {
         let mut state = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(index, item)| work(&mut state, index, item))
-            .collect();
+        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+        for (index, item) in items.iter().enumerate() {
+            if bounded && deadline.expired() {
+                break;
+            }
+            out.push(Some(work(&mut state, index, item)));
+        }
+        out.resize_with(items.len(), || None);
+        return out;
     }
 
     let cursor = AtomicUsize::new(0);
@@ -49,12 +68,16 @@ where
         let cursor = &cursor;
         let init = &init;
         let work = &work;
+        let deadline = &deadline;
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut state = init();
                     let mut produced = Vec::new();
                     loop {
+                        if bounded && deadline.expired() {
+                            break;
+                        }
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         if index >= items.len() {
                             break;
@@ -72,9 +95,6 @@ where
         }
     });
     slots
-        .into_iter()
-        .map(|slot| slot.expect("every index computed exactly once"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -85,9 +105,9 @@ mod tests {
     fn serial_and_parallel_agree_in_order() {
         let items: Vec<u64> = (0..257).collect();
         let square = |_: &mut (), _i: usize, &x: &u64| -> u64 { x * x };
-        let serial = parallel_map(&items, 1, || (), square);
+        let serial = parallel_map(&items, 1, &Deadline::none(), || (), square);
         for threads in [2, 3, 4, 8] {
-            let parallel = parallel_map(&items, threads, || (), square);
+            let parallel = parallel_map(&items, threads, &Deadline::none(), || (), square);
             assert_eq!(serial, parallel, "threads={threads}");
         }
     }
@@ -99,6 +119,7 @@ mod tests {
         let results = parallel_map(
             &items,
             4,
+            &Deadline::none(),
             || 0usize,
             |count, _i, &x| {
                 *count += 1;
@@ -106,17 +127,33 @@ mod tests {
             },
         );
         // Results are in item order regardless of which worker ran them.
-        for (i, (x, count)) in results.iter().enumerate() {
-            assert_eq!(*x, i);
-            assert!(*count >= 1);
+        for (i, slot) in results.iter().enumerate() {
+            let (x, count) = slot.expect("unbounded deadline fills every slot");
+            assert_eq!(x, i);
+            assert!(count >= 1);
         }
     }
 
     #[test]
     fn empty_and_single_item() {
         let empty: Vec<u32> = Vec::new();
-        assert!(parallel_map(&empty, 8, || (), |_, _, &x: &u32| x).is_empty());
-        assert_eq!(parallel_map(&[7u32], 8, || (), |_, _, &x| x + 1), vec![8]);
+        let deadline = Deadline::none();
+        assert!(parallel_map(&empty, 8, &deadline, || (), |_, _, &x: &u32| x).is_empty());
+        assert_eq!(
+            parallel_map(&[7u32], 8, &deadline, || (), |_, _, &x| x + 1),
+            vec![Some(8)]
+        );
+    }
+
+    #[test]
+    fn expired_deadline_leaves_slots_unfilled() {
+        let items: Vec<u64> = (0..64).collect();
+        let expired = Deadline::at(std::time::Instant::now() - std::time::Duration::from_secs(1));
+        for threads in [1, 4] {
+            let out = parallel_map(&items, threads, &expired, || (), |_, _, &x: &u64| x);
+            assert_eq!(out.len(), items.len());
+            assert!(out.iter().all(Option::is_none), "threads={threads}");
+        }
     }
 
     #[test]

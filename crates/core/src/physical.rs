@@ -15,6 +15,7 @@
 
 use crate::oracle::CostOracle;
 use crate::parallel::parallel_map;
+use crate::search::Deadline;
 use rustc_hash::FxHashSet;
 use xmlshred_rel::catalog::{Catalog, TableId};
 use xmlshred_rel::cost::sort_cost;
@@ -40,6 +41,13 @@ pub struct TuneResult {
     pub per_query: Vec<PerQueryInfo>,
     /// What-if optimizer calls issued.
     pub optimizer_calls: u64,
+    /// True when the anytime deadline (or cancellation) cut the greedy
+    /// selection short; the configuration is the best found before expiry
+    /// and still respects the storage budget.
+    pub degraded: bool,
+    /// Candidates dropped because their what-if costing kept faulting
+    /// through every retry.
+    pub candidates_skipped: u64,
 }
 
 /// Cost and used-object information for one query.
@@ -72,16 +80,24 @@ pub const INDEX_MAINTENANCE_COST: f64 = 0.01;
 pub const VIEW_MAINTENANCE_COST: f64 = 0.02;
 
 /// Knobs for one tuning invocation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TuneOptions {
     /// Worker threads for the initial candidate-scoring fan-out; `0` =
     /// available parallelism. Results are bit-identical for any value.
     pub threads: usize,
+    /// Anytime budget. When it expires mid-search the greedy loop stops
+    /// accepting candidates and the result carries `degraded = true`; the
+    /// base-configuration costing and the final per-query report always run,
+    /// so the result is well-formed regardless of when the budget lapses.
+    pub deadline: Deadline,
 }
 
 impl Default for TuneOptions {
     fn default() -> Self {
-        TuneOptions { threads: 1 }
+        TuneOptions {
+            threads: 1,
+            deadline: Deadline::none(),
+        }
     }
 }
 
@@ -136,15 +152,21 @@ pub fn tune_with(
     options: &TuneOptions,
 ) -> TuneResult {
     let mut optimizer_calls = 0u64;
+    let mut candidates_skipped = 0u64;
+    let mut degraded = false;
+    let deadline = &options.deadline;
+    let bounded = !deadline.is_unbounded();
+    let faults = oracle.has_faults();
 
     // Memo-key ingredients. The context fingerprint pins the catalog and
     // statistics this invocation plans against; the config fingerprint is
     // maintained incrementally as candidates are accepted (and extended
     // per-trial), so a cache key never requires rehashing a whole
-    // configuration. With the oracle disabled the keys are never read, so
-    // zeros skip the hashing work.
-    let enabled = oracle.is_enabled();
-    let ctx_fp = if enabled {
+    // configuration. Keys matter to the memo table *and* to the fault
+    // plane (injection tokens derive from them); when neither is armed the
+    // keys are never read, so zeros skip the hashing work.
+    let keyed = oracle.needs_keys();
+    let ctx_fp = if keyed {
         context_fingerprint(catalog, stats)
     } else {
         0
@@ -152,7 +174,7 @@ pub fn tune_with(
     let branch_fps: Vec<Vec<u64>> = queries
         .iter()
         .map(|(q, _)| {
-            if enabled {
+            if keyed {
                 q.branches().iter().map(select_fingerprint).collect()
             } else {
                 vec![0; q.branches().len()]
@@ -295,9 +317,10 @@ pub fn tune_with(
     // in candidate order, making the surviving list — and therefore the
     // whole greedy selection — independent of the thread count.
     let candidate_fps: Vec<u64> = candidates.iter().map(Candidate::fingerprint).collect();
-    let scores: Vec<(f64, u64)> = parallel_map(
+    let scores: Vec<Option<(f64, u64)>> = parallel_map(
         &candidates,
         options.threads,
+        deadline,
         || config.clone(),
         |scratch, i, candidate| {
             let mut calls = 0u64;
@@ -315,9 +338,21 @@ pub fn tune_with(
     );
     let mut remaining: Vec<(Candidate, u64, f64)> = {
         let mut scored = Vec::with_capacity(candidates.len());
-        for ((candidate, fp), (raw, calls)) in candidates.into_iter().zip(candidate_fps).zip(scores)
-        {
+        for ((candidate, fp), slot) in candidates.into_iter().zip(candidate_fps).zip(scores) {
+            // A `None` slot means the deadline lapsed before this candidate
+            // was scored: drop it and mark the run degraded.
+            let Some((raw, calls)) = slot else {
+                degraded = true;
+                continue;
+            };
             optimizer_calls += calls;
+            // With faults armed, a non-finite benefit means every retry of
+            // some what-if call failed: the candidate is uncostable, not
+            // merely unhelpful.
+            if faults && !raw.is_finite() {
+                candidates_skipped += 1;
+                continue;
+            }
             let delta = raw - maintenance(&candidate);
             if delta > 1e-9 {
                 scored.push((candidate, fp, delta));
@@ -326,6 +361,10 @@ pub fn tune_with(
         scored
     };
     'outer: loop {
+        if bounded && deadline.expired() {
+            degraded = true;
+            break;
+        }
         let current_bytes = config_bytes(catalog, stats, &config);
         // A bounded number of lazy refreshes per selection; each refresh
         // either accepts a candidate or strictly lowers a cached bound.
@@ -335,6 +374,10 @@ pub fn tune_with(
                 break 'outer;
             }
             refreshes -= 1;
+            if bounded && deadline.expired() {
+                degraded = true;
+                break 'outer;
+            }
             // The feasible candidate with the highest cached bound.
             // (Budget fits, and at most one clustered index per table.)
             let feasible = |c: &Candidate| -> bool {
@@ -381,6 +424,9 @@ pub fn tune_with(
             );
             let delta = raw - maintenance(&remaining[top].0);
             if delta <= 1e-9 {
+                if faults && !raw.is_finite() {
+                    candidates_skipped += 1;
+                }
                 remaining.swap_remove(top);
                 if remaining.is_empty() {
                     break 'outer;
@@ -418,7 +464,7 @@ pub fn tune_with(
     let mut per_query = Vec::with_capacity(queries.len());
     let mut total_cost = 0.0;
     for (q, weight) in queries.iter() {
-        let q_fp = if enabled { query_fingerprint(q) } else { 0 };
+        let q_fp = if keyed { query_fingerprint(q) } else { 0 };
         let (cost, used, fresh) =
             oracle.query_cost((ctx_fp, config_fp, q_fp), catalog, stats, &config, q);
         if fresh {
@@ -441,6 +487,8 @@ pub fn tune_with(
         total_cost,
         per_query,
         optimizer_calls,
+        degraded,
+        candidates_skipped,
     }
 }
 
@@ -906,6 +954,60 @@ mod tests {
         // zero, and quality stays in the same ballpark.
         assert!(!moderate.config.indexes.is_empty());
         assert!(moderate.total_cost <= read_only.total_cost * 1.5 + 1.0);
+    }
+
+    #[test]
+    fn expired_deadline_yields_degraded_base_design() {
+        let (catalog, stats, inproc, author) = setup();
+        let query = paper_query(inproc, author);
+        let options = TuneOptions {
+            threads: 1,
+            deadline: Deadline::at(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+        };
+        let result = tune_with(
+            &catalog,
+            &stats,
+            &[(&query, 1.0)],
+            &[],
+            1e12,
+            &CostOracle::disabled(),
+            &options,
+        );
+        assert!(result.degraded);
+        // No time to accept anything, but the report is still well-formed.
+        assert!(result.config.indexes.is_empty() && result.config.views.is_empty());
+        assert_eq!(result.per_query.len(), 1);
+        assert!(result.total_cost.is_finite());
+    }
+
+    #[test]
+    fn certain_plan_faults_skip_every_candidate_without_panicking() {
+        use xmlshred_rel::fault::FaultConfig;
+        let (catalog, stats, inproc, author) = setup();
+        let query = paper_query(inproc, author);
+        let oracle = CostOracle::with_fault(
+            false,
+            Some(FaultConfig {
+                seed: 7,
+                p_plan: 1.0,
+                ..FaultConfig::default()
+            }),
+        );
+        let result = tune_with(
+            &catalog,
+            &stats,
+            &[(&query, 1.0)],
+            &[],
+            1e12,
+            &oracle,
+            &TuneOptions::default(),
+        );
+        assert!(result.candidates_skipped > 0);
+        assert!(result.config.indexes.is_empty() && result.config.views.is_empty());
+        assert!(!result.degraded); // faults degrade coverage, not the deadline
+        let cache = oracle.snapshot();
+        assert!(cache.whatif_failures > 0);
+        assert!(cache.whatif_retries >= cache.whatif_failures);
     }
 
     #[test]

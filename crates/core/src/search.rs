@@ -1,8 +1,74 @@
-//! Shared search bookkeeping.
+//! Shared search bookkeeping: instrumentation counters, the anytime
+//! [`Deadline`] token, and the per-search option bundles.
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xmlshred_rel::fault::FaultConfig;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
+
+/// An anytime budget: an optional wall-clock deadline plus an optional
+/// cooperative cancellation flag. Searches and [`crate::parallel::parallel_map`]
+/// poll it between units of work; once it reports expired, they stop
+/// starting new work and return the best design found so far with the
+/// `degraded` marker set.
+///
+/// The default value is unbounded and never expires.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Deadline {
+    /// An unbounded deadline (never expires).
+    pub fn none() -> Self {
+        Deadline::default()
+    }
+
+    /// Expire `ms` milliseconds from now.
+    pub fn from_millis(ms: u64) -> Self {
+        Deadline {
+            at: Some(Instant::now() + Duration::from_millis(ms)),
+            cancel: None,
+        }
+    }
+
+    /// Expire at a specific instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline {
+            at: Some(instant),
+            cancel: None,
+        }
+    }
+
+    /// Attach a cancellation flag, builder-style. Setting the flag to `true`
+    /// (from any thread) expires the deadline immediately.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether this deadline can never expire. Callers use this to skip the
+    /// (cheap, but nonzero) clock read on the common unbounded path.
+    pub fn is_unbounded(&self) -> bool {
+        self.at.is_none() && self.cancel.is_none()
+    }
+
+    /// Has the deadline passed or the cancellation flag been raised?
+    pub fn expired(&self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.at {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+}
 
 /// Instrumentation counters for one advisor run (Figs. 5 and 6 report
 /// these).
@@ -22,6 +88,15 @@ pub struct SearchStats {
     pub cache_misses: u64,
     /// What-if plan-cache entries discarded by capacity eviction.
     pub cache_evictions: u64,
+    /// What-if calls that kept faulting through every retry (their
+    /// candidates were skipped).
+    pub whatif_failures: u64,
+    /// Retry attempts spent recovering faulted what-if calls.
+    pub whatif_retries: u64,
+    /// Candidate structures dropped because their what-if costing failed.
+    pub candidates_skipped: u64,
+    /// Whether a deadline or cancellation cut the search short.
+    pub deadline_hit: bool,
     /// Wall-clock time of the search.
     pub elapsed: Duration,
 }
@@ -43,13 +118,17 @@ impl SearchStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
+        self.candidates_skipped += other.candidates_skipped;
+        self.deadline_hit |= other.deadline_hit;
     }
 
-    /// Record the final plan-cache counters for one search run.
+    /// Record the final plan-cache and fault counters for one search run.
     pub fn absorb_cache(&mut self, cache: &crate::oracle::CacheStats) {
         self.cache_hits = cache.hits;
         self.cache_misses = cache.misses;
         self.cache_evictions = cache.evictions;
+        self.whatif_failures = cache.whatif_failures;
+        self.whatif_retries = cache.whatif_retries;
     }
 
     /// Plan-cache hit fraction over all lookups.
@@ -63,18 +142,27 @@ impl SearchStats {
     }
 }
 
-/// Parallelism and caching knobs shared by the baseline searches
-/// (Naive-Greedy and Two-Step); Greedy carries the same knobs on
-/// [`crate::greedy::GreedyOptions`]. Output is bit-identical for any
-/// setting — threads only fan out independent evaluations (reduced in a
-/// fixed order) and the plan cache memoizes a pure function.
-#[derive(Debug, Clone, Copy)]
+/// Parallelism, caching, robustness, and anytime knobs shared by the
+/// baseline searches (Naive-Greedy and Two-Step); Greedy carries the same
+/// knobs on [`crate::greedy::GreedyOptions`]. Output is bit-identical for
+/// any `threads`/`plan_cache` setting — threads only fan out independent
+/// evaluations (reduced in a fixed order) and the plan cache memoizes a
+/// pure function. With faults enabled, output is bit-identical per
+/// [`FaultConfig`] seed (deadlines excepted: wall-clock truncation is
+/// inherently timing-dependent).
+#[derive(Debug, Clone)]
 pub struct SearchOptions {
     /// Worker threads for candidate evaluation; `0` = available
     /// parallelism.
     pub threads: usize,
     /// Memoize what-if planner calls across the search.
     pub plan_cache: bool,
+    /// Anytime budget; the search returns its best-so-far design when it
+    /// expires.
+    pub deadline: Deadline,
+    /// Deterministic fault injection for what-if planner calls; `None`
+    /// disables injection.
+    pub fault: Option<FaultConfig>,
 }
 
 impl Default for SearchOptions {
@@ -82,6 +170,8 @@ impl Default for SearchOptions {
         SearchOptions {
             threads: 0,
             plan_cache: true,
+            deadline: Deadline::none(),
+            fault: None,
         }
     }
 }
@@ -97,6 +187,9 @@ pub struct AdvisorOutcome {
     pub estimated_cost: f64,
     /// Search instrumentation.
     pub stats: SearchStats,
+    /// True when a deadline or cancellation cut the search short; the
+    /// mapping and config are the best design found before expiry.
+    pub degraded: bool,
 }
 
 #[cfg(test)]
@@ -110,5 +203,44 @@ mod tests {
         stats.absorb_tune(5);
         assert_eq!(stats.physical_tool_calls, 2);
         assert_eq!(stats.optimizer_calls, 15);
+    }
+
+    #[test]
+    fn unbounded_deadline_never_expires() {
+        let deadline = Deadline::none();
+        assert!(deadline.is_unbounded());
+        assert!(!deadline.expired());
+    }
+
+    #[test]
+    fn elapsed_deadline_expires() {
+        let deadline = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(!deadline.is_unbounded());
+        assert!(deadline.expired());
+        let future = Deadline::from_millis(60_000);
+        assert!(!future.expired());
+    }
+
+    #[test]
+    fn cancellation_flag_expires() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let deadline = Deadline::none().with_cancel(Arc::clone(&flag));
+        assert!(!deadline.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(deadline.expired());
+    }
+
+    #[test]
+    fn absorb_carries_degradation_counters() {
+        let mut stats = SearchStats::default();
+        let other = SearchStats {
+            candidates_skipped: 3,
+            deadline_hit: true,
+            ..SearchStats::default()
+        };
+        stats.absorb(&other);
+        stats.absorb(&SearchStats::default());
+        assert_eq!(stats.candidates_skipped, 3);
+        assert!(stats.deadline_hit);
     }
 }

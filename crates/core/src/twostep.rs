@@ -37,22 +37,31 @@ pub fn two_step_search_with(
 ) -> AdvisorOutcome {
     let start = Instant::now();
     let mut stats = SearchStats::default();
-    let oracle = CostOracle::new(options.plan_cache);
+    let oracle = CostOracle::with_fault(options.plan_cache, options.fault);
+    let deadline = &options.deadline;
+    let bounded = !deadline.is_unbounded();
     let tree = ctx.tree;
 
     // ------------------------------ phase 1: logical design in isolation --
     let mut mapping = Mapping::hybrid(tree);
     let mut cost = best_guess_cost(ctx, &mapping, &mut stats, &oracle);
     for _round in 0..max_rounds {
+        // Anytime cutoff at round boundaries; phase 2 still runs so the
+        // outcome always carries a real tuned configuration.
+        if bounded && deadline.expired() {
+            stats.deadline_hit = true;
+            break;
+        }
         let transformations =
             enumerate_transformations(tree, &mapping, &|star| ctx.split_count(star));
         // Fan out the independent best-guess costings; reduce serially in
         // enumeration order so the accepted transformation is independent
         // of the thread count.
         let mapping_ref = &mapping;
-        let evaluations: Vec<Option<(Mapping, f64, SearchStats)>> = parallel_map(
+        let evaluations: Vec<Option<Option<(Mapping, f64, SearchStats)>>> = parallel_map(
             &transformations,
             options.threads,
+            deadline,
             || (),
             |_, _i, t| {
                 let Ok(next) = t.apply(tree, mapping_ref) else {
@@ -68,6 +77,11 @@ pub fn two_step_search_with(
         );
         let mut best: Option<(Mapping, f64)> = None;
         for evaluation in evaluations {
+            // Outer `None`: the deadline lapsed before this costing started.
+            let Some(evaluation) = evaluation else {
+                stats.deadline_hit = true;
+                continue;
+            };
             let Some((next, next_cost, local)) = evaluation else {
                 continue;
             };
@@ -99,17 +113,22 @@ pub fn two_step_search_with(
         &oracle,
         &TuneOptions {
             threads: options.threads,
+            deadline: deadline.clone(),
         },
     );
     stats.absorb_tune(result.optimizer_calls);
+    stats.candidates_skipped += result.candidates_skipped;
+    stats.deadline_hit |= result.degraded;
 
     stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
+    let degraded = stats.deadline_hit;
     AdvisorOutcome {
         mapping,
         config: result.config,
         estimated_cost: result.total_cost,
         stats,
+        degraded,
     }
 }
 
@@ -146,7 +165,9 @@ fn best_guess_cost(
 ) -> f64 {
     let prepared = ctx.prepare(mapping);
     let config = best_guess_config(&prepared);
-    let (ctx_fp, config_fp) = if oracle.is_enabled() {
+    // Keys feed both the memo table and the fault plane's injection tokens.
+    let keyed = oracle.needs_keys();
+    let (ctx_fp, config_fp) = if keyed {
         (
             context_fingerprint(&prepared.catalog, &prepared.stats),
             config_fingerprint(&config),
@@ -156,11 +177,7 @@ fn best_guess_cost(
     };
     let mut total = 0.0;
     for (_, query, weight) in prepared.translated(ctx.workload) {
-        let q_fp = if oracle.is_enabled() {
-            query_fingerprint(query)
-        } else {
-            0
-        };
+        let q_fp = if keyed { query_fingerprint(query) } else { 0 };
         let (cost, _, fresh) = oracle.query_cost(
             (ctx_fp, config_fp, q_fp),
             &prepared.catalog,

@@ -141,7 +141,14 @@ const MOVIE_LEAVES: &[&str] = &[
 
 /// Generate a DBLP workload. 80% of queries target `inproceedings`, 20%
 /// `book` (keeping the shared `author`/`title` types relevant).
-pub fn dblp_workload(spec: &WorkloadSpec, years: (i32, i32), n_conferences: usize) -> Workload {
+///
+/// Errors if a generated query text fails to parse (a template/grammar
+/// mismatch), naming the offending text.
+pub fn dblp_workload(
+    spec: &WorkloadSpec,
+    years: (i32, i32),
+    n_conferences: usize,
+) -> Result<Workload, String> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut queries = Vec::with_capacity(spec.n_queries);
     while queries.len() < spec.n_queries {
@@ -182,16 +189,25 @@ pub fn dblp_workload(spec: &WorkloadSpec, years: (i32, i32), n_conferences: usiz
             }
         };
         let text = format!("{context}{predicate}/{projection}");
-        queries.push((parse_path(&text).expect("generated query parses"), 1.0));
+        let query = parse_path(&text)
+            .map_err(|e| format!("generated query '{text}' failed to parse: {e}"))?;
+        queries.push((query, 1.0));
     }
-    Workload {
+    Ok(Workload {
         name: spec.name(),
         queries,
-    }
+    })
 }
 
 /// Generate a Movie workload.
-pub fn movie_workload(spec: &WorkloadSpec, years: (i32, i32), n_genres: usize) -> Workload {
+///
+/// Errors if a generated query text fails to parse, naming the offending
+/// text.
+pub fn movie_workload(
+    spec: &WorkloadSpec,
+    years: (i32, i32),
+    n_genres: usize,
+) -> Result<Workload, String> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut queries = Vec::with_capacity(spec.n_queries);
     while queries.len() < spec.n_queries {
@@ -224,12 +240,14 @@ pub fn movie_workload(spec: &WorkloadSpec, years: (i32, i32), n_genres: usize) -
             }
         };
         let text = format!("//movie{predicate}/{projection}");
-        queries.push((parse_path(&text).expect("generated query parses"), 1.0));
+        let query = parse_path(&text)
+            .map_err(|e| format!("generated query '{text}' failed to parse: {e}"))?;
+        queries.push((query, 1.0));
     }
-    Workload {
+    Ok(Workload {
         name: spec.name(),
         queries,
-    }
+    })
 }
 
 fn projection_list(rng: &mut StdRng, band: Projections, leaves: &[&str]) -> String {
@@ -260,6 +278,10 @@ mod tests {
         }
     }
 
+    fn generate(spec: &WorkloadSpec) -> Workload {
+        dblp_workload(spec, (1960, 2004), 50).expect("workload generates")
+    }
+
     #[test]
     fn names_follow_convention() {
         assert_eq!(spec(Projections::High, Selectivity::Low).name(), "HP-LS-20");
@@ -268,7 +290,7 @@ mod tests {
 
     #[test]
     fn dblp_workload_counts_and_shapes() {
-        let w = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        let w = generate(&spec(Projections::Low, Selectivity::Low));
         assert_eq!(w.queries.len(), 20);
         for (q, weight) in &w.queries {
             assert_eq!(*weight, 1.0);
@@ -278,7 +300,7 @@ mod tests {
 
     #[test]
     fn hp_band_has_many_projections() {
-        let w = dblp_workload(&spec(Projections::High, Selectivity::Low), (1960, 2004), 50);
+        let w = generate(&spec(Projections::High, Selectivity::Low));
         for (q, _) in &w.queries {
             assert!(q.projection_count() >= 5, "{q}");
         }
@@ -286,7 +308,7 @@ mod tests {
 
     #[test]
     fn ls_band_always_has_predicates() {
-        let w = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        let w = generate(&spec(Projections::Low, Selectivity::Low));
         for (q, _) in &w.queries {
             assert!(
                 q.all_predicates().count() >= 1,
@@ -297,7 +319,7 @@ mod tests {
 
     #[test]
     fn hs_band_mixes_no_predicate_queries() {
-        let w = dblp_workload(&spec(Projections::Low, Selectivity::High), (1960, 2004), 50);
+        let w = generate(&spec(Projections::Low, Selectivity::High));
         let without: usize = w
             .queries
             .iter()
@@ -312,7 +334,8 @@ mod tests {
             &spec(Projections::High, Selectivity::High),
             (1950, 2004),
             25,
-        );
+        )
+        .expect("workload generates");
         assert_eq!(w.queries.len(), 20);
         for text in w.texts() {
             assert!(text.starts_with("//movie"), "{text}");
@@ -333,8 +356,8 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let a = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
-        let b = dblp_workload(&spec(Projections::Low, Selectivity::Low), (1960, 2004), 50);
+        let a = generate(&spec(Projections::Low, Selectivity::Low));
+        let b = generate(&spec(Projections::Low, Selectivity::Low));
         assert_eq!(a.texts(), b.texts());
     }
 }

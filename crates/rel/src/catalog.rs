@@ -150,8 +150,18 @@ impl Catalog {
     }
 
     /// Table definition by id.
+    ///
+    /// Panics on a foreign id; use [`Catalog::try_table`] on paths that must
+    /// degrade gracefully.
     pub fn table(&self, id: TableId) -> &TableDef {
         &self.tables[id.index()]
+    }
+
+    /// Table definition by id, as a checked result.
+    pub fn try_table(&self, id: TableId) -> RelResult<&TableDef> {
+        self.tables
+            .get(id.index())
+            .ok_or_else(|| RelError::UnknownTable(format!("#{}", id.0)))
     }
 
     /// Iterate over `(id, def)` pairs.

@@ -4,6 +4,7 @@
 use crate::catalog::{Catalog, TableDef, TableId};
 use crate::error::{RelError, RelResult};
 use crate::exec::{execute_plan, ExecStats};
+use crate::fault::{FaultConfig, FaultPlane};
 use crate::index::BuiltIndex;
 use crate::optimizer::{self, PhysicalConfig as OptimizerConfig};
 use crate::plan::QueryPlan;
@@ -13,6 +14,7 @@ use crate::storage::TableHeap;
 use crate::types::Row;
 use crate::view::BuiltView;
 use rustc_hash::FxHashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::optimizer::PhysicalConfig;
@@ -39,6 +41,7 @@ pub struct Database {
     built_indexes: FxHashMap<String, BuiltIndex>,
     built_views: FxHashMap<String, BuiltView>,
     built_config: OptimizerConfig,
+    fault: Option<Arc<FaultPlane>>,
 }
 
 impl Database {
@@ -61,13 +64,49 @@ impl Database {
     }
 
     /// A table's heap.
+    ///
+    /// Panics on a foreign id; convenience accessor for tests and tools. Use
+    /// [`Database::try_heap`] on paths that must degrade gracefully.
     pub fn heap(&self, table: TableId) -> &TableHeap {
         &self.heaps[table.index()]
     }
 
+    /// A table's heap, as a checked result.
+    pub fn try_heap(&self, table: TableId) -> RelResult<&TableHeap> {
+        self.heaps
+            .get(table.index())
+            .ok_or_else(|| RelError::UnknownTable(format!("#{}", table.0)))
+    }
+
+    /// Mutable heap access, used by chaos tests to damage stored rows (see
+    /// [`TableHeap::corrupt_row`]).
+    pub fn heap_mut(&mut self, table: TableId) -> Option<&mut TableHeap> {
+        self.heaps.get_mut(table.index())
+    }
+
     /// A table's statistics.
+    ///
+    /// Panics on a foreign id; convenience accessor for tests and tools.
     pub fn table_stats(&self, table: TableId) -> &TableStats {
         &self.stats[table.index()]
+    }
+
+    /// Enable deterministic fault injection on this database's execution
+    /// paths. An inert config (see [`FaultConfig::is_active`]) clears it.
+    pub fn set_fault_config(&mut self, config: FaultConfig) {
+        self.fault = config
+            .is_active()
+            .then(|| Arc::new(FaultPlane::new(config)));
+    }
+
+    /// Disable fault injection.
+    pub fn clear_fault_config(&mut self) {
+        self.fault = None;
+    }
+
+    /// The active fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault.as_deref()
     }
 
     /// All table statistics, in table-id order.
@@ -77,8 +116,12 @@ impl Database {
 
     /// Insert one row (validated against the schema).
     pub fn insert(&mut self, table: TableId, row: Row) -> RelResult<()> {
-        let def = self.catalog.table(table).clone();
-        self.heaps[table.index()].insert(&def, row)
+        let def = self.catalog.try_table(table)?.clone();
+        let heap = self
+            .heaps
+            .get_mut(table.index())
+            .ok_or_else(|| RelError::UnknownTable(def.name.clone()))?;
+        heap.insert(&def, row)
     }
 
     /// Bulk-insert rows (validated).
@@ -87,8 +130,11 @@ impl Database {
         table: TableId,
         rows: impl IntoIterator<Item = Row>,
     ) -> RelResult<usize> {
-        let def = self.catalog.table(table).clone();
-        let heap = &mut self.heaps[table.index()];
+        let def = self.catalog.try_table(table)?.clone();
+        let heap = self
+            .heaps
+            .get_mut(table.index())
+            .ok_or_else(|| RelError::UnknownTable(def.name.clone()))?;
         let mut n = 0;
         for row in rows {
             heap.insert(&def, row)?;
@@ -109,24 +155,38 @@ impl Database {
         }
     }
 
-    /// Recompute statistics for one table from its data.
+    /// Recompute statistics for one table from its data. A foreign id is a
+    /// no-op.
     pub fn analyze_table(&mut self, table: TableId) {
-        let heap = &self.heaps[table.index()];
-        let def = self.catalog.table(table);
+        let (Some(heap), Ok(def)) = (self.heaps.get(table.index()), self.catalog.try_table(table))
+        else {
+            return;
+        };
         let columns = (0..def.columns.len())
-            .map(|c| ColumnStats::build(heap.rows().iter().map(|row| row[c].clone())))
+            .map(|c| {
+                ColumnStats::build(
+                    heap.rows()
+                        .iter()
+                        .map(|row| row.get(c).cloned().unwrap_or(crate::types::Value::Null)),
+                )
+            })
             .collect();
-        self.stats[table.index()] = TableStats {
+        let fresh = TableStats {
             rows: heap.len() as u64,
             columns,
         };
+        if let Some(slot) = self.stats.get_mut(table.index()) {
+            *slot = fresh;
+        }
     }
 
     /// Install externally derived statistics (the paper derives merged-schema
     /// statistics from fully-split-schema statistics instead of re-collecting
-    /// them; see Section 4.1).
+    /// them; see Section 4.1). A foreign id is a no-op.
     pub fn set_table_stats(&mut self, table: TableId, stats: TableStats) {
-        self.stats[table.index()] = stats;
+        if let Some(slot) = self.stats.get_mut(table.index()) {
+            *slot = stats;
+        }
     }
 
     /// A built index by name.
@@ -156,16 +216,28 @@ impl Database {
             if self.built_indexes.contains_key(&def.name) {
                 return Err(RelError::Duplicate(def.name.clone()));
             }
+            let table_def = self.catalog.try_table(def.table)?;
             if def.clustered {
                 if clustered_on.contains(&def.table) {
                     return Err(RelError::InvalidQuery(format!(
                         "two clustered indexes on table '{}'",
-                        self.catalog.table(def.table).name
+                        table_def.name
                     )));
                 }
                 clustered_on.push(def.table);
             }
-            let heap = &self.heaps[def.table.index()];
+            if let Some(&bad) = def
+                .key_columns
+                .iter()
+                .chain(&def.include_columns)
+                .find(|&&c| c >= table_def.columns.len())
+            {
+                return Err(RelError::UnknownColumn {
+                    table: table_def.name.clone(),
+                    column: format!("#{bad}"),
+                });
+            }
+            let heap = self.try_heap(def.table)?;
             let built = BuiltIndex::build(def.clone(), heap);
             self.built_indexes.insert(def.name.clone(), built);
         }
@@ -173,8 +245,8 @@ impl Database {
             if self.built_views.contains_key(&def.name) {
                 return Err(RelError::Duplicate(def.name.clone()));
             }
-            let left_rows = self.heaps[def.left.index()].rows();
-            let right_rows = self.heaps[def.right.index()].rows();
+            let left_rows = self.try_heap(def.left)?.rows();
+            let right_rows = self.try_heap(def.right)?.rows();
             let built = BuiltView::build(def.clone(), left_rows, right_rows);
             self.built_views.insert(def.name.clone(), built);
         }
@@ -194,11 +266,10 @@ impl Database {
         let index_bytes: f64 = self
             .built_indexes
             .values()
-            .map(|idx| {
-                idx.def.estimated_bytes(
-                    self.catalog.table(idx.def.table),
-                    &self.stats[idx.def.table.index()],
-                )
+            .filter_map(|idx| {
+                let def = self.catalog.try_table(idx.def.table).ok()?;
+                let stats = self.stats.get(idx.def.table.index())?;
+                Some(idx.def.estimated_bytes(def, stats))
             })
             .sum();
         let view_bytes: usize = self.built_views.values().map(|v| v.byte_size).sum();
@@ -206,8 +277,21 @@ impl Database {
     }
 
     /// What-if: plan (and cost) a query against a hypothetical configuration
-    /// without materializing anything.
+    /// without materializing anything. Subject to injected planner faults
+    /// when a fault plane is active.
     pub fn estimate(&self, query: &SqlQuery, config: &OptimizerConfig) -> RelResult<QueryPlan> {
+        if let Some(plane) = self.fault_plane() {
+            let token = plane.next_token();
+            return optimizer::plan_query_faulty(
+                &self.catalog,
+                &self.stats,
+                config,
+                query,
+                plane,
+                token,
+                0,
+            );
+        }
         optimizer::plan_query(&self.catalog, &self.stats, config, query)
     }
 
@@ -216,9 +300,23 @@ impl Database {
         optimizer::config_bytes(&self.catalog, &self.stats, config)
     }
 
-    /// Plan against the *built* configuration and execute.
+    /// Plan against the *built* configuration and execute. Subject to
+    /// injected planner and storage faults when a fault plane is active.
     pub fn execute(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
-        let plan = optimizer::plan_query(&self.catalog, &self.stats, &self.built_config, query)?;
+        let plan = if let Some(plane) = self.fault_plane() {
+            let token = plane.next_token();
+            optimizer::plan_query_faulty(
+                &self.catalog,
+                &self.stats,
+                &self.built_config,
+                query,
+                plane,
+                token,
+                0,
+            )?
+        } else {
+            optimizer::plan_query(&self.catalog, &self.stats, &self.built_config, query)?
+        };
         self.execute_plan(plan)
     }
 
@@ -459,5 +557,77 @@ mod tests {
         let (db, ..) = build_dblp_like(100);
         assert!(db.data_bytes() > 0);
         assert!(db.config_bytes(&PhysicalConfig::none()) == 0.0);
+    }
+
+    #[test]
+    fn foreign_table_id_is_an_error_not_a_panic() {
+        let (mut db, ..) = build_dblp_like(10);
+        let bogus = TableId(99);
+        assert!(db.insert(bogus, vec![Value::Int(1)]).is_err());
+        assert!(db.try_heap(bogus).is_err());
+        assert!(db
+            .apply_config(&PhysicalConfig {
+                indexes: vec![IndexDef::new("ix", bogus, vec![0], vec![])],
+                views: vec![],
+            })
+            .is_err());
+        db.analyze_table(bogus); // no-op, no panic
+    }
+
+    #[test]
+    fn storage_faults_surface_as_errors() {
+        use crate::fault::FaultConfig;
+        let (mut db, inproc, author) = build_dblp_like(500);
+        db.set_fault_config(FaultConfig {
+            seed: 11,
+            p_storage: 1.0,
+            ..FaultConfig::default()
+        });
+        let err = db.execute(&paper_query(inproc, author)).unwrap_err();
+        assert!(err.is_transient(), "unexpected error: {err:?}");
+        db.clear_fault_config();
+        assert!(db.execute(&paper_query(inproc, author)).is_ok());
+    }
+
+    #[test]
+    fn page_budget_exhaustion_surfaces() {
+        use crate::fault::FaultConfig;
+        let (mut db, inproc, author) = build_dblp_like(2_000);
+        db.set_fault_config(FaultConfig {
+            seed: 0,
+            budget_pages: Some(1),
+            ..FaultConfig::default()
+        });
+        let err = db.execute(&paper_query(inproc, author)).unwrap_err();
+        assert!(matches!(err, RelError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn corrupted_heap_detected_under_fault_plane() {
+        use crate::fault::FaultConfig;
+        let (mut db, inproc, author) = build_dblp_like(500);
+        // Without a fault plane the checksum walk is skipped entirely.
+        db.heap_mut(inproc).unwrap().corrupt_row(42);
+        assert!(db.execute(&paper_query(inproc, author)).is_ok());
+        // With any active plane (even a large page budget and zero fault
+        // probabilities), checksums are verified on access.
+        db.set_fault_config(FaultConfig {
+            seed: 0,
+            budget_pages: Some(u64::MAX),
+            ..FaultConfig::default()
+        });
+        let err = db.execute(&paper_query(inproc, author)).unwrap_err();
+        assert!(matches!(err, RelError::Corrupted { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn fault_free_execution_is_unchanged_by_inert_config() {
+        use crate::fault::FaultConfig;
+        let (mut db, inproc, author) = build_dblp_like(300);
+        let plain = db.execute(&paper_query(inproc, author)).unwrap();
+        db.set_fault_config(FaultConfig::default());
+        assert!(db.fault_plane().is_none());
+        let after = db.execute(&paper_query(inproc, author)).unwrap();
+        assert_eq!(plain.rows, after.rows);
     }
 }

@@ -7,6 +7,7 @@ pub type RelResult<T> = Result<T, RelError>;
 
 /// Errors raised by catalog, storage, and execution operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RelError {
     /// Referencing a table that does not exist.
     UnknownTable(String),
@@ -20,6 +21,28 @@ pub enum RelError {
     SchemaMismatch(String),
     /// A malformed query (bad table/column references, empty union, ...).
     InvalidQuery(String),
+    /// A transient fault (injected or real): a failed page read, a planner
+    /// that gave up, a dangling index entry. Retrying may succeed.
+    Fault(String),
+    /// A page whose checksum no longer matches its contents. Not transient:
+    /// the stored data itself is damaged.
+    Corrupted {
+        /// Table whose heap failed verification.
+        table: String,
+        /// Zero-based page number of the first mismatch.
+        page: usize,
+    },
+    /// A resource budget (e.g. a page-read budget) was exhausted.
+    ResourceExhausted(String),
+}
+
+impl RelError {
+    /// Whether retrying the failed operation could succeed. Injected faults
+    /// are transient by construction; corruption and exhausted budgets are
+    /// not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RelError::Fault(_))
+    }
 }
 
 impl fmt::Display for RelError {
@@ -33,6 +56,11 @@ impl fmt::Display for RelError {
             RelError::Duplicate(name) => write!(f, "object '{name}' already exists"),
             RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             RelError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            RelError::Fault(msg) => write!(f, "fault: {msg}"),
+            RelError::Corrupted { table, page } => {
+                write!(f, "corrupted page {page} in table '{table}'")
+            }
+            RelError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
         }
     }
 }

@@ -13,8 +13,9 @@ use crate::cost::{
     RANDOM_PAGE_COST, SEQ_PAGE_COST,
 };
 use crate::db::Database;
-use crate::error::RelResult;
+use crate::error::{RelError, RelResult};
 use crate::expr::Filter;
+use crate::fault::FaultPlane;
 use crate::plan::{Access, BranchPlan, JoinAlgo, QueryPlan, ScanNode, ViewOutput};
 use crate::sql::Output;
 use crate::types::{Row, Value};
@@ -89,8 +90,8 @@ fn execute_branch(
 
 /// Occurrence layout inside a wide (concatenated) row.
 struct Layout {
-    /// occurrence ref -> starting offset in the wide row.
-    offsets: FxHashMap<usize, usize>,
+    /// occurrence ref -> (starting offset in the wide row, column count).
+    offsets: FxHashMap<usize, (usize, usize)>,
     width: usize,
 }
 
@@ -103,12 +104,20 @@ impl Layout {
     }
 
     fn add(&mut self, table_ref: usize, columns: usize) {
-        self.offsets.insert(table_ref, self.width);
+        self.offsets.insert(table_ref, (self.width, columns));
         self.width += columns;
     }
 
-    fn slot(&self, table_ref: usize, column: usize) -> usize {
-        self.offsets[&table_ref] + column
+    /// Wide-row slot of `(table_ref, column)`, or an error when the plan
+    /// references an occurrence that was never joined in (or a column past
+    /// its width).
+    fn slot(&self, table_ref: usize, column: usize) -> RelResult<usize> {
+        match self.offsets.get(&table_ref) {
+            Some(&(offset, columns)) if column < columns => Ok(offset + column),
+            _ => Err(RelError::InvalidQuery(format!(
+                "plan references column {column} of unjoined or narrower occurrence {table_ref}"
+            ))),
+        }
     }
 }
 
@@ -121,21 +130,38 @@ fn execute_pipeline(
     stats: &mut ExecStats,
 ) -> RelResult<Vec<Row>> {
     let mut layout = Layout::new();
-    let driver_table = tables[driver.table_ref];
-    let driver_cols = db.catalog().table(driver_table).columns.len();
+    let &driver_table = tables.get(driver.table_ref).ok_or_else(|| {
+        RelError::InvalidQuery(format!(
+            "plan driver references table #{}",
+            driver.table_ref
+        ))
+    })?;
+    let driver_cols = db.catalog().try_table(driver_table)?.columns.len();
     layout.add(driver.table_ref, driver_cols);
 
     let mut wide: Vec<Row> = run_scan(db, driver_table, driver, stats)?;
 
     for join in joins {
-        let inner_table = tables[join.inner.table_ref];
-        let inner_cols = db.catalog().table(inner_table).columns.len();
-        let outer_slot = layout.slot(join.outer_ref, join.outer_col);
+        let &inner_table = tables.get(join.inner.table_ref).ok_or_else(|| {
+            RelError::InvalidQuery(format!(
+                "plan join references table #{}",
+                join.inner.table_ref
+            ))
+        })?;
+        let inner_def = db.catalog().try_table(inner_table)?;
+        let inner_cols = inner_def.columns.len();
+        let outer_slot = layout.slot(join.outer_ref, join.outer_col)?;
         let mut next: Vec<Row> = Vec::new();
         match &join.algo {
             JoinAlgo::Hash => {
                 let inner_rows = run_scan(db, inner_table, &join.inner, stats)?;
                 stats.cpu_cost += inner_rows.len() as f64 * CPU_HASH_COST;
+                if inner_rows.iter().any(|row| row.len() <= join.inner_col) {
+                    return Err(RelError::InvalidQuery(format!(
+                        "join key column {} out of bounds for '{}'",
+                        join.inner_col, inner_def.name
+                    )));
+                }
                 let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
                 for row in &inner_rows {
                     let key = &row[join.inner_col];
@@ -161,11 +187,15 @@ fn execute_pipeline(
             }
             JoinAlgo::IndexNestedLoop { index, covering } => {
                 let built = db.built_index(index)?;
-                let heap = db.heap(inner_table);
-                let table_def = db.catalog().table(inner_table);
+                let heap = db.try_heap(inner_table)?;
+                validate_filters(&join.inner.filters, inner_def)?;
                 let entry_width = built
                     .def
-                    .entry_width(table_def, db.table_stats(inner_table));
+                    .entry_width(inner_def, db.table_stats(inner_table));
+                let plane = db.fault_plane();
+                if plane.is_some() {
+                    heap.verify_checksums(&inner_def.name)?;
+                }
                 for outer in &wide {
                     let key = &outer[outer_slot];
                     if key.is_null() {
@@ -179,10 +209,19 @@ fn execute_pipeline(
                     if !covering {
                         stats.io_cost += matched.len() as f64 * RANDOM_PAGE_COST;
                     }
+                    if let Some(plane) = plane {
+                        // One descent page plus one page per fetched row.
+                        plane.storage_gate(&inner_def.name, 1 + matched.len() as u64)?;
+                    }
                     stats.cpu_cost += matched.len() as f64 * CPU_TUPLE_COST;
                     stats.tuples_processed += matched.len() as u64;
                     for &row_idx in &matched {
-                        let inner = heap.row(row_idx as usize);
+                        let inner = heap.row(row_idx as usize).ok_or_else(|| {
+                            RelError::Fault(format!(
+                                "dangling index entry {row_idx} in '{}' via '{index}'",
+                                inner_def.name
+                            ))
+                        })?;
                         if passes(inner, &join.inner.filters, stats) {
                             let mut row = outer.clone();
                             row.extend(inner.iter().cloned());
@@ -197,22 +236,42 @@ fn execute_pipeline(
         wide = next;
     }
 
-    // Project outputs.
+    // Resolve output slots once, then project.
+    let mut out_slots: Vec<Option<usize>> = Vec::with_capacity(outputs.len());
+    for output in outputs {
+        out_slots.push(match output {
+            Output::Col { table_ref, column } => Some(layout.slot(*table_ref, *column)?),
+            Output::Null(_) => None,
+        });
+    }
     let out_rows: Vec<Row> = wide
         .iter()
         .map(|row| {
-            outputs
+            out_slots
                 .iter()
-                .map(|o| match o {
-                    Output::Col { table_ref, column } => {
-                        row[layout.slot(*table_ref, *column)].clone()
-                    }
-                    Output::Null(_) => Value::Null,
+                .map(|slot| match slot {
+                    Some(i) => row[*i].clone(),
+                    None => Value::Null,
                 })
                 .collect()
         })
         .collect();
     Ok(out_rows)
+}
+
+/// Check every filter column against the table schema before row-at-a-time
+/// evaluation, so a malformed plan is a typed error instead of an indexing
+/// panic in the inner loop.
+fn validate_filters(filters: &[Filter], def: &crate::catalog::TableDef) -> RelResult<()> {
+    for f in filters {
+        if f.column >= def.columns.len() {
+            return Err(RelError::UnknownColumn {
+                table: def.name.clone(),
+                column: format!("#{}", f.column),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Run one table access, returning full-width filtered rows.
@@ -222,9 +281,13 @@ fn run_scan(
     scan: &ScanNode,
     stats: &mut ExecStats,
 ) -> RelResult<Vec<Row>> {
-    let heap = db.heap(table);
+    let heap = db.try_heap(table)?;
+    let table_def = db.catalog().try_table(table)?;
+    validate_filters(&scan.filters, table_def)?;
+    let plane = db.fault_plane();
     match &scan.access {
         Access::SeqScan => {
+            storage_access(plane, heap, &table_def.name, heap.pages() as u64, true)?;
             stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
             stats.cpu_cost +=
                 heap.len() as f64 * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
@@ -243,7 +306,6 @@ fn run_scan(
         } => {
             let built = db.built_index(index)?;
             let matched = built.seek(key);
-            let table_def = db.catalog().table(table);
             let entry_width = built.def.entry_width(table_def, db.table_stats(table));
             stats.io_cost += BTREE_DESCENT_COST * RANDOM_PAGE_COST;
             stats.io_cost +=
@@ -253,17 +315,48 @@ fn run_scan(
                     crate::cost::pages_fetched(matched.len() as f64, heap.pages() as f64)
                         * RANDOM_PAGE_COST;
             }
+            // One descent page plus one page per heap fetch (covering seeks
+            // never touch the heap, so its checksums stay unverified).
+            let pages_touched = 1 + if *covering { 0 } else { matched.len() as u64 };
+            storage_access(plane, heap, &table_def.name, pages_touched, !covering)?;
             stats.cpu_cost +=
                 matched.len() as f64 * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
             stats.tuples_processed += matched.len() as u64;
-            Ok(matched
-                .iter()
-                .map(|&i| heap.row(i as usize))
-                .filter(|row| passes_quiet(row, &scan.filters))
-                .cloned()
-                .collect())
+            let mut out = Vec::new();
+            for &i in &matched {
+                let row = heap.row(i as usize).ok_or_else(|| {
+                    RelError::Fault(format!(
+                        "dangling index entry {i} in '{}' via '{index}'",
+                        table_def.name
+                    ))
+                })?;
+                if passes_quiet(row, &scan.filters) {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
         }
     }
+}
+
+/// Gate one heap access through the fault plane (when active): charge the
+/// page budget, roll for an injected read fault, and — for accesses that
+/// actually read heap rows — verify the page checksums.
+fn storage_access(
+    plane: Option<&FaultPlane>,
+    heap: &crate::storage::TableHeap,
+    table: &str,
+    pages: u64,
+    reads_heap_rows: bool,
+) -> RelResult<()> {
+    let Some(plane) = plane else {
+        return Ok(());
+    };
+    plane.storage_gate(table, pages)?;
+    if reads_heap_rows {
+        heap.verify_checksums(table)?;
+    }
+    Ok(())
 }
 
 fn execute_view_scan(
@@ -274,6 +367,26 @@ fn execute_view_scan(
     stats: &mut ExecStats,
 ) -> RelResult<Vec<Row>> {
     let built = db.built_view(view)?;
+    let width = built.def.outputs.len();
+    if let Some(&(bad, ..)) = filters.iter().find(|(col, ..)| *col >= width) {
+        return Err(RelError::UnknownColumn {
+            table: view.to_string(),
+            column: format!("#{bad}"),
+        });
+    }
+    if let Some(bad) = outputs.iter().find_map(|o| match o {
+        ViewOutput::Col(c) if *c >= width => Some(*c),
+        _ => None,
+    }) {
+        return Err(RelError::UnknownColumn {
+            table: view.to_string(),
+            column: format!("#{bad}"),
+        });
+    }
+    if let Some(plane) = db.fault_plane() {
+        // Views carry no checksums; they are rebuilt from checksummed heaps.
+        plane.storage_gate(view, built.pages() as u64)?;
+    }
     stats.io_cost += built.pages() as f64 * SEQ_PAGE_COST;
     stats.cpu_cost +=
         built.rows.len() as f64 * (CPU_TUPLE_COST + filters.len() as f64 * CPU_PRED_COST);

@@ -263,7 +263,7 @@ mod tests {
         assert_eq!(rows.len(), 10);
         assert!(rows
             .iter()
-            .all(|&r| heap.row(r as usize)[1] == Value::Int(3)));
+            .all(|&r| heap.row(r as usize).unwrap()[1] == Value::Int(3)));
     }
 
     #[test]
@@ -327,7 +327,7 @@ mod tests {
     fn covered_row_projection() {
         let (_, heap) = setup();
         let idx = BuiltIndex::build(IndexDef::new("i", TableId(0), vec![1], vec![2]), &heap);
-        let projected = idx.covered_row(heap.row(5));
+        let projected = idx.covered_row(heap.row(5).unwrap());
         assert_eq!(projected, vec![Value::Int(5), Value::str("n5")]);
     }
 

@@ -24,6 +24,10 @@
 //! crossover is), not absolute throughput; see DESIGN.md for the
 //! substitution argument.
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod catalog;
 pub mod cost;
 pub mod db;
@@ -31,6 +35,7 @@ pub mod ddl;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod index;
 pub mod optimizer;
 pub mod plan;
@@ -44,6 +49,7 @@ pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
 pub use error::{RelError, RelResult};
 pub use expr::{Filter, FilterOp};
+pub use fault::{FaultConfig, FaultPlane, FaultStats};
 pub use index::IndexDef;
 pub use sql::{Output, SelectQuery, SqlQuery, UnionAllQuery};
 pub use stats::{ColumnStats, TableStats};

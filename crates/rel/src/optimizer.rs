@@ -125,8 +125,43 @@ pub fn plan_select(
     config: &PhysicalConfig,
     query: &SelectQuery,
 ) -> RelResult<BranchPlan> {
+    query.validate(catalog)?;
     let index = ConfigIndex::new(config);
     plan_select_indexed(catalog, stats, &index, query)
+}
+
+/// [`plan_query`] behind a fault-injection gate: the gate rolls on
+/// `(token, attempt)` before any planning work. Callers on serial paths take
+/// `token` from [`crate::fault::FaultPlane::next_token`]; parallel what-if
+/// callers derive it from their cache key so retries and thread schedules
+/// cannot change which invocations fault.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_query_faulty(
+    catalog: &Catalog,
+    stats: &[TableStats],
+    config: &PhysicalConfig,
+    query: &SqlQuery,
+    plane: &crate::fault::FaultPlane,
+    token: u64,
+    attempt: u32,
+) -> RelResult<QueryPlan> {
+    plane.plan_gate(token, attempt)?;
+    plan_query(catalog, stats, config, query)
+}
+
+/// [`plan_select`] behind a fault-injection gate; see [`plan_query_faulty`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_select_faulty(
+    catalog: &Catalog,
+    stats: &[TableStats],
+    config: &PhysicalConfig,
+    query: &SelectQuery,
+    plane: &crate::fault::FaultPlane,
+    token: u64,
+    attempt: u32,
+) -> RelResult<BranchPlan> {
+    plane.plan_gate(token, attempt)?;
+    plan_select(catalog, stats, config, query)
 }
 
 fn plan_select_indexed(
@@ -143,20 +178,37 @@ fn plan_select_indexed(
 }
 
 /// Estimated total size in bytes of a configuration's structures.
+/// Structures referencing tables outside the catalog contribute nothing.
 pub fn config_bytes(catalog: &Catalog, stats: &[TableStats], config: &PhysicalConfig) -> f64 {
     let mut total = 0.0;
     for idx in &config.indexes {
-        total += idx.estimated_bytes(catalog.table(idx.table), &stats[idx.table.index()]);
+        if let Ok(def) = catalog.try_table(idx.table) {
+            total += idx.estimated_bytes(def, stats_for(stats, idx.table));
+        }
     }
     for view in &config.views {
-        total += view.estimated_bytes(
-            catalog.table(view.left),
-            &stats[view.left.index()],
-            catalog.table(view.right),
-            &stats[view.right.index()],
-        );
+        if let (Ok(left), Ok(right)) = (catalog.try_table(view.left), catalog.try_table(view.right))
+        {
+            total += view.estimated_bytes(
+                left,
+                stats_for(stats, view.left),
+                right,
+                stats_for(stats, view.right),
+            );
+        }
     }
     total
+}
+
+/// Statistics for one table, falling back to empty stats when the slice is
+/// shorter than the catalog (e.g. an unanalyzed database). Empty stats give
+/// zero rows and neutral selectivities rather than a panic.
+fn stats_for(stats: &[TableStats], table: TableId) -> &TableStats {
+    static EMPTY: TableStats = TableStats {
+        rows: 0,
+        columns: Vec::new(),
+    };
+    stats.get(table.index()).unwrap_or(&EMPTY)
 }
 
 // ---------------------------------------------------------------------------
@@ -268,12 +320,34 @@ struct AccessChoice {
     est_cost: f64,
 }
 
-/// Selectivity of a filter set on one table.
+/// Selectivity of a filter set on one table. Columns without statistics
+/// (unanalyzed or malformed references) contribute a neutral 1.0.
 fn filters_selectivity(stats: &TableStats, filters: &[&Filter]) -> f64 {
     filters
         .iter()
-        .map(|f| stats.columns[f.column].selectivity(f.op, &f.value))
+        .map(|f| {
+            stats
+                .columns
+                .get(f.column)
+                .map(|c| c.selectivity(f.op, &f.value))
+                .unwrap_or(1.0)
+        })
         .product()
+}
+
+/// Selectivity of one filter against one column, with the same neutral
+/// fallback as [`filters_selectivity`].
+fn column_selectivity(
+    stats: &TableStats,
+    column: usize,
+    op: FilterOp,
+    value: &crate::types::Value,
+) -> f64 {
+    stats
+        .columns
+        .get(column)
+        .map(|c| c.selectivity(op, value))
+        .unwrap_or(1.0)
 }
 
 fn best_access(
@@ -284,7 +358,7 @@ fn best_access(
     filters: &[&Filter],
     needed: &[usize],
 ) -> AccessChoice {
-    let table_stats = &stats[table.index()];
+    let table_stats = stats_for(stats, table);
     let def = catalog.table(table);
     let rows = table_stats.rows as f64;
     let pages = table_stats.pages();
@@ -310,7 +384,7 @@ fn best_access(
             match found {
                 Some((i, f)) => {
                     consumed[i] = true;
-                    consumed_sel *= table_stats.columns[key_col].selectivity(f.op, &f.value);
+                    consumed_sel *= column_selectivity(table_stats, key_col, f.op, &f.value);
                     eq_prefix.push(f.value.clone());
                 }
                 None => break,
@@ -351,7 +425,7 @@ fn best_access(
                     _ => {}
                 }
                 if any {
-                    consumed_sel *= table_stats.columns[next_col].selectivity(f.op, &f.value);
+                    consumed_sel *= column_selectivity(table_stats, next_col, f.op, &f.value);
                 }
             }
             if any {
@@ -465,10 +539,15 @@ fn plan_pipeline(
             };
 
             let inner_table = query.tables[occ];
-            let inner_stats = &stats[inner_table.index()];
+            let inner_stats = stats_for(stats, inner_table);
             let inner_rows_total = inner_stats.rows as f64;
             let sel_inner = filters_selectivity(inner_stats, &per_table_filters[occ]);
-            let distinct = inner_stats.columns[inner_col].n_distinct.max(1) as f64;
+            let distinct = inner_stats
+                .columns
+                .get(inner_col)
+                .map(|c| c.n_distinct)
+                .unwrap_or(0)
+                .max(1) as f64;
             let per_key = inner_rows_total / distinct;
             let out_rows = (rows * per_key * sel_inner).max(0.0);
 
@@ -632,45 +711,52 @@ fn plan_view_scan(
             continue;
         }
 
-        // Remap filters and outputs to view columns.
-        let filters: Vec<(usize, FilterOp, crate::types::Value)> = query
+        // Remap filters and outputs to view columns. Exposure was checked
+        // above, but resolve defensively: a lookup miss skips the view
+        // rather than panicking.
+        let filters: Option<Vec<(usize, FilterOp, crate::types::Value)>> = query
             .filters
             .iter()
             .map(|f| {
-                let pos = view
-                    .output_position(sides[f.table_ref], f.column)
-                    .expect("exposure checked");
-                (pos, f.op, f.value.clone())
+                view.output_position(sides[f.table_ref], f.column)
+                    .map(|pos| (pos, f.op, f.value.clone()))
             })
             .collect();
-        let outputs: Vec<ViewOutput> = query
+        let Some(filters) = filters else { continue };
+        let outputs: Option<Vec<ViewOutput>> = query
             .outputs
             .iter()
             .map(|o| match o {
-                Output::Col { table_ref, column } => ViewOutput::Col(
-                    view.output_position(sides[*table_ref], *column)
-                        .expect("exposure checked"),
-                ),
-                Output::Null(ty) => ViewOutput::Null(*ty),
+                Output::Col { table_ref, column } => view
+                    .output_position(sides[*table_ref], *column)
+                    .map(ViewOutput::Col),
+                Output::Null(ty) => Some(ViewOutput::Null(*ty)),
             })
             .collect();
+        let Some(outputs) = outputs else { continue };
 
-        // Cost: sequential scan of the view.
+        // Cost: sequential scan of the view. Views over foreign tables are
+        // unusable for this catalog — skip them.
+        let (Ok(left_def), Ok(right_def)) =
+            (catalog.try_table(view.left), catalog.try_table(view.right))
+        else {
+            continue;
+        };
         let bytes = view.estimated_bytes(
-            catalog.table(view.left),
-            &stats[view.left.index()],
-            catalog.table(view.right),
-            &stats[view.right.index()],
+            left_def,
+            stats_for(stats, view.left),
+            right_def,
+            stats_for(stats, view.right),
         );
         let pages = (bytes / PAGE_SIZE as f64).max(1.0);
-        let view_rows = stats[view.right.index()].rows as f64;
+        let view_rows = stats_for(stats, view.right).rows as f64;
         // Selectivity from underlying column stats.
         let sel: f64 = query
             .filters
             .iter()
             .map(|f| {
                 let table = query.tables[f.table_ref];
-                stats[table.index()].columns[f.column].selectivity(f.op, &f.value)
+                column_selectivity(stats_for(stats, table), f.column, f.op, &f.value)
             })
             .product();
         let est_rows = view_rows * sel;

@@ -1,16 +1,36 @@
-//! Row storage with page accounting.
+//! Row storage with page accounting and per-page checksums.
 
 use crate::catalog::TableDef;
 use crate::cost::PAGE_SIZE;
 use crate::error::{RelError, RelResult};
 use crate::types::{Row, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// The heap of one table: a vector of rows plus maintained size accounting.
+///
+/// Each page (a row belongs to the page where its first byte lands) carries
+/// an xor-accumulated checksum of its rows, maintained incrementally on
+/// insert. [`TableHeap::verify_checksums`] recomputes the sums from the rows
+/// and reports the first mismatching page — the detection half of the fault
+/// plane's corruption story.
 #[derive(Debug, Clone, Default)]
 pub struct TableHeap {
     rows: Vec<Row>,
     /// Total byte size of stored values (maintained incrementally).
     byte_size: usize,
+    /// Per-page xor of row hashes (maintained incrementally).
+    page_sums: Vec<u64>,
+}
+
+/// Order-insensitive hash of one row, xor-folded into its page's checksum.
+fn row_hash(row: &[Value]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    row.len().hash(&mut hasher);
+    for value in row {
+        value.hash(&mut hasher);
+    }
+    hasher.finish()
 }
 
 impl TableHeap {
@@ -48,13 +68,38 @@ impl TableHeap {
                 Some(_) => {}
             }
         }
-        self.byte_size += row_width(&row);
-        self.rows.push(row);
+        self.push_row(row);
         Ok(())
     }
 
-    /// Append without validation (used by bulk loads that already validated).
-    pub fn insert_unchecked(&mut self, row: Row) {
+    /// Append without full validation (used by bulk loads that already
+    /// validated). Debug builds still assert arity and value types.
+    pub fn insert_unchecked(&mut self, def: &TableDef, row: Row) {
+        debug_assert_eq!(
+            row.len(),
+            def.columns.len(),
+            "arity mismatch in unchecked insert into '{}'",
+            def.name
+        );
+        debug_assert!(
+            row.iter().zip(&def.columns).all(|(value, col)| {
+                match value.data_type() {
+                    None => col.nullable,
+                    Some(ty) => ty == col.ty,
+                }
+            }),
+            "type or null-constraint violation in unchecked insert into '{}'",
+            def.name
+        );
+        self.push_row(row);
+    }
+
+    fn push_row(&mut self, row: Row) {
+        let page = self.byte_size / PAGE_SIZE;
+        if self.page_sums.len() <= page {
+            self.page_sums.resize(page + 1, 0);
+        }
+        self.page_sums[page] ^= row_hash(&row);
         self.byte_size += row_width(&row);
         self.rows.push(row);
     }
@@ -64,9 +109,74 @@ impl TableHeap {
         &self.rows
     }
 
-    /// Row by position.
-    pub fn row(&self, idx: usize) -> &Row {
-        &self.rows[idx]
+    /// Row by position, or `None` when `idx` is out of bounds.
+    pub fn row(&self, idx: usize) -> Option<&Row> {
+        self.rows.get(idx)
+    }
+
+    /// Recompute every page checksum from the rows and compare against the
+    /// maintained sums. `table` names the heap in the error. O(rows); the
+    /// executor only calls this when a fault plane is active.
+    pub fn verify_checksums(&self, table: &str) -> RelResult<()> {
+        let mut sums = vec![0u64; self.page_sums.len()];
+        let mut offset = 0usize;
+        for row in &self.rows {
+            let page = offset / PAGE_SIZE;
+            if page >= sums.len() {
+                return Err(RelError::Corrupted {
+                    table: table.to_string(),
+                    page,
+                });
+            }
+            sums[page] ^= row_hash(row);
+            offset += row_width(row);
+        }
+        for (page, (fresh, stored)) in sums.iter().zip(&self.page_sums).enumerate() {
+            if fresh != stored {
+                return Err(RelError::Corrupted {
+                    table: table.to_string(),
+                    page,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Damage a stored row in place *without* updating its page checksum, so
+    /// the next [`TableHeap::verify_checksums`] fails. Chaos-test helper;
+    /// returns `false` when `idx` is out of bounds.
+    pub fn corrupt_row(&mut self, idx: usize) -> bool {
+        let Some(row) = self.rows.get_mut(idx) else {
+            return false;
+        };
+        for value in row.iter_mut() {
+            match value {
+                Value::Int(v) => {
+                    *v = v.wrapping_add(1);
+                    return true;
+                }
+                Value::Float(v) => {
+                    *v = f64::from_bits(v.to_bits() ^ 1);
+                    return true;
+                }
+                Value::Str(s) => {
+                    let flipped: String = s
+                        .chars()
+                        .map(|c| if c == '~' { '!' } else { '~' })
+                        .collect();
+                    *value = Value::str(flipped);
+                    return true;
+                }
+                Value::Null => continue,
+            }
+        }
+        // All-NULL row: swap in a non-null value (width drift is fine — the
+        // verifier recomputes offsets and still flags the page).
+        if let Some(first) = row.first_mut() {
+            *first = Value::Int(0);
+            return true;
+        }
+        false
     }
 
     /// Number of rows.
@@ -93,6 +203,7 @@ impl TableHeap {
     pub fn clear(&mut self) {
         self.rows.clear();
         self.byte_size = 0;
+        self.page_sums.clear();
     }
 }
 
@@ -134,7 +245,52 @@ mod tests {
             .unwrap();
         heap.insert(&def, vec![Value::Int(2), Value::Null]).unwrap();
         assert_eq!(heap.len(), 2);
-        assert_eq!(heap.row(0)[0], Value::Int(1));
+        assert_eq!(heap.row(0).unwrap()[0], Value::Int(1));
+        assert!(heap.row(2).is_none());
+    }
+
+    #[test]
+    fn unchecked_insert_and_checksums() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        for i in 0..500 {
+            heap.insert_unchecked(&def, vec![Value::Int(i), Value::str("y".repeat(60))]);
+        }
+        assert!(heap.verify_checksums("t").is_ok());
+        assert!(heap.corrupt_row(123));
+        let err = heap.verify_checksums("t").unwrap_err();
+        assert!(matches!(err, RelError::Corrupted { .. }));
+        assert!(!heap.corrupt_row(10_000));
+    }
+
+    #[test]
+    fn checksums_survive_clear() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        heap.insert(&def, vec![Value::Int(1), Value::Null]).unwrap();
+        heap.clear();
+        assert!(heap.verify_checksums("t").is_ok());
+        heap.insert(&def, vec![Value::Int(2), Value::Null]).unwrap();
+        assert!(heap.verify_checksums("t").is_ok());
+    }
+
+    #[test]
+    fn corruption_names_first_bad_page() {
+        let def = def();
+        let mut heap = TableHeap::new();
+        for i in 0..1000 {
+            heap.insert(&def, vec![Value::Int(i), Value::str("x".repeat(100))])
+                .unwrap();
+        }
+        // 120 bytes/row; page size 8192 -> row 500 starts on page 7.
+        heap.corrupt_row(500);
+        match heap.verify_checksums("t").unwrap_err() {
+            RelError::Corrupted { table, page } => {
+                assert_eq!(table, "t");
+                assert_eq!(page, 500 * 120 / crate::cost::PAGE_SIZE);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,7 +31,8 @@ fn main() {
         n_queries: 10,
         seed: 11,
     };
-    let workload = dblp_workload(&spec, config.years, config.n_conferences);
+    let workload =
+        dblp_workload(&spec, config.years, config.n_conferences).expect("workload generates");
     println!(
         "\nworkload {} ({} queries):",
         workload.name,

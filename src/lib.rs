@@ -57,8 +57,9 @@ pub use xmlshred_xpath as xpath;
 pub mod prelude {
     pub use xmlshred_core::{
         greedy_search, measure_quality, naive_greedy_search, naive_greedy_search_with, tune,
-        two_step_search, two_step_search_with, AdvisorOutcome, CostOracle, EvalContext,
-        GreedyOptions, MergeStrategy, SearchOptions, SearchStats,
+        tune_with, two_step_search, two_step_search_with, AdvisorOutcome, CostOracle, Deadline,
+        EvalContext, FaultConfig, GreedyOptions, MergeStrategy, SearchOptions, SearchStats,
+        TuneOptions,
     };
     pub use xmlshred_rel::{Database, PhysicalConfig};
     pub use xmlshred_shred::schema::derive_schema;

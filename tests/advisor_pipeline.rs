@@ -26,7 +26,9 @@ fn setup() -> (
         n_queries: 6,
         seed: 5,
     };
-    let workload = dblp_workload(&spec, config.years, config.n_conferences).queries;
+    let workload = dblp_workload(&spec, config.years, config.n_conferences)
+        .expect("workload generates")
+        .queries;
     let budget = 3.0 * dataset.approx_bytes() as f64;
     (dataset, source, workload, budget)
 }

@@ -34,7 +34,9 @@ fn setup() -> (
         n_queries: 6,
         seed: 5,
     };
-    let workload = dblp_workload(&spec, config.years, config.n_conferences).queries;
+    let workload = dblp_workload(&spec, config.years, config.n_conferences)
+        .expect("workload generates")
+        .queries;
     let budget = 3.0 * dataset.approx_bytes() as f64;
     (dataset, source, workload, budget)
 }
@@ -45,18 +47,22 @@ fn corners() -> [SearchOptions; 4] {
         SearchOptions {
             threads: 1,
             plan_cache: true,
+            ..SearchOptions::default()
         },
         SearchOptions {
             threads: 4,
             plan_cache: true,
+            ..SearchOptions::default()
         },
         SearchOptions {
             threads: 1,
             plan_cache: false,
+            ..SearchOptions::default()
         },
         SearchOptions {
             threads: 4,
             plan_cache: false,
+            ..SearchOptions::default()
         },
     ]
 }
