@@ -9,12 +9,14 @@
 //! ```
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
-//! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `all`. The
-//! `XMLSHRED_SCALE` environment variable (or `--scale X`) scales the
-//! dataset sizes; normalized figures are scale-stable. `--threads N` sets
-//! the advisor worker-thread count (0 = all cores, the default) and
+//! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`,
+//! `all`. The `XMLSHRED_SCALE` environment variable (or `--scale X`) scales
+//! the dataset sizes; normalized figures are scale-stable. `--threads N`
+//! sets the advisor worker-thread count (0 = all cores, the default) and
 //! `--no-plan-cache` disables the what-if plan cache; neither changes any
-//! recommendation, only running time and the cache counters.
+//! recommendation, only running time and the cache counters. `profile`
+//! emits the three-tier metrics report; `--metrics-out PATH` writes it as
+//! JSON.
 //!
 //! Robustness knobs: `--fault-p X` injects what-if planner faults with
 //! probability X, `--deadline-ms N` gives each strategy an anytime budget
@@ -39,11 +41,16 @@ fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Optio
     }
 }
 
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = BenchScale::from_env();
+    let mut scale = BenchScale::from_env().unwrap_or_else(|m| fail(&m));
     if let Some(s) = take_value::<f64>(&mut args, "--scale") {
-        scale = BenchScale(s);
+        scale = BenchScale::try_new(s).unwrap_or_else(|m| fail(&format!("--scale: {m}")));
     }
     let mut search = SearchOptions::default();
     if let Some(n) = take_value::<usize>(&mut args, "--threads") {
@@ -56,6 +63,7 @@ fn main() {
     let fault_p = take_value::<f64>(&mut args, "--fault-p");
     let deadline_ms = take_value::<u64>(&mut args, "--deadline-ms");
     let fault_seed = take_value::<u64>(&mut args, "--fault-seed").unwrap_or(42);
+    let metrics_out = take_value::<String>(&mut args, "--metrics-out");
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -80,13 +88,11 @@ fn main() {
         fault_p,
         deadline_ms,
         fault_seed,
+        metrics_out,
     };
     let start = Instant::now();
     match xmlshred_bench::experiments::run(experiment, scale, &opts) {
         Ok(()) => println!("\ncompleted in {:.1}s", start.elapsed().as_secs_f64()),
-        Err(message) => {
-            eprintln!("error: {message}");
-            std::process::exit(1);
-        }
+        Err(message) => fail(&message),
     }
 }

@@ -192,6 +192,7 @@ fn run_strategy(
             &TuneOptions {
                 threads: 1,
                 deadline,
+                ..TuneOptions::default()
             },
         );
         let cache = oracle.snapshot();

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod evaluation;
 pub mod motivating;
+pub mod profile;
 pub mod table1;
 pub mod updates;
 
@@ -29,6 +30,9 @@ pub struct RunOptions {
     pub deadline_ms: Option<u64>,
     /// Seed for the deterministic fault plane.
     pub fault_seed: u64,
+    /// Where the `profile` experiment writes its JSON metrics report
+    /// (`--metrics-out`); `None` prints the summary table only.
+    pub metrics_out: Option<String>,
 }
 
 impl RunOptions {
@@ -52,7 +56,7 @@ impl RunOptions {
 
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
-/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `all`.
+/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`, `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
@@ -63,6 +67,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
         "fig8" => ablations::fig8(scale),
         "fig9" => ablations::fig9(scale),
         "chaos" => chaos::run(scale, opts),
+        "profile" => profile::run(scale, opts),
         "all" => {
             table1::run(scale)?;
             motivating::run(scale)?;
@@ -72,10 +77,11 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
             ablations::fig9(scale)?;
             updates::run(scale)?;
             chaos::run(scale, opts)?;
+            profile::run(scale, opts)?;
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos profile all"
         )),
     }
 }

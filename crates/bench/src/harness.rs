@@ -21,14 +21,34 @@ use xmlshred_shred::source_stats::SourceStats;
 pub struct BenchScale(pub f64);
 
 impl BenchScale {
+    /// Validate a scale factor: it must be a finite number greater than
+    /// zero. NaN, zero, and negative values used to slip through
+    /// `from_env` and silently collapse every dataset to the floor-50
+    /// configs, making "scaled" runs measure nothing.
+    pub fn try_new(value: f64) -> Result<Self, String> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(format!("scale must be a finite number > 0, got {value}"));
+        }
+        Ok(BenchScale(value))
+    }
+
     /// Read from the `XMLSHRED_SCALE` environment variable (default 1.0).
-    pub fn from_env() -> Self {
-        BenchScale(
-            std::env::var("XMLSHRED_SCALE")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(1.0),
-        )
+    /// An unset variable defaults; a set-but-invalid one (unparsable, NaN,
+    /// zero, or negative) is an error, not a silent fallback.
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var("XMLSHRED_SCALE") {
+            Err(_) => Ok(BenchScale(1.0)),
+            Ok(raw) => Self::parse(&raw),
+        }
+    }
+
+    /// Parse a scale string with the same validation as [`BenchScale::try_new`].
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let value: f64 = raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("XMLSHRED_SCALE is not a number: {raw:?}"))?;
+        Self::try_new(value).map_err(|e| format!("XMLSHRED_SCALE invalid: {e}"))
     }
 
     fn apply(&self, n: usize) -> usize {
@@ -147,6 +167,7 @@ pub fn run_algorithms_with(
                             plan_cache: search.plan_cache,
                             deadline: search.deadline.clone(),
                             fault: search.fault,
+                            metrics: search.metrics.clone(),
                             ..GreedyOptions::default()
                         },
                     ),
@@ -197,7 +218,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     line(&header_cells, &widths, &mut out);
-    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    // saturating_sub: an empty header slice must render an (empty) table,
+    // not underflow the separator width and panic.
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
     for row in rows {
@@ -235,9 +258,45 @@ mod tests {
     }
 
     #[test]
+    fn empty_headers_render_without_panicking() {
+        // Regression: `2 * (widths.len() - 1)` underflowed on an empty
+        // header slice.
+        let t = render_table(&[], &[]);
+        assert_eq!(t, "\n\n");
+        let one = render_table(&["only"], &[vec!["x".into()]]);
+        assert!(one.contains("----"));
+    }
+
+    #[test]
     fn scale_applies_floor() {
         let s = BenchScale(0.0001);
         assert_eq!(s.apply(20_000), 50);
+    }
+
+    #[test]
+    fn nan_scale_rejected() {
+        let err = BenchScale::try_new(f64::NAN).unwrap_err();
+        assert!(err.contains("finite"), "{err}");
+        assert!(BenchScale::parse("NaN").is_err());
+    }
+
+    #[test]
+    fn zero_scale_rejected() {
+        assert!(BenchScale::try_new(0.0).is_err());
+        assert!(BenchScale::parse("0").is_err());
+    }
+
+    #[test]
+    fn negative_scale_rejected() {
+        assert!(BenchScale::try_new(-1.5).is_err());
+        assert!(BenchScale::parse("-1.5").is_err());
+    }
+
+    #[test]
+    fn valid_scale_accepted_and_garbage_rejected() {
+        assert_eq!(BenchScale::parse("0.25").unwrap().0, 0.25);
+        assert_eq!(BenchScale::parse(" 2 ").unwrap().0, 2.0);
+        assert!(BenchScale::parse("lots").is_err());
     }
 
     #[test]

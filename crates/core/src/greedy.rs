@@ -19,11 +19,13 @@ use crate::context::{EvalContext, PreparedMapping};
 use crate::cost_derive::DerivationContext;
 use crate::merging::merge_candidates;
 pub use crate::merging::MergeStrategy;
+use crate::metrics::MetricsRegistry;
 use crate::moves::SearchMove;
 use crate::oracle::CostOracle;
 use crate::parallel::parallel_map;
 use crate::physical::{tune_with, PerQueryInfo, TuneOptions, TuneResult};
 use crate::search::{AdvisorOutcome, Deadline, SearchStats};
+use std::sync::Arc;
 use std::time::Instant;
 use xmlshred_rel::fault::FaultConfig;
 use xmlshred_rel::optimizer::PhysicalConfig;
@@ -63,6 +65,10 @@ pub struct GreedyOptions {
     /// Deterministic fault injection for what-if planner calls; `None`
     /// disables injection. Recommendations are bit-identical per seed.
     pub fault: Option<FaultConfig>,
+    /// Observability sink; the search records tier counters, histograms,
+    /// and spans into it when present. `None` (the default) records
+    /// nothing.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for GreedyOptions {
@@ -78,6 +84,7 @@ impl Default for GreedyOptions {
             plan_cache: true,
             deadline: Deadline::none(),
             fault: None,
+            metrics: None,
         }
     }
 }
@@ -96,6 +103,7 @@ struct Incumbent {
 /// Run the Greedy search.
 pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorOutcome {
     let start = Instant::now();
+    let _span = options.metrics.as_ref().map(|m| m.span("search.greedy"));
     let mut stats = SearchStats::default();
     // One memo table for the whole search: every tuning invocation (exact
     // evaluations, derivation remainders, the base comparison) shares it,
@@ -135,8 +143,15 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         }
     }
 
-    let mut incumbent =
-        evaluate_exact(ctx, mapping, &mut stats, &oracle, options.threads, deadline);
+    let mut incumbent = evaluate_exact(
+        ctx,
+        mapping,
+        &mut stats,
+        &oracle,
+        options.threads,
+        deadline,
+        &options.metrics,
+    );
 
     // Without candidate selection, merge-type candidates are every
     // applicable nonsubsumed merge transformation under M0.
@@ -199,6 +214,7 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
             &round_moves,
             options.threads,
             deadline,
+            options.metrics.as_deref(),
             || (),
             |_, _i, mv| {
                 let Ok(next_mapping) = mv.apply(tree, &incumbent_ref.mapping) else {
@@ -218,9 +234,17 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
                         &mut local,
                         &oracle,
                         deadline,
+                        &options.metrics,
                     )
                 } else {
-                    estimate_exact_cost(ctx, &next_mapping, &mut local, &oracle, deadline)
+                    estimate_exact_cost(
+                        ctx,
+                        &next_mapping,
+                        &mut local,
+                        &oracle,
+                        deadline,
+                        &options.metrics,
+                    )
                 };
                 Some((next_mapping, cost, local))
             },
@@ -265,6 +289,7 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
             &oracle,
             options.threads,
             deadline,
+            &options.metrics,
         );
         if exact.total_cost >= incumbent.total_cost * (1.0 - 1e-6) {
             // The derived estimate was optimistic; drop the move and retry.
@@ -282,8 +307,15 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
         if bounded && deadline.expired() {
             stats.deadline_hit = true;
         } else {
-            let base_eval =
-                evaluate_exact(ctx, base, &mut stats, &oracle, options.threads, deadline);
+            let base_eval = evaluate_exact(
+                ctx,
+                base,
+                &mut stats,
+                &oracle,
+                options.threads,
+                deadline,
+                &options.metrics,
+            );
             if base_eval.total_cost < incumbent.total_cost {
                 incumbent = base_eval;
             }
@@ -292,6 +324,10 @@ pub fn greedy_search(ctx: &EvalContext<'_>, options: &GreedyOptions) -> AdvisorO
 
     stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
+    if let Some(metrics) = &options.metrics {
+        stats.register_into(metrics, "search.greedy");
+        oracle.snapshot().register_into(metrics, "oracle");
+    }
     let degraded = stats.deadline_hit;
     AdvisorOutcome {
         mapping: incumbent.mapping,
@@ -312,6 +348,7 @@ fn evaluate_exact(
     oracle: &CostOracle,
     threads: usize,
     deadline: &Deadline,
+    metrics: &Option<Arc<MetricsRegistry>>,
 ) -> Incumbent {
     let prepared = ctx.prepare(&mapping);
     let translated = prepared.translated(ctx.workload);
@@ -326,6 +363,7 @@ fn evaluate_exact(
         oracle,
         &TuneOptions {
             threads,
+            metrics: metrics.clone(),
             deadline: deadline.clone(),
         },
     );
@@ -355,6 +393,7 @@ fn estimate_exact_cost(
     stats: &mut SearchStats,
     oracle: &CostOracle,
     deadline: &Deadline,
+    metrics: &Option<Arc<MetricsRegistry>>,
 ) -> f64 {
     let prepared = ctx.prepare(mapping);
     let translated = prepared.translated(ctx.workload);
@@ -369,6 +408,7 @@ fn estimate_exact_cost(
         oracle,
         &TuneOptions {
             threads: 1,
+            metrics: metrics.clone(),
             deadline: deadline.clone(),
         },
     );
@@ -390,6 +430,7 @@ fn estimate_with_derivation(
     stats: &mut SearchStats,
     oracle: &CostOracle,
     deadline: &Deadline,
+    metrics: &Option<Arc<MetricsRegistry>>,
 ) -> f64 {
     let derivation = DerivationContext {
         tree: ctx.tree,
@@ -436,6 +477,7 @@ fn estimate_with_derivation(
         oracle,
         &TuneOptions {
             threads: 1,
+            metrics: metrics.clone(),
             deadline: deadline.clone(),
         },
     );
@@ -495,6 +537,7 @@ mod tests {
             &CostOracle::disabled(),
             1,
             &Deadline::none(),
+            &None,
         );
         assert!(
             outcome.estimated_cost <= baseline.total_cost + 1e-9,

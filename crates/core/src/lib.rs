@@ -12,6 +12,8 @@
 //! * [`merging`] — Section 4.7 candidate merging (greedy / exhaustive /
 //!   none) with the heuristic I/O-saving model.
 //! * [`cost_derive`] — Section 4.8 cost derivation rules.
+//! * [`metrics`] — the observability layer: deterministic counters,
+//!   histograms, and span timers with report-time invariant self-checks.
 //! * [`greedy`] — the paper's Greedy search (Fig. 3), with ablation flags
 //!   reproducing Figs. 7-9.
 //! * [`naive`] — Naive-Greedy: the straightforward extension of prior
@@ -32,6 +34,7 @@ pub mod context;
 pub mod cost_derive;
 pub mod greedy;
 pub mod merging;
+pub mod metrics;
 pub mod moves;
 pub mod naive;
 pub mod oracle;
@@ -44,6 +47,7 @@ pub mod twostep;
 pub use context::{EvalContext, PreparedMapping};
 pub use greedy::{greedy_search, GreedyOptions};
 pub use merging::MergeStrategy;
+pub use metrics::{MetricsRegistry, MetricsReport};
 pub use moves::SearchMove;
 pub use naive::{naive_greedy_search, naive_greedy_search_with};
 pub use oracle::{CacheStats, CostOracle};

@@ -7,10 +7,12 @@
 //! worse than Greedy's.
 
 use crate::context::EvalContext;
+use crate::metrics::MetricsRegistry;
 use crate::oracle::CostOracle;
 use crate::parallel::parallel_map;
 use crate::physical::{tune_with, TuneOptions};
 use crate::search::{AdvisorOutcome, Deadline, SearchOptions, SearchStats};
+use std::sync::Arc;
 use std::time::Instant;
 use xmlshred_rel::optimizer::PhysicalConfig;
 use xmlshred_shred::mapping::Mapping;
@@ -35,6 +37,7 @@ pub fn naive_greedy_search_with(
     options: &SearchOptions,
 ) -> AdvisorOutcome {
     let start = Instant::now();
+    let _span = options.metrics.as_ref().map(|m| m.span("search.naive"));
     let mut stats = SearchStats::default();
     let oracle = CostOracle::with_fault(options.plan_cache, options.fault);
     let deadline = &options.deadline;
@@ -49,6 +52,7 @@ pub fn naive_greedy_search_with(
         &oracle,
         options.threads,
         deadline,
+        &options.metrics,
     );
 
     for _round in 0..max_rounds {
@@ -69,6 +73,7 @@ pub fn naive_greedy_search_with(
             &transformations,
             options.threads,
             deadline,
+            options.metrics.as_deref(),
             || (),
             |_, _i, t| {
                 let Ok(next) = t.apply(tree, mapping_ref) else {
@@ -78,8 +83,15 @@ pub fn naive_greedy_search_with(
                     transformations_searched: 1,
                     ..SearchStats::default()
                 };
-                let (next_config, next_cost) =
-                    evaluate(ctx, &next, &mut local, &oracle, 1, deadline);
+                let (next_config, next_cost) = evaluate(
+                    ctx,
+                    &next,
+                    &mut local,
+                    &oracle,
+                    1,
+                    deadline,
+                    &options.metrics,
+                );
                 Some((next, next_config, next_cost, local))
             },
         );
@@ -115,6 +127,10 @@ pub fn naive_greedy_search_with(
 
     stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
+    if let Some(metrics) = &options.metrics {
+        stats.register_into(metrics, "search.naive");
+        oracle.snapshot().register_into(metrics, "oracle");
+    }
     let degraded = stats.deadline_hit;
     AdvisorOutcome {
         mapping,
@@ -132,6 +148,7 @@ fn evaluate(
     oracle: &CostOracle,
     threads: usize,
     deadline: &Deadline,
+    metrics: &Option<Arc<MetricsRegistry>>,
 ) -> (PhysicalConfig, f64) {
     let prepared = ctx.prepare(mapping);
     let translated = prepared.translated(ctx.workload);
@@ -146,6 +163,7 @@ fn evaluate(
         oracle,
         &TuneOptions {
             threads,
+            metrics: metrics.clone(),
             deadline: deadline.clone(),
         },
     );

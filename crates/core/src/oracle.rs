@@ -66,6 +66,12 @@ fn whatif_token(key: CacheKey, site: u64) -> u64 {
 /// Point-in-time cache counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
+    /// Total memo-table lookups (enabled oracle only). The accounting
+    /// invariant `hits + misses == lookups` is enforced by
+    /// [`crate::metrics::MetricsReport::self_check`]; this counter is
+    /// incremented independently of the hit/miss classification precisely
+    /// so a dropped branch shows up as a mismatch.
+    pub lookups: u64,
     /// Lookups answered from the memo table.
     pub hits: u64,
     /// Lookups that had to invoke the planner.
@@ -90,6 +96,20 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Register the oracle-tier counters into a [`MetricsRegistry`] under
+    /// `prefix` (e.g. `oracle`). All of these are schedule-dependent: two
+    /// workers racing on the same uncached key both count a miss at
+    /// `threads = 4` where a serial run counts one miss and one hit.
+    pub fn register_into(&self, metrics: &crate::metrics::MetricsRegistry, prefix: &str) {
+        metrics.count_sched(&format!("{prefix}.cache.lookups"), self.lookups);
+        metrics.count_sched(&format!("{prefix}.cache.hits"), self.hits);
+        metrics.count_sched(&format!("{prefix}.cache.misses"), self.misses);
+        metrics.count_sched(&format!("{prefix}.cache.evictions"), self.evictions);
+        metrics.count_sched(&format!("{prefix}.cache.entries"), self.entries);
+        metrics.count_sched(&format!("{prefix}.whatif.failures"), self.whatif_failures);
+        metrics.count_sched(&format!("{prefix}.whatif.retries"), self.whatif_retries);
+    }
 }
 
 /// A concurrent, memoizing wrapper around the what-if planner.
@@ -102,6 +122,7 @@ pub struct CostOracle {
     fault: Option<FaultPlane>,
     select_shards: Vec<Mutex<FxHashMap<CacheKey, SelectEntry>>>,
     query_shards: Vec<Mutex<FxHashMap<CacheKey, QueryEntry>>>,
+    lookups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -129,6 +150,7 @@ impl CostOracle {
             query_shards: (0..shard_count)
                 .map(|_| Mutex::new(FxHashMap::default()))
                 .collect(),
+            lookups: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -247,6 +269,7 @@ impl CostOracle {
             let (cost, rows) = self.compute_select(key, catalog, stats, config, branch);
             return (cost, rows, true);
         }
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = &self.select_shards[shard_of(key)];
         if let Some(&(cost, rows)) = lock_shard(shard).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -295,6 +318,7 @@ impl CostOracle {
             let (cost, used) = self.compute_query(key, catalog, stats, config, query);
             return (cost, used, true);
         }
+        self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = &self.query_shards[shard_of(key)];
         if let Some((cost, used)) = lock_shard(shard).get(&key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -337,6 +361,7 @@ impl CostOracle {
             .sum();
         let entries = select_entries + query_entries;
         CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
@@ -439,6 +464,38 @@ mod tests {
         );
         assert!(!storage_only.has_faults());
         assert!(!storage_only.needs_keys());
+    }
+
+    #[test]
+    fn register_into_lands_in_schedule_section() {
+        let stats = CacheStats {
+            lookups: 9,
+            hits: 4,
+            misses: 5,
+            ..CacheStats::default()
+        };
+        let metrics = crate::metrics::MetricsRegistry::new();
+        stats.register_into(&metrics, "oracle");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.schedule.get("oracle.cache.lookups"), Some(&9));
+        assert!(snap.deterministic.is_empty());
+        assert!(snap.self_check().is_empty(), "{:?}", snap.self_check());
+    }
+
+    #[test]
+    fn register_into_exposes_lookup_mismatch_to_self_check() {
+        // The invariant the lookups counter exists for: if hit/miss
+        // classification ever drops a branch, the report flags it.
+        let broken = CacheStats {
+            lookups: 10,
+            hits: 4,
+            misses: 5,
+            ..CacheStats::default()
+        };
+        let metrics = crate::metrics::MetricsRegistry::new();
+        broken.register_into(&metrics, "oracle");
+        let violations = metrics.snapshot().self_check();
+        assert_eq!(violations.len(), 1, "{violations:?}");
     }
 
     #[test]

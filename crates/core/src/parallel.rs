@@ -13,6 +13,7 @@
 //! expiry come back as `None`. With an unbounded deadline every slot is
 //! `Some`, preserving the bit-identical guarantee.
 
+use crate::metrics::MetricsRegistry;
 use crate::search::Deadline;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -32,12 +33,18 @@ pub fn effective_threads(requested: usize) -> usize {
 /// Slot `i` is `None` iff item `i` was not started before `deadline`
 /// expired; with an unbounded deadline every slot is `Some`.
 ///
+/// With a `metrics` sink, records `parallel.items` (deterministic: the
+/// fan-out size never depends on thread count) and `parallel.not_started`
+/// (schedule class: how many slots a deadline left unfilled depends on
+/// timing).
+///
 /// With one effective thread (or one item) this degenerates to a plain
 /// serial loop with zero thread overhead.
 pub fn parallel_map<T, R, S, I, F>(
     items: &[T],
     threads: usize,
     deadline: &Deadline,
+    metrics: Option<&MetricsRegistry>,
     init: I,
     work: F,
 ) -> Vec<Option<R>>
@@ -59,6 +66,7 @@ where
             out.push(Some(work(&mut state, index, item)));
         }
         out.resize_with(items.len(), || None);
+        record_fanout(metrics, &out);
         return out;
     }
 
@@ -94,7 +102,19 @@ where
             }
         }
     });
+    record_fanout(metrics, &slots);
     slots
+}
+
+fn record_fanout<R>(metrics: Option<&MetricsRegistry>, slots: &[Option<R>]) {
+    let Some(metrics) = metrics else {
+        return;
+    };
+    metrics.count("parallel.items", slots.len() as u64);
+    let not_started = slots.iter().filter(|s| s.is_none()).count() as u64;
+    if not_started > 0 {
+        metrics.count_sched("parallel.not_started", not_started);
+    }
 }
 
 #[cfg(test)]
@@ -105,9 +125,9 @@ mod tests {
     fn serial_and_parallel_agree_in_order() {
         let items: Vec<u64> = (0..257).collect();
         let square = |_: &mut (), _i: usize, &x: &u64| -> u64 { x * x };
-        let serial = parallel_map(&items, 1, &Deadline::none(), || (), square);
+        let serial = parallel_map(&items, 1, &Deadline::none(), None, || (), square);
         for threads in [2, 3, 4, 8] {
-            let parallel = parallel_map(&items, threads, &Deadline::none(), || (), square);
+            let parallel = parallel_map(&items, threads, &Deadline::none(), None, || (), square);
             assert_eq!(serial, parallel, "threads={threads}");
         }
     }
@@ -120,6 +140,7 @@ mod tests {
             &items,
             4,
             &Deadline::none(),
+            None,
             || 0usize,
             |count, _i, &x| {
                 *count += 1;
@@ -138,9 +159,9 @@ mod tests {
     fn empty_and_single_item() {
         let empty: Vec<u32> = Vec::new();
         let deadline = Deadline::none();
-        assert!(parallel_map(&empty, 8, &deadline, || (), |_, _, &x: &u32| x).is_empty());
+        assert!(parallel_map(&empty, 8, &deadline, None, || (), |_, _, &x: &u32| x).is_empty());
         assert_eq!(
-            parallel_map(&[7u32], 8, &deadline, || (), |_, _, &x| x + 1),
+            parallel_map(&[7u32], 8, &deadline, None, || (), |_, _, &x| x + 1),
             vec![Some(8)]
         );
     }
@@ -150,10 +171,32 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         let expired = Deadline::at(std::time::Instant::now() - std::time::Duration::from_secs(1));
         for threads in [1, 4] {
-            let out = parallel_map(&items, threads, &expired, || (), |_, _, &x: &u64| x);
+            let out = parallel_map(&items, threads, &expired, None, || (), |_, _, &x: &u64| x);
             assert_eq!(out.len(), items.len());
             assert!(out.iter().all(Option::is_none), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn fanout_metrics_are_thread_invariant() {
+        let items: Vec<u64> = (0..100).collect();
+        let mut fingerprints = Vec::new();
+        for threads in [1, 4] {
+            let metrics = MetricsRegistry::new();
+            parallel_map(
+                &items,
+                threads,
+                &Deadline::none(),
+                Some(&metrics),
+                || (),
+                |_, _, &x: &u64| x,
+            );
+            let snap = metrics.snapshot();
+            assert_eq!(snap.deterministic.get("parallel.items"), Some(&100));
+            assert!(!snap.schedule.contains_key("parallel.not_started"));
+            fingerprints.push(snap.deterministic_fingerprint());
+        }
+        assert_eq!(fingerprints[0], fingerprints[1]);
     }
 
     #[test]

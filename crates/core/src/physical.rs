@@ -85,6 +85,9 @@ pub struct TuneOptions {
     /// Worker threads for the initial candidate-scoring fan-out; `0` =
     /// available parallelism. Results are bit-identical for any value.
     pub threads: usize,
+    /// Observability sink; the tool records candidate counts, per-query
+    /// cost histograms, and a `tune` span when present.
+    pub metrics: Option<std::sync::Arc<crate::metrics::MetricsRegistry>>,
     /// Anytime budget. When it expires mid-search the greedy loop stops
     /// accepting candidates and the result carries `degraded = true`; the
     /// base-configuration costing and the final per-query report always run,
@@ -96,6 +99,7 @@ impl Default for TuneOptions {
     fn default() -> Self {
         TuneOptions {
             threads: 1,
+            metrics: None,
             deadline: Deadline::none(),
         }
     }
@@ -151,6 +155,7 @@ pub fn tune_with(
     oracle: &CostOracle,
     options: &TuneOptions,
 ) -> TuneResult {
+    let _span = options.metrics.as_ref().map(|m| m.span("tune"));
     let mut optimizer_calls = 0u64;
     let mut candidates_skipped = 0u64;
     let mut degraded = false;
@@ -198,6 +203,12 @@ pub fn tune_with(
 
     // ------------------------------------------------------- candidates --
     let candidates = generate_candidates(catalog, queries.iter().map(|(q, _)| *q));
+    if let Some(metrics) = &options.metrics {
+        // Candidate generation is pure syntax over the workload: the count
+        // is deterministic for any thread/cache setting.
+        metrics.count("tune.candidates_generated", candidates.len() as u64);
+        metrics.count("tune.queries", queries.len() as u64);
+    }
 
     // Which queries reference which tables (for incremental re-costing).
     let query_tables: Vec<FxHashSet<TableId>> = queries
@@ -321,6 +332,7 @@ pub fn tune_with(
         &candidates,
         options.threads,
         deadline,
+        options.metrics.as_deref(),
         || config.clone(),
         |scratch, i, candidate| {
             let mut calls = 0u64;
@@ -475,11 +487,19 @@ pub fn tune_with(
             .map(|name| object_bytes(catalog, stats, &config, name))
             .sum();
         total_cost += cost * weight;
+        if let Some(metrics) = &options.metrics {
+            // Costs are pure planner output: deterministic per (seed, knobs).
+            metrics.record_f64("tune.per_query_cost", cost);
+        }
         per_query.push(PerQueryInfo {
             cost,
             used_objects: used,
             used_bytes,
         });
+    }
+    if let Some(metrics) = &options.metrics {
+        metrics.count("tune.selected_indexes", config.indexes.len() as u64);
+        metrics.count("tune.selected_views", config.views.len() as u64);
     }
 
     TuneResult {
@@ -963,6 +983,7 @@ mod tests {
         let options = TuneOptions {
             threads: 1,
             deadline: Deadline::at(std::time::Instant::now() - std::time::Duration::from_secs(1)),
+            ..TuneOptions::default()
         };
         let result = tune_with(
             &catalog,

@@ -1,6 +1,7 @@
 //! Shared search bookkeeping: instrumentation counters, the anytime
 //! [`Deadline`] token, and the per-search option bundles.
 
+use crate::metrics::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -131,6 +132,35 @@ impl SearchStats {
         self.whatif_retries = cache.whatif_retries;
     }
 
+    /// Register the search-tier counters into a [`MetricsRegistry`] under
+    /// `prefix` (e.g. `search.greedy`). Counters that are a pure function
+    /// of `(seed, knobs)` go to the deterministic section; `optimizer_calls`
+    /// is counted from plan-cache `fresh` flags, which depend on thread
+    /// interleaving, so it lands in the schedule section. The cache and
+    /// what-if counters are the oracle tier and are registered separately
+    /// via [`crate::oracle::CacheStats::register_into`]. `elapsed` is
+    /// wall-clock and is covered by span timers instead.
+    pub fn register_into(&self, metrics: &MetricsRegistry, prefix: &str) {
+        metrics.count(
+            &format!("{prefix}.transformations_searched"),
+            self.transformations_searched,
+        );
+        metrics.count(
+            &format!("{prefix}.physical_tool_calls"),
+            self.physical_tool_calls,
+        );
+        metrics.count(&format!("{prefix}.costs_derived"), self.costs_derived);
+        metrics.count(
+            &format!("{prefix}.candidates_skipped"),
+            self.candidates_skipped,
+        );
+        metrics.count(
+            &format!("{prefix}.deadline_hit"),
+            u64::from(self.deadline_hit),
+        );
+        metrics.count_sched(&format!("{prefix}.optimizer_calls"), self.optimizer_calls);
+    }
+
     /// Plan-cache hit fraction over all lookups.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -163,6 +193,9 @@ pub struct SearchOptions {
     /// Deterministic fault injection for what-if planner calls; `None`
     /// disables injection.
     pub fault: Option<FaultConfig>,
+    /// Observability sink; searches record tier counters, histograms, and
+    /// spans into it when present. `None` (the default) records nothing.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for SearchOptions {
@@ -172,6 +205,7 @@ impl Default for SearchOptions {
             plan_cache: true,
             deadline: Deadline::none(),
             fault: None,
+            metrics: None,
         }
     }
 }
@@ -242,5 +276,29 @@ mod tests {
         stats.absorb(&SearchStats::default());
         assert_eq!(stats.candidates_skipped, 3);
         assert!(stats.deadline_hit);
+    }
+
+    #[test]
+    fn register_into_separates_determinism_classes() {
+        let stats = SearchStats {
+            transformations_searched: 7,
+            optimizer_calls: 11,
+            cache_hits: 5,
+            ..SearchStats::default()
+        };
+        let metrics = MetricsRegistry::new();
+        stats.register_into(&metrics, "search.greedy");
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.deterministic
+                .get("search.greedy.transformations_searched"),
+            Some(&7)
+        );
+        assert_eq!(
+            snap.schedule.get("search.greedy.optimizer_calls"),
+            Some(&11)
+        );
+        // Cache counters belong to the oracle tier, not the search tier.
+        assert!(!snap.schedule.contains_key("search.greedy.cache_hits"));
     }
 }

@@ -36,6 +36,7 @@ pub fn two_step_search_with(
     options: &SearchOptions,
 ) -> AdvisorOutcome {
     let start = Instant::now();
+    let _span = options.metrics.as_ref().map(|m| m.span("search.twostep"));
     let mut stats = SearchStats::default();
     let oracle = CostOracle::with_fault(options.plan_cache, options.fault);
     let deadline = &options.deadline;
@@ -62,6 +63,7 @@ pub fn two_step_search_with(
             &transformations,
             options.threads,
             deadline,
+            options.metrics.as_deref(),
             || (),
             |_, _i, t| {
                 let Ok(next) = t.apply(tree, mapping_ref) else {
@@ -113,6 +115,7 @@ pub fn two_step_search_with(
         &oracle,
         &TuneOptions {
             threads: options.threads,
+            metrics: options.metrics.clone(),
             deadline: deadline.clone(),
         },
     );
@@ -122,6 +125,10 @@ pub fn two_step_search_with(
 
     stats.absorb_cache(&oracle.snapshot());
     stats.elapsed = start.elapsed();
+    if let Some(metrics) = &options.metrics {
+        stats.register_into(metrics, "search.twostep");
+        oracle.snapshot().register_into(metrics, "oracle");
+    }
     let degraded = stats.deadline_hit;
     AdvisorOutcome {
         mapping,

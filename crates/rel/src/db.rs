@@ -261,8 +261,25 @@ impl Database {
         self.built_config = OptimizerConfig::none();
     }
 
-    /// Actual bytes of the materialized physical structures.
+    /// Actual bytes of the materialized physical structures, measured from
+    /// the built B-trees and views themselves.
+    ///
+    /// This used to sum [`crate::index::IndexDef::estimated_bytes`] — the
+    /// optimizer's size *model* — which diverges from reality (the model
+    /// charges included-column widths per row; the built structure never
+    /// stores included columns). Budget enforcement against a built design
+    /// must use the measurement; the model remains available through
+    /// [`Database::estimated_built_bytes`].
     pub fn built_bytes(&self) -> usize {
+        let index_bytes: usize = self.built_indexes.values().map(|idx| idx.byte_size()).sum();
+        let view_bytes: usize = self.built_views.values().map(|v| v.byte_size).sum();
+        index_bytes + view_bytes
+    }
+
+    /// The optimizer's *estimated* size of the materialized structures:
+    /// what the what-if model predicted for the built configuration.
+    /// Compare with [`Database::built_bytes`] to audit the size model.
+    pub fn estimated_built_bytes(&self) -> usize {
         let index_bytes: f64 = self
             .built_indexes
             .values()
@@ -557,6 +574,36 @@ mod tests {
         let (db, ..) = build_dblp_like(100);
         assert!(db.data_bytes() > 0);
         assert!(db.config_bytes(&PhysicalConfig::none()) == 0.0);
+    }
+
+    #[test]
+    fn built_bytes_measures_structures_not_estimates() {
+        // Regression: `built_bytes` claimed "actual bytes" while summing
+        // the optimizer's `estimated_bytes`. A covering index with wide
+        // included string columns makes the two diverge sharply — the
+        // estimate charges title+booktitle widths for every row, but the
+        // built B-tree stores only keys and row pointers.
+        let (mut db, inproc, _) = build_dblp_like(500);
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![IndexDef::new("wide", inproc, vec![4], vec![2, 3])],
+            views: vec![],
+        })
+        .unwrap();
+        let actual = db.built_bytes();
+        let estimated = db.estimated_built_bytes();
+        assert_eq!(actual, db.built_index("wide").unwrap().byte_size());
+        assert!(
+            estimated > 2 * actual,
+            "estimate {estimated} should dwarf actual {actual} for a wide covering index"
+        );
+        // The narrow version of the same index: the estimate no longer
+        // carries the included columns, so the gap collapses.
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![IndexDef::new("narrow", inproc, vec![4], vec![])],
+            views: vec![],
+        })
+        .unwrap();
+        assert!(db.estimated_built_bytes() < estimated / 2);
     }
 
     #[test]

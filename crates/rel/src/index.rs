@@ -152,6 +152,28 @@ impl BuiltIndex {
         self.map.len()
     }
 
+    /// Actual bytes of the built structure: each distinct key's values plus
+    /// per-key node overhead, plus one 4-byte row pointer per matching row.
+    ///
+    /// This measures what was really materialized, unlike
+    /// [`IndexDef::estimated_bytes`] — the optimizer's *model* — which
+    /// charges included-column widths for every row even though included
+    /// columns are projected from the heap at read time, never copied into
+    /// the structure. Space-budget enforcement against built designs must
+    /// use this, not the estimate.
+    pub fn byte_size(&self) -> usize {
+        const NODE_OVERHEAD: usize = 16;
+        const ROW_POINTER: usize = 4;
+        self.map
+            .iter()
+            .map(|(key, rows)| {
+                key.iter().map(Value::width).sum::<usize>()
+                    + NODE_OVERHEAD
+                    + rows.len() * ROW_POINTER
+            })
+            .sum()
+    }
+
     /// Row indices matching a seek argument, in key order.
     pub fn seek(&self, arg: &KeyRange) -> Vec<u32> {
         let prefix_len = arg.eq_prefix.len();
@@ -337,6 +359,27 @@ mod tests {
         let idx = BuiltIndex::build(IndexDef::new("i", TableId(0), vec![0], vec![]), &heap);
         let rows = idx.seek(&KeyRange::eq(vec![]));
         assert_eq!(rows.len(), 100);
+    }
+
+    #[test]
+    fn byte_size_counts_keys_and_pointers() {
+        let (_, heap) = setup();
+        let idx = BuiltIndex::build(IndexDef::new("i_grp", TableId(0), vec![1], vec![]), &heap);
+        // 10 distinct grp keys (8 bytes each + 16 overhead) + 100 pointers.
+        assert_eq!(idx.byte_size(), 10 * (8 + 16) + 100 * 4);
+    }
+
+    #[test]
+    fn include_columns_do_not_change_actual_size() {
+        // Included columns are projected from the heap at read time; the
+        // built structure is identical with or without them. The *estimate*
+        // charges their width per row — the divergence behind the
+        // `built_bytes` accounting bug.
+        let (_, heap) = setup();
+        let plain = BuiltIndex::build(IndexDef::new("a", TableId(0), vec![1], vec![]), &heap);
+        let covering =
+            BuiltIndex::build(IndexDef::new("b", TableId(0), vec![1], vec![0, 2]), &heap);
+        assert_eq!(plain.byte_size(), covering.byte_size());
     }
 
     #[test]

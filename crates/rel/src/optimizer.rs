@@ -118,6 +118,49 @@ pub fn plan_query(
     })
 }
 
+/// Deterministic accounting of the search space one [`plan_query`] call
+/// enumerates. The counts mirror the planner's enumeration loops —
+/// `best_access` costs a sequential scan plus one path per index on the
+/// table, the pipeline planner tries every join order for up to four
+/// occurrences (one fixed order beyond), and view substitution checks
+/// every materialized view on two-table joins — so the profile is a pure
+/// function of `(query, config)`, identical for any thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanProfile {
+    /// Select branches planned.
+    pub branches: u64,
+    /// Access paths costed across all (branch, table occurrence) pairs.
+    pub access_paths_considered: u64,
+    /// Join orders enumerated across all branches.
+    pub join_orders_considered: u64,
+    /// Materialized views checked for substitution.
+    pub views_considered: u64,
+}
+
+/// Plan a whole query and report the size of the enumerated search space.
+pub fn plan_query_profiled(
+    catalog: &Catalog,
+    stats: &[TableStats],
+    config: &PhysicalConfig,
+    query: &SqlQuery,
+) -> RelResult<(QueryPlan, PlanProfile)> {
+    let plan = plan_query(catalog, stats, config, query)?;
+    let mut profile = PlanProfile::default();
+    for select in query.branches() {
+        profile.branches += 1;
+        let n = select.tables.len();
+        profile.join_orders_considered += if n <= 4 { (1..=n as u64).product() } else { 1 };
+        for &table in &select.tables {
+            let indexes = config.indexes.iter().filter(|i| i.table == table).count() as u64;
+            profile.access_paths_considered += 1 + indexes;
+        }
+        if n == 2 && select.joins.len() == 1 {
+            profile.views_considered += config.views.len() as u64;
+        }
+    }
+    Ok((plan, profile))
+}
+
 /// Plan one select block.
 pub fn plan_select(
     catalog: &Catalog,
@@ -917,6 +960,34 @@ mod tests {
         q.filters = vec![Filter::new(0, 1, FilterOp::Eq, Value::str("g7"))];
         q.outputs = vec![Output::col(0, 0), Output::col(1, 2)];
         q
+    }
+
+    #[test]
+    fn plan_profile_counts_enumerated_search_space() {
+        let (catalog, stats, parent, child) = setup();
+        let mut config = PhysicalConfig::none();
+        config
+            .indexes
+            .push(IndexDef::new("i_grp", parent, vec![1], vec![]));
+        config
+            .indexes
+            .push(IndexDef::new("i_pid", child, vec![1], vec![]));
+        let query = SqlQuery::Select(join_query(parent, child));
+        let (plan, profile) = plan_query_profiled(&catalog, &stats, &config, &query).unwrap();
+        assert!(plan.est_cost.is_finite());
+        assert_eq!(profile.branches, 1);
+        // Two occurrences, each with a seq scan plus one matching index.
+        assert_eq!(profile.access_paths_considered, 4);
+        // 2! join orders for a two-table branch.
+        assert_eq!(profile.join_orders_considered, 2);
+        // No views defined, but the two-table join did consult the (empty)
+        // view list.
+        assert_eq!(profile.views_considered, 0);
+
+        // The profile is a pure function of (query, config): planning again
+        // yields an identical profile.
+        let (_, again) = plan_query_profiled(&catalog, &stats, &config, &query).unwrap();
+        assert_eq!(profile, again);
     }
 
     #[test]

@@ -150,12 +150,55 @@ impl ColumnStats {
                     .min(((b.count as f64 * factor).round() as u64).max(1)),
             })
             .collect();
-        // Keep the histogram total consistent with the new non-null count.
-        let total: u64 = histogram.iter().map(|b| b.count).sum();
-        if total > 0 && !histogram.is_empty() {
-            let diff = non_null as i64 - total as i64;
-            let last = histogram.len() - 1;
-            histogram[last].count = (histogram[last].count as i64 + diff).max(1) as u64;
+        // Reconcile exactly: equi-depth estimation assumes the histogram
+        // total equals the non-null count, and every estimator divides by
+        // it. Rounding and the >=1 clamp above can drift the total in
+        // either direction, so redistribute the difference rather than
+        // dumping it on the last bucket (whose own >=1 clamp used to leave
+        // the total above `non_null` when scaling far down).
+        if !histogram.is_empty() {
+            if non_null < histogram.len() as u64 {
+                // Fewer values than buckets: keep `non_null` evenly spaced
+                // boundaries (always including the last, so `upper` still
+                // equals `max`), one value each.
+                let len = histogram.len() as u64;
+                histogram = (0..non_null)
+                    .map(|i| {
+                        let idx = ((i + 1) * len / non_null - 1) as usize;
+                        Bucket {
+                            upper: histogram[idx].upper.clone(),
+                            count: 1,
+                            distinct: 1,
+                        }
+                    })
+                    .collect();
+            } else {
+                let total: u64 = histogram.iter().map(|b| b.count).sum();
+                if total < non_null {
+                    let last = histogram.len() - 1;
+                    histogram[last].count += non_null - total;
+                } else if total > non_null {
+                    // Shave the excess from the tail, keeping every bucket
+                    // at >= 1 so boundaries stay meaningful.
+                    let mut excess = total - non_null;
+                    for bucket in histogram.iter_mut().rev() {
+                        if excess == 0 {
+                            break;
+                        }
+                        let take = excess.min(bucket.count - 1);
+                        bucket.count -= take;
+                        excess -= take;
+                    }
+                }
+            }
+            for bucket in &mut histogram {
+                bucket.distinct = bucket.distinct.clamp(1, bucket.count);
+            }
+            debug_assert_eq!(
+                histogram.iter().map(|b| b.count).sum::<u64>(),
+                non_null,
+                "rescaled histogram total must equal the non-null count"
+            );
         }
         ColumnStats {
             rows,
@@ -166,6 +209,41 @@ impl ColumnStats {
             histogram,
             avg_width: self.avg_width,
         }
+    }
+
+    /// Sum of histogram bucket counts.
+    pub fn histogram_total(&self) -> u64 {
+        self.histogram.iter().map(|b| b.count).sum()
+    }
+
+    /// Internal-consistency check used by the observability layer: `None`
+    /// when consistent, `Some(message)` otherwise. A non-empty histogram
+    /// must total exactly the non-null count (every selectivity estimator
+    /// divides by it), and no bucket may claim more distinct values than it
+    /// has rows.
+    pub fn consistency_error(&self) -> Option<String> {
+        if self.nulls > self.rows {
+            return Some(format!("nulls {} > rows {}", self.nulls, self.rows));
+        }
+        if self.histogram.is_empty() {
+            return None;
+        }
+        let non_null = self.rows - self.nulls;
+        let total = self.histogram_total();
+        if total != non_null {
+            return Some(format!(
+                "histogram total {total} != non-null count {non_null}"
+            ));
+        }
+        for (i, bucket) in self.histogram.iter().enumerate() {
+            if bucket.distinct > bucket.count {
+                return Some(format!(
+                    "bucket {i}: distinct {} > count {}",
+                    bucket.distinct, bucket.count
+                ));
+            }
+        }
+        None
     }
 
     /// Synthetic statistics for a dense integer key column (`ID` columns):
@@ -554,6 +632,48 @@ mod derive_tests {
         let scaled = stats.rescale(0, 50);
         assert_eq!(scaled.nulls, 50);
         assert_eq!(scaled.n_distinct, 0);
+    }
+
+    #[test]
+    fn rescale_total_matches_non_null_exactly() {
+        // Regression: scaling far down used to leave the total above
+        // `non_null` — the >=1 clamp fires in every bucket, and the old
+        // reconciliation only adjusted the last bucket (itself clamped to
+        // >=1), overestimating every selectivity derived from the result.
+        let stats = ColumnStats::build((0..10_000).map(Value::Int));
+        assert!(stats.histogram.len() > 1);
+        for non_null in [1u64, 3, 7, 16, 31, 33, 100, 5_000, 20_000] {
+            let rows = non_null + 5;
+            let scaled = stats.rescale(non_null, rows);
+            assert_eq!(
+                scaled.histogram_total(),
+                non_null,
+                "non_null={non_null}: histogram total must match"
+            );
+            assert_eq!(scaled.consistency_error(), None, "non_null={non_null}");
+            // Boundaries survive: the last bucket still carries the max.
+            assert_eq!(
+                scaled.histogram.last().map(|b| b.upper.clone()),
+                Some(Value::Int(9_999))
+            );
+        }
+    }
+
+    #[test]
+    fn rescale_below_bucket_count_keeps_one_value_per_bucket() {
+        let stats = ColumnStats::build((0..10_000).map(Value::Int));
+        let scaled = stats.rescale(5, 5);
+        assert_eq!(scaled.histogram.len(), 5);
+        assert!(scaled.histogram.iter().all(|b| b.count == 1));
+        assert_eq!(scaled.consistency_error(), None);
+    }
+
+    #[test]
+    fn consistency_error_flags_inflated_histogram() {
+        let mut stats = ColumnStats::build((0..1000).map(Value::Int));
+        stats.histogram[0].count += 7; // simulate the old accounting bug
+        let err = stats.consistency_error().expect("must be flagged");
+        assert!(err.contains("histogram total"), "{err}");
     }
 
     #[test]

@@ -206,6 +206,7 @@ fn deadline_bounded_runs_return_valid_best_so_far() {
         &TuneOptions {
             threads: 1,
             deadline: Deadline::from_millis(0),
+            ..TuneOptions::default()
         },
     );
     assert!(result.degraded);
