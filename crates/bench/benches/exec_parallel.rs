@@ -1,0 +1,130 @@
+//! Microbenchmark: morsel-driven executor thread sweep.
+//!
+//! Executes a tuned workload on both fixtures (DBLP and Movie) at executor
+//! thread counts 1, 2, 4, and 8, timing the full workload execution per
+//! configuration. Results are bit-identical across the sweep (asserted
+//! here); only wall-clock changes. Per-operator timings for each
+//! configuration are printed once before the measured runs. On a one-core
+//! container the sweep shows scheduling overhead rather than speedup — the
+//! point is the invariance, the shape of the curve needs real cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmlshred_bench::harness::BenchScale;
+use xmlshred_core::physical::tune;
+use xmlshred_data::workload::{
+    dblp_workload, movie_workload, Projections, Selectivity, Workload, WorkloadSpec,
+};
+use xmlshred_data::Dataset;
+use xmlshred_rel::db::Database;
+use xmlshred_rel::sql::SqlQuery;
+use xmlshred_rel::ExecOptions;
+use xmlshred_shred::mapping::Mapping;
+use xmlshred_shred::schema::derive_schema;
+use xmlshred_shred::shredder::load_database;
+use xmlshred_translate::translate::translate;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn build(dataset: &Dataset, workload: &Workload) -> (Database, Vec<SqlQuery>) {
+    let mapping = Mapping::hybrid(&dataset.tree);
+    let schema = derive_schema(&dataset.tree, &mapping);
+    let mut db = load_database(&dataset.tree, &mapping, &schema, &[&dataset.document]).unwrap();
+    let queries: Vec<SqlQuery> = workload
+        .queries
+        .iter()
+        .filter_map(|(path, _)| {
+            translate(&dataset.tree, &mapping, &schema, path)
+                .ok()
+                .map(|t| t.sql)
+        })
+        .collect();
+    let query_refs: Vec<(&SqlQuery, f64)> = queries.iter().map(|q| (q, 1.0)).collect();
+    let tuned = tune(
+        db.catalog(),
+        db.all_stats(),
+        &query_refs,
+        3.0 * dataset.approx_bytes() as f64,
+    );
+    db.apply_config(&tuned.config).unwrap();
+    (db, queries)
+}
+
+fn run_workload(db: &Database, queries: &[SqlQuery]) -> f64 {
+    queries
+        .iter()
+        .map(|q| db.execute(black_box(q)).unwrap().exec.measured_cost())
+        .sum()
+}
+
+fn sweep(c: &mut Criterion, label: &str, dataset: &Dataset, workload: &Workload) {
+    let (mut db, queries) = build(dataset, workload);
+    let mut baseline = None;
+    for threads in THREADS {
+        db.set_exec_options(ExecOptions::with_threads(threads));
+        // Thread-invariance check plus a per-operator timing dump, outside
+        // the measured loop.
+        let mut cost = 0.0;
+        for (i, q) in queries.iter().enumerate() {
+            let outcome = db.execute(q).unwrap();
+            cost += outcome.exec.measured_cost();
+            if i == 0 {
+                let ops: Vec<String> = outcome
+                    .profile
+                    .operators
+                    .iter()
+                    .map(|op| format!("{}={}x/{}ns", op.name, op.count, op.nanos))
+                    .collect();
+                println!("{label} q0 @{threads} thread(s): {}", ops.join(" "));
+            }
+        }
+        match baseline {
+            None => baseline = Some(cost),
+            Some(expected) => assert_eq!(
+                cost.to_bits(),
+                expected.to_bits(),
+                "{label}: measured cost diverged at {threads} thread(s)"
+            ),
+        }
+        c.bench_function(&format!("{label}_threads{threads}"), |b| {
+            b.iter(|| run_workload(&db, &queries))
+        });
+    }
+}
+
+fn bench_exec_parallel(c: &mut Criterion) {
+    let scale = BenchScale(0.05);
+
+    let dblp = scale.dblp();
+    let dblp_config = scale.dblp_config();
+    let dblp_wl = dblp_workload(
+        &WorkloadSpec {
+            projections: Projections::High,
+            selectivity: Selectivity::Low,
+            n_queries: 4,
+            seed: 11,
+        },
+        dblp_config.years,
+        dblp_config.n_conferences,
+    )
+    .unwrap();
+    sweep(c, "exec_parallel_dblp", &dblp, &dblp_wl);
+
+    let movie = scale.movie();
+    let movie_config = scale.movie_config();
+    let movie_wl = movie_workload(
+        &WorkloadSpec {
+            projections: Projections::Low,
+            selectivity: Selectivity::High,
+            n_queries: 4,
+            seed: 12,
+        },
+        movie_config.years,
+        movie_config.n_genres,
+    )
+    .unwrap();
+    sweep(c, "exec_parallel_movie", &movie, &movie_wl);
+}
+
+criterion_group!(benches, bench_exec_parallel);
+criterion_main!(benches);

@@ -10,13 +10,17 @@
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
 //! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`,
-//! `all`. The `XMLSHRED_SCALE` environment variable (or `--scale X`) scales
-//! the dataset sizes; normalized figures are scale-stable. `--threads N`
-//! sets the advisor worker-thread count (0 = all cores, the default) and
-//! `--no-plan-cache` disables the what-if plan cache; neither changes any
-//! recommendation, only running time and the cache counters. `profile`
-//! emits the three-tier metrics report; `--metrics-out PATH` writes it as
-//! JSON.
+//! `exec`, `all`. The `XMLSHRED_SCALE` environment variable (or `--scale X`)
+//! scales the dataset sizes; normalized figures are scale-stable.
+//! `--threads N` sets the advisor worker-thread count (0 = all cores, the
+//! default) and `--no-plan-cache` disables the what-if plan cache; neither
+//! changes any recommendation, only running time and the cache counters.
+//! `--exec-threads N` sets the query executor's morsel worker-thread count
+//! (default 1; 0 = all cores) — rows, measured costs, and deterministic
+//! metrics are bit-identical for any value, which the `exec` experiment
+//! verifies by sweeping thread counts and comparing output hashes.
+//! `profile` emits the three-tier metrics report; `--metrics-out PATH`
+//! writes it as JSON.
 //!
 //! Robustness knobs: `--fault-p X` injects what-if planner faults with
 //! probability X, `--deadline-ms N` gives each strategy an anytime budget
@@ -60,6 +64,10 @@ fn main() {
         search.plan_cache = false;
         args.remove(pos);
     }
+    let mut exec = xmlshred_rel::ExecOptions::default();
+    if let Some(n) = take_value::<usize>(&mut args, "--exec-threads") {
+        exec.threads = n;
+    }
     let fault_p = take_value::<f64>(&mut args, "--fault-p");
     let deadline_ms = take_value::<u64>(&mut args, "--deadline-ms");
     let fault_seed = take_value::<u64>(&mut args, "--fault-seed").unwrap_or(42);
@@ -67,12 +75,17 @@ fn main() {
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
-        "xmlshred reproduction harness — experiment '{experiment}', scale {:.2}, threads {}, plan cache {}",
+        "xmlshred reproduction harness — experiment '{experiment}', scale {:.2}, threads {}, exec-threads {}, plan cache {}",
         scale.0,
         if search.threads == 0 {
             "auto".to_string()
         } else {
             search.threads.to_string()
+        },
+        if exec.threads == 0 {
+            "auto".to_string()
+        } else {
+            exec.threads.to_string()
         },
         if search.plan_cache { "on" } else { "off" }
     );
@@ -88,6 +101,7 @@ fn main() {
         fault_p,
         deadline_ms,
         fault_seed,
+        exec,
         metrics_out,
     };
     let start = Instant::now();

@@ -14,23 +14,24 @@
 //! workloads ("it did not stop after running for five days").
 
 use crate::harness::{
-    fmt_duration, hybrid_baseline, render_table, run_algorithms_with, space_budget, Algo,
+    fmt_duration, hybrid_baseline_exec, render_table, run_algorithms_exec, space_budget, Algo,
     BenchScale, EvalRun,
 };
 use xmlshred_core::SearchOptions;
 use xmlshred_data::workload::{dblp_workload, movie_workload, Workload, WorkloadSpec};
 use xmlshred_data::Dataset;
+use xmlshred_rel::ExecOptions;
 use xmlshred_shred::source_stats::SourceStats;
 
 /// Run the experiment for both datasets.
-pub fn run(scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
+pub fn run(scale: BenchScale, search: &SearchOptions, exec: ExecOptions) -> Result<(), String> {
     let dblp = scale.dblp();
     let dblp_config = scale.dblp_config();
     let dblp_workloads: Vec<Workload> = WorkloadSpec::dblp_suite()
         .iter()
         .map(|spec| dblp_workload(spec, dblp_config.years, dblp_config.n_conferences))
         .collect::<Result<_, _>>()?;
-    evaluate_dataset(&dblp, &dblp_workloads, true, search)?;
+    evaluate_dataset(&dblp, &dblp_workloads, true, search, exec)?;
 
     let movie = scale.movie();
     let movie_config = scale.movie_config();
@@ -38,7 +39,7 @@ pub fn run(scale: BenchScale, search: &SearchOptions) -> Result<(), String> {
         .iter()
         .map(|spec| movie_workload(spec, movie_config.years, movie_config.n_genres))
         .collect::<Result<_, _>>()?;
-    evaluate_dataset(&movie, &movie_workloads, false, search)?;
+    evaluate_dataset(&movie, &movie_workloads, false, search, exec)?;
     Ok(())
 }
 
@@ -47,6 +48,7 @@ fn evaluate_dataset(
     workloads: &[Workload],
     skip_naive_on_20: bool,
     search: &SearchOptions,
+    exec: ExecOptions,
 ) -> Result<(), String> {
     println!(
         "\n=== Figs. 4/5/6 on {} ({} elements) ===",
@@ -67,8 +69,8 @@ fn evaluate_dataset(
         } else {
             vec![Algo::Greedy, Algo::NaiveGreedy, Algo::TwoStep]
         };
-        let baseline = hybrid_baseline(dataset, workload, budget);
-        let runs = run_algorithms_with(dataset, &source, workload, budget, &algos, search);
+        let baseline = hybrid_baseline_exec(dataset, workload, budget, exec);
+        let runs = run_algorithms_exec(dataset, &source, workload, budget, &algos, search, exec);
 
         let cell = |name: &str, f: &dyn Fn(&EvalRun) -> String| -> String {
             runs.iter()

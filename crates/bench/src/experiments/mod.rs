@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod chaos;
 pub mod evaluation;
+pub mod exec_parallel;
 pub mod motivating;
 pub mod profile;
 pub mod table1;
@@ -10,6 +11,7 @@ pub mod updates;
 
 use crate::harness::BenchScale;
 use xmlshred_core::{Deadline, FaultConfig, SearchOptions};
+use xmlshred_rel::ExecOptions;
 
 /// CLI-level knobs for one `reproduce` invocation: the base search options
 /// plus the robustness sweep parameters (`--fault-p`, `--deadline-ms`,
@@ -30,6 +32,10 @@ pub struct RunOptions {
     pub deadline_ms: Option<u64>,
     /// Seed for the deterministic fault plane.
     pub fault_seed: u64,
+    /// Executor knobs (`--exec-threads`): morsel worker threads for query
+    /// execution. Results and measured costs are identical for any value;
+    /// only wall-clock time changes.
+    pub exec: ExecOptions,
     /// Where the `profile` experiment writes its JSON metrics report
     /// (`--metrics-out`); `None` prints the summary table only.
     pub metrics_out: Option<String>,
@@ -56,32 +62,37 @@ impl RunOptions {
 
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
-/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`, `all`.
+/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`, `exec`,
+/// `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
         "motivating" => motivating::run(scale),
-        "fig4" | "fig5" | "fig6" | "eval" => evaluation::run(scale, &opts.search_for_run()),
+        "fig4" | "fig5" | "fig6" | "eval" => {
+            evaluation::run(scale, &opts.search_for_run(), opts.exec)
+        }
         "fig7" => ablations::fig7(scale),
         "updates" => updates::run(scale),
         "fig8" => ablations::fig8(scale),
         "fig9" => ablations::fig9(scale),
         "chaos" => chaos::run(scale, opts),
         "profile" => profile::run(scale, opts),
+        "exec" => exec_parallel::run(scale, opts),
         "all" => {
             table1::run(scale)?;
             motivating::run(scale)?;
-            evaluation::run(scale, &opts.search_for_run())?;
+            evaluation::run(scale, &opts.search_for_run(), opts.exec)?;
             ablations::fig7(scale)?;
             ablations::fig8(scale)?;
             ablations::fig9(scale)?;
             updates::run(scale)?;
             chaos::run(scale, opts)?;
             profile::run(scale, opts)?;
+            exec_parallel::run(scale, opts)?;
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos profile all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos profile exec all"
         )),
     }
 }

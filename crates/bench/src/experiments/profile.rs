@@ -84,6 +84,7 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     .map_err(|e| format!("load failed: {e}"))?;
     db.apply_config(&outcome.config)
         .map_err(|e| format!("apply_config failed: {e}"))?;
+    db.set_exec_options(opts.exec);
 
     // Space accounting: actual structure bytes (what [`Database::built_bytes`]
     // now measures) vs. the optimizer's estimate and the budget. The
@@ -139,6 +140,19 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
         metrics.count("exec.rows_out", executed.exec.rows_out as u64);
         metrics.count("exec.tuples_processed", executed.exec.tuples_processed);
         metrics.record_f64("exec.measured_cost", executed.exec.measured_cost());
+        // Morsel executor accounting: dispatch counts and the rows-per-morsel
+        // histogram are deterministic (a function of plan and morsel size,
+        // never thread count); operator nanoseconds land in the wall tier.
+        metrics.count(
+            "exec.morsels_dispatched",
+            executed.profile.morsels_dispatched,
+        );
+        for &rows in &executed.profile.rows_per_morsel {
+            metrics.record("exec.rows_per_morsel", rows);
+        }
+        for op in &executed.profile.operators {
+            metrics.add_span(&format!("exec.op.{}", op.name), op.count, op.nanos);
+        }
     }
 
     // ----------------------------------------------- report + checks --

@@ -2,7 +2,9 @@
 //! and text-table rendering.
 
 use std::time::Duration;
-use xmlshred_core::quality::{measure_quality, measure_quality_with_tuning, QualityReport};
+use xmlshred_core::quality::{
+    measure_quality_with_exec, measure_quality_with_tuning_exec, QualityReport,
+};
 use xmlshred_core::{
     greedy_search, naive_greedy_search_with, two_step_search_with, AdvisorOutcome, EvalContext,
     GreedyOptions, SearchOptions,
@@ -11,6 +13,7 @@ use xmlshred_data::dblp::{generate_dblp, DblpConfig};
 use xmlshred_data::movie::{generate_movie, MovieConfig};
 use xmlshred_data::workload::Workload;
 use xmlshred_data::Dataset;
+use xmlshred_rel::ExecOptions;
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::source_stats::SourceStats;
 
@@ -102,12 +105,23 @@ pub struct EvalRun {
 
 /// The hybrid-inlining baseline (tuned), which Fig. 4 normalizes against.
 pub fn hybrid_baseline(dataset: &Dataset, workload: &Workload, budget: f64) -> QualityReport {
-    measure_quality_with_tuning(
+    hybrid_baseline_exec(dataset, workload, budget, ExecOptions::default())
+}
+
+/// [`hybrid_baseline`] with explicit executor options.
+pub fn hybrid_baseline_exec(
+    dataset: &Dataset,
+    workload: &Workload,
+    budget: f64,
+    exec: ExecOptions,
+) -> QualityReport {
+    measure_quality_with_tuning_exec(
         &dataset.tree,
         &dataset.document,
         &workload.queries,
         &Mapping::hybrid(&dataset.tree),
         budget,
+        exec,
     )
 }
 
@@ -148,6 +162,30 @@ pub fn run_algorithms_with(
     algos: &[Algo],
     search: &SearchOptions,
 ) -> Vec<EvalRun> {
+    run_algorithms_exec(
+        dataset,
+        source,
+        workload,
+        budget,
+        algos,
+        search,
+        ExecOptions::default(),
+    )
+}
+
+/// [`run_algorithms_with`] with explicit executor options for the quality
+/// measurement (measured costs are identical for any value; only wall-clock
+/// time changes).
+#[allow(clippy::too_many_arguments)]
+pub fn run_algorithms_exec(
+    dataset: &Dataset,
+    source: &SourceStats,
+    workload: &Workload,
+    budget: f64,
+    algos: &[Algo],
+    search: &SearchOptions,
+    exec: ExecOptions,
+) -> Vec<EvalRun> {
     let ctx = EvalContext {
         tree: &dataset.tree,
         source,
@@ -175,12 +213,13 @@ pub fn run_algorithms_with(
                 Algo::NaiveGreedy => ("Naive-Greedy", naive_greedy_search_with(&ctx, 3, search)),
                 Algo::TwoStep => ("Two-Step", two_step_search_with(&ctx, 6, search)),
             };
-            let quality = measure_quality(
+            let quality = measure_quality_with_exec(
                 &dataset.tree,
                 &dataset.document,
                 &workload.queries,
                 &outcome.mapping,
                 &outcome.config,
+                exec,
             );
             EvalRun {
                 algorithm: name,

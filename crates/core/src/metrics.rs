@@ -140,6 +140,17 @@ impl MetricsRegistry {
         }
     }
 
+    /// Add an externally measured span (e.g. the relational executor's
+    /// per-operator timings, which are accumulated outside the registry and
+    /// registered in bulk). The count lands in the deterministic span-count
+    /// line; the nanoseconds stay wall-clock-only, like [`MetricsRegistry::span`].
+    pub fn add_span(&self, name: &str, count: u64, nanos: u64) {
+        let mut inner = self.lock();
+        let cell = inner.spans.entry(name.to_owned()).or_default();
+        cell.count += count;
+        cell.nanos = cell.nanos.saturating_add(nanos);
+    }
+
     /// Immutable snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsReport {
         let inner = self.lock();
@@ -504,6 +515,21 @@ mod tests {
         }
         let snap = m.snapshot();
         assert_eq!(snap.spans["search.greedy"].count, 3);
+    }
+
+    #[test]
+    fn add_span_folds_external_measurements() {
+        let m = MetricsRegistry::new();
+        {
+            let _guard = m.span("exec.op.scan.seq");
+        }
+        m.add_span("exec.op.scan.seq", 4, 1_000);
+        m.add_span("exec.op.join.hash", 2, 500);
+        let snap = m.snapshot();
+        assert_eq!(snap.spans["exec.op.scan.seq"].count, 5);
+        assert!(snap.spans["exec.op.scan.seq"].nanos >= 1_000);
+        assert_eq!(snap.spans["exec.op.join.hash"].count, 2);
+        assert_eq!(snap.spans["exec.op.join.hash"].nanos, 500);
     }
 
     #[test]

@@ -1,32 +1,23 @@
 //! Deterministic parallel fan-out for the advisor's hot loops.
 //!
-//! [`parallel_map`] runs a pure function over a slice on scoped threads
-//! (`std::thread::scope` — no dependencies) and returns results **in item
-//! order**, so callers reduce serially in a fixed order and produce
-//! bit-identical output for any thread count. Work is distributed by an
-//! atomic cursor, which only affects *which thread* computes an item, never
-//! the result: shared state is limited to the memoizing cost oracle (a pure
-//! function) and commutative atomic counters.
+//! [`parallel_map`] runs a pure function over a slice on scoped threads and
+//! returns results **in item order**, so callers reduce serially in a fixed
+//! order and produce bit-identical output for any thread count. Work is
+//! distributed by an atomic cursor, which only affects *which thread*
+//! computes an item, never the result: shared state is limited to the
+//! memoizing cost oracle (a pure function) and commutative atomic counters.
 //!
-//! The map is also the advisor's anytime choke point: workers poll a
-//! [`Deadline`] before starting each item, and items not started before
-//! expiry come back as `None`. With an unbounded deadline every slot is
-//! `Some`, preserving the bit-identical guarantee.
+//! The scoped-thread loop itself lives in [`xmlshred_rel::par`] and is
+//! shared with the morsel-driven executor; this module adds the advisor's
+//! two concerns on top: the anytime [`Deadline`] poll (workers check it
+//! before starting each item, and items not started before expiry come back
+//! as `None` — with an unbounded deadline every slot is `Some`, preserving
+//! the bit-identical guarantee) and fan-out metrics.
 
 use crate::metrics::MetricsRegistry;
 use crate::search::Deadline;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Resolve a `threads` knob: `0` means all available parallelism.
-pub fn effective_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
-}
+pub use xmlshred_rel::par::effective_threads;
 
 /// Map `work` over `items` on up to `threads` scoped threads, with one
 /// `state` per worker (built by `init`), returning results in item order.
@@ -55,53 +46,13 @@ where
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
     let bounded = !deadline.is_unbounded();
-    let threads = effective_threads(threads).min(items.len().max(1));
-    if threads <= 1 {
-        let mut state = init();
-        let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-        for (index, item) in items.iter().enumerate() {
-            if bounded && deadline.expired() {
-                break;
-            }
-            out.push(Some(work(&mut state, index, item)));
-        }
-        out.resize_with(items.len(), || None);
-        record_fanout(metrics, &out);
-        return out;
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    std::thread::scope(|scope| {
-        let cursor = &cursor;
-        let init = &init;
-        let work = &work;
-        let deadline = &deadline;
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut state = init();
-                    let mut produced = Vec::new();
-                    loop {
-                        if bounded && deadline.expired() {
-                            break;
-                        }
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        if index >= items.len() {
-                            break;
-                        }
-                        produced.push((index, work(&mut state, index, &items[index])));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (index, result) in handle.join().expect("parallel_map worker panicked") {
-                slots[index] = Some(result);
-            }
-        }
-    });
+    let slots = xmlshred_rel::par::try_parallel_map(
+        items,
+        threads,
+        || bounded && deadline.expired(),
+        init,
+        work,
+    );
     record_fanout(metrics, &slots);
     slots
 }

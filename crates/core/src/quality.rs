@@ -9,6 +9,7 @@ use crate::physical::tune;
 use std::time::Duration;
 use xmlshred_rel::db::Database;
 use xmlshred_rel::optimizer::PhysicalConfig;
+use xmlshred_rel::ExecOptions;
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::schema::derive_schema;
 use xmlshred_shred::shredder::load_database;
@@ -44,9 +45,31 @@ pub fn measure_quality(
     mapping: &Mapping,
     config: &PhysicalConfig,
 ) -> QualityReport {
+    measure_quality_with_exec(
+        tree,
+        document,
+        workload,
+        mapping,
+        config,
+        ExecOptions::default(),
+    )
+}
+
+/// [`measure_quality`] with explicit executor options (thread count, morsel
+/// size). Measured costs and row counts are identical for any `exec` value;
+/// only wall-clock time may differ.
+pub fn measure_quality_with_exec(
+    tree: &SchemaTree,
+    document: &Element,
+    workload: &[(Path, f64)],
+    mapping: &Mapping,
+    config: &PhysicalConfig,
+    exec: ExecOptions,
+) -> QualityReport {
     let schema = derive_schema(tree, mapping);
     let mut db = load_database(tree, mapping, &schema, &[document]).expect("load succeeds");
     db.apply_config(config).expect("config builds");
+    db.set_exec_options(exec);
     execute_workload(&db, tree, mapping, &schema, workload)
 }
 
@@ -58,6 +81,25 @@ pub fn measure_quality_with_tuning(
     workload: &[(Path, f64)],
     mapping: &Mapping,
     space_budget: f64,
+) -> QualityReport {
+    measure_quality_with_tuning_exec(
+        tree,
+        document,
+        workload,
+        mapping,
+        space_budget,
+        ExecOptions::default(),
+    )
+}
+
+/// [`measure_quality_with_tuning`] with explicit executor options.
+pub fn measure_quality_with_tuning_exec(
+    tree: &SchemaTree,
+    document: &Element,
+    workload: &[(Path, f64)],
+    mapping: &Mapping,
+    space_budget: f64,
+    exec: ExecOptions,
 ) -> QualityReport {
     let schema = derive_schema(tree, mapping);
     let mut db = load_database(tree, mapping, &schema, &[document]).expect("load succeeds");
@@ -74,6 +116,7 @@ pub fn measure_quality_with_tuning(
         translated.iter().map(|(q, w)| (q, *w)).collect();
     let result = tune(db.catalog(), db.all_stats(), &query_refs, space_budget);
     db.apply_config(&result.config).expect("config builds");
+    db.set_exec_options(exec);
     execute_workload(&db, tree, mapping, &schema, workload)
 }
 

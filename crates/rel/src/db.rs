@@ -3,7 +3,7 @@
 
 use crate::catalog::{Catalog, TableDef, TableId};
 use crate::error::{RelError, RelResult};
-use crate::exec::{execute_plan, ExecStats};
+use crate::exec::{execute_plan_with, ExecOptions, ExecProfile, ExecStats};
 use crate::fault::{FaultConfig, FaultPlane};
 use crate::index::BuiltIndex;
 use crate::optimizer::{self, PhysicalConfig as OptimizerConfig};
@@ -30,6 +30,8 @@ pub struct QueryOutcome {
     pub plan: QueryPlan,
     /// Wall-clock time of execution.
     pub elapsed: Duration,
+    /// Executor profile (morsel dispatch counts, per-operator timings).
+    pub profile: ExecProfile,
 }
 
 /// An in-memory database instance.
@@ -42,6 +44,7 @@ pub struct Database {
     built_views: FxHashMap<String, BuiltView>,
     built_config: OptimizerConfig,
     fault: Option<Arc<FaultPlane>>,
+    exec: ExecOptions,
 }
 
 impl Database {
@@ -107,6 +110,18 @@ impl Database {
     /// The active fault plane, if any.
     pub fn fault_plane(&self) -> Option<&FaultPlane> {
         self.fault.as_deref()
+    }
+
+    /// Set the executor options used by [`Database::execute`] /
+    /// [`Database::execute_plan`]. Rows and [`ExecStats`] are bit-identical
+    /// for any thread count; only wall-clock time changes.
+    pub fn set_exec_options(&mut self, options: ExecOptions) {
+        self.exec = options;
+    }
+
+    /// The executor options in effect.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
     }
 
     /// All table statistics, in table-id order.
@@ -340,13 +355,14 @@ impl Database {
     /// Execute an already-chosen plan (must reference built structures only).
     pub fn execute_plan(&self, plan: QueryPlan) -> RelResult<QueryOutcome> {
         let start = Instant::now();
-        let (rows, exec) = execute_plan(self, &plan)?;
+        let (rows, exec, profile) = execute_plan_with(self, &plan, &self.exec)?;
         let elapsed = start.elapsed();
         Ok(QueryOutcome {
             rows,
             exec,
             plan,
             elapsed,
+            profile,
         })
     }
 }

@@ -1,4 +1,4 @@
-//! Plan execution with I/O and CPU accounting.
+//! Morsel-driven plan execution with I/O and CPU accounting.
 //!
 //! Execution is vector-at-a-time over the in-memory heaps. Because the data
 //! lives in RAM, raw wall-clock time would not reflect the I/O behaviour the
@@ -7,6 +7,28 @@
 //! model, but applied to the **actual** row and page counts the plan touched
 //! (not the optimizer's estimates). Quality figures in the benchmarks report
 //! these measured units; EXPERIMENTS.md documents the substitution.
+//!
+//! # Parallelism and determinism
+//!
+//! Operators fan work out over fixed-size **morsels** — row ranges of the
+//! heap (or of an index-seek match list) whose boundaries depend only on
+//! [`ExecOptions::morsel_rows`], never on the thread count. Each morsel runs
+//! filter+projection on a worker thread via [`crate::par::parallel_map`],
+//! and the per-morsel rows *and* [`ExecStats`] partials are reduced serially
+//! in morsel order. Floating-point accumulation order is therefore fixed,
+//! so results and stats are bit-identical for any `threads` value.
+//!
+//! The hash-join build runs as a parallel partitioned build: morsels first
+//! assign build rows to a fixed number of hash partitions, then partitions
+//! build their maps concurrently, visiting morsels in order so every
+//! partition's insertion order equals the serial build's.
+//!
+//! The fault plane stays correct under parallelism by construction: page
+//! budgets are charged and checksums verified **once per storage access,
+//! before the fan-out** — never per worker. Index-nested-loop probes stay
+//! serial because their storage gates draw fault tokens from the plane's
+//! serial counter, whose sequence (and hence the injected-fault pattern)
+//! must not depend on worker interleaving.
 
 use crate::cost::{
     sort_cost, BTREE_DESCENT_COST, CPU_HASH_COST, CPU_PRED_COST, CPU_TUPLE_COST, PAGE_SIZE,
@@ -16,10 +38,53 @@ use crate::db::Database;
 use crate::error::{RelError, RelResult};
 use crate::expr::Filter;
 use crate::fault::FaultPlane;
+use crate::par;
 use crate::plan::{Access, BranchPlan, JoinAlgo, QueryPlan, ScanNode, ViewOutput};
 use crate::sql::Output;
 use crate::types::{Row, Value};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+/// Default rows per morsel: large enough to amortize dispatch, small enough
+/// to load-balance skewed filters.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Number of hash-join build partitions. A constant (never derived from the
+/// thread count) so the partition assignment — and with it the build's
+/// insertion order — is identical for any parallelism degree.
+const HASH_PARTITIONS: usize = 32;
+
+/// Executor knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for morsel execution (`0` = all cores, `1` = serial).
+    pub threads: usize,
+    /// Rows per morsel. Morsel boundaries depend only on this knob, so the
+    /// per-morsel reduction order — and the bit pattern of every f64 stat —
+    /// is the same for any thread count.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Default options with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+}
 
 /// Accounting of one execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -39,16 +104,143 @@ impl ExecStats {
     pub fn measured_cost(&self) -> f64 {
         self.io_cost + self.cpu_cost
     }
+
+    /// Fold another operator's accounting into this one. Callers must
+    /// absorb in a fixed (plan) order so f64 accumulation is deterministic.
+    fn absorb(&mut self, other: ExecStats) {
+        self.io_cost += other.io_cost;
+        self.cpu_cost += other.cpu_cost;
+        self.rows_out += other.rows_out;
+        self.tuples_processed += other.tuples_processed;
+    }
 }
 
-/// Execute a plan, returning the result rows and the accounting.
+/// Per-operator wall-clock timing. `count` is deterministic (a function of
+/// the plan); `nanos` is wall-clock and must never be compared across runs.
+#[derive(Debug, Clone)]
+pub struct OperatorTiming {
+    /// Operator name (`scan.seq`, `join.hash`, `sort`, ...).
+    pub name: &'static str,
+    /// Invocations.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across invocations.
+    pub nanos: u64,
+}
+
+/// Execution profile of one plan run: morsel dispatch counts (deterministic)
+/// plus per-operator span timers (counts deterministic, nanos wall-clock).
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Morsels dispatched to workers across all operators.
+    pub morsels_dispatched: u64,
+    /// Input rows of each dispatched morsel, in dispatch order.
+    pub rows_per_morsel: Vec<u64>,
+    /// Per-operator timings, in first-invocation order.
+    pub operators: Vec<OperatorTiming>,
+}
+
+impl ExecProfile {
+    fn note_morsels(&mut self, ranges: &[Range<usize>]) {
+        self.morsels_dispatched += ranges.len() as u64;
+        self.rows_per_morsel
+            .extend(ranges.iter().map(|r| r.len() as u64));
+    }
+
+    fn record_op(&mut self, name: &'static str, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        match self.operators.iter_mut().find(|op| op.name == name) {
+            Some(op) => {
+                op.count += 1;
+                op.nanos = op.nanos.saturating_add(nanos);
+            }
+            None => self.operators.push(OperatorTiming {
+                name,
+                count: 1,
+                nanos,
+            }),
+        }
+    }
+
+    /// Fold another profile into this one (for aggregating across queries).
+    /// Merge order must be fixed for the fingerprint to stay deterministic.
+    pub fn merge(&mut self, other: &ExecProfile) {
+        self.morsels_dispatched += other.morsels_dispatched;
+        self.rows_per_morsel
+            .extend_from_slice(&other.rows_per_morsel);
+        for op in &other.operators {
+            match self.operators.iter_mut().find(|mine| mine.name == op.name) {
+                Some(mine) => {
+                    mine.count += op.count;
+                    mine.nanos = mine.nanos.saturating_add(op.nanos);
+                }
+                None => self.operators.push(op.clone()),
+            }
+        }
+    }
+
+    /// Stable rendering of the profile's deterministic portion: morsel
+    /// counts, the rows-per-morsel sequence, and operator invocation counts
+    /// — everything except wall-clock nanoseconds. Bit-identical across
+    /// thread counts.
+    pub fn deterministic_fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "morsels={}", self.morsels_dispatched);
+        let rows: Vec<String> = self.rows_per_morsel.iter().map(u64::to_string).collect();
+        let _ = writeln!(out, "rows_per_morsel={}", rows.join(","));
+        for op in &self.operators {
+            let _ = writeln!(out, "op {}={}", op.name, op.count);
+        }
+        out
+    }
+}
+
+/// Fixed-size morsel boundaries over `len` rows. A pure function of
+/// `(len, morsel_rows)` — independent of the thread count.
+fn morsel_ranges(len: usize, opts: &ExecOptions) -> Vec<Range<usize>> {
+    let step = opts.morsel_rows.max(1);
+    let mut out = Vec::with_capacity(len.div_ceil(step));
+    let mut start = 0;
+    while start < len {
+        let end = (start + step).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Build-side partition of a join key: a pure function of the value, shared
+/// by the partitioned build and the probe.
+fn partition_of(key: &Value) -> usize {
+    let mut hasher = FxHasher::default();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % HASH_PARTITIONS
+}
+
+/// Execute a plan with default (serial) options, returning the result rows
+/// and the accounting.
 pub fn execute_plan(db: &Database, plan: &QueryPlan) -> RelResult<(Vec<Row>, ExecStats)> {
+    execute_plan_with(db, plan, &ExecOptions::default()).map(|(rows, stats, _)| (rows, stats))
+}
+
+/// Execute a plan under explicit executor options, returning rows,
+/// accounting, and the execution profile. Rows and [`ExecStats`] are
+/// bit-identical for any `opts.threads` value.
+pub fn execute_plan_with(
+    db: &Database,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+) -> RelResult<(Vec<Row>, ExecStats, ExecProfile)> {
+    let mut profile = ExecProfile::default();
     let mut stats = ExecStats::default();
     let mut rows: Vec<Row> = Vec::new();
     for branch in &plan.branches {
-        rows.extend(execute_branch(db, branch, &mut stats)?);
+        let (branch_rows, branch_stats) = execute_branch(db, branch, opts, &mut profile)?;
+        stats.absorb(branch_stats);
+        rows.extend(branch_rows);
     }
     if !plan.order_by.is_empty() {
+        let sort_start = Instant::now();
         stats.cpu_cost += sort_cost(rows.len() as f64);
         let keys = plan.order_by.clone();
         rows.sort_by(|a, b| {
@@ -60,17 +252,19 @@ pub fn execute_plan(db: &Database, plan: &QueryPlan) -> RelResult<(Vec<Row>, Exe
             }
             std::cmp::Ordering::Equal
         });
+        profile.record_op("sort", sort_start.elapsed());
     }
     stats.rows_out = rows.len();
     stats.cpu_cost += rows.len() as f64 * CPU_TUPLE_COST;
-    Ok((rows, stats))
+    Ok((rows, stats, profile))
 }
 
 fn execute_branch(
     db: &Database,
     branch: &BranchPlan,
-    stats: &mut ExecStats,
-) -> RelResult<Vec<Row>> {
+    opts: &ExecOptions,
+    profile: &mut ExecProfile,
+) -> RelResult<(Vec<Row>, ExecStats)> {
     match branch {
         BranchPlan::Pipeline {
             tables,
@@ -78,13 +272,13 @@ fn execute_branch(
             joins,
             outputs,
             ..
-        } => execute_pipeline(db, tables, driver, joins, outputs, stats),
+        } => execute_pipeline(db, tables, driver, joins, outputs, opts, profile),
         BranchPlan::ViewScan {
             view,
             filters,
             outputs,
             ..
-        } => execute_view_scan(db, view, filters, outputs, stats),
+        } => execute_view_scan(db, view, filters, outputs, opts, profile),
     }
 }
 
@@ -127,8 +321,10 @@ fn execute_pipeline(
     driver: &ScanNode,
     joins: &[crate::plan::JoinNode],
     outputs: &[Output],
-    stats: &mut ExecStats,
-) -> RelResult<Vec<Row>> {
+    opts: &ExecOptions,
+    profile: &mut ExecProfile,
+) -> RelResult<(Vec<Row>, ExecStats)> {
+    let mut stats = ExecStats::default();
     let mut layout = Layout::new();
     let &driver_table = tables.get(driver.table_ref).ok_or_else(|| {
         RelError::InvalidQuery(format!(
@@ -139,7 +335,30 @@ fn execute_pipeline(
     let driver_cols = db.catalog().try_table(driver_table)?.columns.len();
     layout.add(driver.table_ref, driver_cols);
 
-    let mut wide: Vec<Row> = run_scan(db, driver_table, driver, stats)?;
+    // Validate every join's occurrence, join-key column, and filter columns
+    // against the catalog *before* any operator runs: a malformed plan must
+    // surface as a typed error with zero charges — neither `ExecStats` cost
+    // nor fault-plane page budget. (The hash-join arm used to charge its
+    // build-side CPU before the join-key bounds check could fail.)
+    for join in joins {
+        let &inner_table = tables.get(join.inner.table_ref).ok_or_else(|| {
+            RelError::InvalidQuery(format!(
+                "plan join references table #{}",
+                join.inner.table_ref
+            ))
+        })?;
+        let inner_def = db.catalog().try_table(inner_table)?;
+        if join.inner_col >= inner_def.columns.len() {
+            return Err(RelError::InvalidQuery(format!(
+                "join key column {} out of bounds for '{}'",
+                join.inner_col, inner_def.name
+            )));
+        }
+        validate_filters(&join.inner.filters, inner_def)?;
+    }
+
+    let (mut wide, driver_stats) = run_scan(db, driver_table, driver, opts, profile)?;
+    stats.absorb(driver_stats);
 
     for join in joins {
         let &inner_table = tables.get(join.inner.table_ref).ok_or_else(|| {
@@ -151,44 +370,81 @@ fn execute_pipeline(
         let inner_def = db.catalog().try_table(inner_table)?;
         let inner_cols = inner_def.columns.len();
         let outer_slot = layout.slot(join.outer_ref, join.outer_col)?;
-        let mut next: Vec<Row> = Vec::new();
-        match &join.algo {
+        let next: Vec<Row> = match &join.algo {
             JoinAlgo::Hash => {
-                let inner_rows = run_scan(db, inner_table, &join.inner, stats)?;
+                let (inner_rows, scan_stats) =
+                    run_scan(db, inner_table, &join.inner, opts, profile)?;
+                stats.absorb(scan_stats);
+                let join_start = Instant::now();
                 stats.cpu_cost += inner_rows.len() as f64 * CPU_HASH_COST;
-                if inner_rows.iter().any(|row| row.len() <= join.inner_col) {
-                    return Err(RelError::InvalidQuery(format!(
-                        "join key column {} out of bounds for '{}'",
-                        join.inner_col, inner_def.name
-                    )));
-                }
-                let mut table: FxHashMap<Value, Vec<&Row>> = FxHashMap::default();
-                for row in &inner_rows {
-                    let key = &row[join.inner_col];
-                    if !key.is_null() {
-                        table.entry(key.clone()).or_default().push(row);
-                    }
-                }
                 stats.cpu_cost += wide.len() as f64 * CPU_HASH_COST;
                 stats.tuples_processed += wide.len() as u64 + inner_rows.len() as u64;
-                for outer in &wide {
-                    let key = &outer[outer_slot];
-                    if key.is_null() {
-                        continue;
-                    }
-                    if let Some(matches) = table.get(key) {
-                        for inner in matches {
-                            let mut row = outer.clone();
-                            row.extend(inner.iter().cloned());
-                            next.push(row);
+
+                // Parallel partitioned build. Phase 1: morsels assign build
+                // rows to HASH_PARTITIONS buckets. Phase 2: partitions build
+                // their maps concurrently, visiting morsels in order, so each
+                // key's match list carries row indexes in heap order — the
+                // serial build's insertion order.
+                let build_ranges = morsel_ranges(inner_rows.len(), opts);
+                profile.note_morsels(&build_ranges);
+                let partitioned: Vec<Vec<Vec<u32>>> =
+                    par::parallel_map(&build_ranges, opts.threads, |_, range| {
+                        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); HASH_PARTITIONS];
+                        for i in range.clone() {
+                            let key = &inner_rows[i][join.inner_col];
+                            if !key.is_null() {
+                                parts[partition_of(key)].push(i as u32);
+                            }
                         }
-                    }
-                }
+                        parts
+                    });
+                let part_ids: Vec<usize> = (0..HASH_PARTITIONS).collect();
+                let tables_by_part: Vec<FxHashMap<Value, Vec<u32>>> =
+                    par::parallel_map(&part_ids, opts.threads, |_, &p| {
+                        let mut map: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+                        for morsel in &partitioned {
+                            for &i in &morsel[p] {
+                                map.entry(inner_rows[i as usize][join.inner_col].clone())
+                                    .or_default()
+                                    .push(i);
+                            }
+                        }
+                        map
+                    });
+
+                // Probe in outer order, morselized; concatenating per-morsel
+                // output in morsel order reproduces the serial probe's row
+                // order exactly.
+                let probe_ranges = morsel_ranges(wide.len(), opts);
+                profile.note_morsels(&probe_ranges);
+                let pieces: Vec<Vec<Row>> =
+                    par::parallel_map(&probe_ranges, opts.threads, |_, range| {
+                        let mut out = Vec::new();
+                        for outer in &wide[range.start..range.end] {
+                            let key = &outer[outer_slot];
+                            if key.is_null() {
+                                continue;
+                            }
+                            if let Some(matches) = tables_by_part[partition_of(key)].get(key) {
+                                for &i in matches {
+                                    let mut row = outer.clone();
+                                    row.extend(inner_rows[i as usize].iter().cloned());
+                                    out.push(row);
+                                }
+                            }
+                        }
+                        out
+                    });
+                profile.record_op("join.hash", join_start.elapsed());
+                pieces.concat()
             }
             JoinAlgo::IndexNestedLoop { index, covering } => {
+                // Serial by design: every probe's storage gate draws a fault
+                // token from the plane's serial counter, and the injected
+                // fault sequence must not depend on worker interleaving.
+                let join_start = Instant::now();
                 let built = db.built_index(index)?;
                 let heap = db.try_heap(inner_table)?;
-                validate_filters(&join.inner.filters, inner_def)?;
                 let entry_width = built
                     .def
                     .entry_width(inner_def, db.table_stats(inner_table));
@@ -196,6 +452,7 @@ fn execute_pipeline(
                 if plane.is_some() {
                     heap.verify_checksums(&inner_def.name)?;
                 }
+                let mut next = Vec::new();
                 for outer in &wide {
                     let key = &outer[outer_slot];
                     if key.is_null() {
@@ -222,21 +479,24 @@ fn execute_pipeline(
                                 inner_def.name
                             ))
                         })?;
-                        if passes(inner, &join.inner.filters, stats) {
+                        stats.cpu_cost += join.inner.filters.len() as f64 * CPU_PRED_COST;
+                        if passes_quiet(inner, &join.inner.filters) {
                             let mut row = outer.clone();
                             row.extend(inner.iter().cloned());
                             next.push(row);
                         }
                     }
                 }
+                profile.record_op("join.inlj", join_start.elapsed());
+                next
             }
-        }
+        };
         stats.cpu_cost += next.len() as f64 * CPU_TUPLE_COST;
         layout.add(join.inner.table_ref, inner_cols);
         wide = next;
     }
 
-    // Resolve output slots once, then project.
+    // Resolve output slots once, then project per morsel.
     let mut out_slots: Vec<Option<usize>> = Vec::with_capacity(outputs.len());
     for output in outputs {
         out_slots.push(match output {
@@ -244,19 +504,25 @@ fn execute_pipeline(
             Output::Null(_) => None,
         });
     }
-    let out_rows: Vec<Row> = wide
-        .iter()
-        .map(|row| {
-            out_slots
-                .iter()
-                .map(|slot| match slot {
-                    Some(i) => row[*i].clone(),
-                    None => Value::Null,
-                })
-                .collect()
-        })
-        .collect();
-    Ok(out_rows)
+    let project_start = Instant::now();
+    let ranges = morsel_ranges(wide.len(), opts);
+    profile.note_morsels(&ranges);
+    let pieces: Vec<Vec<Row>> = par::parallel_map(&ranges, opts.threads, |_, range| {
+        wide[range.start..range.end]
+            .iter()
+            .map(|row| {
+                out_slots
+                    .iter()
+                    .map(|slot| match slot {
+                        Some(i) => row[*i].clone(),
+                        None => Value::Null,
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    profile.record_op("project", project_start.elapsed());
+    Ok((pieces.concat(), stats))
 }
 
 /// Check every filter column against the table schema before row-at-a-time
@@ -274,74 +540,115 @@ fn validate_filters(filters: &[Filter], def: &crate::catalog::TableDef) -> RelRe
     Ok(())
 }
 
-/// Run one table access, returning full-width filtered rows.
+/// Run one table access, returning full-width filtered rows and the access's
+/// accounting.
 fn run_scan(
     db: &Database,
     table: crate::catalog::TableId,
     scan: &ScanNode,
-    stats: &mut ExecStats,
-) -> RelResult<Vec<Row>> {
+    opts: &ExecOptions,
+    profile: &mut ExecProfile,
+) -> RelResult<(Vec<Row>, ExecStats)> {
     let heap = db.try_heap(table)?;
     let table_def = db.catalog().try_table(table)?;
     validate_filters(&scan.filters, table_def)?;
     let plane = db.fault_plane();
+    let mut stats = ExecStats::default();
+    let per_row_cpu = CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST;
     match &scan.access {
         Access::SeqScan => {
+            let scan_start = Instant::now();
+            // Gate once per access, before the fan-out: the page-budget
+            // charge and the checksum walk must not scale with the worker
+            // count.
             storage_access(plane, heap, &table_def.name, heap.pages() as u64, true)?;
             stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
-            stats.cpu_cost +=
-                heap.len() as f64 * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
-            stats.tuples_processed += heap.len() as u64;
-            Ok(heap
-                .rows()
-                .iter()
-                .filter(|row| passes_quiet(row, &scan.filters))
-                .cloned()
-                .collect())
+            let rows = heap.rows();
+            let ranges = morsel_ranges(rows.len(), opts);
+            profile.note_morsels(&ranges);
+            let pieces: Vec<(Vec<Row>, f64, u64)> =
+                par::parallel_map(&ranges, opts.threads, |_, range| {
+                    let mut out = Vec::new();
+                    for row in &rows[range.start..range.end] {
+                        if passes_quiet(row, &scan.filters) {
+                            out.push(row.clone());
+                        }
+                    }
+                    (out, range.len() as f64 * per_row_cpu, range.len() as u64)
+                });
+            let mut result = Vec::new();
+            for (piece, cpu, tuples) in pieces {
+                result.extend(piece);
+                stats.cpu_cost += cpu;
+                stats.tuples_processed += tuples;
+            }
+            profile.record_op("scan.seq", scan_start.elapsed());
+            Ok((result, stats))
         }
         Access::IndexSeek {
             index,
             key,
             covering,
         } => {
+            let scan_start = Instant::now();
             let built = db.built_index(index)?;
             let matched = built.seek(key);
             let entry_width = built.def.entry_width(table_def, db.table_stats(table));
             stats.io_cost += BTREE_DESCENT_COST * RANDOM_PAGE_COST;
-            stats.io_cost +=
-                ((matched.len() as f64 * entry_width / PAGE_SIZE as f64).max(1.0)) * SEQ_PAGE_COST;
-            if !covering {
-                stats.io_cost +=
-                    crate::cost::pages_fetched(matched.len() as f64, heap.pages() as f64)
-                        * RANDOM_PAGE_COST;
+            // Zero matches read no leaf entries: descent cost only, matching
+            // `cost::index_seek_cost`'s proportional leaf-page charge.
+            if !matched.is_empty() {
+                stats.io_cost += ((matched.len() as f64 * entry_width / PAGE_SIZE as f64).max(1.0))
+                    * SEQ_PAGE_COST;
             }
-            // One descent page plus one page per heap fetch (covering seeks
+            let heap_pages = if *covering {
+                0.0
+            } else {
+                crate::cost::pages_fetched(matched.len() as f64, heap.pages() as f64)
+            };
+            stats.io_cost += heap_pages * RANDOM_PAGE_COST;
+            // The budget charge mirrors the costed I/O: one descent page
+            // plus the Cardenas–Yao distinct heap pages (covering seeks
             // never touch the heap, so its checksums stay unverified).
-            let pages_touched = 1 + if *covering { 0 } else { matched.len() as u64 };
+            // Charging one page per matched *row* here used to exhaust
+            // budgets for index plans the optimizer priced as cheap.
+            let pages_touched = 1 + heap_pages.ceil() as u64;
             storage_access(plane, heap, &table_def.name, pages_touched, !covering)?;
-            stats.cpu_cost +=
-                matched.len() as f64 * (CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST);
-            stats.tuples_processed += matched.len() as u64;
-            let mut out = Vec::new();
-            for &i in &matched {
-                let row = heap.row(i as usize).ok_or_else(|| {
-                    RelError::Fault(format!(
-                        "dangling index entry {i} in '{}' via '{index}'",
-                        table_def.name
-                    ))
-                })?;
-                if passes_quiet(row, &scan.filters) {
-                    out.push(row.clone());
-                }
+            let ranges = morsel_ranges(matched.len(), opts);
+            profile.note_morsels(&ranges);
+            let pieces: Vec<RelResult<(Vec<Row>, f64, u64)>> =
+                par::parallel_map(&ranges, opts.threads, |_, range| {
+                    let mut out = Vec::new();
+                    for &i in &matched[range.start..range.end] {
+                        let row = heap.row(i as usize).ok_or_else(|| {
+                            RelError::Fault(format!(
+                                "dangling index entry {i} in '{}' via '{index}'",
+                                table_def.name
+                            ))
+                        })?;
+                        if passes_quiet(row, &scan.filters) {
+                            out.push(row.clone());
+                        }
+                    }
+                    Ok((out, range.len() as f64 * per_row_cpu, range.len() as u64))
+                });
+            let mut result = Vec::new();
+            for piece in pieces {
+                let (rows, cpu, tuples) = piece?;
+                result.extend(rows);
+                stats.cpu_cost += cpu;
+                stats.tuples_processed += tuples;
             }
-            Ok(out)
+            profile.record_op("scan.index", scan_start.elapsed());
+            Ok((result, stats))
         }
     }
 }
 
 /// Gate one heap access through the fault plane (when active): charge the
 /// page budget, roll for an injected read fault, and — for accesses that
-/// actually read heap rows — verify the page checksums.
+/// actually read heap rows — verify the page checksums. Called exactly once
+/// per storage access, before any morsel fan-out.
 fn storage_access(
     plane: Option<&FaultPlane>,
     heap: &crate::storage::TableHeap,
@@ -364,8 +671,9 @@ fn execute_view_scan(
     view: &str,
     filters: &[(usize, crate::expr::FilterOp, Value)],
     outputs: &[ViewOutput],
-    stats: &mut ExecStats,
-) -> RelResult<Vec<Row>> {
+    opts: &ExecOptions,
+    profile: &mut ExecProfile,
+) -> RelResult<(Vec<Row>, ExecStats)> {
     let built = db.built_view(view)?;
     let width = built.def.outputs.len();
     if let Some(&(bad, ..)) = filters.iter().find(|(col, ..)| *col >= width) {
@@ -383,38 +691,44 @@ fn execute_view_scan(
             column: format!("#{bad}"),
         });
     }
+    let scan_start = Instant::now();
     if let Some(plane) = db.fault_plane() {
         // Views carry no checksums; they are rebuilt from checksummed heaps.
         plane.storage_gate(view, built.pages() as u64)?;
     }
+    let mut stats = ExecStats::default();
     stats.io_cost += built.pages() as f64 * SEQ_PAGE_COST;
-    stats.cpu_cost +=
-        built.rows.len() as f64 * (CPU_TUPLE_COST + filters.len() as f64 * CPU_PRED_COST);
-    stats.tuples_processed += built.rows.len() as u64;
-    let out: Vec<Row> = built
-        .rows
-        .iter()
-        .filter(|row| {
-            filters
+    let per_row_cpu = CPU_TUPLE_COST + filters.len() as f64 * CPU_PRED_COST;
+    let ranges = morsel_ranges(built.rows.len(), opts);
+    profile.note_morsels(&ranges);
+    let pieces: Vec<(Vec<Row>, f64, u64)> = par::parallel_map(&ranges, opts.threads, |_, range| {
+        let mut out: Vec<Row> = Vec::new();
+        for row in &built.rows[range.start..range.end] {
+            if filters
                 .iter()
                 .all(|(col, op, value)| op.eval(&row[*col], value))
-        })
-        .map(|row| {
-            outputs
-                .iter()
-                .map(|o| match o {
-                    ViewOutput::Col(c) => row[*c].clone(),
-                    ViewOutput::Null(_) => Value::Null,
-                })
-                .collect()
-        })
-        .collect();
-    Ok(out)
-}
-
-fn passes(row: &Row, filters: &[Filter], stats: &mut ExecStats) -> bool {
-    stats.cpu_cost += filters.len() as f64 * CPU_PRED_COST;
-    passes_quiet(row, filters)
+            {
+                out.push(
+                    outputs
+                        .iter()
+                        .map(|o| match o {
+                            ViewOutput::Col(c) => row[*c].clone(),
+                            ViewOutput::Null(_) => Value::Null,
+                        })
+                        .collect(),
+                );
+            }
+        }
+        (out, range.len() as f64 * per_row_cpu, range.len() as u64)
+    });
+    let mut result = Vec::new();
+    for (piece, cpu, tuples) in pieces {
+        result.extend(piece);
+        stats.cpu_cost += cpu;
+        stats.tuples_processed += tuples;
+    }
+    profile.record_op("view.scan", scan_start.elapsed());
+    Ok((result, stats))
 }
 
 fn passes_quiet(row: &Row, filters: &[Filter]) -> bool {
@@ -426,8 +740,10 @@ mod tests {
     use super::*;
     use crate::catalog::{ColumnDef, TableDef};
     use crate::db::Database;
-    use crate::index::IndexDef;
+    use crate::fault::FaultConfig;
+    use crate::index::{IndexDef, KeyRange};
     use crate::optimizer::PhysicalConfig;
+    use crate::plan::JoinNode;
     use crate::sql::{JoinCond, Output, SelectQuery, SqlQuery};
     use crate::types::DataType;
 
@@ -567,5 +883,231 @@ mod tests {
         // Selective INLJ touches far fewer tuples than the hash join's
         // full build-side scan.
         assert!(indexed.exec.tuples_processed < hash.exec.tuples_processed / 10);
+    }
+
+    #[test]
+    fn morsel_ranges_partition_exactly() {
+        let opts = ExecOptions {
+            threads: 1,
+            morsel_rows: 100,
+        };
+        let ranges = morsel_ranges(250, &opts);
+        assert_eq!(ranges, vec![0..100, 100..200, 200..250]);
+        assert!(morsel_ranges(0, &opts).is_empty());
+        assert_eq!(morsel_ranges(100, &opts), vec![0..100]);
+    }
+
+    #[test]
+    fn rows_stats_and_profile_identical_across_thread_counts() {
+        let (db, t) = db_with_index(false);
+        let plan = db
+            .estimate(&grp_query(t), db.built_config())
+            .expect("plans");
+        // Small morsels force a real fan-out even on this 5k-row table.
+        let opts1 = ExecOptions {
+            threads: 1,
+            morsel_rows: 128,
+        };
+        let (rows1, stats1, profile1) = execute_plan_with(&db, &plan, &opts1).unwrap();
+        assert!(profile1.morsels_dispatched > 1);
+        for threads in [2, 4, 8] {
+            let opts = ExecOptions {
+                threads,
+                morsel_rows: 128,
+            };
+            let (rows, stats, profile) = execute_plan_with(&db, &plan, &opts).unwrap();
+            assert_eq!(rows1, rows, "threads={threads}");
+            assert_eq!(stats1, stats, "threads={threads}");
+            assert_eq!(
+                profile1.deterministic_fingerprint(),
+                profile.deterministic_fingerprint(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// Regression (accounting): a selective index seek must charge the page
+    /// budget for the Cardenas–Yao *distinct* pages — mirroring its costed
+    /// I/O — not one page per matched row. An unselective-but-indexed plan
+    /// under a budget sized for the costed pages used to trip
+    /// `ResourceExhausted`.
+    #[test]
+    fn index_seek_budget_charge_matches_costed_pages() {
+        let (mut db, t) = db_with_index(false);
+        // grp < 100 matches 1000 of 5000 rows; the heap spans ~52 pages, so
+        // Cardenas–Yao distinct pages ≈ 52 while matched rows = 1000.
+        let heap_pages = db.heap(t).pages() as u64;
+        let matched = 1000u64;
+        assert!(heap_pages < 100, "fixture drifted: {heap_pages} pages");
+        let plan = QueryPlan {
+            branches: vec![BranchPlan::Pipeline {
+                tables: vec![t],
+                driver: ScanNode {
+                    table_ref: 0,
+                    access: Access::IndexSeek {
+                        index: "ix".into(),
+                        key: KeyRange::range(
+                            std::ops::Bound::Unbounded,
+                            std::ops::Bound::Excluded(Value::Int(100)),
+                        ),
+                        covering: false,
+                    },
+                    filters: vec![Filter::new(
+                        0,
+                        1,
+                        crate::expr::FilterOp::Lt,
+                        Value::Int(100),
+                    )],
+                    est_rows: matched as f64,
+                    est_cost: 0.0,
+                },
+                joins: vec![],
+                outputs: vec![Output::col(0, 0)],
+                est_rows: matched as f64,
+                est_cost: 0.0,
+            }],
+            order_by: vec![],
+            est_cost: 0.0,
+        };
+        // Budget covers the costed pages (descent + distinct heap pages)
+        // with slack, but is far below 1 + matched rows.
+        db.set_fault_config(FaultConfig {
+            seed: 0,
+            budget_pages: Some(2 * heap_pages),
+            ..FaultConfig::default()
+        });
+        let outcome = db.execute_plan(plan).expect("seek fits costed budget");
+        assert_eq!(outcome.rows.len(), matched as usize);
+        let charged = db
+            .fault_plane()
+            .expect("plane armed")
+            .snapshot()
+            .pages_charged;
+        assert!(
+            charged <= 1 + heap_pages,
+            "budget charge {charged} exceeds descent + distinct pages {}",
+            1 + heap_pages
+        );
+        assert!(charged < matched, "still charging per matched row");
+    }
+
+    /// Regression (accounting): an index seek matching nothing reads no leaf
+    /// entries — descent cost only, as `cost::index_seek_cost` prices it.
+    /// The measured I/O used to include a one-leaf-page floor.
+    #[test]
+    fn zero_match_seek_charges_descent_only() {
+        let (db, t) = db_with_index(true);
+        // grp = 10_000 matches nothing (grp ranges over 0..500).
+        let mut q = SelectQuery::single(t);
+        q.filters = vec![Filter::new(
+            0,
+            1,
+            crate::expr::FilterOp::Eq,
+            Value::Int(10_000),
+        )];
+        q.outputs = vec![Output::col(0, 0), Output::col(0, 2)];
+        let outcome = db.execute(&SqlQuery::Select(q)).unwrap();
+        assert!(outcome.rows.is_empty());
+        assert!(
+            matches!(
+                outcome.plan.branches[0],
+                BranchPlan::Pipeline {
+                    driver: ScanNode {
+                        access: Access::IndexSeek { covering: true, .. },
+                        ..
+                    },
+                    ..
+                }
+            ),
+            "optimizer must pick the covering seek: {}",
+            outcome.plan.explain()
+        );
+        // Covering + zero matches: the only I/O is the B-tree descent.
+        assert_eq!(outcome.exec.io_cost, BTREE_DESCENT_COST * RANDOM_PAGE_COST);
+        // Measured must not exceed the optimizer's estimate for this plan.
+        assert!(
+            outcome.exec.measured_cost() <= outcome.plan.est_cost,
+            "measured {} > estimated {}",
+            outcome.exec.measured_cost(),
+            outcome.plan.est_cost
+        );
+    }
+
+    /// Regression (accounting): a plan whose join key is out of bounds must
+    /// fail *before* any operator runs — leaving the fault plane's page
+    /// budget untouched. The hash-join arm used to run (and charge) the
+    /// build-side scan before the bounds check.
+    #[test]
+    fn invalid_join_key_charges_nothing() {
+        let (mut db, t) = db_with_index(false);
+        db.set_fault_config(FaultConfig {
+            seed: 0,
+            budget_pages: Some(u64::MAX),
+            ..FaultConfig::default()
+        });
+        let scan = |filters: Vec<Filter>| ScanNode {
+            table_ref: 0,
+            access: Access::SeqScan,
+            filters,
+            est_rows: 5_000.0,
+            est_cost: 0.0,
+        };
+        let plan = QueryPlan {
+            branches: vec![BranchPlan::Pipeline {
+                tables: vec![t, t],
+                driver: scan(vec![]),
+                joins: vec![JoinNode {
+                    inner: ScanNode {
+                        table_ref: 1,
+                        ..scan(vec![])
+                    },
+                    algo: JoinAlgo::Hash,
+                    outer_ref: 0,
+                    outer_col: 0,
+                    inner_col: 99, // out of bounds: 't' has 3 columns
+                    est_rows: 5_000.0,
+                    est_cost: 0.0,
+                }],
+                outputs: vec![Output::col(0, 0)],
+                est_rows: 5_000.0,
+                est_cost: 0.0,
+            }],
+            order_by: vec![],
+            est_cost: 0.0,
+        };
+        let err = db.execute_plan(plan).unwrap_err();
+        assert!(matches!(err, RelError::InvalidQuery(_)), "got {err:?}");
+        let snap = db.fault_plane().expect("plane armed").snapshot();
+        assert_eq!(
+            snap.pages_charged, 0,
+            "failing query must not charge the page budget"
+        );
+    }
+
+    /// The three-column probe pipeline under the fault plane: checksums are
+    /// verified and pages charged exactly once per access, so arming an
+    /// inert plane changes neither rows nor stats for any thread count.
+    #[test]
+    fn inert_fault_plane_is_thread_invariant() {
+        let (mut db, t) = db_with_index(false);
+        let query = grp_query(t);
+        let plain = db.execute(&query).unwrap();
+        db.set_fault_config(FaultConfig {
+            seed: 0,
+            budget_pages: Some(u64::MAX),
+            ..FaultConfig::default()
+        });
+        let mut charged = Vec::new();
+        for threads in [1usize, 4] {
+            db.set_exec_options(ExecOptions::with_threads(threads));
+            let outcome = db.execute(&query).unwrap();
+            assert_eq!(outcome.rows, plain.rows, "threads={threads}");
+            assert_eq!(outcome.exec, plain.exec, "threads={threads}");
+            let snap = db.fault_plane().expect("plane armed").snapshot();
+            charged.push(snap.pages_charged);
+        }
+        // Equal increments: the second run charged exactly as much as the
+        // first (once per access, not once per worker).
+        assert_eq!(charged[1], 2 * charged[0]);
     }
 }

@@ -14,8 +14,14 @@
 //!   faults identically no matter which worker thread evaluates it or in
 //!   which order candidates are scored.
 //! - **Storage gates** draw tokens from a serial counter
-//!   ([`FaultPlane::next_token`]); query execution is single-threaded, so
-//!   the counter sequence is itself deterministic.
+//!   ([`FaultPlane::next_token`]). The morsel-driven executor keeps the
+//!   counter sequence deterministic by gating each storage access exactly
+//!   once, *before* fanning morsels out to workers, and by keeping
+//!   per-probe-gated operators (index nested loop joins) serial — so the
+//!   gate order is a function of the plan, never of worker interleaving.
+//!   Page-budget charges alone would commute (the sum is
+//!   order-independent), but the probabilistic fault roll consumes one
+//!   token per gate, and its sequence must match the serial execution's.
 
 use crate::error::{RelError, RelResult};
 use std::sync::atomic::{AtomicU64, Ordering};

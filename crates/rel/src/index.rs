@@ -95,7 +95,12 @@ impl IndexDef {
     }
 
     /// Estimated leaf pages touched when fetching `rows` matching entries.
+    /// Zero matches read no leaf entries (descent only), mirroring the
+    /// executor's measured charge.
     pub fn leaf_pages_for(&self, rows: f64, def: &TableDef, stats: &TableStats) -> f64 {
+        if rows <= 0.0 {
+            return 0.0;
+        }
         (rows * self.entry_width(def, stats) / PAGE_SIZE as f64).max(1.0)
     }
 }

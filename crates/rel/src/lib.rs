@@ -38,6 +38,7 @@ pub mod expr;
 pub mod fault;
 pub mod index;
 pub mod optimizer;
+pub mod par;
 pub mod plan;
 pub mod sql;
 pub mod stats;
@@ -48,6 +49,7 @@ pub mod view;
 pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
 pub use error::{RelError, RelResult};
+pub use exec::{ExecOptions, ExecProfile, ExecStats, OperatorTiming};
 pub use expr::{Filter, FilterOp};
 pub use fault::{FaultConfig, FaultPlane, FaultStats};
 pub use index::IndexDef;
