@@ -95,7 +95,7 @@ fn sweep(c: &mut Criterion, label: &str, dataset: &Dataset, workload: &Workload)
 fn bench_exec_parallel(c: &mut Criterion) {
     let scale = BenchScale(0.05);
 
-    let dblp = scale.dblp();
+    let dblp = scale.dblp().expect("dataset generates");
     let dblp_config = scale.dblp_config();
     let dblp_wl = dblp_workload(
         &WorkloadSpec {
@@ -110,7 +110,7 @@ fn bench_exec_parallel(c: &mut Criterion) {
     .unwrap();
     sweep(c, "exec_parallel_dblp", &dblp, &dblp_wl);
 
-    let movie = scale.movie();
+    let movie = scale.movie().expect("dataset generates");
     let movie_config = scale.movie_config();
     let movie_wl = movie_workload(
         &WorkloadSpec {

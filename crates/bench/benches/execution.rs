@@ -32,7 +32,7 @@ fn build(mapping: &Mapping, dataset: &xmlshred_data::Dataset, tuned: bool) -> (D
 }
 
 fn bench_execution(c: &mut Criterion) {
-    let dataset = BenchScale(0.1).dblp();
+    let dataset = BenchScale(0.1).dblp().expect("dataset generates");
     let tree = &dataset.tree;
     let source = SourceStats::collect(tree, &dataset.document);
     let mapping1 = Mapping::hybrid(tree);

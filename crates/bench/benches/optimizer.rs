@@ -12,7 +12,7 @@ use xmlshred_shred::source_stats::SourceStats;
 use xmlshred_xpath::parser::parse_path;
 
 fn bench_optimizer(c: &mut Criterion) {
-    let dataset = BenchScale(0.05).dblp();
+    let dataset = BenchScale(0.05).dblp().expect("dataset generates");
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let workload = vec![(
         parse_path("/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author)").unwrap(),

@@ -11,7 +11,7 @@ use xmlshred_shred::source_stats::SourceStats;
 
 fn bench_search(c: &mut Criterion) {
     let scale = BenchScale(0.02);
-    let dataset = scale.dblp();
+    let dataset = scale.dblp().expect("dataset generates");
     let config = scale.dblp_config();
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let workload = dblp_workload(

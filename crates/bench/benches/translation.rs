@@ -14,7 +14,7 @@ const QUERY: &str =
     "/dblp/inproceedings[booktitle = \"CONF7\"]/(title | year | author | pages | ee)";
 
 fn bench_translation(c: &mut Criterion) {
-    let dataset = BenchScale(0.01).dblp();
+    let dataset = BenchScale(0.01).dblp().expect("dataset generates");
     let tree = &dataset.tree;
     let hybrid = Mapping::hybrid(tree);
     let hybrid_schema = derive_schema(tree, &hybrid);

@@ -12,7 +12,7 @@ use xmlshred_shred::source_stats::SourceStats;
 
 fn bench_tuning(c: &mut Criterion) {
     let scale = BenchScale(0.05);
-    let dataset = scale.dblp();
+    let dataset = scale.dblp().expect("dataset generates");
     let config = scale.dblp_config();
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     for (label, n_queries) in [("tune_5_queries", 5usize), ("tune_10_queries", 10)] {

@@ -9,8 +9,9 @@
 //! ```
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
-//! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`,
-//! `exec`, `all`. The `XMLSHRED_SCALE` environment variable (or `--scale X`)
+//! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`,
+//! `profile`, `exec`, `all`. The `XMLSHRED_SCALE` environment variable (or
+//! `--scale X`)
 //! scales the dataset sizes; normalized figures are scale-stable.
 //! `--threads N` sets the advisor worker-thread count (0 = all cores, the
 //! default) and `--no-plan-cache` disables the what-if plan cache; neither
@@ -27,6 +28,17 @@
 //! of N milliseconds, and `--fault-seed S` seeds the deterministic fault
 //! plane (default 42). For `chaos` these override the built-in sweep grid;
 //! for the evaluation experiments they apply directly to the search runs.
+//!
+//! Crash-recovery knobs (`crash` experiment): `--crash-seed S` seeds the
+//! deterministic crash positions (default 7), `--crash-points N` sets the
+//! number of crash seeds per (fixture, kind) cell (default 4, for a
+//! 2x3x4 = 24-cell matrix), and `--data-dir PATH` keeps the durable
+//! databases on disk and writes a `recovery-reports.json` artifact there
+//! (without it, a temporary directory is used and removed).
+
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::time::Instant;
 use xmlshred_bench::experiments::RunOptions;
@@ -72,6 +84,9 @@ fn main() {
     let deadline_ms = take_value::<u64>(&mut args, "--deadline-ms");
     let fault_seed = take_value::<u64>(&mut args, "--fault-seed").unwrap_or(42);
     let metrics_out = take_value::<String>(&mut args, "--metrics-out");
+    let crash_seed = take_value::<u64>(&mut args, "--crash-seed").unwrap_or(7);
+    let crash_points = take_value::<usize>(&mut args, "--crash-points").unwrap_or(4);
+    let data_dir = take_value::<String>(&mut args, "--data-dir");
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -103,6 +118,9 @@ fn main() {
         fault_seed,
         exec,
         metrics_out,
+        crash_seed,
+        crash_points,
+        data_dir,
     };
     let start = Instant::now();
     match xmlshred_bench::experiments::run(experiment, scale, &opts) {

@@ -21,7 +21,7 @@ use xmlshred_shred::source_stats::SourceStats;
 /// The paper's Fig. 7-9 input: the four 20-query DBLP workloads.
 fn dblp_20q(scale: BenchScale) -> Result<(Dataset, Vec<Workload>), String> {
     let config = scale.dblp_config();
-    let dataset = scale.dblp();
+    let dataset = scale.dblp()?;
     let workloads = [
         (Projections::Low, Selectivity::Low),
         (Projections::Low, Selectivity::High),

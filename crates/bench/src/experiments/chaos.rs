@@ -54,7 +54,7 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
         "\n=== Chaos: fault/deadline sweep (p in {ps:?}, deadline in {deadlines:?}, seed {seed}) ===",
     );
 
-    let dblp = chaos_scale.dblp();
+    let dblp = chaos_scale.dblp()?;
     let dblp_config = chaos_scale.dblp_config();
     let dblp_workload = xmlshred_data::workload::dblp_workload(
         &WorkloadSpec {
@@ -68,7 +68,7 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     )?;
     sweep_dataset(&dblp, &dblp_workload.queries, &ps, &deadlines, seed)?;
 
-    let movie = chaos_scale.movie();
+    let movie = chaos_scale.movie()?;
     let movie_config = chaos_scale.movie_config();
     let movie_workload = xmlshred_data::workload::movie_workload(
         &WorkloadSpec {

@@ -25,7 +25,7 @@ use xmlshred_shred::source_stats::SourceStats;
 
 /// Run the experiment for both datasets.
 pub fn run(scale: BenchScale, search: &SearchOptions, exec: ExecOptions) -> Result<(), String> {
-    let dblp = scale.dblp();
+    let dblp = scale.dblp()?;
     let dblp_config = scale.dblp_config();
     let dblp_workloads: Vec<Workload> = WorkloadSpec::dblp_suite()
         .iter()
@@ -33,7 +33,7 @@ pub fn run(scale: BenchScale, search: &SearchOptions, exec: ExecOptions) -> Resu
         .collect::<Result<_, _>>()?;
     evaluate_dataset(&dblp, &dblp_workloads, true, search, exec)?;
 
-    let movie = scale.movie();
+    let movie = scale.movie()?;
     let movie_config = scale.movie_config();
     let movie_workloads: Vec<Workload> = WorkloadSpec::movie_suite()
         .iter()

@@ -39,7 +39,7 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
         threads.push(opts.exec.threads);
     }
 
-    let dblp = sweep_scale.dblp();
+    let dblp = sweep_scale.dblp()?;
     let dblp_config = sweep_scale.dblp_config();
     let dblp_workload = dblp_workload(
         &WorkloadSpec {
@@ -53,7 +53,7 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     )?;
     let dblp_hash = sweep_dataset(&dblp, &dblp_workload, &threads, opts.exec.morsel_rows)?;
 
-    let movie = sweep_scale.movie();
+    let movie = sweep_scale.movie()?;
     let movie_config = sweep_scale.movie_config();
     let movie_workload = movie_workload(
         &WorkloadSpec {

@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod chaos;
+pub mod crash;
 pub mod evaluation;
 pub mod exec_parallel;
 pub mod motivating;
@@ -39,6 +40,16 @@ pub struct RunOptions {
     /// Where the `profile` experiment writes its JSON metrics report
     /// (`--metrics-out`); `None` prints the summary table only.
     pub metrics_out: Option<String>,
+    /// Base seed for the `crash` matrix (`--crash-seed`): crash positions
+    /// and corruption patterns are a pure function of it.
+    pub crash_seed: u64,
+    /// Crash seeds per (fixture, kind) cell in the `crash` matrix
+    /// (`--crash-points`); 0 is treated as 1.
+    pub crash_points: usize,
+    /// Directory for the `crash` matrix's durable databases and its
+    /// `recovery-reports.json` artifact (`--data-dir`); `None` uses a
+    /// temporary directory and cleans up afterwards.
+    pub data_dir: Option<String>,
 }
 
 impl RunOptions {
@@ -62,8 +73,8 @@ impl RunOptions {
 
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
-/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `profile`, `exec`,
-/// `all`.
+/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`, `profile`,
+/// `exec`, `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
@@ -76,6 +87,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
         "fig8" => ablations::fig8(scale),
         "fig9" => ablations::fig9(scale),
         "chaos" => chaos::run(scale, opts),
+        "crash" => crash::run(scale, opts),
         "profile" => profile::run(scale, opts),
         "exec" => exec_parallel::run(scale, opts),
         "all" => {
@@ -87,12 +99,13 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
             ablations::fig9(scale)?;
             updates::run(scale)?;
             chaos::run(scale, opts)?;
+            crash::run(scale, opts)?;
             profile::run(scale, opts)?;
             exec_parallel::run(scale, opts)?;
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos profile exec all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash profile exec all"
         )),
     }
 }

@@ -25,7 +25,7 @@ use xmlshred_xpath::parser::parse_path;
 /// Run the experiment.
 pub fn run(scale: BenchScale) -> Result<(), String> {
     println!("\n=== Section 1.1 motivating experiment ===\n");
-    let dataset = scale.dblp();
+    let dataset = scale.dblp()?;
     let tree = &dataset.tree;
     let source = SourceStats::collect(tree, &dataset.document);
 

@@ -30,7 +30,7 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     // The profile runs a full search plus execution; keep the fixture tiny
     // (same scaling as the chaos harness).
     let profile_scale = BenchScale(scale.0 * 0.02);
-    let dataset = profile_scale.movie();
+    let dataset = profile_scale.movie()?;
     let movie_config = profile_scale.movie_config();
     let workload = xmlshred_data::workload::movie_workload(
         &WorkloadSpec {

@@ -15,7 +15,7 @@ use xmlshred_xml::tree::NodeKind;
 pub fn run(scale: BenchScale) -> Result<(), String> {
     println!("\n=== Table 1: dataset characteristics ===\n");
     let mut rows = Vec::new();
-    for dataset in [scale.dblp(), scale.movie()] {
+    for dataset in [scale.dblp()?, scale.movie()?] {
         rows.push(characterize(&dataset));
     }
     println!(
@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn characterization_shape() {
-        let row = characterize(&BenchScale(0.01).dblp());
+        let row = characterize(&BenchScale(0.01).dblp().unwrap());
         assert_eq!(row.len(), 9);
         assert_eq!(row[0], "dblp");
         // DBLP has the shared author annotation and the shared title type.

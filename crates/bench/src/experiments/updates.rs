@@ -13,7 +13,7 @@ use xmlshred_shred::source_stats::SourceStats;
 /// Run the experiment.
 pub fn run(scale: BenchScale) -> Result<(), String> {
     println!("\n=== Extension: update-aware physical design (not in the paper; its Section 7 future work) ===\n");
-    let dataset = scale.dblp();
+    let dataset = scale.dblp()?;
     let config = scale.dblp_config();
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let workload = dblp_workload(

@@ -76,12 +76,12 @@ impl BenchScale {
     }
 
     /// Generate the DBLP dataset.
-    pub fn dblp(&self) -> Dataset {
+    pub fn dblp(&self) -> Result<Dataset, String> {
         generate_dblp(&self.dblp_config())
     }
 
     /// Generate the Movie dataset.
-    pub fn movie(&self) -> Dataset {
+    pub fn movie(&self) -> Result<Dataset, String> {
         generate_movie(&self.movie_config())
     }
 }
@@ -341,7 +341,7 @@ mod tests {
     #[test]
     fn tiny_end_to_end_run() {
         let scale = BenchScale(0.01);
-        let dataset = scale.movie();
+        let dataset = scale.movie().unwrap();
         let source = SourceStats::collect(&dataset.tree, &dataset.document);
         let workload = xmlshred_data::workload::movie_workload(
             &xmlshred_data::workload::WorkloadSpec {

@@ -7,6 +7,10 @@
 //! under `benches/` exercise the hot components (translation, planning,
 //! tuning, execution, search) in isolation.
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod harness;
 

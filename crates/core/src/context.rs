@@ -117,7 +117,8 @@ mod tests {
         let ds = generate_movie(&MovieConfig {
             n_movies: 300,
             ..MovieConfig::default()
-        });
+        })
+        .unwrap();
         let source = SourceStats::collect(&ds.tree, &ds.document);
         let workload = vec![
             (

@@ -505,7 +505,8 @@ mod tests {
             // the split-application test exercises a real descent.
             seed: 2,
             ..MovieConfig::default()
-        });
+        })
+        .unwrap();
         let source = SourceStats::collect(&ds.tree, &ds.document);
         let workload = vec![
             (parse_path("//movie[year = 1990]/box_office").unwrap(), 1.0),

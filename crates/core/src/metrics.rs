@@ -196,6 +196,16 @@ impl MetricsRegistry {
     }
 }
 
+/// Register a crash-recovery report's counters into `registry` under their
+/// `wal.*` / `recovery.*` names. Recovery is a pure function of the on-disk
+/// bytes, so every counter goes into the **deterministic** class — the same
+/// durable directory must produce the same metrics for any thread count.
+pub fn record_recovery(registry: &MetricsRegistry, report: &xmlshred_rel::RecoveryReport) {
+    for (name, value) in report.metric_counters() {
+        registry.count(name, value);
+    }
+}
+
 /// RAII guard returned by [`MetricsRegistry::span`].
 #[derive(Debug)]
 pub struct SpanGuard<'a> {

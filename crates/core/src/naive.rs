@@ -185,7 +185,8 @@ mod tests {
         let ds = generate_movie(&MovieConfig {
             n_movies: 800,
             ..MovieConfig::default()
-        });
+        })
+        .unwrap();
         let source = SourceStats::collect(&ds.tree, &ds.document);
         let workload = vec![
             (parse_path("//movie[year = 1990]/box_office").unwrap(), 1.0),

@@ -175,7 +175,8 @@ mod tests {
         let ds = generate_movie(&MovieConfig {
             n_movies: 3_000,
             ..MovieConfig::default()
-        });
+        })
+        .unwrap();
         let workload = vec![
             (
                 parse_path("//movie[year = 1990]/(title | box_office)").unwrap(),

@@ -95,8 +95,10 @@ pub fn author_count(rng: &mut StdRng) -> usize {
     }
 }
 
-/// Generate the dataset.
-pub fn generate_dblp(config: &DblpConfig) -> Dataset {
+/// Generate the dataset. Errors (as a rendered message) if the generated
+/// XML or the embedded XSD fails to parse — a bug in the generator or
+/// schema, not a caller mistake, but one that must not panic library code.
+pub fn generate_dblp(config: &DblpConfig) -> Result<Dataset, String> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut xml = String::with_capacity(config.n_inproceedings * 256);
     xml.push_str("<dblp>");
@@ -175,14 +177,15 @@ pub fn generate_dblp(config: &DblpConfig) -> Dataset {
 
     xml.push_str("</dblp>");
 
-    let document = parse_element(&xml).expect("generated XML parses");
-    let tree = parse_to_tree(DBLP_XSD).expect("DBLP XSD parses");
-    Dataset {
+    let document =
+        parse_element(&xml).map_err(|e| format!("generated DBLP XML does not parse: {e}"))?;
+    let tree = parse_to_tree(DBLP_XSD).map_err(|e| format!("DBLP XSD does not parse: {e}"))?;
+    Ok(Dataset {
         name: "dblp".into(),
         xsd: DBLP_XSD.to_string(),
         tree,
         document,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -197,6 +200,7 @@ mod tests {
             n_books: 50,
             ..DblpConfig::default()
         })
+        .unwrap()
     }
 
     #[test]
@@ -232,7 +236,8 @@ mod tests {
             n_inproceedings: 5_000,
             n_books: 0,
             ..DblpConfig::default()
-        });
+        })
+        .unwrap();
         let stats = SourceStats::collect(&ds.tree, &ds.document);
         let star = ds
             .tree
@@ -256,12 +261,14 @@ mod tests {
             n_inproceedings: 50,
             n_books: 5,
             ..DblpConfig::default()
-        });
+        })
+        .unwrap();
         let b = generate_dblp(&DblpConfig {
             n_inproceedings: 50,
             n_books: 5,
             ..DblpConfig::default()
-        });
+        })
+        .unwrap();
         assert_eq!(a.document, b.document);
     }
 

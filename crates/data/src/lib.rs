@@ -15,6 +15,10 @@
 //! Both datasets ship as XSD text + generated XML, so the full pipeline
 //! (XSD parser -> schema tree -> shredding) is exercised end to end.
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod dblp;
 pub mod movie;
 pub mod workload;

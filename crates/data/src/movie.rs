@@ -71,8 +71,10 @@ pub const MOVIE_XSD: &str = r#"<?xml version="1.0"?>
   </xs:element>
 </xs:schema>"#;
 
-/// Generate the dataset.
-pub fn generate_movie(config: &MovieConfig) -> Dataset {
+/// Generate the dataset. Errors (as a rendered message) if the generated
+/// XML or the embedded XSD fails to parse — a bug in the generator or
+/// schema, not a caller mistake, but one that must not panic library code.
+pub fn generate_movie(config: &MovieConfig) -> Result<Dataset, String> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut xml = String::with_capacity(config.n_movies * 192);
     xml.push_str("<movies>");
@@ -114,14 +116,15 @@ pub fn generate_movie(config: &MovieConfig) -> Dataset {
     }
     xml.push_str("</movies>");
 
-    let document = parse_element(&xml).expect("generated XML parses");
-    let tree = parse_to_tree(MOVIE_XSD).expect("Movie XSD parses");
-    Dataset {
+    let document =
+        parse_element(&xml).map_err(|e| format!("generated movie XML does not parse: {e}"))?;
+    let tree = parse_to_tree(MOVIE_XSD).map_err(|e| format!("movie XSD does not parse: {e}"))?;
+    Ok(Dataset {
         name: "movie".into(),
         xsd: MOVIE_XSD.to_string(),
         tree,
         document,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -135,6 +138,7 @@ mod tests {
             n_movies: 2_000,
             ..MovieConfig::default()
         })
+        .unwrap()
     }
 
     #[test]
@@ -194,11 +198,13 @@ mod tests {
         let a = generate_movie(&MovieConfig {
             n_movies: 100,
             ..MovieConfig::default()
-        });
+        })
+        .unwrap();
         let b = generate_movie(&MovieConfig {
             n_movies: 100,
             ..MovieConfig::default()
-        });
+        })
+        .unwrap();
         assert_eq!(a.document, b.document);
     }
 }

@@ -4,20 +4,33 @@
 use crate::catalog::{Catalog, TableDef, TableId};
 use crate::error::{RelError, RelResult};
 use crate::exec::{execute_plan_with, ExecOptions, ExecProfile, ExecStats};
-use crate::fault::{FaultConfig, FaultPlane};
+use crate::fault::{CrashPoint, FaultConfig, FaultPlane};
 use crate::index::BuiltIndex;
 use crate::optimizer::{self, PhysicalConfig as OptimizerConfig};
 use crate::plan::QueryPlan;
+use crate::recovery::{self, RecoveryReport};
+use crate::snapshot::{self, SnapshotImage, SnapshotTable, SNAPSHOT_FILE, WAL_FILE};
 use crate::sql::SqlQuery;
 use crate::stats::{ColumnStats, TableStats};
-use crate::storage::TableHeap;
+use crate::storage::{self, TableHeap};
 use crate::types::Row;
 use crate::view::BuiltView;
+use crate::wal::{WalRecord, WalStats, WalWriter};
 use rustc_hash::FxHashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::optimizer::PhysicalConfig;
+
+/// The durable half of a database: where it lives on disk, the open log
+/// writer, and the LSN counter (monotonic across checkpoints).
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    writer: WalWriter,
+    next_lsn: u64,
+}
 
 /// The result of executing a query: rows plus accounting.
 #[derive(Debug, Clone)]
@@ -45,6 +58,7 @@ pub struct Database {
     built_config: OptimizerConfig,
     fault: Option<Arc<FaultPlane>>,
     exec: ExecOptions,
+    durability: Option<Durability>,
 }
 
 impl Database {
@@ -53,8 +67,154 @@ impl Database {
         Database::default()
     }
 
+    // ------------------------------------------------------- durability --
+
+    /// Create a fresh durable database rooted at `dir` (created if
+    /// missing). Any previous snapshot/log in the directory is discarded.
+    /// Every mutation is write-ahead logged; [`Database::checkpoint`]
+    /// compacts the log into a snapshot image.
+    pub fn create_durable(dir: impl AsRef<Path>) -> RelResult<Database> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(RelError::io)?;
+        let snap = dir.join(SNAPSHOT_FILE);
+        if snap.exists() {
+            std::fs::remove_file(&snap).map_err(RelError::io)?;
+        }
+        let writer = WalWriter::create(&dir.join(WAL_FILE))?;
+        let mut db = Database::new();
+        db.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            writer,
+            next_lsn: 0,
+        });
+        Ok(db)
+    }
+
+    /// Reopen a durable database from `dir`, running crash recovery:
+    /// validate the snapshot, replay the committed WAL suffix, discard any
+    /// torn tail (truncating it from the file so future appends extend the
+    /// valid prefix), and rebuild physical structures. Deterministic: the
+    /// same directory bytes always yield the same database and report.
+    pub fn open_durable(dir: impl AsRef<Path>) -> RelResult<(Database, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let (mut db, report) = recovery::recover(dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        if !wal_path.exists() {
+            WalWriter::create(&wal_path)?;
+        } else if report.bytes_discarded > 0 {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(RelError::io)?;
+            file.set_len(report.wal_valid_bytes).map_err(RelError::io)?;
+            file.sync_all().map_err(RelError::io)?;
+        }
+        let writer = WalWriter::open_append(&wal_path)?;
+        db.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            writer,
+            next_lsn: report.next_lsn,
+        });
+        Ok((db, report))
+    }
+
+    /// Whether this database write-ahead logs its mutations.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durable directory, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Cumulative WAL append counters, if durable.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durability.as_ref().map(|d| d.writer.stats())
+    }
+
+    /// Arm (or clear) a deterministic crash point on the WAL writer: after
+    /// `after_writes` further frame appends, the next durable mutation
+    /// "crashes" — the in-flight frame is dropped/torn/bit-flipped per the
+    /// crash kind and every subsequent durable mutation fails with
+    /// [`RelError::Crashed`] until the database is reopened through
+    /// [`Database::open_durable`]. Errors on a non-durable database.
+    pub fn set_crash_point(&mut self, point: Option<CrashPoint>) -> RelResult<()> {
+        let d = self.durability.as_mut().ok_or_else(|| {
+            RelError::InvalidQuery("crash point on a non-durable database".into())
+        })?;
+        d.writer.set_crash_point(point);
+        Ok(())
+    }
+
+    /// Checkpoint: write the full state (catalog, heaps, statistics,
+    /// physical config) as a snapshot image, then truncate the log to a
+    /// single checkpoint marker. Crash-safe at every step — the snapshot
+    /// swap is tmp-file + rename, and the old log stays in place until the
+    /// new one (whose frames the snapshot supersedes by LSN) is complete.
+    /// Errors on a non-durable database.
+    pub fn checkpoint(&mut self) -> RelResult<()> {
+        let Some(d) = self.durability.as_mut() else {
+            return Err(RelError::InvalidQuery(
+                "checkpoint on a non-durable database".into(),
+            ));
+        };
+        if d.writer.is_dead() {
+            return Err(RelError::Crashed(
+                "checkpoint on a crashed database; reopen through recovery".into(),
+            ));
+        }
+        let image = SnapshotImage {
+            next_lsn: d.next_lsn,
+            tables: self
+                .catalog
+                .iter()
+                .map(|(id, def)| SnapshotTable {
+                    def: def.clone(),
+                    rows: self.heaps[id.index()].rows().to_vec(),
+                    stats: self.stats[id.index()].clone(),
+                })
+                .collect(),
+            config: self.built_config.clone(),
+        };
+        snapshot::write_snapshot(&d.dir, &image)?;
+        // Fresh log: one checkpoint marker, then swap it over the old file.
+        let tmp = d.dir.join("wal.tmp");
+        let mut fresh = WalWriter::create(&tmp)?;
+        fresh.adopt_crash_state(&d.writer);
+        if let Err(e) = fresh.append(d.next_lsn, &WalRecord::Checkpoint) {
+            // A simulated crash during the marker write kills the process'
+            // writer; the old log (fully covered by the snapshot) stays.
+            d.writer.adopt_crash_state(&fresh);
+            return Err(e);
+        }
+        fresh.sync()?;
+        std::fs::rename(&tmp, d.dir.join(WAL_FILE)).map_err(RelError::io)?;
+        d.writer = fresh;
+        Ok(())
+    }
+
+    /// Write-ahead log one mutation record (no-op on non-durable
+    /// databases). Called *after* validation and *before* application, so
+    /// the log never records an operation that would fail to apply.
+    fn log(&mut self, record: &WalRecord) -> RelResult<()> {
+        if let Some(d) = self.durability.as_mut() {
+            d.writer.append(d.next_lsn, record)?;
+            d.next_lsn += 1;
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- mutations --
+
     /// Create a table.
     pub fn create_table(&mut self, def: TableDef) -> RelResult<TableId> {
+        if self.catalog.table_id(&def.name).is_ok() {
+            return Err(RelError::Duplicate(def.name));
+        }
+        if self.is_durable() {
+            self.log(&WalRecord::CreateTable(def.clone()))?;
+        }
         let id = self.catalog.add_table(def)?;
         self.heaps.push(TableHeap::new());
         self.stats.push(TableStats::default());
@@ -131,29 +291,40 @@ impl Database {
 
     /// Insert one row (validated against the schema).
     pub fn insert(&mut self, table: TableId, row: Row) -> RelResult<()> {
-        let def = self.catalog.try_table(table)?.clone();
-        let heap = self
-            .heaps
-            .get_mut(table.index())
-            .ok_or_else(|| RelError::UnknownTable(def.name.clone()))?;
-        heap.insert(&def, row)
+        self.insert_rows(table, [row]).map(|_| ())
     }
 
-    /// Bulk-insert rows (validated).
+    /// Bulk-insert rows. The whole batch is validated *before* the first
+    /// row is logged or applied, so a rejected batch leaves neither the
+    /// log nor the heap partially written.
     pub fn insert_rows(
         &mut self,
         table: TableId,
         rows: impl IntoIterator<Item = Row>,
     ) -> RelResult<usize> {
         let def = self.catalog.try_table(table)?.clone();
-        let heap = self
-            .heaps
-            .get_mut(table.index())
-            .ok_or_else(|| RelError::UnknownTable(def.name.clone()))?;
-        let mut n = 0;
+        if self.heaps.get(table.index()).is_none() {
+            return Err(RelError::UnknownTable(def.name.clone()));
+        }
+        let rows: Vec<Row> = rows.into_iter().collect();
+        for row in &rows {
+            storage::validate_row(&def, row)?;
+        }
+        if rows.is_empty() {
+            return Ok(0);
+        }
+        if self.is_durable() {
+            self.log(&WalRecord::InsertRows {
+                table,
+                rows: rows.clone(),
+            })?;
+        }
+        let Some(heap) = self.heaps.get_mut(table.index()) else {
+            return Err(RelError::UnknownTable(def.name));
+        };
+        let n = rows.len();
         for row in rows {
-            heap.insert(&def, row)?;
-            n += 1;
+            heap.insert_unchecked(&def, row);
         }
         Ok(n)
     }
@@ -164,15 +335,28 @@ impl Database {
     }
 
     /// Recompute statistics for every table from the stored data.
-    pub fn analyze(&mut self) {
+    pub fn analyze(&mut self) -> RelResult<()> {
+        self.log(&WalRecord::Analyze)?;
         for id in 0..self.heaps.len() {
-            self.analyze_table(TableId(id as u32));
+            self.compute_table_stats(TableId(id as u32));
         }
+        Ok(())
     }
 
     /// Recompute statistics for one table from its data. A foreign id is a
-    /// no-op.
-    pub fn analyze_table(&mut self, table: TableId) {
+    /// no-op (and is not logged).
+    pub fn analyze_table(&mut self, table: TableId) -> RelResult<()> {
+        if self.heaps.get(table.index()).is_none() || self.catalog.try_table(table).is_err() {
+            return Ok(());
+        }
+        self.log(&WalRecord::AnalyzeTable(table))?;
+        self.compute_table_stats(table);
+        Ok(())
+    }
+
+    /// The statistics computation behind [`Database::analyze`] /
+    /// [`Database::analyze_table`] (no logging). A foreign id is a no-op.
+    fn compute_table_stats(&mut self, table: TableId) {
         let (Some(heap), Ok(def)) = (self.heaps.get(table.index()), self.catalog.try_table(table))
         else {
             return;
@@ -197,11 +381,21 @@ impl Database {
 
     /// Install externally derived statistics (the paper derives merged-schema
     /// statistics from fully-split-schema statistics instead of re-collecting
-    /// them; see Section 4.1). A foreign id is a no-op.
-    pub fn set_table_stats(&mut self, table: TableId, stats: TableStats) {
+    /// them; see Section 4.1). A foreign id is a no-op (and is not logged).
+    pub fn set_table_stats(&mut self, table: TableId, stats: TableStats) -> RelResult<()> {
+        if self.stats.get(table.index()).is_none() {
+            return Ok(());
+        }
+        if self.is_durable() {
+            self.log(&WalRecord::SetTableStats {
+                table,
+                stats: stats.clone(),
+            })?;
+        }
         if let Some(slot) = self.stats.get_mut(table.index()) {
             *slot = stats;
         }
+        Ok(())
     }
 
     /// A built index by name.
@@ -224,13 +418,44 @@ impl Database {
     }
 
     /// Materialize a physical configuration (replacing any previous one).
+    ///
+    /// The configuration is fully validated — and, when a fault plane is
+    /// active, the backing heaps are checksum-verified — *before* anything
+    /// is logged, dropped, or built, so a rejected configuration leaves
+    /// the previous structures intact (and never reaches the WAL).
     pub fn apply_config(&mut self, config: &OptimizerConfig) -> RelResult<()> {
-        self.clear_config();
-        let mut clustered_on: Vec<crate::catalog::TableId> = Vec::new();
+        self.validate_config(config)?;
+        self.verify_backing_heaps(config)?;
+        if self.is_durable() {
+            self.log(&WalRecord::ApplyConfig(config.clone()))?;
+        }
+        self.clear_structures();
         for def in &config.indexes {
-            if self.built_indexes.contains_key(&def.name) {
+            let heap = self.try_heap(def.table)?;
+            let built = BuiltIndex::build(def.clone(), heap);
+            self.built_indexes.insert(def.name.clone(), built);
+        }
+        for def in &config.views {
+            let left_rows = self.try_heap(def.left)?.rows();
+            let right_rows = self.try_heap(def.right)?.rows();
+            let built = BuiltView::build(def.clone(), left_rows, right_rows);
+            self.built_views.insert(def.name.clone(), built);
+        }
+        self.built_config = config.clone();
+        Ok(())
+    }
+
+    /// Check a configuration against the catalog without building
+    /// anything: unique structure names, known tables, in-bounds columns,
+    /// and at most one clustered index per table.
+    fn validate_config(&self, config: &OptimizerConfig) -> RelResult<()> {
+        let mut index_names: Vec<&str> = Vec::new();
+        let mut clustered_on: Vec<TableId> = Vec::new();
+        for def in &config.indexes {
+            if index_names.contains(&def.name.as_str()) {
                 return Err(RelError::Duplicate(def.name.clone()));
             }
+            index_names.push(&def.name);
             let table_def = self.catalog.try_table(def.table)?;
             if def.clustered {
                 if clustered_on.contains(&def.table) {
@@ -252,25 +477,75 @@ impl Database {
                     column: format!("#{bad}"),
                 });
             }
-            let heap = self.try_heap(def.table)?;
-            let built = BuiltIndex::build(def.clone(), heap);
-            self.built_indexes.insert(def.name.clone(), built);
+            self.try_heap(def.table)?;
         }
+        let mut view_names: Vec<&str> = Vec::new();
         for def in &config.views {
-            if self.built_views.contains_key(&def.name) {
+            if view_names.contains(&def.name.as_str()) {
                 return Err(RelError::Duplicate(def.name.clone()));
             }
-            let left_rows = self.try_heap(def.left)?.rows();
-            let right_rows = self.try_heap(def.right)?.rows();
-            let built = BuiltView::build(def.clone(), left_rows, right_rows);
-            self.built_views.insert(def.name.clone(), built);
+            view_names.push(&def.name);
+            let left_def = self.catalog.try_table(def.left)?;
+            let right_def = self.catalog.try_table(def.right)?;
+            let bad_col = |table: &TableDef, col: usize| RelError::UnknownColumn {
+                table: table.name.clone(),
+                column: format!("#{col}"),
+            };
+            if def.left_col >= left_def.columns.len() {
+                return Err(bad_col(left_def, def.left_col));
+            }
+            if def.right_col >= right_def.columns.len() {
+                return Err(bad_col(right_def, def.right_col));
+            }
+            for &(side, col) in &def.outputs {
+                let table = match side {
+                    crate::view::ViewSide::Left => left_def,
+                    crate::view::ViewSide::Right => right_def,
+                };
+                if col >= table.columns.len() {
+                    return Err(bad_col(table, col));
+                }
+            }
+            self.try_heap(def.left)?;
+            self.try_heap(def.right)?;
         }
-        self.built_config = config.clone();
+        Ok(())
+    }
+
+    /// When a fault plane is active, verify the page checksums of every
+    /// heap the configuration reads — each backing table exactly once,
+    /// however many structures reference it — so a corrupted page is
+    /// detected at (re)build time instead of being silently materialized
+    /// into an index or view that carries no checksums of its own.
+    fn verify_backing_heaps(&self, config: &OptimizerConfig) -> RelResult<()> {
+        if self.fault.is_none() {
+            return Ok(());
+        }
+        let mut seen: Vec<TableId> = Vec::new();
+        let backing = config
+            .indexes
+            .iter()
+            .map(|def| def.table)
+            .chain(config.views.iter().flat_map(|def| [def.left, def.right]));
+        for table in backing {
+            if seen.contains(&table) {
+                continue;
+            }
+            seen.push(table);
+            let def = self.catalog.try_table(table)?;
+            self.try_heap(table)?.verify_checksums(&def.name)?;
+        }
         Ok(())
     }
 
     /// Drop all physical structures.
-    pub fn clear_config(&mut self) {
+    pub fn clear_config(&mut self) -> RelResult<()> {
+        self.log(&WalRecord::ClearConfig)?;
+        self.clear_structures();
+        Ok(())
+    }
+
+    fn clear_structures(&mut self) {
         self.built_indexes.clear();
         self.built_views.clear();
         self.built_config = OptimizerConfig::none();
@@ -429,7 +704,7 @@ mod tests {
                 author_id += 1;
             }
         }
-        db.analyze();
+        db.analyze().unwrap();
         (db, inproc, author)
     }
 
@@ -555,7 +830,7 @@ mod tests {
         let (mut db, inproc, _) = build_dblp_like(100);
         let mut fake = db.table_stats(inproc).clone();
         fake.rows = 1_000_000;
-        db.set_table_stats(inproc, fake);
+        db.set_table_stats(inproc, fake).unwrap();
         assert_eq!(db.table_stats(inproc).rows, 1_000_000);
     }
 
@@ -568,7 +843,7 @@ mod tests {
         })
         .unwrap();
         assert!(db.built_index("ix").is_ok());
-        db.clear_config();
+        db.clear_config().unwrap();
         assert!(db.built_index("ix").is_err());
     }
 
@@ -634,7 +909,7 @@ mod tests {
                 views: vec![],
             })
             .is_err());
-        db.analyze_table(bogus); // no-op, no panic
+        db.analyze_table(bogus).unwrap(); // no-op, no panic
     }
 
     #[test]
@@ -692,5 +967,313 @@ mod tests {
         assert!(db.fault_plane().is_none());
         let after = db.execute(&paper_query(inproc, author)).unwrap();
         assert_eq!(plain.rows, after.rows);
+    }
+
+    // ---------------------------------------------------- durability ----
+
+    use crate::fault::{CrashKind, CrashPoint};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("xmlshred-db-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn small_def() -> TableDef {
+        TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str).nullable(),
+            ],
+        )
+    }
+
+    #[test]
+    fn durable_reopen_replays_everything() {
+        let dir = temp_dir("reopen");
+        let t = {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            for i in 0..200 {
+                db.insert(t, vec![Value::Int(i), Value::str(format!("r{i}"))])
+                    .unwrap();
+            }
+            db.analyze().unwrap();
+            db.apply_config(&PhysicalConfig {
+                indexes: vec![IndexDef::new("ix_id", t, vec![0], vec![])],
+                views: vec![],
+            })
+            .unwrap();
+            t
+        };
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.frames_discarded, 0);
+        assert_eq!(report.frames_replayed, 203);
+        assert_eq!(report.indexes_rebuilt, 1);
+        assert_eq!(db.heap(t).len(), 200);
+        assert!(db.built_index("ix_id").is_ok());
+        assert_eq!(db.table_stats(t).rows, 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_reopen_matches() {
+        let dir = temp_dir("ckpt");
+        {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            for i in 0..100 {
+                db.insert(t, vec![Value::Int(i), Value::Null]).unwrap();
+            }
+            db.analyze().unwrap();
+            let before = db.wal_stats().unwrap().bytes_written;
+            db.checkpoint().unwrap();
+            assert!(before > 0);
+            // Post-checkpoint mutations extend the fresh log.
+            for i in 100..120 {
+                db.insert(t, vec![Value::Int(i), Value::Null]).unwrap();
+            }
+        }
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.snapshot_lsn, 102);
+        assert_eq!(report.frames_replayed, 20);
+        assert_eq!(report.frames_skipped, 1, "checkpoint marker is skipped");
+        let t = db.catalog().table_id("t").unwrap();
+        assert_eq!(db.heap(t).len(), 120);
+        assert_eq!(report.next_lsn, 122);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_crash_recovers_committed_prefix() {
+        let dir = temp_dir("torn");
+        let committed = {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            db.set_crash_point(Some(CrashPoint {
+                after_writes: 6,
+                kind: CrashKind::TornTail,
+                seed: 7,
+            }))
+            .unwrap();
+            let mut committed = 0u64;
+            for i in 0..50 {
+                match db.insert(t, vec![Value::Int(i), Value::Null]) {
+                    Ok(()) => committed += 1,
+                    Err(RelError::Crashed(_)) => break,
+                    Err(other) => panic!("unexpected error: {other:?}"),
+                }
+            }
+            // Every further durable mutation also fails until reopen.
+            assert!(matches!(
+                db.insert(t, vec![Value::Int(99), Value::Null]),
+                Err(RelError::Crashed(_))
+            ));
+            committed
+        };
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert_eq!(report.frames_discarded, 1, "the torn frame is dropped");
+        assert!(report.bytes_discarded > 0);
+        let t = db.catalog().table_id("t").unwrap();
+        assert_eq!(db.heap(t).len() as u64, committed);
+        // The torn tail was truncated: appends after reopen are durable.
+        drop(db);
+        let (mut db, _) = Database::open_durable(&dir).unwrap();
+        let t = db.catalog().table_id("t").unwrap();
+        db.insert(t, vec![Value::Int(1000), Value::Null]).unwrap();
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert_eq!(report.frames_discarded, 0);
+        let t = db.catalog().table_id("t").unwrap();
+        assert_eq!(db.heap(t).len() as u64, committed + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_crash_is_detected_and_discarded() {
+        let dir = temp_dir("flip");
+        {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            db.set_crash_point(Some(CrashPoint {
+                after_writes: 4,
+                kind: CrashKind::BitFlip,
+                seed: 3,
+            }))
+            .unwrap();
+            for i in 0..20 {
+                if db.insert(t, vec![Value::Int(i), Value::Null]).is_err() {
+                    break;
+                }
+            }
+        }
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        assert_eq!(report.frames_discarded, 1, "flipped frame fails its CRC");
+        let t = db.catalog().table_id("t").unwrap();
+        assert_eq!(db.heap(t).len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_during_checkpoint_marker_keeps_old_state() {
+        let dir = temp_dir("ckpt-crash");
+        {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            for i in 0..30 {
+                db.insert(t, vec![Value::Int(i), Value::Null]).unwrap();
+            }
+            // Crash on the very next append: the checkpoint marker itself.
+            db.set_crash_point(Some(CrashPoint {
+                after_writes: 0,
+                kind: CrashKind::Clean,
+                seed: 1,
+            }))
+            .unwrap();
+            let err = db.checkpoint().unwrap_err();
+            assert!(matches!(err, RelError::Crashed(_)), "{err:?}");
+            // The writer is dead process-wide now.
+            assert!(matches!(
+                db.insert(t, vec![Value::Int(99), Value::Null]),
+                Err(RelError::Crashed(_))
+            ));
+        }
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        // The snapshot was fully written before the marker append, so it
+        // loads; the old log's frames are all below its next_lsn.
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.frames_replayed, 0);
+        let t = db.catalog().table_id("t").unwrap();
+        assert_eq!(db.heap(t).len(), 30);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rejected_batch_is_never_logged() {
+        let dir = temp_dir("reject");
+        {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            db.insert(t, vec![Value::Int(1), Value::Null]).unwrap();
+            // Second row of the batch is invalid: nothing may be applied
+            // or logged.
+            let err = db
+                .insert_rows(
+                    t,
+                    vec![
+                        vec![Value::Int(2), Value::Null],
+                        vec![Value::str("wrong"), Value::Null],
+                    ],
+                )
+                .unwrap_err();
+            assert!(matches!(err, RelError::SchemaMismatch(_)));
+            assert_eq!(db.heap(t).len(), 1);
+        }
+        let (db, report) = Database::open_durable(&dir).unwrap();
+        let t = db.catalog().table_id("t").unwrap();
+        assert_eq!(db.heap(t).len(), 1);
+        assert_eq!(report.frames_discarded, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_is_deterministic_and_thread_invariant() {
+        let dir = temp_dir("det");
+        {
+            let mut db = Database::create_durable(&dir).unwrap();
+            let t = db.create_table(small_def()).unwrap();
+            db.set_crash_point(Some(CrashPoint {
+                after_writes: 9,
+                kind: CrashKind::TornTail,
+                seed: 42,
+            }))
+            .unwrap();
+            for i in 0..40 {
+                if db
+                    .insert(t, vec![Value::Int(i), Value::str(format!("n{i}"))])
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+        // `recover` is read-only: the same directory bytes must yield the
+        // same report and rows, however many times it runs.
+        let (db1, report1) = crate::recovery::recover(&dir).unwrap();
+        let (db2, report2) = crate::recovery::recover(&dir).unwrap();
+        assert_eq!(report1, report2);
+        assert_eq!(report1.frames_discarded, 1);
+        let t = db1.catalog().table_id("t").unwrap();
+        assert_eq!(db1.heap(t).rows(), db2.heap(t).rows());
+        // A full open truncates the torn tail; the database it produces
+        // matches, and executor thread count changes nothing.
+        let (mut db3, report3) = Database::open_durable(&dir).unwrap();
+        assert_eq!(report3.frames_replayed, report1.frames_replayed);
+        db3.set_exec_options(ExecOptions {
+            threads: 4,
+            ..ExecOptions::default()
+        });
+        assert_eq!(db1.heap(t).rows(), db3.heap(t).rows());
+        // After truncation the report is clean but the data identical.
+        let (db4, report4) = Database::open_durable(&dir).unwrap();
+        assert_eq!(report4.frames_discarded, 0);
+        assert_eq!(report4.frames_replayed, report1.frames_replayed);
+        assert_eq!(db1.heap(t).rows(), db4.heap(t).rows());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_backing_heap_detected_at_config_build() {
+        use crate::fault::FaultConfig;
+        // Satellite regression: materialized-view (re)builds must verify
+        // their backing heaps' checksums instead of silently materializing
+        // corrupted rows into a structure that carries no checksums.
+        let (mut db, inproc, author) = build_dblp_like(300);
+        db.heap_mut(author).unwrap().corrupt_row(17);
+        let config = PhysicalConfig {
+            indexes: vec![],
+            views: vec![ViewDef {
+                name: "v_bad".into(),
+                left: inproc,
+                right: author,
+                left_col: 0,
+                right_col: 1,
+                outputs: vec![(ViewSide::Left, 2), (ViewSide::Right, 2)],
+            }],
+        };
+        // Without a fault plane the walk is skipped (performance posture
+        // matches the executor's).
+        db.apply_config(&config).unwrap();
+        db.clear_config().unwrap();
+        db.set_fault_config(FaultConfig {
+            seed: 0,
+            budget_pages: Some(u64::MAX),
+            ..FaultConfig::default()
+        });
+        let err = db.apply_config(&config).unwrap_err();
+        assert!(matches!(err, RelError::Corrupted { .. }), "got {err:?}");
+        // The rejected configuration left no partial structures behind.
+        assert!(db.built_view("v_bad").is_err());
+    }
+
+    #[test]
+    fn view_output_columns_validated() {
+        let (mut db, inproc, author) = build_dblp_like(10);
+        let config = PhysicalConfig {
+            indexes: vec![],
+            views: vec![ViewDef {
+                name: "v_oob".into(),
+                left: inproc,
+                right: author,
+                left_col: 0,
+                right_col: 1,
+                outputs: vec![(ViewSide::Right, 99)],
+            }],
+        };
+        let err = db.apply_config(&config).unwrap_err();
+        assert!(matches!(err, RelError::UnknownColumn { .. }), "got {err:?}");
     }
 }

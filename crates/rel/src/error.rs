@@ -34,9 +34,23 @@ pub enum RelError {
     },
     /// A resource budget (e.g. a page-read budget) was exhausted.
     ResourceExhausted(String),
+    /// A filesystem operation (WAL append, snapshot write, rename) failed.
+    Io(String),
+    /// A simulated crash point fired: the durable writer is dead and every
+    /// further durable mutation fails until the database is reopened
+    /// through recovery.
+    Crashed(String),
+    /// The snapshot image failed validation (bad magic, unsupported
+    /// version, or checksum mismatch). Not recoverable by replay: the
+    /// checkpointed base state itself is damaged.
+    InvalidSnapshot(String),
 }
 
 impl RelError {
+    /// Wrap a [`std::io::Error`] into [`RelError::Io`].
+    pub fn io(e: std::io::Error) -> RelError {
+        RelError::Io(e.to_string())
+    }
     /// Whether retrying the failed operation could succeed. Injected faults
     /// are transient by construction; corruption and exhausted budgets are
     /// not.
@@ -61,6 +75,9 @@ impl fmt::Display for RelError {
                 write!(f, "corrupted page {page} in table '{table}'")
             }
             RelError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            RelError::Io(msg) => write!(f, "i/o error: {msg}"),
+            RelError::Crashed(msg) => write!(f, "crashed: {msg}"),
+            RelError::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
         }
     }
 }

@@ -693,7 +693,10 @@ fn execute_view_scan(
     }
     let scan_start = Instant::now();
     if let Some(plane) = db.fault_plane() {
-        // Views carry no checksums; they are rebuilt from checksummed heaps.
+        // Views carry no checksums of their own: their backing heaps are
+        // checksum-verified at (re)build time whenever a fault plane is
+        // active (see `Database::apply_config`), so a view only ever
+        // materializes from verified pages.
         plane.storage_gate(view, built.pages() as u64)?;
     }
     let mut stats = ExecStats::default();
@@ -770,7 +773,7 @@ mod tests {
             )
             .unwrap();
         }
-        db.analyze();
+        db.analyze().unwrap();
         let includes = if covering { vec![0, 2] } else { vec![] };
         db.apply_config(&PhysicalConfig {
             indexes: vec![IndexDef::new("ix", t, vec![1], includes)],
@@ -845,7 +848,7 @@ mod tests {
             db.insert(child, vec![Value::Int(10_000 + i), Value::Int(i % 2_000)])
                 .unwrap();
         }
-        db.analyze();
+        db.analyze().unwrap();
         let mut q = SelectQuery::single(parent);
         q.tables.push(child);
         q.joins.push(JoinCond {

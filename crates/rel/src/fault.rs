@@ -91,8 +91,65 @@ pub struct FaultPlane {
     budget_denials: AtomicU64,
 }
 
+/// What a simulated crash does to the frame being written when a
+/// [`CrashPoint`] fires. All three model a process dying mid-append; they
+/// differ in how much of the in-flight frame reaches the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// The frame is not written at all: the log ends cleanly at the last
+    /// completed frame.
+    Clean,
+    /// A seeded strict prefix of the frame is written: recovery must
+    /// recognize and discard the torn tail.
+    TornTail,
+    /// The whole frame is written with one seeded bit flipped: recovery
+    /// must reject the frame on its CRC and stop there.
+    BitFlip,
+}
+
+impl std::fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashKind::Clean => write!(f, "clean"),
+            CrashKind::TornTail => write!(f, "torn-tail"),
+            CrashKind::BitFlip => write!(f, "bit-flip"),
+        }
+    }
+}
+
+impl std::str::FromStr for CrashKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "clean" => Ok(CrashKind::Clean),
+            "torn" | "torn-tail" | "torntail" => Ok(CrashKind::TornTail),
+            "bitflip" | "bit-flip" => Ok(CrashKind::BitFlip),
+            other => Err(format!(
+                "unknown crash kind '{other}'; known: clean torn-tail bit-flip"
+            )),
+        }
+    }
+}
+
+/// A deterministic crash point for the WAL writer: after `after_writes`
+/// further successful frame appends, the next append "crashes the process"
+/// — it damages (or drops) the in-flight frame per `kind`, marks the writer
+/// dead, and fails with [`RelError::Crashed`]. The seed drives the torn
+/// prefix length / flipped bit position, so a given `(after_writes, kind,
+/// seed)` always produces byte-identical damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Successful frame appends allowed before the crash fires.
+    pub after_writes: u64,
+    /// What happens to the frame in flight at the crash.
+    pub kind: CrashKind,
+    /// Seed for the damage geometry (prefix length, bit position).
+    pub seed: u64,
+}
+
 /// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

@@ -40,20 +40,25 @@ pub mod index;
 pub mod optimizer;
 pub mod par;
 pub mod plan;
+pub mod recovery;
+pub mod snapshot;
 pub mod sql;
 pub mod stats;
 pub mod storage;
 pub mod types;
 pub mod view;
+pub mod wal;
 
 pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
 pub use error::{RelError, RelResult};
 pub use exec::{ExecOptions, ExecProfile, ExecStats, OperatorTiming};
 pub use expr::{Filter, FilterOp};
-pub use fault::{FaultConfig, FaultPlane, FaultStats};
+pub use fault::{CrashKind, CrashPoint, FaultConfig, FaultPlane, FaultStats};
 pub use index::IndexDef;
+pub use recovery::RecoveryReport;
 pub use sql::{Output, SelectQuery, SqlQuery, UnionAllQuery};
 pub use stats::{ColumnStats, TableStats};
 pub use types::{DataType, Row, Value};
 pub use view::ViewDef;
+pub use wal::{WalRecord, WalStats};

@@ -1,0 +1,228 @@
+//! Crash recovery: turn a durable directory (snapshot image + write-ahead
+//! log) back into a live [`Database`], deterministically.
+//!
+//! Recovery is a pure function of the on-disk bytes:
+//!
+//! 1. Validate and load the snapshot, if any ([`crate::snapshot`]); a
+//!    checksum-failing snapshot is fatal, a missing one means "replay from
+//!    an empty database".
+//! 2. Scan the WAL, accepting frames up to the first incomplete or
+//!    CRC-failing one; the remainder is a torn tail from an interrupted
+//!    final write and is discarded (counted, not errored).
+//! 3. Replay every accepted frame whose LSN the snapshot does not already
+//!    cover, in log order, through the same mutation logic the original
+//!    calls used — so physical structures are rebuilt from exactly the
+//!    heap state they were originally built from.
+//! 4. Verify every heap's page checksums exactly once and count the pages
+//!    salvaged, then report what happened as a [`RecoveryReport`].
+//!
+//! Nothing in the pipeline reads clocks, thread counts, or iteration order
+//! of hash maps, so the same directory bytes always produce the same
+//! database and the same report — the property the crash-matrix harness
+//! and CI assert.
+
+use crate::catalog::TableId;
+use crate::db::Database;
+use crate::error::{RelError, RelResult};
+use crate::snapshot::{self, WAL_FILE};
+use crate::wal::{self, WalRecord};
+use std::path::Path;
+
+/// What recovery found and did, fully deterministic for a given directory
+/// state. Registered into metrics as `wal.*` / `recovery.*` counters via
+/// [`RecoveryReport::metric_counters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot image was found and loaded.
+    pub snapshot_loaded: bool,
+    /// The snapshot's `next_lsn` (0 without a snapshot): frames below this
+    /// are already absorbed.
+    pub snapshot_lsn: u64,
+    /// WAL frames replayed against the restored state.
+    pub frames_replayed: u64,
+    /// WAL frames skipped: checkpoint markers plus frames the snapshot
+    /// already covered.
+    pub frames_skipped: u64,
+    /// Torn/corrupt trailing frames discarded (0 or 1: the scan cannot
+    /// resynchronize past the first bad frame).
+    pub frames_discarded: u64,
+    /// Bytes of torn tail discarded.
+    pub bytes_discarded: u64,
+    /// Bytes of valid log retained (the replayable prefix).
+    pub wal_valid_bytes: u64,
+    /// Heap pages whose checksums were verified after restore.
+    pub pages_verified: u64,
+    /// Index structures built during recovery (snapshot config + replayed
+    /// `ApplyConfig` records).
+    pub indexes_rebuilt: u64,
+    /// View materializations built during recovery.
+    pub views_rebuilt: u64,
+    /// The LSN counter the recovered database resumes from: the number of
+    /// mutation records that are durably applied.
+    pub next_lsn: u64,
+}
+
+impl RecoveryReport {
+    /// The report as `(metric name, value)` pairs, all deterministic, under
+    /// the `wal.` / `recovery.` prefixes.
+    pub fn metric_counters(&self) -> [(&'static str, u64); 11] {
+        [
+            ("wal.frames_replayed", self.frames_replayed),
+            ("wal.frames_skipped", self.frames_skipped),
+            ("wal.frames_discarded", self.frames_discarded),
+            ("wal.bytes_discarded", self.bytes_discarded),
+            ("wal.valid_bytes", self.wal_valid_bytes),
+            ("recovery.snapshot_loaded", u64::from(self.snapshot_loaded)),
+            ("recovery.snapshot_lsn", self.snapshot_lsn),
+            ("recovery.pages_verified", self.pages_verified),
+            ("recovery.indexes_rebuilt", self.indexes_rebuilt),
+            ("recovery.views_rebuilt", self.views_rebuilt),
+            ("recovery.next_lsn", self.next_lsn),
+        ]
+    }
+
+    /// Render as a stable JSON object (keys in [`RecoveryReport::metric_counters`]
+    /// order), for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, value)) in self.metric_counters().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{name}\": {value}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Apply one replayed record through the database's (non-durable) mutation
+/// paths. `recover` only calls this on a database with no durability
+/// attached, so nothing is re-logged.
+fn apply_record(
+    db: &mut Database,
+    record: WalRecord,
+    report: &mut RecoveryReport,
+) -> RelResult<()> {
+    match record {
+        WalRecord::CreateTable(def) => {
+            db.create_table(def)?;
+        }
+        WalRecord::InsertRows { table, rows } => {
+            db.insert_rows(table, rows)?;
+        }
+        WalRecord::Analyze => db.analyze()?,
+        WalRecord::AnalyzeTable(table) => db.analyze_table(table)?,
+        WalRecord::SetTableStats { table, stats } => db.set_table_stats(table, stats)?,
+        WalRecord::ApplyConfig(config) => {
+            report.indexes_rebuilt += config.indexes.len() as u64;
+            report.views_rebuilt += config.views.len() as u64;
+            db.apply_config(&config)?;
+        }
+        WalRecord::ClearConfig => db.clear_config()?,
+        WalRecord::Checkpoint => {}
+    }
+    Ok(())
+}
+
+/// Recover a database from a durable directory. Returns the rebuilt
+/// (not-yet-durable) database plus the report; [`Database::open_durable`]
+/// attaches the log writer on top.
+pub fn recover(dir: &Path) -> RelResult<(Database, RecoveryReport)> {
+    let mut db = Database::new();
+    let mut report = RecoveryReport::default();
+
+    if let Some(image) = snapshot::read_snapshot(dir)? {
+        report.snapshot_loaded = true;
+        report.snapshot_lsn = image.next_lsn;
+        report.next_lsn = image.next_lsn;
+        for table in &image.tables {
+            let id = db.create_table(table.def.clone())?;
+            let heap = db
+                .heap_mut(id)
+                .ok_or_else(|| RelError::UnknownTable(table.def.name.clone()))?;
+            for row in &table.rows {
+                // Rows were validated when originally inserted and the
+                // image is CRC-guarded; re-inserting re-derives the page
+                // checksums.
+                heap.insert_unchecked(&table.def, row.clone());
+            }
+            db.set_table_stats(id, table.stats.clone())?;
+        }
+        if !image.config.indexes.is_empty() || !image.config.views.is_empty() {
+            report.indexes_rebuilt += image.config.indexes.len() as u64;
+            report.views_rebuilt += image.config.views.len() as u64;
+            db.apply_config(&image.config)?;
+        }
+    }
+
+    let outcome = wal::read_wal(&dir.join(WAL_FILE))?;
+    report.frames_discarded = outcome.frames_discarded;
+    report.bytes_discarded = outcome.bytes_discarded;
+    report.wal_valid_bytes = outcome.valid_bytes;
+    for (lsn, record) in outcome.frames {
+        if matches!(record, WalRecord::Checkpoint) || lsn < report.snapshot_lsn {
+            report.frames_skipped += 1;
+            continue;
+        }
+        apply_record(&mut db, record, &mut report)?;
+        report.frames_replayed += 1;
+        report.next_lsn = lsn + 1;
+    }
+
+    // Verify every heap exactly once, after the full replay: the recovered
+    // base data (and thus everything rebuilt from it) is checksum-clean, or
+    // recovery fails loudly with `Corrupted`.
+    let tables: Vec<(TableId, String)> = db
+        .catalog()
+        .iter()
+        .map(|(id, def)| (id, def.name.clone()))
+        .collect();
+    for (id, name) in tables {
+        let heap = db.try_heap(id)?;
+        heap.verify_checksums(&name)?;
+        report.pages_verified += heap.pages() as u64;
+    }
+
+    Ok((db, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_stable_and_complete() {
+        let report = RecoveryReport {
+            snapshot_loaded: true,
+            snapshot_lsn: 3,
+            frames_replayed: 5,
+            frames_skipped: 2,
+            frames_discarded: 1,
+            bytes_discarded: 40,
+            wal_valid_bytes: 640,
+            pages_verified: 7,
+            indexes_rebuilt: 2,
+            views_rebuilt: 1,
+            next_lsn: 8,
+        };
+        let json = report.to_json();
+        for (name, value) in report.metric_counters() {
+            assert!(
+                json.contains(&format!("\"{name}\": {value}")),
+                "missing {name} in {json}"
+            );
+        }
+        assert_eq!(json, report.to_json());
+    }
+
+    #[test]
+    fn empty_dir_recovers_to_empty_database() {
+        let dir = std::env::temp_dir().join(format!("xmlshred-rec-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (db, report) = recover(&dir).unwrap();
+        assert!(db.catalog().is_empty());
+        assert_eq!(report, RecoveryReport::default());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

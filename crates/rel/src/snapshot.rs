@@ -1,0 +1,260 @@
+//! Checkpoint snapshots: a versioned on-disk image of the full database
+//! state (catalog, heap rows, statistics, physical configuration).
+//!
+//! File layout:
+//!
+//! ```text
+//! [magic: 8 bytes "XSHREDSN"] [version: u32 LE] [crc32: u32 LE] [payload]
+//! ```
+//!
+//! The CRC covers the whole payload, so a snapshot is either valid in full
+//! or rejected in full ([`RelError::InvalidSnapshot`]) — unlike the WAL,
+//! whose tail may legitimately be torn, a snapshot is written through a
+//! temp-file + `rename` sequence and must never be partially visible. The
+//! payload records `next_lsn` at checkpoint time; recovery uses it to skip
+//! WAL frames the snapshot already absorbed.
+
+use crate::catalog::TableDef;
+use crate::error::{RelError, RelResult};
+use crate::optimizer::PhysicalConfig;
+use crate::stats::TableStats;
+use crate::types::Row;
+use crate::wal::{self, crc32, Dec, Enc};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Snapshot file name inside a durable database directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.img";
+/// Log file name inside a durable database directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const MAGIC: &[u8; 8] = b"XSHREDSN";
+const VERSION: u32 = 1;
+
+/// One table's checkpointed state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotTable {
+    /// Table definition (catalog entry).
+    pub def: TableDef,
+    /// Heap rows in storage order. Page checksums are not stored: the
+    /// recovery loader re-derives them by re-inserting the rows, and the
+    /// file-level CRC already guards the serialized bytes.
+    pub rows: Vec<Row>,
+    /// Table statistics as of the checkpoint.
+    pub stats: TableStats,
+}
+
+/// A decoded snapshot image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotImage {
+    /// The database's LSN counter at checkpoint time: every logged mutation
+    /// with `lsn < next_lsn` is already reflected in this image.
+    pub next_lsn: u64,
+    /// Tables in catalog (table-id) order.
+    pub tables: Vec<SnapshotTable>,
+    /// The physical configuration that was materialized, rebuilt (not
+    /// stored) on recovery.
+    pub config: PhysicalConfig,
+}
+
+fn encode_image(image: &SnapshotImage) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u64(image.next_lsn);
+    e.u32(image.tables.len() as u32);
+    for table in &image.tables {
+        wal::enc_table_def(&mut e, &table.def);
+        e.u32(table.rows.len() as u32);
+        for row in &table.rows {
+            wal::enc_row(&mut e, row);
+        }
+        wal::enc_table_stats(&mut e, &table.stats);
+    }
+    wal::enc_config(&mut e, &image.config);
+    e.0
+}
+
+fn decode_image(payload: &[u8]) -> Result<SnapshotImage, String> {
+    let mut d = Dec::new(payload);
+    let next_lsn = d.u64()?;
+    let n_tables = d.u32()? as usize;
+    let mut tables = Vec::with_capacity(n_tables.min(1024));
+    for _ in 0..n_tables {
+        let def = wal::dec_table_def(&mut d)?;
+        let n_rows = d.u32()? as usize;
+        let mut rows = Vec::new();
+        for _ in 0..n_rows {
+            rows.push(wal::dec_row(&mut d)?);
+        }
+        let stats = wal::dec_table_stats(&mut d)?;
+        tables.push(SnapshotTable { def, rows, stats });
+    }
+    let config = wal::dec_config(&mut d)?;
+    if !d.is_done() {
+        return Err("trailing bytes after snapshot payload".to_string());
+    }
+    Ok(SnapshotImage {
+        next_lsn,
+        tables,
+        config,
+    })
+}
+
+/// Write `image` to `dir/snapshot.img` atomically: serialize to
+/// `snapshot.tmp`, sync, then rename over the live file. A crash at any
+/// point leaves either the old snapshot or the new one — never a torn mix.
+pub fn write_snapshot(dir: &Path, image: &SnapshotImage) -> RelResult<()> {
+    let payload = encode_image(image);
+    let tmp = dir.join("snapshot.tmp");
+    {
+        let mut file = fs::File::create(&tmp).map_err(RelError::io)?;
+        file.write_all(MAGIC).map_err(RelError::io)?;
+        file.write_all(&VERSION.to_le_bytes())
+            .map_err(RelError::io)?;
+        file.write_all(&crc32(&payload).to_le_bytes())
+            .map_err(RelError::io)?;
+        file.write_all(&payload).map_err(RelError::io)?;
+        file.sync_all().map_err(RelError::io)?;
+    }
+    fs::rename(&tmp, dir.join(SNAPSHOT_FILE)).map_err(RelError::io)
+}
+
+/// Read and validate `dir/snapshot.img`. A missing file is `None` (fresh
+/// database or never checkpointed); any validation failure — bad magic,
+/// unsupported version, checksum mismatch, or undecodable payload — is
+/// [`RelError::InvalidSnapshot`], which is fatal: the WAL alone cannot
+/// reconstruct state the truncated log no longer carries.
+pub fn read_snapshot(dir: &Path) -> RelResult<Option<SnapshotImage>> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = Vec::new();
+    match fs::File::open(&path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut bytes).map_err(RelError::io)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(RelError::io(e)),
+    }
+    if bytes.len() < 16 || &bytes[..8] != MAGIC {
+        return Err(RelError::InvalidSnapshot(format!(
+            "bad magic or truncated header in {}",
+            path.display()
+        )));
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != VERSION {
+        return Err(RelError::InvalidSnapshot(format!(
+            "unsupported snapshot version {version} (expected {VERSION})"
+        )));
+    }
+    let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    let payload = &bytes[16..];
+    if crc32(payload) != crc {
+        return Err(RelError::InvalidSnapshot(format!(
+            "checksum mismatch in {}",
+            path.display()
+        )));
+    }
+    decode_image(payload)
+        .map(Some)
+        .map_err(|msg| RelError::InvalidSnapshot(format!("undecodable payload: {msg}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+    use crate::index::IndexDef;
+    use crate::types::{DataType, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("xmlshred-snap-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_image() -> SnapshotImage {
+        let def = TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Str).nullable(),
+            ],
+        );
+        SnapshotImage {
+            next_lsn: 17,
+            tables: vec![SnapshotTable {
+                def,
+                rows: vec![
+                    vec![Value::Int(1), Value::str("a")],
+                    vec![Value::Int(2), Value::Null],
+                ],
+                stats: TableStats {
+                    rows: 2,
+                    columns: vec![],
+                },
+            }],
+            config: PhysicalConfig {
+                indexes: vec![IndexDef::new(
+                    "ix",
+                    crate::catalog::TableId(0),
+                    vec![0],
+                    vec![],
+                )],
+                views: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let image = sample_image();
+        write_snapshot(&dir, &image).unwrap();
+        let back = read_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(back, image);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = temp_dir("missing");
+        assert_eq!(read_snapshot(&dir).unwrap(), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_fatal() {
+        let dir = temp_dir("corrupt");
+        write_snapshot(&dir, &sample_image()).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let err = read_snapshot(&dir).unwrap_err();
+        assert!(matches!(err, RelError::InvalidSnapshot(_)), "{err:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let dir = temp_dir("magic");
+        fs::write(dir.join(SNAPSHOT_FILE), b"NOTASNAPSHOT....").unwrap();
+        assert!(matches!(
+            read_snapshot(&dir).unwrap_err(),
+            RelError::InvalidSnapshot(_)
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 4]);
+        fs::write(dir.join(SNAPSHOT_FILE), &bytes).unwrap();
+        let err = read_snapshot(&dir).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

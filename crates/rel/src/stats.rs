@@ -455,7 +455,7 @@ fn as_f64(value: &Value) -> Option<f64> {
 }
 
 /// Statistics for one table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TableStats {
     /// Row count.
     pub rows: u64,

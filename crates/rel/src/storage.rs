@@ -41,33 +41,7 @@ impl TableHeap {
 
     /// Append a row after checking arity and types against `def`.
     pub fn insert(&mut self, def: &TableDef, row: Row) -> RelResult<()> {
-        if row.len() != def.columns.len() {
-            return Err(RelError::SchemaMismatch(format!(
-                "table '{}' expects {} columns, got {}",
-                def.name,
-                def.columns.len(),
-                row.len()
-            )));
-        }
-        for (value, col) in row.iter().zip(&def.columns) {
-            match value.data_type() {
-                None => {
-                    if !col.nullable {
-                        return Err(RelError::SchemaMismatch(format!(
-                            "NULL in non-nullable column '{}.{}'",
-                            def.name, col.name
-                        )));
-                    }
-                }
-                Some(ty) if ty != col.ty => {
-                    return Err(RelError::SchemaMismatch(format!(
-                        "type mismatch in '{}.{}': expected {:?}, got {:?}",
-                        def.name, col.name, col.ty, ty
-                    )));
-                }
-                Some(_) => {}
-            }
-        }
+        validate_row(def, &row)?;
         self.push_row(row);
         Ok(())
     }
@@ -205,6 +179,41 @@ impl TableHeap {
         self.byte_size = 0;
         self.page_sums.clear();
     }
+}
+
+/// Check a row's arity, value types, and null constraints against `def`.
+/// Extracted from [`TableHeap::insert`] so write-ahead-logging paths can
+/// validate *before* the row is logged — the WAL must never record an
+/// operation that would fail to apply.
+pub fn validate_row(def: &TableDef, row: &[Value]) -> RelResult<()> {
+    if row.len() != def.columns.len() {
+        return Err(RelError::SchemaMismatch(format!(
+            "table '{}' expects {} columns, got {}",
+            def.name,
+            def.columns.len(),
+            row.len()
+        )));
+    }
+    for (value, col) in row.iter().zip(&def.columns) {
+        match value.data_type() {
+            None => {
+                if !col.nullable {
+                    return Err(RelError::SchemaMismatch(format!(
+                        "NULL in non-nullable column '{}.{}'",
+                        def.name, col.name
+                    )));
+                }
+            }
+            Some(ty) if ty != col.ty => {
+                return Err(RelError::SchemaMismatch(format!(
+                    "type mismatch in '{}.{}': expected {:?}, got {:?}",
+                    def.name, col.name, col.ty, ty
+                )));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
 }
 
 /// On-page width of one row: 8-byte header plus each value's width.

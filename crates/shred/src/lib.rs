@@ -21,6 +21,10 @@
 //! transformations of Section 2.1, split into the *subsumed* and
 //! *nonsubsumed* classes of Section 3.
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod mapping;
 pub mod schema;
 pub mod shredder;

@@ -272,7 +272,7 @@ pub mod fixtures {
         t.add_child(box_office, NodeKind::Simple(BaseType::Int));
         let seasons = t.add_child(choice, NodeKind::Tag("seasons".into()));
         t.add_child(seasons, NodeKind::Simple(BaseType::Int));
-        t.validate().unwrap();
+        t.validate().expect("hand-built movie fixture validates");
         MovieTree {
             tree: t,
             movie,

@@ -37,7 +37,7 @@ pub fn load_database(
     for root in documents {
         shredder.shred_annotated(root, tree.root(), None)?;
     }
-    db.analyze();
+    db.analyze()?;
     Ok(db)
 }
 

@@ -20,6 +20,10 @@
 //! *single-valued* leaves, and a final (possibly union) projection step.
 //! Predicates over set-valued leaves are rejected (see DESIGN.md).
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod assemble;
 pub mod resolve;
 pub mod translate;

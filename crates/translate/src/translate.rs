@@ -494,10 +494,8 @@ fn apply_selections(
             } => {
                 let table_ref = query.tables.len();
                 query.tables.push(TableId(*table_index as u32));
-                let pid = schema.tables[*table_index]
-                    .column_position(&ColumnSource::Pid)
-                    .expect("PID column");
-                let id = ct.column_position(&ColumnSource::Id).expect("ID column");
+                let pid = schema.tables[*table_index].column_position(&ColumnSource::Pid)?;
+                let id = ct.column_position(&ColumnSource::Id)?;
                 query.joins.push(JoinCond {
                     left_ref: 0,
                     left_col: id,

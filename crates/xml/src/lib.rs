@@ -16,6 +16,10 @@
 //! The schema tree is deliberately independent of the relational layer: the
 //! `xmlshred-shred` crate derives relational schemas from it.
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod dom;
 pub mod dtd;
 pub mod error;

@@ -11,6 +11,10 @@
 //! evaluator over the DOM from `xmlshred-xml`. The evaluator is the ground
 //! truth the SQL translation is tested against.
 
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod ast;
 pub mod eval;
 pub mod parser;

@@ -17,7 +17,7 @@ fn main() {
         n_books: 800,
         ..DblpConfig::default()
     };
-    let dataset = generate_dblp(&config);
+    let dataset = generate_dblp(&config).expect("dataset generates");
     println!(
         "dataset: {} inproceedings + {} books (~{} elements)",
         config.n_inproceedings,

@@ -25,7 +25,8 @@ fn main() {
         n_inproceedings: 500,
         n_books: 50,
         ..DblpConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     let source = SourceStats::collect(tree, &dataset.document);
 

@@ -17,7 +17,7 @@ fn main() {
         n_movies: 10_000,
         ..MovieConfig::default()
     };
-    let dataset = generate_movie(&config);
+    let dataset = generate_movie(&config).expect("dataset generates");
 
     // A workload where each query touches a different slice of the schema,
     // like the paper's Section 4.7 example.

@@ -26,7 +26,8 @@
 //!
 //! // A schema and a document.
 //! let dataset = xmlshred::data::movie::generate_movie(
-//!     &xmlshred::data::movie::MovieConfig { n_movies: 200, ..Default::default() });
+//!     &xmlshred::data::movie::MovieConfig { n_movies: 200, ..Default::default() })
+//!     .expect("dataset generates");
 //!
 //! // A workload.
 //! let workload = vec![
@@ -44,6 +45,10 @@
 //! let outcome = greedy_search(&ctx, &GreedyOptions::default());
 //! assert!(outcome.estimated_cost.is_finite());
 //! ```
+
+// Robustness gate: library code must propagate typed errors, not unwrap.
+// Tests are exempt (unwrap there is an assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub use xmlshred_core as core;
 pub use xmlshred_data as data;

@@ -18,7 +18,7 @@ fn setup() -> (
         n_books: 200,
         ..DblpConfig::default()
     };
-    let dataset = generate_dblp(&config);
+    let dataset = generate_dblp(&config).expect("dataset generates");
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let spec = WorkloadSpec {
         projections: Projections::Low,

@@ -30,7 +30,7 @@ fn setup() -> (
         n_movies: 400,
         ..MovieConfig::default()
     };
-    let dataset = generate_movie(&config);
+    let dataset = generate_movie(&config).expect("dataset generates");
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let workload = movie_workload(
         &WorkloadSpec {

@@ -71,7 +71,8 @@ fn movie_queries_correct_under_mapping_grid() {
     let dataset = generate_movie(&MovieConfig {
         n_movies: 400,
         ..MovieConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     let hybrid = Mapping::hybrid(tree);
     let split = fully_split(tree, &|_| 2);
@@ -108,7 +109,8 @@ fn dblp_queries_correct_under_mapping_grid() {
         n_inproceedings: 300,
         n_books: 40,
         ..DblpConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     let hybrid = Mapping::hybrid(tree);
     let split = fully_split(tree, &|_| 3);
@@ -133,7 +135,8 @@ fn shared_author_type_split_preserves_results() {
         n_inproceedings: 150,
         n_books: 30,
         ..DblpConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     // Split the shared author annotation.
     let hybrid = Mapping::hybrid(tree);
@@ -159,7 +162,8 @@ fn empty_result_queries_are_empty_everywhere() {
     let dataset = generate_movie(&MovieConfig {
         n_movies: 50,
         ..MovieConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     for (name, mapping) in [
         ("hybrid", Mapping::hybrid(tree)),

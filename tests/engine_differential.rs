@@ -54,7 +54,7 @@ fn build_db(
         )
         .unwrap();
     }
-    db.analyze();
+    db.analyze().unwrap();
     (db, parent, child)
 }
 
@@ -259,7 +259,7 @@ fn null_join_keys_never_match() {
     db.insert(child, vec![Value::Int(1), Value::Null]).unwrap();
     db.insert(child, vec![Value::Int(2), Value::Int(5)])
         .unwrap();
-    db.analyze();
+    db.analyze().unwrap();
 
     let mut q = SelectQuery::single(parent);
     q.tables.push(child);

@@ -38,7 +38,8 @@ fn fixtures() -> Vec<(&'static str, Database, Vec<SqlQuery>)> {
         n_inproceedings: 1_200,
         n_books: 120,
         ..DblpConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let dblp_spec = WorkloadSpec {
         projections: Projections::High,
         selectivity: Selectivity::Low,
@@ -53,7 +54,8 @@ fn fixtures() -> Vec<(&'static str, Database, Vec<SqlQuery>)> {
     let movie = generate_movie(&MovieConfig {
         n_movies: 1_500,
         ..MovieConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let movie_config = MovieConfig::default();
     let movie_spec = WorkloadSpec {
         projections: Projections::Low,

@@ -27,7 +27,7 @@ fn setup(
         n_movies,
         ..MovieConfig::default()
     };
-    let dataset = generate_movie(&config);
+    let dataset = generate_movie(&config).expect("dataset generates");
     let source = SourceStats::collect(&dataset.tree, &dataset.document);
     let spec = WorkloadSpec {
         projections: Projections::Low,

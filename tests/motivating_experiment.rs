@@ -24,7 +24,7 @@ fn mapping2_wins_with_physical_design_but_not_without() {
         n_conferences: 50,
         ..DblpConfig::default()
     };
-    let dataset = generate_dblp(&config);
+    let dataset = generate_dblp(&config).expect("dataset generates");
     let tree = &dataset.tree;
     let source = SourceStats::collect(tree, &dataset.document);
 
@@ -107,7 +107,7 @@ fn untuned_ranking_misleads_logical_design() {
         n_books: 0,
         ..DblpConfig::default()
     };
-    let dataset = generate_dblp(&config);
+    let dataset = generate_dblp(&config).expect("dataset generates");
     let tree = &dataset.tree;
     let workload = vec![(
         parse_path("/dblp/inproceedings[booktitle = \"CONF3\"]/(title | year | author)").unwrap(),

@@ -20,7 +20,8 @@ fn deep_merge_of_titles_keeps_queries_correct() {
         n_inproceedings: 120,
         n_books: 30,
         ..DblpConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     let hybrid = Mapping::hybrid(tree);
 
@@ -78,7 +79,8 @@ fn outlining_is_a_vertical_partitioning() {
         n_inproceedings: 50,
         n_books: 10,
         ..DblpConfig::default()
-    });
+    })
+    .expect("dataset generates");
     let tree = &dataset.tree;
     let hybrid = Mapping::hybrid(tree);
     let base_schema = derive_schema(tree, &hybrid);
