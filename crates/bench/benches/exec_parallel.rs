@@ -1,16 +1,20 @@
-//! Microbenchmark: morsel-driven executor thread sweep.
+//! Microbenchmark: morsel-driven executor thread sweep, in both storage
+//! layouts.
 //!
 //! Executes a tuned workload on both fixtures (DBLP and Movie) at executor
-//! thread counts 1, 2, 4, and 8, timing the full workload execution per
-//! configuration. Results are bit-identical across the sweep (asserted
-//! here); only wall-clock changes. Per-operator timings for each
-//! configuration are printed once before the measured runs. On a one-core
-//! container the sweep shows scheduling overhead rather than speedup — the
-//! point is the invariance, the shape of the curve needs real cores.
+//! thread counts 1, 2, 4, and 8 — once over row heaps and once over
+//! columnar partitions — timing the full workload execution per
+//! configuration. Results are bit-identical across the sweep *and* across
+//! layouts (asserted here); only wall-clock changes. Per-operator timings
+//! for each configuration are printed once before the measured runs. On a
+//! one-core container the thread sweep shows scheduling overhead rather
+//! than speedup — the point is the invariance; the `columnar_scan_*` pair
+//! is where the layout shows a serial speedup (vectorized filter + late
+//! materialization on a scan-heavy shape).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use xmlshred_bench::harness::BenchScale;
+use xmlshred_bench::harness::{wide_scan_fixture, BenchScale};
 use xmlshred_core::physical::tune;
 use xmlshred_data::workload::{
     dblp_workload, movie_workload, Projections, Selectivity, Workload, WorkloadSpec,
@@ -26,7 +30,7 @@ use xmlshred_translate::translate::translate;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn build(dataset: &Dataset, workload: &Workload) -> (Database, Vec<SqlQuery>) {
+fn build(dataset: &Dataset, workload: &Workload, columnar: bool) -> (Database, Vec<SqlQuery>) {
     let mapping = Mapping::hybrid(&dataset.tree);
     let schema = derive_schema(&dataset.tree, &mapping);
     let mut db = load_database(&dataset.tree, &mapping, &schema, &[&dataset.document]).unwrap();
@@ -46,7 +50,11 @@ fn build(dataset: &Dataset, workload: &Workload) -> (Database, Vec<SqlQuery>) {
         &query_refs,
         3.0 * dataset.approx_bytes() as f64,
     );
-    db.apply_config(&tuned.config).unwrap();
+    let mut config = tuned.config;
+    if columnar {
+        config.columnar = db.catalog().iter().map(|(id, _)| id).collect();
+    }
+    db.apply_config(&config).unwrap();
     (db, queries)
 }
 
@@ -57,8 +65,18 @@ fn run_workload(db: &Database, queries: &[SqlQuery]) -> f64 {
         .sum()
 }
 
-fn sweep(c: &mut Criterion, label: &str, dataset: &Dataset, workload: &Workload) {
-    let (mut db, queries) = build(dataset, workload);
+/// Sweep one fixture's workload across thread counts in one layout,
+/// asserting the measured cost never moves, and return that cost so the
+/// caller can assert it is also bit-identical across layouts.
+fn sweep(
+    c: &mut Criterion,
+    label: &str,
+    dataset: &Dataset,
+    workload: &Workload,
+    columnar: bool,
+) -> f64 {
+    let (mut db, queries) = build(dataset, workload, columnar);
+    let suffix = if columnar { "_columnar" } else { "" };
     let mut baseline = None;
     for threads in THREADS {
         db.set_exec_options(ExecOptions::with_threads(threads));
@@ -75,7 +93,7 @@ fn sweep(c: &mut Criterion, label: &str, dataset: &Dataset, workload: &Workload)
                     .iter()
                     .map(|op| format!("{}={}x/{}ns", op.name, op.count, op.nanos))
                     .collect();
-                println!("{label} q0 @{threads} thread(s): {}", ops.join(" "));
+                println!("{label}{suffix} q0 @{threads} thread(s): {}", ops.join(" "));
             }
         }
         match baseline {
@@ -83,13 +101,59 @@ fn sweep(c: &mut Criterion, label: &str, dataset: &Dataset, workload: &Workload)
             Some(expected) => assert_eq!(
                 cost.to_bits(),
                 expected.to_bits(),
-                "{label}: measured cost diverged at {threads} thread(s)"
+                "{label}{suffix}: measured cost diverged at {threads} thread(s)"
             ),
         }
-        c.bench_function(&format!("{label}_threads{threads}"), |b| {
+        c.bench_function(&format!("{label}{suffix}_threads{threads}"), |b| {
             b.iter(|| run_workload(&db, &queries))
         });
     }
+    baseline.expect("sweep ran at least one thread count")
+}
+
+/// Sweep one fixture in both layouts and assert the layout-invariance
+/// contract at the bench level: the summed measured cost is bit-identical
+/// whether the scans run over row heaps or columnar partitions.
+fn sweep_both_layouts(c: &mut Criterion, label: &str, dataset: &Dataset, workload: &Workload) {
+    let row_cost = sweep(c, label, dataset, workload, false);
+    let col_cost = sweep(c, label, dataset, workload, true);
+    assert_eq!(
+        row_cost.to_bits(),
+        col_cost.to_bits(),
+        "{label}: measured cost diverged between row and columnar layouts"
+    );
+}
+
+/// Head-to-head scan benchmark where the layouts differ in wall-clock: a
+/// wide table (10 Str payload columns) filtered on a non-indexed Int
+/// column, projecting two columns, at one executor thread. Row layout pays
+/// full-tuple materialization per row; columnar runs a vectorized filter
+/// kernel and materializes only survivors.
+fn bench_columnar_scan(c: &mut Criterion) {
+    const WIDE_ROWS: usize = 20_000;
+    let mut outputs = Vec::new();
+    for columnar in [false, true] {
+        let (mut db, query) = wide_scan_fixture(WIDE_ROWS);
+        if columnar {
+            let mut config = db.built_config().clone();
+            config.columnar = db.catalog().iter().map(|(id, _)| id).collect();
+            db.apply_config(&config).unwrap();
+        }
+        let outcome = db.execute(&query).unwrap();
+        outputs.push((outcome.rows.len(), outcome.exec.measured_cost().to_bits()));
+        let name = if columnar {
+            "columnar_scan_columnar_threads1"
+        } else {
+            "columnar_scan_row_threads1"
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| black_box(db.execute(black_box(&query)).unwrap().rows.len()))
+        });
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "wide scan: rows/measured cost diverged between layouts"
+    );
 }
 
 fn bench_exec_parallel(c: &mut Criterion) {
@@ -108,7 +172,7 @@ fn bench_exec_parallel(c: &mut Criterion) {
         dblp_config.n_conferences,
     )
     .unwrap();
-    sweep(c, "exec_parallel_dblp", &dblp, &dblp_wl);
+    sweep_both_layouts(c, "exec_parallel_dblp", &dblp, &dblp_wl);
 
     let movie = scale.movie().expect("dataset generates");
     let movie_config = scale.movie_config();
@@ -123,8 +187,8 @@ fn bench_exec_parallel(c: &mut Criterion) {
         movie_config.n_genres,
     )
     .unwrap();
-    sweep(c, "exec_parallel_movie", &movie, &movie_wl);
+    sweep_both_layouts(c, "exec_parallel_movie", &movie, &movie_wl);
 }
 
-criterion_group!(benches, bench_exec_parallel);
+criterion_group!(benches, bench_exec_parallel, bench_columnar_scan);
 criterion_main!(benches);

@@ -22,6 +22,12 @@
 //! verifies by sweeping thread counts and comparing output hashes.
 //! `profile` emits the three-tier metrics report; `--metrics-out PATH`
 //! writes it as JSON.
+//! For `exec`, `--layout {row,columnar}` picks the storage layout the sweep
+//! scans (columnar builds a partition over every workload table; results
+//! and measured costs are bit-identical to row layout) and
+//! `--bench-json PATH` writes a machine-readable per-query benchmark record
+//! (schema `xmlshred-bench-exec-v1`: wall nanoseconds per thread count,
+//! rows, measured cost, layout).
 //!
 //! Robustness knobs: `--fault-p X` injects what-if planner faults with
 //! probability X, `--deadline-ms N` gives each strategy an anytime budget
@@ -41,7 +47,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use std::time::Instant;
-use xmlshred_bench::experiments::RunOptions;
+use xmlshred_bench::experiments::{Layout, RunOptions};
 use xmlshred_bench::harness::BenchScale;
 use xmlshred_core::SearchOptions;
 
@@ -87,6 +93,8 @@ fn main() {
     let crash_seed = take_value::<u64>(&mut args, "--crash-seed").unwrap_or(7);
     let crash_points = take_value::<usize>(&mut args, "--crash-points").unwrap_or(4);
     let data_dir = take_value::<String>(&mut args, "--data-dir");
+    let layout = take_value::<Layout>(&mut args, "--layout").unwrap_or_default();
+    let bench_json = take_value::<String>(&mut args, "--bench-json");
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -121,6 +129,8 @@ fn main() {
         crash_seed,
         crash_points,
         data_dir,
+        layout,
+        bench_json,
     };
     let start = Instant::now();
     match xmlshred_bench::experiments::run(experiment, scale, &opts) {

@@ -14,6 +14,41 @@ use crate::harness::BenchScale;
 use xmlshred_core::{Deadline, FaultConfig, SearchOptions};
 use xmlshred_rel::ExecOptions;
 
+/// Storage layout the `exec` experiment scans (`--layout`): the row heaps
+/// as loaded, or columnar partitions built over every table. Rows, measured
+/// costs, and deterministic profiles are bit-identical across layouts (the
+/// engine's layout-invariance contract); only wall-clock changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Layout {
+    /// Row heaps (the default).
+    #[default]
+    Row,
+    /// Columnar partitions over every workload table.
+    Columnar,
+}
+
+impl Layout {
+    /// CLI spelling, also used in bench-JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Row => "row",
+            Layout::Columnar => "columnar",
+        }
+    }
+}
+
+impl std::str::FromStr for Layout {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "row" => Ok(Layout::Row),
+            "columnar" => Ok(Layout::Columnar),
+            other => Err(format!("unknown layout '{other}' (row|columnar)")),
+        }
+    }
+}
+
 /// CLI-level knobs for one `reproduce` invocation: the base search options
 /// plus the robustness sweep parameters (`--fault-p`, `--deadline-ms`,
 /// `--fault-seed`).
@@ -50,6 +85,11 @@ pub struct RunOptions {
     /// `recovery-reports.json` artifact (`--data-dir`); `None` uses a
     /// temporary directory and cleans up afterwards.
     pub data_dir: Option<String>,
+    /// Storage layout for the `exec` experiment (`--layout`, default row).
+    pub layout: Layout,
+    /// Where the `exec` experiment writes its machine-readable benchmark
+    /// record (`--bench-json`); `None` prints tables only.
+    pub bench_json: Option<String>,
 }
 
 impl RunOptions {

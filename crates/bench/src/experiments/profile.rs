@@ -141,13 +141,18 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
         metrics.count("exec.tuples_processed", executed.exec.tuples_processed);
         metrics.record_f64("exec.measured_cost", executed.exec.measured_cost());
         // Morsel executor accounting: dispatch counts and the rows-per-morsel
-        // histogram are deterministic (a function of plan and morsel size,
+        // summary are deterministic (a function of plan and morsel size,
         // never thread count); operator nanoseconds land in the wall tier.
+        // The profile keeps a bounded summary (count, sum, head/tail
+        // samples) rather than every morsel size; the histogram records the
+        // retained samples and the counters carry the exact totals.
         metrics.count(
             "exec.morsels_dispatched",
             executed.profile.morsels_dispatched,
         );
-        for &rows in &executed.profile.rows_per_morsel {
+        let morsel_rows = &executed.profile.rows_per_morsel;
+        metrics.count("exec.morsel_rows_total", morsel_rows.sum);
+        for &rows in morsel_rows.first.iter().chain(&morsel_rows.last) {
             metrics.record("exec.rows_per_morsel", rows);
         }
         for op in &executed.profile.operators {

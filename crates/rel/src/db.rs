@@ -12,7 +12,7 @@ use crate::recovery::{self, RecoveryReport};
 use crate::snapshot::{self, SnapshotImage, SnapshotTable, SNAPSHOT_FILE, WAL_FILE};
 use crate::sql::SqlQuery;
 use crate::stats::{ColumnStats, TableStats};
-use crate::storage::{self, TableHeap};
+use crate::storage::{self, ColumnarHeap, TableHeap};
 use crate::types::Row;
 use crate::view::BuiltView;
 use crate::wal::{WalRecord, WalStats, WalWriter};
@@ -55,6 +55,7 @@ pub struct Database {
     stats: Vec<TableStats>,
     built_indexes: FxHashMap<String, BuiltIndex>,
     built_views: FxHashMap<String, BuiltView>,
+    built_columnar: FxHashMap<TableId, ColumnarHeap>,
     built_config: OptimizerConfig,
     fault: Option<Arc<FaultPlane>>,
     exec: ExecOptions,
@@ -412,6 +413,25 @@ impl Database {
             .ok_or_else(|| RelError::UnknownIndex(name.to_string()))
     }
 
+    /// The built columnar partition of a table, if the current
+    /// configuration designates one.
+    pub fn built_columnar(&self, table: TableId) -> RelResult<&ColumnarHeap> {
+        self.built_columnar.get(&table).ok_or_else(|| {
+            let name = self
+                .catalog
+                .try_table(table)
+                .map(|def| def.name.clone())
+                .unwrap_or_else(|_| format!("#{}", table.0));
+            RelError::UnknownTable(format!("columnar partition of '{name}'"))
+        })
+    }
+
+    /// Mutable columnar partition access, used by chaos tests to damage
+    /// stored cells (see [`ColumnarHeap::corrupt_value`]).
+    pub fn columnar_mut(&mut self, table: TableId) -> Option<&mut ColumnarHeap> {
+        self.built_columnar.get_mut(&table)
+    }
+
     /// The physical configuration currently materialized.
     pub fn built_config(&self) -> &OptimizerConfig {
         &self.built_config
@@ -440,6 +460,11 @@ impl Database {
             let right_rows = self.try_heap(def.right)?.rows();
             let built = BuiltView::build(def.clone(), left_rows, right_rows);
             self.built_views.insert(def.name.clone(), built);
+        }
+        for &table in &config.columnar {
+            let def = self.catalog.try_table(table)?;
+            let built = ColumnarHeap::build(def, self.try_heap(table)?)?;
+            self.built_columnar.insert(table, built);
         }
         self.built_config = config.clone();
         Ok(())
@@ -509,6 +534,16 @@ impl Database {
             self.try_heap(def.left)?;
             self.try_heap(def.right)?;
         }
+        let mut columnar_seen: Vec<TableId> = Vec::new();
+        for &table in &config.columnar {
+            if columnar_seen.contains(&table) {
+                let name = self.catalog.try_table(table)?.name.clone();
+                return Err(RelError::Duplicate(format!("columnar '{name}'")));
+            }
+            columnar_seen.push(table);
+            self.catalog.try_table(table)?;
+            self.try_heap(table)?;
+        }
         Ok(())
     }
 
@@ -526,7 +561,8 @@ impl Database {
             .indexes
             .iter()
             .map(|def| def.table)
-            .chain(config.views.iter().flat_map(|def| [def.left, def.right]));
+            .chain(config.views.iter().flat_map(|def| [def.left, def.right]))
+            .chain(config.columnar.iter().copied());
         for table in backing {
             if seen.contains(&table) {
                 continue;
@@ -548,6 +584,7 @@ impl Database {
     fn clear_structures(&mut self) {
         self.built_indexes.clear();
         self.built_views.clear();
+        self.built_columnar.clear();
         self.built_config = OptimizerConfig::none();
     }
 
@@ -771,6 +808,7 @@ mod tests {
                 IndexDef::new("ix_pid", author, vec![1], vec![0, 2]),
             ],
             views: vec![],
+            columnar: vec![],
         };
         db.apply_config(&config).unwrap();
         let indexed = db.execute(&query).unwrap();
@@ -794,6 +832,7 @@ mod tests {
                 IndexDef::new("ix_pid", author, vec![1], vec![0, 2]),
             ],
             views: vec![],
+            columnar: vec![],
         };
         let with = db.estimate(&query, &config).unwrap();
         assert!(with.est_cost < none.est_cost);
@@ -819,6 +858,7 @@ mod tests {
         db.apply_config(&PhysicalConfig {
             indexes: vec![],
             views: vec![view],
+            columnar: vec![],
         })
         .unwrap();
         let viewed = db.execute(&query).unwrap();
@@ -840,6 +880,7 @@ mod tests {
         db.apply_config(&PhysicalConfig {
             indexes: vec![IndexDef::new("ix", inproc, vec![3], vec![])],
             views: vec![],
+            columnar: vec![],
         })
         .unwrap();
         assert!(db.built_index("ix").is_ok());
@@ -856,6 +897,7 @@ mod tests {
                 IndexDef::new("ix", inproc, vec![4], vec![]),
             ],
             views: vec![],
+            columnar: vec![],
         };
         assert!(db.apply_config(&config).is_err());
     }
@@ -878,6 +920,7 @@ mod tests {
         db.apply_config(&PhysicalConfig {
             indexes: vec![IndexDef::new("wide", inproc, vec![4], vec![2, 3])],
             views: vec![],
+            columnar: vec![],
         })
         .unwrap();
         let actual = db.built_bytes();
@@ -892,6 +935,7 @@ mod tests {
         db.apply_config(&PhysicalConfig {
             indexes: vec![IndexDef::new("narrow", inproc, vec![4], vec![])],
             views: vec![],
+            columnar: vec![],
         })
         .unwrap();
         assert!(db.estimated_built_bytes() < estimated / 2);
@@ -907,6 +951,7 @@ mod tests {
             .apply_config(&PhysicalConfig {
                 indexes: vec![IndexDef::new("ix", bogus, vec![0], vec![])],
                 views: vec![],
+                columnar: vec![],
             })
             .is_err());
         db.analyze_table(bogus).unwrap(); // no-op, no panic
@@ -1004,6 +1049,7 @@ mod tests {
             db.apply_config(&PhysicalConfig {
                 indexes: vec![IndexDef::new("ix_id", t, vec![0], vec![])],
                 views: vec![],
+                columnar: vec![],
             })
             .unwrap();
             t
@@ -1243,6 +1289,7 @@ mod tests {
                 right_col: 1,
                 outputs: vec![(ViewSide::Left, 2), (ViewSide::Right, 2)],
             }],
+            columnar: vec![],
         };
         // Without a fault plane the walk is skipped (performance posture
         // matches the executor's).
@@ -1272,6 +1319,7 @@ mod tests {
                 right_col: 1,
                 outputs: vec![(ViewSide::Right, 99)],
             }],
+            columnar: vec![],
         };
         let err = db.apply_config(&config).unwrap_err();
         assert!(matches!(err, RelError::UnknownColumn { .. }), "got {err:?}");

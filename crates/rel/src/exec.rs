@@ -127,14 +127,86 @@ pub struct OperatorTiming {
     pub nanos: u64,
 }
 
+/// How many leading/trailing morsel sizes [`MorselRows`] retains verbatim.
+const MORSEL_ROWS_KEEP: usize = 16;
+
+/// Bounded summary of the per-morsel input-row sequence. The profile used to
+/// store every morsel's size in a `Vec<u64>`, which grew without bound on
+/// long benchmark sweeps (one entry per morsel per operator per query); the
+/// summary keeps exact count and sum plus the first and last
+/// [`MORSEL_ROWS_KEEP`] sizes, and its [`MorselRows::merge`] reproduces
+/// exactly what summarizing the concatenated sequence would produce — so the
+/// deterministic fingerprint stays thread- and merge-order-stable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MorselRows {
+    /// Morsels observed.
+    pub count: u64,
+    /// Total input rows across all observed morsels.
+    pub sum: u64,
+    /// The first `MORSEL_ROWS_KEEP` morsel sizes, in dispatch order.
+    pub first: Vec<u64>,
+    /// The last `MORSEL_ROWS_KEEP` morsel sizes, in dispatch order.
+    pub last: Vec<u64>,
+}
+
+impl MorselRows {
+    fn push(&mut self, rows: u64) {
+        self.count += 1;
+        self.sum += rows;
+        if self.first.len() < MORSEL_ROWS_KEEP {
+            self.first.push(rows);
+        }
+        if self.last.len() == MORSEL_ROWS_KEEP {
+            self.last.remove(0);
+        }
+        self.last.push(rows);
+    }
+
+    /// Fold `other` in as if its sequence had been pushed after this one's.
+    fn merge(&mut self, other: &MorselRows) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for &rows in other
+            .first
+            .iter()
+            .take(MORSEL_ROWS_KEEP.saturating_sub(self.first.len()))
+        {
+            self.first.push(rows);
+        }
+        if other.count >= MORSEL_ROWS_KEEP as u64 {
+            self.last.clone_from(&other.last);
+        } else {
+            // `other` contributes fewer than KEEP sizes (all of them sit in
+            // `other.last`); the concatenation's tail keeps the final
+            // KEEP - other.count of ours in front of them.
+            let keep = MORSEL_ROWS_KEEP - other.count as usize;
+            let start = self.last.len().saturating_sub(keep);
+            self.last.drain(..start);
+            self.last.extend_from_slice(&other.last);
+        }
+    }
+
+    fn render(&self) -> String {
+        let join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        format!(
+            "count:{},sum:{},first:[{}],last:[{}]",
+            self.count,
+            self.sum,
+            join(&self.first),
+            join(&self.last)
+        )
+    }
+}
+
 /// Execution profile of one plan run: morsel dispatch counts (deterministic)
 /// plus per-operator span timers (counts deterministic, nanos wall-clock).
 #[derive(Debug, Clone, Default)]
 pub struct ExecProfile {
     /// Morsels dispatched to workers across all operators.
     pub morsels_dispatched: u64,
-    /// Input rows of each dispatched morsel, in dispatch order.
-    pub rows_per_morsel: Vec<u64>,
+    /// Bounded summary of each dispatched morsel's input rows, in dispatch
+    /// order.
+    pub rows_per_morsel: MorselRows,
     /// Per-operator timings, in first-invocation order.
     pub operators: Vec<OperatorTiming>,
 }
@@ -142,8 +214,9 @@ pub struct ExecProfile {
 impl ExecProfile {
     fn note_morsels(&mut self, ranges: &[Range<usize>]) {
         self.morsels_dispatched += ranges.len() as u64;
-        self.rows_per_morsel
-            .extend(ranges.iter().map(|r| r.len() as u64));
+        for r in ranges {
+            self.rows_per_morsel.push(r.len() as u64);
+        }
     }
 
     fn record_op(&mut self, name: &'static str, elapsed: Duration) {
@@ -165,8 +238,7 @@ impl ExecProfile {
     /// Merge order must be fixed for the fingerprint to stay deterministic.
     pub fn merge(&mut self, other: &ExecProfile) {
         self.morsels_dispatched += other.morsels_dispatched;
-        self.rows_per_morsel
-            .extend_from_slice(&other.rows_per_morsel);
+        self.rows_per_morsel.merge(&other.rows_per_morsel);
         for op in &other.operators {
             match self.operators.iter_mut().find(|mine| mine.name == op.name) {
                 Some(mine) => {
@@ -186,8 +258,7 @@ impl ExecProfile {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "morsels={}", self.morsels_dispatched);
-        let rows: Vec<String> = self.rows_per_morsel.iter().map(u64::to_string).collect();
-        let _ = writeln!(out, "rows_per_morsel={}", rows.join(","));
+        let _ = writeln!(out, "rows_per_morsel={}", self.rows_per_morsel.render());
         for op in &self.operators {
             let _ = writeln!(out, "op {}={}", op.name, op.count);
         }
@@ -419,16 +490,26 @@ fn execute_pipeline(
                 profile.note_morsels(&probe_ranges);
                 let pieces: Vec<Vec<Row>> =
                     par::parallel_map(&probe_ranges, opts.threads, |_, range| {
-                        let mut out = Vec::new();
-                        for outer in &wide[range.start..range.end] {
+                        // Pass 1: batch key extraction — hash every non-null
+                        // probe key and record its partition, keeping the
+                        // key-hashing loop tight over the morsel.
+                        let mut probes: Vec<(u32, u8)> = Vec::with_capacity(range.len());
+                        for (i, outer) in wide[range.start..range.end].iter().enumerate() {
                             let key = &outer[outer_slot];
-                            if key.is_null() {
-                                continue;
+                            if !key.is_null() {
+                                probes.push(((range.start + i) as u32, partition_of(key) as u8));
                             }
-                            if let Some(matches) = tables_by_part[partition_of(key)].get(key) {
-                                for &i in matches {
+                        }
+                        // Pass 2: probe in extraction order, so per-morsel
+                        // output order equals the row-at-a-time probe's.
+                        let mut out = Vec::new();
+                        for &(i, p) in &probes {
+                            let outer = &wide[i as usize];
+                            let key = &outer[outer_slot];
+                            if let Some(matches) = tables_by_part[p as usize].get(key) {
+                                for &m in matches {
                                     let mut row = outer.clone();
-                                    row.extend(inner_rows[i as usize].iter().cloned());
+                                    row.extend(inner_rows[m as usize].iter().cloned());
                                     out.push(row);
                                 }
                             }
@@ -540,6 +621,103 @@ fn validate_filters(filters: &[Filter], def: &crate::catalog::TableDef) -> RelRe
     Ok(())
 }
 
+/// One filter compiled against a columnar partition: a typed per-column
+/// comparison the vectorized kernel applies to a selection vector, avoiding
+/// the per-row `Value` construction and enum dispatch of [`passes_quiet`].
+/// Each variant reproduces [`crate::expr::FilterOp::eval`]'s verdict exactly
+/// — including SQL null semantics (comparisons never pass NULL) and the
+/// cross-type total order (numerics below strings).
+enum Vectorized {
+    /// `IS NULL`.
+    IsNull,
+    /// `IS NOT NULL`.
+    IsNotNull,
+    /// Int column vs Int literal: native i64 compare.
+    IntCmp(i64, crate::expr::FilterOp),
+    /// Numeric column vs numeric literal through the f64 total order.
+    F64Cmp(f64, crate::expr::FilterOp),
+    /// Str column vs Str literal.
+    StrCmp(std::sync::Arc<str>, crate::expr::FilterOp),
+    /// Every non-null value gets the same verdict: cross-type compares
+    /// (numeric vs Str sits on a fixed side of the total order) and
+    /// NULL-literal compares (always false).
+    ConstNonNull(bool),
+}
+
+/// Does `ord` satisfy `op`? Mirrors the comparison arm of `FilterOp::eval`.
+fn ord_matches(op: crate::expr::FilterOp, ord: std::cmp::Ordering) -> bool {
+    use crate::expr::FilterOp;
+    use std::cmp::Ordering;
+    match op {
+        FilterOp::Eq => ord == Ordering::Equal,
+        FilterOp::Ne => ord != Ordering::Equal,
+        FilterOp::Lt => ord == Ordering::Less,
+        FilterOp::Le => ord != Ordering::Greater,
+        FilterOp::Gt => ord == Ordering::Greater,
+        FilterOp::Ge => ord != Ordering::Less,
+        FilterOp::IsNull | FilterOp::IsNotNull => unreachable!("null tests are not comparisons"),
+    }
+}
+
+impl Vectorized {
+    /// Compile one filter against the column it reads.
+    fn compile(filter: &Filter, column: &crate::storage::Column) -> Vectorized {
+        use crate::expr::FilterOp;
+        use crate::storage::ColumnData;
+        match filter.op {
+            FilterOp::IsNull => return Vectorized::IsNull,
+            FilterOp::IsNotNull => return Vectorized::IsNotNull,
+            _ => {}
+        }
+        let op = filter.op;
+        match (column.data(), &filter.value) {
+            (_, Value::Null) => Vectorized::ConstNonNull(false),
+            (ColumnData::Int(_), Value::Int(lit)) => Vectorized::IntCmp(*lit, op),
+            (ColumnData::Int(_), Value::Float(lit)) => Vectorized::F64Cmp(*lit, op),
+            (ColumnData::Float(_), Value::Int(lit)) => Vectorized::F64Cmp(*lit as f64, op),
+            (ColumnData::Float(_), Value::Float(lit)) => Vectorized::F64Cmp(*lit, op),
+            (ColumnData::Str { .. }, Value::Str(lit)) => Vectorized::StrCmp(lit.clone(), op),
+            // Numerics sort below strings in the cross-type total order.
+            (ColumnData::Int(_) | ColumnData::Float(_), Value::Str(_)) => {
+                Vectorized::ConstNonNull(ord_matches(op, std::cmp::Ordering::Less))
+            }
+            (ColumnData::Str { .. }, Value::Int(_) | Value::Float(_)) => {
+                Vectorized::ConstNonNull(ord_matches(op, std::cmp::Ordering::Greater))
+            }
+        }
+    }
+
+    /// Verdict for row `r` of `column`.
+    fn matches(&self, column: &crate::storage::Column, r: usize) -> bool {
+        use crate::storage::ColumnData;
+        match self {
+            Vectorized::IsNull => return column.is_null(r),
+            Vectorized::IsNotNull => return !column.is_null(r),
+            _ => {}
+        }
+        if column.is_null(r) {
+            return false; // comparisons never pass NULL
+        }
+        match (self, column.data()) {
+            (Vectorized::IntCmp(lit, op), ColumnData::Int(vals)) => {
+                ord_matches(*op, vals[r].cmp(lit))
+            }
+            (Vectorized::F64Cmp(lit, op), ColumnData::Int(vals)) => {
+                ord_matches(*op, (vals[r] as f64).total_cmp(lit))
+            }
+            (Vectorized::F64Cmp(lit, op), ColumnData::Float(vals)) => {
+                ord_matches(*op, vals[r].total_cmp(lit))
+            }
+            (Vectorized::StrCmp(lit, op), ColumnData::Str { .. }) => {
+                ord_matches(*op, column.data().str_at(r).cmp(lit.as_ref()))
+            }
+            (Vectorized::ConstNonNull(verdict), _) => *verdict,
+            // `compile` pairs each kernel with its column's data variant.
+            _ => false,
+        }
+    }
+}
+
 /// Run one table access, returning full-width filtered rows and the access's
 /// accounting.
 fn run_scan(
@@ -582,6 +760,89 @@ fn run_scan(
                 stats.cpu_cost += cpu;
                 stats.tuples_processed += tuples;
             }
+            profile.record_op("scan.seq", scan_start.elapsed());
+            Ok((result, stats))
+        }
+        Access::ColumnarScan { columns } => {
+            let scan_start = Instant::now();
+            let col_heap = db.built_columnar(table)?;
+            if let Some(&bad) = columns.iter().find(|&&c| c >= col_heap.width()) {
+                return Err(RelError::UnknownColumn {
+                    table: table_def.name.clone(),
+                    column: format!("#{bad}"),
+                });
+            }
+            // Measured accounting is layout-invariant by contract (see
+            // DESIGN.md): charge exactly what the SeqScan arm charges — the
+            // *row* heap's pages against the budget, one fault token, the
+            // same io/cpu formulas over the same morsel boundaries — so
+            // rows, ExecStats, the profile fingerprint, and the injected
+            // fault sequence are bit-identical across layouts. Only the
+            // checksum walk differs: the pages actually read are the
+            // columnar partition's, so those are the ones verified
+            // (verification consumes neither budget nor fault tokens).
+            if let Some(plane) = plane {
+                plane.storage_gate(&table_def.name, heap.pages() as u64)?;
+                col_heap.verify_checksums(&table_def.name)?;
+            }
+            stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
+            let kernels: Vec<(&crate::storage::Column, Vectorized)> = scan
+                .filters
+                .iter()
+                .map(|f| {
+                    let column =
+                        col_heap
+                            .column(f.column)
+                            .ok_or_else(|| RelError::UnknownColumn {
+                                table: table_def.name.clone(),
+                                column: format!("#{}", f.column),
+                            })?;
+                    Ok((column, Vectorized::compile(f, column)))
+                })
+                .collect::<RelResult<_>>()?;
+            let width = table_def.columns.len();
+            let ranges = morsel_ranges(col_heap.rows(), opts);
+            profile.note_morsels(&ranges);
+            let pieces: Vec<(Vec<Row>, f64, u64)> =
+                par::parallel_map(&ranges, opts.threads, |_, range| {
+                    // Filter to a selection vector: the first kernel scans
+                    // the range, the rest thin it in plan-filter order.
+                    let mut sel: Vec<u32> = Vec::new();
+                    match kernels.split_first() {
+                        None => sel.extend(range.clone().map(|r| r as u32)),
+                        Some(((column, kernel), rest)) => {
+                            for r in range.clone() {
+                                if kernel.matches(column, r) {
+                                    sel.push(r as u32);
+                                }
+                            }
+                            for (column, kernel) in rest {
+                                sel.retain(|&r| kernel.matches(column, r as usize));
+                            }
+                        }
+                    }
+                    // Late materialization: decode only the surviving rows,
+                    // and only the columns the plan reads — the rest stay
+                    // NULL, which downstream operators never touch.
+                    let mut out = Vec::with_capacity(sel.len());
+                    for &r in &sel {
+                        let mut row = vec![Value::Null; width];
+                        for &c in columns {
+                            row[c] = col_heap.value(c, r as usize);
+                        }
+                        out.push(row);
+                    }
+                    (out, range.len() as f64 * per_row_cpu, range.len() as u64)
+                });
+            let mut result = Vec::new();
+            for (piece, cpu, tuples) in pieces {
+                result.extend(piece);
+                stats.cpu_cost += cpu;
+                stats.tuples_processed += tuples;
+            }
+            // Recorded as `scan.seq`: the operator identity (and with it the
+            // profile fingerprint) is part of the layout-invariance
+            // contract.
             profile.record_op("scan.seq", scan_start.elapsed());
             Ok((result, stats))
         }
@@ -778,6 +1039,7 @@ mod tests {
         db.apply_config(&PhysicalConfig {
             indexes: vec![IndexDef::new("ix", t, vec![1], includes)],
             views: vec![],
+            columnar: vec![],
         })
         .unwrap();
         (db, t)
@@ -868,6 +1130,7 @@ mod tests {
                 IndexDef::new("ix_pid", child, vec![1], vec![0]),
             ],
             views: vec![],
+            columnar: vec![],
         })
         .unwrap();
         let indexed = db.execute(&query).unwrap();
@@ -1085,6 +1348,171 @@ mod tests {
             snap.pages_charged, 0,
             "failing query must not charge the page budget"
         );
+    }
+
+    /// Regression (memory): the profile used to keep every morsel's size in
+    /// an unbounded `Vec`. The bounded summary must stay *exact* — count,
+    /// sum, and the retained head/tail — and merging any split of a
+    /// sequence must reproduce the whole-sequence summary bit for bit,
+    /// since profile merging across queries relies on it.
+    #[test]
+    fn rows_per_morsel_summary_is_exact_and_bounded() {
+        let seq: Vec<u64> = (0..1000u64).map(|i| (i * 7) % 90 + 1).collect();
+        let mut all = MorselRows::default();
+        for &v in &seq {
+            all.push(v);
+        }
+        assert_eq!(all.count, 1000);
+        assert_eq!(all.sum, seq.iter().sum::<u64>());
+        assert_eq!(all.first, seq[..MORSEL_ROWS_KEEP].to_vec());
+        assert_eq!(all.last, seq[seq.len() - MORSEL_ROWS_KEEP..].to_vec());
+        for split in [0usize, 1, 5, 15, 16, 17, 500, 984, 990, 999, 1000] {
+            let (a, b) = seq.split_at(split);
+            let mut left = MorselRows::default();
+            for &v in a {
+                left.push(v);
+            }
+            let mut right = MorselRows::default();
+            for &v in b {
+                right.push(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, all, "split={split}");
+        }
+    }
+
+    /// The layout-invariance contract: executing the same query over a
+    /// columnar partition returns bit-identical rows, stats, and profile
+    /// fingerprint — the layout changes wall-clock, never results.
+    #[test]
+    fn columnar_scan_matches_row_scan_bit_for_bit() {
+        let (mut db, t) = db_with_index(false);
+        // `Ne` is not sargable, so both configs plan a full scan.
+        let mut q = SelectQuery::single(t);
+        q.filters = vec![Filter::new(0, 1, crate::expr::FilterOp::Ne, Value::Int(7))];
+        q.outputs = vec![Output::col(0, 0), Output::col(0, 2)];
+        let query = SqlQuery::Select(q);
+        let opts = ExecOptions {
+            threads: 1,
+            morsel_rows: 128,
+        };
+        let row_plan = db.estimate(&query, db.built_config()).unwrap();
+        let (row_rows, row_stats, row_profile) = execute_plan_with(&db, &row_plan, &opts).unwrap();
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![],
+            views: vec![],
+            columnar: vec![t],
+        })
+        .unwrap();
+        let col_plan = db.estimate(&query, db.built_config()).unwrap();
+        assert!(
+            matches!(
+                &col_plan.branches[0],
+                BranchPlan::Pipeline {
+                    driver: ScanNode {
+                        access: Access::ColumnarScan { .. },
+                        ..
+                    },
+                    ..
+                }
+            ),
+            "columnar config must re-price the scan: {}",
+            col_plan.explain()
+        );
+        for threads in [1usize, 4] {
+            let opts = ExecOptions {
+                threads,
+                morsel_rows: 128,
+            };
+            let (rows, stats, profile) = execute_plan_with(&db, &col_plan, &opts).unwrap();
+            assert_eq!(rows, row_rows, "threads={threads}");
+            assert_eq!(stats, row_stats, "threads={threads}");
+            assert_eq!(
+                profile.deterministic_fingerprint(),
+                row_profile.deterministic_fingerprint(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// The vectorized kernels must reproduce `FilterOp::eval` exactly:
+    /// SQL null semantics (comparisons never pass NULL, `IS NULL` does),
+    /// cross-type ordering (numerics below strings), and Int-vs-Float
+    /// comparison through the f64 total order.
+    #[test]
+    fn columnar_kernels_match_row_semantics() {
+        use crate::expr::FilterOp;
+        let mut db = Database::new();
+        let t = db
+            .create_table(TableDef::new(
+                "k",
+                vec![
+                    ColumnDef::new("i", DataType::Int).nullable(),
+                    ColumnDef::new("f", DataType::Float).nullable(),
+                    ColumnDef::new("s", DataType::Str).nullable(),
+                ],
+            ))
+            .unwrap();
+        for n in 0..100i64 {
+            db.insert(
+                t,
+                vec![
+                    if n % 3 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(n)
+                    },
+                    if n % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(n as f64 / 2.0)
+                    },
+                    if n % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("s{n:03}"))
+                    },
+                ],
+            )
+            .unwrap();
+        }
+        db.analyze().unwrap();
+        let cases: Vec<Vec<Filter>> = vec![
+            vec![Filter::new(0, 0, FilterOp::IsNull, Value::Null)],
+            vec![Filter::new(0, 0, FilterOp::IsNotNull, Value::Null)],
+            vec![Filter::new(0, 0, FilterOp::Ne, Value::Int(10))],
+            vec![Filter::new(0, 1, FilterOp::Ge, Value::Int(20))],
+            vec![Filter::new(0, 0, FilterOp::Lt, Value::str("x"))],
+            vec![Filter::new(0, 2, FilterOp::Gt, Value::Int(5))],
+            vec![Filter::new(0, 2, FilterOp::Le, Value::str("s050"))],
+            vec![Filter::new(0, 0, FilterOp::Eq, Value::Null)],
+            vec![Filter::new(0, 0, FilterOp::Eq, Value::Float(12.0))],
+            vec![
+                Filter::new(0, 0, FilterOp::Ne, Value::Int(10)),
+                Filter::new(0, 2, FilterOp::IsNotNull, Value::Null),
+            ],
+        ];
+        let query = |filters: &[Filter]| {
+            let mut q = SelectQuery::single(t);
+            q.filters = filters.to_vec();
+            q.outputs = vec![Output::col(0, 0), Output::col(0, 1), Output::col(0, 2)];
+            SqlQuery::Select(q)
+        };
+        let row_outcomes: Vec<_> = cases
+            .iter()
+            .map(|filters| db.execute(&query(filters)).unwrap())
+            .collect();
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![],
+            views: vec![],
+            columnar: vec![t],
+        })
+        .unwrap();
+        for (i, (filters, expected)) in cases.iter().zip(&row_outcomes).enumerate() {
+            let outcome = db.execute(&query(filters)).unwrap();
+            assert_eq!(outcome.rows, expected.rows, "case {i}");
+            assert_eq!(outcome.exec, expected.exec, "case {i}");
+        }
     }
 
     /// The three-column probe pipeline under the fault plane: checksums are

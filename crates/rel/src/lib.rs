@@ -52,13 +52,14 @@ pub mod wal;
 pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
 pub use error::{RelError, RelResult};
-pub use exec::{ExecOptions, ExecProfile, ExecStats, OperatorTiming};
+pub use exec::{ExecOptions, ExecProfile, ExecStats, MorselRows, OperatorTiming};
 pub use expr::{Filter, FilterOp};
 pub use fault::{CrashKind, CrashPoint, FaultConfig, FaultPlane, FaultStats};
 pub use index::IndexDef;
 pub use recovery::RecoveryReport;
 pub use sql::{Output, SelectQuery, SqlQuery, UnionAllQuery};
 pub use stats::{ColumnStats, TableStats};
+pub use storage::{Column, ColumnData, ColumnarHeap};
 pub use types::{DataType, Row, Value};
 pub use view::ViewDef;
 pub use wal::{WalRecord, WalStats};

@@ -25,13 +25,20 @@ pub enum Access {
         /// is never touched.
         covering: bool,
     },
+    /// Vectorized scan over a columnar partition: only the listed columns
+    /// are decoded (late materialization).
+    ColumnarScan {
+        /// Columns the branch touches (outputs + filters + join keys),
+        /// sorted and deduplicated.
+        columns: Vec<usize>,
+    },
 }
 
 impl Access {
     /// Name of the index used, if any.
     pub fn index_name(&self) -> Option<&str> {
         match self {
-            Access::SeqScan => None,
+            Access::SeqScan | Access::ColumnarScan { .. } => None,
             Access::IndexSeek { index, .. } => Some(index),
         }
     }
@@ -219,6 +226,14 @@ impl QueryPlan {
                                 "IndexSeek(t{}, {index}{})",
                                 driver.table_ref,
                                 if *covering { ", covering" } else { "" }
+                            );
+                        }
+                        Access::ColumnarScan { columns } => {
+                            let _ = write!(
+                                out,
+                                "ColumnarScan(t{}, {} cols)",
+                                driver.table_ref,
+                                columns.len()
                             );
                         }
                     }

@@ -149,7 +149,10 @@ pub fn recover(dir: &Path) -> RelResult<(Database, RecoveryReport)> {
             }
             db.set_table_stats(id, table.stats.clone())?;
         }
-        if !image.config.indexes.is_empty() || !image.config.views.is_empty() {
+        if !image.config.indexes.is_empty()
+            || !image.config.views.is_empty()
+            || !image.config.columnar.is_empty()
+        {
             report.indexes_rebuilt += image.config.indexes.len() as u64;
             report.views_rebuilt += image.config.views.len() as u64;
             db.apply_config(&image.config)?;

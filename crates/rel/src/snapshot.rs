@@ -205,6 +205,7 @@ mod tests {
                     vec![],
                 )],
                 views: vec![],
+                columnar: vec![crate::catalog::TableId(0)],
             },
         }
     }

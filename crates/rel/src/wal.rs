@@ -355,6 +355,18 @@ pub(crate) fn enc_config(e: &mut Enc, config: &PhysicalConfig) {
     for def in &config.views {
         enc_view_def(e, def);
     }
+    // The columnar section is written only when non-empty: the config is
+    // the trailing field of both the ApplyConfig record and the snapshot
+    // image, so its absence is unambiguous, and configs without partitions
+    // keep the pre-columnar byte layout (logs and snapshots from before
+    // the section existed still decode, and byte-level WAL accounting
+    // like `wal.valid_bytes` is unchanged for them).
+    if !config.columnar.is_empty() {
+        e.u32(config.columnar.len() as u32);
+        for table in &config.columnar {
+            e.u32(table.0);
+        }
+    }
 }
 
 pub(crate) fn dec_config(d: &mut Dec<'_>) -> DecResult<PhysicalConfig> {
@@ -368,7 +380,19 @@ pub(crate) fn dec_config(d: &mut Dec<'_>) -> DecResult<PhysicalConfig> {
     for _ in 0..nv {
         views.push(dec_view_def(d)?);
     }
-    Ok(PhysicalConfig { indexes, views })
+    let mut columnar = Vec::new();
+    if !d.is_done() {
+        let nc = d.len()?;
+        columnar.reserve(nc);
+        for _ in 0..nc {
+            columnar.push(TableId(d.u32()?));
+        }
+    }
+    Ok(PhysicalConfig {
+        indexes,
+        views,
+        columnar,
+    })
 }
 
 fn enc_opt_value(e: &mut Enc, v: &Option<Value>) {
@@ -827,6 +851,7 @@ mod tests {
                     right_col: 1,
                     outputs: vec![(ViewSide::Left, 0), (ViewSide::Right, 2)],
                 }],
+                columnar: vec![TableId(0), TableId(1)],
             }),
             WalRecord::ClearConfig,
             WalRecord::Checkpoint,

@@ -2,7 +2,7 @@
 //! random conjunctive select-project-join queries, the optimizer+executor
 //! must return exactly what a brute-force nested-loop evaluation returns —
 //! under every physical configuration (no indexes, narrow indexes, covering
-//! indexes, join views).
+//! indexes, join views, columnar partitions).
 
 use proptest::prelude::*;
 use xmlshred::rel::catalog::{ColumnDef, TableDef, TableId};
@@ -123,6 +123,7 @@ fn configs(parent: TableId, child: TableId) -> Vec<(&'static str, PhysicalConfig
                     IndexDef::new("ix_pid", child, vec![1], vec![]),
                 ],
                 views: vec![],
+                columnar: vec![],
             },
         ),
         (
@@ -133,6 +134,15 @@ fn configs(parent: TableId, child: TableId) -> Vec<(&'static str, PhysicalConfig
                     IndexDef::new("ix_pid_c", child, vec![1], vec![0, 2]),
                 ],
                 views: vec![],
+                columnar: vec![],
+            },
+        ),
+        (
+            "columnar",
+            PhysicalConfig {
+                indexes: vec![],
+                views: vec![],
+                columnar: vec![parent, child],
             },
         ),
         (
@@ -152,6 +162,7 @@ fn configs(parent: TableId, child: TableId) -> Vec<(&'static str, PhysicalConfig
                         (ViewSide::Right, 2),
                     ],
                 }],
+                columnar: vec![],
             },
         ),
     ]

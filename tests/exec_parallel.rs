@@ -12,6 +12,9 @@
 //!   ratio of the optimizer's estimate for every workload query, on both
 //!   fixtures, so cost-model drift between the estimator and the executor
 //!   is caught here rather than in skewed figures.
+//! * **Layout invariance** — rebuilding every table as a columnar partition
+//!   changes which scan kernels run, but not one bit of the results, the
+//!   measured stats, the deterministic profile, or the parity ratios.
 
 use xmlshred::data::dblp::{generate_dblp, DblpConfig};
 use xmlshred::data::movie::{generate_movie, MovieConfig};
@@ -194,35 +197,100 @@ fn fault_plane_budget_charge_is_thread_invariant() {
     }
 }
 
+/// Run the accounting-parity sweep over one prepared database. Shared by
+/// the row-layout and columnar-layout parity tests below.
+fn assert_cost_parity(name: &str, db: &mut Database, queries: &[SqlQuery]) {
+    db.set_exec_options(ExecOptions {
+        threads: 2,
+        morsel_rows: MORSEL_ROWS,
+    });
+    for (i, sql) in queries.iter().enumerate() {
+        let outcome = db.execute(sql).expect("query executes");
+        let estimated = outcome.plan.est_cost;
+        let measured = outcome.exec.measured_cost();
+        assert!(
+            estimated.is_finite() && estimated > 0.0,
+            "{name} q{i}: bad estimate {estimated}"
+        );
+        assert!(
+            measured.is_finite() && measured > 0.0,
+            "{name} q{i}: bad measurement {measured}"
+        );
+        let ratio = measured / estimated;
+        // Estimates use histogram selectivities, the executor counts
+        // actual pages and tuples; they agree on the cost constants, so
+        // divergence beyond an order of magnitude means the two models
+        // drifted apart (the class of bug this suite exists to catch).
+        assert!(
+            (0.1..=10.0).contains(&ratio),
+            "{name} q{i}: measured {measured:.2} vs estimated {estimated:.2} \
+             (ratio {ratio:.3}) outside [0.1, 10]"
+        );
+    }
+}
+
 #[test]
 fn measured_cost_stays_within_bounded_ratio_of_estimate() {
     for (name, mut db, queries) in fixtures() {
+        assert_cost_parity(name, &mut db, &queries);
+    }
+}
+
+/// Rebuild the tuned config with every table additionally stored as a
+/// columnar partition, keeping the tuned indexes and views.
+fn columnarize(db: &mut Database) {
+    let mut config = db.built_config().clone();
+    config.columnar = db.catalog().iter().map(|(id, _)| id).collect();
+    db.apply_config(&config).expect("columnar config builds");
+}
+
+#[test]
+fn columnar_layout_preserves_cost_parity() {
+    for (name, mut db, queries) in fixtures() {
+        columnarize(&mut db);
+        assert_cost_parity(name, &mut db, &queries);
+    }
+}
+
+#[test]
+fn columnar_layout_is_bit_identical_to_row_layout() {
+    let mut columnar_plans = 0usize;
+    for (name, mut db, queries) in fixtures() {
+        // Row-layout baseline, per query, at one thread count.
         db.set_exec_options(ExecOptions {
-            threads: 2,
+            threads: 1,
             morsel_rows: MORSEL_ROWS,
         });
-        for (i, sql) in queries.iter().enumerate() {
-            let outcome = db.execute(sql).expect("query executes");
-            let estimated = outcome.plan.est_cost;
-            let measured = outcome.exec.measured_cost();
-            assert!(
-                estimated.is_finite() && estimated > 0.0,
-                "{name} q{i}: bad estimate {estimated}"
-            );
-            assert!(
-                measured.is_finite() && measured > 0.0,
-                "{name} q{i}: bad measurement {measured}"
-            );
-            let ratio = measured / estimated;
-            // Estimates use histogram selectivities, the executor counts
-            // actual pages and tuples; they agree on the cost constants, so
-            // divergence beyond an order of magnitude means the two models
-            // drifted apart (the class of bug this suite exists to catch).
-            assert!(
-                (0.1..=10.0).contains(&ratio),
-                "{name} q{i}: measured {measured:.2} vs estimated {estimated:.2} \
-                 (ratio {ratio:.3}) outside [0.1, 10]"
-            );
+        let row_views: Vec<_> = queries
+            .iter()
+            .map(|sql| deterministic_view(&db.execute(sql).expect("row query executes")))
+            .collect();
+
+        // Same queries over columnar partitions, at 1 and 4 threads: every
+        // deterministic observable must match the row baseline exactly.
+        columnarize(&mut db);
+        for threads in [1, 4] {
+            db.set_exec_options(ExecOptions {
+                threads,
+                morsel_rows: MORSEL_ROWS,
+            });
+            for (i, sql) in queries.iter().enumerate() {
+                let outcome = db.execute(sql).expect("columnar query executes");
+                if outcome.plan.explain().contains("ColumnarScan") {
+                    columnar_plans += 1;
+                }
+                assert_eq!(
+                    deterministic_view(&outcome),
+                    row_views[i],
+                    "{name} q{i}: columnar layout diverged from row at {threads} thread(s)"
+                );
+            }
         }
     }
+    // The invariance must not hold vacuously: at least one workload query
+    // has to actually plan a columnar scan.
+    assert!(
+        columnar_plans > 0,
+        "no workload query planned a ColumnarScan; the layout sweep is vacuous"
+    );
 }

@@ -13,7 +13,11 @@
 //! * crash recovery converges: for an arbitrary table, mutation sequence,
 //!   checkpoint position, and seeded crash point (clean, torn-tail, or
 //!   bit-flip), recovering and resuming from the recovered LSN yields a
-//!   database equal to an uncrashed run, and the result is itself durable.
+//!   database equal to an uncrashed run, and the result is itself durable;
+//! * columnar layout invariance: for an arbitrary table, row set, and
+//!   filter conjunction, scanning a columnar partition returns the same
+//!   rows, [`ExecStats`] bits, deterministic profile, and fault-plane
+//!   charges (budget and injected faults alike) as scanning the row heap.
 
 use proptest::prelude::*;
 use xmlshred::prelude::*;
@@ -500,6 +504,197 @@ fn arb_durability_case() -> impl Strategy<Value = (TableDef, Vec<DurOp>, u64, Cr
             };
             (def, ops, seed, kind)
         })
+}
+
+// ------------------------------------------------ row vs columnar layout --
+
+use xmlshred::rel::expr::Filter;
+use xmlshred::rel::fault::FaultConfig;
+use xmlshred::rel::optimizer::PhysicalConfig;
+use xmlshred::rel::sql::{Output, SelectQuery, SqlQuery};
+use xmlshred::rel::ExecOptions;
+
+/// An arbitrary single-table scan case: column types/nullability, per-row
+/// value seeds, and a filter conjunction (column selector, operator
+/// selector, literal type selector, literal seed). Reuses the durability
+/// section's `dur_value` mixer so rows are plain data, no dependent
+/// strategies.
+#[allow(clippy::type_complexity)]
+fn arb_columnar_case() -> impl Strategy<Value = (Vec<(u8, bool)>, Vec<u64>, Vec<(u8, u8, u8, u64)>)>
+{
+    (
+        proptest::collection::vec((0u8..3, proptest::bool::ANY), 1..4),
+        proptest::collection::vec(0u64..u64::MAX, 0..200),
+        proptest::collection::vec((0u8..8, 0u8..8, 0u8..3, 0u64..u64::MAX), 0..4),
+    )
+}
+
+fn columnar_case_to_query(
+    table: xmlshred::rel::catalog::TableId,
+    types: &[(DataType, bool)],
+    raw_filters: &[(u8, u8, u8, u64)],
+) -> SqlQuery {
+    let mut q = SelectQuery::single(table);
+    q.outputs = (0..types.len()).map(|c| Output::col(0, c)).collect();
+    for &(col_sel, op_sel, lit_ty_sel, lit_seed) in raw_filters {
+        let column = col_sel as usize % types.len();
+        let op = match op_sel {
+            0 => FilterOp::Eq,
+            1 => FilterOp::Ne,
+            2 => FilterOp::Lt,
+            3 => FilterOp::Le,
+            4 => FilterOp::Gt,
+            5 => FilterOp::Ge,
+            6 => FilterOp::IsNull,
+            _ => FilterOp::IsNotNull,
+        };
+        // The literal's type is chosen independently of the column's, so
+        // cross-type and null-literal comparisons are exercised too.
+        let lit_ty = match lit_ty_sel {
+            0 => DataType::Int,
+            1 => DataType::Float,
+            _ => DataType::Str,
+        };
+        let value = dur_value(lit_ty, true, lit_seed, 97);
+        q.filters.push(Filter::new(0, column, op, value));
+    }
+    SqlQuery::Select(q)
+}
+
+/// Everything about an execution that must not depend on the storage
+/// layout (mirrors `tests/exec_parallel.rs::deterministic_view`).
+fn layout_view(
+    outcome: &xmlshred::rel::db::QueryOutcome,
+) -> (Vec<Row>, u64, u64, usize, u64, String) {
+    (
+        outcome.rows.clone(),
+        outcome.exec.io_cost.to_bits(),
+        outcome.exec.cpu_cost.to_bits(),
+        outcome.exec.rows_out,
+        outcome.exec.tuples_processed,
+        outcome.profile.deterministic_fingerprint(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scanning a columnar partition is observationally identical to
+    /// scanning the row heap: same rows, same measured stats, same
+    /// deterministic profile, same fault-plane budget charge, and — with
+    /// probabilistic storage faults armed at a fixed seed — the same
+    /// injected-fault outcome and plane counters.
+    #[test]
+    fn columnar_scan_is_indistinguishable_from_row_scan(case in arb_columnar_case()) {
+        let (cols, row_seeds, raw_filters) = case;
+        let types: Vec<(DataType, bool)> = cols
+            .iter()
+            .map(|&(t, nullable)| {
+                let ty = match t {
+                    0 => DataType::Int,
+                    1 => DataType::Float,
+                    _ => DataType::Str,
+                };
+                (ty, nullable)
+            })
+            .collect();
+        let def = TableDef::new(
+            "t",
+            types
+                .iter()
+                .enumerate()
+                .map(|(i, &(ty, nullable))| {
+                    let column = ColumnDef::new(format!("c{i}"), ty);
+                    if nullable { column.nullable() } else { column }
+                })
+                .collect(),
+        );
+        let mut db = Database::new();
+        let table = db.create_table(def).expect("create");
+        let rows: Vec<Row> = row_seeds
+            .iter()
+            .map(|&seed| {
+                types
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &(ty, nullable))| dur_value(ty, nullable, seed, c as u64))
+                    .collect::<Row>()
+            })
+            .collect();
+        db.insert_rows(table, rows.iter().cloned()).expect("insert");
+        db.analyze().expect("analyze");
+        let query = columnar_case_to_query(table, &types, &raw_filters);
+        // Small morsels so even modest tables fan out to several morsels.
+        db.set_exec_options(ExecOptions { threads: 1, morsel_rows: 32 });
+
+        // Row-layout baseline: plain run, budget-gated run, faulty run.
+        let row_view = layout_view(&db.execute(&query).expect("row scan"));
+        db.set_fault_config(FaultConfig {
+            seed: 7,
+            budget_pages: Some(u64::MAX),
+            ..FaultConfig::default()
+        });
+        db.execute(&query).expect("row scan under budget");
+        let row_charged = db.fault_plane().expect("armed").snapshot().pages_charged;
+        db.clear_fault_config();
+        db.set_fault_config(FaultConfig {
+            seed: 7,
+            p_storage: 0.5,
+            ..FaultConfig::default()
+        });
+        let row_faulty = db.execute(&query).map(|o| layout_view(&o)).map_err(|e| e.to_string());
+        let row_fault_stats = db.fault_plane().expect("armed").snapshot();
+        db.clear_fault_config();
+
+        // Columnar layout: same database, partition built over the table.
+        db.apply_config(&PhysicalConfig {
+            indexes: vec![],
+            views: vec![],
+            columnar: vec![table],
+        })
+        .expect("columnar config builds");
+        let outcome = db.execute(&query).expect("columnar scan");
+        prop_assert!(
+            outcome.plan.explain().contains("ColumnarScan"),
+            "plan did not pick the columnar partition:\n{}",
+            outcome.plan.explain()
+        );
+        prop_assert_eq!(layout_view(&outcome), row_view.clone(), "plain run diverged");
+        // Thread fan-out over the partition must not change anything.
+        db.set_exec_options(ExecOptions { threads: 3, morsel_rows: 32 });
+        prop_assert_eq!(
+            layout_view(&db.execute(&query).expect("columnar scan @3")),
+            row_view,
+            "threaded columnar run diverged"
+        );
+        db.set_exec_options(ExecOptions { threads: 1, morsel_rows: 32 });
+
+        // Identical budget charge: the columnar arm gates the same row-heap
+        // page count through the same plane.
+        db.set_fault_config(FaultConfig {
+            seed: 7,
+            budget_pages: Some(u64::MAX),
+            ..FaultConfig::default()
+        });
+        db.execute(&query).expect("columnar scan under budget");
+        let col_charged = db.fault_plane().expect("armed").snapshot().pages_charged;
+        db.clear_fault_config();
+        prop_assert_eq!(col_charged, row_charged, "budget charge diverged");
+
+        // Identical injected-fault behaviour: same seed, same gate token
+        // sequence, so the same runs fail with the same error and the
+        // plane's counters agree.
+        db.set_fault_config(FaultConfig {
+            seed: 7,
+            p_storage: 0.5,
+            ..FaultConfig::default()
+        });
+        let col_faulty = db.execute(&query).map(|o| layout_view(&o)).map_err(|e| e.to_string());
+        let col_fault_stats = db.fault_plane().expect("armed").snapshot();
+        db.clear_fault_config();
+        prop_assert_eq!(col_faulty, row_faulty, "injected-fault outcome diverged");
+        prop_assert_eq!(col_fault_stats, row_fault_stats, "fault counters diverged");
+    }
 }
 
 proptest! {
