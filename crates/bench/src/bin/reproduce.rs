@@ -10,8 +10,8 @@
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
 //! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`,
-//! `profile`, `exec`, `all`. The `XMLSHRED_SCALE` environment variable (or
-//! `--scale X`)
+//! `heal`, `profile`, `exec`, `all`. The `XMLSHRED_SCALE` environment
+//! variable (or `--scale X`)
 //! scales the dataset sizes; normalized figures are scale-stable.
 //! `--threads N` sets the advisor worker-thread count (0 = all cores, the
 //! default) and `--no-plan-cache` disables the what-if plan cache; neither
@@ -41,6 +41,15 @@
 //! 2x3x4 = 24-cell matrix), and `--data-dir PATH` keeps the durable
 //! databases on disk and writes a `recovery-reports.json` artifact there
 //! (without it, a temporary directory is used and removed).
+//!
+//! Self-healing knobs (`heal` experiment): `--heal-seed S` seeds the
+//! deterministic corruption sites (default 9) and `--heal-points N` sets
+//! the number of corruption seeds per (fixture, kind) cell (default 3, for
+//! a 2x4x3 = 24-cell matrix over index/view/columnar/heap corruption).
+//! `--data-dir PATH` keeps the durable databases and writes a
+//! `heal-reports.json` artifact there. Both `crash` and `heal` accept
+//! `--list-cells` to print their deterministic cell matrix (fixture, kind,
+//! seed, site) without running any cell.
 
 // Robustness gate: library code must propagate typed errors, not unwrap.
 // Tests are exempt (unwrap there is an assertion).
@@ -92,6 +101,13 @@ fn main() {
     let metrics_out = take_value::<String>(&mut args, "--metrics-out");
     let crash_seed = take_value::<u64>(&mut args, "--crash-seed").unwrap_or(7);
     let crash_points = take_value::<usize>(&mut args, "--crash-points").unwrap_or(4);
+    let heal_seed = take_value::<u64>(&mut args, "--heal-seed").unwrap_or(9);
+    let heal_points = take_value::<usize>(&mut args, "--heal-points").unwrap_or(3);
+    let mut list_cells = false;
+    if let Some(pos) = args.iter().position(|a| a == "--list-cells") {
+        list_cells = true;
+        args.remove(pos);
+    }
     let data_dir = take_value::<String>(&mut args, "--data-dir");
     let layout = take_value::<Layout>(&mut args, "--layout").unwrap_or_default();
     let bench_json = take_value::<String>(&mut args, "--bench-json");
@@ -129,6 +145,9 @@ fn main() {
         crash_seed,
         crash_points,
         data_dir,
+        heal_seed,
+        heal_points,
+        list_cells,
         layout,
         bench_json,
     };

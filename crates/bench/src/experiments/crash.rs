@@ -16,8 +16,8 @@
 //! line digests it, and CI compares that hash across `--exec-threads`
 //! values to pin the thread-invariance of recovery.
 
-use crate::experiments::RunOptions;
-use crate::harness::{render_table, space_budget, BenchScale};
+use crate::experiments::{list_cells, RunOptions};
+use crate::harness::{fold, fold_answer, mix, render_table, space_budget, BenchScale};
 use std::path::{Path, PathBuf};
 use xmlshred_core::metrics::record_recovery;
 use xmlshred_core::{tune_with, CostOracle, MetricsRegistry, TuneOptions};
@@ -27,7 +27,7 @@ use xmlshred_rel::db::Database;
 use xmlshred_rel::sql::SqlQuery;
 use xmlshred_rel::{
     CrashKind, CrashPoint, ExecOptions, ExecStats, PhysicalConfig, RecoveryReport, RelError, Row,
-    TableDef, TableId, Value,
+    TableDef, TableId,
 };
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::schema::derive_schema;
@@ -64,42 +64,6 @@ impl Op {
             Op::Checkpoint => db.checkpoint(),
         }
     }
-}
-
-/// splitmix64: the same deterministic mixer the rel fault plane uses, local
-/// to the harness so crash positions are reproducible from the CLI seed.
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// Order-sensitive fold of `value` into a running digest.
-fn fold(hash: u64, value: u64) -> u64 {
-    mix(hash ^ value.wrapping_mul(0x2545_f491_4f6c_dd1d))
-}
-
-fn fold_value(hash: u64, value: &Value) -> u64 {
-    match value {
-        Value::Null => fold(hash, 0),
-        Value::Int(v) => fold(fold(hash, 1), *v as u64),
-        Value::Float(v) => fold(fold(hash, 2), v.to_bits()),
-        Value::Str(s) => s.bytes().fold(fold(hash, 3), |h, b| fold(h, u64::from(b))),
-    }
-}
-
-fn fold_answer(mut hash: u64, rows: &[Row], stats: &ExecStats) -> u64 {
-    hash = fold(hash, rows.len() as u64);
-    for row in rows {
-        for value in row {
-            hash = fold_value(hash, value);
-        }
-    }
-    hash = fold(hash, stats.io_cost.to_bits());
-    hash = fold(hash, stats.cpu_cost.to_bits());
-    hash = fold(hash, stats.rows_out as u64);
-    fold(hash, stats.tuples_processed)
 }
 
 fn fold_report(mut hash: u64, report: &RecoveryReport) -> u64 {
@@ -330,6 +294,20 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     let seeds: Vec<u64> = (0..opts.crash_points.max(1) as u64)
         .map(|i| opts.crash_seed.wrapping_add(i))
         .collect();
+    if opts.list_cells {
+        let kind_labels: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+        list_cells("crash matrix", &kind_labels, &seeds, &|_, idx, seed| {
+            // Mirrors the crash_after selection below; the two pinned cells
+            // sit on the checkpoint boundary, the rest are seeded modulo the
+            // schedule length (only known once the oracle is built).
+            match idx {
+                0 => "post-checkpoint frame".to_string(),
+                1 => "checkpoint marker".to_string(),
+                _ => format!("frame {:#x} mod schedule", mix(seed) ^ seed),
+            }
+        });
+        return Ok(());
+    }
     println!(
         "\n=== Crash matrix: {} kinds x {} seeds x 2 fixtures (crash seed {}) ===",
         kinds.len(),

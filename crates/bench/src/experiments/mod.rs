@@ -5,6 +5,7 @@ pub mod chaos;
 pub mod crash;
 pub mod evaluation;
 pub mod exec_parallel;
+pub mod heal;
 pub mod motivating;
 pub mod profile;
 pub mod table1;
@@ -81,10 +82,20 @@ pub struct RunOptions {
     /// Crash seeds per (fixture, kind) cell in the `crash` matrix
     /// (`--crash-points`); 0 is treated as 1.
     pub crash_points: usize,
-    /// Directory for the `crash` matrix's durable databases and its
-    /// `recovery-reports.json` artifact (`--data-dir`); `None` uses a
-    /// temporary directory and cleans up afterwards.
+    /// Directory for the `crash`/`heal` matrices' durable databases and
+    /// their `recovery-reports.json`/`heal-reports.json` artifacts
+    /// (`--data-dir`); `None` uses a temporary directory and cleans up
+    /// afterwards.
     pub data_dir: Option<String>,
+    /// Base seed for the `heal` matrix (`--heal-seed`): corruption sites
+    /// are a pure function of it.
+    pub heal_seed: u64,
+    /// Corruption seeds per (fixture, kind) cell in the `heal` matrix
+    /// (`--heal-points`); 0 is treated as 1.
+    pub heal_points: usize,
+    /// Print the deterministic cell matrix of the `crash`/`heal`
+    /// experiments without running any cell (`--list-cells`).
+    pub list_cells: bool,
     /// Storage layout for the `exec` experiment (`--layout`, default row).
     pub layout: Layout,
     /// Where the `exec` experiment writes its machine-readable benchmark
@@ -111,10 +122,40 @@ impl RunOptions {
     }
 }
 
+/// Print the deterministic cell matrix for a seeded sweep experiment
+/// without running it: one row per `(fixture, kind, seed)` cell, with a
+/// per-cell `site` label supplied by the caller. Shared by the `crash` and
+/// `heal` matrices for `--list-cells`.
+pub(crate) fn list_cells(
+    experiment: &str,
+    kinds: &[String],
+    seeds: &[u64],
+    site: &dyn Fn(&str, usize, u64) -> String,
+) {
+    let mut rows = Vec::new();
+    for fixture in ["dblp", "movie"] {
+        for kind in kinds {
+            for (idx, &seed) in seeds.iter().enumerate() {
+                rows.push(vec![
+                    fixture.to_string(),
+                    kind.clone(),
+                    seed.to_string(),
+                    site(kind, idx, seed),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        crate::harness::render_table(&["fixture", "kind", "seed", "site"], &rows)
+    );
+    println!("{experiment}: {} cells", rows.len());
+}
+
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
-/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`, `profile`,
-/// `exec`, `all`.
+/// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`, `heal`,
+/// `profile`, `exec`, `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
@@ -128,6 +169,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
         "fig9" => ablations::fig9(scale),
         "chaos" => chaos::run(scale, opts),
         "crash" => crash::run(scale, opts),
+        "heal" => heal::run(scale, opts),
         "profile" => profile::run(scale, opts),
         "exec" => exec_parallel::run(scale, opts),
         "all" => {
@@ -140,12 +182,13 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
             updates::run(scale)?;
             chaos::run(scale, opts)?;
             crash::run(scale, opts)?;
+            heal::run(scale, opts)?;
             profile::run(scale, opts)?;
             exec_parallel::run(scale, opts)?;
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash profile exec all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec all"
         )),
     }
 }

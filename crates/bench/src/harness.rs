@@ -13,7 +13,7 @@ use xmlshred_data::dblp::{generate_dblp, DblpConfig};
 use xmlshred_data::movie::{generate_movie, MovieConfig};
 use xmlshred_data::workload::Workload;
 use xmlshred_data::Dataset;
-use xmlshred_rel::ExecOptions;
+use xmlshred_rel::{ExecOptions, ExecStats, Row, Value};
 use xmlshred_shred::mapping::Mapping;
 use xmlshred_shred::source_stats::SourceStats;
 
@@ -274,6 +274,48 @@ pub fn wide_scan_fixture(rows: usize) -> (xmlshred_rel::Database, xmlshred_rel::
     q.filters = vec![Filter::new(0, 9, FilterOp::Eq, Value::Int(7))];
     q.outputs = vec![Output::col(0, 0), Output::col(0, 10)];
     (db, SqlQuery::Select(q))
+}
+
+// ------------------------------------------------------- matrix digests --
+
+/// splitmix64: the same deterministic mixer the rel fault plane uses, local
+/// to the harness so crash and heal matrix cell positions are reproducible
+/// from the CLI seeds.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Order-sensitive fold of `value` into a running digest.
+pub fn fold(hash: u64, value: u64) -> u64 {
+    mix(hash ^ value.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// Fold one SQL value, tagged by type so `Null` and `Int(0)` digest apart.
+pub fn fold_value(hash: u64, value: &Value) -> u64 {
+    match value {
+        Value::Null => fold(hash, 0),
+        Value::Int(v) => fold(fold(hash, 1), *v as u64),
+        Value::Float(v) => fold(fold(hash, 2), v.to_bits()),
+        Value::Str(s) => s.bytes().fold(fold(hash, 3), |h, b| fold(h, u64::from(b))),
+    }
+}
+
+/// Fold a query answer: every row value plus the thread-invariant
+/// [`ExecStats`] observables, so a matrix hash pins bit-identity.
+pub fn fold_answer(mut hash: u64, rows: &[Row], stats: &ExecStats) -> u64 {
+    hash = fold(hash, rows.len() as u64);
+    for row in rows {
+        for value in row {
+            hash = fold_value(hash, value);
+        }
+    }
+    hash = fold(hash, stats.io_cost.to_bits());
+    hash = fold(hash, stats.cpu_cost.to_bits());
+    hash = fold(hash, stats.rows_out as u64);
+    fold(hash, stats.tuples_processed)
 }
 
 // ------------------------------------------------------------- rendering --

@@ -206,6 +206,26 @@ pub fn record_recovery(registry: &MetricsRegistry, report: &xmlshred_rel::Recove
     }
 }
 
+/// Register a heal report's counters into `registry` under their `heal.*`
+/// names. Healing is a pure function of `(database state, corruption
+/// sites, fault seed)`, so every counter goes into the **deterministic**
+/// class — the same seeded corruption schedule must produce the same
+/// metrics for any executor thread count.
+pub fn record_heal(registry: &MetricsRegistry, report: &xmlshred_rel::HealReport) {
+    for (name, value) in report.metric_counters() {
+        registry.count(name, value);
+    }
+}
+
+/// Register a scrub report's counters into `registry` under their
+/// `scrub.*` names (deterministic: a checksum walk reads no clocks or
+/// thread state).
+pub fn record_scrub(registry: &MetricsRegistry, report: &xmlshred_rel::ScrubReport) {
+    for (name, value) in report.metric_counters() {
+        registry.count(name, value);
+    }
+}
+
 /// RAII guard returned by [`MetricsRegistry::span`].
 #[derive(Debug)]
 pub struct SpanGuard<'a> {

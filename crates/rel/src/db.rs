@@ -2,9 +2,10 @@
 //! structures, planning, and execution.
 
 use crate::catalog::{Catalog, TableDef, TableId};
-use crate::error::{RelError, RelResult};
+use crate::error::{CorruptionEvent, RelError, RelResult, StructureKind};
 use crate::exec::{execute_plan_with, ExecOptions, ExecProfile, ExecStats};
-use crate::fault::{CrashPoint, FaultConfig, FaultPlane};
+use crate::fault::{backoff_nanos, CrashPoint, FaultConfig, FaultPlane};
+use crate::heal::{HealReport, ScrubReport};
 use crate::index::BuiltIndex;
 use crate::optimizer::{self, PhysicalConfig as OptimizerConfig};
 use crate::plan::QueryPlan;
@@ -57,6 +58,14 @@ pub struct Database {
     built_views: FxHashMap<String, BuiltView>,
     built_columnar: FxHashMap<TableId, ColumnarHeap>,
     built_config: OptimizerConfig,
+    /// Derived structures currently marked unusable after a checksum
+    /// failure: `(kind, name)` where the name is the index/view name or the
+    /// columnar partition's table name. Planning transparently avoids
+    /// quarantined structures; [`Database::execute_healing`] repopulates
+    /// them after the statement completes. A `BTreeSet` so every walk is
+    /// deterministic. Volatile by design: crash recovery rebuilds all
+    /// derived structures fresh, so quarantine never reaches the WAL.
+    quarantined: std::collections::BTreeSet<(StructureKind, String)>,
     fault: Option<Arc<FaultPlane>>,
     exec: ExecOptions,
     durability: Option<Durability>,
@@ -432,6 +441,18 @@ impl Database {
         self.built_columnar.get_mut(&table)
     }
 
+    /// Mutable built-index access, used by corruption tests to damage
+    /// stored entries (see [`BuiltIndex::corrupt_entry`]).
+    pub fn built_index_mut(&mut self, name: &str) -> Option<&mut BuiltIndex> {
+        self.built_indexes.get_mut(name)
+    }
+
+    /// Mutable built-view access, used by corruption tests to damage
+    /// materialized rows (see [`BuiltView::corrupt_row`]).
+    pub fn built_view_mut(&mut self, name: &str) -> Option<&mut BuiltView> {
+        self.built_views.get_mut(name)
+    }
+
     /// The physical configuration currently materialized.
     pub fn built_config(&self) -> &OptimizerConfig {
         &self.built_config
@@ -586,6 +607,7 @@ impl Database {
         self.built_views.clear();
         self.built_columnar.clear();
         self.built_config = OptimizerConfig::none();
+        self.quarantined.clear();
     }
 
     /// Actual bytes of the materialized physical structures, measured from
@@ -644,22 +666,30 @@ impl Database {
         optimizer::config_bytes(&self.catalog, &self.stats, config)
     }
 
-    /// Plan against the *built* configuration and execute. Subject to
-    /// injected planner and storage faults when a fault plane is active.
+    /// Plan against the *built* configuration — minus any quarantined
+    /// structures — and execute. Subject to injected planner and storage
+    /// faults when a fault plane is active.
     pub fn execute(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
+        let degraded;
+        let config = if self.quarantined.is_empty() {
+            &self.built_config
+        } else {
+            degraded = self.effective_config();
+            &degraded
+        };
         let plan = if let Some(plane) = self.fault_plane() {
             let token = plane.next_token();
             optimizer::plan_query_faulty(
                 &self.catalog,
                 &self.stats,
-                &self.built_config,
+                config,
                 query,
                 plane,
                 token,
                 0,
             )?
         } else {
-            optimizer::plan_query(&self.catalog, &self.stats, &self.built_config, query)?
+            optimizer::plan_query(&self.catalog, &self.stats, config, query)?
         };
         self.execute_plan(plan)
     }
@@ -676,6 +706,284 @@ impl Database {
             elapsed,
             profile,
         })
+    }
+
+    // ------------------------------------------------------ self-healing --
+
+    /// Upper bound on healing retries for one statement. Each retry removes
+    /// a distinct structure from the plan (or repairs a heap), so any real
+    /// schedule converges far below this; the bound only guards against a
+    /// corruption source the loop cannot drain.
+    const MAX_HEAL_RETRIES: u64 = 16;
+
+    /// Structures currently quarantined, in deterministic order.
+    pub fn quarantined_structures(&self) -> Vec<(StructureKind, String)> {
+        self.quarantined.iter().cloned().collect()
+    }
+
+    /// True when the named structure is quarantined. Columnar partitions
+    /// are keyed by their table's name.
+    pub fn is_quarantined(&self, kind: StructureKind, name: &str) -> bool {
+        self.quarantined
+            .iter()
+            .any(|(k, n)| *k == kind && n == name)
+    }
+
+    /// The quarantine key for a corruption event: index and view names
+    /// identify themselves; a columnar partition is quarantined whole, by
+    /// its table's name (the event's `structure` carries the damaged
+    /// column, which is finer than the planner's choice granularity).
+    fn quarantine_key(event: &CorruptionEvent) -> (StructureKind, String) {
+        let name = match event.kind {
+            StructureKind::Columnar => event.table.clone(),
+            _ => event.structure.clone(),
+        };
+        (event.kind, name)
+    }
+
+    /// The built configuration with quarantined structures filtered out:
+    /// what the planner actually sees. With an empty quarantine this is
+    /// never materialized ([`Database::execute`] borrows `built_config`
+    /// directly).
+    fn effective_config(&self) -> OptimizerConfig {
+        let quarantined = |kind: StructureKind, name: &str| self.is_quarantined(kind, name);
+        OptimizerConfig {
+            indexes: self
+                .built_config
+                .indexes
+                .iter()
+                .filter(|def| !quarantined(StructureKind::Index, &def.name))
+                .cloned()
+                .collect(),
+            views: self
+                .built_config
+                .views
+                .iter()
+                .filter(|def| !quarantined(StructureKind::View, &def.name))
+                .cloned()
+                .collect(),
+            columnar: self
+                .built_config
+                .columnar
+                .iter()
+                .filter(|&&table| {
+                    self.catalog
+                        .try_table(table)
+                        .map(|def| !quarantined(StructureKind::Columnar, &def.name))
+                        .unwrap_or(true)
+                })
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Execute a statement, healing any corruption it trips over instead of
+    /// failing it:
+    ///
+    /// 1. **Detect** — a checksum failure during planning or execution
+    ///    surfaces as a typed [`CorruptionEvent`]; the failed attempt's
+    ///    fault-plane charges and tokens are rolled back
+    ///    ([`FaultPlane::restore`]) so healing is charge-neutral.
+    /// 2. **Quarantine & retry** — a corrupted *derived* structure (index,
+    ///    view, columnar partition) is quarantined and the statement is
+    ///    replanned against the remaining access paths, after recording a
+    ///    bounded deterministic backoff ([`backoff_nanos`]; simulated, never
+    ///    slept). A corrupted *row heap* on a durable database is repaired
+    ///    in place from the snapshot + committed WAL suffix
+    ///    ([`crate::recovery::repair_table`]); without a durable copy heap
+    ///    corruption is unrecoverable and propagates.
+    /// 3. **Repair** — once the statement succeeds, every quarantined
+    ///    structure is rebuilt from its (verified) backing heaps and
+    ///    released; a failed rebuild keeps the structure quarantined and is
+    ///    counted, never raised — the statement already succeeded.
+    ///
+    /// Returns the outcome plus a [`HealReport`] of everything detected and
+    /// repaired, all deterministic per `(seed, corruption sites)`.
+    pub fn execute_healing(&mut self, query: &SqlQuery) -> RelResult<(QueryOutcome, HealReport)> {
+        let mut report = HealReport::default();
+        let seed = self.fault.as_ref().map(|p| p.config().seed).unwrap_or(0);
+        let outcome = loop {
+            if !self.quarantined.is_empty() {
+                report.degraded_plans += 1;
+            }
+            let saved = self.fault.as_deref().map(FaultPlane::save);
+            match self.execute(query) {
+                Ok(outcome) => break outcome,
+                Err(err) => {
+                    let Some(event) = CorruptionEvent::from_error(&err) else {
+                        return Err(err);
+                    };
+                    if report.retries >= Self::MAX_HEAL_RETRIES {
+                        return Err(err);
+                    }
+                    if let (Some(plane), Some(state)) = (self.fault.as_deref(), saved) {
+                        plane.restore(state);
+                    }
+                    let attempt = u32::try_from(report.retries).unwrap_or(u32::MAX);
+                    report.retries += 1;
+                    report.backoff_nanos += backoff_nanos(seed, attempt);
+                    report.events.push(event.clone());
+                    if event.kind.is_derived() {
+                        self.quarantined.insert(Self::quarantine_key(&event));
+                        report.quarantined += 1;
+                    } else if self.is_durable() {
+                        self.repair_heap_from_log(&event.table)?;
+                        report.heap_repairs += 1;
+                    } else {
+                        return Err(err);
+                    }
+                }
+            }
+        };
+        self.rebuild_quarantined(&mut report);
+        Ok((outcome, report))
+    }
+
+    /// Replace one table's in-memory heap with a fresh rebuild from the
+    /// durable directory (snapshot + committed WAL suffix). The on-disk
+    /// bytes are the authority: every committed mutation was logged before
+    /// it was applied, so the rebuilt heap is exactly the pre-corruption
+    /// heap.
+    fn repair_heap_from_log(&mut self, table: &str) -> RelResult<()> {
+        let dir = self
+            .data_dir()
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?
+            .to_path_buf();
+        let heap = recovery::repair_table(&dir, table)?;
+        let id = self.catalog.table_id(table)?;
+        let slot = self
+            .heaps
+            .get_mut(id.index())
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        *slot = heap;
+        Ok(())
+    }
+
+    /// Rebuild every quarantined structure from its backing heaps and
+    /// release it. Walks the quarantine in its deterministic (kind, name)
+    /// order; each backing heap is checksum-verified before the rebuild so
+    /// damage is never materialized into the fresh structure. Rebuild
+    /// failures are counted and the structure stays quarantined.
+    fn rebuild_quarantined(&mut self, report: &mut HealReport) {
+        let pending = self.quarantined_structures();
+        for (kind, name) in pending {
+            match self.rebuild_structure(kind, &name) {
+                Ok(()) => {
+                    self.quarantined.remove(&(kind, name));
+                    report.rebuilt += 1;
+                }
+                Err(_) => report.rebuild_failures += 1,
+            }
+        }
+    }
+
+    /// Rebuild one derived structure in place, mirroring the corresponding
+    /// build arm of [`Database::apply_config`]. Nothing is logged: the
+    /// structure's definition is still part of `built_config`, whose
+    /// `ApplyConfig` record is already durable, and recovery rebuilds all
+    /// derived structures fresh anyway.
+    fn rebuild_structure(&mut self, kind: StructureKind, name: &str) -> RelResult<()> {
+        match kind {
+            StructureKind::Index => {
+                let def = self
+                    .built_config
+                    .indexes
+                    .iter()
+                    .find(|def| def.name == name)
+                    .ok_or_else(|| RelError::UnknownIndex(name.to_string()))?
+                    .clone();
+                let table = self.catalog.try_table(def.table)?.name.clone();
+                let heap = self.try_heap(def.table)?;
+                heap.verify_checksums(&table)?;
+                let built = BuiltIndex::build(def.clone(), heap);
+                self.built_indexes.insert(def.name.clone(), built);
+            }
+            StructureKind::View => {
+                let def = self
+                    .built_config
+                    .views
+                    .iter()
+                    .find(|def| def.name == name)
+                    .ok_or_else(|| RelError::UnknownIndex(name.to_string()))?
+                    .clone();
+                let left = self.catalog.try_table(def.left)?.name.clone();
+                let right = self.catalog.try_table(def.right)?.name.clone();
+                self.try_heap(def.left)?.verify_checksums(&left)?;
+                self.try_heap(def.right)?.verify_checksums(&right)?;
+                let built = BuiltView::build(
+                    def.clone(),
+                    self.try_heap(def.left)?.rows(),
+                    self.try_heap(def.right)?.rows(),
+                );
+                self.built_views.insert(def.name.clone(), built);
+            }
+            StructureKind::Columnar => {
+                let table = self.catalog.table_id(name)?;
+                let heap = self.try_heap(table)?;
+                heap.verify_checksums(name)?;
+                let def = self.catalog.try_table(table)?;
+                let built = ColumnarHeap::build(def, heap)?;
+                self.built_columnar.insert(table, built);
+            }
+            // Heaps are repaired from the log, never "rebuilt".
+            StructureKind::Heap => return Err(RelError::UnknownTable(name.to_string())),
+        }
+        Ok(())
+    }
+
+    /// Walk every stored checksum — row heaps, built indexes, materialized
+    /// views, columnar partitions — and report (never raise) each mismatch.
+    /// Runs regardless of the fault plane; deterministic catalog /
+    /// configuration order.
+    pub fn scrub(&self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let note = |result: RelResult<()>, report: &mut ScrubReport| {
+            if let Err(err) = result {
+                if let Some(event) = CorruptionEvent::from_error(&err) {
+                    report.corruptions.push(event);
+                }
+            }
+        };
+        for (id, def) in self.catalog.iter() {
+            if let Ok(heap) = self.try_heap(id) {
+                report.heaps_checked += 1;
+                note(heap.verify_checksums(&def.name), &mut report);
+            }
+        }
+        for def in &self.built_config.indexes {
+            if let Some(built) = self.built_indexes.get(&def.name) {
+                report.indexes_checked += 1;
+                let table = self
+                    .catalog
+                    .try_table(def.table)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                note(built.verify_checksums(&table), &mut report);
+            }
+        }
+        for def in &self.built_config.views {
+            if let Some(built) = self.built_views.get(&def.name) {
+                report.views_checked += 1;
+                let table = self
+                    .catalog
+                    .try_table(def.left)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                note(built.verify_checksums(&table), &mut report);
+            }
+        }
+        for &table in &self.built_config.columnar {
+            if let Some(built) = self.built_columnar.get(&table) {
+                report.columnar_checked += 1;
+                let name = self
+                    .catalog
+                    .try_table(table)
+                    .map(|t| t.name.clone())
+                    .unwrap_or_default();
+                note(built.verify_checksums(&name), &mut report);
+            }
+        }
+        report
     }
 }
 

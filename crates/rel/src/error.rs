@@ -5,6 +5,91 @@ use std::fmt;
 /// Result alias for engine operations.
 pub type RelResult<T> = Result<T, RelError>;
 
+/// Which physical structure a corruption diagnosis refers to. The row heap
+/// is the durable source of truth; indexes, materialized views, and
+/// columnar partitions are derived from it and therefore rebuildable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StructureKind {
+    /// A base table's row heap.
+    Heap,
+    /// A built B-tree index.
+    Index,
+    /// A materialized join view.
+    View,
+    /// A derived columnar partition of a base table.
+    Columnar,
+}
+
+impl StructureKind {
+    /// Whether the structure can be rebuilt from the row heap alone.
+    /// Heap damage needs snapshot + WAL instead.
+    pub fn is_derived(&self) -> bool {
+        !matches!(self, StructureKind::Heap)
+    }
+
+    /// Stable lowercase label, used in metrics and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StructureKind::Heap => "heap",
+            StructureKind::Index => "index",
+            StructureKind::View => "view",
+            StructureKind::Columnar => "columnar",
+        }
+    }
+}
+
+impl fmt::Display for StructureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A typed description of one detected checksum failure: which structure,
+/// on which table, at which page. This is what the self-healing loop
+/// quarantines and repairs; it round-trips with [`RelError::Corrupted`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CorruptionEvent {
+    /// What kind of structure failed verification.
+    pub kind: StructureKind,
+    /// Owning base table.
+    pub table: String,
+    /// Name of the damaged structure: the table name for heaps, the
+    /// index/view name, or `"table[cN]"` for a columnar column partition.
+    pub structure: String,
+    /// Zero-based page number of the first mismatch.
+    pub page: usize,
+}
+
+impl CorruptionEvent {
+    /// Extract the event from an error, if it is a corruption diagnosis.
+    pub fn from_error(err: &RelError) -> Option<CorruptionEvent> {
+        match err {
+            RelError::Corrupted {
+                kind,
+                table,
+                structure,
+                page,
+            } => Some(CorruptionEvent {
+                kind: *kind,
+                table: table.clone(),
+                structure: structure.clone(),
+                page: *page,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Convert back into the error the detection site would have raised.
+    pub fn into_error(self) -> RelError {
+        RelError::Corrupted {
+            kind: self.kind,
+            table: self.table,
+            structure: self.structure,
+            page: self.page,
+        }
+    }
+}
+
 /// Errors raised by catalog, storage, and execution operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -25,10 +110,16 @@ pub enum RelError {
     /// that gave up, a dangling index entry. Retrying may succeed.
     Fault(String),
     /// A page whose checksum no longer matches its contents. Not transient:
-    /// the stored data itself is damaged.
+    /// the stored data itself is damaged. Derived structures (index, view,
+    /// columnar) are rebuildable from the row heap; heap corruption needs
+    /// snapshot + WAL repair.
     Corrupted {
-        /// Table whose heap failed verification.
+        /// What kind of structure failed verification.
+        kind: StructureKind,
+        /// Owning base table.
         table: String,
+        /// Name of the damaged structure (see [`CorruptionEvent::structure`]).
+        structure: String,
         /// Zero-based page number of the first mismatch.
         page: usize,
     },
@@ -51,6 +142,32 @@ impl RelError {
     pub fn io(e: std::io::Error) -> RelError {
         RelError::Io(e.to_string())
     }
+
+    /// Corruption in a base table's row heap.
+    pub fn corrupted_heap(table: impl Into<String>, page: usize) -> RelError {
+        let table = table.into();
+        RelError::Corrupted {
+            kind: StructureKind::Heap,
+            structure: table.clone(),
+            table,
+            page,
+        }
+    }
+
+    /// Corruption in a derived structure owned by `table`.
+    pub fn corrupted(
+        kind: StructureKind,
+        table: impl Into<String>,
+        structure: impl Into<String>,
+        page: usize,
+    ) -> RelError {
+        RelError::Corrupted {
+            kind,
+            table: table.into(),
+            structure: structure.into(),
+            page,
+        }
+    }
     /// Whether retrying the failed operation could succeed. Injected faults
     /// are transient by construction; corruption and exhausted budgets are
     /// not.
@@ -71,9 +188,27 @@ impl fmt::Display for RelError {
             RelError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             RelError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             RelError::Fault(msg) => write!(f, "fault: {msg}"),
-            RelError::Corrupted { table, page } => {
-                write!(f, "corrupted page {page} in table '{table}'")
-            }
+            RelError::Corrupted {
+                kind,
+                table,
+                structure,
+                page,
+            } => match kind {
+                // The heap message predates the structured variants; tests
+                // and logs match on it, so it stays byte-identical.
+                StructureKind::Heap => write!(f, "corrupted page {page} in table '{table}'"),
+                StructureKind::Index => {
+                    write!(
+                        f,
+                        "corrupted page {page} in index '{structure}' on table '{table}'"
+                    )
+                }
+                StructureKind::View => write!(f, "corrupted page {page} in view '{structure}'"),
+                StructureKind::Columnar => write!(
+                    f,
+                    "corrupted page {page} in columnar partition '{structure}' of table '{table}'"
+                ),
+            },
             RelError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
             RelError::Io(msg) => write!(f, "i/o error: {msg}"),
             RelError::Crashed(msg) => write!(f, "crashed: {msg}"),
@@ -103,5 +238,50 @@ mod tests {
         assert!(RelError::InvalidQuery("no".into())
             .to_string()
             .contains("no"));
+    }
+
+    #[test]
+    fn heap_corruption_display_is_stable() {
+        // Pre-structured-variant message, matched by tests and logs.
+        assert_eq!(
+            RelError::corrupted_heap("t", 3).to_string(),
+            "corrupted page 3 in table 't'"
+        );
+    }
+
+    #[test]
+    fn derived_corruption_displays_name_kind_and_table() {
+        let err = RelError::corrupted(StructureKind::Index, "t", "ix", 7);
+        let msg = err.to_string();
+        assert!(msg.contains("index 'ix'") && msg.contains("'t'") && msg.contains("7"));
+        let msg = RelError::corrupted(StructureKind::View, "t", "v", 0).to_string();
+        assert!(msg.contains("view 'v'"));
+        let msg = RelError::corrupted(StructureKind::Columnar, "t", "t[c2]", 1).to_string();
+        assert!(msg.contains("columnar partition 't[c2]'"));
+    }
+
+    #[test]
+    fn corruption_event_round_trips() {
+        let err = RelError::corrupted(StructureKind::Columnar, "t", "t[c0]", 9);
+        let event = CorruptionEvent::from_error(&err).expect("corruption event");
+        assert_eq!(event.kind, StructureKind::Columnar);
+        assert_eq!(event.table, "t");
+        assert_eq!(event.structure, "t[c0]");
+        assert_eq!(event.page, 9);
+        assert_eq!(event.into_error(), err);
+        assert!(CorruptionEvent::from_error(&RelError::Fault("x".into())).is_none());
+    }
+
+    #[test]
+    fn structure_kinds_classify_repairability() {
+        assert!(!StructureKind::Heap.is_derived());
+        for kind in [
+            StructureKind::Index,
+            StructureKind::View,
+            StructureKind::Columnar,
+        ] {
+            assert!(kind.is_derived());
+        }
+        assert_eq!(StructureKind::Heap.to_string(), "heap");
     }
 }

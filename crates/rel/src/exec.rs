@@ -35,7 +35,7 @@ use crate::cost::{
     RANDOM_PAGE_COST, SEQ_PAGE_COST,
 };
 use crate::db::Database;
-use crate::error::{RelError, RelResult};
+use crate::error::{RelError, RelResult, StructureKind};
 use crate::expr::Filter;
 use crate::fault::FaultPlane;
 use crate::par;
@@ -305,8 +305,10 @@ pub fn execute_plan_with(
     let mut profile = ExecProfile::default();
     let mut stats = ExecStats::default();
     let mut rows: Vec<Row> = Vec::new();
+    let mut ledger = VerifyLedger::default();
     for branch in &plan.branches {
-        let (branch_rows, branch_stats) = execute_branch(db, branch, opts, &mut profile)?;
+        let (branch_rows, branch_stats) =
+            execute_branch(db, branch, opts, &mut profile, &mut ledger)?;
         stats.absorb(branch_stats);
         rows.extend(branch_rows);
     }
@@ -330,11 +332,43 @@ pub fn execute_plan_with(
     Ok((rows, stats, profile))
 }
 
+/// Per-statement ledger of structures already checksum-verified, keyed by
+/// `(kind, structure name)`. Branches execute serially, so one `&mut`
+/// ledger threads through the whole statement without synchronization.
+/// Deduplication is charge-safe: verification consumes neither budget
+/// pages nor fault tokens, so skipping a repeat verify leaves every
+/// fault-plane decision untouched.
+#[derive(Default)]
+struct VerifyLedger {
+    seen: rustc_hash::FxHashSet<(StructureKind, String)>,
+}
+
+impl VerifyLedger {
+    /// Run `verify` unless `(kind, name)` already passed this statement.
+    /// Each successful verification is recorded on the plane, which is what
+    /// the at-most-once audit tests observe.
+    fn verify_once(
+        &mut self,
+        plane: &FaultPlane,
+        kind: StructureKind,
+        name: &str,
+        verify: impl FnOnce() -> RelResult<()>,
+    ) -> RelResult<()> {
+        if !self.seen.insert((kind, name.to_string())) {
+            return Ok(());
+        }
+        verify()?;
+        plane.record_verification();
+        Ok(())
+    }
+}
+
 fn execute_branch(
     db: &Database,
     branch: &BranchPlan,
     opts: &ExecOptions,
     profile: &mut ExecProfile,
+    ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
     match branch {
         BranchPlan::Pipeline {
@@ -343,13 +377,13 @@ fn execute_branch(
             joins,
             outputs,
             ..
-        } => execute_pipeline(db, tables, driver, joins, outputs, opts, profile),
+        } => execute_pipeline(db, tables, driver, joins, outputs, opts, profile, ledger),
         BranchPlan::ViewScan {
             view,
             filters,
             outputs,
             ..
-        } => execute_view_scan(db, view, filters, outputs, opts, profile),
+        } => execute_view_scan(db, view, filters, outputs, opts, profile, ledger),
     }
 }
 
@@ -386,6 +420,7 @@ impl Layout {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_pipeline(
     db: &Database,
     tables: &[crate::catalog::TableId],
@@ -394,6 +429,7 @@ fn execute_pipeline(
     outputs: &[Output],
     opts: &ExecOptions,
     profile: &mut ExecProfile,
+    ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
     let mut stats = ExecStats::default();
     let mut layout = Layout::new();
@@ -428,7 +464,7 @@ fn execute_pipeline(
         validate_filters(&join.inner.filters, inner_def)?;
     }
 
-    let (mut wide, driver_stats) = run_scan(db, driver_table, driver, opts, profile)?;
+    let (mut wide, driver_stats) = run_scan(db, driver_table, driver, opts, profile, ledger)?;
     stats.absorb(driver_stats);
 
     for join in joins {
@@ -444,7 +480,7 @@ fn execute_pipeline(
         let next: Vec<Row> = match &join.algo {
             JoinAlgo::Hash => {
                 let (inner_rows, scan_stats) =
-                    run_scan(db, inner_table, &join.inner, opts, profile)?;
+                    run_scan(db, inner_table, &join.inner, opts, profile, ledger)?;
                 stats.absorb(scan_stats);
                 let join_start = Instant::now();
                 stats.cpu_cost += inner_rows.len() as f64 * CPU_HASH_COST;
@@ -530,8 +566,16 @@ fn execute_pipeline(
                     .def
                     .entry_width(inner_def, db.table_stats(inner_table));
                 let plane = db.fault_plane();
-                if plane.is_some() {
-                    heap.verify_checksums(&inner_def.name)?;
+                if let Some(plane) = plane {
+                    ledger.verify_once(plane, StructureKind::Heap, &inner_def.name, || {
+                        heap.verify_checksums(&inner_def.name)
+                    })?;
+                    // The index's postings drive every probe below; verify
+                    // them up front (no budget, no tokens) so corruption is
+                    // a typed event, not silently wrong join output.
+                    ledger.verify_once(plane, StructureKind::Index, index, || {
+                        built.verify_checksums(&inner_def.name)
+                    })?;
                 }
                 let mut next = Vec::new();
                 for outer in &wide {
@@ -726,6 +770,7 @@ fn run_scan(
     scan: &ScanNode,
     opts: &ExecOptions,
     profile: &mut ExecProfile,
+    ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
     let heap = db.try_heap(table)?;
     let table_def = db.catalog().try_table(table)?;
@@ -739,7 +784,14 @@ fn run_scan(
             // Gate once per access, before the fan-out: the page-budget
             // charge and the checksum walk must not scale with the worker
             // count.
-            storage_access(plane, heap, &table_def.name, heap.pages() as u64, true)?;
+            storage_access(
+                plane,
+                heap,
+                &table_def.name,
+                heap.pages() as u64,
+                true,
+                ledger,
+            )?;
             stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
             let rows = heap.rows();
             let ranges = morsel_ranges(rows.len(), opts);
@@ -783,7 +835,9 @@ fn run_scan(
             // (verification consumes neither budget nor fault tokens).
             if let Some(plane) = plane {
                 plane.storage_gate(&table_def.name, heap.pages() as u64)?;
-                col_heap.verify_checksums(&table_def.name)?;
+                ledger.verify_once(plane, StructureKind::Columnar, &table_def.name, || {
+                    col_heap.verify_checksums(&table_def.name)
+                })?;
             }
             stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
             let kernels: Vec<(&crate::storage::Column, Vectorized)> = scan
@@ -853,6 +907,14 @@ fn run_scan(
         } => {
             let scan_start = Instant::now();
             let built = db.built_index(index)?;
+            // Verify the index before trusting its postings (no budget, no
+            // tokens): a damaged leaf must surface as a typed corruption
+            // event rather than wrong or dangling row pointers.
+            if let Some(plane) = plane {
+                ledger.verify_once(plane, StructureKind::Index, index, || {
+                    built.verify_checksums(&table_def.name)
+                })?;
+            }
             let matched = built.seek(key);
             let entry_width = built.def.entry_width(table_def, db.table_stats(table));
             stats.io_cost += BTREE_DESCENT_COST * RANDOM_PAGE_COST;
@@ -874,7 +936,14 @@ fn run_scan(
             // Charging one page per matched *row* here used to exhaust
             // budgets for index plans the optimizer priced as cheap.
             let pages_touched = 1 + heap_pages.ceil() as u64;
-            storage_access(plane, heap, &table_def.name, pages_touched, !covering)?;
+            storage_access(
+                plane,
+                heap,
+                &table_def.name,
+                pages_touched,
+                !covering,
+                ledger,
+            )?;
             let ranges = morsel_ranges(matched.len(), opts);
             profile.note_morsels(&ranges);
             let pieces: Vec<RelResult<(Vec<Row>, f64, u64)>> =
@@ -908,25 +977,30 @@ fn run_scan(
 
 /// Gate one heap access through the fault plane (when active): charge the
 /// page budget, roll for an injected read fault, and — for accesses that
-/// actually read heap rows — verify the page checksums. Called exactly once
-/// per storage access, before any morsel fan-out.
+/// actually read heap rows — verify the page checksums (at most once per
+/// statement, via the ledger). Called exactly once per storage access,
+/// before any morsel fan-out.
 fn storage_access(
     plane: Option<&FaultPlane>,
     heap: &crate::storage::TableHeap,
     table: &str,
     pages: u64,
     reads_heap_rows: bool,
+    ledger: &mut VerifyLedger,
 ) -> RelResult<()> {
     let Some(plane) = plane else {
         return Ok(());
     };
     plane.storage_gate(table, pages)?;
     if reads_heap_rows {
-        heap.verify_checksums(table)?;
+        ledger.verify_once(plane, StructureKind::Heap, table, || {
+            heap.verify_checksums(table)
+        })?;
     }
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_view_scan(
     db: &Database,
     view: &str,
@@ -934,6 +1008,7 @@ fn execute_view_scan(
     outputs: &[ViewOutput],
     opts: &ExecOptions,
     profile: &mut ExecProfile,
+    ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
     let built = db.built_view(view)?;
     let width = built.def.outputs.len();
@@ -954,11 +1029,14 @@ fn execute_view_scan(
     }
     let scan_start = Instant::now();
     if let Some(plane) = db.fault_plane() {
-        // Views carry no checksums of their own: their backing heaps are
-        // checksum-verified at (re)build time whenever a fault plane is
-        // active (see `Database::apply_config`), so a view only ever
-        // materializes from verified pages.
         plane.storage_gate(view, built.pages() as u64)?;
+        // The materialization carries its own page checksums (its backing
+        // heaps were already verified at build time); verify them before
+        // returning any materialized row, at most once per statement.
+        let left_table = db.catalog().try_table(built.def.left)?.name.clone();
+        ledger.verify_once(plane, StructureKind::View, view, || {
+            built.verify_checksums(&left_table)
+        })?;
     }
     let mut stats = ExecStats::default();
     stats.io_cost += built.pages() as f64 * SEQ_PAGE_COST;

@@ -46,6 +46,12 @@ pub struct FaultConfig {
     /// Optional budget of heap pages the executor may read before storage
     /// gates start failing with [`RelError::ResourceExhausted`].
     pub budget_pages: Option<u64>,
+    /// Arm checksum verification without any injected faults or budget.
+    /// The executor verifies structure checksums whenever a plane is
+    /// attached; this flag makes an otherwise-inert config active, which is
+    /// how the scrubber and heal harness detect seeded corruption while
+    /// keeping fault-plane charges comparable to an uncorrupted oracle.
+    pub verify_checksums: bool,
 }
 
 impl Default for FaultConfig {
@@ -55,14 +61,19 @@ impl Default for FaultConfig {
             p_storage: 0.0,
             p_plan: 0.0,
             budget_pages: None,
+            verify_checksums: false,
         }
     }
 }
 
 impl FaultConfig {
-    /// Whether this config can ever inject a fault or exhaust a budget.
+    /// Whether this config can ever inject a fault, exhaust a budget, or
+    /// detect corruption.
     pub fn is_active(&self) -> bool {
-        self.p_storage > 0.0 || self.p_plan > 0.0 || self.budget_pages.is_some()
+        self.p_storage > 0.0
+            || self.p_plan > 0.0
+            || self.budget_pages.is_some()
+            || self.verify_checksums
     }
 }
 
@@ -89,6 +100,21 @@ pub struct FaultPlane {
     plan_faults: AtomicU64,
     storage_faults: AtomicU64,
     budget_denials: AtomicU64,
+    verifications: AtomicU64,
+}
+
+/// A full snapshot of a plane's mutable counters, for charge-neutral retry
+/// loops: save before an attempt, restore if the attempt is abandoned, and
+/// the plane behaves as if the attempt never ran — same budget charges,
+/// same token sequence, same fault decisions on the retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaneState {
+    serial: u64,
+    pages_charged: u64,
+    plan_faults: u64,
+    storage_faults: u64,
+    budget_denials: u64,
+    verifications: u64,
 }
 
 /// What a simulated crash does to the frame being written when a
@@ -175,6 +201,7 @@ impl FaultPlane {
             plan_faults: AtomicU64::new(0),
             storage_faults: AtomicU64::new(0),
             budget_denials: AtomicU64::new(0),
+            verifications: AtomicU64::new(0),
         }
     }
 
@@ -240,7 +267,68 @@ impl FaultPlane {
             pages_charged: self.pages_charged.load(Ordering::Relaxed),
         }
     }
+
+    /// Record one checksum verification performed under this plane. The
+    /// executor's per-statement ledger guarantees each structure is counted
+    /// at most once per statement; tests assert on the total.
+    pub fn record_verification(&self) {
+        self.verifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Checksum verifications recorded so far.
+    pub fn verifications(&self) -> u64 {
+        self.verifications.load(Ordering::Relaxed)
+    }
+
+    /// Save every mutable counter, including the serial token counter.
+    pub fn save(&self) -> PlaneState {
+        PlaneState {
+            serial: self.serial.load(Ordering::Relaxed),
+            pages_charged: self.pages_charged.load(Ordering::Relaxed),
+            plan_faults: self.plan_faults.load(Ordering::Relaxed),
+            storage_faults: self.storage_faults.load(Ordering::Relaxed),
+            budget_denials: self.budget_denials.load(Ordering::Relaxed),
+            verifications: self.verifications.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restore a previously saved counter state, making everything gated
+    /// since the [`FaultPlane::save`] charge-free and token-free. Only
+    /// valid while no other thread is concurrently gating — the healing
+    /// retry loop runs on the serial statement path.
+    pub fn restore(&self, state: PlaneState) {
+        self.serial.store(state.serial, Ordering::Relaxed);
+        self.pages_charged
+            .store(state.pages_charged, Ordering::Relaxed);
+        self.plan_faults.store(state.plan_faults, Ordering::Relaxed);
+        self.storage_faults
+            .store(state.storage_faults, Ordering::Relaxed);
+        self.budget_denials
+            .store(state.budget_denials, Ordering::Relaxed);
+        self.verifications
+            .store(state.verifications, Ordering::Relaxed);
+    }
 }
+
+/// Deterministic bounded-exponential backoff with seeded jitter, in
+/// nanoseconds. The healing retry loop *records* these delays (the engine
+/// models I/O costs rather than sleeping, so the schedule is part of the
+/// deterministic heal report, not wall-clock behavior). Attempt `n` draws
+/// from the half-open window `[2^n·BASE/2, 2^n·BASE)`, capped at
+/// [`BACKOFF_CAP_NANOS`].
+pub fn backoff_nanos(seed: u64, attempt: u32) -> u64 {
+    const BASE: u64 = 1_000_000; // 1 ms
+    let window = (BASE << attempt.min(6)).min(BACKOFF_CAP_NANOS);
+    let half = (window / 2).max(1);
+    let jitter = splitmix64(seed ^ SITE_BACKOFF ^ u64::from(attempt)) % half;
+    window - half + jitter
+}
+
+/// Upper bound on one backoff window (64 ms).
+pub const BACKOFF_CAP_NANOS: u64 = 64_000_000;
+
+/// Site tag mixed into backoff jitter hashes.
+pub const SITE_BACKOFF: u64 = 0x6261_636b; // "back"
 
 #[cfg(test)]
 mod tests {
@@ -335,6 +423,62 @@ mod tests {
         assert!(!err.is_transient());
         assert_eq!(plane.snapshot().budget_denials, 1);
         assert_eq!(plane.snapshot().pages_charged, 11);
+    }
+
+    #[test]
+    fn verify_checksums_arms_an_otherwise_inert_config() {
+        let config = FaultConfig {
+            verify_checksums: true,
+            ..FaultConfig::default()
+        };
+        assert!(config.is_active());
+        // Nothing ever faults or exhausts under it.
+        let plane = FaultPlane::new(config);
+        for _ in 0..100 {
+            assert!(plane.storage_gate("t", 5).is_ok());
+        }
+        assert_eq!(plane.snapshot().storage_faults, 0);
+    }
+
+    #[test]
+    fn save_restore_makes_attempts_charge_and_token_neutral() {
+        let plane = FaultPlane::new(FaultConfig {
+            seed: 5,
+            p_storage: 0.2,
+            budget_pages: Some(1_000_000),
+            ..FaultConfig::default()
+        });
+        // Burn some state first so restore targets a non-zero baseline.
+        for _ in 0..10 {
+            let _ = plane.storage_gate("t", 2);
+        }
+        let saved = plane.save();
+        let reference: Vec<bool> = (0..50)
+            .map(|_| plane.storage_gate("t", 3).is_ok())
+            .collect();
+        let after_first = plane.snapshot();
+        plane.restore(saved);
+        assert_eq!(plane.save(), saved);
+        // The retry sees the identical token sequence, rolls, and charges.
+        let retry: Vec<bool> = (0..50)
+            .map(|_| plane.storage_gate("t", 3).is_ok())
+            .collect();
+        assert_eq!(reference, retry);
+        assert_eq!(plane.snapshot(), after_first);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        for attempt in 0..10u32 {
+            let a = backoff_nanos(42, attempt);
+            assert_eq!(a, backoff_nanos(42, attempt), "deterministic");
+            assert!(a > 0 && a < BACKOFF_CAP_NANOS);
+        }
+        // Windows grow with attempts until the cap: attempt 6 draws from a
+        // strictly higher window than attempt 0.
+        assert!(backoff_nanos(1, 6) > backoff_nanos(1, 0));
+        // Seeds jitter within the window.
+        assert_ne!(backoff_nanos(1, 3), backoff_nanos(2, 3));
     }
 
     #[test]

@@ -6,11 +6,36 @@
 
 use crate::catalog::{TableDef, TableId};
 use crate::cost::PAGE_SIZE;
+use crate::error::{RelError, RelResult, StructureKind};
 use crate::stats::TableStats;
 use crate::storage::TableHeap;
 use crate::types::{Row, Value};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::ops::Bound;
+
+/// Bytes of per-key node overhead in the built structure.
+const NODE_OVERHEAD: usize = 16;
+/// Bytes per row pointer in a posting list.
+const ROW_POINTER: usize = 4;
+
+/// Byte width of one `(key, postings)` entry, matching
+/// [`BuiltIndex::byte_size`]'s accounting.
+fn entry_width(key: &[Value], rows: &[u32]) -> usize {
+    key.iter().map(Value::width).sum::<usize>() + NODE_OVERHEAD + rows.len() * ROW_POINTER
+}
+
+/// Hash of one `(key, postings)` entry, xor-folded into its page checksum.
+fn entry_hash(key: &[Value], rows: &[u32]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.len().hash(&mut hasher);
+    for value in key {
+        value.hash(&mut hasher);
+    }
+    rows.hash(&mut hasher);
+    hasher.finish()
+}
 
 /// Logical description of an index.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -134,11 +159,18 @@ impl KeyRange {
 }
 
 /// A materialized B-tree index.
+///
+/// Like the row heap, the built structure carries per-page xor checksums
+/// over its `(key, postings)` entries (pages laid out in key order at
+/// [`BuiltIndex::byte_size`] widths), so seeded corruption is detectable
+/// before a seek or probe can return damaged row pointers.
 #[derive(Debug, Clone)]
 pub struct BuiltIndex {
     /// Definition.
     pub def: IndexDef,
     map: BTreeMap<Vec<Value>, Vec<u32>>,
+    /// Per-page xor of entry hashes, derived once at build.
+    page_sums: Vec<u64>,
 }
 
 impl BuiltIndex {
@@ -149,7 +181,65 @@ impl BuiltIndex {
             let key: Vec<Value> = def.key_columns.iter().map(|&c| row[c].clone()).collect();
             map.entry(key).or_default().push(row_idx as u32);
         }
-        BuiltIndex { def, map }
+        let page_sums = Self::compute_page_sums(&map);
+        BuiltIndex {
+            def,
+            map,
+            page_sums,
+        }
+    }
+
+    /// Per-page xor of entry hashes in key order.
+    fn compute_page_sums(map: &BTreeMap<Vec<Value>, Vec<u32>>) -> Vec<u64> {
+        let mut sums = Vec::new();
+        let mut offset = 0usize;
+        for (key, rows) in map {
+            let page = offset / PAGE_SIZE;
+            if page >= sums.len() {
+                sums.resize(page + 1, 0);
+            }
+            sums[page] ^= entry_hash(key, rows);
+            offset += entry_width(key, rows);
+        }
+        sums
+    }
+
+    /// Recompute every page checksum and compare against the sums captured
+    /// at build. `table` names the owning base table in the error. O(entries);
+    /// the executor only calls this when a fault plane is active.
+    pub fn verify_checksums(&self, table: &str) -> RelResult<()> {
+        let fresh = Self::compute_page_sums(&self.map);
+        if fresh.len() != self.page_sums.len() {
+            return Err(RelError::corrupted(
+                StructureKind::Index,
+                table,
+                self.def.name.clone(),
+                fresh.len().min(self.page_sums.len()),
+            ));
+        }
+        for (page, (a, b)) in fresh.iter().zip(&self.page_sums).enumerate() {
+            if a != b {
+                return Err(RelError::corrupted(
+                    StructureKind::Index,
+                    table,
+                    self.def.name.clone(),
+                    page,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Damage the `n`-th entry (key order) for corruption testing: its first
+    /// row pointer is redirected. Returns false when no such entry exists.
+    pub fn corrupt_entry(&mut self, n: usize) -> bool {
+        match self.map.values_mut().nth(n) {
+            Some(rows) if !rows.is_empty() => {
+                rows[0] = rows[0].wrapping_add(1);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Number of distinct keys.
@@ -167,16 +257,15 @@ impl BuiltIndex {
     /// the structure. Space-budget enforcement against built designs must
     /// use this, not the estimate.
     pub fn byte_size(&self) -> usize {
-        const NODE_OVERHEAD: usize = 16;
-        const ROW_POINTER: usize = 4;
         self.map
             .iter()
-            .map(|(key, rows)| {
-                key.iter().map(Value::width).sum::<usize>()
-                    + NODE_OVERHEAD
-                    + rows.len() * ROW_POINTER
-            })
+            .map(|(key, rows)| entry_width(key, rows))
             .sum()
+    }
+
+    /// Pages occupied by the built structure, from [`BuiltIndex::byte_size`].
+    pub fn pages(&self) -> usize {
+        self.page_sums.len()
     }
 
     /// Row indices matching a seek argument, in key order.
@@ -385,6 +474,41 @@ mod tests {
         let covering =
             BuiltIndex::build(IndexDef::new("b", TableId(0), vec![1], vec![0, 2]), &heap);
         assert_eq!(plain.byte_size(), covering.byte_size());
+    }
+
+    #[test]
+    fn checksums_catch_posting_damage() {
+        let (_, heap) = setup();
+        let mut idx = BuiltIndex::build(IndexDef::new("i_grp", TableId(0), vec![1], vec![]), &heap);
+        assert!(idx.verify_checksums("t").is_ok());
+        assert!(idx.corrupt_entry(3));
+        match idx.verify_checksums("t").unwrap_err() {
+            RelError::Corrupted {
+                kind,
+                table,
+                structure,
+                page,
+            } => {
+                assert_eq!(kind, StructureKind::Index);
+                assert_eq!(table, "t");
+                assert_eq!(structure, "i_grp");
+                assert_eq!(page, 0);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        assert!(!idx.corrupt_entry(10_000));
+    }
+
+    #[test]
+    fn empty_index_verifies_clean() {
+        let idx = BuiltIndex::build(
+            IndexDef::new("i", TableId(0), vec![0], vec![]),
+            &TableHeap::new(),
+        );
+        assert_eq!(idx.pages(), 0);
+        assert!(idx.verify_checksums("t").is_ok());
+        let mut idx = idx;
+        assert!(!idx.corrupt_entry(0));
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod fault;
+pub mod heal;
 pub mod index;
 pub mod optimizer;
 pub mod par;
@@ -51,15 +52,19 @@ pub mod wal;
 
 pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
-pub use error::{RelError, RelResult};
+pub use error::{CorruptionEvent, RelError, RelResult, StructureKind};
 pub use exec::{ExecOptions, ExecProfile, ExecStats, MorselRows, OperatorTiming};
 pub use expr::{Filter, FilterOp};
-pub use fault::{CrashKind, CrashPoint, FaultConfig, FaultPlane, FaultStats};
-pub use index::IndexDef;
+pub use fault::{
+    backoff_nanos, CrashKind, CrashPoint, FaultConfig, FaultPlane, FaultStats, PlaneState,
+};
+pub use heal::{HealReport, ScrubReport};
+pub use index::{BuiltIndex, IndexDef};
 pub use recovery::RecoveryReport;
 pub use sql::{Output, SelectQuery, SqlQuery, UnionAllQuery};
 pub use stats::{ColumnStats, TableStats};
 pub use storage::{Column, ColumnData, ColumnarHeap};
 pub use types::{DataType, Row, Value};
+pub use view::BuiltView;
 pub use view::ViewDef;
 pub use wal::{WalRecord, WalStats};

@@ -25,6 +25,7 @@ use crate::catalog::TableId;
 use crate::db::Database;
 use crate::error::{RelError, RelResult};
 use crate::snapshot::{self, WAL_FILE};
+use crate::storage::TableHeap;
 use crate::wal::{self, WalRecord};
 use std::path::Path;
 
@@ -188,6 +189,76 @@ pub fn recover(dir: &Path) -> RelResult<(Database, RecoveryReport)> {
     }
 
     Ok((db, report))
+}
+
+/// Rebuild one table's row heap from the durable directory alone: the
+/// snapshot image (if any) plus the committed WAL suffix. This is targeted
+/// repair for in-memory heap-page corruption — the on-disk bytes are the
+/// authority, so the returned heap is exactly the heap a full
+/// [`recover`] would produce for that table.
+///
+/// Pure function of the directory bytes and the table name; the caller
+/// swaps the heap into the live database. Table ids are assigned the way
+/// [`recover`] assigns them: snapshot tables in image order get ids
+/// `0..n`, then each replayed `CreateTable` frame takes the next id — so
+/// `InsertRows` frames can be matched to the target table without a live
+/// catalog.
+///
+/// The rebuilt heap is checksum-verified before it is returned; an
+/// unknown table name is an error.
+pub fn repair_table(dir: &Path, table: &str) -> RelResult<TableHeap> {
+    let mut heap = TableHeap::new();
+    let mut def = None;
+    let mut target: Option<TableId> = None;
+    let mut next_id: u32 = 0;
+    let mut snapshot_lsn = 0u64;
+
+    if let Some(image) = snapshot::read_snapshot(dir)? {
+        snapshot_lsn = image.next_lsn;
+        for snap_table in image.tables {
+            let id = TableId(next_id);
+            next_id += 1;
+            if snap_table.def.name == table {
+                for row in snap_table.rows {
+                    heap.insert_unchecked(&snap_table.def, row);
+                }
+                target = Some(id);
+                def = Some(snap_table.def);
+            }
+        }
+    }
+
+    let outcome = wal::read_wal(&dir.join(WAL_FILE))?;
+    for (lsn, record) in outcome.frames {
+        if matches!(record, WalRecord::Checkpoint) || lsn < snapshot_lsn {
+            continue;
+        }
+        match record {
+            WalRecord::CreateTable(created) => {
+                let id = TableId(next_id);
+                next_id += 1;
+                if created.name == table {
+                    target = Some(id);
+                    def = Some(created);
+                }
+            }
+            WalRecord::InsertRows { table: id, rows } if Some(id) == target => {
+                let table_def = def
+                    .as_ref()
+                    .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+                for row in rows {
+                    heap.insert_unchecked(table_def, row);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if target.is_none() {
+        return Err(RelError::UnknownTable(table.to_string()));
+    }
+    heap.verify_checksums(table)?;
+    Ok(heap)
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::catalog::TableDef;
 use crate::cost::PAGE_SIZE;
-use crate::error::{RelError, RelResult};
+use crate::error::{RelError, RelResult, StructureKind};
 use crate::types::{DataType, Row, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -97,20 +97,14 @@ impl TableHeap {
         for row in &self.rows {
             let page = offset / PAGE_SIZE;
             if page >= sums.len() {
-                return Err(RelError::Corrupted {
-                    table: table.to_string(),
-                    page,
-                });
+                return Err(RelError::corrupted_heap(table, page));
             }
             sums[page] ^= row_hash(row);
             offset += row_width(row);
         }
         for (page, (fresh, stored)) in sums.iter().zip(&self.page_sums).enumerate() {
             if fresh != stored {
-                return Err(RelError::Corrupted {
-                    table: table.to_string(),
-                    page,
-                });
+                return Err(RelError::corrupted_heap(table, page));
             }
         }
         Ok(())
@@ -442,20 +436,24 @@ impl ColumnarHeap {
                 };
                 let page = offset / PAGE_SIZE;
                 if page >= sums.len() {
-                    return Err(RelError::Corrupted {
-                        table: format!("{table}[c{c}]"),
+                    return Err(RelError::corrupted(
+                        StructureKind::Columnar,
+                        table,
+                        format!("{table}[c{c}]"),
                         page,
-                    });
+                    ));
                 }
                 sums[page] ^= cell_hash(&value);
                 offset += width;
             }
             for (page, (fresh, stored)) in sums.iter().zip(&col.page_sums).enumerate() {
                 if fresh != stored {
-                    return Err(RelError::Corrupted {
-                        table: format!("{table}[c{c}]"),
+                    return Err(RelError::corrupted(
+                        StructureKind::Columnar,
+                        table,
+                        format!("{table}[c{c}]"),
                         page,
-                    });
+                    ));
                 }
             }
         }
@@ -601,8 +599,15 @@ mod tests {
         // 120 bytes/row; page size 8192 -> row 500 starts on page 7.
         heap.corrupt_row(500);
         match heap.verify_checksums("t").unwrap_err() {
-            RelError::Corrupted { table, page } => {
+            RelError::Corrupted {
+                kind,
+                table,
+                structure,
+                page,
+            } => {
+                assert_eq!(kind, StructureKind::Heap);
                 assert_eq!(table, "t");
+                assert_eq!(structure, "t");
                 assert_eq!(page, 500 * 120 / crate::cost::PAGE_SIZE);
             }
             other => panic!("expected corruption, got {other:?}"),
@@ -732,8 +737,15 @@ mod tests {
         assert!(col.verify_checksums("w").is_ok());
         assert!(col.corrupt_value(0, 123));
         match col.verify_checksums("w").unwrap_err() {
-            RelError::Corrupted { table, page } => {
-                assert_eq!(table, "w[c0]");
+            RelError::Corrupted {
+                kind,
+                table,
+                structure,
+                page,
+            } => {
+                assert_eq!(kind, StructureKind::Columnar);
+                assert_eq!(table, "w");
+                assert_eq!(structure, "w[c0]");
                 assert_eq!(page, 123 * 8 / PAGE_SIZE);
             }
             other => panic!("expected corruption, got {other:?}"),

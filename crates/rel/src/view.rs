@@ -9,8 +9,23 @@
 //! redundancy a join view carries.)
 
 use crate::catalog::{TableDef, TableId};
+use crate::cost::PAGE_SIZE;
+use crate::error::{RelError, RelResult, StructureKind};
 use crate::stats::TableStats;
-use crate::types::Row;
+use crate::types::{Row, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Order-insensitive hash of one materialized row, xor-folded into its
+/// page's checksum (same scheme as the row heap's).
+fn view_row_hash(row: &[Value]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    row.len().hash(&mut hasher);
+    for value in row {
+        value.hash(&mut hasher);
+    }
+    hasher.finish()
+}
 
 /// Which side of the join a view output column comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,6 +99,11 @@ impl ViewDef {
 }
 
 /// A materialized view: its definition plus the joined rows.
+///
+/// The materialization carries per-page xor checksums over its rows (the
+/// same layout accounting as [`BuiltView::byte_size`]), captured once at
+/// build, so seeded corruption is detectable before a view scan can return
+/// damaged rows.
 #[derive(Debug, Clone)]
 pub struct BuiltView {
     /// Definition.
@@ -92,6 +112,8 @@ pub struct BuiltView {
     pub rows: Vec<Row>,
     /// Byte size of the materialization.
     pub byte_size: usize,
+    /// Per-page xor of row hashes, derived once at build.
+    page_sums: Vec<u64>,
 }
 
 impl BuiltView {
@@ -128,10 +150,86 @@ impl BuiltView {
                 }
             }
         }
+        let page_sums = Self::compute_page_sums(&rows);
         BuiltView {
             def,
             rows,
             byte_size,
+            page_sums,
+        }
+    }
+
+    /// Per-page xor of row hashes in materialization order.
+    fn compute_page_sums(rows: &[Row]) -> Vec<u64> {
+        let mut sums = Vec::new();
+        let mut offset = 0usize;
+        for row in rows {
+            let page = offset / PAGE_SIZE;
+            if page >= sums.len() {
+                sums.resize(page + 1, 0);
+            }
+            sums[page] ^= view_row_hash(row);
+            offset += crate::storage::row_width(row);
+        }
+        sums
+    }
+
+    /// Recompute every page checksum and compare against the sums captured
+    /// at build. `table` names the view's left (parent) table in the error.
+    /// O(rows); the executor only calls this when a fault plane is active.
+    pub fn verify_checksums(&self, table: &str) -> RelResult<()> {
+        let fresh = Self::compute_page_sums(&self.rows);
+        if fresh.len() != self.page_sums.len() {
+            return Err(RelError::corrupted(
+                StructureKind::View,
+                table,
+                self.def.name.clone(),
+                fresh.len().min(self.page_sums.len()),
+            ));
+        }
+        for (page, (a, b)) in fresh.iter().zip(&self.page_sums).enumerate() {
+            if a != b {
+                return Err(RelError::corrupted(
+                    StructureKind::View,
+                    table,
+                    self.def.name.clone(),
+                    page,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Damage materialized row `idx` for corruption testing, without
+    /// touching the stored checksums. Returns false when out of range.
+    pub fn corrupt_row(&mut self, idx: usize) -> bool {
+        let Some(row) = self.rows.get_mut(idx) else {
+            return false;
+        };
+        for value in row.iter_mut() {
+            match value {
+                Value::Int(v) => {
+                    *v = v.wrapping_add(1);
+                    return true;
+                }
+                Value::Float(v) => {
+                    *v = f64::from_bits(v.to_bits() ^ 1);
+                    return true;
+                }
+                Value::Str(s) => {
+                    let flipped = if s.starts_with('~') { "!" } else { "~" };
+                    *value = Value::str(format!("{flipped}{s}"));
+                    return true;
+                }
+                Value::Null => {}
+            }
+        }
+        match row.first_mut() {
+            Some(first) => {
+                *first = Value::Int(0);
+                true
+            }
+            None => false,
         }
     }
 
@@ -189,6 +287,47 @@ mod tests {
             vec![Value::Int(1), Value::str("a"), Value::str("x")]
         );
         assert!(view.byte_size > 0);
+    }
+
+    #[test]
+    fn checksums_catch_row_damage() {
+        let def = sample_def();
+        let left: Vec<Row> = (0..200)
+            .map(|i| vec![Value::Int(i), Value::str(format!("a{i}"))])
+            .collect();
+        let right: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Int(i + 1000),
+                    Value::Int(i),
+                    Value::str("x".repeat(50)),
+                ]
+            })
+            .collect();
+        let mut view = BuiltView::build(def, &left, &right);
+        assert!(view.verify_checksums("parent").is_ok());
+        assert!(view.corrupt_row(7));
+        match view.verify_checksums("parent").unwrap_err() {
+            RelError::Corrupted {
+                kind,
+                table,
+                structure,
+                page,
+            } => {
+                assert_eq!(kind, StructureKind::View);
+                assert_eq!(table, "parent");
+                assert_eq!(structure, "v");
+                assert_eq!(page, 0);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+        assert!(!view.corrupt_row(10_000));
+    }
+
+    #[test]
+    fn empty_view_verifies_clean() {
+        let view = BuiltView::build(sample_def(), &[], &[]);
+        assert!(view.verify_checksums("parent").is_ok());
     }
 
     #[test]

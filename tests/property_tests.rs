@@ -17,7 +17,13 @@
 //! * columnar layout invariance: for an arbitrary table, row set, and
 //!   filter conjunction, scanning a columnar partition returns the same
 //!   rows, [`ExecStats`] bits, deterministic profile, and fault-plane
-//!   charges (budget and injected faults alike) as scanning the row heap.
+//!   charges (budget and injected faults alike) as scanning the row heap;
+//! * self-healing restores the oracle: for an arbitrary durable database
+//!   and an arbitrary single-structure corruption (row heap, index, view,
+//!   or columnar partition), `execute_healing` completes the statement
+//!   with the uncorrupted oracle's rows, and afterwards rows, stats, and
+//!   fault-plane charges are bit-identical to the oracle at executor
+//!   thread counts 1 and 4, with a thread-invariant heal report.
 
 use proptest::prelude::*;
 use xmlshred::prelude::*;
@@ -801,5 +807,235 @@ proptest! {
         prop_assert_eq!(db.heap(table).rows(), oracle.heap(table).rows());
         prop_assert_eq!(db.table_stats(table), oracle.table_stats(table));
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// ------------------------------------------------------- self-healing --
+
+use xmlshred::rel::index::IndexDef;
+use xmlshred::rel::sql::{JoinCond, UnionAllQuery};
+use xmlshred::rel::view::{ViewDef, ViewSide};
+use xmlshred::rel::StructureKind;
+
+/// An arbitrary healing case: parent-table shape and rows (reusing the
+/// columnar case's encoding), a structure kind to corrupt, and a
+/// corruption-site seed.
+#[allow(clippy::type_complexity)]
+fn arb_heal_case() -> impl Strategy<Value = (Vec<(u8, bool)>, Vec<u64>, u8, u64)> {
+    (
+        proptest::collection::vec((0u8..3, proptest::bool::ANY), 1..4),
+        proptest::collection::vec(0u64..u64::MAX, 1..80),
+        0u8..4,
+        0u64..u64::MAX,
+    )
+}
+
+/// Build the two-table heal fixture (durable when `dir` is given): parent
+/// `t0` from the generated rows, child `t1` whose join column copies a
+/// parent key, and one structure of every derived kind on top.
+fn build_heal_db(
+    dir: Option<&std::path::Path>,
+    types: &[(DataType, bool)],
+    row_seeds: &[u64],
+) -> (Database, xmlshred::rel::catalog::TableId, SqlQuery) {
+    let def = TableDef::new(
+        "t0",
+        types
+            .iter()
+            .enumerate()
+            .map(|(i, &(ty, nullable))| {
+                let column = ColumnDef::new(format!("c{i}"), ty);
+                if nullable {
+                    column.nullable()
+                } else {
+                    column
+                }
+            })
+            .collect(),
+    );
+    let child_def = TableDef::new(
+        "t1",
+        vec![
+            ColumnDef::new("k", types[0].0).nullable(),
+            ColumnDef::new("payload", DataType::Int),
+        ],
+    );
+    let mut db = match dir {
+        Some(dir) => Database::create_durable(dir).expect("create durable"),
+        None => Database::new(),
+    };
+    let parent = db.create_table(def).expect("create t0");
+    let child = db.create_table(child_def).expect("create t1");
+    let rows: Vec<Row> = row_seeds
+        .iter()
+        .map(|&seed| {
+            types
+                .iter()
+                .enumerate()
+                .map(|(c, &(ty, nullable))| dur_value(ty, nullable, seed, c as u64))
+                .collect::<Row>()
+        })
+        .collect();
+    db.insert_rows(parent, rows.iter().cloned())
+        .expect("insert t0");
+    let child_rows: Vec<Row> = row_seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let key = rows[seed as usize % rows.len()][0].clone();
+            vec![key, Value::Int(i as i64)]
+        })
+        .collect();
+    db.insert_rows(child, child_rows).expect("insert t1");
+    db.analyze().expect("analyze");
+    db.apply_config(&PhysicalConfig {
+        indexes: vec![IndexDef::new("ix0", parent, vec![0], vec![])],
+        views: vec![ViewDef {
+            name: "v0".into(),
+            left: parent,
+            right: child,
+            left_col: 0,
+            right_col: 0,
+            outputs: vec![(ViewSide::Left, 0), (ViewSide::Right, 1)],
+        }],
+        columnar: vec![parent],
+    })
+    .expect("apply config");
+
+    // Branch A: filtered scan of the parent; branch B: the parent ⋈ child
+    // join the view covers. Arity 2, ordered by the first output.
+    let mut branch_a = SelectQuery::single(parent);
+    branch_a.outputs = vec![Output::col(0, 0), Output::Null(DataType::Int)];
+    let mut branch_b = SelectQuery::single(parent);
+    branch_b.tables.push(child);
+    branch_b.joins.push(JoinCond {
+        left_ref: 0,
+        left_col: 0,
+        right_ref: 1,
+        right_col: 0,
+    });
+    branch_b.outputs = vec![Output::col(0, 0), Output::col(1, 1)];
+    let query = SqlQuery::Union(UnionAllQuery {
+        branches: vec![branch_a, branch_b],
+        order_by: vec![0, 1],
+    });
+    (db, parent, query)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Corrupt one arbitrary structure (row heap, index, view, or columnar
+    /// partition) of an arbitrary durable database: `execute_healing`
+    /// completes the statement with the oracle's rows, and afterwards the
+    /// database is observationally identical to one that was never
+    /// corrupted — same rows, same `ExecStats` bits, same fault-plane
+    /// budget charges — at executor thread counts 1 and 4, with a
+    /// thread-invariant heal report.
+    #[test]
+    fn healing_restores_the_uncorrupted_oracle(case in arb_heal_case()) {
+        let (cols, row_seeds, kind_sel, site) = case;
+        let types: Vec<(DataType, bool)> = cols
+            .iter()
+            .map(|&(t, nullable)| {
+                let ty = match t {
+                    0 => DataType::Int,
+                    1 => DataType::Float,
+                    _ => DataType::Str,
+                };
+                (ty, nullable)
+            })
+            .collect();
+        let kind = match kind_sel {
+            0 => StructureKind::Heap,
+            1 => StructureKind::Index,
+            2 => StructureKind::View,
+            _ => StructureKind::Columnar,
+        };
+
+        // The never-corrupted oracle (in memory; durability is irrelevant
+        // to its observables).
+        let (mut oracle, _, oracle_query) = build_heal_db(None, &types, &row_seeds);
+        oracle.set_fault_config(FaultConfig {
+            seed: 13,
+            budget_pages: Some(u64::MAX),
+            verify_checksums: true,
+            ..FaultConfig::default()
+        });
+        let expected = oracle.execute(&oracle_query).expect("oracle run");
+        let expected_view = layout_view(&expected);
+        let expected_charges = oracle.fault_plane().expect("armed").snapshot();
+
+        static DIRS: AtomicU64 = AtomicU64::new(0);
+        let mut reports = Vec::new();
+        for threads in [1usize, 4] {
+            let dir = std::env::temp_dir().join(format!(
+                "xmlshred-prop-heal-{}-{}",
+                std::process::id(),
+                DIRS.fetch_add(1, Ordering::Relaxed),
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let (mut db, parent, query) = build_heal_db(Some(&dir), &types, &row_seeds);
+            db.set_exec_options(ExecOptions { threads, ..ExecOptions::default() });
+
+            // Corrupt one seeded site of the chosen kind. Out-of-range
+            // sites are a no-op (the corruption helpers return false), in
+            // which case healing trivially observes nothing.
+            match kind {
+                StructureKind::Heap => {
+                    db.heap_mut(parent).expect("heap").corrupt_row(site as usize % row_seeds.len());
+                }
+                StructureKind::Index => {
+                    db.built_index_mut("ix0").expect("index").corrupt_entry(site as usize % row_seeds.len());
+                }
+                StructureKind::View => {
+                    db.built_view_mut("v0").expect("view").corrupt_row(site as usize % row_seeds.len());
+                }
+                StructureKind::Columnar => {
+                    db.columnar_mut(parent).expect("columnar")
+                        .corrupt_value(site as usize % types.len(), site as usize % row_seeds.len());
+                }
+            }
+
+            db.set_fault_config(FaultConfig {
+                seed: 13,
+                budget_pages: Some(u64::MAX),
+                verify_checksums: true,
+                ..FaultConfig::default()
+            });
+            let (outcome, report) = db.execute_healing(&query).expect("healing run");
+            prop_assert_eq!(&outcome.rows, &expected.rows, "degraded rows diverged");
+            prop_assert!(db.quarantined_structures().is_empty(), "quarantine not drained");
+            // Every site the statement tripped over is clean now. (A
+            // corrupted structure the plan never reads is legitimately
+            // still damaged — and still unread by the comparison below.)
+            let remaining = db.scrub().corruptions;
+            for event in &report.events {
+                prop_assert!(
+                    !remaining.iter().any(|c| c.kind == event.kind && c.structure == event.structure),
+                    "healed site still corrupt: {:?}",
+                    event
+                );
+            }
+            reports.push(report);
+
+            // Post-heal: a fresh plane on both sides, and every observable
+            // matches the oracle bit-for-bit.
+            db.set_fault_config(FaultConfig {
+                seed: 13,
+                budget_pages: Some(u64::MAX),
+                verify_checksums: true,
+                ..FaultConfig::default()
+            });
+            let healed = db.execute(&query).expect("post-heal run");
+            prop_assert_eq!(layout_view(&healed), expected_view.clone(), "post-heal view diverged");
+            prop_assert_eq!(
+                db.fault_plane().expect("armed").snapshot(),
+                expected_charges,
+                "post-heal charges diverged"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        prop_assert_eq!(&reports[0], &reports[1], "heal report varies with threads");
     }
 }
