@@ -133,7 +133,7 @@ fn bench_columnar_scan(c: &mut Criterion) {
     const WIDE_ROWS: usize = 20_000;
     let mut outputs = Vec::new();
     for columnar in [false, true] {
-        let (mut db, query) = wide_scan_fixture(WIDE_ROWS);
+        let (mut db, query) = wide_scan_fixture(WIDE_ROWS).expect("fixture load");
         if columnar {
             let mut config = db.built_config().clone();
             config.columnar = db.catalog().iter().map(|(id, _)| id).collect();

@@ -10,7 +10,7 @@
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
 //! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`,
-//! `heal`, `profile`, `exec`, `all`. The `XMLSHRED_SCALE` environment
+//! `heal`, `profile`, `exec`, `serve`, `all`. The `XMLSHRED_SCALE` environment
 //! variable (or `--scale X`)
 //! scales the dataset sizes; normalized figures are scale-stable.
 //! `--threads N` sets the advisor worker-thread count (0 = all cores, the
@@ -28,6 +28,12 @@
 //! `--bench-json PATH` writes a machine-readable per-query benchmark record
 //! (schema `xmlshred-bench-exec-v1`: wall nanoseconds per thread count,
 //! rows, measured cost, layout).
+//! `serve` benchmarks the multi-session TCP server: N concurrent clients
+//! (sweep 1/4/8; `--serve-clients N` extends it) run a deterministic mixed
+//! read/write workload, reporting p50/p99 latency and throughput; the
+//! single-client run is asserted bit-identical to a library-path replay
+//! and `--bench-json PATH` writes the record (schema
+//! `xmlshred-bench-serve-v1`).
 //!
 //! Robustness knobs: `--fault-p X` injects what-if planner faults with
 //! probability X, `--deadline-ms N` gives each strategy an anytime budget
@@ -111,6 +117,7 @@ fn main() {
     let data_dir = take_value::<String>(&mut args, "--data-dir");
     let layout = take_value::<Layout>(&mut args, "--layout").unwrap_or_default();
     let bench_json = take_value::<String>(&mut args, "--bench-json");
+    let serve_clients = take_value::<usize>(&mut args, "--serve-clients");
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -150,6 +157,7 @@ fn main() {
         list_cells,
         layout,
         bench_json,
+        serve_clients,
     };
     let start = Instant::now();
     match xmlshred_bench::experiments::run(experiment, scale, &opts) {

@@ -140,7 +140,8 @@ fn scan_microbench(morsel_rows: usize) -> Result<ScanMicrobench, String> {
     let mut walls = [0u64; 2];
     let mut baseline: Option<(usize, u64)> = None;
     for (slot, layout) in [Layout::Row, Layout::Columnar].into_iter().enumerate() {
-        let (mut db, query) = wide_scan_fixture(TABLE_ROWS);
+        let (mut db, query) =
+            wide_scan_fixture(TABLE_ROWS).map_err(|e| format!("fixture load failed: {e}"))?;
         if layout == Layout::Columnar {
             let tables = db.catalog().iter().map(|(id, _)| id).collect();
             db.apply_config(&xmlshred_rel::PhysicalConfig {

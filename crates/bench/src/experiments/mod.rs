@@ -8,6 +8,7 @@ pub mod exec_parallel;
 pub mod heal;
 pub mod motivating;
 pub mod profile;
+pub mod serve;
 pub mod table1;
 pub mod updates;
 
@@ -98,9 +99,13 @@ pub struct RunOptions {
     pub list_cells: bool,
     /// Storage layout for the `exec` experiment (`--layout`, default row).
     pub layout: Layout,
-    /// Where the `exec` experiment writes its machine-readable benchmark
-    /// record (`--bench-json`); `None` prints tables only.
+    /// Where the `exec` and `serve` experiments write their
+    /// machine-readable benchmark records (`--bench-json`); `None` prints
+    /// tables only.
     pub bench_json: Option<String>,
+    /// Extra client count for the `serve` sweep (`--serve-clients`):
+    /// appended to the built-in 1/4/8 sweep when not already covered.
+    pub serve_clients: Option<usize>,
 }
 
 impl RunOptions {
@@ -155,7 +160,7 @@ pub(crate) fn list_cells(
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
 /// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`, `heal`,
-/// `profile`, `exec`, `all`.
+/// `profile`, `exec`, `serve`, `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
@@ -172,6 +177,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
         "heal" => heal::run(scale, opts),
         "profile" => profile::run(scale, opts),
         "exec" => exec_parallel::run(scale, opts),
+        "serve" => serve::run(scale, opts),
         "all" => {
             table1::run(scale)?;
             motivating::run(scale)?;
@@ -188,7 +194,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec serve all"
         )),
     }
 }

@@ -236,7 +236,12 @@ pub fn run_algorithms_exec(
 /// the shape where late-materializing columnar scans win and a row scan
 /// pays for every payload column it never returns. Returns the loaded
 /// database (row layout; apply a columnar config to switch) plus the query.
-pub fn wide_scan_fixture(rows: usize) -> (xmlshred_rel::Database, xmlshred_rel::SqlQuery) {
+/// Errors propagate as [`xmlshred_rel::RelResult`] — the fixture used to
+/// `expect` its way through setup, which turned any engine regression into
+/// a harness panic instead of a reportable failure.
+pub fn wide_scan_fixture(
+    rows: usize,
+) -> xmlshred_rel::RelResult<(xmlshred_rel::Database, xmlshred_rel::SqlQuery)> {
     use xmlshred_rel::{
         ColumnDef, DataType, Database, Filter, FilterOp, Output, SelectQuery, SqlQuery, TableDef,
         Value,
@@ -248,9 +253,7 @@ pub fn wide_scan_fixture(rows: usize) -> (xmlshred_rel::Database, xmlshred_rel::
     }
     columns.push(ColumnDef::new("x", DataType::Int));
     columns.push(ColumnDef::new("y", DataType::Float).nullable());
-    let t = db
-        .create_table(TableDef::new("wide", columns))
-        .expect("create wide table");
+    let t = db.create_table(TableDef::new("wide", columns))?;
     let batch: Vec<Vec<Value>> = (0..rows as i64)
         .map(|i| {
             let mut row = vec![Value::Int(i)];
@@ -266,14 +269,14 @@ pub fn wide_scan_fixture(rows: usize) -> (xmlshred_rel::Database, xmlshred_rel::
             row
         })
         .collect();
-    db.insert_rows(t, batch).expect("load wide table");
-    db.analyze().expect("analyze");
+    db.insert_rows(t, batch)?;
+    db.analyze()?;
     // No index exists, so `x = 7` runs as a full scan in every layout;
     // roughly 1/199 of the rows survive the filter.
     let mut q = SelectQuery::single(t);
     q.filters = vec![Filter::new(0, 9, FilterOp::Eq, Value::Int(7))];
     q.outputs = vec![Output::col(0, 0), Output::col(0, 10)];
-    (db, SqlQuery::Select(q))
+    Ok((db, SqlQuery::Select(q)))
 }
 
 // ------------------------------------------------------- matrix digests --

@@ -7,9 +7,11 @@
 //! under `benches/` exercise the hot components (translation, planning,
 //! tuning, execution, search) in isolation.
 
-// Robustness gate: library code must propagate typed errors, not unwrap.
-// Tests are exempt (unwrap there is an assertion).
-#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+// Robustness gate: library code must propagate typed errors, not panic —
+// neither `unwrap` nor `expect` (a fixture `expect` once turned engine
+// regressions into harness panics). Tests are exempt (panics there are
+// assertions).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod experiments;
 pub mod harness;

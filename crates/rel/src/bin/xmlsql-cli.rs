@@ -1,0 +1,194 @@
+//! Interactive line-oriented client for `xmlsql-server`.
+//!
+//! ```text
+//! xmlsql-cli [--addr HOST:PORT]
+//! ```
+//!
+//! Commands (one per line on stdin):
+//!
+//! ```text
+//! ping                          liveness check
+//! describe                      list tables and columns
+//! create NAME COL:TYPE[?] ...   create a table (TYPE: int|float|str, ? = nullable)
+//! insert TABLE V1,V2,...        insert one row (NULL for null; autocommits
+//!                               outside a transaction)
+//! scan TABLE                    select every column of TABLE
+//! begin / commit / rollback     transaction control (snapshot isolation)
+//! analyze                       recompute statistics
+//! quit                          close the session
+//! ```
+//!
+//! Table names are resolved through `describe`: tables are listed in id
+//! order, so the line index is the table id.
+
+use std::io::{BufRead, Write as _};
+use xmlshred_rel::{
+    Client, ColumnDef, DataType, Output, RelResult, SelectQuery, SqlQuery, TableDef, TableId, Value,
+};
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => {
+                    eprintln!("error: --addr needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: xmlsql-cli [--addr HOST:PORT] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    let _ = write!(out, "> ");
+    let _ = out.flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if !line.is_empty() {
+            match run_command(&mut client, line) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        let _ = write!(out, "> ");
+        let _ = out.flush();
+    }
+}
+
+/// Execute one command; `Ok(true)` means quit.
+fn run_command(client: &mut Client, line: &str) -> RelResult<bool> {
+    let mut words = line.split_whitespace();
+    let command = words.next().unwrap_or("");
+    match command {
+        "quit" | "exit" => {
+            return Ok(true);
+        }
+        "ping" => {
+            client.ping()?;
+            println!("ok");
+        }
+        "describe" => print!("{}", client.describe()?),
+        "analyze" => {
+            client.analyze()?;
+            println!("ok");
+        }
+        "begin" => {
+            client.begin()?;
+            println!("ok");
+        }
+        "commit" => println!("committed at lsn {}", client.commit()?),
+        "rollback" => {
+            client.rollback()?;
+            println!("ok");
+        }
+        "create" => {
+            let name = words
+                .next()
+                .ok_or_else(|| err("create NAME COL:TYPE[?] ..."))?;
+            let mut columns = Vec::new();
+            for spec in words {
+                columns.push(parse_column(spec)?);
+            }
+            if columns.is_empty() {
+                return Err(err("create needs at least one column"));
+            }
+            let id = client.create_table(&TableDef::new(name, columns))?;
+            println!("table {} created (id {})", name, id.0);
+        }
+        "insert" => {
+            let table = words.next().ok_or_else(|| err("insert TABLE V1,V2,..."))?;
+            let values = words.collect::<Vec<_>>().join(" ");
+            if values.is_empty() {
+                return Err(err("insert TABLE V1,V2,..."));
+            }
+            let id = resolve_table(client, table)?;
+            let row: Vec<Value> = values.split(',').map(|v| parse_value(v.trim())).collect();
+            client.insert_rows(id, &[row])?;
+            println!("ok");
+        }
+        "scan" => {
+            let table = words.next().ok_or_else(|| err("scan TABLE"))?;
+            let (id, width) = resolve_table_width(client, table)?;
+            let mut q = SelectQuery::single(id);
+            q.outputs = (0..width).map(|c| Output::col(0, c)).collect();
+            let rows = client.query(&SqlQuery::Select(q))?;
+            for row in &rows {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                println!("{}", cells.join(" | "));
+            }
+            println!("({} rows)", rows.len());
+        }
+        other => return Err(err(&format!("unknown command '{other}'"))),
+    }
+    Ok(false)
+}
+
+fn err(msg: &str) -> xmlshred_rel::RelError {
+    xmlshred_rel::RelError::InvalidQuery(msg.to_string())
+}
+
+fn parse_column(spec: &str) -> RelResult<ColumnDef> {
+    let (name, ty) = spec
+        .split_once(':')
+        .ok_or_else(|| err(&format!("column spec '{spec}' is not NAME:TYPE")))?;
+    let (ty, nullable) = match ty.strip_suffix('?') {
+        Some(ty) => (ty, true),
+        None => (ty, false),
+    };
+    let ty = match ty {
+        "int" => DataType::Int,
+        "float" => DataType::Float,
+        "str" => DataType::Str,
+        other => return Err(err(&format!("unknown type '{other}'"))),
+    };
+    let def = ColumnDef::new(name, ty);
+    Ok(if nullable { def.nullable() } else { def })
+}
+
+fn parse_value(text: &str) -> Value {
+    if text.eq_ignore_ascii_case("null") {
+        Value::Null
+    } else if let Ok(i) = text.parse::<i64>() {
+        Value::Int(i)
+    } else if let Ok(f) = text.parse::<f64>() {
+        Value::Float(f)
+    } else {
+        Value::str(text)
+    }
+}
+
+/// Table ids are assigned densely in creation order, which is the order
+/// `describe` lists them in.
+fn resolve_table(client: &mut Client, name: &str) -> RelResult<TableId> {
+    resolve_table_width(client, name).map(|(id, _)| id)
+}
+
+fn resolve_table_width(client: &mut Client, name: &str) -> RelResult<(TableId, usize)> {
+    let schema = client.describe()?;
+    for (i, line) in schema.lines().enumerate() {
+        let Some((table, cols)) = line.split_once('(') else {
+            continue;
+        };
+        if table == name {
+            let width = cols.trim_end_matches(')').split(',').count();
+            return Ok((TableId(i as u32), width));
+        }
+    }
+    Err(xmlshred_rel::RelError::UnknownTable(name.to_string()))
+}

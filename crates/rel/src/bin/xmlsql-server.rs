@@ -1,0 +1,86 @@
+//! Standalone multi-session SQL server: serves a [`xmlshred_rel::SessionDb`]
+//! over the length-prefixed TCP protocol (see `rel::server`).
+//!
+//! ```text
+//! xmlsql-server [--addr HOST:PORT] [--data-dir DIR]
+//! ```
+//!
+//! Without `--data-dir` the database is in-memory (state dies with the
+//! process); with it, the server opens (or creates) a durable database in
+//! `DIR` — recovering committed transactions from its WAL — and every
+//! commit is logged before it is acknowledged.
+
+use xmlshred_rel::{Database, Server, SessionDb};
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut data_dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs a value"),
+            },
+            "--data-dir" => match args.next() {
+                Some(v) => data_dir = Some(v),
+                None => return usage("--data-dir needs a value"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let db = match &data_dir {
+        None => Database::new(),
+        Some(dir) => {
+            if std::path::Path::new(dir).join("wal.log").exists()
+                || std::path::Path::new(dir).join("snapshot.img").exists()
+            {
+                match Database::open_durable(dir) {
+                    Ok((db, report)) => {
+                        eprintln!(
+                            "recovered {dir}: {} frames replayed, {} txns committed, \
+                             {} uncommitted frames dropped",
+                            report.frames_replayed,
+                            report.txns_committed,
+                            report.frames_uncommitted
+                        );
+                        db
+                    }
+                    Err(e) => return fail(&format!("open {dir}: {e}")),
+                }
+            } else {
+                match Database::create_durable(dir) {
+                    Ok(db) => db,
+                    Err(e) => return fail(&format!("create {dir}: {e}")),
+                }
+            }
+        }
+    };
+
+    let server = match Server::spawn(SessionDb::new(db), &addr) {
+        Ok(server) => server,
+        Err(e) => return fail(&format!("bind {addr}: {e}")),
+    };
+    println!("listening on {}", server.local_addr());
+    // Serve until killed; the accept loop owns its thread.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn usage(err: &str) {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: xmlsql-server [--addr HOST:PORT] [--data-dir DIR]");
+    if !err.is_empty() {
+        std::process::exit(2);
+    }
+}
+
+fn fail(msg: &str) {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}

@@ -135,6 +135,18 @@ pub enum RelError {
     /// version, or checksum mismatch). Not recoverable by replay: the
     /// checkpointed base state itself is damaged.
     InvalidSnapshot(String),
+    /// First-committer-wins serialization failure: another transaction
+    /// committed to a table this transaction wrote after this transaction's
+    /// snapshot was taken. The transaction is rolled back; retrying it
+    /// against a fresh snapshot may succeed.
+    WriteConflict {
+        /// Table both transactions wrote.
+        table: String,
+        /// The conflicting transaction's commit LSN.
+        committed_lsn: u64,
+        /// This transaction's snapshot LSN.
+        snapshot_lsn: u64,
+    },
 }
 
 impl RelError {
@@ -169,10 +181,11 @@ impl RelError {
         }
     }
     /// Whether retrying the failed operation could succeed. Injected faults
-    /// are transient by construction; corruption and exhausted budgets are
-    /// not.
+    /// are transient by construction, and a write conflict clears once the
+    /// transaction restarts on a fresh snapshot; corruption and exhausted
+    /// budgets are not retryable.
     pub fn is_transient(&self) -> bool {
-        matches!(self, RelError::Fault(_))
+        matches!(self, RelError::Fault(_) | RelError::WriteConflict { .. })
     }
 }
 
@@ -213,6 +226,15 @@ impl fmt::Display for RelError {
             RelError::Io(msg) => write!(f, "i/o error: {msg}"),
             RelError::Crashed(msg) => write!(f, "crashed: {msg}"),
             RelError::InvalidSnapshot(msg) => write!(f, "invalid snapshot: {msg}"),
+            RelError::WriteConflict {
+                table,
+                committed_lsn,
+                snapshot_lsn,
+            } => write!(
+                f,
+                "write conflict on table '{table}': lsn {committed_lsn} committed after \
+                 snapshot lsn {snapshot_lsn}"
+            ),
         }
     }
 }

@@ -86,6 +86,53 @@ impl ExecOptions {
     }
 }
 
+/// Row-visibility horizon of one MVCC snapshot: for each table, how many
+/// leading heap rows had committed when the snapshot was taken.
+///
+/// The engine's heaps are insert-only and commits append whole row batches
+/// in commit-LSN order, so "every row version with `commit_lsn <=
+/// snapshot_lsn`" is exactly a per-table row-count *prefix* — visibility
+/// needs no per-row version column, just these watermarks. Scans under a
+/// snapshot read `heap.rows()[..visible]`; index postings and join probes
+/// drop row ids at or past the watermark **before** any costing, so a
+/// snapshot execution's `ExecStats` describe only the rows it could see.
+///
+/// Page-level accounting (I/O cost, fault-plane budget charges, checksum
+/// verification) intentionally stays at the *live* heap's page count: the
+/// snapshot reads through the same physical pages, and keeping the charge
+/// schedule independent of the watermark preserves the deterministic fault
+/// sequence across concurrent readers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotVisibility {
+    /// The snapshot's start LSN (informational; visibility itself is fully
+    /// captured by `visible`).
+    pub lsn: u64,
+    /// Visible row-count prefix per table, indexed by `TableId`. Tables
+    /// created after the snapshot have no entry and read as empty.
+    pub visible: Vec<usize>,
+}
+
+impl SnapshotVisibility {
+    /// Rows of `table` visible at this snapshot (0 for tables created after
+    /// the snapshot was taken).
+    pub fn table_rows(&self, table: crate::catalog::TableId) -> usize {
+        self.visible.get(table.index()).copied().unwrap_or(0)
+    }
+}
+
+/// The scannable prefix of a `len`-row structure under `vis` (`len` itself
+/// when executing outside any snapshot).
+fn visible_rows(
+    vis: Option<&SnapshotVisibility>,
+    table: crate::catalog::TableId,
+    len: usize,
+) -> usize {
+    match vis {
+        None => len,
+        Some(v) => v.table_rows(table).min(len),
+    }
+}
+
 /// Accounting of one execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecStats {
@@ -302,13 +349,37 @@ pub fn execute_plan_with(
     plan: &QueryPlan,
     opts: &ExecOptions,
 ) -> RelResult<(Vec<Row>, ExecStats, ExecProfile)> {
+    execute_plan_inner(db, plan, opts, None)
+}
+
+/// Execute a plan under an MVCC snapshot: every table access is clamped to
+/// the snapshot's visible row prefix (see [`SnapshotVisibility`]), so rows
+/// committed after the snapshot's start LSN are invisible. Plans executed
+/// this way must not contain view scans — the session layer plans snapshot
+/// queries with views stripped, because a materialization built over the
+/// live heaps has no per-row commit provenance to filter by.
+pub fn execute_plan_snapshot(
+    db: &Database,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+    vis: &SnapshotVisibility,
+) -> RelResult<(Vec<Row>, ExecStats, ExecProfile)> {
+    execute_plan_inner(db, plan, opts, Some(vis))
+}
+
+fn execute_plan_inner(
+    db: &Database,
+    plan: &QueryPlan,
+    opts: &ExecOptions,
+    vis: Option<&SnapshotVisibility>,
+) -> RelResult<(Vec<Row>, ExecStats, ExecProfile)> {
     let mut profile = ExecProfile::default();
     let mut stats = ExecStats::default();
     let mut rows: Vec<Row> = Vec::new();
     let mut ledger = VerifyLedger::default();
     for branch in &plan.branches {
         let (branch_rows, branch_stats) =
-            execute_branch(db, branch, opts, &mut profile, &mut ledger)?;
+            execute_branch(db, branch, opts, vis, &mut profile, &mut ledger)?;
         stats.absorb(branch_stats);
         rows.extend(branch_rows);
     }
@@ -367,6 +438,7 @@ fn execute_branch(
     db: &Database,
     branch: &BranchPlan,
     opts: &ExecOptions,
+    vis: Option<&SnapshotVisibility>,
     profile: &mut ExecProfile,
     ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
@@ -377,13 +449,25 @@ fn execute_branch(
             joins,
             outputs,
             ..
-        } => execute_pipeline(db, tables, driver, joins, outputs, opts, profile, ledger),
+        } => execute_pipeline(
+            db, tables, driver, joins, outputs, opts, vis, profile, ledger,
+        ),
         BranchPlan::ViewScan {
             view,
             filters,
             outputs,
             ..
-        } => execute_view_scan(db, view, filters, outputs, opts, profile, ledger),
+        } => {
+            // Materialized views carry no per-row commit provenance; the
+            // session layer plans snapshot queries with views stripped, so a
+            // ViewScan under a snapshot is a planner-contract violation.
+            if vis.is_some() {
+                return Err(RelError::InvalidQuery(format!(
+                    "snapshot execution cannot scan materialized view '{view}'"
+                )));
+            }
+            execute_view_scan(db, view, filters, outputs, opts, profile, ledger)
+        }
     }
 }
 
@@ -428,6 +512,7 @@ fn execute_pipeline(
     joins: &[crate::plan::JoinNode],
     outputs: &[Output],
     opts: &ExecOptions,
+    vis: Option<&SnapshotVisibility>,
     profile: &mut ExecProfile,
     ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
@@ -464,7 +549,7 @@ fn execute_pipeline(
         validate_filters(&join.inner.filters, inner_def)?;
     }
 
-    let (mut wide, driver_stats) = run_scan(db, driver_table, driver, opts, profile, ledger)?;
+    let (mut wide, driver_stats) = run_scan(db, driver_table, driver, opts, vis, profile, ledger)?;
     stats.absorb(driver_stats);
 
     for join in joins {
@@ -480,7 +565,7 @@ fn execute_pipeline(
         let next: Vec<Row> = match &join.algo {
             JoinAlgo::Hash => {
                 let (inner_rows, scan_stats) =
-                    run_scan(db, inner_table, &join.inner, opts, profile, ledger)?;
+                    run_scan(db, inner_table, &join.inner, opts, vis, profile, ledger)?;
                 stats.absorb(scan_stats);
                 let join_start = Instant::now();
                 stats.cpu_cost += inner_rows.len() as f64 * CPU_HASH_COST;
@@ -585,7 +670,13 @@ fn execute_pipeline(
                     }
                     // Per-probe descent.
                     stats.io_cost += BTREE_DESCENT_COST * RANDOM_PAGE_COST;
-                    let matched = built.seek(&crate::index::KeyRange::eq(vec![key.clone()]));
+                    let mut matched = built.seek(&crate::index::KeyRange::eq(vec![key.clone()]));
+                    if let Some(v) = vis {
+                        // Drop postings past the snapshot's watermark before
+                        // costing, so invisible rows charge nothing.
+                        let limit = v.table_rows(inner_table);
+                        matched.retain(|&i| (i as usize) < limit);
+                    }
                     stats.io_cost +=
                         (matched.len() as f64 * entry_width / PAGE_SIZE as f64) * SEQ_PAGE_COST;
                     if !covering {
@@ -769,6 +860,7 @@ fn run_scan(
     table: crate::catalog::TableId,
     scan: &ScanNode,
     opts: &ExecOptions,
+    vis: Option<&SnapshotVisibility>,
     profile: &mut ExecProfile,
     ledger: &mut VerifyLedger,
 ) -> RelResult<(Vec<Row>, ExecStats)> {
@@ -793,7 +885,9 @@ fn run_scan(
                 ledger,
             )?;
             stats.io_cost += heap.pages() as f64 * SEQ_PAGE_COST;
-            let rows = heap.rows();
+            // Under a snapshot only the visible prefix is scanned; pages are
+            // still charged at the live heap (see `SnapshotVisibility`).
+            let rows = &heap.rows()[..visible_rows(vis, table, heap.rows().len())];
             let ranges = morsel_ranges(rows.len(), opts);
             profile.note_morsels(&ranges);
             let pieces: Vec<(Vec<Row>, f64, u64)> =
@@ -855,7 +949,10 @@ fn run_scan(
                 })
                 .collect::<RelResult<_>>()?;
             let width = table_def.columns.len();
-            let ranges = morsel_ranges(col_heap.rows(), opts);
+            // The partition's row count is clamped to the snapshot's
+            // watermark; like the live path's stale-partition semantics,
+            // rows past the scanned prefix are simply not produced.
+            let ranges = morsel_ranges(visible_rows(vis, table, col_heap.rows()), opts);
             profile.note_morsels(&ranges);
             let pieces: Vec<(Vec<Row>, f64, u64)> =
                 par::parallel_map(&ranges, opts.threads, |_, range| {
@@ -915,7 +1012,14 @@ fn run_scan(
                     built.verify_checksums(&table_def.name)
                 })?;
             }
-            let matched = built.seek(key);
+            let mut matched = built.seek(key);
+            if let Some(v) = vis {
+                // Filter postings to the snapshot's visible prefix before
+                // any costing: invisible rows read no leaf entries, fetch no
+                // heap pages, and charge no budget.
+                let limit = v.table_rows(table);
+                matched.retain(|&i| (i as usize) < limit);
+            }
             let entry_width = built.def.entry_width(table_def, db.table_stats(table));
             stats.io_cost += BTREE_DESCENT_COST * RANDOM_PAGE_COST;
             // Zero matches read no leaf entries: descent cost only, matching

@@ -42,6 +42,8 @@ pub mod optimizer;
 pub mod par;
 pub mod plan;
 pub mod recovery;
+pub mod server;
+pub mod session;
 pub mod snapshot;
 pub mod sql;
 pub mod stats;
@@ -53,7 +55,9 @@ pub mod wal;
 pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
 pub use error::{CorruptionEvent, RelError, RelResult, StructureKind};
-pub use exec::{ExecOptions, ExecProfile, ExecStats, MorselRows, OperatorTiming};
+pub use exec::{
+    ExecOptions, ExecProfile, ExecStats, MorselRows, OperatorTiming, SnapshotVisibility,
+};
 pub use expr::{Filter, FilterOp};
 pub use fault::{
     backoff_nanos, CrashKind, CrashPoint, FaultConfig, FaultPlane, FaultStats, PlaneState,
@@ -61,10 +65,12 @@ pub use fault::{
 pub use heal::{HealReport, ScrubReport};
 pub use index::{BuiltIndex, IndexDef};
 pub use recovery::RecoveryReport;
+pub use server::{Client, Response, Server};
+pub use session::{SessionDb, Transaction};
 pub use sql::{Output, SelectQuery, SqlQuery, UnionAllQuery};
 pub use stats::{ColumnStats, TableStats};
 pub use storage::{Column, ColumnData, ColumnarHeap};
 pub use types::{DataType, Row, Value};
 pub use view::BuiltView;
 pub use view::ViewDef;
-pub use wal::{WalRecord, WalStats};
+pub use wal::{DecodeError, WalRecord, WalStats};

@@ -8,7 +8,10 @@
 //!    an empty database".
 //! 2. Scan the WAL, accepting frames up to the first incomplete or
 //!    CRC-failing one; the remainder is a torn tail from an interrupted
-//!    final write and is discarded (counted, not errored).
+//!    final write and is discarded (counted, not errored). A trailing
+//!    transaction whose `TxnCommit` marker never made it to disk is
+//!    dropped the same way: the WAL is the commit log, and only committed
+//!    transactions replay.
 //! 3. Replay every accepted frame whose LSN the snapshot does not already
 //!    cover, in log order, through the same mutation logic the original
 //!    calls used — so physical structures are rebuilt from exactly the
@@ -41,15 +44,31 @@ pub struct RecoveryReport {
     pub snapshot_lsn: u64,
     /// WAL frames replayed against the restored state.
     pub frames_replayed: u64,
-    /// WAL frames skipped: checkpoint markers plus frames the snapshot
-    /// already covered.
+    /// WAL frames skipped: checkpoint and transaction markers plus frames
+    /// the snapshot already covered.
     pub frames_skipped: u64,
-    /// Torn/corrupt trailing frames discarded (0 or 1: the scan cannot
-    /// resynchronize past the first bad frame).
+    /// Corrupt trailing frames discarded (0 or 1: the scan cannot
+    /// resynchronize past the first bad frame). A trailing fragment
+    /// shorter than one frame header sets [`tail_incomplete`] instead — no
+    /// complete frame was damaged.
+    ///
+    /// [`tail_incomplete`]: RecoveryReport::tail_incomplete
     pub frames_discarded: u64,
+    /// The log ended on a fragment shorter than one 8-byte frame header
+    /// (an append that barely started); mutually exclusive with a nonzero
+    /// `frames_discarded`.
+    pub tail_incomplete: bool,
+    /// CRC-valid frames dropped because they belong to a trailing
+    /// transaction whose commit marker never reached the log. The WAL is
+    /// the commit log: an interrupted commit must be invisible after
+    /// recovery, exactly like a torn tail.
+    pub frames_uncommitted: u64,
+    /// Committed transactions observed in the log (matched
+    /// `TxnBegin`/`TxnCommit` pairs).
+    pub txns_committed: u64,
     /// Bytes of torn tail discarded.
     pub bytes_discarded: u64,
-    /// Bytes of valid log retained (the replayable prefix).
+    /// Bytes of valid log retained (the replayable committed prefix).
     pub wal_valid_bytes: u64,
     /// Heap pages whose checksums were verified after restore.
     pub pages_verified: u64,
@@ -66,15 +85,18 @@ pub struct RecoveryReport {
 impl RecoveryReport {
     /// The report as `(metric name, value)` pairs, all deterministic, under
     /// the `wal.` / `recovery.` prefixes.
-    pub fn metric_counters(&self) -> [(&'static str, u64); 11] {
+    pub fn metric_counters(&self) -> [(&'static str, u64); 14] {
         [
             ("wal.frames_replayed", self.frames_replayed),
             ("wal.frames_skipped", self.frames_skipped),
             ("wal.frames_discarded", self.frames_discarded),
+            ("wal.tail_incomplete", u64::from(self.tail_incomplete)),
+            ("wal.frames_uncommitted", self.frames_uncommitted),
             ("wal.bytes_discarded", self.bytes_discarded),
             ("wal.valid_bytes", self.wal_valid_bytes),
             ("recovery.snapshot_loaded", u64::from(self.snapshot_loaded)),
             ("recovery.snapshot_lsn", self.snapshot_lsn),
+            ("recovery.txns_committed", self.txns_committed),
             ("recovery.pages_verified", self.pages_verified),
             ("recovery.indexes_rebuilt", self.indexes_rebuilt),
             ("recovery.views_rebuilt", self.views_rebuilt),
@@ -121,9 +143,60 @@ fn apply_record(
             db.apply_config(&config)?;
         }
         WalRecord::ClearConfig => db.clear_config()?,
+        // Markers carry no mutation; `recover` handles their bookkeeping
+        // before dispatching here, so these arms are defensive.
         WalRecord::Checkpoint => {}
+        WalRecord::TxnBegin { .. } | WalRecord::TxnCommit { .. } => {}
     }
     Ok(())
+}
+
+/// The committed prefix of a scanned log: the frame sequence up to (not
+/// including) the first `TxnBegin` with no matching `TxnCommit`. Commits
+/// are serialized by the session layer, so a transaction's frames are
+/// contiguous and only the log's trailing transaction can be uncommitted —
+/// everything from its begin marker on is dropped, and `valid_bytes` moves
+/// back to the boundary so [`Database::open_durable`] truncates the dead
+/// frames before appending (their LSNs are reused by the next commit).
+struct CommittedLog {
+    /// Replayable frames, in file order.
+    frames: Vec<(u64, WalRecord)>,
+    /// Byte length of the replayable prefix.
+    valid_bytes: u64,
+    /// Matched begin/commit pairs observed.
+    txns_committed: u64,
+    /// CRC-valid frames dropped from the uncommitted tail.
+    frames_uncommitted: u64,
+}
+
+fn committed_log(outcome: wal::WalReadOutcome) -> CommittedLog {
+    let mut open_at: Option<usize> = None;
+    let mut txns_committed = 0u64;
+    for (i, (_, record)) in outcome.frames.iter().enumerate() {
+        match record {
+            WalRecord::TxnBegin { .. } if open_at.is_none() => open_at = Some(i),
+            WalRecord::TxnCommit { .. } if open_at.take().is_some() => txns_committed += 1,
+            _ => {}
+        }
+    }
+    let mut frames = outcome.frames;
+    let mut valid_bytes = outcome.valid_bytes;
+    let mut frames_uncommitted = 0u64;
+    if let Some(cut) = open_at {
+        frames_uncommitted = (frames.len() - cut) as u64;
+        valid_bytes = if cut == 0 {
+            0
+        } else {
+            outcome.frame_ends[cut - 1]
+        };
+        frames.truncate(cut);
+    }
+    CommittedLog {
+        frames,
+        valid_bytes,
+        txns_committed,
+        frames_uncommitted,
+    }
 }
 
 /// Recover a database from a durable directory. Returns the rebuilt
@@ -162,16 +235,33 @@ pub fn recover(dir: &Path) -> RelResult<(Database, RecoveryReport)> {
 
     let outcome = wal::read_wal(&dir.join(WAL_FILE))?;
     report.frames_discarded = outcome.frames_discarded;
+    report.tail_incomplete = outcome.tail_incomplete;
     report.bytes_discarded = outcome.bytes_discarded;
-    report.wal_valid_bytes = outcome.valid_bytes;
-    for (lsn, record) in outcome.frames {
-        if matches!(record, WalRecord::Checkpoint) || lsn < report.snapshot_lsn {
-            report.frames_skipped += 1;
-            continue;
+    let committed = committed_log(outcome);
+    report.wal_valid_bytes = committed.valid_bytes;
+    report.txns_committed = committed.txns_committed;
+    report.frames_uncommitted = committed.frames_uncommitted;
+    for (lsn, record) in committed.frames {
+        match record {
+            WalRecord::Checkpoint => {
+                // Shares its LSN with the next mutation; never advances.
+                report.frames_skipped += 1;
+            }
+            _ if lsn < report.snapshot_lsn => {
+                report.frames_skipped += 1;
+            }
+            WalRecord::TxnBegin { .. } | WalRecord::TxnCommit { .. } => {
+                // Markers carry no mutation but consume LSNs; the recovered
+                // database must resume past them.
+                report.frames_skipped += 1;
+                report.next_lsn = lsn + 1;
+            }
+            record => {
+                apply_record(&mut db, record, &mut report)?;
+                report.frames_replayed += 1;
+                report.next_lsn = lsn + 1;
+            }
         }
-        apply_record(&mut db, record, &mut report)?;
-        report.frames_replayed += 1;
-        report.next_lsn = lsn + 1;
     }
 
     // Verify every heap exactly once, after the full replay: the recovered
@@ -229,7 +319,10 @@ pub fn repair_table(dir: &Path, table: &str) -> RelResult<TableHeap> {
     }
 
     let outcome = wal::read_wal(&dir.join(WAL_FILE))?;
-    for (lsn, record) in outcome.frames {
+    // Same committed-prefix rule as `recover`: an uncommitted trailing
+    // transaction contributes nothing to the repaired heap.
+    let committed = committed_log(outcome);
+    for (lsn, record) in committed.frames {
         if matches!(record, WalRecord::Checkpoint) || lsn < snapshot_lsn {
             continue;
         }
@@ -273,6 +366,9 @@ mod tests {
             frames_replayed: 5,
             frames_skipped: 2,
             frames_discarded: 1,
+            tail_incomplete: false,
+            frames_uncommitted: 3,
+            txns_committed: 2,
             bytes_discarded: 40,
             wal_valid_bytes: 640,
             pages_verified: 7,

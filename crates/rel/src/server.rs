@@ -1,0 +1,748 @@
+//! TCP server and client for multi-session access: a length-prefixed
+//! binary protocol over [`crate::session::SessionDb`].
+//!
+//! # Wire format
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The payload's first byte is a tag; the body reuses the WAL codec
+//! ([`crate::wal::Enc`]/[`crate::wal::Dec`]) for rows, table definitions,
+//! and queries, so the server speaks exactly the encoding the log already
+//! pins down. Frames are capped at [`crate::wal::MAX_FRAME_BYTES`]; an
+//! oversized length is a protocol error, not an allocation.
+//!
+//! # Sessions
+//!
+//! Each TCP connection is one session, served by its own thread. A session
+//! holds at most one open [`crate::session::Transaction`]; `BEGIN` opens
+//! one (implicitly rolling back any predecessor), `COMMIT`/`ROLLBACK`
+//! close it, and statements outside a transaction auto-commit. Server-side
+//! errors travel back as an error response carrying the error's display
+//! string and its transience (so clients know a write conflict is worth
+//! retrying); the typed [`crate::error::RelError`] structure itself stays
+//! server-side.
+
+use crate::catalog::{TableDef, TableId};
+use crate::error::{RelError, RelResult};
+use crate::expr::{Filter, FilterOp};
+use crate::session::{SessionDb, Transaction};
+use crate::sql::{JoinCond, Output, SelectQuery, SqlQuery, UnionAllQuery};
+use crate::types::Row;
+use crate::wal::{self, Dec, DecodeError, Enc, MAX_FRAME_BYTES};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+// ------------------------------------------------------------- framing --
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&n| n <= MAX_FRAME_BYTES)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF *between* frames; EOF inside
+/// a frame is an error.
+fn read_frame(stream: &mut TcpStream) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ------------------------------------------------------- query codec --
+
+fn enc_filter_op(e: &mut Enc, op: FilterOp) {
+    e.u8(match op {
+        FilterOp::Eq => 0,
+        FilterOp::Ne => 1,
+        FilterOp::Lt => 2,
+        FilterOp::Le => 3,
+        FilterOp::Gt => 4,
+        FilterOp::Ge => 5,
+        FilterOp::IsNull => 6,
+        FilterOp::IsNotNull => 7,
+    });
+}
+
+fn dec_filter_op(d: &mut Dec<'_>) -> Result<FilterOp, DecodeError> {
+    match d.u8()? {
+        0 => Ok(FilterOp::Eq),
+        1 => Ok(FilterOp::Ne),
+        2 => Ok(FilterOp::Lt),
+        3 => Ok(FilterOp::Le),
+        4 => Ok(FilterOp::Gt),
+        5 => Ok(FilterOp::Ge),
+        6 => Ok(FilterOp::IsNull),
+        7 => Ok(FilterOp::IsNotNull),
+        tag => Err(DecodeError::BadTag {
+            what: "filter op",
+            tag,
+        }),
+    }
+}
+
+fn enc_select(e: &mut Enc, q: &SelectQuery) {
+    e.u32(q.tables.len() as u32);
+    for t in &q.tables {
+        e.u32(t.0);
+    }
+    e.u32(q.joins.len() as u32);
+    for j in &q.joins {
+        e.u32(j.left_ref as u32);
+        e.u32(j.left_col as u32);
+        e.u32(j.right_ref as u32);
+        e.u32(j.right_col as u32);
+    }
+    e.u32(q.filters.len() as u32);
+    for f in &q.filters {
+        e.u32(f.table_ref as u32);
+        e.u32(f.column as u32);
+        enc_filter_op(e, f.op);
+        wal::enc_value(e, &f.value);
+    }
+    e.u32(q.outputs.len() as u32);
+    for o in &q.outputs {
+        match o {
+            Output::Col { table_ref, column } => {
+                e.u8(0);
+                e.u32(*table_ref as u32);
+                e.u32(*column as u32);
+            }
+            Output::Null(ty) => {
+                e.u8(1);
+                wal::enc_data_type(e, *ty);
+            }
+        }
+    }
+}
+
+fn dec_select(d: &mut Dec<'_>) -> Result<SelectQuery, DecodeError> {
+    let n_tables = d.u32()? as usize;
+    let mut tables = Vec::with_capacity(n_tables.min(1024));
+    for _ in 0..n_tables {
+        tables.push(TableId(d.u32()?));
+    }
+    let n_joins = d.u32()? as usize;
+    let mut joins = Vec::with_capacity(n_joins.min(1024));
+    for _ in 0..n_joins {
+        joins.push(JoinCond {
+            left_ref: d.u32()? as usize,
+            left_col: d.u32()? as usize,
+            right_ref: d.u32()? as usize,
+            right_col: d.u32()? as usize,
+        });
+    }
+    let n_filters = d.u32()? as usize;
+    let mut filters = Vec::with_capacity(n_filters.min(1024));
+    for _ in 0..n_filters {
+        let table_ref = d.u32()? as usize;
+        let column = d.u32()? as usize;
+        let op = dec_filter_op(d)?;
+        let value = wal::dec_value(d)?;
+        filters.push(Filter {
+            table_ref,
+            column,
+            op,
+            value,
+        });
+    }
+    let n_outputs = d.u32()? as usize;
+    let mut outputs = Vec::with_capacity(n_outputs.min(1024));
+    for _ in 0..n_outputs {
+        outputs.push(match d.u8()? {
+            0 => Output::Col {
+                table_ref: d.u32()? as usize,
+                column: d.u32()? as usize,
+            },
+            1 => Output::Null(wal::dec_data_type(d)?),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "output",
+                    tag,
+                })
+            }
+        });
+    }
+    Ok(SelectQuery {
+        tables,
+        joins,
+        filters,
+        outputs,
+    })
+}
+
+fn enc_query(e: &mut Enc, q: &SqlQuery) {
+    match q {
+        SqlQuery::Select(s) => {
+            e.u8(0);
+            enc_select(e, s);
+        }
+        SqlQuery::Union(u) => {
+            e.u8(1);
+            e.u32(u.branches.len() as u32);
+            for b in &u.branches {
+                enc_select(e, b);
+            }
+            e.u32(u.order_by.len() as u32);
+            for &k in &u.order_by {
+                e.u32(k as u32);
+            }
+        }
+    }
+}
+
+fn dec_query(d: &mut Dec<'_>) -> Result<SqlQuery, DecodeError> {
+    match d.u8()? {
+        0 => Ok(SqlQuery::Select(dec_select(d)?)),
+        1 => {
+            let n = d.u32()? as usize;
+            let mut branches = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                branches.push(dec_select(d)?);
+            }
+            let n_keys = d.u32()? as usize;
+            let mut order_by = Vec::with_capacity(n_keys.min(1024));
+            for _ in 0..n_keys {
+                order_by.push(d.u32()? as usize);
+            }
+            Ok(SqlQuery::Union(UnionAllQuery { branches, order_by }))
+        }
+        tag => Err(DecodeError::BadTag { what: "query", tag }),
+    }
+}
+
+// ----------------------------------------------------------- messages --
+
+const REQ_PING: u8 = 1;
+const REQ_CREATE_TABLE: u8 = 2;
+const REQ_INSERT: u8 = 3;
+const REQ_QUERY: u8 = 4;
+const REQ_BEGIN: u8 = 5;
+const REQ_COMMIT: u8 = 6;
+const REQ_ROLLBACK: u8 = 7;
+const REQ_ANALYZE: u8 = 8;
+const REQ_DESCRIBE: u8 = 9;
+const REQ_CLOSE: u8 = 10;
+
+const RESP_OK: u8 = 0;
+const RESP_TABLE: u8 = 1;
+const RESP_COMMITTED: u8 = 2;
+const RESP_ROWS: u8 = 3;
+const RESP_TEXT: u8 = 4;
+const RESP_ERR: u8 = 5;
+
+/// One decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Statement succeeded with nothing to return.
+    Ok,
+    /// `CREATE TABLE` succeeded.
+    Table(TableId),
+    /// `COMMIT` succeeded at this commit LSN.
+    Committed {
+        /// The transaction's commit LSN.
+        lsn: u64,
+    },
+    /// Query result rows.
+    Rows(Vec<Row>),
+    /// Human-readable text (schema describes).
+    Text(String),
+    /// Server-side failure.
+    Err {
+        /// Whether retrying (e.g. a write conflict on a fresh transaction)
+        /// may succeed.
+        transient: bool,
+        /// The server error's display string.
+        msg: String,
+    },
+}
+
+fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    match resp {
+        Response::Ok => e.u8(RESP_OK),
+        Response::Table(id) => {
+            e.u8(RESP_TABLE);
+            e.u32(id.0);
+        }
+        Response::Committed { lsn } => {
+            e.u8(RESP_COMMITTED);
+            e.u64(*lsn);
+        }
+        Response::Rows(rows) => {
+            e.u8(RESP_ROWS);
+            e.u32(rows.len() as u32);
+            for row in rows {
+                wal::enc_row(&mut e, row);
+            }
+        }
+        Response::Text(s) => {
+            e.u8(RESP_TEXT);
+            e.str(s);
+        }
+        Response::Err { transient, msg } => {
+            e.u8(RESP_ERR);
+            e.u8(u8::from(*transient));
+            e.str(msg);
+        }
+    }
+    e.0
+}
+
+fn decode_response(payload: &[u8]) -> Result<Response, DecodeError> {
+    let mut d = Dec::new(payload);
+    let resp = match d.u8()? {
+        RESP_OK => Response::Ok,
+        RESP_TABLE => Response::Table(TableId(d.u32()?)),
+        RESP_COMMITTED => Response::Committed { lsn: d.u64()? },
+        RESP_ROWS => {
+            let n = d.u32()? as usize;
+            let mut rows = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                rows.push(wal::dec_row(&mut d)?);
+            }
+            Response::Rows(rows)
+        }
+        RESP_TEXT => Response::Text(d.str()?),
+        RESP_ERR => Response::Err {
+            transient: d.u8()? != 0,
+            msg: d.str()?,
+        },
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "response",
+                tag,
+            })
+        }
+    };
+    if !d.is_done() {
+        return Err(DecodeError::TrailingBytes {
+            context: "response payload",
+        });
+    }
+    Ok(resp)
+}
+
+fn err_response(err: &RelError) -> Response {
+    Response::Err {
+        transient: err.is_transient(),
+        msg: err.to_string(),
+    }
+}
+
+// ------------------------------------------------------------- server --
+
+/// A running TCP server over one [`SessionDb`]. Dropping without
+/// [`Server::shutdown`] detaches the accept thread (it exits with the
+/// process).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// `sdb` with one thread per connection.
+    pub fn spawn(sdb: SessionDb, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Responses are one small frame each; without nodelay the
+                // reply sits in Nagle's buffer waiting on the client's
+                // delayed ACK (~40ms per roundtrip).
+                let _ = stream.set_nodelay(true);
+                let session = sdb.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, session);
+                });
+            }
+        });
+        Ok(Server {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. Connections
+    /// already being served finish their current session independently.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, sdb: SessionDb) -> io::Result<()> {
+    let mut open_txn: Option<Transaction> = None;
+    while let Some(request) = read_frame(&mut stream)? {
+        let (resp, close) = handle_request(&request, &sdb, &mut open_txn);
+        write_frame(&mut stream, &encode_response(&resp))?;
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn handle_request(
+    payload: &[u8],
+    sdb: &SessionDb,
+    open_txn: &mut Option<Transaction>,
+) -> (Response, bool) {
+    let mut d = Dec::new(payload);
+    let tag = match d.u8() {
+        Ok(tag) => tag,
+        Err(e) => {
+            return (
+                Response::Err {
+                    transient: false,
+                    msg: format!("bad request: {e}"),
+                },
+                true,
+            )
+        }
+    };
+    let resp = match tag {
+        REQ_PING => Ok(Response::Ok),
+        REQ_CREATE_TABLE => wal::dec_table_def(&mut d)
+            .map_err(|e| RelError::Io(format!("bad table def: {e}")))
+            .and_then(|def| sdb.create_table(def))
+            .map(Response::Table),
+        REQ_INSERT => decode_insert(&mut d).and_then(|(table, rows)| {
+            match open_txn.as_mut() {
+                Some(txn) => txn.insert_rows(table, rows)?,
+                None => {
+                    sdb.insert_rows(table, rows)?;
+                }
+            }
+            Ok(Response::Ok)
+        }),
+        REQ_QUERY => dec_query(&mut d)
+            .map_err(|e| RelError::Io(format!("bad query: {e}")))
+            .and_then(|query| match open_txn.as_ref() {
+                Some(txn) => txn.query(&query),
+                None => sdb.execute(&query),
+            })
+            .map(|outcome| Response::Rows(outcome.rows)),
+        REQ_BEGIN => {
+            // An already-open transaction is implicitly rolled back.
+            *open_txn = Some(sdb.begin());
+            Ok(Response::Ok)
+        }
+        REQ_COMMIT => match open_txn.take() {
+            Some(txn) => txn.commit().map(|lsn| Response::Committed { lsn }),
+            None => Err(RelError::InvalidQuery("no open transaction".into())),
+        },
+        REQ_ROLLBACK => {
+            if let Some(txn) = open_txn.take() {
+                txn.rollback();
+            }
+            Ok(Response::Ok)
+        }
+        REQ_ANALYZE => sdb.analyze().map(|()| Response::Ok),
+        REQ_DESCRIBE => Ok(Response::Text(sdb.with_db(|db| {
+            let mut out = String::new();
+            for (_, def) in db.catalog().iter() {
+                out.push_str(&def.name);
+                out.push('(');
+                for (i, col) in def.columns.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&col.name);
+                }
+                out.push_str(")\n");
+            }
+            out
+        }))),
+        REQ_CLOSE => return (Response::Ok, true),
+        tag => Err(RelError::Io(format!("unknown request tag {tag}"))),
+    };
+    match resp {
+        Ok(resp) => (resp, false),
+        Err(err) => (err_response(&err), false),
+    }
+}
+
+fn decode_insert(d: &mut Dec<'_>) -> RelResult<(TableId, Vec<Row>)> {
+    let decode = |d: &mut Dec<'_>| -> Result<(TableId, Vec<Row>), DecodeError> {
+        let table = TableId(d.u32()?);
+        let n = d.u32()? as usize;
+        let mut rows = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            rows.push(wal::dec_row(d)?);
+        }
+        Ok((table, rows))
+    };
+    decode(d).map_err(|e| RelError::Io(format!("bad insert: {e}")))
+}
+
+// ------------------------------------------------------------- client --
+
+/// A blocking client for the server's wire protocol. One client is one
+/// session; protocol errors and server-side failures surface as
+/// [`RelError`] (write conflicts come back transient, see
+/// [`RelError::is_transient`]).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, payload: &[u8]) -> RelResult<Response> {
+        write_frame(&mut self.stream, payload).map_err(RelError::io)?;
+        let frame = read_frame(&mut self.stream)
+            .map_err(RelError::io)?
+            .ok_or_else(|| RelError::Io("server closed connection".into()))?;
+        let resp = decode_response(&frame)
+            .map_err(|e| RelError::Io(format!("undecodable response: {e}")))?;
+        if let Response::Err { transient, msg } = resp {
+            return Err(if transient {
+                RelError::Fault(msg)
+            } else {
+                RelError::Io(msg)
+            });
+        }
+        Ok(resp)
+    }
+
+    fn expect_ok(&mut self, payload: &[u8]) -> RelResult<()> {
+        match self.roundtrip(payload)? {
+            Response::Ok => Ok(()),
+            other => Err(RelError::Io(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> RelResult<()> {
+        self.expect_ok(&[REQ_PING])
+    }
+
+    /// Create a table (auto-commit DDL).
+    pub fn create_table(&mut self, def: &TableDef) -> RelResult<TableId> {
+        let mut e = Enc(vec![REQ_CREATE_TABLE]);
+        wal::enc_table_def(&mut e, def);
+        match self.roundtrip(&e.0)? {
+            Response::Table(id) => Ok(id),
+            other => Err(RelError::Io(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Insert rows: buffered in the open transaction, or auto-committed.
+    pub fn insert_rows(&mut self, table: TableId, rows: &[Row]) -> RelResult<()> {
+        let mut e = Enc(vec![REQ_INSERT]);
+        e.u32(table.0);
+        e.u32(rows.len() as u32);
+        for row in rows {
+            wal::enc_row(&mut e, row);
+        }
+        self.expect_ok(&e.0)
+    }
+
+    /// Execute a query in this session (snapshot semantics; see
+    /// [`crate::session`]).
+    pub fn query(&mut self, query: &SqlQuery) -> RelResult<Vec<Row>> {
+        let mut e = Enc(vec![REQ_QUERY]);
+        enc_query(&mut e, query);
+        match self.roundtrip(&e.0)? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(RelError::Io(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Open a transaction (rolling back any already open in this session).
+    pub fn begin(&mut self) -> RelResult<()> {
+        self.expect_ok(&[REQ_BEGIN])
+    }
+
+    /// Commit the open transaction; returns the commit LSN.
+    pub fn commit(&mut self) -> RelResult<u64> {
+        match self.roundtrip(&[REQ_COMMIT])? {
+            Response::Committed { lsn } => Ok(lsn),
+            other => Err(RelError::Io(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Roll back the open transaction (no-op without one).
+    pub fn rollback(&mut self) -> RelResult<()> {
+        self.expect_ok(&[REQ_ROLLBACK])
+    }
+
+    /// Recompute statistics over every table.
+    pub fn analyze(&mut self) -> RelResult<()> {
+        self.expect_ok(&[REQ_ANALYZE])
+    }
+
+    /// Render the schema as text.
+    pub fn describe(&mut self) -> RelResult<String> {
+        match self.roundtrip(&[REQ_DESCRIBE])? {
+            Response::Text(s) => Ok(s),
+            other => Err(RelError::Io(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Close the session cleanly.
+    pub fn close(mut self) -> RelResult<()> {
+        self.expect_ok(&[REQ_CLOSE])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnDef;
+    use crate::db::Database;
+    use crate::types::{DataType, Value};
+
+    fn spawn_with_table() -> (Server, TableId) {
+        let sdb = SessionDb::new(Database::new());
+        let t = sdb
+            .create_table(TableDef::new(
+                "t",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("v", DataType::Int),
+                ],
+            ))
+            .expect("create table");
+        let server = Server::spawn(sdb, "127.0.0.1:0").expect("bind");
+        (server, t)
+    }
+
+    fn count_query(t: TableId) -> SqlQuery {
+        let mut q = SelectQuery::single(t);
+        q.outputs = vec![Output::col(0, 0)];
+        SqlQuery::Select(q)
+    }
+
+    #[test]
+    fn roundtrip_over_tcp() {
+        let (server, t) = spawn_with_table();
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        client.ping().unwrap();
+        client
+            .insert_rows(t, &[vec![Value::Int(1), Value::Int(10)]])
+            .unwrap();
+        assert_eq!(client.query(&count_query(t)).unwrap().len(), 1);
+        assert!(client.describe().unwrap().contains("t(id, v)"));
+        client.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn transactions_isolate_across_connections() {
+        let (server, t) = spawn_with_table();
+        let mut writer = Client::connect(server.local_addr()).expect("connect");
+        let mut reader = Client::connect(server.local_addr()).expect("connect");
+        writer.begin().unwrap();
+        writer
+            .insert_rows(t, &[vec![Value::Int(1), Value::Int(10)]])
+            .unwrap();
+        // The open transaction's writes are invisible to the other session,
+        // and the reader completes while the write txn is open.
+        assert_eq!(reader.query(&count_query(t)).unwrap().len(), 0);
+        assert_eq!(writer.query(&count_query(t)).unwrap().len(), 1);
+        let lsn = writer.commit().unwrap();
+        assert!(lsn > 0);
+        assert_eq!(reader.query(&count_query(t)).unwrap().len(), 1);
+        writer.close().unwrap();
+        reader.close().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn conflict_comes_back_transient() {
+        let (server, t) = spawn_with_table();
+        let mut a = Client::connect(server.local_addr()).expect("connect");
+        let mut b = Client::connect(server.local_addr()).expect("connect");
+        a.begin().unwrap();
+        b.begin().unwrap();
+        a.insert_rows(t, &[vec![Value::Int(1), Value::Int(1)]])
+            .unwrap();
+        b.insert_rows(t, &[vec![Value::Int(2), Value::Int(2)]])
+            .unwrap();
+        a.commit().unwrap();
+        let err = b.commit().unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(err.to_string().contains("write conflict"), "{err}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn query_codec_round_trips() {
+        let query = SqlQuery::Union(UnionAllQuery {
+            branches: vec![
+                SelectQuery {
+                    tables: vec![TableId(0), TableId(1)],
+                    joins: vec![JoinCond {
+                        left_ref: 0,
+                        left_col: 1,
+                        right_ref: 1,
+                        right_col: 0,
+                    }],
+                    filters: vec![Filter::new(0, 1, FilterOp::Ge, Value::Int(7))],
+                    outputs: vec![Output::col(0, 0), Output::Null(DataType::Str)],
+                },
+                SelectQuery {
+                    tables: vec![TableId(2)],
+                    joins: vec![],
+                    filters: vec![Filter::new(0, 0, FilterOp::IsNull, Value::Null)],
+                    outputs: vec![Output::col(0, 0), Output::col(0, 1)],
+                },
+            ],
+            order_by: vec![0, 1],
+        });
+        let mut e = Enc(Vec::new());
+        enc_query(&mut e, &query);
+        let mut d = Dec::new(&e.0);
+        let back = dec_query(&mut d).expect("decode");
+        assert!(d.is_done());
+        assert_eq!(back, query);
+    }
+}

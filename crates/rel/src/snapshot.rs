@@ -74,7 +74,7 @@ fn encode_image(image: &SnapshotImage) -> Vec<u8> {
     e.0
 }
 
-fn decode_image(payload: &[u8]) -> Result<SnapshotImage, String> {
+fn decode_image(payload: &[u8]) -> Result<SnapshotImage, wal::DecodeError> {
     let mut d = Dec::new(payload);
     let next_lsn = d.u64()?;
     let n_tables = d.u32()? as usize;
@@ -91,7 +91,9 @@ fn decode_image(payload: &[u8]) -> Result<SnapshotImage, String> {
     }
     let config = wal::dec_config(&mut d)?;
     if !d.is_done() {
-        return Err("trailing bytes after snapshot payload".to_string());
+        return Err(wal::DecodeError::TrailingBytes {
+            context: "snapshot payload",
+        });
     }
     Ok(SnapshotImage {
         next_lsn,

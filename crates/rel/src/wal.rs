@@ -41,8 +41,10 @@ use std::path::Path;
 
 /// Upper bound on one frame's body, as a torn-length sanity check: a
 /// corrupted length prefix must not make the reader attempt a huge
-/// allocation before the CRC can reject the frame.
-const MAX_FRAME_BYTES: u32 = 1 << 30;
+/// allocation before the CRC can reject the frame. The codec reuses it as
+/// the bound on any decoded size/offset field, which keeps
+/// [`Dec::usize`] portable to 32-bit targets.
+pub const MAX_FRAME_BYTES: u32 = 1 << 30;
 
 // ------------------------------------------------------------------ crc32 --
 
@@ -81,9 +83,68 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 //
 // A hand-rolled binary codec (fixed-width little-endian integers, floats
 // via `to_bits`, length-prefixed strings) shared by the WAL and the
-// snapshot image. Decoding returns `Err(String)` on any truncation or bad
-// tag; WAL callers treat that as a torn frame, snapshot callers as a fatal
-// `InvalidSnapshot`.
+// snapshot image. Decoding returns a typed [`DecodeError`] on any
+// truncation or bad tag; WAL callers treat that as a torn frame, snapshot
+// callers as a fatal `InvalidSnapshot`.
+
+/// A typed decode failure from the WAL/snapshot binary codec. The WAL
+/// reader treats any of these as the start of a torn tail; the snapshot
+/// reader surfaces them as [`RelError::InvalidSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before a fixed-width field: `need` more bytes at
+    /// byte `offset` of the payload.
+    Truncated {
+        /// Bytes the field still needed.
+        need: usize,
+        /// Payload offset where the read started.
+        offset: usize,
+    },
+    /// A decoded size/offset exceeds what this platform can address or the
+    /// frame-size sanity bound ([`MAX_FRAME_BYTES`] covers every legitimate
+    /// width/index the codec ever writes). On 32-bit targets an unchecked
+    /// `as usize` here used to silently truncate the value instead.
+    LengthOverflow(u64),
+    /// A collection count exceeds the remaining input.
+    LengthExceedsInput(usize),
+    /// An enum tag byte outside the known range for `what`.
+    BadTag {
+        /// Which tagged field was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field holds invalid UTF-8.
+    InvalidUtf8,
+    /// Bytes remain after the last field of `context`.
+    TrailingBytes {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { need, offset } => {
+                write!(f, "truncated: need {need} bytes at offset {offset}")
+            }
+            DecodeError::LengthOverflow(v) => {
+                write!(f, "length {v} exceeds the addressable/frame-size bound")
+            }
+            DecodeError::LengthExceedsInput(n) => {
+                write!(f, "length {n} exceeds remaining input")
+            }
+            DecodeError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            DecodeError::InvalidUtf8 => write!(f, "invalid utf-8 in string"),
+            DecodeError::TrailingBytes { context } => {
+                write!(f, "trailing bytes after {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Encoding buffer.
 #[derive(Debug, Default)]
@@ -120,7 +181,7 @@ pub(crate) struct Dec<'a> {
     pos: usize,
 }
 
-type DecResult<T> = Result<T, String>;
+type DecResult<T> = Result<T, DecodeError>;
 
 impl<'a> Dec<'a> {
     pub fn new(buf: &'a [u8]) -> Self {
@@ -136,7 +197,10 @@ impl<'a> Dec<'a> {
             .pos
             .checked_add(n)
             .filter(|&end| end <= self.buf.len())
-            .ok_or_else(|| format!("truncated: need {n} bytes at offset {}", self.pos))?;
+            .ok_or(DecodeError::Truncated {
+                need: n,
+                offset: self.pos,
+            })?;
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)
@@ -167,23 +231,32 @@ impl<'a> Dec<'a> {
     pub fn str(&mut self) -> DecResult<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid utf-8 in string".to_string())
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
     }
+    /// A size/offset field. Every value the codec writes here (column
+    /// widths, column indexes) is far below [`MAX_FRAME_BYTES`], so the
+    /// conversion is bounds-checked against both that cap and the
+    /// platform's address width — a corrupt 64-bit length can neither
+    /// truncate on 32-bit targets nor smuggle a huge value through.
     pub fn usize(&mut self) -> DecResult<usize> {
-        Ok(self.u64()? as usize)
+        let v = self.u64()?;
+        if v > u64::from(MAX_FRAME_BYTES) {
+            return Err(DecodeError::LengthOverflow(v));
+        }
+        usize::try_from(v).map_err(|_| DecodeError::LengthOverflow(v))
     }
     /// A collection length, sanity-capped so a corrupt count cannot drive
     /// a huge preallocation (each element needs at least one byte).
     fn len(&mut self) -> DecResult<usize> {
         let n = self.u32()? as usize;
         if n > self.buf.len().saturating_sub(self.pos) {
-            return Err(format!("length {n} exceeds remaining input"));
+            return Err(DecodeError::LengthExceedsInput(n));
         }
         Ok(n)
     }
 }
 
-fn enc_value(e: &mut Enc, v: &Value) {
+pub(crate) fn enc_value(e: &mut Enc, v: &Value) {
     match v {
         Value::Null => e.u8(0),
         Value::Int(i) => {
@@ -201,13 +274,13 @@ fn enc_value(e: &mut Enc, v: &Value) {
     }
 }
 
-fn dec_value(d: &mut Dec<'_>) -> DecResult<Value> {
+pub(crate) fn dec_value(d: &mut Dec<'_>) -> DecResult<Value> {
     match d.u8()? {
         0 => Ok(Value::Null),
         1 => Ok(Value::Int(d.i64()?)),
         2 => Ok(Value::Float(d.f64()?)),
         3 => Ok(Value::str(d.str()?)),
-        tag => Err(format!("bad value tag {tag}")),
+        tag => Err(DecodeError::BadTag { what: "value", tag }),
     }
 }
 
@@ -227,7 +300,7 @@ pub(crate) fn dec_row(d: &mut Dec<'_>) -> DecResult<Row> {
     Ok(row)
 }
 
-fn enc_data_type(e: &mut Enc, ty: DataType) {
+pub(crate) fn enc_data_type(e: &mut Enc, ty: DataType) {
     e.u8(match ty {
         DataType::Int => 0,
         DataType::Float => 1,
@@ -235,12 +308,15 @@ fn enc_data_type(e: &mut Enc, ty: DataType) {
     });
 }
 
-fn dec_data_type(d: &mut Dec<'_>) -> DecResult<DataType> {
+pub(crate) fn dec_data_type(d: &mut Dec<'_>) -> DecResult<DataType> {
     match d.u8()? {
         0 => Ok(DataType::Int),
         1 => Ok(DataType::Float),
         2 => Ok(DataType::Str),
-        tag => Err(format!("bad data type tag {tag}")),
+        tag => Err(DecodeError::BadTag {
+            what: "data type",
+            tag,
+        }),
     }
 }
 
@@ -332,7 +408,12 @@ fn dec_view_def(d: &mut Dec<'_>) -> DecResult<ViewDef> {
         let side = match d.u8()? {
             0 => ViewSide::Left,
             1 => ViewSide::Right,
-            tag => return Err(format!("bad view side tag {tag}")),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "view side",
+                    tag,
+                })
+            }
         };
         outputs.push((side, d.usize()?));
     }
@@ -409,7 +490,10 @@ fn dec_opt_value(d: &mut Dec<'_>) -> DecResult<Option<Value>> {
     match d.u8()? {
         0 => Ok(None),
         1 => Ok(Some(dec_value(d)?)),
-        tag => Err(format!("bad option tag {tag}")),
+        tag => Err(DecodeError::BadTag {
+            what: "option",
+            tag,
+        }),
     }
 }
 
@@ -514,6 +598,25 @@ pub enum WalRecord {
     /// recording that a snapshot holds everything below its LSN. Carries no
     /// mutation and is never replayed.
     Checkpoint,
+    /// Transaction start marker: every mutation frame between this and the
+    /// matching [`WalRecord::TxnCommit`] belongs to transaction `txn` and
+    /// becomes durable only when the commit marker is on disk. Commits are
+    /// serialized by the session layer, so a transaction's frames are
+    /// contiguous and only the log's trailing transaction can ever be
+    /// missing its commit marker.
+    TxnBegin {
+        /// Session-assigned transaction id (diagnostic; recovery keys off
+        /// frame adjacency, not this id).
+        txn: u64,
+    },
+    /// Transaction commit marker: the frames since the matching
+    /// [`WalRecord::TxnBegin`] are now durable. Its LSN is the
+    /// transaction's commit LSN — the version tag MVCC snapshots compare
+    /// against.
+    TxnCommit {
+        /// Session-assigned transaction id.
+        txn: u64,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
@@ -524,6 +627,8 @@ const TAG_SET_TABLE_STATS: u8 = 5;
 const TAG_APPLY_CONFIG: u8 = 6;
 const TAG_CLEAR_CONFIG: u8 = 7;
 const TAG_CHECKPOINT: u8 = 8;
+const TAG_TXN_BEGIN: u8 = 9;
+const TAG_TXN_COMMIT: u8 = 10;
 
 impl WalRecord {
     fn encode_into(&self, e: &mut Enc) {
@@ -556,6 +661,14 @@ impl WalRecord {
             }
             WalRecord::ClearConfig => e.u8(TAG_CLEAR_CONFIG),
             WalRecord::Checkpoint => e.u8(TAG_CHECKPOINT),
+            WalRecord::TxnBegin { txn } => {
+                e.u8(TAG_TXN_BEGIN);
+                e.u64(*txn);
+            }
+            WalRecord::TxnCommit { txn } => {
+                e.u8(TAG_TXN_COMMIT);
+                e.u64(*txn);
+            }
         }
     }
 
@@ -581,10 +694,19 @@ impl WalRecord {
             TAG_APPLY_CONFIG => WalRecord::ApplyConfig(dec_config(d)?),
             TAG_CLEAR_CONFIG => WalRecord::ClearConfig,
             TAG_CHECKPOINT => WalRecord::Checkpoint,
-            tag => return Err(format!("bad record tag {tag}")),
+            TAG_TXN_BEGIN => WalRecord::TxnBegin { txn: d.u64()? },
+            TAG_TXN_COMMIT => WalRecord::TxnCommit { txn: d.u64()? },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    what: "record",
+                    tag,
+                })
+            }
         };
         if !d.is_done() {
-            return Err("trailing bytes after record payload".to_string());
+            return Err(DecodeError::TrailingBytes {
+                context: "record payload",
+            });
         }
         Ok(record)
     }
@@ -746,10 +868,26 @@ impl WalWriter {
 pub struct WalReadOutcome {
     /// Valid frames in file order: `(lsn, record)`.
     pub frames: Vec<(u64, WalRecord)>,
-    /// Whether a torn/corrupt tail was found after the last valid frame
-    /// (0 or 1: parsing cannot resynchronize past the first bad frame).
+    /// File offset just past each valid frame, in frame order
+    /// (`frame_ends[i]` is where frame `i+1` starts). Recovery uses these
+    /// to truncate the log at a transaction boundary, not just at the last
+    /// valid frame.
+    pub frame_ends: Vec<u64>,
+    /// Whether a *corrupt* frame ended the scan: a fragment that was at
+    /// least one 8-byte header long but failed the length/CRC/decode
+    /// checks (0 or 1: parsing cannot resynchronize past it). A trailing
+    /// fragment shorter than one header is *not* counted here — no
+    /// complete frame was damaged — and sets [`tail_incomplete`] instead.
+    ///
+    /// [`tail_incomplete`]: WalReadOutcome::tail_incomplete
     pub frames_discarded: u64,
-    /// Bytes of torn tail discarded.
+    /// The scan ended on a fragment shorter than one 8-byte frame header:
+    /// an interrupted append that never got far enough to damage a frame.
+    /// Mutually exclusive with a nonzero [`frames_discarded`].
+    ///
+    /// [`frames_discarded`]: WalReadOutcome::frames_discarded
+    pub tail_incomplete: bool,
+    /// Bytes of torn tail discarded (incomplete or corrupt).
     pub bytes_discarded: u64,
     /// Length of the valid prefix; the file must be truncated to this
     /// before further appends, or the torn bytes would sit *between*
@@ -778,9 +916,18 @@ pub fn read_wal(path: &Path) -> RelResult<WalReadOutcome> {
             Some((consumed, lsn, record)) => {
                 outcome.frames.push((lsn, record));
                 pos += consumed;
+                outcome.frame_ends.push(pos as u64);
             }
             None => {
-                outcome.frames_discarded = 1;
+                // A fragment shorter than one frame header is an append
+                // that barely started — an incomplete tail, not a damaged
+                // frame. Anything longer carried a header that failed the
+                // length/CRC/decode checks: a corrupt frame.
+                if bytes.len() - pos < 8 {
+                    outcome.tail_incomplete = true;
+                } else {
+                    outcome.frames_discarded = 1;
+                }
                 outcome.bytes_discarded = (bytes.len() - pos) as u64;
                 break;
             }
@@ -855,6 +1002,8 @@ mod tests {
             }),
             WalRecord::ClearConfig,
             WalRecord::Checkpoint,
+            WalRecord::TxnBegin { txn: 3 },
+            WalRecord::TxnCommit { txn: 3 },
         ]
     }
 
@@ -876,6 +1025,7 @@ mod tests {
         assert_eq!(w.stats().frames_written, records.len() as u64);
         let out = read_wal(&path).unwrap();
         assert_eq!(out.frames_discarded, 0);
+        assert!(!out.tail_incomplete);
         assert_eq!(out.bytes_discarded, 0);
         assert_eq!(out.frames.len(), records.len());
         for (i, (lsn, record)) in out.frames.iter().enumerate() {
@@ -883,6 +1033,11 @@ mod tests {
             assert_eq!(record, &records[i]);
         }
         assert_eq!(out.valid_bytes, w.stats().bytes_written);
+        // Frame-end offsets are strictly increasing and end at the valid
+        // prefix length.
+        assert_eq!(out.frame_ends.len(), records.len());
+        assert!(out.frame_ends.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(out.frame_ends.last().copied(), Some(out.valid_bytes));
         std::fs::remove_file(&path).ok();
     }
 
@@ -913,7 +1068,14 @@ mod tests {
         ));
         let out = read_wal(&path).unwrap();
         assert_eq!(out.frames.len(), 1);
-        assert_eq!(out.frames_discarded, 1);
+        // The torn fragment's length is seed-dependent: shorter than one
+        // frame header it is an incomplete tail, otherwise a corrupt
+        // frame. Exactly one of the two classifications fires.
+        assert_eq!(
+            out.frames_discarded + u64::from(out.tail_incomplete),
+            1,
+            "torn tail must be classified exactly once: {out:?}"
+        );
         assert!(out.bytes_discarded > 0);
         assert_eq!(out.valid_bytes, keep);
         std::fs::remove_file(&path).ok();
@@ -932,9 +1094,11 @@ mod tests {
         assert!(w.append(1, &WalRecord::Analyze).is_err());
         let out = read_wal(&path).unwrap();
         // The flipped frame may damage its length prefix or its body; either
-        // way the valid log ends at frame 0.
+        // way the valid log ends at frame 0, and the full-length fragment is
+        // a corrupt frame, never an incomplete tail.
         assert_eq!(out.frames.len(), 1);
         assert_eq!(out.frames_discarded, 1);
+        assert!(!out.tail_incomplete);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1004,9 +1168,73 @@ mod tests {
         let out = read_wal(&path).unwrap();
         assert!(out.frames.is_empty());
         assert_eq!(out.frames_discarded, 1);
+        assert!(!out.tail_incomplete, "17 garbage bytes carry a full header");
         assert_eq!(out.bytes_discarded, 17);
         assert_eq!(out.valid_bytes, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sub_header_fragment_is_incomplete_tail_not_corrupt_frame() {
+        // Regression: a trailing fragment shorter than one 8-byte frame
+        // header used to be reported as `frames_discarded = 1` even though
+        // no complete frame was damaged.
+        let path = temp_wal("shorttail");
+        let mut w = WalWriter::create(&path).unwrap();
+        w.append(0, &WalRecord::Analyze).unwrap();
+        let keep = w.stats().bytes_written;
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0xAA, 0xBB, 0xCC, 0xDD, 0xEE]);
+        std::fs::write(&path, &bytes).unwrap();
+        let out = read_wal(&path).unwrap();
+        assert_eq!(out.frames.len(), 1);
+        assert_eq!(out.frames_discarded, 0, "no complete frame was damaged");
+        assert!(out.tail_incomplete);
+        assert_eq!(out.bytes_discarded, 5);
+        assert_eq!(out.valid_bytes, keep);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decoded_usize_overflow_is_typed_error() {
+        // Regression: `Dec::usize` was `self.u64()? as usize`, which on a
+        // 32-bit target silently truncates a corrupt 64-bit length. The
+        // checked conversion caps at MAX_FRAME_BYTES so the test bites on
+        // 64-bit targets too.
+        let mut e = Enc::default();
+        e.u64(u64::MAX);
+        let mut d = Dec::new(&e.0);
+        assert_eq!(d.usize(), Err(DecodeError::LengthOverflow(u64::MAX)));
+
+        let mut e = Enc::default();
+        e.u64(u64::from(MAX_FRAME_BYTES) + 1);
+        let mut d = Dec::new(&e.0);
+        assert!(matches!(d.usize(), Err(DecodeError::LengthOverflow(_))));
+
+        // In-range values still decode, and the error renders usefully.
+        let mut e = Enc::default();
+        e.usize(12_345);
+        let mut d = Dec::new(&e.0);
+        assert_eq!(d.usize().unwrap(), 12_345);
+        let msg = DecodeError::LengthOverflow(u64::MAX).to_string();
+        assert!(msg.contains("exceeds"), "{msg}");
+    }
+
+    #[test]
+    fn txn_markers_round_trip_and_tags_are_stable() {
+        let begin = WalRecord::TxnBegin { txn: 42 };
+        let commit = WalRecord::TxnCommit { txn: 42 };
+        for record in [&begin, &commit] {
+            let frame = encode_frame(7, record);
+            let (consumed, lsn, back) = parse_frame(&frame).expect("valid frame");
+            assert_eq!(consumed, frame.len());
+            assert_eq!(lsn, 7);
+            assert_eq!(&back, record);
+        }
+        // On-disk tags are load-bearing (old logs must keep decoding).
+        assert_eq!(encode_frame(0, &begin)[16], TAG_TXN_BEGIN);
+        assert_eq!(encode_frame(0, &commit)[16], TAG_TXN_COMMIT);
     }
 
     #[test]
