@@ -10,7 +10,7 @@
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
 //! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`,
-//! `heal`, `profile`, `exec`, `serve`, `all`. The `XMLSHRED_SCALE` environment
+//! `heal`, `profile`, `exec`, `serve`, `adapt`, `all`. The `XMLSHRED_SCALE` environment
 //! variable (or `--scale X`)
 //! scales the dataset sizes; normalized figures are scale-stable.
 //! `--threads N` sets the advisor worker-thread count (0 = all cores, the
@@ -34,6 +34,17 @@
 //! single-client run is asserted bit-identical to a library-path replay
 //! and `--bench-json PATH` writes the record (schema
 //! `xmlshred-bench-serve-v1`).
+//! `adapt` runs the online self-tuning scenario: a seeded statement
+//! schedule shifts character at its midpoint, the adaptive advisor
+//! detects the drift and installs new designs via non-blocking online
+//! swaps, and the shifted workload's measured cost must not rise.
+//! `--adapt-seed S` seeds the schedule and drift jitter (default 5),
+//! `--adapt-ops N` sets the statement count (default scale-derived), and
+//! `--adapt-window N` sets the statements-per-drift-check window (default
+//! 64). The printed `adapt hash` is a pure function of those knobs —
+//! bit-identical across `--exec-threads` values, which CI verifies — and
+//! `--bench-json PATH` writes the record (schema
+//! `xmlshred-bench-adapt-v1`).
 //!
 //! Robustness knobs: `--fault-p X` injects what-if planner faults with
 //! probability X, `--deadline-ms N` gives each strategy an anytime budget
@@ -118,6 +129,9 @@ fn main() {
     let layout = take_value::<Layout>(&mut args, "--layout").unwrap_or_default();
     let bench_json = take_value::<String>(&mut args, "--bench-json");
     let serve_clients = take_value::<usize>(&mut args, "--serve-clients");
+    let adapt_seed = take_value::<u64>(&mut args, "--adapt-seed").unwrap_or(5);
+    let adapt_ops = take_value::<usize>(&mut args, "--adapt-ops");
+    let adapt_window = take_value::<usize>(&mut args, "--adapt-window").unwrap_or(64);
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -158,6 +172,9 @@ fn main() {
         layout,
         bench_json,
         serve_clients,
+        adapt_seed,
+        adapt_ops,
+        adapt_window,
     };
     let start = Instant::now();
     match xmlshred_bench::experiments::run(experiment, scale, &opts) {

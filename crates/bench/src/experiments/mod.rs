@@ -1,6 +1,7 @@
 //! The paper's experiments, one module per table/figure group.
 
 pub mod ablations;
+pub mod adapt;
 pub mod chaos;
 pub mod crash;
 pub mod evaluation;
@@ -106,6 +107,16 @@ pub struct RunOptions {
     /// Extra client count for the `serve` sweep (`--serve-clients`):
     /// appended to the built-in 1/4/8 sweep when not already covered.
     pub serve_clients: Option<usize>,
+    /// Seed for the `adapt` scenario's statement schedule and drift
+    /// jitter (`--adapt-seed`); the printed `adapt hash` is a pure
+    /// function of `(scale, seed, ops, window)`.
+    pub adapt_seed: u64,
+    /// Statement count for the `adapt` scenario (`--adapt-ops`); `None`
+    /// derives it from the scale. The workload shifts at the midpoint.
+    pub adapt_ops: Option<usize>,
+    /// Statements per drift-check window for the `adapt` scenario
+    /// (`--adapt-window`); 0 is treated as the default 64.
+    pub adapt_window: usize,
 }
 
 impl RunOptions {
@@ -160,7 +171,7 @@ pub(crate) fn list_cells(
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
 /// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`, `heal`,
-/// `profile`, `exec`, `serve`, `all`.
+/// `profile`, `exec`, `serve`, `adapt`, `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
@@ -178,6 +189,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
         "profile" => profile::run(scale, opts),
         "exec" => exec_parallel::run(scale, opts),
         "serve" => serve::run(scale, opts),
+        "adapt" => adapt::run(scale, opts),
         "all" => {
             table1::run(scale)?;
             motivating::run(scale)?;
@@ -194,7 +206,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec serve all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec serve adapt all"
         )),
     }
 }

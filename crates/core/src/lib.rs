@@ -5,6 +5,9 @@
 //!   candidate indexes and materialized views, greedily selected under a
 //!   storage bound using what-if optimizer calls. Returns per-query costs
 //!   and used-object sets `I(Q, M)` (needed by cost derivation).
+//! * [`profile`] — online self-tuning: a sliding workload profile fed from
+//!   live execution, seeded drift detection, and a background re-tuning
+//!   loop installing designs via non-blocking online swaps.
 //! * [`context`] — glue: derive schema/catalog/statistics for a mapping and
 //!   translate the XPath workload to SQL, all without touching the data.
 //! * [`candidates`] — Section 4.5 workload-based candidate selection and
@@ -40,6 +43,7 @@ pub mod naive;
 pub mod oracle;
 pub mod parallel;
 pub mod physical;
+pub mod profile;
 pub mod quality;
 pub mod search;
 pub mod twostep;
@@ -53,6 +57,9 @@ pub use naive::{naive_greedy_search, naive_greedy_search_with};
 pub use oracle::{CacheStats, CostOracle};
 pub use parallel::{effective_threads, parallel_map};
 pub use physical::{tune, tune_with, TuneOptions, TuneResult};
+pub use profile::{
+    AdaptEvent, AdaptiveDb, DriftDecision, DriftDetector, ProfileOptions, WorkloadProfile,
+};
 pub use quality::{measure_quality, QualityReport};
 pub use search::{AdvisorOutcome, Deadline, SearchOptions, SearchStats};
 pub use twostep::{two_step_search, two_step_search_with};

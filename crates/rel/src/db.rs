@@ -15,7 +15,7 @@ use crate::plan::QueryPlan;
 use crate::recovery::{self, RecoveryReport};
 use crate::snapshot::{self, SnapshotImage, SnapshotTable, SNAPSHOT_FILE, WAL_FILE};
 use crate::sql::SqlQuery;
-use crate::stats::{ColumnStats, TableStats};
+use crate::stats::{ColumnStats, TableStats, TableStatsAccumulator};
 use crate::storage::{self, ColumnarHeap, TableHeap};
 use crate::types::Row;
 use crate::view::BuiltView;
@@ -72,6 +72,23 @@ pub struct Database {
     fault: Option<Arc<FaultPlane>>,
     exec: ExecOptions,
     durability: Option<Durability>,
+    /// Incremental statistics maintenance: when on, every insert batch is
+    /// absorbed into per-table accumulators and the table's statistics are
+    /// refreshed in place — bit-identical to a full [`Database::analyze_table`]
+    /// at every point (see [`TableStatsAccumulator`]).
+    incremental_stats: bool,
+    /// Per-table accumulators, indexed by `TableId`; populated only while
+    /// `incremental_stats` is on.
+    accumulators: Vec<TableStatsAccumulator>,
+    /// Physical-configuration epoch, bumped whenever the set of built
+    /// structures is replaced (`apply_config`, `clear_config`, an online
+    /// swap). Plans are stamped with the epoch they were planned under and
+    /// [`Database::execute_plan`] rejects a stale stamp, so a swap landing
+    /// between plan and execute can never send the executor into a
+    /// structure the swap just dropped. Stored zero-based; the public
+    /// [`Database::config_epoch`] is one-based so `0` can mean "unpinned"
+    /// in [`QueryPlan::epoch`].
+    config_epoch: u64,
 }
 
 impl Database {
@@ -244,6 +261,14 @@ impl Database {
         let id = self.catalog.add_table(def)?;
         self.heaps.push(TableHeap::new());
         self.stats.push(TableStats::default());
+        if self.incremental_stats {
+            let columns = self
+                .catalog
+                .try_table(id)
+                .map(|d| d.columns.len())
+                .unwrap_or(0);
+            self.accumulators.push(TableStatsAccumulator::new(columns));
+        }
         Ok(id)
     }
 
@@ -345,6 +370,20 @@ impl Database {
                 rows: rows.clone(),
             })?;
         }
+        // Incremental stats: absorb the batch delta *before* the rows move
+        // into the heap, then refresh the table's statistics from the
+        // accumulator. The result is bit-identical to a full
+        // `analyze_table` after this batch (shared histogram construction
+        // over the same sorted value run), so planner behaviour cannot
+        // depend on whether stats arrived incrementally or via a re-scan.
+        if self.incremental_stats {
+            if let Some(acc) = self.accumulators.get_mut(table.index()) {
+                acc.absorb_batch(&rows);
+                if let Some(slot) = self.stats.get_mut(table.index()) {
+                    *slot = acc.to_stats();
+                }
+            }
+        }
         let Some(heap) = self.heaps.get_mut(table.index()) else {
             return Err(RelError::UnknownTable(def.name));
         };
@@ -358,6 +397,43 @@ impl Database {
     /// Total bytes of base data.
     pub fn data_bytes(&self) -> usize {
         self.heaps.iter().map(TableHeap::byte_size).sum()
+    }
+
+    /// Toggle incremental statistics maintenance on the insert path.
+    ///
+    /// Enabling seeds one accumulator per table from the current heap
+    /// contents (equivalent to a full [`Database::analyze`]) and from then
+    /// on every insert batch merges its per-batch delta instead of
+    /// requiring a re-scan. Disabling drops the accumulators and leaves
+    /// the current statistics in place. The toggle is WAL-logged
+    /// ([`WalRecord::StatsMode`]) so recovery replays the insert suffix in
+    /// the same mode and reproduces the exact pre-crash statistics.
+    ///
+    /// While the mode is on, [`Database::set_table_stats`] overrides are
+    /// transient: the next insert to that table refreshes its statistics
+    /// from the accumulator.
+    pub fn set_incremental_stats(&mut self, incremental: bool) -> RelResult<()> {
+        self.log(&WalRecord::StatsMode { incremental })?;
+        self.incremental_stats = incremental;
+        self.accumulators.clear();
+        if incremental {
+            for (id, def) in self.catalog.iter() {
+                let mut acc = TableStatsAccumulator::new(def.columns.len());
+                if let Some(heap) = self.heaps.get(id.index()) {
+                    acc.absorb_batch(heap.rows());
+                }
+                if let Some(slot) = self.stats.get_mut(id.index()) {
+                    *slot = acc.to_stats();
+                }
+                self.accumulators.push(acc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether incremental statistics maintenance is on.
+    pub fn incremental_stats(&self) -> bool {
+        self.incremental_stats
     }
 
     /// Recompute statistics for every table from the stored data.
@@ -403,6 +479,36 @@ impl Database {
         if let Some(slot) = self.stats.get_mut(table.index()) {
             *slot = fresh;
         }
+    }
+
+    /// Compute statistics clamped to an MVCC snapshot: each table's
+    /// statistics are built over its *visible row prefix* only, so rows
+    /// committed above the snapshot's watermark can never leak into
+    /// planner estimates made on behalf of that snapshot. Pure — nothing
+    /// is logged or mutated; the caller owns the result (sessions hold it
+    /// privately so one transaction's snapshot-clamped view never changes
+    /// what other sessions plan with).
+    pub fn analyze_snapshot(&self, vis: &SnapshotVisibility) -> Vec<TableStats> {
+        self.catalog
+            .iter()
+            .map(|(id, def)| {
+                let Some(heap) = self.heaps.get(id.index()) else {
+                    return TableStats::default();
+                };
+                let visible = vis.table_rows(id).min(heap.len());
+                let rows = &heap.rows()[..visible];
+                TableStats {
+                    rows: visible as u64,
+                    columns: (0..def.columns.len())
+                        .map(|c| {
+                            ColumnStats::build(rows.iter().map(|row| {
+                                row.get(c).cloned().unwrap_or(crate::types::Value::Null)
+                            }))
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
     }
 
     /// Install externally derived statistics (the paper derives merged-schema
@@ -483,6 +589,9 @@ impl Database {
     pub fn apply_config(&mut self, config: &OptimizerConfig) -> RelResult<()> {
         self.validate_config(config)?;
         self.verify_backing_heaps(config)?;
+        // Epoch note: `clear_structures` below bumps the config epoch, so
+        // any plan stamped before this call is rejected by `execute_plan`
+        // rather than executed against structures that no longer exist.
         if self.is_durable() {
             self.log(&WalRecord::ApplyConfig(config.clone()))?;
         }
@@ -510,7 +619,7 @@ impl Database {
     /// Check a configuration against the catalog without building
     /// anything: unique structure names, known tables, in-bounds columns,
     /// and at most one clustered index per table.
-    fn validate_config(&self, config: &OptimizerConfig) -> RelResult<()> {
+    pub(crate) fn validate_config(&self, config: &OptimizerConfig) -> RelResult<()> {
         let mut index_names: Vec<&str> = Vec::new();
         let mut clustered_on: Vec<TableId> = Vec::new();
         for def in &config.indexes {
@@ -589,7 +698,7 @@ impl Database {
     /// however many structures reference it — so a corrupted page is
     /// detected at (re)build time instead of being silently materialized
     /// into an index or view that carries no checksums of its own.
-    fn verify_backing_heaps(&self, config: &OptimizerConfig) -> RelResult<()> {
+    pub(crate) fn verify_backing_heaps(&self, config: &OptimizerConfig) -> RelResult<()> {
         if self.fault.is_none() {
             return Ok(());
         }
@@ -624,6 +733,35 @@ impl Database {
         self.built_columnar.clear();
         self.built_config = OptimizerConfig::none();
         self.quarantined.clear();
+        self.config_epoch += 1;
+    }
+
+    /// The current configuration epoch (one-based; see the field docs).
+    /// Plans stamped with an older epoch are rejected by
+    /// [`Database::execute_plan`] with [`RelError::StalePlan`].
+    pub fn config_epoch(&self) -> u64 {
+        self.config_epoch + 1
+    }
+
+    /// Install pre-built structures wholesale: the commit half of an
+    /// online (non-blocking) configuration swap — see [`crate::adapt`].
+    /// The caller has already validated the configuration, logged the
+    /// `ApplyConfig` record, and caught the builds up to the live heaps;
+    /// this atomically replaces the structure maps, clears quarantine
+    /// (stale: it described the old structures), and bumps the epoch.
+    pub(crate) fn install_built(
+        &mut self,
+        config: OptimizerConfig,
+        indexes: FxHashMap<String, BuiltIndex>,
+        views: FxHashMap<String, BuiltView>,
+        columnar: FxHashMap<TableId, ColumnarHeap>,
+    ) {
+        self.built_indexes = indexes;
+        self.built_views = views;
+        self.built_columnar = columnar;
+        self.built_config = config;
+        self.quarantined.clear();
+        self.config_epoch += 1;
     }
 
     /// Actual bytes of the materialized physical structures, measured from
@@ -682,10 +820,15 @@ impl Database {
         optimizer::config_bytes(&self.catalog, &self.stats, config)
     }
 
-    /// Plan against the *built* configuration — minus any quarantined
-    /// structures — and execute. Subject to injected planner and storage
-    /// faults when a fault plane is active.
-    pub fn execute(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
+    /// Plan a query against the *built* configuration — minus any
+    /// quarantined structures — and stamp the plan with the current
+    /// configuration epoch. Subject to injected planner faults when a
+    /// fault plane is active. The stamp pins the plan/execute handoff: if
+    /// a configuration swap lands before [`Database::execute_plan`] runs
+    /// the plan, execution fails with the transient
+    /// [`RelError::StalePlan`] instead of dereferencing structures the
+    /// swap dropped, and the caller replans.
+    pub fn plan(&self, query: &SqlQuery) -> RelResult<QueryPlan> {
         let degraded;
         let config = if self.quarantined.is_empty() {
             &self.built_config
@@ -693,7 +836,7 @@ impl Database {
             degraded = self.effective_config();
             &degraded
         };
-        let plan = if let Some(plane) = self.fault_plane() {
+        let mut plan = if let Some(plane) = self.fault_plane() {
             let token = plane.next_token();
             optimizer::plan_query_faulty(
                 &self.catalog,
@@ -707,11 +850,29 @@ impl Database {
         } else {
             optimizer::plan_query(&self.catalog, &self.stats, config, query)?
         };
-        self.execute_plan(plan)
+        plan.epoch = self.config_epoch();
+        Ok(plan)
     }
 
-    /// Execute an already-chosen plan (must reference built structures only).
+    /// Plan against the *built* configuration — minus any quarantined
+    /// structures — and execute. Subject to injected planner and storage
+    /// faults when a fault plane is active.
+    pub fn execute(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
+        self.execute_plan(self.plan(query)?)
+    }
+
+    /// Execute an already-chosen plan (must reference built structures
+    /// only). A plan stamped under an older configuration epoch is
+    /// rejected with [`RelError::StalePlan`] (transient — replan and
+    /// retry); unstamped plans (`epoch == 0`, e.g. what-if plans promoted
+    /// by tests) skip the check and the caller owns their validity.
     pub fn execute_plan(&self, plan: QueryPlan) -> RelResult<QueryOutcome> {
+        if plan.epoch != 0 && plan.epoch != self.config_epoch() {
+            return Err(RelError::StalePlan {
+                plan_epoch: plan.epoch,
+                config_epoch: self.config_epoch(),
+            });
+        }
         let start = Instant::now();
         let (rows, exec, profile) = execute_plan_with(self, &plan, &self.exec)?;
         let elapsed = start.elapsed();
@@ -739,26 +900,44 @@ impl Database {
         query: &SqlQuery,
         vis: &SnapshotVisibility,
     ) -> RelResult<QueryOutcome> {
+        self.execute_snapshot_inner(query, vis, None)
+    }
+
+    /// [`Database::execute_snapshot`] with a statistics override: the plan
+    /// is chosen using `stats` (table-id order) instead of the engine's
+    /// live statistics. Sessions pass snapshot-clamped statistics here
+    /// (see [`Database::analyze_snapshot`]) so a transaction's planner
+    /// choices are a pure function of its snapshot, never of rows
+    /// committed above its watermark.
+    pub fn execute_snapshot_with_stats(
+        &self,
+        query: &SqlQuery,
+        vis: &SnapshotVisibility,
+        stats: &[TableStats],
+    ) -> RelResult<QueryOutcome> {
+        self.execute_snapshot_inner(query, vis, Some(stats))
+    }
+
+    fn execute_snapshot_inner(
+        &self,
+        query: &SqlQuery,
+        vis: &SnapshotVisibility,
+        stats_override: Option<&[TableStats]>,
+    ) -> RelResult<QueryOutcome> {
+        let stats = stats_override.unwrap_or(&self.stats);
         let mut config = if self.quarantined.is_empty() {
             self.built_config.clone()
         } else {
             self.effective_config()
         };
         config.views.clear();
-        let plan = if let Some(plane) = self.fault_plane() {
+        let mut plan = if let Some(plane) = self.fault_plane() {
             let token = plane.next_token();
-            optimizer::plan_query_faulty(
-                &self.catalog,
-                &self.stats,
-                &config,
-                query,
-                plane,
-                token,
-                0,
-            )?
+            optimizer::plan_query_faulty(&self.catalog, stats, &config, query, plane, token, 0)?
         } else {
-            optimizer::plan_query(&self.catalog, &self.stats, &config, query)?
+            optimizer::plan_query(&self.catalog, stats, &config, query)?
         };
+        plan.epoch = self.config_epoch();
         let start = Instant::now();
         let (rows, exec, profile) = execute_plan_snapshot(self, &plan, &self.exec, vis)?;
         let elapsed = start.elapsed();
@@ -1684,6 +1863,79 @@ mod tests {
         assert!(matches!(err, RelError::Corrupted { .. }), "got {err:?}");
         // The rejected configuration left no partial structures behind.
         assert!(db.built_view("v_bad").is_err());
+    }
+
+    #[test]
+    fn stale_plan_rejected_after_config_swap() {
+        // Satellite regression: a configuration swap landing between a
+        // statement's plan and execute must fail the statement with a
+        // transient error, never send the executor into a dropped
+        // structure.
+        let (mut db, inproc, author) = build_dblp_like(200);
+        let config = PhysicalConfig {
+            indexes: vec![IndexDef::new("ix_year", inproc, vec![4], vec![])],
+            views: vec![],
+            columnar: vec![],
+        };
+        db.apply_config(&config).unwrap();
+        let query = paper_query(inproc, author);
+        let plan = db.plan(&query).unwrap();
+        assert_eq!(plan.epoch, db.config_epoch());
+        // Seeded swap point: the configuration is cleared after planning
+        // but before execution — exactly the race an online swap creates.
+        db.clear_config().unwrap();
+        let err = db.execute_plan(plan.clone()).unwrap_err();
+        assert!(matches!(err, RelError::StalePlan { .. }), "got {err:?}");
+        assert!(err.is_transient());
+        // Replanning against the current epoch succeeds.
+        let fresh = db.plan(&query).unwrap();
+        assert_ne!(fresh.epoch, plan.epoch);
+        let outcome = db.execute_plan(fresh).unwrap();
+        assert_eq!(outcome.rows, db.execute(&query).unwrap().rows);
+        // Re-applying a configuration bumps the epoch again, so even a
+        // swap back to the *same* design invalidates in-flight plans.
+        let pinned = db.plan(&query).unwrap();
+        db.apply_config(&config).unwrap();
+        assert!(matches!(
+            db.execute_plan(pinned).unwrap_err(),
+            RelError::StalePlan { .. }
+        ));
+    }
+
+    #[test]
+    fn incremental_stats_match_full_analyze_bit_identically() {
+        // Satellite regression: delta merges must reconcile to exactly
+        // what a full re-scan computes — same histograms, same totals.
+        let (mut incremental, _, _) = build_dblp_like(0);
+        incremental.set_incremental_stats(true).unwrap();
+        let (mut full, inproc, author) = build_dblp_like(0);
+        let batches: Vec<i64> = vec![1, 7, 64, 128];
+        let mut next = 0i64;
+        for batch in batches {
+            let rows: Vec<Row> = (next..next + batch)
+                .map(|i| {
+                    vec![
+                        Value::Int(i),
+                        Value::Int(0),
+                        Value::str(format!("Paper {i}")),
+                        Value::str(format!("CONF{}", i % 5)),
+                        Value::Int(1960 + i % 45),
+                    ]
+                })
+                .collect();
+            next += batch;
+            incremental.insert_rows(inproc, rows.clone()).unwrap();
+            full.insert_rows(inproc, rows).unwrap();
+            full.analyze().unwrap();
+            // After every batch, the incrementally maintained statistics
+            // equal a full analyze of the same heap, bit for bit.
+            assert_eq!(incremental.all_stats(), full.all_stats());
+        }
+        let _ = author;
+        // Toggling the mode off and re-analyzing changes nothing.
+        incremental.set_incremental_stats(false).unwrap();
+        incremental.analyze().unwrap();
+        assert_eq!(incremental.all_stats(), full.all_stats());
     }
 
     #[test]

@@ -147,6 +147,17 @@ pub enum RelError {
         /// This transaction's snapshot LSN.
         snapshot_lsn: u64,
     },
+    /// The plan was chosen under a physical configuration that has since
+    /// been replaced (an `apply_config`/`clear_config`/online swap landed
+    /// between plan and execute), so it may reference structures that no
+    /// longer exist. Transient: replanning against the current
+    /// configuration succeeds.
+    StalePlan {
+        /// The configuration epoch the plan was stamped with.
+        plan_epoch: u64,
+        /// The configuration epoch at execution time.
+        config_epoch: u64,
+    },
 }
 
 impl RelError {
@@ -185,7 +196,10 @@ impl RelError {
     /// transaction restarts on a fresh snapshot; corruption and exhausted
     /// budgets are not retryable.
     pub fn is_transient(&self) -> bool {
-        matches!(self, RelError::Fault(_) | RelError::WriteConflict { .. })
+        matches!(
+            self,
+            RelError::Fault(_) | RelError::WriteConflict { .. } | RelError::StalePlan { .. }
+        )
     }
 }
 
@@ -234,6 +248,14 @@ impl fmt::Display for RelError {
                 f,
                 "write conflict on table '{table}': lsn {committed_lsn} committed after \
                  snapshot lsn {snapshot_lsn}"
+            ),
+            RelError::StalePlan {
+                plan_epoch,
+                config_epoch,
+            } => write!(
+                f,
+                "stale plan: planned under config epoch {plan_epoch}, \
+                 current epoch is {config_epoch}; replan"
             ),
         }
     }

@@ -1388,6 +1388,7 @@ mod tests {
         let matched = 1000u64;
         assert!(heap_pages < 100, "fixture drifted: {heap_pages} pages");
         let plan = QueryPlan {
+            epoch: 0,
             branches: vec![BranchPlan::Pipeline {
                 tables: vec![t],
                 driver: ScanNode {
@@ -1501,6 +1502,7 @@ mod tests {
             est_cost: 0.0,
         };
         let plan = QueryPlan {
+            epoch: 0,
             branches: vec![BranchPlan::Pipeline {
                 tables: vec![t, t],
                 driver: scan(vec![]),

@@ -189,6 +189,24 @@ impl BuiltIndex {
         }
     }
 
+    /// Append entries for heap rows `[from, heap.len())` — the delta that
+    /// committed after a snapshot-prefix build — and recompute the page
+    /// checksums. Row indices are appended in heap order, exactly as
+    /// [`BuiltIndex::build`] over the full heap would have pushed them, so
+    /// a prefix build plus `extend_from` is bit-identical to a full build.
+    pub fn extend_from(&mut self, heap: &TableHeap, from: usize) {
+        for (row_idx, row) in heap.rows().iter().enumerate().skip(from) {
+            let key: Vec<Value> = self
+                .def
+                .key_columns
+                .iter()
+                .map(|&c| row[c].clone())
+                .collect();
+            self.map.entry(key).or_default().push(row_idx as u32);
+        }
+        self.page_sums = Self::compute_page_sums(&self.map);
+    }
+
     /// Per-page xor of entry hashes in key order.
     fn compute_page_sums(map: &BTreeMap<Vec<Value>, Vec<u32>>) -> Vec<u64> {
         let mut sums = Vec::new();

@@ -28,6 +28,7 @@
 // Tests are exempt (unwrap there is an assertion).
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod adapt;
 pub mod catalog;
 pub mod cost;
 pub mod db;
@@ -52,6 +53,7 @@ pub mod types;
 pub mod view;
 pub mod wal;
 
+pub use adapt::OnlineSwapReport;
 pub use catalog::{Catalog, ColumnDef, TableDef, TableId};
 pub use db::{Database, PhysicalConfig, QueryOutcome};
 pub use error::{CorruptionEvent, RelError, RelResult, StructureKind};

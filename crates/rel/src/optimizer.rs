@@ -131,6 +131,7 @@ pub fn plan_query(
         branches,
         order_by,
         est_cost: total_cost,
+        epoch: 0,
     })
 }
 

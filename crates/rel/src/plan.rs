@@ -190,6 +190,12 @@ pub struct QueryPlan {
     pub order_by: Vec<usize>,
     /// Total cost estimate (branches + sort).
     pub est_cost: f64,
+    /// Configuration epoch the plan was chosen under (`0` = unpinned, e.g.
+    /// a what-if plan). `Database::execute_plan` rejects a pinned plan
+    /// whose epoch no longer matches — the configuration was swapped
+    /// between plan and execute, so the plan may reference dropped
+    /// structures.
+    pub epoch: u64,
 }
 
 impl QueryPlan {
@@ -286,6 +292,7 @@ mod tests {
     #[test]
     fn used_objects_deduplicated() {
         let plan = QueryPlan {
+            epoch: 0,
             branches: vec![
                 BranchPlan::Pipeline {
                     tables: vec![crate::catalog::TableId(0), crate::catalog::TableId(1)],
@@ -324,6 +331,7 @@ mod tests {
     #[test]
     fn explain_mentions_operators() {
         let plan = QueryPlan {
+            epoch: 0,
             branches: vec![BranchPlan::ViewScan {
                 view: "v1".into(),
                 filters: vec![],

@@ -47,14 +47,15 @@ use crate::db::{Database, PhysicalConfig, QueryOutcome};
 use crate::error::{RelError, RelResult};
 use crate::exec::SnapshotVisibility;
 use crate::sql::SqlQuery;
+use crate::stats::TableStats;
 use crate::storage;
 use crate::types::Row;
 use crate::wal::WalRecord;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The engine state behind the session lock.
-struct Engine {
-    db: Database,
+pub(crate) struct Engine {
+    pub(crate) db: Database,
     /// Last assigned commit LSN on a non-durable database (durable ones
     /// read the WAL's LSN clock instead, so recovery and sessions agree).
     clock: u64,
@@ -85,7 +86,7 @@ impl Engine {
     }
 
     /// Capture the visibility watermarks of a snapshot taken now.
-    fn visibility(&self) -> SnapshotVisibility {
+    pub(crate) fn visibility(&self) -> SnapshotVisibility {
         SnapshotVisibility {
             lsn: self.snapshot_lsn(),
             visible: (0..self.db.catalog().len())
@@ -145,6 +146,7 @@ impl SessionDb {
             snapshot_lsn: lsn,
             visible,
             writes: Vec::new(),
+            stats: None,
         }
     }
 
@@ -203,6 +205,17 @@ impl SessionDb {
         f(&read_lock(&self.inner).db)
     }
 
+    /// Crate-internal engine guards for the online-swap machinery (see
+    /// [`crate::adapt`]): the swap needs the raw engine to capture
+    /// watermarks, log, and install structures under one lock hold.
+    pub(crate) fn read_engine(&self) -> RwLockReadGuard<'_, Engine> {
+        read_lock(&self.inner)
+    }
+
+    pub(crate) fn write_engine(&self) -> RwLockWriteGuard<'_, Engine> {
+        write_lock(&self.inner)
+    }
+
     /// Arm (or clear) the underlying database's deterministic crash point
     /// (see [`Database::set_crash_point`]), so crash-recovery tests can
     /// kill a commit between its WAL frames.
@@ -221,6 +234,12 @@ pub struct Transaction {
     visible: Vec<usize>,
     /// Buffered writes in statement order. A table may appear repeatedly.
     writes: Vec<(TableId, Vec<Row>)>,
+    /// Snapshot-clamped statistics installed by [`Transaction::analyze`],
+    /// used (instead of the engine's live statistics) to plan this
+    /// transaction's snapshot reads. Private to the transaction: the
+    /// shared engine's statistics are never touched, so one session's
+    /// snapshot view cannot skew another session's planning.
+    stats: Option<Vec<TableStats>>,
 }
 
 impl Transaction {
@@ -263,12 +282,31 @@ impl Transaction {
             .sum()
     }
 
+    /// `ANALYZE` clamped to this transaction's snapshot: statistics are
+    /// computed over the visible row prefix of every table, not the live
+    /// heaps, so rows committed after `begin` cannot skew this
+    /// transaction's plans. The result is stored on the transaction and
+    /// used by [`Transaction::query`]; the shared engine's statistics are
+    /// left untouched.
+    pub fn analyze(&mut self) -> RelResult<()> {
+        let engine = read_lock(&self.inner);
+        self.stats = Some(engine.db.analyze_snapshot(&self.visibility()));
+        Ok(())
+    }
+
     /// Execute a query against this transaction's snapshot (plus its own
     /// buffered writes, when any exist).
     pub fn query(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
         let engine = read_lock(&self.inner);
         if self.writes.is_empty() {
-            return engine.db.execute_snapshot(query, &self.visibility());
+            return match &self.stats {
+                Some(stats) => {
+                    engine
+                        .db
+                        .execute_snapshot_with_stats(query, &self.visibility(), stats)
+                }
+                None => engine.db.execute_snapshot(query, &self.visibility()),
+            };
         }
         // Read-your-own-writes: materialize an overlay of the snapshot
         // prefix plus this transaction's pending rows, and plan it bare
@@ -441,6 +479,36 @@ mod tests {
         assert_eq!(sdb.execute(&count_query(t)).unwrap().rows.len(), 0);
         txn.rollback();
         assert_eq!(sdb.execute(&count_query(t)).unwrap().rows.len(), 0);
+    }
+
+    #[test]
+    fn transaction_analyze_clamps_to_snapshot() {
+        let (sdb, t) = session_with_table();
+        sdb.insert_rows(t, vec![vec![Value::Int(1), Value::Int(10)]])
+            .unwrap();
+        let mut txn = sdb.begin();
+        // Rows committed after `begin` must not leak into the
+        // transaction's statistics.
+        sdb.insert_rows(
+            t,
+            (2..100)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 10)])
+                .collect(),
+        )
+        .unwrap();
+        txn.analyze().unwrap();
+        let stats = txn.stats.as_ref().expect("stats installed");
+        assert_eq!(stats[t.index()].rows, 1, "stats see the snapshot prefix");
+        // Bit-identical to analyzing the visible prefix directly.
+        let expected = sdb.with_db(|db| db.analyze_snapshot(&txn.visibility()));
+        assert_eq!(stats, &expected);
+        // Queries still answer from the snapshot, now planned with the
+        // clamped statistics.
+        assert_eq!(txn.query(&count_query(t)).unwrap().rows.len(), 1);
+        // The shared engine's live statistics were not touched: a fresh
+        // session-wide ANALYZE sees all committed rows.
+        sdb.analyze().unwrap();
+        sdb.with_db(|db| assert_eq!(db.all_stats()[t.index()].rows, 99));
     }
 
     #[test]

@@ -617,6 +617,15 @@ pub enum WalRecord {
         /// Session-assigned transaction id.
         txn: u64,
     },
+    /// Incremental statistics maintenance was toggled. Logged so recovery
+    /// replays the insert suffix in the same stats mode the live database
+    /// used: incremental maintenance is bit-identical to full analyze by
+    /// construction, so replaying the toggle plus the inserts reproduces
+    /// the exact pre-crash statistics.
+    StatsMode {
+        /// Whether incremental maintenance is on after this record.
+        incremental: bool,
+    },
 }
 
 const TAG_CREATE_TABLE: u8 = 1;
@@ -629,6 +638,7 @@ const TAG_CLEAR_CONFIG: u8 = 7;
 const TAG_CHECKPOINT: u8 = 8;
 const TAG_TXN_BEGIN: u8 = 9;
 const TAG_TXN_COMMIT: u8 = 10;
+const TAG_STATS_MODE: u8 = 11;
 
 impl WalRecord {
     fn encode_into(&self, e: &mut Enc) {
@@ -669,6 +679,10 @@ impl WalRecord {
                 e.u8(TAG_TXN_COMMIT);
                 e.u64(*txn);
             }
+            WalRecord::StatsMode { incremental } => {
+                e.u8(TAG_STATS_MODE);
+                e.u8(u8::from(*incremental));
+            }
         }
     }
 
@@ -696,6 +710,9 @@ impl WalRecord {
             TAG_CHECKPOINT => WalRecord::Checkpoint,
             TAG_TXN_BEGIN => WalRecord::TxnBegin { txn: d.u64()? },
             TAG_TXN_COMMIT => WalRecord::TxnCommit { txn: d.u64()? },
+            TAG_STATS_MODE => WalRecord::StatsMode {
+                incremental: d.u8()? != 0,
+            },
             tag => {
                 return Err(DecodeError::BadTag {
                     what: "record",
@@ -1004,6 +1021,8 @@ mod tests {
             WalRecord::Checkpoint,
             WalRecord::TxnBegin { txn: 3 },
             WalRecord::TxnCommit { txn: 3 },
+            WalRecord::StatsMode { incremental: true },
+            WalRecord::StatsMode { incremental: false },
         ]
     }
 
