@@ -10,7 +10,7 @@
 //!
 //! Experiments: `table1`, `motivating`, `fig4`/`fig5`/`fig6` (one shared
 //! evaluation run), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`,
-//! `heal`, `profile`, `exec`, `serve`, `adapt`, `all`. The `XMLSHRED_SCALE` environment
+//! `heal`, `profile`, `exec`, `serve`, `soak`, `adapt`, `all`. The `XMLSHRED_SCALE` environment
 //! variable (or `--scale X`)
 //! scales the dataset sizes; normalized figures are scale-stable.
 //! `--threads N` sets the advisor worker-thread count (0 = all cores, the
@@ -34,6 +34,20 @@
 //! single-client run is asserted bit-identical to a library-path replay
 //! and `--bench-json PATH` writes the record (schema
 //! `xmlshred-bench-serve-v1`).
+//! `soak` runs the seeded network-chaos soak matrix: 16 cells (client
+//! count x wire-fault kind x overload on/off), each driving a durable
+//! multi-session server through torn frames, disconnects, delays, and
+//! admission-control shedding while every client operation is retried to
+//! exactly-once completion; each cell must converge bit-identically —
+//! live state == recovered state == a serial oracle replaying the
+//! committed WAL prefix in commit-LSN order (rows and ExecStats) — and
+//! the printed `soak hash` is a pure function of `(scale, ops)`,
+//! bit-identical across `--exec-threads` values, which CI verifies.
+//! `--soak-seed S` seeds the fault scripts and backoff schedules (default
+//! 13), `--soak-ops N` sets the operations per client (default
+//! scale-derived), and `--data-dir PATH` keeps the per-cell databases and
+//! writes a `soak-reports.json` artifact (per-cell server counters and
+//! drain reports). `--list-cells` prints the matrix without running it.
 //! `adapt` runs the online self-tuning scenario: a seeded statement
 //! schedule shifts character at its midpoint, the adaptive advisor
 //! detects the drift and installs new designs via non-blocking online
@@ -132,6 +146,8 @@ fn main() {
     let adapt_seed = take_value::<u64>(&mut args, "--adapt-seed").unwrap_or(5);
     let adapt_ops = take_value::<usize>(&mut args, "--adapt-ops");
     let adapt_window = take_value::<usize>(&mut args, "--adapt-window").unwrap_or(64);
+    let soak_seed = take_value::<u64>(&mut args, "--soak-seed").unwrap_or(13);
+    let soak_ops = take_value::<usize>(&mut args, "--soak-ops");
     let experiment = args.first().map(String::as_str).unwrap_or("all");
 
     println!(
@@ -175,6 +191,8 @@ fn main() {
         adapt_seed,
         adapt_ops,
         adapt_window,
+        soak_seed,
+        soak_ops,
     };
     let start = Instant::now();
     match xmlshred_bench::experiments::run(experiment, scale, &opts) {

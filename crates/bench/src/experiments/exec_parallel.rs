@@ -154,6 +154,7 @@ fn scan_microbench(morsel_rows: usize) -> Result<ScanMicrobench, String> {
         db.set_exec_options(ExecOptions {
             threads: 1,
             morsel_rows,
+            ..ExecOptions::default()
         });
         let mut best = u64::MAX;
         let mut outcome = None;
@@ -359,6 +360,7 @@ fn sweep_dataset(
             db.set_exec_options(ExecOptions {
                 threads: n,
                 morsel_rows,
+                ..ExecOptions::default()
             });
             let started = Instant::now();
             let outcome = db

@@ -10,6 +10,7 @@ pub mod heal;
 pub mod motivating;
 pub mod profile;
 pub mod serve;
+pub mod soak;
 pub mod table1;
 pub mod updates;
 
@@ -117,6 +118,13 @@ pub struct RunOptions {
     /// Statements per drift-check window for the `adapt` scenario
     /// (`--adapt-window`); 0 is treated as the default 64.
     pub adapt_window: usize,
+    /// Seed for the `soak` matrix (`--soak-seed`): wire-fault scripts and
+    /// client backoff schedules are a pure function of it. The printed
+    /// `soak hash` does *not* depend on it — chaos must cancel out.
+    pub soak_seed: u64,
+    /// Operations per client for the `soak` matrix (`--soak-ops`); `None`
+    /// derives the count from the scale.
+    pub soak_ops: Option<usize>,
 }
 
 impl RunOptions {
@@ -171,7 +179,7 @@ pub(crate) fn list_cells(
 /// Run an experiment by id. Known ids: `table1`, `motivating`, `fig4`,
 /// `fig5`, `fig6` (the three share one evaluation run, so each prints all
 /// three), `fig7`, `fig8`, `fig9`, `updates`, `chaos`, `crash`, `heal`,
-/// `profile`, `exec`, `serve`, `adapt`, `all`.
+/// `profile`, `exec`, `serve`, `soak`, `adapt`, `all`.
 pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
     match id {
         "table1" => table1::run(scale),
@@ -189,6 +197,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
         "profile" => profile::run(scale, opts),
         "exec" => exec_parallel::run(scale, opts),
         "serve" => serve::run(scale, opts),
+        "soak" => soak::run(scale, opts),
         "adapt" => adapt::run(scale, opts),
         "all" => {
             table1::run(scale)?;
@@ -206,7 +215,7 @@ pub fn run(id: &str, scale: BenchScale, opts: &RunOptions) -> Result<(), String>
             Ok(())
         }
         other => Err(format!(
-            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec serve adapt all"
+            "unknown experiment '{other}'; known: table1 motivating fig4 fig5 fig6 fig7 fig8 fig9 updates chaos crash heal profile exec serve soak adapt all"
         )),
     }
 }

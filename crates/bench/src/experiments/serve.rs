@@ -22,8 +22,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 use xmlshred_rel::{
-    Client, ColumnDef, DataType, Database, Filter, FilterOp, Output, Row, SelectQuery, Server,
-    SessionDb, SqlQuery, TableDef, TableId, Value,
+    Client, ClientOptions, ColumnDef, DataType, Database, Filter, FilterOp, Output, Row,
+    SelectQuery, Server, ServerOptions, SessionDb, SqlQuery, TableDef, TableId, Value,
 };
 
 /// Client counts swept; `--serve-clients N` is appended when not covered.
@@ -221,6 +221,161 @@ fn library_replay(ops: usize) -> Result<u64, String> {
     Ok(fingerprint.finish())
 }
 
+/// Overload cell: more clients than the server's in-flight statement
+/// budget. With `max_inflight: 1` and six concurrent writers, admission
+/// control must shed statements as typed transient `Overloaded` errors
+/// that the clients' seeded backoff absorbs — so rejections are (a)
+/// observed, (b) bounded by the retries that absorbed them, and (c) free:
+/// every insert still commits exactly once.
+fn overload_cell() -> Result<(), String> {
+    const CLIENTS: usize = 6;
+    const MAX_ROUNDS: usize = 50;
+
+    let sdb = SessionDb::new(Database::new());
+    let table = sdb
+        .create_table(table_def())
+        .map_err(|e| format!("overload create_table failed: {e}"))?;
+    let server = Server::spawn_with(
+        sdb,
+        "127.0.0.1:0",
+        ServerOptions {
+            max_inflight: 1,
+            ..ServerOptions::default()
+        },
+    )
+    .map_err(|e| format!("overload server spawn failed: {e}"))?;
+    let addr = server.local_addr();
+
+    // The permit is held for the duration of one statement, so to force a
+    // collision one client commits a statement with a long execution
+    // window — a single bulk insert — while the small writers hammer
+    // one-row inserts the whole time. Every small statement arriving
+    // inside the bulk window is shed with `Overloaded` and absorbed by
+    // the client's seeded backoff. Rounds repeat until a shed is
+    // observed; the cap turns "admission control never engaged" into a
+    // hard failure instead of an infinite loop.
+    const BULK_ROWS: usize = 100_000;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..CLIENTS - 1)
+        .map(|c| {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || -> Result<(usize, u64), String> {
+                let mut client = Client::connect_with(
+                    addr,
+                    ClientOptions {
+                        retries: 64,
+                        backoff_seed: c as u64 + 1,
+                        ..ClientOptions::default()
+                    },
+                )
+                .map_err(|e| format!("overload writer {c} connect failed: {e}"))?;
+                let mut committed = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let key = (BULK_ROWS + c * 1_000_000 + committed) as i64;
+                    client
+                        .insert_rows(
+                            table,
+                            &[vec![
+                                Value::Int(key),
+                                Value::Int(c as i64),
+                                Value::str(format!("burst-{c}-{committed}")),
+                            ]],
+                        )
+                        .map_err(|e| format!("overload writer {c} insert failed: {e}"))?;
+                    committed += 1;
+                }
+                let stats = client.retry_stats();
+                client
+                    .close()
+                    .map_err(|e| format!("overload writer {c} close failed: {e}"))?;
+                Ok((committed, stats.retries))
+            })
+        })
+        .collect();
+
+    let mut bulk = Client::connect_with(
+        addr,
+        ClientOptions {
+            retries: 64,
+            backoff_seed: 97,
+            ..ClientOptions::default()
+        },
+    )
+    .map_err(|e| format!("overload bulk connect failed: {e}"))?;
+    let batch: Vec<Row> = (0..BULK_ROWS)
+        .map(|i| vec![Value::Int(i as i64), Value::Int(-1), Value::str("bulk")])
+        .collect();
+    let mut rounds = 0usize;
+    let mut bulk_batches = 0usize;
+    while rounds < MAX_ROUNDS {
+        rounds += 1;
+        bulk.insert_rows(table, &batch)
+            .map_err(|e| format!("overload bulk insert failed: {e}"))?;
+        bulk_batches += 1;
+        if server.stats().statements_rejected > 0 {
+            break;
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let mut retries = bulk.retry_stats().retries;
+    bulk.close()
+        .map_err(|e| format!("overload bulk close failed: {e}"))?;
+    let mut committed = bulk_batches * BULK_ROWS;
+    for (c, handle) in writers.into_iter().enumerate() {
+        let (n, r) = handle
+            .join()
+            .map_err(|_| format!("overload writer {c} thread panicked"))??;
+        committed += n;
+        retries += r;
+    }
+
+    let stats = server.stats();
+    if stats.statements_rejected == 0 {
+        return Err(format!(
+            "overload cell: {CLIENTS} clients against max_inflight=1 never tripped \
+             admission control in {MAX_ROUNDS} rounds"
+        ));
+    }
+    // Bounded: with no other fault source, every shed was absorbed by
+    // exactly one budgeted client retry.
+    if stats.statements_rejected > retries {
+        return Err(format!(
+            "overload cell: {} rejections but only {retries} client retries — sheds \
+             escaped the retry budget",
+            stats.statements_rejected
+        ));
+    }
+    // Zero lost commits: every insert landed despite the shedding.
+    let mut checker = Client::connect_with(
+        addr,
+        ClientOptions {
+            retries: 32,
+            ..ClientOptions::default()
+        },
+    )
+    .map_err(|e| format!("overload checker connect failed: {e}"))?;
+    let rows = checker
+        .query(&scan_query(table))
+        .map_err(|e| format!("overload final scan failed: {e}"))?;
+    if rows.len() != committed {
+        return Err(format!(
+            "overload cell: final scan saw {} rows, expected {committed} — commits lost \
+             under admission control",
+            rows.len()
+        ));
+    }
+    checker
+        .close()
+        .map_err(|e| format!("overload checker close failed: {e}"))?;
+    server.shutdown();
+    println!(
+        "overload cell: {committed} commits, {} statements shed, {retries} client retries \
+         (bounded, zero lost commits).",
+        stats.statements_rejected
+    );
+    Ok(())
+}
+
 /// Run the serve benchmark: sweep client counts, assert library parity at
 /// one client, print the latency table and the CI-checked `serve hash`.
 pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
@@ -276,6 +431,8 @@ pub fn run(scale: BenchScale, opts: &RunOptions) -> Result<(), String> {
         "{}",
         render_table(&["clients", "ops", "wall", "p50", "p99", "ops/s"], &rows)
     );
+
+    overload_cell()?;
 
     if let Some(path) = &opts.bench_json {
         let json = bench_json(scale, ops, serve_hash, &cells);

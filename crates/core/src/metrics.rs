@@ -226,6 +226,26 @@ pub fn record_scrub(registry: &MetricsRegistry, report: &xmlshred_rel::ScrubRepo
     }
 }
 
+/// Register a server's hardening counters into `registry` under their
+/// `server.*` names. Unlike recovery/heal/scrub, these depend on wall-clock
+/// timing and connection interleaving (who got shed, which transaction
+/// idled out), so every counter goes into the **schedule** class and is
+/// excluded from determinism hashes.
+pub fn record_server(registry: &MetricsRegistry, stats: &xmlshred_rel::ServerStatsSnapshot) {
+    for (name, value) in stats.metric_counters() {
+        registry.count_sched(name, value);
+    }
+}
+
+/// Register a drain report's counters into `registry` under their
+/// `server.drain.*` names (schedule class: drain outcomes depend on how far
+/// each session happened to get before the deadline).
+pub fn record_drain(registry: &MetricsRegistry, report: &xmlshred_rel::DrainReport) {
+    for (name, value) in report.metric_counters() {
+        registry.count_sched(name, value);
+    }
+}
+
 /// RAII guard returned by [`MetricsRegistry::span`].
 #[derive(Debug)]
 pub struct SpanGuard<'a> {

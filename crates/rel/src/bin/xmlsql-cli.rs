@@ -1,8 +1,13 @@
 //! Interactive line-oriented client for `xmlsql-server`.
 //!
 //! ```text
-//! xmlsql-cli [--addr HOST:PORT]
+//! xmlsql-cli [--addr HOST:PORT] [--retries N] [--backoff-seed N] [--reconnect]
 //! ```
+//!
+//! `--retries` gives every command a retry budget against transient server
+//! errors (`Overloaded`, deadline `Timeout`), with deterministic seeded
+//! backoff (`--backoff-seed`); `--reconnect` re-dials a torn connection
+//! outside an open transaction. See DESIGN.md §15 for the retry contract.
 //!
 //! Commands (one per line on stdin):
 //!
@@ -23,29 +28,37 @@
 
 use std::io::{BufRead, Write as _};
 use xmlshred_rel::{
-    Client, ColumnDef, DataType, Output, RelResult, SelectQuery, SqlQuery, TableDef, TableId, Value,
+    Client, ClientOptions, ColumnDef, DataType, Output, RelResult, SelectQuery, SqlQuery, TableDef,
+    TableId, Value,
 };
 
 fn main() {
     let mut addr = String::from("127.0.0.1:7878");
+    let mut opts = ClientOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => match args.next() {
                 Some(v) => addr = v,
-                None => {
-                    eprintln!("error: --addr needs a value");
-                    std::process::exit(2);
-                }
+                None => die("--addr needs a value"),
             },
-            other => {
-                eprintln!("usage: xmlsql-cli [--addr HOST:PORT] (got '{other}')");
-                std::process::exit(2);
-            }
+            "--retries" => match args.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => opts.retries = n,
+                None => die("--retries needs a non-negative integer"),
+            },
+            "--backoff-seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => opts.backoff_seed = n,
+                None => die("--backoff-seed needs a non-negative integer"),
+            },
+            "--reconnect" => opts.reconnect = true,
+            other => die(&format!(
+                "usage: xmlsql-cli [--addr HOST:PORT] [--retries N] \
+                 [--backoff-seed N] [--reconnect] (got '{other}')"
+            )),
         }
     }
 
-    let mut client = match Client::connect(&addr) {
+    let mut client = match Client::connect_with(&addr, opts) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: connect {addr}: {e}");
@@ -69,6 +82,11 @@ fn main() {
         let _ = write!(out, "> ");
         let _ = out.flush();
     }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }
 
 /// Execute one command; `Ok(true)` means quit.

@@ -861,12 +861,54 @@ impl Database {
         self.execute_plan(self.plan(query)?)
     }
 
+    /// [`Database::execute`] under a per-statement deadline: the executor
+    /// polls it at operator starts and morsel boundaries and cancels with
+    /// [`RelError::Timeout`] (transient) once passed. Timeouts are
+    /// **charge/token-neutral**: the fault plane's budget charges and token
+    /// serial are restored to their pre-statement state, exactly like a
+    /// failed heal attempt — a timed-out statement leaves no trace in the
+    /// deterministic fault schedule.
+    pub fn execute_deadline(
+        &self,
+        query: &SqlQuery,
+        deadline: Option<Instant>,
+    ) -> RelResult<QueryOutcome> {
+        if deadline.is_none() {
+            return self.execute(query);
+        }
+        self.timeout_neutral(|| {
+            let plan = self.plan(query)?;
+            self.execute_plan_opts(plan, &self.exec.with_deadline(deadline))
+        })
+    }
+
+    /// Run one statement with fault-plane neutrality on timeout: save the
+    /// plane's state (budget charges, token serial) before the attempt and
+    /// restore it when the attempt ends in [`RelError::Timeout`]. Shared by
+    /// every deadline-bearing execute path.
+    fn timeout_neutral<T>(&self, body: impl FnOnce() -> RelResult<T>) -> RelResult<T> {
+        let saved = self.fault.as_deref().map(FaultPlane::save);
+        match body() {
+            Err(err @ RelError::Timeout { .. }) => {
+                if let (Some(plane), Some(state)) = (self.fault.as_deref(), saved) {
+                    plane.restore(state);
+                }
+                Err(err)
+            }
+            other => other,
+        }
+    }
+
     /// Execute an already-chosen plan (must reference built structures
     /// only). A plan stamped under an older configuration epoch is
     /// rejected with [`RelError::StalePlan`] (transient — replan and
     /// retry); unstamped plans (`epoch == 0`, e.g. what-if plans promoted
     /// by tests) skip the check and the caller owns their validity.
     pub fn execute_plan(&self, plan: QueryPlan) -> RelResult<QueryOutcome> {
+        self.execute_plan_opts(plan, &self.exec)
+    }
+
+    fn execute_plan_opts(&self, plan: QueryPlan, opts: &ExecOptions) -> RelResult<QueryOutcome> {
         if plan.epoch != 0 && plan.epoch != self.config_epoch() {
             return Err(RelError::StalePlan {
                 plan_epoch: plan.epoch,
@@ -874,7 +916,7 @@ impl Database {
             });
         }
         let start = Instant::now();
-        let (rows, exec, profile) = execute_plan_with(self, &plan, &self.exec)?;
+        let (rows, exec, profile) = execute_plan_with(self, &plan, opts)?;
         let elapsed = start.elapsed();
         Ok(QueryOutcome {
             rows,
@@ -900,7 +942,18 @@ impl Database {
         query: &SqlQuery,
         vis: &SnapshotVisibility,
     ) -> RelResult<QueryOutcome> {
-        self.execute_snapshot_inner(query, vis, None)
+        self.execute_snapshot_inner(query, vis, None, None)
+    }
+
+    /// [`Database::execute_snapshot`] under a per-statement deadline; see
+    /// [`Database::execute_deadline`] for the timeout contract.
+    pub fn execute_snapshot_deadline(
+        &self,
+        query: &SqlQuery,
+        vis: &SnapshotVisibility,
+        deadline: Option<Instant>,
+    ) -> RelResult<QueryOutcome> {
+        self.execute_snapshot_inner(query, vis, None, deadline)
     }
 
     /// [`Database::execute_snapshot`] with a statistics override: the plan
@@ -915,7 +968,20 @@ impl Database {
         vis: &SnapshotVisibility,
         stats: &[TableStats],
     ) -> RelResult<QueryOutcome> {
-        self.execute_snapshot_inner(query, vis, Some(stats))
+        self.execute_snapshot_inner(query, vis, Some(stats), None)
+    }
+
+    /// [`Database::execute_snapshot_with_stats`] under a per-statement
+    /// deadline; see [`Database::execute_deadline`] for the timeout
+    /// contract.
+    pub fn execute_snapshot_with_stats_deadline(
+        &self,
+        query: &SqlQuery,
+        vis: &SnapshotVisibility,
+        stats: &[TableStats],
+        deadline: Option<Instant>,
+    ) -> RelResult<QueryOutcome> {
+        self.execute_snapshot_inner(query, vis, Some(stats), deadline)
     }
 
     fn execute_snapshot_inner(
@@ -923,30 +989,34 @@ impl Database {
         query: &SqlQuery,
         vis: &SnapshotVisibility,
         stats_override: Option<&[TableStats]>,
+        deadline: Option<Instant>,
     ) -> RelResult<QueryOutcome> {
-        let stats = stats_override.unwrap_or(&self.stats);
-        let mut config = if self.quarantined.is_empty() {
-            self.built_config.clone()
-        } else {
-            self.effective_config()
-        };
-        config.views.clear();
-        let mut plan = if let Some(plane) = self.fault_plane() {
-            let token = plane.next_token();
-            optimizer::plan_query_faulty(&self.catalog, stats, &config, query, plane, token, 0)?
-        } else {
-            optimizer::plan_query(&self.catalog, stats, &config, query)?
-        };
-        plan.epoch = self.config_epoch();
-        let start = Instant::now();
-        let (rows, exec, profile) = execute_plan_snapshot(self, &plan, &self.exec, vis)?;
-        let elapsed = start.elapsed();
-        Ok(QueryOutcome {
-            rows,
-            exec,
-            plan,
-            elapsed,
-            profile,
+        self.timeout_neutral(|| {
+            let stats = stats_override.unwrap_or(&self.stats);
+            let mut config = if self.quarantined.is_empty() {
+                self.built_config.clone()
+            } else {
+                self.effective_config()
+            };
+            config.views.clear();
+            let mut plan = if let Some(plane) = self.fault_plane() {
+                let token = plane.next_token();
+                optimizer::plan_query_faulty(&self.catalog, stats, &config, query, plane, token, 0)?
+            } else {
+                optimizer::plan_query(&self.catalog, stats, &config, query)?
+            };
+            plan.epoch = self.config_epoch();
+            let start = Instant::now();
+            let opts = self.exec.with_deadline(deadline.or(self.exec.deadline));
+            let (rows, exec, profile) = execute_plan_snapshot(self, &plan, &opts, vis)?;
+            let elapsed = start.elapsed();
+            Ok(QueryOutcome {
+                rows,
+                exec,
+                plan,
+                elapsed,
+                profile,
+            })
         })
     }
 

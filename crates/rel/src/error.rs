@@ -158,6 +158,31 @@ pub enum RelError {
         /// The configuration epoch at execution time.
         config_epoch: u64,
     },
+    /// A statement exceeded its request deadline and was cooperatively
+    /// cancelled at a morsel boundary. Transient: the same statement may
+    /// finish under a fresh (or longer) deadline. Timeouts are
+    /// charge/token-neutral: the fault plane's budget charges and token
+    /// serial are restored to their pre-statement state, exactly like a
+    /// failed heal attempt.
+    Timeout {
+        /// Stable label of the execution site that observed expiry
+        /// (`"scan"`, `"probe"`, `"inlj"`, ...).
+        site: &'static str,
+    },
+    /// The server refused admission: the connection or in-flight statement
+    /// limit was reached. Transient by construction — the rejection is
+    /// load shedding, not a statement failure — so clients retry it with
+    /// backoff.
+    Overloaded(String),
+    /// A client retry budget ran out without a successful response. Not
+    /// transient: the budget itself is the retry policy, so surfacing this
+    /// means "stop retrying".
+    RetriesExhausted {
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// Display form of the last error observed.
+        last: String,
+    },
 }
 
 impl RelError {
@@ -198,7 +223,11 @@ impl RelError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            RelError::Fault(_) | RelError::WriteConflict { .. } | RelError::StalePlan { .. }
+            RelError::Fault(_)
+                | RelError::WriteConflict { .. }
+                | RelError::StalePlan { .. }
+                | RelError::Timeout { .. }
+                | RelError::Overloaded(_)
         )
     }
 }
@@ -257,6 +286,14 @@ impl fmt::Display for RelError {
                 "stale plan: planned under config epoch {plan_epoch}, \
                  current epoch is {config_epoch}; replan"
             ),
+            RelError::Timeout { site } => {
+                write!(f, "timeout: request deadline exceeded at {site}")
+            }
+            RelError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            RelError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "retries exhausted after {attempts} attempts; last error: {last}"
+            ),
         }
     }
 }
@@ -314,6 +351,27 @@ mod tests {
         assert_eq!(event.page, 9);
         assert_eq!(event.into_error(), err);
         assert!(CorruptionEvent::from_error(&RelError::Fault("x".into())).is_none());
+    }
+
+    #[test]
+    fn overload_taxonomy_is_transient_but_giving_up_is_not() {
+        assert!(RelError::Timeout { site: "scan" }.is_transient());
+        assert!(RelError::Overloaded("inflight limit".into()).is_transient());
+        assert!(!RelError::RetriesExhausted {
+            attempts: 5,
+            last: "overloaded: inflight limit".into()
+        }
+        .is_transient());
+        assert_eq!(
+            RelError::Timeout { site: "probe" }.to_string(),
+            "timeout: request deadline exceeded at probe"
+        );
+        let msg = RelError::RetriesExhausted {
+            attempts: 3,
+            last: "timeout: request deadline exceeded at scan".into(),
+        }
+        .to_string();
+        assert!(msg.contains("3 attempts") && msg.contains("timeout"));
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub struct ExecOptions {
     /// per-morsel reduction order — and the bit pattern of every f64 stat —
     /// is the same for any thread count.
     pub morsel_rows: usize,
+    /// Cooperative cancellation instant: the executor polls it at operator
+    /// starts, morsel boundaries, and per-probe in index-nested-loop joins,
+    /// raising [`RelError::Timeout`] once passed. `None` (the default) runs
+    /// unbounded. A fired deadline aborts the statement wholesale — no
+    /// partial rows escape — so results stay bit-identical across thread
+    /// counts whenever the statement completes at all.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for ExecOptions {
@@ -72,6 +79,7 @@ impl Default for ExecOptions {
         ExecOptions {
             threads: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            deadline: None,
         }
     }
 }
@@ -82,6 +90,21 @@ impl ExecOptions {
         ExecOptions {
             threads,
             ..ExecOptions::default()
+        }
+    }
+
+    /// These options with a per-statement deadline (replacing any current
+    /// one; `None` clears it).
+    pub fn with_deadline(self, deadline: Option<Instant>) -> Self {
+        ExecOptions { deadline, ..self }
+    }
+
+    /// Raise [`RelError::Timeout`] if the deadline has passed. `site` is a
+    /// stable label of the polling point, surfaced in the error.
+    pub fn check_deadline(&self, site: &'static str) -> RelResult<()> {
+        match self.deadline {
+            Some(at) if Instant::now() >= at => Err(RelError::Timeout { site }),
+            _ => Ok(()),
         }
     }
 }
@@ -327,6 +350,35 @@ fn morsel_ranges(len: usize, opts: &ExecOptions) -> Vec<Range<usize>> {
     out
 }
 
+/// Morsel-boundary deadline poll for parallel workers. Returns `true` once
+/// the deadline has passed (recording the expiry in `hit`) or once another
+/// worker has already recorded it — so after one morsel observes expiry,
+/// every remaining morsel short-circuits to an empty piece and the fan-in
+/// raises [`RelError::Timeout`]. No partial rows escape: the whole
+/// statement aborts, which is what keeps results bit-identical across
+/// thread counts whenever a statement completes at all.
+fn deadline_hit(opts: &ExecOptions, hit: &std::sync::atomic::AtomicBool) -> bool {
+    use std::sync::atomic::Ordering;
+    match opts.deadline {
+        Some(at) if Instant::now() >= at => {
+            hit.store(true, Ordering::Relaxed);
+            true
+        }
+        Some(_) => hit.load(Ordering::Relaxed),
+        None => false,
+    }
+}
+
+/// Fan-in check paired with [`deadline_hit`]: raise the typed timeout when
+/// any worker recorded expiry during the fan-out.
+fn bail_if_hit(hit: &std::sync::atomic::AtomicBool, site: &'static str) -> RelResult<()> {
+    if hit.load(std::sync::atomic::Ordering::Relaxed) {
+        Err(RelError::Timeout { site })
+    } else {
+        Ok(())
+    }
+}
+
 /// Build-side partition of a join key: a pure function of the value, shared
 /// by the partitioned build and the probe.
 fn partition_of(key: &Value) -> usize {
@@ -378,12 +430,14 @@ fn execute_plan_inner(
     let mut rows: Vec<Row> = Vec::new();
     let mut ledger = VerifyLedger::default();
     for branch in &plan.branches {
+        opts.check_deadline("branch")?;
         let (branch_rows, branch_stats) =
             execute_branch(db, branch, opts, vis, &mut profile, &mut ledger)?;
         stats.absorb(branch_stats);
         rows.extend(branch_rows);
     }
     if !plan.order_by.is_empty() {
+        opts.check_deadline("sort")?;
         let sort_start = Instant::now();
         stats.cpu_cost += sort_cost(rows.len() as f64);
         let keys = plan.order_by.clone();
@@ -553,6 +607,7 @@ fn execute_pipeline(
     stats.absorb(driver_stats);
 
     for join in joins {
+        opts.check_deadline("join")?;
         let &inner_table = tables.get(join.inner.table_ref).ok_or_else(|| {
             RelError::InvalidQuery(format!(
                 "plan join references table #{}",
@@ -577,10 +632,14 @@ fn execute_pipeline(
                 // their maps concurrently, visiting morsels in order, so each
                 // key's match list carries row indexes in heap order — the
                 // serial build's insertion order.
+                let hit = std::sync::atomic::AtomicBool::new(false);
                 let build_ranges = morsel_ranges(inner_rows.len(), opts);
                 profile.note_morsels(&build_ranges);
                 let partitioned: Vec<Vec<Vec<u32>>> =
                     par::parallel_map(&build_ranges, opts.threads, |_, range| {
+                        if deadline_hit(opts, &hit) {
+                            return vec![Vec::new(); HASH_PARTITIONS];
+                        }
                         let mut parts: Vec<Vec<u32>> = vec![Vec::new(); HASH_PARTITIONS];
                         for i in range.clone() {
                             let key = &inner_rows[i][join.inner_col];
@@ -590,6 +649,7 @@ fn execute_pipeline(
                         }
                         parts
                     });
+                bail_if_hit(&hit, "build")?;
                 let part_ids: Vec<usize> = (0..HASH_PARTITIONS).collect();
                 let tables_by_part: Vec<FxHashMap<Value, Vec<u32>>> =
                     par::parallel_map(&part_ids, opts.threads, |_, &p| {
@@ -611,6 +671,9 @@ fn execute_pipeline(
                 profile.note_morsels(&probe_ranges);
                 let pieces: Vec<Vec<Row>> =
                     par::parallel_map(&probe_ranges, opts.threads, |_, range| {
+                        if deadline_hit(opts, &hit) {
+                            return Vec::new();
+                        }
                         // Pass 1: batch key extraction — hash every non-null
                         // probe key and record its partition, keeping the
                         // key-hashing loop tight over the morsel.
@@ -637,6 +700,7 @@ fn execute_pipeline(
                         }
                         out
                     });
+                bail_if_hit(&hit, "probe")?;
                 profile.record_op("join.hash", join_start.elapsed());
                 pieces.concat()
             }
@@ -664,6 +728,10 @@ fn execute_pipeline(
                 }
                 let mut next = Vec::new();
                 for outer in &wide {
+                    // Per-probe deadline poll: INLJ is the one operator with
+                    // no morsel boundaries (it stays serial for fault-token
+                    // determinism), so cancellation hooks in here.
+                    opts.check_deadline("inlj")?;
                     let key = &outer[outer_slot];
                     if key.is_null() {
                         continue;
@@ -721,9 +789,13 @@ fn execute_pipeline(
         });
     }
     let project_start = Instant::now();
+    let hit = std::sync::atomic::AtomicBool::new(false);
     let ranges = morsel_ranges(wide.len(), opts);
     profile.note_morsels(&ranges);
     let pieces: Vec<Vec<Row>> = par::parallel_map(&ranges, opts.threads, |_, range| {
+        if deadline_hit(opts, &hit) {
+            return Vec::new();
+        }
         wide[range.start..range.end]
             .iter()
             .map(|row| {
@@ -737,6 +809,7 @@ fn execute_pipeline(
             })
             .collect()
     });
+    bail_if_hit(&hit, "project")?;
     profile.record_op("project", project_start.elapsed());
     Ok((pieces.concat(), stats))
 }
@@ -867,6 +940,10 @@ fn run_scan(
     let heap = db.try_heap(table)?;
     let table_def = db.catalog().try_table(table)?;
     validate_filters(&scan.filters, table_def)?;
+    // Operator-start poll: an already-expired deadline must cancel before
+    // any budget page is charged or fault token drawn, keeping timeouts
+    // charge/token-neutral by construction on this path.
+    opts.check_deadline("scan")?;
     let plane = db.fault_plane();
     let mut stats = ExecStats::default();
     let per_row_cpu = CPU_TUPLE_COST + scan.filters.len() as f64 * CPU_PRED_COST;
@@ -888,10 +965,14 @@ fn run_scan(
             // Under a snapshot only the visible prefix is scanned; pages are
             // still charged at the live heap (see `SnapshotVisibility`).
             let rows = &heap.rows()[..visible_rows(vis, table, heap.rows().len())];
+            let hit = std::sync::atomic::AtomicBool::new(false);
             let ranges = morsel_ranges(rows.len(), opts);
             profile.note_morsels(&ranges);
             let pieces: Vec<(Vec<Row>, f64, u64)> =
                 par::parallel_map(&ranges, opts.threads, |_, range| {
+                    if deadline_hit(opts, &hit) {
+                        return (Vec::new(), 0.0, 0);
+                    }
                     let mut out = Vec::new();
                     for row in &rows[range.start..range.end] {
                         if passes_quiet(row, &scan.filters) {
@@ -900,6 +981,7 @@ fn run_scan(
                     }
                     (out, range.len() as f64 * per_row_cpu, range.len() as u64)
                 });
+            bail_if_hit(&hit, "scan")?;
             let mut result = Vec::new();
             for (piece, cpu, tuples) in pieces {
                 result.extend(piece);
@@ -953,9 +1035,13 @@ fn run_scan(
             // watermark; like the live path's stale-partition semantics,
             // rows past the scanned prefix are simply not produced.
             let ranges = morsel_ranges(visible_rows(vis, table, col_heap.rows()), opts);
+            let hit = std::sync::atomic::AtomicBool::new(false);
             profile.note_morsels(&ranges);
             let pieces: Vec<(Vec<Row>, f64, u64)> =
                 par::parallel_map(&ranges, opts.threads, |_, range| {
+                    if deadline_hit(opts, &hit) {
+                        return (Vec::new(), 0.0, 0);
+                    }
                     // Filter to a selection vector: the first kernel scans
                     // the range, the rest thin it in plan-filter order.
                     let mut sel: Vec<u32> = Vec::new();
@@ -985,6 +1071,7 @@ fn run_scan(
                     }
                     (out, range.len() as f64 * per_row_cpu, range.len() as u64)
                 });
+            bail_if_hit(&hit, "scan")?;
             let mut result = Vec::new();
             for (piece, cpu, tuples) in pieces {
                 result.extend(piece);
@@ -1052,6 +1139,7 @@ fn run_scan(
             profile.note_morsels(&ranges);
             let pieces: Vec<RelResult<(Vec<Row>, f64, u64)>> =
                 par::parallel_map(&ranges, opts.threads, |_, range| {
+                    opts.check_deadline("scan")?;
                     let mut out = Vec::new();
                     for &i in &matched[range.start..range.end] {
                         let row = heap.row(i as usize).ok_or_else(|| {
@@ -1146,8 +1234,12 @@ fn execute_view_scan(
     stats.io_cost += built.pages() as f64 * SEQ_PAGE_COST;
     let per_row_cpu = CPU_TUPLE_COST + filters.len() as f64 * CPU_PRED_COST;
     let ranges = morsel_ranges(built.rows.len(), opts);
+    let hit = std::sync::atomic::AtomicBool::new(false);
     profile.note_morsels(&ranges);
     let pieces: Vec<(Vec<Row>, f64, u64)> = par::parallel_map(&ranges, opts.threads, |_, range| {
+        if deadline_hit(opts, &hit) {
+            return (Vec::new(), 0.0, 0);
+        }
         let mut out: Vec<Row> = Vec::new();
         for row in &built.rows[range.start..range.end] {
             if filters
@@ -1167,6 +1259,7 @@ fn execute_view_scan(
         }
         (out, range.len() as f64 * per_row_cpu, range.len() as u64)
     });
+    bail_if_hit(&hit, "view")?;
     let mut result = Vec::new();
     for (piece, cpu, tuples) in pieces {
         result.extend(piece);
@@ -1334,10 +1427,51 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_cancels_with_typed_timeout() {
+        let (db, t) = db_with_index(false);
+        let plan = db.estimate(&grp_query(t), db.built_config()).unwrap();
+        let expired =
+            ExecOptions::default().with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let err = execute_plan_with(&db, &plan, &expired).unwrap_err();
+        assert!(matches!(err, RelError::Timeout { .. }), "{err}");
+        assert!(err.is_transient());
+        // A generous deadline never fires, and the result matches the
+        // unbounded run bit-for-bit.
+        let bounded =
+            ExecOptions::default().with_deadline(Some(Instant::now() + Duration::from_secs(60)));
+        let (rows_b, stats_b, _) = execute_plan_with(&db, &plan, &bounded).unwrap();
+        let (rows, stats, _) = execute_plan_with(&db, &plan, &ExecOptions::default()).unwrap();
+        assert_eq!(rows_b, rows);
+        assert_eq!(stats_b, stats);
+    }
+
+    #[test]
+    fn expired_deadline_fires_at_morsel_boundaries_in_parallel_scans() {
+        let (db, t) = db_with_index(false);
+        // `Ne` is not sargable, so this plans a full parallel scan.
+        let mut q = SelectQuery::single(t);
+        q.filters = vec![Filter::new(0, 1, crate::expr::FilterOp::Ne, Value::Int(7))];
+        q.outputs = vec![Output::col(0, 0)];
+        let plan = db
+            .estimate(&SqlQuery::Select(q), db.built_config())
+            .unwrap();
+        for threads in [1usize, 4] {
+            let opts = ExecOptions {
+                threads,
+                morsel_rows: 64,
+                deadline: Some(Instant::now() - Duration::from_millis(1)),
+            };
+            let err = execute_plan_with(&db, &plan, &opts).unwrap_err();
+            assert!(matches!(err, RelError::Timeout { .. }), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn morsel_ranges_partition_exactly() {
         let opts = ExecOptions {
             threads: 1,
             morsel_rows: 100,
+            ..ExecOptions::default()
         };
         let ranges = morsel_ranges(250, &opts);
         assert_eq!(ranges, vec![0..100, 100..200, 200..250]);
@@ -1355,6 +1489,7 @@ mod tests {
         let opts1 = ExecOptions {
             threads: 1,
             morsel_rows: 128,
+            ..ExecOptions::default()
         };
         let (rows1, stats1, profile1) = execute_plan_with(&db, &plan, &opts1).unwrap();
         assert!(profile1.morsels_dispatched > 1);
@@ -1362,6 +1497,7 @@ mod tests {
             let opts = ExecOptions {
                 threads,
                 morsel_rows: 128,
+                ..ExecOptions::default()
             };
             let (rows, stats, profile) = execute_plan_with(&db, &plan, &opts).unwrap();
             assert_eq!(rows1, rows, "threads={threads}");
@@ -1579,6 +1715,7 @@ mod tests {
         let opts = ExecOptions {
             threads: 1,
             morsel_rows: 128,
+            ..ExecOptions::default()
         };
         let row_plan = db.estimate(&query, db.built_config()).unwrap();
         let (row_rows, row_stats, row_profile) = execute_plan_with(&db, &row_plan, &opts).unwrap();
@@ -1607,6 +1744,7 @@ mod tests {
             let opts = ExecOptions {
                 threads,
                 morsel_rows: 128,
+                ..ExecOptions::default()
             };
             let (rows, stats, profile) = execute_plan_with(&db, &col_plan, &opts).unwrap();
             assert_eq!(rows, row_rows, "threads={threads}");

@@ -39,6 +39,7 @@ pub mod expr;
 pub mod fault;
 pub mod heal;
 pub mod index;
+pub mod netfault;
 pub mod optimizer;
 pub mod par;
 pub mod plan;
@@ -66,8 +67,12 @@ pub use fault::{
 };
 pub use heal::{HealReport, ScrubReport};
 pub use index::{BuiltIndex, IndexDef};
+pub use netfault::{NetFaultConfig, NetFaultState, ReadFault, WriteFault};
 pub use recovery::RecoveryReport;
-pub use server::{Client, Response, Server};
+pub use server::{
+    Client, ClientOptions, DrainReport, ErrCode, Response, RetryStats, Server, ServerOptions,
+    ServerStatsSnapshot,
+};
 pub use session::{SessionDb, Transaction};
 pub use sql::{Output, SelectQuery, SqlQuery, UnionAllQuery};
 pub use stats::{ColumnStats, TableStats};

@@ -152,9 +152,23 @@ impl SessionDb {
 
     /// Auto-commit snapshot read: sees everything committed at call time.
     pub fn execute(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
+        self.execute_deadline(query, None)
+    }
+
+    /// [`SessionDb::execute`] under a per-statement deadline: the executor
+    /// polls it at morsel boundaries and cancels with [`RelError::Timeout`]
+    /// (transient, charge/token-neutral — see
+    /// [`Database::execute_deadline`]) once passed. Deadlines are
+    /// per-statement, never stored on the shared engine, so concurrent
+    /// sessions cannot inherit each other's budgets.
+    pub fn execute_deadline(
+        &self,
+        query: &SqlQuery,
+        deadline: Option<std::time::Instant>,
+    ) -> RelResult<QueryOutcome> {
         let engine = read_lock(&self.inner);
         let vis = engine.visibility();
-        engine.db.execute_snapshot(query, &vis)
+        engine.db.execute_snapshot_deadline(query, &vis, deadline)
     }
 
     /// Auto-commit DDL. Not versioned: the new table is immediately visible
@@ -297,15 +311,28 @@ impl Transaction {
     /// Execute a query against this transaction's snapshot (plus its own
     /// buffered writes, when any exist).
     pub fn query(&self, query: &SqlQuery) -> RelResult<QueryOutcome> {
+        self.query_deadline(query, None)
+    }
+
+    /// [`Transaction::query`] under a per-statement deadline (see
+    /// [`SessionDb::execute_deadline`] for the timeout contract).
+    pub fn query_deadline(
+        &self,
+        query: &SqlQuery,
+        deadline: Option<std::time::Instant>,
+    ) -> RelResult<QueryOutcome> {
         let engine = read_lock(&self.inner);
         if self.writes.is_empty() {
             return match &self.stats {
-                Some(stats) => {
-                    engine
-                        .db
-                        .execute_snapshot_with_stats(query, &self.visibility(), stats)
-                }
-                None => engine.db.execute_snapshot(query, &self.visibility()),
+                Some(stats) => engine.db.execute_snapshot_with_stats_deadline(
+                    query,
+                    &self.visibility(),
+                    stats,
+                    deadline,
+                ),
+                None => engine
+                    .db
+                    .execute_snapshot_deadline(query, &self.visibility(), deadline),
             };
         }
         // Read-your-own-writes: materialize an overlay of the snapshot
@@ -315,7 +342,7 @@ impl Transaction {
         // data; transactions that only read skip it entirely.
         let overlay = self.build_overlay(&engine)?;
         drop(engine);
-        overlay.execute(query)
+        overlay.execute_deadline(query, deadline)
     }
 
     fn build_overlay(&self, engine: &Engine) -> RelResult<Database> {
